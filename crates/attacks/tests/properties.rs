@@ -1,0 +1,96 @@
+//! Property-based tests for the attack layer: feasibility boundaries are
+//! exact, and feasible attacks win with probability one.
+
+use fle_attacks::{
+    cubic_distances, plan_with_k, BasicSingleAttack, PhaseSumAttack, RushingAttack,
+};
+use fle_core::protocols::{ALeadUni, BasicLead, PhaseSumLead};
+use fle_core::Coalition;
+use proptest::prelude::*;
+use ring_sim::Outcome;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Claim B.1 for arbitrary n, position and target.
+    #[test]
+    fn basic_single_always_wins(n in 2usize..40, pos_raw in any::<usize>(), w_raw in any::<u64>(), seed in any::<u64>()) {
+        let pos = pos_raw % n;
+        let w = w_raw % n as u64;
+        let p = BasicLead::new(n).with_seed(seed);
+        let exec = BasicSingleAttack::new(pos, w).run(&p).unwrap();
+        prop_assert_eq!(exec.outcome, Outcome::Elected(w));
+    }
+
+    /// Rushing feasibility is *exactly* the Lemma 4.1 condition
+    /// `max l_j <= k - 1` (over the active, non-origin coalition).
+    #[test]
+    fn rushing_feasibility_matches_lemma_4_1(
+        n in 8usize..120,
+        picks in proptest::collection::btree_set(1usize..120, 2..24),
+    ) {
+        let positions: Vec<usize> = picks.into_iter().filter(|&p| p < n).collect();
+        prop_assume!(positions.len() >= 2 && positions.len() < n - 1);
+        let c = Coalition::new(n, positions).unwrap();
+        let feasible = RushingAttack::new(0).plan(&ALeadUni::new(n), &c).is_ok();
+        let lemma = c.max_distance() < c.k();
+        prop_assert_eq!(feasible, lemma);
+    }
+
+    /// Every feasible rushing layout forces every target, every seed.
+    #[test]
+    fn feasible_rushing_always_wins(n in 9usize..80, seed in any::<u64>(), w_raw in any::<u64>()) {
+        let k = (n as f64).sqrt().ceil() as usize + 1;
+        prop_assume!(k < n);
+        let c = Coalition::equally_spaced(n, k, 1).unwrap();
+        prop_assume!(c.max_distance() < c.k());
+        let w = w_raw % n as u64;
+        let p = ALeadUni::new(n).with_seed(seed);
+        let exec = RushingAttack::new(w).run(&p, &c).unwrap();
+        prop_assert_eq!(exec.outcome, Outcome::Elected(w));
+        // Undetectability: honest message pattern preserved.
+        prop_assert!(exec.stats.sent.iter().all(|&s| s == n as u64));
+    }
+
+    /// Cubic plans satisfy all of Theorem 4.3's structural constraints
+    /// for every ring size.
+    #[test]
+    fn cubic_plan_invariants(n in 6usize..2000) {
+        let plan = cubic_distances(n).unwrap();
+        let k = plan.k();
+        let d = plan.distances();
+        prop_assert_eq!(d.iter().sum::<usize>(), n - k);
+        prop_assert!(d[k - 1] < k);
+        for i in 0..k - 1 {
+            prop_assert!(d[i] >= d[i + 1]);
+            prop_assert!(d[i] < d[i + 1] + k);
+        }
+        prop_assert!(k as f64 <= 2.0 * (n as f64).cbrt() + 1.0);
+        // Positions are consistent with distances.
+        let c = plan.coalition();
+        prop_assert_eq!(c.k(), k);
+        prop_assert!(!c.contains(0));
+    }
+
+    /// plan_with_k accepts exactly the k with enough covering capacity.
+    #[test]
+    fn cubic_k_capacity_boundary(n in 10usize..500) {
+        let k_min = (2..n).find(|&k| (k - 1) * k * (k + 1) / 2 >= n - k).unwrap();
+        prop_assert!(plan_with_k(n, k_min).is_ok());
+        if k_min > 2 {
+            prop_assert!(plan_with_k(n, k_min - 1).is_err());
+        }
+    }
+
+    /// The E.4 attack wins on PhaseSumLead for every n and target where
+    /// its plan is accepted.
+    #[test]
+    fn phase_sum_attack_wins_when_planned(n in 24usize..100, seed in any::<u64>(), w_raw in any::<u64>()) {
+        let c = Coalition::equally_spaced(n, 4, 1).unwrap();
+        let p = PhaseSumLead::new(n).with_seed(seed);
+        let attack = PhaseSumAttack::new(w_raw % n as u64);
+        prop_assume!(attack.plan(&p, &c).is_ok());
+        let exec = attack.run(&p, &c).unwrap();
+        prop_assert_eq!(exec.outcome, Outcome::Elected(w_raw % n as u64));
+    }
+}

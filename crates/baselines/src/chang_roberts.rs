@@ -1,0 +1,154 @@
+//! Chang & Roberts (1979): extrema-finding on a unidirectional ring.
+//!
+//! Every processor emits its id; a processor forwards only ids larger
+//! than its own and swallows smaller ones. The maximal id circulates the
+//! whole ring and returns to its owner, who becomes leader and sends an
+//! announcement lap. Worst case `O(n²)` messages (ids increasing along
+//! the ring), `Θ(n log n)` on average over random placements.
+
+use ring_sim::{Ctx, Execution, Node, NodeId, SimBuilder, Topology};
+
+/// A message of the Chang–Roberts protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrMsg {
+    /// An id still competing.
+    Candidate(u64),
+    /// The winner's id, circulated once to terminate everyone.
+    Leader(u64),
+}
+
+/// A Chang–Roberts instance with explicit per-position ids.
+///
+/// The elected leader (as reported in the [`Execution`]) is the **ring
+/// position** holding the maximal id, so outcomes are comparable with the
+/// FLE protocols of `fle-core`.
+///
+/// # Examples
+///
+/// ```
+/// use fle_baselines::{random_ids, ChangRoberts};
+///
+/// let ids = random_ids(16, 3);
+/// let exec = ChangRoberts::new(ids.clone()).run();
+/// let max_pos = (0..16).max_by_key(|&i| ids[i]).unwrap() as u64;
+/// assert_eq!(exec.outcome.elected(), Some(max_pos));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangRoberts {
+    ids: Vec<u64>,
+}
+
+impl ChangRoberts {
+    /// Creates an instance; `ids[i]` is the id of ring position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 ids are given or ids are not distinct.
+    pub fn new(ids: Vec<u64>) -> Self {
+        assert!(ids.len() >= 2, "need at least 2 processors");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "ids must be distinct");
+        Self { ids }
+    }
+
+    /// Runs the election; see [`Execution::stats`] for message counts.
+    pub fn run(&self) -> Execution {
+        let n = self.ids.len();
+        let mut builder: SimBuilder<'_, CrMsg> = SimBuilder::new(Topology::ring(n));
+        for (pos, &id) in self.ids.iter().enumerate() {
+            builder = builder.boxed_node(
+                pos,
+                Box::new(CrNode {
+                    pos: pos as u64,
+                    id,
+                    leader: None,
+                }),
+            );
+        }
+        builder.wake_all().run()
+    }
+}
+
+struct CrNode {
+    pos: u64,
+    id: u64,
+    leader: Option<u64>,
+}
+
+impl Node<CrMsg> for CrNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, CrMsg>) {
+        ctx.send(CrMsg::Candidate(self.id));
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: CrMsg, ctx: &mut Ctx<'_, CrMsg>) {
+        match msg {
+            CrMsg::Candidate(c) => {
+                if c > self.id {
+                    ctx.send(CrMsg::Candidate(c));
+                } else if c == self.id {
+                    // Our id survived a full lap: we hold the maximum.
+                    self.leader = Some(self.pos);
+                    ctx.send(CrMsg::Leader(self.pos));
+                }
+                // c < id: swallow.
+            }
+            CrMsg::Leader(pos) => {
+                if self.leader.is_none() {
+                    // Forward the announcement; the winner absorbs it.
+                    ctx.send(CrMsg::Leader(pos));
+                }
+                ctx.terminate(Some(pos));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_ids, worst_case_ids};
+
+    #[test]
+    fn elects_position_of_max_id() {
+        for seed in 0..10 {
+            let ids = random_ids(20, seed);
+            let exec = ChangRoberts::new(ids.clone()).run();
+            let max_pos = (0..20).max_by_key(|&i| ids[i]).unwrap() as u64;
+            assert_eq!(exec.outcome.elected(), Some(max_pos), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn worst_case_is_quadratic() {
+        let n = 40u64;
+        let exec = ChangRoberts::new(worst_case_ids(n as usize)).run();
+        // Candidate messages: n(n+1)/2; announcement: n.
+        assert_eq!(exec.stats.total_sent(), n * (n + 1) / 2 + n);
+    }
+
+    #[test]
+    fn average_case_is_n_log_n_scale() {
+        let n = 128usize;
+        let trials = 30;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let exec = ChangRoberts::new(random_ids(n, seed)).run();
+            total += exec.stats.total_sent();
+        }
+        let avg = total as f64 / trials as f64;
+        let n_log_n = n as f64 * (n as f64).ln();
+        // Known constant: ≈ n·H_n + n ≈ n ln n + O(n). Allow slack.
+        assert!(
+            avg < 2.0 * n_log_n && avg > 0.5 * n_log_n,
+            "avg={avg}, n ln n = {n_log_n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ids_rejected() {
+        let _ = ChangRoberts::new(vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Itai–Rodeh randomized leader election on an **anonymous** ring of
+//! known size, in the asynchronous formulation of Fokkink & Pang.
+//!
+//! Processors have no ids; in each round every active processor draws a
+//! random id in `[1, n]` and circulates a token `(round, id, hop, unique)`.
+//! Tokens are compared lexicographically by `(round, id)`: an active
+//! processor passes (and is defeated by) a strictly larger token, purges a
+//! strictly smaller one, and forwards an equal token with `unique = false`.
+//! When a processor's own token returns (`hop = n`) it either wins
+//! (`unique` still true) or enters the next round together with the other
+//! survivors. Expected message complexity `O(n log n)`; the winner is
+//! uniform over positions by symmetry — but, unlike the paper's
+//! protocols, a single *rational* adversary breaks fairness by always
+//! "drawing" the maximal id, which is why fairness for rational agents
+//! needs the machinery of `fle-core`.
+
+use ring_sim::rng::SplitMix64;
+use ring_sim::{Ctx, Execution, Node, NodeId, SimBuilder, Topology};
+
+/// A message of the Itai–Rodeh protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrMsg {
+    /// A circulating election token.
+    Token {
+        /// The round in which the token was drawn.
+        round: u32,
+        /// The randomly drawn id.
+        id: u64,
+        /// Links traversed so far (owner sends 1; back home at `n`).
+        hop: u32,
+        /// `false` once another processor with the same `(round, id)` saw
+        /// the token.
+        unique: bool,
+    },
+    /// The winner's ring position, circulated once to terminate everyone.
+    Leader(u64),
+}
+
+/// An Itai–Rodeh instance on an anonymous ring of `n` processors.
+///
+/// # Examples
+///
+/// ```
+/// use fle_baselines::ItaiRodeh;
+///
+/// let exec = ItaiRodeh::new(16, 42).run();
+/// assert!(exec.outcome.elected().unwrap() < 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItaiRodeh {
+    n: usize,
+    seed: u64,
+}
+
+impl ItaiRodeh {
+    /// Creates an instance; `seed` drives every processor's random draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least 2 processors");
+        Self { n, seed }
+    }
+
+    /// Runs the election.
+    pub fn run(&self) -> Execution {
+        let n = self.n;
+        let mut builder: SimBuilder<'_, IrMsg> = SimBuilder::new(Topology::ring(n));
+        for pos in 0..n {
+            builder = builder.boxed_node(
+                pos,
+                Box::new(IrNode {
+                    pos: pos as u64,
+                    n: n as u32,
+                    rng: SplitMix64::new(self.seed).derive(pos as u64),
+                    state: IrState::Active {
+                        round: 0, // draws on wake
+                        id: 0,
+                        deferred: Vec::new(),
+                    },
+                }),
+            );
+        }
+        builder.wake_all().run()
+    }
+}
+
+enum IrState {
+    Active {
+        round: u32,
+        id: u64,
+        /// Tokens from future rounds, processed after advancing.
+        deferred: Vec<IrMsg>,
+    },
+    Passive,
+    Winner,
+}
+
+struct IrNode {
+    pos: u64,
+    n: u32,
+    rng: SplitMix64,
+    state: IrState,
+}
+
+impl IrNode {
+    fn draw_and_send(&mut self, round: u32, ctx: &mut Ctx<'_, IrMsg>) {
+        let id = self.rng.next_below(self.n as u64) + 1;
+        if let IrState::Active {
+            round: r, id: my, ..
+        } = &mut self.state
+        {
+            *r = round;
+            *my = id;
+        }
+        ctx.send(IrMsg::Token {
+            round,
+            id,
+            hop: 1,
+            unique: true,
+        });
+    }
+
+    fn handle_token(
+        &mut self,
+        round: u32,
+        id: u64,
+        hop: u32,
+        unique: bool,
+        ctx: &mut Ctx<'_, IrMsg>,
+    ) {
+        let n = self.n;
+        match &mut self.state {
+            IrState::Active {
+                round: my_round,
+                id: my_id,
+                deferred,
+            } => {
+                let (my_round, my_id) = (*my_round, *my_id);
+                if round == my_round && id == my_id && hop == n {
+                    // Our own token came home.
+                    if unique {
+                        self.state = IrState::Winner;
+                        ctx.send(IrMsg::Leader(self.pos));
+                    } else {
+                        // Tie: next round with the other survivors.
+                        let next = my_round + 1;
+                        let pending = std::mem::take(deferred);
+                        self.draw_and_send(next, ctx);
+                        for msg in pending {
+                            if let IrMsg::Token {
+                                round,
+                                id,
+                                hop,
+                                unique,
+                            } = msg
+                            {
+                                self.handle_token(round, id, hop, unique, ctx);
+                            }
+                        }
+                    }
+                } else if (round, id) > (my_round, my_id) {
+                    if round > my_round {
+                        // A future-round token may only overtake our own
+                        // pending token transiently; defer it so rounds
+                        // are processed in order (Fokkink–Pang).
+                        deferred.push(IrMsg::Token {
+                            round,
+                            id,
+                            hop,
+                            unique,
+                        });
+                    } else {
+                        // Defeated within our round.
+                        self.state = IrState::Passive;
+                        ctx.send(IrMsg::Token {
+                            round,
+                            id,
+                            hop: hop + 1,
+                            unique,
+                        });
+                    }
+                } else if (round, id) == (my_round, my_id) {
+                    // Same draw elsewhere: mark non-unique and pass on.
+                    ctx.send(IrMsg::Token {
+                        round,
+                        id,
+                        hop: hop + 1,
+                        unique: false,
+                    });
+                }
+                // Strictly smaller: purge.
+            }
+            IrState::Passive => ctx.send(IrMsg::Token {
+                round,
+                id,
+                hop: hop + 1,
+                unique,
+            }),
+            IrState::Winner => {} // stale token
+        }
+    }
+}
+
+impl Node<IrMsg> for IrNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, IrMsg>) {
+        self.draw_and_send(1, ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: IrMsg, ctx: &mut Ctx<'_, IrMsg>) {
+        match msg {
+            IrMsg::Token {
+                round,
+                id,
+                hop,
+                unique,
+            } => self.handle_token(round, id, hop, unique, ctx),
+            IrMsg::Leader(pos) => {
+                if matches!(self.state, IrState::Winner) {
+                    ctx.terminate(Some(pos));
+                } else {
+                    ctx.send(IrMsg::Leader(pos));
+                    ctx.terminate(Some(pos));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_terminates_with_a_leader() {
+        for seed in 0..50 {
+            let exec = ItaiRodeh::new(12, seed).run();
+            let leader = exec
+                .outcome
+                .elected()
+                .unwrap_or_else(|| panic!("seed={seed}: {:?}", exec.outcome));
+            assert!(leader < 12);
+        }
+    }
+
+    #[test]
+    fn winner_is_roughly_uniform_by_symmetry() {
+        let n = 8usize;
+        let trials = 2400;
+        let mut counts = vec![0u32; n];
+        for seed in 0..trials {
+            let exec = ItaiRodeh::new(n, seed).run();
+            counts[exec.outcome.elected().unwrap() as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.35,
+                "counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_messages_are_n_log_n_scale() {
+        let n = 64usize;
+        let trials = 20;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            total += ItaiRodeh::new(n, seed).run().stats.total_sent();
+        }
+        let avg = total as f64 / trials as f64;
+        let bound = 4.0 * n as f64 * (n as f64).log2();
+        assert!(avg < bound, "avg={avg} bound={bound}");
+    }
+
+    #[test]
+    fn works_on_minimal_ring() {
+        let exec = ItaiRodeh::new(2, 7).run();
+        assert!(exec.outcome.elected().is_some());
+    }
+}

@@ -1,0 +1,71 @@
+//! # fle-baselines — classical ring leader election
+//!
+//! The non-fault-tolerant leader election algorithms the paper's related
+//! work builds on (Section 1.1): they elect the processor holding the
+//! *maximal id* and are the message-complexity yardsticks against which
+//! the rational-agent protocols' `Θ(n²)` cost is measured.
+//!
+//! * [`ChangRoberts`] — Chang & Roberts 1979: `O(n²)` worst case,
+//!   `Θ(n log n)` messages on average over random id placements.
+//! * [`PetersonDkr`] — Peterson 1982 / Dolev–Klawe–Rodeh 1982: the
+//!   classical `O(n log n)` worst-case unidirectional algorithm.
+//! * [`ItaiRodeh`] — Itai & Rodeh: randomized election on an *anonymous*
+//!   ring of known size, `O(n log n)` expected messages.
+//!
+//! All run on the same [`ring_sim`] substrate as the rational-agent
+//! protocols, so the measured message counts are directly comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chang_roberts;
+mod itai_rodeh;
+mod peterson;
+
+pub use chang_roberts::ChangRoberts;
+pub use itai_rodeh::ItaiRodeh;
+pub use peterson::PetersonDkr;
+
+use ring_sim::rng::SplitMix64;
+
+/// A uniformly random permutation of `0..n` derived from `seed` — the
+/// random id placement under which Chang–Roberts achieves its
+/// `Θ(n log n)` average (paper Section 1.1, citing Chang & Roberts).
+pub fn random_ids(n: usize, seed: u64) -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..n as u64).collect();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        ids.swap(i, j);
+    }
+    ids
+}
+
+/// The worst-case id placement for Chang–Roberts: ids *decreasing* along
+/// the ring direction, so the candidate starting at position `i` travels
+/// `n − i` links before a larger id swallows it — `n(n+1)/2` messages in
+/// total. (Increasing ids are the best case: every candidate dies after
+/// one hop.)
+pub fn worst_case_ids(n: usize) -> Vec<u64> {
+    (0..n as u64).rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_ids_is_a_permutation() {
+        let ids = random_ids(50, 9);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u64>>());
+        assert_ne!(ids, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_ids_deterministic_per_seed() {
+        assert_eq!(random_ids(20, 4), random_ids(20, 4));
+        assert_ne!(random_ids(20, 4), random_ids(20, 5));
+    }
+}

@@ -1,0 +1,227 @@
+//! Peterson (1982) / Dolev–Klawe–Rodeh (1982): `O(n log n)` worst-case
+//! extrema-finding on a unidirectional ring.
+//!
+//! Discovered independently, both algorithms run in phases in which every
+//! *active* processor learns the temporary ids of its two nearest active
+//! predecessors and survives only if the nearer one holds a local
+//! maximum — halving the actives each phase. Defeated processors become
+//! relays. Temporary ids migrate between processors, so when a value
+//! comes full circle its *holder* only learns the maximum id; an
+//! announcement lap then locates the original owner, who elects itself
+//! and circulates its position.
+
+use ring_sim::{Ctx, Execution, Node, NodeId, SimBuilder, Topology};
+
+/// A message of the Peterson/DKR protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PetersonMsg {
+    /// A temporary id travelling to the next active processor.
+    Candidate(u64),
+    /// The maximal id, travelling to find its original owner.
+    Announce(u64),
+    /// The winner's ring position, circulated once to terminate everyone.
+    Elected(u64),
+}
+
+/// A Peterson/DKR instance with explicit per-position ids.
+///
+/// The reported outcome is the **ring position** of the processor with
+/// the maximal id, comparable with the FLE protocols of `fle-core`.
+///
+/// # Examples
+///
+/// ```
+/// use fle_baselines::{random_ids, PetersonDkr};
+///
+/// let ids = random_ids(32, 1);
+/// let exec = PetersonDkr::new(ids.clone()).run();
+/// let max_pos = (0..32).max_by_key(|&i| ids[i]).unwrap() as u64;
+/// assert_eq!(exec.outcome.elected(), Some(max_pos));
+/// // O(n log n): far below Chang–Roberts' n(n+1)/2 worst case.
+/// assert!(exec.stats.total_sent() < 32 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PetersonDkr {
+    ids: Vec<u64>,
+}
+
+impl PetersonDkr {
+    /// Creates an instance; `ids[i]` is the id of ring position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 ids are given or ids are not distinct.
+    pub fn new(ids: Vec<u64>) -> Self {
+        assert!(ids.len() >= 2, "need at least 2 processors");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "ids must be distinct");
+        Self { ids }
+    }
+
+    /// Runs the election.
+    pub fn run(&self) -> Execution {
+        let n = self.ids.len();
+        let mut builder: SimBuilder<'_, PetersonMsg> = SimBuilder::new(Topology::ring(n));
+        for (pos, &id) in self.ids.iter().enumerate() {
+            builder = builder.boxed_node(
+                pos,
+                Box::new(PetersonNode {
+                    pos: pos as u64,
+                    original_id: id,
+                    state: State::Active { tid: id, ntid: None },
+                }),
+            );
+        }
+        builder.wake_all().run()
+    }
+}
+
+enum State {
+    /// Competing with temporary id `tid`; `ntid` holds the first value
+    /// received this phase, if any.
+    Active { tid: u64, ntid: Option<u64> },
+    /// Defeated: forwards everything.
+    Relay,
+    /// Recognized its own id in the announcement; awaiting its `Elected`
+    /// lap to complete.
+    Leader,
+}
+
+struct PetersonNode {
+    pos: u64,
+    original_id: u64,
+    state: State,
+}
+
+impl Node<PetersonMsg> for PetersonNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, PetersonMsg>) {
+        if let State::Active { tid, .. } = &self.state {
+            ctx.send(PetersonMsg::Candidate(*tid));
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: PetersonMsg, ctx: &mut Ctx<'_, PetersonMsg>) {
+        match msg {
+            PetersonMsg::Candidate(c) => {
+                // `Some(max)` = the held value survived a full lap;
+                // `None` = keep going (state updated in place).
+                let full_lap: Option<Option<u64>> = match &mut self.state {
+                    State::Active { tid, ntid } => match *ntid {
+                        None if c == *tid => Some(Some(*tid)),
+                        None => {
+                            // First value this phase: relay it onward so
+                            // the next active sees its second predecessor.
+                            *ntid = Some(c);
+                            ctx.send(PetersonMsg::Candidate(c));
+                            None
+                        }
+                        Some(nt) => {
+                            // Second value: survive iff the nearer
+                            // predecessor's id is a local maximum.
+                            if nt > *tid && nt > c {
+                                *tid = nt;
+                                *ntid = None;
+                                ctx.send(PetersonMsg::Candidate(nt));
+                                None
+                            } else {
+                                Some(None) // defeated
+                            }
+                        }
+                    },
+                    State::Relay => {
+                        ctx.send(PetersonMsg::Candidate(c));
+                        None
+                    }
+                    State::Leader => None, // stale candidate
+                };
+                match full_lap {
+                    Some(Some(max_id)) => {
+                        // The value we hold is the global maximum; locate
+                        // its original owner.
+                        if self.original_id == max_id {
+                            self.state = State::Leader;
+                            ctx.send(PetersonMsg::Elected(self.pos));
+                        } else {
+                            self.state = State::Relay;
+                            ctx.send(PetersonMsg::Announce(max_id));
+                        }
+                    }
+                    Some(None) => self.state = State::Relay,
+                    None => {}
+                }
+            }
+            PetersonMsg::Announce(max_id) => {
+                if self.original_id == max_id {
+                    self.state = State::Leader;
+                    ctx.send(PetersonMsg::Elected(self.pos));
+                } else {
+                    ctx.send(PetersonMsg::Announce(max_id));
+                }
+            }
+            PetersonMsg::Elected(pos) => {
+                if matches!(self.state, State::Leader) {
+                    ctx.terminate(Some(pos));
+                } else {
+                    ctx.send(PetersonMsg::Elected(pos));
+                    ctx.terminate(Some(pos));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_ids, worst_case_ids};
+
+    #[test]
+    fn elects_position_of_max_id() {
+        for seed in 0..10 {
+            let n = 33;
+            let ids = random_ids(n, seed);
+            let exec = PetersonDkr::new(ids.clone()).run();
+            let max_pos = (0..n).max_by_key(|&i| ids[i]).unwrap() as u64;
+            assert_eq!(exec.outcome.elected(), Some(max_pos), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn worst_case_stays_n_log_n() {
+        for n in [16usize, 64, 256] {
+            // Chang–Roberts' worst case is Peterson's bread and butter.
+            let exec = PetersonDkr::new(worst_case_ids(n)).run();
+            let bound = 2.0 * n as f64 * ((n as f64).log2() + 2.0) + 2.0 * n as f64;
+            assert!(
+                (exec.stats.total_sent() as f64) < bound,
+                "n={n}: {} messages",
+                exec.stats.total_sent()
+            );
+        }
+    }
+
+    #[test]
+    fn beats_chang_roberts_on_adversarial_rings() {
+        use crate::ChangRoberts;
+        let n = 64;
+        let cr = ChangRoberts::new(worst_case_ids(n)).run();
+        let pd = PetersonDkr::new(worst_case_ids(n)).run();
+        assert!(pd.stats.total_sent() * 2 < cr.stats.total_sent());
+    }
+
+    #[test]
+    fn two_processors() {
+        let exec = PetersonDkr::new(vec![5, 9]).run();
+        assert_eq!(exec.outcome.elected(), Some(1));
+        let exec = PetersonDkr::new(vec![9, 5]).run();
+        assert_eq!(exec.outcome.elected(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ids_rejected() {
+        let _ = PetersonDkr::new(vec![3, 3]);
+    }
+}

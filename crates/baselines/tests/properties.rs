@@ -1,0 +1,60 @@
+//! Property-based tests for the classical baselines.
+
+use fle_baselines::{random_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both deterministic algorithms elect the position of the maximal id
+    /// for arbitrary id permutations.
+    #[test]
+    fn extrema_finding_is_correct(n in 2usize..64, seed in any::<u64>()) {
+        let ids = random_ids(n, seed);
+        let max_pos = (0..n).max_by_key(|&i| ids[i]).unwrap() as u64;
+        let cr = ChangRoberts::new(ids.clone()).run();
+        prop_assert_eq!(cr.outcome.elected(), Some(max_pos));
+        let pd = PetersonDkr::new(ids).run();
+        prop_assert_eq!(pd.outcome.elected(), Some(max_pos));
+    }
+
+    /// Chang–Roberts message count is between n+n (best) and
+    /// n(n+1)/2 + n (worst), Peterson's within 2n(log n + 2) + 2n.
+    #[test]
+    fn message_bounds_hold(n in 2usize..64, seed in any::<u64>()) {
+        let ids = random_ids(n, seed);
+        let nn = n as u64;
+        let cr = ChangRoberts::new(ids.clone()).run().stats.total_sent();
+        prop_assert!(cr >= 2 * nn, "cr={cr}");
+        prop_assert!(cr <= nn * (nn + 1) / 2 + nn, "cr={cr}");
+        let pd = PetersonDkr::new(ids).run().stats.total_sent();
+        let bound = 2.0 * n as f64 * ((n as f64).log2() + 2.0) + 2.0 * n as f64;
+        prop_assert!((pd as f64) <= bound, "pd={pd} bound={bound}");
+    }
+
+    /// Itai–Rodeh always terminates with a valid leader and each
+    /// processor learns the same one.
+    #[test]
+    fn itai_rodeh_agreement(n in 2usize..32, seed in any::<u64>()) {
+        let exec = ItaiRodeh::new(n, seed).run();
+        let leader = exec.outcome.elected().expect("IR terminates w.p. 1 and within step limits here");
+        prop_assert!(leader < n as u64);
+        for out in &exec.outputs {
+            prop_assert_eq!(out.unwrap().unwrap(), leader);
+        }
+    }
+
+    /// Baseline vulnerability: a single rational adversary that always
+    /// "draws" the maximum id hijacks Itai–Rodeh — the motivation for the
+    /// paper's notion of fairness. (The adversary here is simulated by
+    /// giving one position the largest possible id in Chang–Roberts.)
+    #[test]
+    fn classical_algorithms_are_trivially_biased(n in 3usize..32, seed in any::<u64>(), cheat_raw in any::<usize>()) {
+        let cheat = cheat_raw % n;
+        let mut ids = random_ids(n, seed);
+        // The cheater claims an id above everyone else's.
+        ids[cheat] = n as u64 + 1;
+        let exec = ChangRoberts::new(ids).run();
+        prop_assert_eq!(exec.outcome.elected(), Some(cheat as u64));
+    }
+}

@@ -1,0 +1,43 @@
+//! Attacks on `A-LEADuni`: Claim B.1 (single adversary), Theorem 4.2
+//! (rushing), Theorem C.1 (random located), Theorem 4.3 (cubic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_attacks::{cubic_distances, BasicSingleAttack, CubicAttack, RandomLocatedAttack, RushingAttack};
+use fle_core::protocols::{ALeadUni, BasicLead};
+use fle_core::Coalition;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attacks");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("b1_basic_single", n), &n, |b, &n| {
+            let p = BasicLead::new(n).with_seed(1);
+            b.iter(|| black_box(BasicSingleAttack::new(1, 3).run(&p).unwrap()));
+        });
+        let k = (n as f64).sqrt().ceil() as usize;
+        let coalition = Coalition::equally_spaced(n, k, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("t42_rushing", n), &n, |b, &n| {
+            let p = ALeadUni::new(n).with_seed(1);
+            b.iter(|| black_box(RushingAttack::new(3).run(&p, &coalition).unwrap()));
+        });
+        let plan = cubic_distances(n).unwrap();
+        g.bench_with_input(BenchmarkId::new("t43_cubic", n), &n, |b, &n| {
+            let p = ALeadUni::new(n).with_seed(1);
+            b.iter(|| black_box(CubicAttack::new(3).run(&p, &plan).unwrap()));
+        });
+        let random = Coalition::random_bernoulli(n, 0.3, 5).unwrap();
+        g.bench_with_input(BenchmarkId::new("tc1_random_located", n), &n, |b, &n| {
+            let p = ALeadUni::new(n).with_seed(1);
+            let attack = RandomLocatedAttack::new(3, 4);
+            b.iter(|| black_box(attack.run(&p, &random).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("cubic_planning", n), &n, |b, &n| {
+            b.iter(|| black_box(cubic_distances(n).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Section 1.1 message-complexity baselines vs the fair protocols: the
+//! `msg` table's workloads as timed benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_baselines::{random_ids, worst_case_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
+use fle_core::protocols::{ALeadUni, FleProtocol, PhaseAsyncLead};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msg_baselines");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("chang_roberts_avg", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ChangRoberts::new(random_ids(n, seed)).run())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("chang_roberts_worst", n), &n, |b, &n| {
+            b.iter(|| black_box(ChangRoberts::new(worst_case_ids(n)).run()));
+        });
+        g.bench_with_input(BenchmarkId::new("peterson_worst", n), &n, |b, &n| {
+            b.iter(|| black_box(PetersonDkr::new(worst_case_ids(n)).run()));
+        });
+        g.bench_with_input(BenchmarkId::new("itai_rodeh", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ItaiRodeh::new(n, seed).run())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("a_lead_uni", n), &n, |b, &n| {
+            b.iter(|| black_box(ALeadUni::new(n).with_seed(1).run_honest()));
+        });
+        g.bench_with_input(BenchmarkId::new("phase_async_lead", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    PhaseAsyncLead::new(n)
+                        .with_seed(1)
+                        .with_fn_key(1)
+                        .run_honest(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

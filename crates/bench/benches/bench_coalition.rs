@@ -1,0 +1,33 @@
+//! Figure 1: coalition layout algebra (segments, distances, rendering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_core::Coalition;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_coalition");
+    for &n in fle_bench::BENCH_SIZES {
+        let k = (n as f64).sqrt() as usize;
+        g.bench_with_input(BenchmarkId::new("equally_spaced", n), &n, |b, &n| {
+            b.iter(|| Coalition::equally_spaced(black_box(n), k, 1).unwrap());
+        });
+        let coalition = Coalition::equally_spaced(n, k, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("segments", n), &coalition, |b, c| {
+            b.iter(|| black_box(c.segments()));
+        });
+        g.bench_with_input(BenchmarkId::new("render", n), &coalition, |b, c| {
+            b.iter(|| black_box(c.render_ascii(64)));
+        });
+        g.bench_with_input(BenchmarkId::new("bernoulli_sample", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(Coalition::random_bernoulli(n, 0.2, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

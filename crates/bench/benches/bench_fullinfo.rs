@@ -1,0 +1,51 @@
+//! Benchmarks for the `fullinfo` experiment rows (Section 1.1,
+//! full-information model): exact coalition power, the iterated-majority
+//! DP, and the baton-passing DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_fullinfo::{coalition_power, BatonGame, IteratedMajority, LightestBin, Majority};
+
+fn bench_onebit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onebit_power");
+    for &n in &[11usize, 15, 19] {
+        group.bench_with_input(BenchmarkId::new("majority", n), &n, |b, &n| {
+            let f = Majority::new(n);
+            let mask = (1u64 << (n / 3)) - 1;
+            b.iter(|| coalition_power(&f, mask));
+        });
+    }
+    group.finish();
+}
+
+fn bench_iterated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterated_majority");
+    for &h in &[4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("cheapest_control", h), &h, |b, &h| {
+            let g = IteratedMajority::new(h);
+            let set = g.cheapest_controlling_set();
+            b.iter(|| g.control_probability(&set));
+        });
+    }
+    group.finish();
+}
+
+fn bench_leader_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullinfo_election");
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("baton_dp", n), &n, |b, &n| {
+            b.iter(|| BatonGame::new(n, n / 8).corrupt_leader_probability());
+        });
+        group.bench_with_input(BenchmarkId::new("lightest_bin", n), &n, |b, &n| {
+            let g = LightestBin::new(n, n / 8);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                g.play(seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_onebit, bench_iterated, bench_leader_election);
+criterion_main!(benches);

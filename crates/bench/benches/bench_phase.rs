@@ -1,0 +1,48 @@
+//! Theorem 6.1 and Appendix E.4: `PhaseAsyncLead` honest runs, the
+//! √n+3 rushing attack (with its `f`-preimage search), the burst
+//! detection path, and the `PhaseSumLead` partial-sum attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_attacks::{PhaseBurstAttack, PhaseRushingAttack, PhaseSumAttack};
+use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseSumLead};
+use fle_core::Coalition;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t61_e4_phase");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("honest_run", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    PhaseAsyncLead::new(n)
+                        .with_seed(seed)
+                        .with_fn_key(9)
+                        .run_honest(),
+                )
+            });
+        });
+        let k = (n as f64).sqrt() as usize + 3;
+        let coalition = Coalition::equally_spaced(n, k, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("rushing_attack", n), &n, |b, &n| {
+            let p = PhaseAsyncLead::new(n).with_seed(2).with_fn_key(5);
+            b.iter(|| black_box(PhaseRushingAttack::new(3).run(&p, &coalition).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("burst_detection", n), &n, |b, &n| {
+            let p = PhaseAsyncLead::new(n).with_seed(2).with_fn_key(5);
+            let burst_coalition = Coalition::equally_spaced(n, k.min(n / 4), 1).unwrap();
+            b.iter(|| black_box(PhaseBurstAttack::new(1).run(&p, &burst_coalition).unwrap()));
+        });
+        let four = Coalition::equally_spaced(n, 4, 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("e4_sum_attack", n), &n, |b, &n| {
+            let p = PhaseSumLead::new(n).with_seed(2);
+            b.iter(|| black_box(PhaseSumAttack::new(3).run(&p, &four).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

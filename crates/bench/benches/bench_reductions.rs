@@ -1,0 +1,33 @@
+//! Theorem 8.1: coin tosses from FLE executions and elections from
+//! independent coins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fle_core::protocols::{ALeadUni, FleProtocol};
+use fle_core::reductions::{coin_outcome_of_fle, elect_from_coins, CoinFromFle};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t81_reductions");
+    g.bench_function("coin_from_fle_n64", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let coin = CoinFromFle::new(ALeadUni::new(64).with_seed(seed));
+            black_box(coin.toss())
+        });
+    });
+    g.bench_function("elect_from_3_coins_n16", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(elect_from_coins(3, |i| {
+                let fle = ALeadUni::new(16).with_seed(seed * 3 + i as u64);
+                coin_outcome_of_fle(fle.run_honest().outcome)
+            }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Theorem 5.1: honest `A-LEADuni` executions (the Monte-Carlo unit of
+//! the uniformity test) and sub-threshold feasibility scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_attacks::RushingAttack;
+use fle_core::protocols::{ALeadUni, FleProtocol};
+use fle_core::Coalition;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t51_resilience");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("honest_run", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ALeadUni::new(n).with_seed(seed).run_honest())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("infeasibility_scan", n), &n, |b, &n| {
+            let p = ALeadUni::new(n).with_seed(0);
+            b.iter(|| {
+                let mut refused = 0;
+                for k in 2..(n as f64).sqrt() as usize {
+                    let coalition = Coalition::equally_spaced(n, k, 1).unwrap();
+                    if RushingAttack::new(0).plan(&p, &coalition).is_err() {
+                        refused += 1;
+                    }
+                }
+                black_box(refused)
+            });
+        });
+    }
+    g.bench_function("honest_run_large", |b| {
+        let n = fle_bench::BENCH_SIZE_LARGE;
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(ALeadUni::new(n).with_seed(seed).run_honest())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks for the `shamir` experiment row (Section 1.1, asynchronous
+//! fully-connected network): share/reconstruct primitives and full
+//! `A-LEADfc` elections, honest and under the pooling attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_core::protocols::FleProtocol;
+use fle_secretshare::{reconstruct, run_fc_attack, share, ALeadFc, Gf};
+use ring_sim::rng::SplitMix64;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shamir_primitives");
+    for &n in &[8usize, 32, 128] {
+        let t = n.div_ceil(2) - 1;
+        group.bench_with_input(BenchmarkId::new("share", n), &n, |b, &n| {
+            let mut rng = SplitMix64::new(7);
+            b.iter(|| share(Gf::new(42), t, n, &mut rng).expect("valid"));
+        });
+        let mut rng = SplitMix64::new(7);
+        let shares = share(Gf::new(42), t, n, &mut rng).expect("valid");
+        group.bench_with_input(BenchmarkId::new("reconstruct", n), &n, |b, _| {
+            b.iter(|| reconstruct(&shares, t).expect("enough shares"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_elections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a_lead_fc");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("honest", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                ALeadFc::new(n).with_seed(seed).run_honest().outcome
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pooled_attack", n), &n, |b, &n| {
+            let coalition: Vec<usize> = (0..n.div_ceil(2)).collect();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = ALeadFc::new(n).with_seed(seed);
+                run_fc_attack(&p, &coalition, seed % n as u64).outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_elections);
+criterion_main!(benches);

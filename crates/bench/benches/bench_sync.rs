@@ -1,0 +1,49 @@
+//! Lemma D.5 / Section 6: probed executions measuring sent-count
+//! synchronization gaps (the instrumentation overhead matters for
+//! scaling the sync experiment up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_attacks::{cubic_distances, CubicAttack};
+use fle_core::protocols::{ALeadUni, FleProtocol, PhaseAsyncLead};
+use ring_sim::SyncGapProbe;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_probes");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("a_lead_probed_honest", n), &n, |b, &n| {
+            b.iter(|| {
+                let p = ALeadUni::new(n).with_seed(1);
+                let mut probe = SyncGapProbe::new((0..n).collect());
+                let exec = p.run_with_probe(Vec::new(), &mut probe);
+                black_box((exec, probe.max_gap()))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("cubic_probed", n), &n, |b, &n| {
+            let plan = cubic_distances(n).unwrap();
+            b.iter(|| {
+                let p = ALeadUni::new(n).with_seed(1);
+                let mut probe = SyncGapProbe::new(plan.positions().to_vec());
+                let nodes = CubicAttack::new(0).adversary_nodes(&p, &plan).unwrap();
+                let exec = p.run_with_probe(nodes, &mut probe);
+                black_box((exec, probe.max_gap()))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("phase_probed_honest", n), &n, |b, &n| {
+            b.iter(|| {
+                let p = PhaseAsyncLead::new(n).with_seed(1).with_fn_key(2);
+                let mut probe = SyncGapProbe::new((0..n).collect());
+                let exec = p.run_with_probe(Vec::new(), &mut probe);
+                black_box((exec, probe.max_gap()))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("unprobed_honest", n), &n, |b, &n| {
+            b.iter(|| black_box(ALeadUni::new(n).with_seed(1).run_honest()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Theorem 7.2 / Figure 2: Claim F.5 partitions, the quotient-tree
+//! dictatorship, and the Lemma F.2 backward-induction solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_topology::tree_fle::TreeSumFle;
+use fle_topology::two_party::{dichotomy, AlternatingProtocol};
+use fle_topology::{figure2_graph, Graph, TreePartition};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t72_topology");
+    for n in [32usize, 128] {
+        let graph = Graph::random_connected(n, 0.1, 7);
+        g.bench_with_input(BenchmarkId::new("claim_f5_partition", n), &n, |b, _| {
+            b.iter(|| black_box(TreePartition::claim_f5(&graph)));
+        });
+        let partition = TreePartition::claim_f5(&graph);
+        g.bench_with_input(BenchmarkId::new("tree_dictator_run", n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let fle = TreeSumFle::new(&graph, &partition, seed);
+                black_box(fle.run_with_dictator(1))
+            });
+        });
+    }
+    g.bench_function("figure2_partition", |b| {
+        b.iter(|| black_box(figure2_graph()));
+    });
+    g.bench_function("lemma_f2_dichotomy_4rounds", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let p = AlternatingProtocol::random(seed, 4, 2, 4);
+            black_box(dichotomy(&p))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

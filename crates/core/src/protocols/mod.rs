@@ -1,0 +1,142 @@
+//! The paper's ring protocols and a harness for running them, honestly or
+//! under adversarial deviations.
+//!
+//! * [`BasicLead`] — Appendix B's non-resilient strawman.
+//! * [`ALeadUni`] — Abraham et al.'s buffered protocol (paper Section 3).
+//! * [`PhaseAsyncLead`] — the paper's Θ(√n)-resilient protocol (Section 6).
+//! * [`PhaseSumLead`] — the Appendix E.4 ablation (phase validation but
+//!   `sum` instead of a random `f`).
+//! * [`SyncLead`] — the synchronous `(n−1)`-resilient contrast protocol
+//!   from the related work (paper Section 1.1).
+//! * [`SyncRingLead`] — the synchronous *ring* variant: same `(n−1)`
+//!   resilience, delivered purely by round-synchrony on the ring.
+//!
+//! All protocols use 0-indexed processor ids `0..n` with the origin at 0
+//! and outputs in `[0, n)`; see DESIGN.md §4 for the index translation from
+//! the paper's `[1, n]`.
+
+mod a_lead_uni;
+mod basic_lead;
+mod phase;
+mod phase_indexed;
+mod sync_lead;
+mod sync_ring;
+mod wakeup;
+
+pub use a_lead_uni::ALeadUni;
+pub use basic_lead::BasicLead;
+pub use phase::{PhaseAsyncLead, PhaseMsg, PhaseSumLead};
+pub use phase_indexed::{IndexedMsg, IndexedPhaseLead};
+pub use sync_lead::{SyncFixedValue, SyncLead, SyncWaitAndCancel};
+pub use sync_ring::{SyncRingCorruptor, SyncRingLead, SyncRingNode, SyncRingWaiter};
+pub use wakeup::{WakeLead, WakeMsg, WakeNode};
+
+use ring_sim::rng::SplitMix64;
+use ring_sim::{Execution, Node, NodeId, Probe, SimBuilder, Topology};
+
+/// Common interface of the ring fair-leader-election protocols, used by
+/// the experiment harness.
+pub trait FleProtocol {
+    /// Ring size.
+    fn n(&self) -> usize;
+
+    /// Human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Runs an honest execution (all processors follow the protocol).
+    fn run_honest(&self) -> Execution;
+}
+
+/// Derives the secret data values `d_i` that honest processors draw for a
+/// protocol instance seeded with `seed`. Exposed so tests can predict the
+/// honest sum; attack implementations never call this (the adversary does
+/// not know honest secrets).
+pub fn honest_data_values(seed: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| node_rng(seed, i).next_below(n as u64))
+        .collect()
+}
+
+/// The per-node random stream: node `i` of an instance seeded `seed` draws
+/// all its randomness from this generator, data value first.
+pub(crate) fn node_rng(seed: u64, id: NodeId) -> SplitMix64 {
+    SplitMix64::new(seed).derive(id as u64)
+}
+
+/// Runs a ring protocol with some nodes replaced by adversarial behaviours.
+///
+/// `honest` builds the protocol's honest node for an id; `overrides` maps
+/// coalition positions to their deviating strategies. `wakes` lists the
+/// spontaneously-waking nodes in wake order (for the protocols here: only
+/// the origin, except `Basic-LEAD` which wakes everyone).
+///
+/// # Panics
+///
+/// Panics if an override id is out of range or duplicated (programming
+/// error in the attack harness).
+pub fn run_ring<M: 'static>(
+    n: usize,
+    honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
+    overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+    wakes: &[NodeId],
+) -> Execution {
+    run_ring_probed(n, honest, overrides, wakes, None)
+}
+
+/// [`run_ring`] with an optional instrumentation probe.
+///
+/// # Panics
+///
+/// Same conditions as [`run_ring`].
+pub fn run_ring_probed<M: 'static>(
+    n: usize,
+    honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
+    mut overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+    wakes: &[NodeId],
+    probe: Option<&mut dyn Probe<M>>,
+) -> Execution {
+    overrides.sort_by_key(|(id, _)| *id);
+    let mut builder = SimBuilder::new(Topology::ring(n));
+    let mut next_override = overrides.into_iter().peekable();
+    for id in 0..n {
+        if next_override.peek().is_some_and(|(o, _)| *o == id) {
+            let (_, node) = next_override.next().expect("peeked");
+            builder = builder.boxed_node(id, node);
+        } else {
+            builder = builder.boxed_node(id, honest(id));
+        }
+    }
+    assert!(
+        next_override.next().is_none(),
+        "override id out of range or duplicated"
+    );
+    for &w in wakes {
+        builder = builder.wake(w);
+    }
+    if let Some(p) = probe {
+        builder = builder.probe(p);
+    }
+    builder.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_values_are_deterministic_and_in_range() {
+        let a = honest_data_values(42, 16);
+        let b = honest_data_values(42, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| d < 16));
+        let c = honest_data_values(43, 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_rng_streams_differ_between_nodes() {
+        let mut r0 = node_rng(7, 0);
+        let mut r1 = node_rng(7, 1);
+        assert_ne!(r0.next_u64(), r1.next_u64());
+    }
+}

@@ -1,0 +1,268 @@
+//! `SyncLead` — fair leader election on a *synchronous* fully connected
+//! network, resilient to coalitions of `n − 1` (paper Section 1.1, first
+//! scenario, after Abraham et al.).
+//!
+//! Round 0: every processor broadcasts its secret `d_i` — simultaneously,
+//! so nobody's choice can depend on anyone else's. Round 1: every
+//! processor checks it received exactly one value from *every* other
+//! processor (synchrony makes silence detectable — the move that is
+//! impossible in the asynchronous model) and outputs `Σ dᵢ (mod n)`.
+//!
+//! With even one honest processor the sum is uniform no matter what the
+//! other `n − 1` choose, and any attempt to wait (the Claim B.1 move that
+//! demolishes `Basic-LEAD`) is caught as a missing round-0 message. This
+//! is the contrast that motivates the whole paper: the same task needs
+//! `Θ(√n)`-sized machinery once the network is asynchronous.
+
+use super::node_rng;
+use ring_sim::sync::{SyncCtx, SyncExecution, SyncNode, SyncSim};
+use ring_sim::{NodeId, Topology};
+
+/// A `SyncLead` instance on a fully connected synchronous network.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::SyncLead;
+///
+/// let exec = SyncLead::new(8).with_seed(3).run_honest();
+/// assert!(exec.outcome.elected().unwrap() < 8);
+/// assert_eq!(exec.rounds, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncLead {
+    n: usize,
+    seed: u64,
+}
+
+impl SyncLead {
+    /// Creates an instance for `n` processors (seed 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "SyncLead needs n >= 2");
+        Self { n, seed: 0 }
+    }
+
+    /// Sets the randomness seed for the processors' secret values.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The instance seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the honest node for `id`.
+    pub fn honest_node(&self, id: NodeId) -> Box<dyn SyncNode<u64>> {
+        let d = node_rng(self.seed, id).next_below(self.n as u64);
+        Box::new(SyncLeadNode {
+            n: self.n,
+            d,
+        })
+    }
+
+    /// Runs with the coalition positions replaced by `overrides`.
+    pub fn run_with(&self, overrides: Vec<(NodeId, Box<dyn SyncNode<u64>>)>) -> SyncExecution {
+        let mut sim = SyncSim::new(Topology::complete(self.n));
+        let mut overridden: Vec<Option<Box<dyn SyncNode<u64>>>> =
+            (0..self.n).map(|_| None).collect();
+        for (id, node) in overrides {
+            assert!(overridden[id].is_none(), "override {id} duplicated");
+            overridden[id] = Some(node);
+        }
+        for (id, slot) in overridden.into_iter().enumerate() {
+            sim = sim.boxed_node(id, slot.unwrap_or_else(|| self.honest_node(id)));
+        }
+        sim.run()
+    }
+
+    /// Runs an honest execution.
+    pub fn run_honest(&self) -> SyncExecution {
+        self.run_with(Vec::new())
+    }
+}
+
+/// Honest node: broadcast in round 0, validate completeness in round 1.
+struct SyncLeadNode {
+    n: usize,
+    d: u64,
+}
+
+impl SyncNode<u64> for SyncLeadNode {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        match round {
+            0 => {
+                for to in 0..self.n {
+                    if to != ctx.me() {
+                        ctx.send_to(to, self.d);
+                    }
+                }
+            }
+            _ => {
+                // Exactly one message from every other processor, in
+                // sender order — anything else is a detected deviation.
+                let complete = inbox.len() == self.n - 1
+                    && inbox
+                        .iter()
+                        .map(|&(from, _)| from)
+                        .eq((0..self.n).filter(|&i| i != ctx.me()));
+                if !complete {
+                    ctx.abort();
+                    return;
+                }
+                let sum: u64 = self.d + inbox.iter().map(|&(_, v)| v % self.n as u64).sum::<u64>();
+                ctx.terminate(Some(sum % self.n as u64));
+            }
+        }
+    }
+}
+
+/// The Claim B.1 adversary transplanted to the synchronous world: stay
+/// silent in round 0, hoping to pick a cancelling value after seeing
+/// everyone else's. Synchrony defeats it — the missing round-0 message is
+/// detected and every honest processor aborts.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncWaitAndCancel {
+    n: usize,
+    target: u64,
+}
+
+impl SyncWaitAndCancel {
+    /// An adversary aiming (hopelessly) at `target`.
+    pub fn new(n: usize, target: u64) -> Self {
+        Self { n, target }
+    }
+}
+
+impl SyncNode<u64> for SyncWaitAndCancel {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        match round {
+            0 => {} // wait — the fatal move
+            1 => {
+                let others: u64 = inbox.iter().map(|&(_, v)| v % self.n as u64).sum();
+                let own = (self.target + self.n as u64 - others % self.n as u64) % self.n as u64;
+                for to in 0..self.n {
+                    if to != ctx.me() {
+                        ctx.send_to(to, own);
+                    }
+                }
+            }
+            _ => ctx.terminate(Some(self.target)),
+        }
+    }
+}
+
+/// An `n − 1` coalition playing *fixed* (non-random) values but otherwise
+/// complying — the strongest undetectable deviation, against which the
+/// single honest processor's randomness still keeps the election uniform.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncFixedValue {
+    n: usize,
+    value: u64,
+}
+
+impl SyncFixedValue {
+    /// A complying adversary that always "draws" `value`.
+    pub fn new(n: usize, value: u64) -> Self {
+        Self { n, value }
+    }
+}
+
+impl SyncNode<u64> for SyncFixedValue {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        match round {
+            0 => {
+                for to in 0..self.n {
+                    if to != ctx.me() {
+                        ctx.send_to(to, self.value);
+                    }
+                }
+            }
+            _ => {
+                let sum: u64 =
+                    self.value + inbox.iter().map(|&(_, v)| v % self.n as u64).sum::<u64>();
+                ctx.terminate(Some(sum % self.n as u64));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::honest_data_values;
+    use ring_sim::Outcome;
+
+    #[test]
+    fn honest_run_elects_sum_in_two_rounds() {
+        for n in [2, 5, 16] {
+            for seed in 0..5 {
+                let expected = honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
+                let exec = SyncLead::new(n).with_seed(seed).run_honest();
+                assert_eq!(exec.outcome, Outcome::Elected(expected));
+                assert_eq!(exec.rounds, 2);
+                assert_eq!(exec.messages, (n * (n - 1)) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn wait_and_cancel_is_detected() {
+        let n = 8;
+        for seed in 0..10 {
+            let p = SyncLead::new(n).with_seed(seed);
+            let exec = p.run_with(vec![(3, Box::new(SyncWaitAndCancel::new(n, 5)))]);
+            assert!(exec.outcome.is_fail(), "seed={seed}: {:?}", exec.outcome);
+        }
+    }
+
+    #[test]
+    fn n_minus_1_fixed_coalition_cannot_bias() {
+        // Everyone but processor 0 plays value 0; the outcome is then
+        // exactly d_0 — uniform over the honest randomness.
+        let n = 8usize;
+        let trials = 4000u64;
+        let mut counts = vec![0u64; n];
+        for seed in 0..trials {
+            let p = SyncLead::new(n).with_seed(seed);
+            let overrides = (1..n)
+                .map(|id| {
+                    let node: Box<dyn SyncNode<u64>> = Box::new(SyncFixedValue::new(n, 0));
+                    (id, node)
+                })
+                .collect();
+            let exec = p.run_with(overrides);
+            counts[exec.outcome.elected().expect("complying coalition") as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.25, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn the_async_contrast() {
+        // The identical wait-and-cancel move that controls Basic-LEAD
+        // with probability 1 (Claim B.1) fails here with probability 1.
+        use crate::protocols::{BasicLead, FleProtocol};
+        let n = 8;
+        let sync_fail = SyncLead::new(n)
+            .with_seed(1)
+            .run_with(vec![(2, Box::new(SyncWaitAndCancel::new(n, 5)))])
+            .outcome
+            .is_fail();
+        assert!(sync_fail);
+        let basic = BasicLead::new(n).with_seed(1);
+        assert!(basic.run_honest().outcome.elected().is_some());
+    }
+}

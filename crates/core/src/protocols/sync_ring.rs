@@ -1,0 +1,278 @@
+//! `SyncRingLead` — fair leader election on a *synchronous* ring,
+//! resilient to `n − 1` rational agents (paper Section 1.1's second easy
+//! scenario, from Abraham et al.).
+//!
+//! In lock-step rounds, every processor must send exactly one value per
+//! round: its secret `d_i` at round 0, and afterwards a forward of what it
+//! just received. After `n` rounds each processor has seen every secret
+//! exactly once and its own must come full circle last; it elects
+//! `Σ d_i (mod n)`.
+//!
+//! Synchrony is the entire defence. All round-0 messages are committed
+//! *simultaneously*, so no processor can wait out the others' secrets the
+//! way the Claim B.1 adversary does on the asynchronous ring — silence at
+//! any round is immediately visible to the successor, which aborts. The
+//! only adversarial freedom left is corrupting forwarded values, and every
+//! such corruption either breaks some processor's full-circle validation
+//! or splits the honest outputs, failing the election (cf. Lemma 3.3's
+//! conditions). The last free message an adversary sends is committed one
+//! round before it learns its successor-side secrets, mirroring the
+//! Claim D.1 argument with `l = 1`.
+
+use super::node_rng;
+use ring_sim::sync::{SyncCtx, SyncExecution, SyncNode, SyncSim};
+use ring_sim::{NodeId, Topology};
+
+/// A `SyncRingLead` protocol instance.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::SyncRingLead;
+///
+/// let exec = SyncRingLead::new(8).with_seed(5).run_honest();
+/// assert!(exec.outcome.elected().unwrap() < 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncRingLead {
+    n: usize,
+    seed: u64,
+}
+
+impl SyncRingLead {
+    /// Creates an instance for a synchronous ring of `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "SyncRingLead needs n >= 2");
+        Self { n, seed: 0 }
+    }
+
+    /// Sets the randomness seed for the honest secret values.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Protocol name for tables.
+    pub fn name(&self) -> &'static str {
+        "SyncRingLead"
+    }
+
+    /// Builds the honest node for position `id`.
+    pub fn honest_node(&self, id: NodeId) -> SyncRingNode {
+        SyncRingNode {
+            n: self.n as u64,
+            successor: (id + 1) % self.n,
+            d: node_rng(self.seed, id).next_below(self.n as u64),
+            sum: 0,
+        }
+    }
+
+    /// Runs with coalition positions replaced by `overrides`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override id is out of range or duplicated.
+    pub fn run_with(
+        &self,
+        mut overrides: Vec<(NodeId, Box<dyn SyncNode<u64>>)>,
+    ) -> SyncExecution {
+        overrides.sort_by_key(|(id, _)| *id);
+        let mut sim = SyncSim::new(Topology::ring(self.n)).max_rounds(self.n + 4);
+        let mut next = overrides.into_iter().peekable();
+        for id in 0..self.n {
+            if next.peek().is_some_and(|(o, _)| *o == id) {
+                let (_, node) = next.next().expect("peeked");
+                sim = sim.boxed_node(id, node);
+            } else {
+                sim = sim.node(id, self.honest_node(id));
+            }
+        }
+        assert!(next.next().is_none(), "override id out of range or duplicated");
+        sim.run()
+    }
+
+    /// Runs an honest execution.
+    pub fn run_honest(&self) -> SyncExecution {
+        self.run_with(Vec::new())
+    }
+}
+
+/// The honest synchronous-ring processor.
+#[derive(Debug, Clone)]
+pub struct SyncRingNode {
+    n: u64,
+    successor: NodeId,
+    d: u64,
+    sum: u64,
+}
+
+impl SyncNode<u64> for SyncRingNode {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        if round == 0 {
+            // Commit the secret before anything can be learned.
+            ctx.send_to(self.successor, self.d);
+            return;
+        }
+        // Silence (or chatter) from the predecessor is a detected deviation.
+        let [(_, msg)] = inbox else {
+            ctx.abort();
+            return;
+        };
+        let v = msg % self.n;
+        if (round as u64) < self.n {
+            self.sum = (self.sum + v) % self.n;
+            ctx.send_to(self.successor, v);
+        } else {
+            // Round n: the value coming full circle must be our own.
+            if v == self.d {
+                ctx.terminate(Some((self.sum + self.d) % self.n));
+            } else {
+                ctx.abort();
+            }
+        }
+    }
+}
+
+/// An adversary that stays silent at round 0, hoping to pick its value
+/// after seeing others' — the Claim B.1 rushing strategy, which synchrony
+/// defeats (its successor sees an empty round-1 inbox and aborts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncRingWaiter;
+
+impl SyncNode<u64> for SyncRingWaiter {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        // Round 0: stay silent. Later: behave like a pipe and output 0,
+        // trying to look busy.
+        if round > 0 {
+            if let [(_, msg)] = inbox {
+                let to = ctx.out_neighbors().to_vec();
+                ctx.send_to(to[0], *msg);
+            } else {
+                ctx.terminate(Some(0));
+            }
+        }
+    }
+}
+
+/// An adversary that forwards a corrupted value at a chosen round —
+/// detected by the full-circle validation (Lemma 3.3 condition 3).
+#[derive(Debug, Clone)]
+pub struct SyncRingCorruptor {
+    inner: SyncRingNode,
+    corrupt_round: usize,
+}
+
+impl SyncRingCorruptor {
+    /// Wraps the honest behaviour of position `id` of `protocol`, but adds
+    /// 1 (mod n) to the value it forwards at `corrupt_round`.
+    pub fn new(protocol: &SyncRingLead, id: NodeId, corrupt_round: usize) -> Self {
+        Self { inner: protocol.honest_node(id), corrupt_round }
+    }
+}
+
+impl SyncNode<u64> for SyncRingCorruptor {
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+        if round == self.corrupt_round && round > 0 {
+            if let [(_, msg)] = inbox {
+                let v = (msg + 1) % self.inner.n;
+                self.inner.sum = (self.inner.sum + msg % self.inner.n) % self.inner.n;
+                ctx.send_to(self.inner.successor, v);
+                return;
+            }
+        }
+        self.inner.on_round(round, inbox, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::honest_data_values;
+    use ring_sim::Outcome;
+
+    #[test]
+    fn honest_run_elects_the_sum() {
+        for n in [2usize, 3, 5, 16] {
+            for seed in 0..4 {
+                let p = SyncRingLead::new(n).with_seed(seed);
+                let expect = honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
+                let exec = p.run_honest();
+                assert_eq!(exec.outcome, Outcome::Elected(expect), "n={n} seed={seed}");
+                assert_eq!(exec.messages, (n * n) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_is_uniform_over_seeds() {
+        let n = 8usize;
+        let mut counts = vec![0u32; n];
+        for seed in 0..2000 {
+            let out = SyncRingLead::new(n).with_seed(seed).run_honest().outcome;
+            counts[out.elected().expect("honest") as usize] += 1;
+        }
+        let expect = 2000.0 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.3, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn waiting_adversary_is_detected() {
+        // The Claim B.1 rushing strategy fails the whole run instead of
+        // biasing it: synchrony makes silence visible.
+        let p = SyncRingLead::new(6).with_seed(2);
+        let exec = p.run_with(vec![(3, Box::new(SyncRingWaiter))]);
+        assert!(exec.outcome.is_fail());
+    }
+
+    #[test]
+    fn corrupting_any_round_is_detected() {
+        let n = 6;
+        for round in 1..n {
+            let p = SyncRingLead::new(n).with_seed(7);
+            let bad = SyncRingCorruptor::new(&p, 2, round);
+            let exec = p.run_with(vec![(2, Box::new(bad))]);
+            assert!(exec.outcome.is_fail(), "corruption at round {round} undetected");
+        }
+    }
+
+    #[test]
+    fn nearly_full_coalition_cannot_bias() {
+        // n − 1 fixed-value adversaries: the lone honest processor's secret
+        // still makes every outcome equally likely over seeds.
+        let n = 4usize;
+        let mut counts = vec![0u32; n];
+        for seed in 0..800 {
+            let p = SyncRingLead::new(n).with_seed(seed);
+            let overrides: Vec<(NodeId, Box<dyn SyncNode<u64>>)> = (1..n)
+                .map(|id| {
+                    let mut inner = p.honest_node(id);
+                    inner.d = 0; // the coalition pins its values
+                    (id, Box::new(inner) as Box<dyn SyncNode<u64>>)
+                })
+                .collect();
+            let exec = p.run_with(overrides);
+            counts[exec.outcome.elected().expect("valid run") as usize] += 1;
+        }
+        let expect = 800.0 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.3, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn tiny_ring_rejected() {
+        let _ = SyncRingLead::new(1);
+    }
+}

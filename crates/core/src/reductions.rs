@@ -1,0 +1,203 @@
+//! Fair Leader Election ⇄ Fair Coin Toss reductions (paper Section 8,
+//! Theorem 8.1).
+//!
+//! * FLE → coin toss: elect a leader, output its lowest bit. An
+//!   `ε`-`k`-unbiased FLE yields a `(½nε)`-`k`-unbiased coin.
+//! * Coin toss → FLE: run `log₂(n)` *independent* coin tosses and elect
+//!   the processor whose id is the concatenation of the results. An
+//!   `ε`-`k`-unbiased coin yields an FLE where every leader's probability
+//!   is at most `(½ + ε)^{log₂ n}`.
+//!
+//! The paper notes the independence assumption for the second direction;
+//! the harness here makes it explicit by drawing each toss from a
+//! caller-supplied trial function indexed by toss number.
+
+use crate::protocols::FleProtocol;
+use ring_sim::{FailReason, Outcome};
+
+/// Wraps an FLE protocol as a coin-toss protocol: the coin is the lowest
+/// bit of the elected leader.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::BasicLead;
+/// use fle_core::reductions::CoinFromFle;
+///
+/// let coin = CoinFromFle::new(BasicLead::new(8).with_seed(3));
+/// let b = coin.toss().elected().unwrap();
+/// assert!(b == 0 || b == 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinFromFle<P> {
+    inner: P,
+}
+
+impl<P: FleProtocol> CoinFromFle<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Runs one coin toss: `Elected(j)` becomes `Elected(j mod 2)`,
+    /// failures stay failures.
+    pub fn toss(&self) -> Outcome {
+        match self.inner.run_honest().outcome {
+            Outcome::Elected(j) => Outcome::Elected(j % 2),
+            fail => fail,
+        }
+    }
+}
+
+/// Maps an FLE outcome to the induced coin outcome (the reduction's core,
+/// usable on outcomes produced under deviations too).
+pub fn coin_outcome_of_fle(outcome: Outcome) -> Outcome {
+    match outcome {
+        Outcome::Elected(j) => Outcome::Elected(j % 2),
+        fail => fail,
+    }
+}
+
+/// Elects a leader among `n = 2^bits` processors from `bits` independent
+/// coin tosses: toss `i` supplies bit `i` of the leader id. Any failed
+/// toss fails the election.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::reductions::elect_from_coins;
+/// use ring_sim::Outcome;
+///
+/// // Three deterministic tosses 1, 0, 1 elect leader 0b101 = 5.
+/// let out = elect_from_coins(3, |i| Outcome::Elected([1, 0, 1][i]));
+/// assert_eq!(out, Outcome::Elected(5));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 63`.
+pub fn elect_from_coins(bits: usize, mut toss: impl FnMut(usize) -> Outcome) -> Outcome {
+    assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+    let mut leader = 0u64;
+    for i in 0..bits {
+        match toss(i) {
+            Outcome::Elected(b) if b <= 1 => leader |= b << i,
+            Outcome::Elected(_) => return Outcome::Fail(FailReason::Disagreement),
+            fail @ Outcome::Fail(_) => return fail,
+        }
+    }
+    Outcome::Elected(leader)
+}
+
+/// Theorem 8.1, first direction: the coin bias implied by an
+/// `ε`-`k`-unbiased FLE on `n` processors is `½·n·ε` (the coin probability
+/// is at most `½ + ½nε`).
+pub fn coin_bias_from_fle(epsilon: f64, n: usize) -> f64 {
+    0.5 * n as f64 * epsilon
+}
+
+/// Theorem 8.1, second direction: with an `ε`-`k`-unbiased coin, every
+/// leader's probability after `log₂(n)` independent tosses is at most
+/// `(½ + ε)^{log₂ n}`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn fle_prob_bound_from_coin(epsilon: f64, n: usize) -> f64 {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    let bits = n.trailing_zeros();
+    (0.5 + epsilon).powi(bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{ALeadUni, BasicLead};
+
+    #[test]
+    fn coin_from_fle_is_fair_over_seeds() {
+        let trials = 2000;
+        let mut ones = 0;
+        for seed in 0..trials {
+            let coin = CoinFromFle::new(ALeadUni::new(8).with_seed(seed));
+            match coin.toss() {
+                Outcome::Elected(1) => ones += 1,
+                Outcome::Elected(0) => {}
+                other => panic!("honest toss failed: {other:?}"),
+            }
+        }
+        let freq = ones as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.05, "ones frequency {freq}");
+    }
+
+    #[test]
+    fn coin_outcome_preserves_failures() {
+        let fail = Outcome::Fail(FailReason::Abort);
+        assert_eq!(coin_outcome_of_fle(fail), fail);
+        assert_eq!(coin_outcome_of_fle(Outcome::Elected(7)), Outcome::Elected(1));
+        assert_eq!(coin_outcome_of_fle(Outcome::Elected(4)), Outcome::Elected(0));
+    }
+
+    #[test]
+    fn elect_from_coins_concatenates_bits() {
+        let out = elect_from_coins(4, |i| Outcome::Elected(((i + 1) % 2) as u64));
+        // bits: i=0 -> 1, i=1 -> 0, i=2 -> 1, i=3 -> 0  => 0b0101 = 5
+        assert_eq!(out, Outcome::Elected(5));
+    }
+
+    #[test]
+    fn elect_from_coins_propagates_failure() {
+        let out = elect_from_coins(3, |i| {
+            if i == 1 {
+                Outcome::Fail(FailReason::Deadlock)
+            } else {
+                Outcome::Elected(0)
+            }
+        });
+        assert_eq!(out, Outcome::Fail(FailReason::Deadlock));
+    }
+
+    #[test]
+    fn elect_from_coins_rejects_non_binary_coin() {
+        let out = elect_from_coins(2, |_| Outcome::Elected(2));
+        assert!(out.is_fail());
+    }
+
+    #[test]
+    fn elect_from_fle_coins_is_roughly_uniform() {
+        // 2 bits from the parity of Basic-LEAD over independent seeds.
+        let n = 4usize;
+        let trials = 2000;
+        let mut counts = vec![0u32; n];
+        for t in 0..trials {
+            let out = elect_from_coins(2, |i| {
+                CoinFromFle::new(BasicLead::new(8).with_seed(t * 2 + i as u64)).toss()
+            });
+            counts[out.elected().expect("honest") as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.3, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn bias_bound_formulas() {
+        assert!((coin_bias_from_fle(0.01, 100) - 0.5).abs() < 1e-12);
+        let b = fle_prob_bound_from_coin(0.0, 8);
+        assert!((b - 0.125).abs() < 1e-12);
+        let b = fle_prob_bound_from_coin(0.1, 4);
+        assert!((b - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fle_bound_requires_power_of_two() {
+        let _ = fle_prob_bound_from_coin(0.0, 6);
+    }
+}

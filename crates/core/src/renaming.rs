@@ -1,0 +1,356 @@
+//! Fair renaming for rational agents — the third building block Afek et
+//! al. [5] derive from knowledge sharing, reproduced here on top of the
+//! ring FLE protocols and the Section 8 reduction machinery.
+//!
+//! A *fair renaming* assigns every processor a distinct new name in
+//! `[0, n)` such that no coalition can bias the distribution of any
+//! processor's name. Two strengths are provided:
+//!
+//! * [`rotation_renaming`] — one election: the elected value `S` defines
+//!   `name_i = (i + S) mod n`. Names are distinct and every individual
+//!   processor's name is uniform over `[0, n)` (marginal fairness), but
+//!   names are correlated — the scheme costs exactly one election.
+//! * [`permutation_renaming`] — a uniformly random *permutation* of the
+//!   names, built from unbiased bits extracted from independent elections
+//!   (FLE → coin-toss direction of Theorem 8.1) and consumed by a
+//!   rejection-sampled Fisher–Yates shuffle. Costs `Θ(log n!)` bits ≈
+//!   `n log n` coin tosses, each `⌊log₂ n⌋` of which come from one
+//!   election on a power-of-two subring.
+//!
+//! Both inherit their resilience from the underlying FLE protocol: a
+//! coalition that cannot bias the elections cannot bias the names.
+
+use crate::protocols::{FleProtocol, PhaseAsyncLead};
+use ring_sim::Outcome;
+
+/// Why a renaming attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenamingError {
+    /// An underlying election failed (some processor aborted).
+    ElectionFailed {
+        /// The 0-based index of the failed election.
+        round: usize,
+    },
+    /// The bit budget ran out before the shuffle finished (pathological
+    /// rejection streak; retry with more elections).
+    OutOfEntropy,
+}
+
+impl std::fmt::Display for RenamingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenamingError::ElectionFailed { round } => {
+                write!(f, "underlying election {round} failed")
+            }
+            RenamingError::OutOfEntropy => write!(f, "ran out of election-derived entropy"),
+        }
+    }
+}
+
+impl std::error::Error for RenamingError {}
+
+/// A completed renaming: `names[i]` is processor `i`'s new name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Renaming {
+    /// The assigned names, a permutation of `0..n`.
+    pub names: Vec<usize>,
+    /// How many elections were run to produce it.
+    pub elections: usize,
+}
+
+impl Renaming {
+    /// `true` iff the names are a permutation of `0..n` (the safety
+    /// property of renaming).
+    pub fn is_valid(&self) -> bool {
+        let n = self.names.len();
+        let mut seen = vec![false; n];
+        self.names.iter().all(|&x| {
+            if x < n && !seen[x] {
+                seen[x] = true;
+                true
+            } else {
+                false
+            }
+        })
+    }
+}
+
+/// Rotation renaming on a `PhaseAsyncLead` ring: one election, names
+/// `(i + S) mod n`.
+///
+/// # Errors
+///
+/// [`RenamingError::ElectionFailed`] if the election fails (only possible
+/// under deviation).
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::renaming::rotation_renaming;
+///
+/// let renaming = rotation_renaming(8, 42)?;
+/// assert!(renaming.is_valid());
+/// assert_eq!(renaming.elections, 1);
+/// # Ok::<(), fle_core::renaming::RenamingError>(())
+/// ```
+pub fn rotation_renaming(n: usize, seed: u64) -> Result<Renaming, RenamingError> {
+    let protocol = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(seed ^ 0x5eed);
+    match protocol.run_honest().outcome {
+        Outcome::Elected(s) => Ok(Renaming {
+            names: (0..n).map(|i| (i + s as usize) % n).collect(),
+            elections: 1,
+        }),
+        Outcome::Fail(_) => Err(RenamingError::ElectionFailed { round: 0 }),
+    }
+}
+
+/// A stream of unbiased bits extracted from independent elections via the
+/// FLE → coin reduction: each election over `n` processors yields
+/// `⌊log₂ n⌋` bits when its leader falls below the largest power of two
+/// `≤ n` (rejection keeps the bits exactly uniform).
+struct ElectionBitSource<F> {
+    elect: F,
+    round: usize,
+    buffer: u64,
+    buffered: u32,
+    bits_per_election: u32,
+    keep_below: u64,
+    max_elections: usize,
+}
+
+impl<F: FnMut(usize) -> Outcome> ElectionBitSource<F> {
+    fn new(n: usize, max_elections: usize, elect: F) -> Self {
+        let bits = (usize::BITS - 1 - n.leading_zeros()).max(1);
+        ElectionBitSource {
+            elect,
+            round: 0,
+            buffer: 0,
+            buffered: 0,
+            bits_per_election: bits,
+            keep_below: 1u64 << bits,
+            max_elections,
+        }
+    }
+
+    fn next_bit(&mut self) -> Result<u64, RenamingError> {
+        while self.buffered == 0 {
+            if self.round >= self.max_elections {
+                return Err(RenamingError::OutOfEntropy);
+            }
+            let round = self.round;
+            self.round += 1;
+            match (self.elect)(round) {
+                Outcome::Elected(j) if j < self.keep_below => {
+                    self.buffer = j;
+                    self.buffered = self.bits_per_election;
+                }
+                Outcome::Elected(_) => {} // rejected: keeps bits unbiased
+                Outcome::Fail(_) => return Err(RenamingError::ElectionFailed { round }),
+            }
+        }
+        self.buffered -= 1;
+        let bit = self.buffer & 1;
+        self.buffer >>= 1;
+        Ok(bit)
+    }
+
+    /// Uniform draw from `0..bound` by rejection over `⌈log₂ bound⌉` bits.
+    fn next_below(&mut self, bound: u64) -> Result<u64, RenamingError> {
+        debug_assert!(bound >= 1);
+        if bound == 1 {
+            return Ok(0);
+        }
+        let bits = 64 - (bound - 1).leading_zeros();
+        loop {
+            let mut v = 0u64;
+            for _ in 0..bits {
+                v = (v << 1) | self.next_bit()?;
+            }
+            if v < bound {
+                return Ok(v);
+            }
+        }
+    }
+}
+
+/// Permutation renaming: a uniformly random permutation of `0..n` driven
+/// entirely by election-derived unbiased bits (Fisher–Yates with
+/// rejection sampling).
+///
+/// `elect` runs the `round`-th independent election and returns its
+/// outcome; it is the injection point for deviations in tests. Use
+/// [`permutation_renaming`] for the standard honest instantiation.
+///
+/// # Errors
+///
+/// Propagates election failures and reports entropy exhaustion after
+/// `max_elections` elections.
+pub fn permutation_renaming_with(
+    n: usize,
+    max_elections: usize,
+    elect: impl FnMut(usize) -> Outcome,
+) -> Result<Renaming, RenamingError> {
+    let mut source = ElectionBitSource::new(n, max_elections, elect);
+    let mut names: Vec<usize> = (0..n).collect();
+    // Fisher–Yates: uniform over all n! permutations given uniform draws.
+    for i in (1..n).rev() {
+        let j = source.next_below(i as u64 + 1)? as usize;
+        names.swap(i, j);
+    }
+    Ok(Renaming { names, elections: source.round })
+}
+
+/// Permutation renaming over honest `PhaseAsyncLead` elections with
+/// derived seeds.
+///
+/// # Errors
+///
+/// Same conditions as [`permutation_renaming_with`].
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::renaming::permutation_renaming;
+///
+/// let renaming = permutation_renaming(8, 7)?;
+/// assert!(renaming.is_valid());
+/// # Ok::<(), fle_core::renaming::RenamingError>(())
+/// ```
+pub fn permutation_renaming(n: usize, seed: u64) -> Result<Renaming, RenamingError> {
+    // Entropy budget: n log n bits ≈ (n log n / log n) elections, padded
+    // generously for rejections.
+    let budget = 8 * n + 64;
+    permutation_renaming_with(n, budget, |round| {
+        PhaseAsyncLead::new(n)
+            .with_seed(seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_fn_key(seed ^ round as u64)
+            .run_honest()
+            .outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_sim::FailReason;
+
+    #[test]
+    fn rotation_names_are_valid_and_marginally_uniform() {
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for seed in 0..400 {
+            let r = rotation_renaming(n, seed).expect("honest elections succeed");
+            assert!(r.is_valid());
+            counts[r.names[3]] += 1;
+        }
+        let expect = 400.0 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.4, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_names_are_valid() {
+        for seed in 0..20 {
+            let r = permutation_renaming(6, seed).expect("honest elections succeed");
+            assert!(r.is_valid(), "seed {seed}: {:?}", r.names);
+            assert!(r.elections >= 1);
+        }
+    }
+
+    #[test]
+    fn permutations_are_uniform_over_seeds() {
+        // Drive the shuffle with synthetic uniform elections (n = 3 has
+        // 6 permutations — enough resolution for a cheap uniformity check
+        // of the bit-extraction + Fisher–Yates pipeline).
+        use ring_sim::rng::SplitMix64;
+        let mut counts = std::collections::HashMap::new();
+        let trials = 1200;
+        for seed in 0..trials {
+            let mut rng = SplitMix64::new(seed);
+            let r = permutation_renaming_with(3, 200, |_| Outcome::Elected(rng.next_below(3)))
+                .expect("plenty of entropy");
+            *counts.entry(r.names.clone()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 6, "{counts:?}");
+        let expect = trials as f64 / 6.0;
+        for (p, &c) in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.35,
+                "permutation {p:?} count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_elections_reach_every_small_permutation() {
+        // n = 4: all 24 permutations appear over enough seeds.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..400 {
+            let r = permutation_renaming(4, seed).expect("honest");
+            assert!(r.is_valid());
+            seen.insert(r.names.clone());
+        }
+        assert_eq!(seen.len(), 24, "saw only {} permutations", seen.len());
+    }
+
+    #[test]
+    fn election_failure_propagates() {
+        let err = permutation_renaming_with(4, 10, |round| {
+            if round == 2 {
+                Outcome::Fail(FailReason::Abort)
+            } else {
+                Outcome::Elected(round as u64 % 4)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, RenamingError::ElectionFailed { round: 2 });
+    }
+
+    #[test]
+    fn entropy_exhaustion_is_reported() {
+        // Elections that always land on the rejected value 3 of a 3-ring
+        // (keep_below = 2) never produce bits.
+        let err = permutation_renaming_with(3, 5, |_| Outcome::Elected(2)).unwrap_err();
+        assert_eq!(err, RenamingError::OutOfEntropy);
+    }
+
+    #[test]
+    fn single_processor_renaming_is_trivial() {
+        let r = permutation_renaming_with(1, 0, |_| unreachable!("no bits needed"))
+            .expect("empty shuffle");
+        assert_eq!(r.names, vec![0]);
+        assert_eq!(r.elections, 0);
+    }
+
+    #[test]
+    fn rejection_keeps_draws_uniform() {
+        // Drive the bit source with a deterministic cycling leader and
+        // check next_below(3) never returns 3 and hits all of 0..3.
+        let mut hits = [0u32; 3];
+        let outcomes: Vec<u64> = (0..200).map(|i| i % 4).collect();
+        let mut idx = 0;
+        let mut source = ElectionBitSource::new(4, 1000, |_| {
+            let o = outcomes[idx % outcomes.len()];
+            idx += 1;
+            Outcome::Elected(o)
+        });
+        for _ in 0..60 {
+            let v = source.next_below(3).expect("enough entropy") as usize;
+            hits[v] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 0), "{hits:?}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(
+            RenamingError::ElectionFailed { round: 3 }.to_string(),
+            "underlying election 3 failed"
+        );
+        assert_eq!(
+            RenamingError::OutOfEntropy.to_string(),
+            "ran out of election-derived entropy"
+        );
+    }
+}

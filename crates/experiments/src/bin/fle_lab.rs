@@ -1,0 +1,51 @@
+//! `fle-lab` — run the reproduction experiments.
+//!
+//! ```text
+//! fle-lab all              # every experiment, full sizes
+//! fle-lab t42 t61 --quick  # selected experiments, smoke-test sizes
+//! fle-lab --list           # show the registry
+//! ```
+
+use fle_experiments::{find, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    if list || ids.is_empty() {
+        eprintln!("experiments:");
+        for e in EXPERIMENTS {
+            eprintln!("  {:<5} {}", e.id, e.description);
+        }
+        eprintln!("\nusage: fle-lab <id>.. | all [--quick]");
+        if !list {
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let selected: Vec<&fle_experiments::Experiment> =
+        if ids.iter().any(|id| id.as_str() == "all") {
+            EXPERIMENTS.iter().collect()
+        } else {
+            ids.iter()
+                .map(|id| {
+                    find(id).unwrap_or_else(|| {
+                        eprintln!("unknown experiment '{id}' (try --list)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        };
+
+    for e in selected {
+        eprintln!("# {} — {}", e.id, e.description);
+        let start = std::time::Instant::now();
+        for table in (e.run)(quick) {
+            println!("{table}");
+        }
+        eprintln!("  [{}: {:.1?}]\n", e.id, start.elapsed());
+    }
+}

@@ -1,0 +1,82 @@
+//! Conjecture 4.7: the open gap of the paper.
+//!
+//! Theorem 5.1 proves `A-LEADuni` resilient up to `k₀ = ¼·n^{1/4}`;
+//! Theorem 4.3 breaks it at `k ≥ 2·∛n`; the paper conjectures the truth
+//! is `Θ(∛n)` (resilient for `k ≤ α·∛n`, some `α > 1/8`). This
+//! experiment maps the gap: for each `n`, the largest coalition size for
+//! which *no* attack in this repository can be mounted, and the smallest
+//! for which one can — i.e. the empirical bracket on the conjecture's α.
+//!
+//! The attack-side boundary is exact: the cubic layout exists iff
+//! `(k−1)k(k+1)/2 ≥ n − k`, giving `k_min ≈ (2n)^{1/3} ≈ 1.26·∛n` — so
+//! empirically `α ≤ 1.26` and the conjecture's `α > 1/8` leaves a
+//! ten-fold corridor the paper calls open.
+
+use crate::Table;
+use fle_attacks::{plan_with_k, RushingAttack};
+use fle_core::protocols::ALeadUni;
+use fle_core::Coalition;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick {
+        &[64, 512]
+    } else {
+        &[64, 512, 4096, 32768]
+    };
+    let mut t = Table::new(
+        "c47: the Conjecture 4.7 gap for A-LEADuni",
+        &[
+            "n",
+            "proved k0 = n^(1/4)/4",
+            "max unattackable k",
+            "min attack k",
+            "min-attack k / cbrt(n)",
+            "conjecture alpha > 1/8",
+        ],
+    );
+    for &n in sizes {
+        let k0 = ((n as f64).powf(0.25) / 4.0).floor().max(1.0) as usize;
+        // Smallest k where *any* implemented attack becomes mountable:
+        // equally-spaced rushing or the cubic layout.
+        let min_attack = (2..n)
+            .find(|&k| {
+                plan_with_k(n, k).is_ok()
+                    || Coalition::equally_spaced(n, k, 1)
+                        .is_ok_and(|c| RushingAttack::new(0).plan(&ALeadUni::new(n), &c).is_ok())
+            })
+            .unwrap_or(n);
+        let cbrt = (n as f64).cbrt();
+        t.row([
+            n.to_string(),
+            k0.to_string(),
+            (min_attack - 1).to_string(),
+            min_attack.to_string(),
+            format!("{:.2}", min_attack as f64 / cbrt),
+            format!("open for k in ({k0}, {})", min_attack - 1),
+        ]);
+    }
+    t.note("attack boundary is exact: cubic capacity (k-1)k(k+1)/2 >= n-k, i.e. ~1.26 cbrt(n)");
+    t.note("the conjecture claims resilience for k <= alpha*cbrt(n), alpha > 1/8 — the corridor below 1.26");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn attack_boundary_is_about_1_26_cbrt() {
+        let t = &super::run(true)[0];
+        let s = t.render();
+        for line in s
+            .lines()
+            .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        {
+            let ratio: f64 = line
+                .split_whitespace()
+                .nth(4)
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            assert!((1.0..=1.6).contains(&ratio), "{line}");
+        }
+    }
+}

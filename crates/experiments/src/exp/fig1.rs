@@ -1,0 +1,57 @@
+//! Figure 1: adversary locations and honest segments on the ring.
+//!
+//! The paper's figure shows a ring with adversaries `a_j` separated by
+//! honest segments `I_j` of lengths `l_j`. This experiment renders the
+//! layouts every attack in the paper depends on and tabulates their
+//! segment statistics.
+
+use crate::Table;
+use fle_core::Coalition;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 32 } else { 64 };
+    let mut layout = Table::new(
+        "fig1: coalition layouts (A = adversary, . = honest)",
+        &["layout", "ring"],
+    );
+    let k = (n as f64).sqrt() as usize;
+    let equally = Coalition::equally_spaced(n, k, 1).expect("valid");
+    layout.row(["equally spaced k=sqrt(n)", &equally.render_ascii(n)]);
+    let consecutive = Coalition::consecutive(n, k, 1).expect("valid");
+    layout.row(["consecutive k=sqrt(n)", &consecutive.render_ascii(n)]);
+    let random = Coalition::random_bernoulli(n, (k as f64) / n as f64, 7).expect("non-trivial");
+    layout.row(["bernoulli p=k/n", &random.render_ascii(n)]);
+
+    let mut stats = Table::new(
+        "fig1: honest segment statistics (Defs 3.1, 3.2)",
+        &["layout", "n", "k", "exposed", "min l_j", "max l_j", "sum l_j"],
+    );
+    for (name, c) in [
+        ("equally spaced", &equally),
+        ("consecutive", &consecutive),
+        ("bernoulli", &random),
+    ] {
+        stats.row([
+            name.to_string(),
+            c.n().to_string(),
+            c.k().to_string(),
+            c.exposed().len().to_string(),
+            c.min_distance().to_string(),
+            c.max_distance().to_string(),
+            c.distances().iter().sum::<usize>().to_string(),
+        ]);
+    }
+    stats.note("sum l_j = n - k always (the segments partition the honest processors)");
+    vec![layout, stats]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_without_panicking() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[1].render().contains("equally spaced"));
+    }
+}

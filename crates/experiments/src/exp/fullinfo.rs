@@ -1,0 +1,140 @@
+//! Section 1.1 (full-information model): the classic coin-flipping and
+//! leader-election landscape the paper builds on — Ben-Or & Linial's
+//! one-round games and iterated majority, Saks' baton passing, and the
+//! lightest-bin stand-in for the linear-resilience constructions.
+//!
+//! Paper claims reproduced in shape:
+//! * one rushing player biases majority by `Θ(1/√n)` and controls parity
+//!   outright ([10]);
+//! * iterated majority-of-3 falls to exactly `n^{log₃ 2}` adversarial
+//!   leaves;
+//! * baton passing resists `O(n / log n)` but not linear coalitions [26];
+//! * plain two-bin lightest-bin — the folklore building block behind the
+//!   linear-resilience constructions [9, 11, 25] — falls even faster
+//!   than baton passing against a rushing coalition (its fraction
+//!   roughly doubles per round), quantifying why those constructions
+//!   need many bins, round budgets and committee endgames.
+
+use super::{fmt_eps, fmt_rate};
+use crate::Table;
+use fle_fullinfo::{
+    coalition_power, BatonGame, CoinFunction, IteratedMajority, LightestBin, Majority, Parity,
+    Tribes,
+};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut onebit = Table::new(
+        "fullinfo: one-round games, exact rushing-coalition power",
+        &["function", "k", "honest Pr[1]", "force 1", "control", "bias"],
+    );
+    let sizes: &[usize] = if quick { &[9] } else { &[9, 15, 21] };
+    for &n in sizes {
+        let mut ks = vec![1usize, 2, (n as f64).sqrt() as usize, n / 3];
+        ks.dedup();
+        for k in ks {
+            let mask = (1u64 << k) - 1;
+            let maj = Majority::new(n);
+            let p = coalition_power(&maj, mask);
+            onebit.row([
+                maj.name(),
+                k.to_string(),
+                fmt_rate(p.honest_one),
+                fmt_rate(p.force_one),
+                fmt_rate(p.control),
+                fmt_eps(p.bias()),
+            ]);
+        }
+        let par = Parity::new(n);
+        let p = coalition_power(&par, 1);
+        onebit.row([
+            par.name(),
+            "1".to_string(),
+            fmt_rate(p.honest_one),
+            fmt_rate(p.force_one),
+            fmt_rate(p.control),
+            fmt_eps(p.bias()),
+        ]);
+    }
+    let tribes = Tribes::new(3, if quick { 3 } else { 5 });
+    let p = coalition_power(&tribes, 0b111);
+    onebit.row([
+        tribes.name(),
+        "3".to_string(),
+        fmt_rate(p.honest_one),
+        fmt_rate(p.force_one),
+        fmt_rate(p.control),
+        fmt_eps(p.bias()),
+    ]);
+    onebit.note("majority: one voter swings Theta(1/sqrt(n)); parity: one rushing voter is a dictator");
+
+    let mut itmaj = Table::new(
+        "fullinfo: iterated majority-of-3, control threshold 2^h = n^0.63",
+        &["height", "n", "2^h", "cheapest-set control", "random k=2^h-1 control"],
+    );
+    let heights: &[u32] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
+    for &h in heights {
+        let g = IteratedMajority::new(h);
+        let cheap = g.cheapest_controlling_set();
+        let ctrl = g.control_probability(&cheap);
+        let rand_ctrl = g.random_coalition_control(g.min_control_cost() - 1, 7, if quick { 20 } else { 80 });
+        itmaj.row([
+            h.to_string(),
+            g.n().to_string(),
+            g.min_control_cost().to_string(),
+            fmt_rate(ctrl),
+            fmt_rate(rand_ctrl),
+        ]);
+    }
+    itmaj.note("the structured 2^h coalition always controls; smaller random ones rarely do");
+
+    let mut election = Table::new(
+        "fullinfo: leader election, Pr[corrupt leader] vs fair share k/n",
+        &["n", "k", "fair k/n", "baton (exact)", "baton bias", "lightest-bin", "bin bias"],
+    );
+    let n = if quick { 32 } else { 64 };
+    let ks: &[usize] = if quick { &[1, 4, 8, 16] } else { &[1, 4, 8, 16, 32, 48] };
+    let trials = if quick { 200 } else { 800 };
+    for &k in ks {
+        let baton = BatonGame::new(n, k);
+        let bin = LightestBin::new(n, k);
+        let bin_rate = bin.corrupt_leader_rate(3, trials);
+        election.row([
+            n.to_string(),
+            k.to_string(),
+            fmt_rate(k as f64 / n as f64),
+            fmt_rate(baton.corrupt_leader_probability()),
+            fmt_eps(baton.bias()),
+            fmt_rate(bin_rate),
+            fmt_eps(bin_rate - k as f64 / n as f64),
+        ]);
+    }
+    election.note("Saks' baton is the stronger simple protocol; plain lightest-bin doubles the coalition's share per round");
+
+    vec![onebit, itmaj, election]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_have_expected_shapes() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 3);
+        let onebit = tables[0].render();
+        // Parity with k = 1 has control 1.000.
+        assert!(
+            onebit.lines().any(|l| l.starts_with("parity") && l.contains("1.000")),
+            "{onebit}"
+        );
+        let itmaj = tables[1].render();
+        for line in itmaj
+            .lines()
+            .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells[3], "1.000", "cheapest set must control: {line}");
+        }
+        let election = tables[2].render();
+        assert!(election.contains("baton"));
+    }
+}

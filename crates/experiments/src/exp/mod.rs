@@ -1,0 +1,34 @@
+//! The experiment implementations, one module per paper result.
+
+pub mod ablate;
+pub mod apph;
+pub mod b1;
+pub mod c47;
+pub mod d1;
+pub mod e4;
+pub mod exact;
+pub mod fig1;
+pub mod fullinfo;
+pub mod msg;
+pub mod rename;
+pub mod sfc;
+pub mod shamir;
+pub mod sync;
+pub mod syncring;
+pub mod t42;
+pub mod t43;
+pub mod t51;
+pub mod t61;
+pub mod t72;
+pub mod t81;
+pub mod tc1;
+
+/// Formats a probability/rate to three decimals.
+pub(crate) fn fmt_rate(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a signed epsilon to four decimals.
+pub(crate) fn fmt_eps(x: f64) -> String {
+    format!("{x:+.4}")
+}

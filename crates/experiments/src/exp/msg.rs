@@ -1,0 +1,91 @@
+//! Message complexity: the price of rational-agent fairness.
+//!
+//! Paper context (Section 1.1): classical extrema-finding runs in
+//! `O(n log n)` messages (average for Chang–Roberts, worst case for
+//! Peterson/DKR), while the fair, resilient protocols pay `Θ(n²)`
+//! (`A-LEADuni`: `n²`; `PhaseAsyncLead`: `2n²`). Measured counts come
+//! from the same simulator for all protocols.
+
+use crate::{par_seeds, Table};
+use fle_baselines::{random_ids, worst_case_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let trials: u64 = if quick { 10 } else { 30 };
+    let mut t = Table::new(
+        "msg: total messages to elect a leader",
+        &[
+            "n",
+            "CR avg",
+            "CR worst",
+            "Peterson worst",
+            "Itai-Rodeh avg",
+            "Basic-LEAD",
+            "A-LEADuni",
+            "PhaseAsyncLead",
+            "n log2 n",
+            "n^2",
+        ],
+    );
+    for &n in sizes {
+        let cr_avg = {
+            let counts = par_seeds(trials, |seed| {
+                ChangRoberts::new(random_ids(n, seed)).run().stats.total_sent()
+            });
+            counts.iter().sum::<u64>() as f64 / trials as f64
+        };
+        let cr_worst = ChangRoberts::new(worst_case_ids(n)).run().stats.total_sent();
+        let peterson = PetersonDkr::new(worst_case_ids(n)).run().stats.total_sent();
+        let ir_avg = {
+            let counts =
+                par_seeds(trials, |seed| ItaiRodeh::new(n, seed).run().stats.total_sent());
+            counts.iter().sum::<u64>() as f64 / trials as f64
+        };
+        let basic = BasicLead::new(n).with_seed(0).run_honest().stats.total_sent();
+        let alead = ALeadUni::new(n).with_seed(0).run_honest().stats.total_sent();
+        let phase = PhaseAsyncLead::new(n)
+            .with_seed(0)
+            .run_honest()
+            .stats
+            .total_sent();
+        t.row([
+            n.to_string(),
+            format!("{cr_avg:.0}"),
+            cr_worst.to_string(),
+            peterson.to_string(),
+            format!("{ir_avg:.0}"),
+            basic.to_string(),
+            alead.to_string(),
+            phase.to_string(),
+            format!("{:.0}", n as f64 * (n as f64).log2()),
+            (n * n).to_string(),
+        ]);
+    }
+    t.note("classical algorithms are not fair and fall to a single rational agent");
+    t.note("paper's protocols: A-LEADuni = n^2 exactly, PhaseAsyncLead = 2n^2 exactly");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn complexity_shapes_hold() {
+        let s = super::run(true)[0].render();
+        let row64: Vec<&str> = s
+            .lines()
+            .find(|l| l.starts_with("64"))
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        let cr_avg: f64 = row64[1].parse().unwrap();
+        let peterson: u64 = row64[3].parse().unwrap();
+        let alead: u64 = row64[6].parse().unwrap();
+        let phase: u64 = row64[7].parse().unwrap();
+        assert_eq!(alead, 64 * 64);
+        assert_eq!(phase, 2 * 64 * 64);
+        assert!((peterson as f64) < cr_avg * 3.0);
+        assert!((peterson as f64) < 64.0 * 64.0 / 2.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Theorem 4.2: the equal-spacing rushing attack on `A-LEADuni` crosses
+//! over exactly at `k = √n`.
+//!
+//! Paper claim: with every segment `l_j ≤ k − 1` (equal spacing gives
+//! this iff `k ≥ √n`) the coalition controls the outcome; below the
+//! threshold the attack's precondition fails. Measured: feasibility and
+//! success rate as `k/√n` sweeps across 1.
+
+use super::fmt_rate;
+use crate::{par_seeds, Table};
+use fle_attacks::RushingAttack;
+use fle_core::protocols::ALeadUni;
+use fle_core::Coalition;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[64, 144] } else { &[64, 256, 1024] };
+    let trials: u64 = if quick { 20 } else { 60 };
+    let ratios = [0.5, 0.75, 1.0, 1.25, 1.5];
+    let mut t = Table::new(
+        "t42: equal-spacing rushing attack on A-LEADuni (Lemma 4.1 / Thm 4.2)",
+        &[
+            "n", "k", "k/sqrt(n)", "max l_j", "feasible", "Pr[w]",
+        ],
+    );
+    for &n in sizes {
+        let sqrt_n = (n as f64).sqrt();
+        for r in ratios {
+            let k = ((r * sqrt_n).round() as usize).clamp(1, n - 1);
+            let coalition = Coalition::equally_spaced(n, k, 1).expect("valid");
+            let feasible = RushingAttack::new(0)
+                .plan(&ALeadUni::new(n), &coalition)
+                .is_ok();
+            let rate = if feasible {
+                let wins = par_seeds(trials, |seed| {
+                    let protocol = ALeadUni::new(n).with_seed(seed);
+                    let w = (seed * 31) % n as u64;
+                    RushingAttack::new(w)
+                        .run(&protocol, &coalition)
+                        .is_ok_and(|e| e.outcome.elected() == Some(w))
+                });
+                wins.iter().filter(|&&b| b).count() as f64 / trials as f64
+            } else {
+                0.0
+            };
+            t.row([
+                n.to_string(),
+                k.to_string(),
+                format!("{:.2}", k as f64 / sqrt_n),
+                coalition.max_distance().to_string(),
+                feasible.to_string(),
+                fmt_rate(rate),
+            ]);
+        }
+    }
+    t.note("paper: feasible (and Pr[w] = 1) exactly when max l_j <= k - 1, i.e. k >= sqrt(n)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crossover_is_at_sqrt_n() {
+        let t = &super::run(true)[0];
+        let s = t.render();
+        // Below-threshold rows are infeasible, at/above succeed.
+        assert!(s.contains("false"));
+        assert!(s.contains("true"));
+        for line in s.lines().filter(|l| l.contains("true")) {
+            assert!(line.contains("1.000"), "feasible row must win: {line}");
+        }
+    }
+}

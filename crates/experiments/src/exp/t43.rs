@@ -1,0 +1,93 @@
+//! Theorem 4.3: the cubic attack controls `A-LEADuni` with
+//! `k ≈ 2·∛n` adversaries, far fewer than the rushing attack's `√n`.
+//!
+//! Paper claims: (a) the geometric-distance coalition of size
+//! `k ≥ 2·∛n` forces any target; (b) the attack desynchronizes the ring
+//! by `Ω(k²)` sent messages (Section 6's motivation for phase
+//! validation). Measured: minimal planned `k`, success rate, and the
+//! coalition's maximal sent-count gap.
+
+use super::fmt_rate;
+use crate::{par_seeds, Table};
+use fle_attacks::{cubic_distances, CubicAttack, RushingAttack};
+use fle_core::protocols::ALeadUni;
+use fle_core::Coalition;
+use ring_sim::SyncGapProbe;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[64, 216] } else { &[64, 216, 512, 1000] };
+    let trials: u64 = if quick { 15 } else { 40 };
+    let mut t = Table::new(
+        "t43: cubic attack on A-LEADuni (Thm 4.3)",
+        &[
+            "n",
+            "cubic k",
+            "2*cbrt(n)",
+            "rushing k",
+            "Pr[w]",
+            "sync gap",
+            "k^2",
+        ],
+    );
+    for &n in sizes {
+        let plan = cubic_distances(n).expect("n large enough");
+        let k = plan.k();
+        let rushing_k = (1..n)
+            .find(|&kk| {
+                Coalition::equally_spaced(n, kk, 1)
+                    .is_ok_and(|c| RushingAttack::new(0).plan(&ALeadUni::new(n), &c).is_ok())
+            })
+            .unwrap_or(n);
+        let wins = par_seeds(trials, |seed| {
+            let protocol = ALeadUni::new(n).with_seed(seed);
+            let w = (seed * 17) % n as u64;
+            CubicAttack::new(w)
+                .run(&protocol, &plan)
+                .is_ok_and(|e| e.outcome.elected() == Some(w))
+        });
+        let rate = wins.iter().filter(|&&b| b).count() as f64 / trials as f64;
+        // Sync gap over the coalition during one attacked execution.
+        let protocol = ALeadUni::new(n).with_seed(1);
+        let mut probe = SyncGapProbe::new(plan.positions().to_vec());
+        let nodes = CubicAttack::new(0)
+            .adversary_nodes(&protocol, &plan)
+            .expect("feasible");
+        let _ = protocol.run_with_probe(nodes, &mut probe);
+        t.row([
+            n.to_string(),
+            k.to_string(),
+            format!("{:.1}", 2.0 * (n as f64).cbrt()),
+            rushing_k.to_string(),
+            fmt_rate(rate),
+            probe.max_gap().to_string(),
+            (k * k).to_string(),
+        ]);
+    }
+    t.note("paper: cubic k <= 2*cbrt(n) << rushing k ~ sqrt(n); gap = Omega(k^2) (Sec 6)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cubic_wins_and_desynchronizes() {
+        let t = &super::run(true)[0];
+        let s = t.render();
+        let data_rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .collect();
+        assert!(!data_rows.is_empty());
+        for line in data_rows {
+            assert!(line.contains("1.000"), "cubic attack must win: {line}");
+            // gap (2nd integer after k) clearly super-linear in k
+            let ints: Vec<u64> = line
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            let (k, gap) = (ints[1], ints[3]);
+            assert!(gap > 2 * k, "gap {gap} should be Omega(k^2), k={k}");
+        }
+    }
+}

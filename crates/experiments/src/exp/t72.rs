@@ -1,0 +1,165 @@
+//! Theorem 7.2: no `ε`-`k`-resilient FLE on a `k`-simulated tree.
+//!
+//! Three executable pieces of evidence (the theorem quantifies over all
+//! protocols, so the experiments reproduce its constructive content):
+//! the Lemma F.2 dictator/favourable dichotomy verified on concrete and
+//! random two-party protocols; the Claim F.5 `⌈n/2⌉` partitions on graph
+//! families (Figure 2's `k = 4` among them); and the tree-node coalition
+//! dictating the tree-sum FLE via the Corollary F.4 simulation.
+
+use super::fmt_rate;
+use crate::Table;
+use fle_topology::tree_fle::TreeSumFle;
+use fle_topology::two_party::{dichotomy, AlternatingProtocol, Party, Verdict};
+use fle_topology::{figure2_graph, Graph, TreePartition};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<Table> {
+    // Part 1: Lemma F.2 dichotomy on two-party protocols.
+    let mut lemma = Table::new(
+        "t72a: Lemma F.2 dichotomy on two-party coin-toss protocols",
+        &["protocol", "verdict", "verified on all inputs"],
+    );
+    let describe = |v: &Verdict| match v {
+        Verdict::Favourable { bit, .. } => format!("favourable value {bit}"),
+        Verdict::Dictator { party, .. } => format!("{party:?} is a dictator"),
+    };
+    let named: Vec<(String, AlternatingProtocol, usize)> = vec![
+        ("xor-coin".into(), AlternatingProtocol::xor_coin(), 2),
+        (
+            "parity-exchange(2)".into(),
+            AlternatingProtocol::parity_exchange(2),
+            4,
+        ),
+    ];
+    let random_count = if quick { 20 } else { 100 };
+    let mut verdict_counts = (0usize, 0usize); // (dictator, favourable)
+    for (name, p, inputs) in &named {
+        let v = dichotomy(p);
+        let ok = verify(p, &v, *inputs);
+        lemma.row([name.clone(), describe(&v), ok.to_string()]);
+    }
+    for seed in 0..random_count {
+        let p = AlternatingProtocol::random(seed, 4, 2, 4);
+        let v = dichotomy(&p);
+        assert!(verify(&p, &v, 4), "extracted strategy failed: seed={seed}");
+        match v {
+            Verdict::Dictator { .. } => verdict_counts.0 += 1,
+            Verdict::Favourable { .. } => verdict_counts.1 += 1,
+        }
+    }
+    lemma.row([
+        format!("random x{random_count}"),
+        format!(
+            "{} dictators, {} favourable",
+            verdict_counts.0, verdict_counts.1
+        ),
+        "true".to_string(),
+    ]);
+    lemma.note("paper: every two-party protocol has a favourable value or a dictator");
+
+    // Part 2: Claim F.5 partitions.
+    let mut f5 = Table::new(
+        "t72b: k-simulated-tree partitions (Def 7.1 / Claim F.5 / Figure 2)",
+        &["graph", "n", "k witnessed", "ceil(n/2)", "parts"],
+    );
+    let (fig2, fig2_partition) = figure2_graph();
+    f5.row([
+        "figure-2 (4 cliques)".to_string(),
+        fig2.len().to_string(),
+        fig2_partition.k().to_string(),
+        fig2.len().div_ceil(2).to_string(),
+        fig2_partition.parts().len().to_string(),
+    ]);
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", Graph::path(12)),
+        ("cycle", Graph::cycle(12)),
+        ("complete", Graph::complete(10)),
+        ("grid 3x4", Graph::grid(3, 4)),
+        ("random tree", Graph::random_tree(12, 3)),
+        ("random G(n,p)", Graph::random_connected(12, 0.25, 4)),
+    ];
+    for (name, g) in &families {
+        let p = TreePartition::claim_f5(g);
+        f5.row([
+            name.to_string(),
+            g.len().to_string(),
+            p.k().to_string(),
+            g.len().div_ceil(2).to_string(),
+            p.parts().len().to_string(),
+        ]);
+    }
+    f5.note("trees additionally admit k = 1 partitions (every graph family satisfies F.5)");
+
+    // Part 3: the dictating coalition on the simulated tree.
+    let trials = if quick { 16u64 } else { 64 };
+    let mut dict = Table::new(
+        "t72c: tree-node coalition dictates tree-sum FLE (Cor F.4)",
+        &["graph", "coalition size k", "targets forced", "Pr[w]"],
+    );
+    let mut entries: Vec<(String, Graph, TreePartition)> = vec![(
+        "figure-2 (k=4)".to_string(),
+        fig2.clone(),
+        fig2_partition.clone(),
+    )];
+    for (name, g) in families {
+        let p = TreePartition::claim_f5(&g);
+        entries.push((format!("{name} (F.5)"), g, p));
+    }
+    for (name, g, partition) in entries {
+        let n = g.len() as u64;
+        let mut wins = 0u64;
+        for seed in 0..trials {
+            let fle = TreeSumFle::new(&g, &partition, seed);
+            let w = (seed * 5) % n;
+            if fle.run_with_dictator(w).outcome.elected() == Some(w) {
+                wins += 1;
+            }
+        }
+        dict.row([
+            name,
+            partition.parts()[0].len().to_string(),
+            trials.to_string(),
+            fmt_rate(wins as f64 / trials as f64),
+        ]);
+    }
+    dict.note("the coalition is one part of the partition: at most k real processors");
+    vec![lemma, f5, dict]
+}
+
+fn verify(p: &AlternatingProtocol, v: &Verdict, inputs: usize) -> bool {
+    match v {
+        Verdict::Favourable { bit, by_a, by_b } => (0..inputs).all(|i| {
+            p.run_against(Party::A, by_a, i) == *bit && p.run_against(Party::B, by_b, i) == *bit
+        }),
+        Verdict::Dictator {
+            party,
+            force_0,
+            force_1,
+        } => (0..inputs).all(|i| {
+            p.run_against(*party, force_0, i) == 0 && p.run_against(*party, force_1, i) == 1
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_three_tables_hold() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 3);
+        let lemma = tables[0].render();
+        assert!(lemma.contains("B is a dictator")); // xor-coin
+        assert!(!lemma.contains("false"));
+        let dict = tables[2].render();
+        let data_rows: Vec<&str> = dict
+            .lines()
+            .skip(3)
+            .filter(|l| !l.starts_with("note") && !l.is_empty())
+            .collect();
+        assert!(!data_rows.is_empty());
+        for line in data_rows {
+            assert!(line.contains("1.000"), "dictator must win: {line}");
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Saks' *pass-the-baton* leader election [26] in the full-information
+//! model.
+//!
+//! The baton starts at a designated player. Whoever holds it passes it to
+//! a uniformly random player that has not yet held it; the player that
+//! receives the baton last is the leader. Honest holders pass uniformly;
+//! a coalition holder passes to whomever serves the coalition. Because the
+//! game state is exchangeable within the honest and coalition pools, the
+//! optimal coalition strategy and the exact probability that the leader is
+//! corrupt reduce to a two-dimensional dynamic program, which this module
+//! solves exactly — no sampling, any `n`.
+//!
+//! Saks proved the protocol is resilient to coalitions of size
+//! `O(n / log n)`: the exact DP here lets the experiment harness plot the
+//! corrupt-leader probability and locate the departure from the fair
+//! share `k/n`.
+
+use ring_sim::rng::SplitMix64;
+
+/// Exact analysis of baton passing with `n` players and `k` coalition
+/// members, under optimal (bias-maximizing) coalition play.
+#[derive(Debug, Clone)]
+pub struct BatonGame {
+    n: usize,
+    k: usize,
+    /// `memo[h][c]` = Pr[final holder is corrupt] when `h` honest and `c`
+    /// corrupt players have not yet held the baton and the *current*
+    /// holder is honest (`.0`) or corrupt (`.1`).
+    memo: Vec<Vec<(f64, f64)>>,
+}
+
+impl BatonGame {
+    /// Builds the DP table for `n ≥ 1` players of which `k ≤ n` are
+    /// coalition members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k > n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "need at least one player");
+        assert!(k <= n, "coalition larger than player set");
+        let mut memo = vec![vec![(0.0, 0.0); k + 1]; n - k + 1];
+        // Fill by increasing number of unvisited players.
+        for h in 0..=(n - k) {
+            for c in 0..=k {
+                if h == 0 && c == 0 {
+                    memo[h][c] = (0.0, 1.0);
+                    continue;
+                }
+                // Honest holder: uniform pass.
+                let honest = {
+                    let total = (h + c) as f64;
+                    let mut acc = 0.0;
+                    if h > 0 {
+                        acc += h as f64 / total * memo[h - 1][c].0;
+                    }
+                    if c > 0 {
+                        acc += c as f64 / total * memo[h][c - 1].1;
+                    }
+                    acc
+                };
+                // Corrupt holder: best of passing to an honest or corrupt
+                // unvisited player.
+                let corrupt = {
+                    let mut best = f64::MIN;
+                    if h > 0 {
+                        best = best.max(memo[h - 1][c].0);
+                    }
+                    if c > 0 {
+                        best = best.max(memo[h][c - 1].1);
+                    }
+                    best
+                };
+                memo[h][c] = (honest, corrupt);
+            }
+        }
+        BatonGame { n, k, memo }
+    }
+
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coalition size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pr[the elected leader is a coalition member] when the baton starts
+    /// at a *uniformly random* player and the coalition plays optimally.
+    pub fn corrupt_leader_probability(&self) -> f64 {
+        let h = self.n - self.k;
+        let c = self.k;
+        let mut acc = 0.0;
+        if h > 0 {
+            acc += h as f64 / self.n as f64 * self.memo[h - 1][c].0;
+        }
+        if c > 0 {
+            acc += c as f64 / self.n as f64 * self.memo[h][c - 1].1;
+        }
+        acc
+    }
+
+    /// Same, conditioned on the baton starting at an honest player — the
+    /// coalition's *best* start: the starter can never be the last
+    /// receiver, so an honest start keeps every coalition member in the
+    /// running.
+    pub fn corrupt_leader_probability_honest_start(&self) -> f64 {
+        let h = self.n - self.k;
+        if h == 0 {
+            return 1.0;
+        }
+        self.memo[h - 1][self.k].0
+    }
+
+    /// The coalition's bias over its fair share `k/n`.
+    pub fn bias(&self) -> f64 {
+        self.corrupt_leader_probability() - self.k as f64 / self.n as f64
+    }
+
+    /// Monte-Carlo cross-check of the DP: simulates the game with the
+    /// *greedy* optimal strategy the DP induces (pass corrupt if that
+    /// branch scores at least as high, else honest).
+    pub fn simulate(&self, seed: u64, trials: u32) -> f64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut corrupt_wins = 0u64;
+        for _ in 0..trials {
+            let mut h = self.n - self.k;
+            let mut c = self.k;
+            // Random start.
+            let start_corrupt = rng.next_below(self.n as u64) < self.k as u64;
+            let mut holder_corrupt = start_corrupt;
+            if holder_corrupt {
+                c -= 1;
+            } else {
+                h -= 1;
+            }
+            while h + c > 0 {
+                let pass_to_corrupt = if holder_corrupt {
+                    // Optimal play straight from the table.
+                    let to_honest = if h > 0 { self.memo[h - 1][c].0 } else { f64::MIN };
+                    let to_corrupt = if c > 0 { self.memo[h][c - 1].1 } else { f64::MIN };
+                    to_corrupt >= to_honest
+                } else {
+                    rng.next_below((h + c) as u64) < c as u64
+                };
+                if pass_to_corrupt {
+                    c -= 1;
+                    holder_corrupt = true;
+                } else {
+                    h -= 1;
+                    holder_corrupt = false;
+                }
+            }
+            if holder_corrupt {
+                corrupt_wins += 1;
+            }
+        }
+        corrupt_wins as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn no_coalition_means_no_corrupt_leader() {
+        for n in [1usize, 2, 5, 40] {
+            let g = BatonGame::new(n, 0);
+            assert!(close(g.corrupt_leader_probability(), 0.0));
+            assert!(close(g.bias(), 0.0));
+        }
+    }
+
+    #[test]
+    fn full_coalition_always_wins() {
+        for n in [1usize, 3, 10] {
+            let g = BatonGame::new(n, n);
+            assert!(close(g.corrupt_leader_probability(), 1.0));
+        }
+    }
+
+    #[test]
+    fn two_players_one_corrupt_by_hand() {
+        // Uniform start: if the corrupt player starts (prob 1/2) it passes
+        // to the honest one, who is then the last receiver → honest leader.
+        // If the honest player starts it passes to the corrupt one →
+        // corrupt leader. So Pr[corrupt leader] = 1/2: no advantage here.
+        let g = BatonGame::new(2, 1);
+        assert!(close(g.corrupt_leader_probability(), 0.5));
+    }
+
+    #[test]
+    fn three_players_one_corrupt_by_hand() {
+        // States (h, c, T): start uniform over 3 players.
+        // Corrupt start (1/3): h=2,c=0, corrupt holder must pass honest;
+        //   then chain of honest passes; last receiver honest → 0.
+        // Honest start (2/3): h=1,c=1 honest holder passes uniformly:
+        //   → corrupt (1/2): corrupt holds, h=1: must pass honest → honest
+        //     leader: 0.
+        //   → honest (1/2): h=0,c=1: honest must pass corrupt → corrupt
+        //     leader: 1.
+        // Total: 2/3 · 1/2 = 1/3 — exactly the fair share k/n.
+        let g = BatonGame::new(3, 1);
+        assert!(close(g.corrupt_leader_probability(), 1.0 / 3.0));
+        assert!(close(g.bias(), 0.0));
+    }
+
+    #[test]
+    fn single_adversary_gains_nothing() {
+        // With k = 1 the lone adversary never holds useful choice: bias 0.
+        for n in 2..12usize {
+            let g = BatonGame::new(n, 1);
+            assert!(g.bias().abs() < 1e-9, "n = {n}, bias {}", g.bias());
+        }
+    }
+
+    #[test]
+    fn bias_is_monotone_in_k() {
+        let n = 30;
+        let mut last = -1.0;
+        for k in 0..=n {
+            let p = BatonGame::new(n, k).corrupt_leader_probability();
+            assert!(p >= last - 1e-12, "dropped at k = {k}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn corrupt_probability_exceeds_fair_share_for_big_coalitions() {
+        // Saks: bias grows once k = Ω(n / log n). At n = 64, k = 16 the
+        // advantage is already strictly positive.
+        let g = BatonGame::new(64, 16);
+        assert!(g.bias() > 0.01, "bias {}", g.bias());
+        // ...but a large fraction is needed to approach certainty.
+        assert!(g.corrupt_leader_probability() < 0.9);
+    }
+
+    #[test]
+    fn honest_start_favors_the_coalition() {
+        // The starting player can never be elected (it receives nothing),
+        // so a coalition prefers the baton to start outside it.
+        for (n, k) in [(2, 1), (10, 3), (20, 7), (33, 11)] {
+            let g = BatonGame::new(n, k);
+            assert!(
+                g.corrupt_leader_probability_honest_start()
+                    >= g.corrupt_leader_probability() - 1e-12,
+                "n = {n}, k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_dp() {
+        let g = BatonGame::new(12, 4);
+        let exact = g.corrupt_leader_probability();
+        let approx = g.simulate(99, 20_000);
+        assert!((exact - approx).abs() < 0.02, "exact {exact} vs sim {approx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coalition larger")]
+    fn oversized_coalition_panics() {
+        let _ = BatonGame::new(4, 5);
+    }
+}

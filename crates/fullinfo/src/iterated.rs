@@ -1,0 +1,382 @@
+//! Ben-Or & Linial's iterated majority-of-three game [10].
+//!
+//! `n = 3^h` players sit at the leaves of a complete ternary tree of
+//! height `h`; the coin is the recursive majority of the leaf bits. A
+//! rushing coalition fixes its leaves after seeing every honest bit, so a
+//! corrupted leaf is simply a *free* leaf. This module computes the
+//! coalition's power **exactly** with a product-distribution dynamic
+//! program over the tree (no enumeration, so any height is tractable),
+//! plus the classic structural results:
+//!
+//! * the cheapest controlling set costs exactly `2^h = n^{log₃ 2} ≈
+//!   n^0.63` leaves (two children of every gate along a binary subtree),
+//! * random or adversarial coalitions below that threshold control the
+//!   root only with probability `< 1`.
+//!
+//! This is the paper's Section 1.1 reference point for "coalitions of
+//! size `n / log² n` can bias" full-information games.
+
+use ring_sim::rng::SplitMix64;
+
+/// What a coalition can do to a subtree, given the honest bits below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Value is 0 no matter what the coalition plays.
+    Zero,
+    /// Value is 1 no matter what the coalition plays.
+    One,
+    /// The coalition can steer the subtree to either value.
+    Free,
+}
+
+/// Distribution of [`NodeState`] over the honest leaves' randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateDist {
+    /// Probability the subtree is pinned to 0.
+    pub zero: f64,
+    /// Probability the subtree is pinned to 1.
+    pub one: f64,
+    /// Probability the coalition controls the subtree.
+    pub free: f64,
+}
+
+impl StateDist {
+    const HONEST_LEAF: StateDist = StateDist { zero: 0.5, one: 0.5, free: 0.0 };
+    const CORRUPT_LEAF: StateDist = StateDist { zero: 0.0, one: 0.0, free: 1.0 };
+
+    /// Combines three independent child distributions through a majority
+    /// gate, enumerating the 27 state combinations.
+    fn maj3(a: StateDist, b: StateDist, c: StateDist) -> StateDist {
+        const STATES: [NodeState; 3] = [NodeState::Zero, NodeState::One, NodeState::Free];
+        let prob = |d: StateDist, s: NodeState| match s {
+            NodeState::Zero => d.zero,
+            NodeState::One => d.one,
+            NodeState::Free => d.free,
+        };
+        let mut out = StateDist { zero: 0.0, one: 0.0, free: 0.0 };
+        for sa in STATES {
+            for sb in STATES {
+                for sc in STATES {
+                    let p = prob(a, sa) * prob(b, sb) * prob(c, sc);
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let ones = [sa, sb, sc]
+                        .iter()
+                        .filter(|s| matches!(s, NodeState::One | NodeState::Free))
+                        .count();
+                    let zeros = [sa, sb, sc]
+                        .iter()
+                        .filter(|s| matches!(s, NodeState::Zero | NodeState::Free))
+                        .count();
+                    let can_one = ones >= 2;
+                    let can_zero = zeros >= 2;
+                    match (can_one, can_zero) {
+                        (true, true) => out.free += p,
+                        (true, false) => out.one += p,
+                        (false, true) => out.zero += p,
+                        (false, false) => unreachable!("majority always has a value"),
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The iterated majority-of-3 game of height `h` (so `n = 3^h` leaves).
+#[derive(Debug, Clone, Copy)]
+pub struct IteratedMajority {
+    height: u32,
+}
+
+impl IteratedMajority {
+    /// Creates a game of height `h ≤ 20` (a million-fold more leaves than
+    /// any experiment needs, while keeping `3^h` inside `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 20`.
+    pub fn new(height: u32) -> Self {
+        assert!(height <= 20, "height capped at 20");
+        IteratedMajority { height }
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of leaf players, `3^h`.
+    pub fn n(&self) -> u64 {
+        3u64.pow(self.height)
+    }
+
+    /// The size of the cheapest controlling coalition, `2^h = n^{log₃ 2}`.
+    pub fn min_control_cost(&self) -> u64 {
+        2u64.pow(self.height)
+    }
+
+    /// A concrete cheapest controlling set: recursively corrupt two
+    /// children of every gate (leaves returned as sorted indices).
+    pub fn cheapest_controlling_set(&self) -> Vec<u64> {
+        fn build(height: u32, offset: u64, out: &mut Vec<u64>) {
+            if height == 0 {
+                out.push(offset);
+                return;
+            }
+            let third = 3u64.pow(height - 1);
+            // Corrupt subtrees 0 and 1; subtree 2 stays honest.
+            build(height - 1, offset, out);
+            build(height - 1, offset + third, out);
+        }
+        let mut out = Vec::with_capacity(self.min_control_cost() as usize);
+        build(self.height, 0, &mut out);
+        out
+    }
+
+    /// Exact state distribution of the root when `corrupted` (sorted,
+    /// deduplicated leaf indices) plays last. `O(n)` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or the slice is not strictly
+    /// increasing.
+    pub fn root_distribution(&self, corrupted: &[u64]) -> StateDist {
+        assert!(
+            corrupted.windows(2).all(|w| w[0] < w[1]),
+            "corrupted set must be strictly increasing"
+        );
+        if let Some(&last) = corrupted.last() {
+            assert!(last < self.n(), "corrupted leaf out of range");
+        }
+        self.subtree(self.height, 0, corrupted)
+    }
+
+    fn subtree(&self, height: u32, offset: u64, corrupted: &[u64]) -> StateDist {
+        if corrupted.is_empty() {
+            // Fully honest subtree: pinned to a fair coin by symmetry.
+            return StateDist::HONEST_LEAF;
+        }
+        if height == 0 {
+            return if corrupted.contains(&offset) {
+                StateDist::CORRUPT_LEAF
+            } else {
+                StateDist::HONEST_LEAF
+            };
+        }
+        let third = 3u64.pow(height - 1);
+        let mut children = [StateDist::HONEST_LEAF; 3];
+        for (i, child) in children.iter_mut().enumerate() {
+            let lo = offset + i as u64 * third;
+            let hi = lo + third;
+            let slice_start = corrupted.partition_point(|&x| x < lo);
+            let slice_end = corrupted.partition_point(|&x| x < hi);
+            *child = self.subtree(height - 1, lo, &corrupted[slice_start..slice_end]);
+        }
+        StateDist::maj3(children[0], children[1], children[2])
+    }
+
+    /// The probability a rushing coalition on the given leaves can force
+    /// the root to 1: `Pr[One] + Pr[Free]`.
+    pub fn force_one_probability(&self, corrupted: &[u64]) -> f64 {
+        let d = self.root_distribution(corrupted);
+        d.one + d.free
+    }
+
+    /// The probability the coalition controls the root outright.
+    pub fn control_probability(&self, corrupted: &[u64]) -> f64 {
+        self.root_distribution(corrupted).free
+    }
+
+    /// Control probability of a uniformly random coalition of size `k`,
+    /// averaged over `trials` draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn random_coalition_control(&self, k: u64, seed: u64, trials: u32) -> f64 {
+        let n = self.n();
+        assert!(k <= n, "coalition larger than leaf set");
+        let mut rng = SplitMix64::new(seed);
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            // Partial Fisher–Yates over leaf indices.
+            let mut pool: Vec<u64> = (0..n).collect();
+            for i in 0..k as usize {
+                let j = i + rng.next_below((n as usize - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            let mut set: Vec<u64> = pool[..k as usize].to_vec();
+            set.sort_unstable();
+            acc += self.control_probability(&set);
+        }
+        acc / trials as f64
+    }
+
+    /// A greedy adversarial coalition of size `k`: repeatedly corrupt the
+    /// leaf that maximizes root control (ties to the lowest index).
+    /// Exact greedy needs `O(k · n)` DP evaluations; tractable to `h ≈ 7`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn greedy_coalition(&self, k: u64) -> Vec<u64> {
+        let n = self.n();
+        assert!(k <= n, "coalition larger than leaf set");
+        let mut chosen: Vec<u64> = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let mut best: Option<(u64, f64)> = None;
+            for leaf in 0..n {
+                if chosen.binary_search(&leaf).is_ok() {
+                    continue;
+                }
+                let mut candidate = chosen.clone();
+                let pos = candidate.partition_point(|&x| x < leaf);
+                candidate.insert(pos, leaf);
+                let score = self.control_probability(&candidate);
+                if best.is_none() || score > best.expect("set").1 + 1e-15 {
+                    best = Some((leaf, score));
+                }
+            }
+            let (leaf, _) = best.expect("k <= n leaves remain");
+            let pos = chosen.partition_point(|&x| x < leaf);
+            chosen.insert(pos, leaf);
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn sizes_follow_powers() {
+        let g = IteratedMajority::new(3);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.min_control_cost(), 8);
+        assert_eq!(IteratedMajority::new(0).n(), 1);
+    }
+
+    #[test]
+    fn honest_root_is_fair() {
+        for h in 0..5 {
+            let g = IteratedMajority::new(h);
+            let d = g.root_distribution(&[]);
+            assert!(close(d.zero, 0.5) && close(d.one, 0.5) && close(d.free, 0.0));
+        }
+    }
+
+    #[test]
+    fn cheapest_set_controls_with_certainty() {
+        for h in 0..5 {
+            let g = IteratedMajority::new(h);
+            let set = g.cheapest_controlling_set();
+            assert_eq!(set.len() as u64, g.min_control_cost());
+            assert!(close(g.control_probability(&set), 1.0), "height {h}");
+        }
+    }
+
+    #[test]
+    fn no_smaller_set_controls_with_certainty() {
+        // Exhaustive check at h = 2 (n = 9): every 3-subset controls with
+        // probability < 1 (the threshold is 2^2 = 4).
+        let g = IteratedMajority::new(2);
+        for a in 0..9u64 {
+            for b in a + 1..9 {
+                for c in b + 1..9 {
+                    let p = g.control_probability(&[a, b, c]);
+                    assert!(p < 1.0 - 1e-12, "set {:?} controls", (a, b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn height_one_distribution_by_hand() {
+        // One corrupted leaf out of 3: the other two bits tie with
+        // probability 1/2, so free = 1/2, zero = one = 1/4.
+        let g = IteratedMajority::new(1);
+        let d = g.root_distribution(&[0]);
+        assert!(close(d.free, 0.5));
+        assert!(close(d.zero, 0.25));
+        assert!(close(d.one, 0.25));
+        // Two corrupted leaves control outright.
+        assert!(close(g.control_probability(&[0, 1]), 1.0));
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_enumeration_at_height_two() {
+        // Cross-validate the DP against brute force over all 2^(9-k)
+        // honest assignments using the onebit machinery.
+        use crate::onebit::{coalition_power, FnCoin};
+        fn recmaj(bits: u64) -> bool {
+            let maj3 = |a: bool, b: bool, c: bool| (a as u8 + b as u8 + c as u8) >= 2;
+            let leaf = |i: u64| bits >> i & 1 == 1;
+            let sub = |t: u64| maj3(leaf(3 * t), leaf(3 * t + 1), leaf(3 * t + 2));
+            maj3(sub(0), sub(1), sub(2))
+        }
+        let f = FnCoin::new(9, "recmaj", recmaj);
+        let g = IteratedMajority::new(2);
+        for corrupted in [vec![0u64], vec![0, 4], vec![0, 1, 8], vec![2, 4, 6, 8]] {
+            let mask: u64 = corrupted.iter().map(|&i| 1u64 << i).sum();
+            let brute = coalition_power(&f, mask);
+            let d = g.root_distribution(&corrupted);
+            assert!(close(brute.control, d.free), "{corrupted:?}");
+            assert!(close(brute.force_one, d.one + d.free), "{corrupted:?}");
+        }
+    }
+
+    #[test]
+    fn control_grows_with_coalition() {
+        let g = IteratedMajority::new(3);
+        let mut last = 0.0;
+        for k in [0u64, 1, 2, 4, 8, 16, 27] {
+            let set: Vec<u64> = (0..k).collect();
+            let p = g.control_probability(&set);
+            assert!(p >= last - 1e-12, "control dropped at k = {k}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn greedy_beats_prefix_coalitions() {
+        let g = IteratedMajority::new(2);
+        let greedy = g.greedy_coalition(4);
+        let prefix: Vec<u64> = (0..4).collect();
+        assert!(
+            g.control_probability(&greedy) >= g.control_probability(&prefix) - 1e-12
+        );
+        // Greedy with the full budget reaches certainty.
+        assert!(close(g.control_probability(&g.greedy_coalition(4)), 1.0));
+    }
+
+    #[test]
+    fn random_coalitions_below_threshold_rarely_control() {
+        let g = IteratedMajority::new(3);
+        // 4 random leaves out of 27 (threshold is 8).
+        let p = g.random_coalition_control(4, 7, 50);
+        assert!(p < 0.5, "random control probability {p}");
+    }
+
+    #[test]
+    fn deep_trees_stay_tractable() {
+        // h = 12 → n = 531 441 leaves; the DP must stay linear.
+        let g = IteratedMajority::new(12);
+        let set = g.cheapest_controlling_set();
+        assert_eq!(set.len(), 4096);
+        assert!(close(g.control_probability(&set), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_corrupted_set_panics() {
+        let g = IteratedMajority::new(1);
+        let _ = g.root_distribution(&[1, 0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # fle-fullinfo — the full-information coin-flipping model
+//!
+//! Yifrach & Mansour's Section 1.1 traces fair leader election back to the
+//! *full-information model* of Ben-Or & Linial: players with unbounded
+//! computation broadcast in turns, everyone sees everything, and a
+//! coalition may coordinate and speak last. The paper's own
+//! `PhaseAsyncLead` borrows its random outcome function `f` directly from
+//! Alon & Naor's random-protocol argument in this model, so this crate
+//! builds the model and the classic protocols around it from scratch:
+//!
+//! * [`BroadcastGame`] — sequential broadcast games with an exact minimax
+//!   analysis of optimal coalition play ([`model`]).
+//! * [`onebit`] — one-round boolean-function games ([`Majority`],
+//!   [`Parity`], [`Dictator`], [`Tribes`]) with exact coalition power by
+//!   enumeration, and exhaustive best-coalition search.
+//! * [`IteratedMajority`] — Ben-Or & Linial's recursive majority-of-3 with
+//!   an exact product-distribution DP: the cheapest controlling coalition
+//!   costs `2^h = n^{log₃ 2}` ([`iterated`]).
+//! * [`BatonGame`] — Saks' pass-the-baton leader election solved exactly
+//!   by a two-dimensional DP under optimal coalition play ([`baton`]).
+//! * [`LightestBin`] — plain two-bin lightest-bin election: the folklore
+//!   building block behind the linear-resilience constructions, with the
+//!   measured negative result (rushing coalitions double their share per
+//!   round) that motivates their extra machinery ([`lightest_bin`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use fle_fullinfo::{coalition_power, BatonGame, Majority};
+//!
+//! // One rushing voter out of five flips majority with the central
+//! // binomial probability 6/16.
+//! let power = coalition_power(&Majority::new(5), 0b00001);
+//! assert!((power.control - 6.0 / 16.0).abs() < 1e-12);
+//!
+//! // Saks' baton passing gives a lone adversary nothing at all.
+//! assert!(BatonGame::new(9, 1).bias().abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baton;
+pub mod iterated;
+pub mod lightest_bin;
+pub mod model;
+pub mod onebit;
+
+pub use baton::BatonGame;
+pub use iterated::{IteratedMajority, StateDist};
+pub use lightest_bin::{BinElection, LightestBin};
+pub use model::{one_round_game, BroadcastGame, Turn};
+pub use onebit::{
+    best_coalition, coalition_power, CoalitionPower, CoinFunction, Dictator, FnCoin, Majority,
+    Parity, Tribes,
+};

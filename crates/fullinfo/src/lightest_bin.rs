@@ -1,0 +1,259 @@
+//! Plain two-bin lightest-bin leader election — the folklore building
+//! block behind the linear-resilience full-information constructions the
+//! paper cites in Section 1.1 ([9], [11], [25]) — together with the
+//! *negative* finding that motivates their extra machinery.
+//!
+//! Each round, every surviving player announces one of two bins; the bin
+//! with *fewer* occupants survives (ties to bin 0, empty bins never win).
+//! Repeat until one player remains — the leader. Honest players pick bins
+//! uniformly; a rushing coalition sees the honest choices first and splits
+//! itself optimally each round (exhaustive search over its allocations).
+//!
+//! The classic intuition — "to stack a bin the coalition must join it,
+//! which makes the bin heavy" — protects only the honest players'
+//! *presence*: some honest players survive every round, so the honest
+//! side keeps a constant chance. It does **not** keep the coalition near
+//! its fair share: a rushing coalition roughly doubles its surviving
+//! fraction per round, and even a single adversary converts the
+//! two-player endgame with certainty once it gets there (it parks itself
+//! in the lighter bin). The exact rates measured here quantify the gap
+//! that Feige's many-bin rounds, committee endgames, and the
+//! Russell–Zuckerman extractor machinery exist to close — and make the
+//! contrast with Saks' baton passing (strictly stronger at moderate
+//! `k/n`, see [`crate::baton`]) executable.
+
+use ring_sim::rng::SplitMix64;
+
+/// Result of one lightest-bin election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinElection {
+    /// The elected player id in `0..n`.
+    pub leader: usize,
+    /// Whether the leader is a coalition member.
+    pub leader_corrupt: bool,
+    /// Rounds until a single player remained.
+    pub rounds: u32,
+}
+
+/// The two-bin lightest-bin game with `n` players, the first `k` of which
+/// are coalition members (ids are exchangeable, so fixing the prefix loses
+/// no generality).
+#[derive(Debug, Clone, Copy)]
+pub struct LightestBin {
+    n: usize,
+    k: usize,
+}
+
+impl LightestBin {
+    /// Creates a game with `n ≥ 1` players and `k ≤ n` coalition members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k > n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "need at least one player");
+        assert!(k <= n, "coalition larger than player set");
+        LightestBin { n, k }
+    }
+
+    /// Plays one election with the coalition using its optimal one-round
+    /// split (exhaustive over its `k' + 1` allocations each round).
+    ///
+    /// Note the known two-player endgame artifact of plain lightest-bin:
+    /// once one honest and one coalition player remain, the rushing
+    /// adversary eventually isolates itself in the lighter bin and wins.
+    /// Full constructions (Feige; Russell–Zuckerman [25]) switch
+    /// sub-protocols below a size threshold; we keep the plain rule and
+    /// report the resulting rates as-is.
+    pub fn play(&self, seed: u64) -> BinElection {
+        let mut rng = SplitMix64::new(seed);
+        let mut honest: usize = self.n - self.k;
+        let mut corrupt: usize = self.k;
+        let mut rounds = 0u32;
+        while honest + corrupt > 1 {
+            rounds += 1;
+            // Honest players choose bins uniformly.
+            let mut h0 = 0usize;
+            for _ in 0..honest {
+                if rng.next_below(2) == 0 {
+                    h0 += 1;
+                }
+            }
+            let h1 = honest - h0;
+            // The rushing coalition now places its `corrupt` members:
+            // choose c0 (members into bin 0) to maximize the coalition
+            // fraction of the surviving bin; among equally good fractions
+            // prefer *fewer* survivors — that converges faster and, when
+            // only coalition members remain, guarantees round progress
+            // (an all-in-one-bin allocation would survive unshrunk and
+            // loop forever).
+            let (best_c0, _) = (0..=corrupt)
+                .map(|c0| {
+                    let c1 = corrupt - c0;
+                    let (sh, sc) = survivors(h0, h1, c0, c1);
+                    let total = sh + sc;
+                    let frac = if total == 0 {
+                        0.0
+                    } else {
+                        sc as f64 / total as f64
+                    };
+                    (c0, (frac, total))
+                })
+                .max_by(|a, b| {
+                    a.1 .0
+                        .total_cmp(&b.1 .0)
+                        .then_with(|| b.1 .1.cmp(&a.1 .1))
+                })
+                .expect("at least one allocation");
+            let c1 = corrupt - best_c0;
+            let (sh, sc) = survivors(h0, h1, best_c0, c1);
+            honest = sh;
+            corrupt = sc;
+        }
+        let leader_corrupt = corrupt == 1;
+        // Leader id: uniform among the surviving class for reporting.
+        let leader = if leader_corrupt {
+            rng.next_below(self.k.max(1) as u64) as usize
+        } else {
+            self.k + rng.next_below((self.n - self.k).max(1) as u64) as usize
+        };
+        BinElection { leader, leader_corrupt, rounds }
+    }
+
+    /// Pr[leader is a coalition member] over `trials` seeded elections.
+    pub fn corrupt_leader_rate(&self, seed: u64, trials: u32) -> f64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut wins = 0u64;
+        for _ in 0..trials {
+            if self.play(rng.next_u64()).leader_corrupt {
+                wins += 1;
+            }
+        }
+        wins as f64 / trials as f64
+    }
+
+    /// The coalition's bias over its fair share `k/n`.
+    pub fn bias(&self, seed: u64, trials: u32) -> f64 {
+        self.corrupt_leader_rate(seed, trials) - self.k as f64 / self.n as f64
+    }
+}
+
+/// Who survives when bins hold `h0 + c0` and `h1 + c1` players: the
+/// strictly lighter non-empty bin; ties go to bin 0; if one bin is empty
+/// the other survives (the round must make progress).
+fn survivors(h0: usize, h1: usize, c0: usize, c1: usize) -> (usize, usize) {
+    let b0 = h0 + c0;
+    let b1 = h1 + c1;
+    if b0 == 0 {
+        return (h1, c1);
+    }
+    if b1 == 0 {
+        return (h0, c0);
+    }
+    if b0 <= b1 {
+        (h0, c0)
+    } else {
+        (h1, c1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_player_is_instant_leader() {
+        let g = LightestBin::new(1, 0);
+        let e = g.play(1);
+        assert_eq!(e.rounds, 0);
+        assert!(!e.leader_corrupt);
+        let g = LightestBin::new(1, 1);
+        assert!(g.play(1).leader_corrupt);
+    }
+
+    #[test]
+    fn survivors_prefer_strictly_lighter_bin() {
+        assert_eq!(survivors(1, 3, 0, 0), (1, 0));
+        assert_eq!(survivors(3, 1, 0, 0), (1, 0));
+        // Tie → bin 0.
+        assert_eq!(survivors(2, 2, 0, 0), (2, 0));
+        // Empty bin never wins.
+        assert_eq!(survivors(0, 4, 0, 0), (4, 0));
+        assert_eq!(survivors(0, 2, 1, 0), (0, 1));
+    }
+
+    #[test]
+    fn honest_game_elects_everyone_eventually() {
+        let g = LightestBin::new(6, 0);
+        let mut seen = [false; 6];
+        for seed in 0..400 {
+            seen[g.play(seed).leader] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen {seen:?}");
+    }
+
+    #[test]
+    fn honest_leader_rate_matches_fair_share_loosely() {
+        // k players are "labelled" but play honestly when the coalition
+        // optimizer has nothing to gain... here k = 0 vs k = n sanity.
+        assert_eq!(LightestBin::new(8, 0).corrupt_leader_rate(3, 200), 0.0);
+        assert_eq!(LightestBin::new(8, 8).corrupt_leader_rate(3, 200), 1.0);
+    }
+
+    #[test]
+    fn honest_players_keep_a_constant_chance() {
+        // The positive half of the lightest-bin intuition: stacking a bin
+        // eliminates it, so honest players always survive into the
+        // endgame — the honest side retains a constant winning chance
+        // even against an optimally rushing coalition.
+        let g = LightestBin::new(32, 4);
+        let rate = g.corrupt_leader_rate(11, 400);
+        assert!(rate < 0.9, "rate {rate}");
+        assert!(1.0 - rate > 0.1, "honest chance vanished: {rate}");
+    }
+
+    #[test]
+    fn rushing_coalitions_far_exceed_their_fair_share() {
+        // The negative half (why [9]/[11]/[25] need more machinery): a
+        // k/n = 1/8 coalition wins far more than 1/8 of elections.
+        let g = LightestBin::new(32, 4);
+        let rate = g.corrupt_leader_rate(11, 400);
+        assert!(rate > 0.4, "rate {rate}");
+    }
+
+    #[test]
+    fn baton_passing_is_the_stronger_simple_protocol() {
+        use crate::baton::BatonGame;
+        let (n, k) = (24, 8);
+        let bin_rate = LightestBin::new(n, k).corrupt_leader_rate(5, 600);
+        let baton_rate = BatonGame::new(n, k).corrupt_leader_probability();
+        assert!(
+            bin_rate > baton_rate,
+            "lightest-bin {bin_rate} vs baton {baton_rate}"
+        );
+    }
+
+    #[test]
+    fn even_one_adversary_converts_the_endgame() {
+        // A lone rushing adversary survives most rounds and always wins
+        // the two-player endgame: its rate is far above 1/n.
+        let g = LightestBin::new(16, 1);
+        let rate = g.corrupt_leader_rate(3, 600);
+        assert!(rate > 3.0 / 16.0, "rate {rate}");
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let g = LightestBin::new(64, 0);
+        for seed in 0..20 {
+            let e = g.play(seed);
+            assert!(e.rounds <= 20, "rounds {}", e.rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coalition larger")]
+    fn oversized_coalition_panics() {
+        let _ = LightestBin::new(4, 5);
+    }
+}

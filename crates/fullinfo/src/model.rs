@@ -1,0 +1,277 @@
+//! Sequential broadcast games and their exact minimax analysis.
+//!
+//! A *broadcast game* is the full-information model in its rawest form:
+//! players speak in a fixed order, each message is public, the outcome is
+//! a function of the transcript. Honest players broadcast uniform values;
+//! coalition players broadcast whatever maximizes the coalition's
+//! objective, with complete knowledge of the history (perfect information,
+//! unbounded computation — exactly Ben-Or & Linial's setting).
+//!
+//! [`BroadcastGame::max_outcome_probability`] computes, by backward
+//! induction over the game tree, the exact probability that an optimal
+//! coalition forces a chosen outcome — the quantity every attack and
+//! resilience claim in this model reduces to. Tractable whenever
+//! `Π domain_sizes` is small (tests go up to ~2²⁰ transcripts).
+
+/// One turn of a broadcast game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Turn {
+    /// The player who speaks.
+    pub player: usize,
+    /// The size of its message domain (messages are `0..domain`).
+    pub domain: u64,
+}
+
+/// A finite sequential broadcast game.
+pub struct BroadcastGame<'a> {
+    n: usize,
+    turns: Vec<Turn>,
+    outcome: Box<dyn Fn(&[u64]) -> u64 + 'a>,
+}
+
+impl<'a> BroadcastGame<'a> {
+    /// Creates a game for `n` players with the given turn order and
+    /// outcome function over complete transcripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a turn references a player `≥ n` or has an empty domain.
+    pub fn new(
+        n: usize,
+        turns: Vec<Turn>,
+        outcome: impl Fn(&[u64]) -> u64 + 'a,
+    ) -> Self {
+        assert!(
+            turns.iter().all(|t| t.player < n),
+            "turn references unknown player"
+        );
+        assert!(turns.iter().all(|t| t.domain >= 1), "empty message domain");
+        BroadcastGame { n, turns, outcome: Box::new(outcome) }
+    }
+
+    /// Number of players.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The turn sequence.
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Exact `max Pr[outcome = target]` when the players in `coalition`
+    /// (a bitmask) collude with perfect information and everyone else
+    /// broadcasts uniformly: backward induction over the transcript tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coalition mask addresses players outside `0..n`.
+    pub fn max_outcome_probability(&self, coalition: u64, target: u64) -> f64 {
+        assert!(coalition >> self.n == 0, "coalition mask out of range");
+        let mut transcript = Vec::with_capacity(self.turns.len());
+        self.recurse(coalition, target, &mut transcript)
+    }
+
+    /// Exact `min Pr[outcome = target]` under optimal coalition play — the
+    /// "spoiler" direction (drive the probability down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coalition mask addresses players outside `0..n`.
+    pub fn min_outcome_probability(&self, coalition: u64, target: u64) -> f64 {
+        assert!(coalition >> self.n == 0, "coalition mask out of range");
+        let mut transcript = Vec::with_capacity(self.turns.len());
+        self.recurse_min(coalition, target, &mut transcript)
+    }
+
+    /// The honest probability of `target` (empty coalition).
+    pub fn honest_probability(&self, target: u64) -> f64 {
+        self.max_outcome_probability(0, target)
+    }
+
+    fn recurse(&self, coalition: u64, target: u64, transcript: &mut Vec<u64>) -> f64 {
+        let depth = transcript.len();
+        if depth == self.turns.len() {
+            return if (self.outcome)(transcript) == target { 1.0 } else { 0.0 };
+        }
+        let turn = self.turns[depth];
+        let adversarial = coalition >> turn.player & 1 == 1;
+        let mut best = 0.0f64;
+        let mut sum = 0.0f64;
+        for v in 0..turn.domain {
+            transcript.push(v);
+            let p = self.recurse(coalition, target, transcript);
+            transcript.pop();
+            best = best.max(p);
+            sum += p;
+        }
+        if adversarial {
+            best
+        } else {
+            sum / turn.domain as f64
+        }
+    }
+
+    fn recurse_min(&self, coalition: u64, target: u64, transcript: &mut Vec<u64>) -> f64 {
+        let depth = transcript.len();
+        if depth == self.turns.len() {
+            return if (self.outcome)(transcript) == target { 1.0 } else { 0.0 };
+        }
+        let turn = self.turns[depth];
+        let adversarial = coalition >> turn.player & 1 == 1;
+        let mut worst = f64::INFINITY;
+        let mut sum = 0.0f64;
+        for v in 0..turn.domain {
+            transcript.push(v);
+            let p = self.recurse_min(coalition, target, transcript);
+            transcript.pop();
+            worst = worst.min(p);
+            sum += p;
+        }
+        if adversarial {
+            worst
+        } else {
+            sum / turn.domain as f64
+        }
+    }
+}
+
+/// Builds the one-round bit-broadcast game for a boolean function with the
+/// rushing order: honest players speak first (in index order), coalition
+/// players last — the adversary's best oblivious schedule and the order
+/// assumed by [`crate::onebit::coalition_power`].
+pub fn one_round_game<'a>(
+    f: &'a dyn crate::onebit::CoinFunction,
+    coalition: u64,
+) -> BroadcastGame<'a> {
+    let n = f.n();
+    let mut turns: Vec<Turn> = (0..n)
+        .filter(|&p| coalition >> p & 1 == 0)
+        .map(|p| Turn { player: p, domain: 2 })
+        .collect();
+    turns.extend(
+        (0..n)
+            .filter(|&p| coalition >> p & 1 == 1)
+            .map(|p| Turn { player: p, domain: 2 }),
+    );
+    let order: Vec<usize> = turns.iter().map(|t| t.player).collect();
+    BroadcastGame::new(n, turns, move |transcript| {
+        let mut bits = 0u64;
+        for (&player, &v) in order.iter().zip(transcript) {
+            bits |= v << player;
+        }
+        u64::from(f.eval(bits))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onebit::{coalition_power, CoinFunction, Majority, Parity};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn honest_coin_is_fair() {
+        let g = BroadcastGame::new(2, vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
+            |t| (t[0] + t[1]) % 2);
+        assert!(close(g.honest_probability(1), 0.5));
+        assert!(close(g.honest_probability(0), 0.5));
+    }
+
+    #[test]
+    fn last_speaker_dictates_xor() {
+        let g = BroadcastGame::new(
+            2,
+            vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
+            |t| (t[0] + t[1]) % 2,
+        );
+        // Player 1 speaks last: sees t[0], flips to match any target.
+        assert!(close(g.max_outcome_probability(0b10, 1), 1.0));
+        assert!(close(g.min_outcome_probability(0b10, 1), 0.0));
+        // Player 0 speaks first: no power at all.
+        assert!(close(g.max_outcome_probability(0b01, 1), 0.5));
+    }
+
+    #[test]
+    fn minimax_agrees_with_onebit_enumeration() {
+        for (f, coalition) in [
+            (&Majority::new(5) as &dyn crate::onebit::CoinFunction, 0b00011u64),
+            (&Majority::new(5), 0b10100),
+            (&Parity::new(4), 0b0010),
+        ] {
+            let power = coalition_power(f, coalition);
+            let game = one_round_game(f, coalition);
+            assert!(
+                close(game.max_outcome_probability(coalition, 1), power.force_one),
+                "{} force_one",
+                f.name()
+            );
+            assert!(
+                close(
+                    1.0 - game.min_outcome_probability(coalition, 1),
+                    power.force_zero
+                ),
+                "{} force_zero",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn larger_domains_work() {
+        // A mod-3 sum game: the last speaker controls it completely.
+        let g = BroadcastGame::new(
+            3,
+            (0..3).map(|p| Turn { player: p, domain: 3 }).collect(),
+            |t| t.iter().sum::<u64>() % 3,
+        );
+        assert!(close(g.max_outcome_probability(0b100, 2), 1.0));
+        assert!(close(g.honest_probability(2), 1.0 / 3.0));
+        // A first-speaking coalition member is powerless against two
+        // honest uniform speakers.
+        assert!(close(g.max_outcome_probability(0b001, 2), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn speaking_order_is_the_whole_story() {
+        // The same coalition is a dictator when last and powerless when
+        // first — the asynchronous-rushing phenomenon the ring protocols
+        // fight with buffering (paper Section 3).
+        let f = Parity::new(3);
+        let game = one_round_game(&f, 0b100);
+        assert!(close(game.max_outcome_probability(0b100, 1), 1.0));
+        let reversed = BroadcastGame::new(
+            3,
+            vec![
+                Turn { player: 2, domain: 2 },
+                Turn { player: 0, domain: 2 },
+                Turn { player: 1, domain: 2 },
+            ],
+            move |t| {
+                let bits = (t[0] << 2) | (t[1] << 0) | (t[2] << 1);
+                u64::from(f.eval(bits))
+            },
+        );
+        assert!(close(reversed.max_outcome_probability(0b100, 1), 0.5));
+    }
+
+    #[test]
+    fn empty_coalition_max_equals_min() {
+        let g = BroadcastGame::new(
+            2,
+            vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
+            |t| t[0] & t[1],
+        );
+        assert!(close(g.max_outcome_probability(0, 1), 0.25));
+        assert!(close(g.min_outcome_probability(0, 1), 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown player")]
+    fn bad_turn_panics() {
+        let _ = BroadcastGame::new(1, vec![Turn { player: 3, domain: 2 }], |_| 0);
+    }
+}

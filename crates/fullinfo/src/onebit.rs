@@ -1,0 +1,456 @@
+//! One-round coin-flipping games in the full-information model.
+//!
+//! Every player broadcasts one bit; the coin is `f(x₁, …, xₙ)` for a fixed
+//! boolean function `f`. Honest players broadcast fair coins; a rushing
+//! coalition sees every honest bit before choosing its own (the worst
+//! oblivious order, and the standard adversary of Ben-Or & Linial [10]).
+//! The coalition's power is then exactly a combinatorial quantity of `f` —
+//! the probability, over the honest bits, that the coalition's bits still
+//! matter — which this module computes *exactly* by exhaustive enumeration
+//! (`n ≤ 24`).
+//!
+//! The paper's Section 1.1 cites this line of work ([8, 9, 10, 11]) as the
+//! origin of "protocols immune to large coalitions", and the paper's own
+//! random function `f` in `PhaseAsyncLead` is directly inspired by
+//! Alon & Naor's random-protocol argument [9].
+
+/// A boolean function on `n` bits, the outcome rule of a one-round game.
+///
+/// Implementors must be pure: `eval` may depend only on `bits`.
+pub trait CoinFunction {
+    /// Number of players (bits).
+    fn n(&self) -> usize;
+
+    /// Evaluates the outcome for the assignment packed into `bits`
+    /// (player `i`'s bit is `bits >> i & 1`).
+    fn eval(&self, bits: u64) -> bool;
+
+    /// Human-readable name for tables.
+    fn name(&self) -> String;
+}
+
+/// Majority vote (use odd `n` for an unbiased honest coin).
+#[derive(Debug, Clone, Copy)]
+pub struct Majority {
+    n: usize,
+}
+
+impl Majority {
+    /// Creates the majority function on `n ≤ 24` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 24.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= 24, "majority supports 1..=24 players");
+        Majority { n }
+    }
+}
+
+impl CoinFunction for Majority {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, bits: u64) -> bool {
+        2 * (bits & ((1 << self.n) - 1)).count_ones() as usize > self.n
+    }
+
+    fn name(&self) -> String {
+        format!("majority({})", self.n)
+    }
+}
+
+/// Parity (XOR) — perfectly unbiased honestly, but a *single* rushing
+/// player dictates the outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Parity {
+    n: usize,
+}
+
+impl Parity {
+    /// Creates the parity function on `n ≤ 24` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 24.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= 24, "parity supports 1..=24 players");
+        Parity { n }
+    }
+}
+
+impl CoinFunction for Parity {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, bits: u64) -> bool {
+        (bits & ((1 << self.n) - 1)).count_ones() % 2 == 1
+    }
+
+    fn name(&self) -> String {
+        format!("parity({})", self.n)
+    }
+}
+
+/// The dictatorship of player `i`: the outcome is `i`'s bit.
+#[derive(Debug, Clone, Copy)]
+pub struct Dictator {
+    n: usize,
+    player: usize,
+}
+
+impl Dictator {
+    /// Creates a dictatorship on `n` players ruled by `player`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `player ≥ n` or `n > 24`.
+    pub fn new(n: usize, player: usize) -> Self {
+        assert!(player < n && n <= 24, "dictator needs player < n <= 24");
+        Dictator { n, player }
+    }
+}
+
+impl CoinFunction for Dictator {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, bits: u64) -> bool {
+        bits >> self.player & 1 == 1
+    }
+
+    fn name(&self) -> String {
+        format!("dictator({}, player {})", self.n, self.player)
+    }
+}
+
+/// The tribes function of Ben-Or & Linial: players are split into tribes
+/// of width `w`; the outcome is 1 iff some tribe is unanimously 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Tribes {
+    width: usize,
+    tribes: usize,
+}
+
+impl Tribes {
+    /// Creates `tribes` tribes of `width` players each (`width · tribes ≤ 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the product exceeds 24.
+    pub fn new(width: usize, tribes: usize) -> Self {
+        assert!(width >= 1 && tribes >= 1, "tribes dimensions must be positive");
+        assert!(width * tribes <= 24, "tribes supports at most 24 players");
+        Tribes { width, tribes }
+    }
+}
+
+impl CoinFunction for Tribes {
+    fn n(&self) -> usize {
+        self.width * self.tribes
+    }
+
+    fn eval(&self, bits: u64) -> bool {
+        let tribe_mask = (1u64 << self.width) - 1;
+        (0..self.tribes).any(|t| (bits >> (t * self.width)) & tribe_mask == tribe_mask)
+    }
+
+    fn name(&self) -> String {
+        format!("tribes({}x{})", self.tribes, self.width)
+    }
+}
+
+/// An arbitrary boolean function supplied as a closure (for tests and
+/// ad-hoc protocols).
+pub struct FnCoin<F> {
+    n: usize,
+    f: F,
+    label: String,
+}
+
+impl<F: Fn(u64) -> bool> FnCoin<F> {
+    /// Wraps `f` as an `n`-player coin function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 24.
+    pub fn new(n: usize, label: &str, f: F) -> Self {
+        assert!(n >= 1 && n <= 24, "FnCoin supports 1..=24 players");
+        FnCoin { n, f, label: label.to_string() }
+    }
+}
+
+impl<F: Fn(u64) -> bool> CoinFunction for FnCoin<F> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, bits: u64) -> bool {
+        (self.f)(bits)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Exact power of a rushing coalition in a one-round game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalitionPower {
+    /// `Pr[f = 1]` under fully honest play.
+    pub honest_one: f64,
+    /// Probability (over honest bits) that the coalition can force 1.
+    pub force_one: f64,
+    /// Probability that the coalition can force 0.
+    pub force_zero: f64,
+    /// Probability that the coalition controls the outcome outright
+    /// (can force either value).
+    pub control: f64,
+}
+
+impl CoalitionPower {
+    /// The coalition's maximal gain over the honest probability, in the
+    /// direction it helps most: `max(force_one − honest_one,
+    /// force_zero − (1 − honest_one))`.
+    pub fn bias(&self) -> f64 {
+        (self.force_one - self.honest_one).max(self.force_zero - (1.0 - self.honest_one))
+    }
+}
+
+/// Exhaustively computes a coalition's power in the one-round game of `f`.
+/// `coalition` is a bitmask of player indices.
+///
+/// Runs in `O(2^n)` (`2^{n−k}` honest assignments × `2^k` coalition
+/// completions).
+///
+/// # Panics
+///
+/// Panics if the coalition mask addresses players outside `0..n`.
+pub fn coalition_power(f: &dyn CoinFunction, coalition: u64) -> CoalitionPower {
+    let n = f.n();
+    assert!(coalition >> n == 0, "coalition mask out of range");
+    let all = (1u64 << n) - 1;
+    let honest_mask = all & !coalition;
+    let k = coalition.count_ones() as usize;
+    let h = n - k;
+
+    // Enumerate honest assignments by scattering the bits of `i` into the
+    // honest positions, and coalition completions likewise.
+    let honest_positions: Vec<usize> = (0..n).filter(|&b| honest_mask >> b & 1 == 1).collect();
+    let coalition_positions: Vec<usize> = (0..n).filter(|&b| coalition >> b & 1 == 1).collect();
+
+    let mut ones_honest = 0u64;
+    let mut can_one = 0u64;
+    let mut can_zero = 0u64;
+    let mut both = 0u64;
+    for i in 0..(1u64 << h) {
+        let mut base = 0u64;
+        for (bit, &pos) in honest_positions.iter().enumerate() {
+            if i >> bit & 1 == 1 {
+                base |= 1 << pos;
+            }
+        }
+        let mut any_one = false;
+        let mut any_zero = false;
+        for j in 0..(1u64 << k) {
+            let mut x = base;
+            for (bit, &pos) in coalition_positions.iter().enumerate() {
+                if j >> bit & 1 == 1 {
+                    x |= 1 << pos;
+                }
+            }
+            if f.eval(x) {
+                any_one = true;
+            } else {
+                any_zero = true;
+            }
+            if any_one && any_zero {
+                break;
+            }
+        }
+        // Honest play: the coalition bits are 0 in `base`; count the
+        // honest outcome by also averaging over *random* coalition bits.
+        // For the honest probability we need all n bits random, so count
+        // ones over the full cube lazily below instead.
+        if any_one {
+            can_one += 1;
+        }
+        if any_zero {
+            can_zero += 1;
+        }
+        if any_one && any_zero {
+            both += 1;
+        }
+    }
+    for x in 0..(1u64 << n) {
+        if f.eval(x) {
+            ones_honest += 1;
+        }
+    }
+    let denom = (1u64 << h) as f64;
+    CoalitionPower {
+        honest_one: ones_honest as f64 / (1u64 << n) as f64,
+        force_one: can_one as f64 / denom,
+        force_zero: can_zero as f64 / denom,
+        control: both as f64 / denom,
+    }
+}
+
+/// Finds the coalition of size `k` with the largest [`CoalitionPower::bias`]
+/// by exhaustive search over all `C(n, k)` subsets. Returns the mask and
+/// its power.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn best_coalition(f: &dyn CoinFunction, k: usize) -> (u64, CoalitionPower) {
+    let n = f.n();
+    assert!(k <= n, "coalition larger than player set");
+    let mut best: Option<(u64, CoalitionPower)> = None;
+    let mut mask = (1u64 << k) - 1; // smallest k-subset
+    if k == 0 {
+        return (0, coalition_power(f, 0));
+    }
+    loop {
+        let power = coalition_power(f, mask);
+        if best.is_none() || power.bias() > best.as_ref().expect("set").1.bias() {
+            best = Some((mask, power));
+        }
+        // Gosper's hack: next k-subset in lexicographic order.
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        let next = (((r ^ mask) >> 2) / c) | r;
+        if next >> n != 0 {
+            break;
+        }
+        mask = next;
+    }
+    best.expect("k >= 1 has at least one subset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn parity_is_honestly_fair_but_one_player_dictates() {
+        let f = Parity::new(7);
+        let none = coalition_power(&f, 0);
+        assert!(close(none.honest_one, 0.5));
+        assert!(close(none.force_one, 0.5));
+        let solo = coalition_power(&f, 1 << 3);
+        assert!(close(solo.force_one, 1.0));
+        assert!(close(solo.force_zero, 1.0));
+        assert!(close(solo.control, 1.0));
+        assert!(close(solo.bias(), 0.5));
+    }
+
+    #[test]
+    fn dictator_obeys_only_its_own_coalition() {
+        let f = Dictator::new(6, 2);
+        let with = coalition_power(&f, 1 << 2);
+        assert!(close(with.control, 1.0));
+        let without = coalition_power(&f, 0b11 << 4);
+        assert!(close(without.control, 0.0));
+        assert!(close(without.bias(), 0.0));
+    }
+
+    #[test]
+    fn majority_single_voter_influence_matches_central_binomial() {
+        // For majority on 5 players, one rushing voter matters exactly when
+        // the other 4 bits split 2–2: C(4,2)/2^4 = 6/16.
+        let f = Majority::new(5);
+        let p = coalition_power(&f, 1);
+        assert!(close(p.control, 6.0 / 16.0));
+        assert!(close(p.honest_one, 0.5));
+        // force_one = Pr[≥2 ones among 4] = (6+4+1)/16.
+        assert!(close(p.force_one, 11.0 / 16.0));
+        assert!(close(p.bias(), 11.0 / 16.0 - 0.5));
+    }
+
+    #[test]
+    fn majority_power_grows_with_coalition_size() {
+        let f = Majority::new(9);
+        let mut last = -1.0;
+        for k in 0..=9usize {
+            let mask = (1u64 << k) - 1;
+            let p = coalition_power(&f, mask);
+            assert!(p.bias() >= last - 1e-12, "bias dropped at k = {k}");
+            last = p.bias();
+        }
+        // A majority-of-the-majority controls outright.
+        let p = coalition_power(&f, (1 << 5) - 1);
+        assert!(close(p.control, 1.0));
+    }
+
+    #[test]
+    fn tribes_unanimous_tribe_controls_upward() {
+        let f = Tribes::new(3, 3);
+        // A whole tribe can always force 1 (join unanimously) but cannot
+        // always force 0 (some other tribe may already be unanimous).
+        let p = coalition_power(&f, 0b111);
+        assert!(close(p.force_one, 1.0));
+        assert!(p.force_zero < 1.0);
+    }
+
+    #[test]
+    fn tribes_honest_probability_matches_formula() {
+        // Pr[some tribe unanimous] = 1 − (1 − 2^{−w})^t.
+        let f = Tribes::new(3, 4);
+        let p = coalition_power(&f, 0);
+        let expect = 1.0 - (1.0 - 0.125f64).powi(4);
+        assert!(close(p.honest_one, expect));
+    }
+
+    #[test]
+    fn fncoin_wraps_arbitrary_functions() {
+        let f = FnCoin::new(3, "and", |bits| bits & 0b111 == 0b111);
+        assert_eq!(f.n(), 3);
+        assert!(f.eval(0b111));
+        assert!(!f.eval(0b110));
+        assert_eq!(f.name(), "and");
+    }
+
+    #[test]
+    fn best_coalition_finds_the_dictator() {
+        let f = Dictator::new(6, 4);
+        let (mask, power) = best_coalition(&f, 1);
+        assert_eq!(mask, 1 << 4);
+        assert!(close(power.control, 1.0));
+    }
+
+    #[test]
+    fn best_coalition_of_zero_is_powerless() {
+        let f = Majority::new(5);
+        let (mask, power) = best_coalition(&f, 0);
+        assert_eq!(mask, 0);
+        assert!(close(power.bias(), 0.0));
+    }
+
+    #[test]
+    fn coalition_mask_out_of_range_panics() {
+        let f = Majority::new(3);
+        let result = std::panic::catch_unwind(|| coalition_power(&f, 1 << 5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn power_quantities_are_probabilities() {
+        let f = Tribes::new(2, 3);
+        for mask in [0u64, 1, 0b11, 0b101010] {
+            let p = coalition_power(&f, mask);
+            for v in [p.honest_one, p.force_one, p.force_zero, p.control] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+            assert!(p.force_one >= p.honest_one - 1e-12);
+            assert!(p.control <= p.force_one.min(p.force_zero) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the full-information model: monotonicity of
+//! coalition power, DP/brute-force agreement, and structural invariants
+//! of the classic protocols.
+
+use fle_fullinfo::{
+    coalition_power, one_round_game, BatonGame, CoinFunction, FnCoin, IteratedMajority,
+    LightestBin, Majority, Parity, Tribes,
+};
+use proptest::prelude::*;
+
+/// A random boolean function on `n ≤ 10` bits represented by its truth
+/// table seed.
+fn arbitrary_fn(n: usize, seed: u64) -> FnCoin<impl Fn(u64) -> bool> {
+    FnCoin::new(n, "random", move |bits| {
+        // A cheap keyed mix: deterministic pseudo-random truth table.
+        let x = bits
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (x >> 17) & 1 == 1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coalition_power_is_monotone_under_inclusion(
+        seed in any::<u64>(),
+        small in 0u64..(1 << 7),
+        extra in 0u64..(1 << 7),
+    ) {
+        let f = arbitrary_fn(7, seed);
+        let big = small | extra;
+        let ps = coalition_power(&f, small);
+        let pb = coalition_power(&f, big);
+        prop_assert!(pb.force_one >= ps.force_one - 1e-12);
+        prop_assert!(pb.force_zero >= ps.force_zero - 1e-12);
+        prop_assert!(pb.control >= ps.control - 1e-12);
+    }
+
+    #[test]
+    fn force_probabilities_sandwich_the_honest_one(
+        seed in any::<u64>(),
+        coalition in 0u64..(1 << 6),
+    ) {
+        let f = arbitrary_fn(6, seed);
+        let p = coalition_power(&f, coalition);
+        prop_assert!(p.force_one + 1e-12 >= p.honest_one);
+        prop_assert!(p.force_zero + 1e-12 >= 1.0 - p.honest_one);
+        // Inclusion–exclusion: force1 + force0 − control = 1.
+        prop_assert!((p.force_one + p.force_zero - p.control - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimax_game_agrees_with_enumeration(
+        seed in any::<u64>(),
+        coalition in 0u64..(1 << 5),
+    ) {
+        let f = arbitrary_fn(5, seed);
+        let power = coalition_power(&f, coalition);
+        let game = one_round_game(&f, coalition);
+        let max1 = game.max_outcome_probability(coalition, 1);
+        prop_assert!((max1 - power.force_one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baton_probability_is_a_probability_and_monotone(n in 2usize..40, k in 0usize..40) {
+        let k = k.min(n);
+        let g = BatonGame::new(n, k);
+        let p = g.corrupt_leader_probability();
+        prop_assert!((0.0..=1.0).contains(&p));
+        if k < n {
+            let p_next = BatonGame::new(n, k + 1).corrupt_leader_probability();
+            prop_assert!(p_next + 1e-12 >= p);
+        }
+    }
+
+    #[test]
+    fn baton_beats_fair_share(n in 2usize..40, k in 1usize..40) {
+        // Optimal play can never do worse than passing honestly.
+        let k = k.min(n);
+        let g = BatonGame::new(n, k);
+        prop_assert!(g.bias() >= -1e-9);
+    }
+
+    #[test]
+    fn lightest_bin_rate_is_bounded_by_extremes(n in 2usize..24, k in 0usize..24, seed in any::<u64>()) {
+        let k = k.min(n);
+        let rate = LightestBin::new(n, k).corrupt_leader_rate(seed, 40);
+        prop_assert!((0.0..=1.0).contains(&rate));
+        if k == 0 {
+            prop_assert_eq!(rate, 0.0);
+        }
+        if k == n {
+            prop_assert_eq!(rate, 1.0);
+        }
+    }
+
+    #[test]
+    fn iterated_majority_distribution_sums_to_one(h in 0u32..6, mask in 0u64..512) {
+        let g = IteratedMajority::new(h);
+        let n = g.n();
+        let corrupted: Vec<u64> = (0..n.min(9)).filter(|&i| mask >> i & 1 == 1).collect();
+        let d = g.root_distribution(&corrupted);
+        prop_assert!((d.zero + d.one + d.free - 1.0).abs() < 1e-9);
+        prop_assert!(d.zero >= -1e-12 && d.one >= -1e-12 && d.free >= -1e-12);
+    }
+
+    #[test]
+    fn honest_symmetric_functions_are_fair(n in 1usize..12) {
+        // Parity is always balanced; odd majority is balanced.
+        let p = coalition_power(&Parity::new(n), 0);
+        prop_assert!((p.honest_one - 0.5).abs() < 1e-12);
+        if n % 2 == 1 {
+            let m = coalition_power(&Majority::new(n), 0);
+            prop_assert!((m.honest_one - 0.5).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn tribes_is_the_hardest_of_the_three_for_small_coalitions() {
+    // With one corrupted player, tribes' control is below parity's (1.0)
+    // and of the same order as majority's — the Ben-Or–Linial point that
+    // no function does much better than majority against size-1
+    // coalitions.
+    let t = coalition_power(&Tribes::new(3, 3), 1);
+    let m = coalition_power(&Majority::new(9), 1);
+    let p = coalition_power(&Parity::new(9), 1);
+    assert!(t.control < p.control);
+    assert!(m.control < p.control);
+}
+
+#[test]
+fn iterated_majority_dp_agrees_with_monte_carlo() {
+    // Estimate control probability by sampling honest bits and checking
+    // both-forcible exhaustively over the coalition bits.
+    use ring_sim::rng::SplitMix64;
+    let g = IteratedMajority::new(2);
+    let corrupted = vec![0u64, 4, 8];
+    let exact = g.control_probability(&corrupted);
+    let mut rng = SplitMix64::new(5);
+    let trials = 4000;
+    let mut both = 0u32;
+    for _ in 0..trials {
+        let honest: u64 = rng.next_u64();
+        let eval = |coal_bits: u64| {
+            let mut bits = 0u64;
+            let mut ci = 0;
+            for leaf in 0..9u64 {
+                let b = if corrupted.contains(&leaf) {
+                    let b = coal_bits >> ci & 1;
+                    ci += 1;
+                    b
+                } else {
+                    honest >> leaf & 1
+                };
+                bits |= b << leaf;
+            }
+            let maj3 = |a: u64, b: u64, c: u64| u64::from(a + b + c >= 2);
+            let s = |t: u64| {
+                maj3(bits >> (3 * t) & 1, bits >> (3 * t + 1) & 1, bits >> (3 * t + 2) & 1)
+            };
+            maj3(s(0), s(1), s(2))
+        };
+        let mut can = [false, false];
+        for cb in 0..8u64 {
+            can[eval(cb) as usize] = true;
+        }
+        if can[0] && can[1] {
+            both += 1;
+        }
+    }
+    let estimate = both as f64 / trials as f64;
+    assert!(
+        (estimate - exact).abs() < 0.03,
+        "exact {exact} vs Monte-Carlo {estimate}"
+    );
+}
+
+#[test]
+fn baton_simulation_tracks_dp_across_sizes() {
+    for (n, k) in [(6, 2), (10, 3), (16, 8)] {
+        let g = BatonGame::new(n, k);
+        let exact = g.corrupt_leader_probability();
+        let sim = g.simulate(11, 30_000);
+        assert!((exact - sim).abs() < 0.02, "n={n} k={k}: {exact} vs {sim}");
+    }
+}

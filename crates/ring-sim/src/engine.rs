@@ -1,0 +1,501 @@
+//! The discrete-event execution engine.
+
+use crate::node::{Ctx, Node};
+use crate::outcome::{outcome_of, Outcome};
+use crate::probe::Probe;
+use crate::scheduler::{FifoScheduler, Scheduler, Token};
+use crate::topology::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Default step limit for a topology of `n` nodes: generous enough for any
+/// protocol in this workspace (`A-LEADuni` delivers `n²` messages,
+/// `PhaseAsyncLead` delivers `2n²`).
+pub const DEFAULT_STEP_LIMIT: fn(usize) -> u64 = |n| 16 * (n as u64) * (n as u64) + 4096;
+
+/// Builder wiring nodes, topology, wake-ups, scheduler and probe into one
+/// runnable simulation.
+///
+/// # Examples
+///
+/// See the crate-level example. Typical protocol harnesses construct one
+/// `SimBuilder` per trial:
+///
+/// ```
+/// use ring_sim::{FnNode, RandomScheduler, SimBuilder, Topology};
+///
+/// let exec = SimBuilder::new(Topology::ring(3))
+///     .node(0, FnNode::new(|_, m: u64, ctx: &mut ring_sim::Ctx<'_, u64>| {
+///         ctx.terminate(Some(m));
+///     })
+///     .on_wake(|ctx| { ctx.send(9); ctx.terminate(Some(9)); }))
+///     .node(1, FnNode::new(|_, m, ctx: &mut ring_sim::Ctx<'_, u64>| {
+///         ctx.send(m);
+///         ctx.terminate(Some(m));
+///     }))
+///     .node(2, FnNode::new(|_, m, ctx: &mut ring_sim::Ctx<'_, u64>| {
+///         ctx.send(m);
+///         ctx.terminate(Some(m));
+///     }))
+///     .wake(0)
+///     .scheduler(RandomScheduler::new(1))
+///     .run();
+/// assert_eq!(exec.outcome.elected(), Some(9));
+/// ```
+pub struct SimBuilder<'p, M> {
+    topology: Topology,
+    nodes: Vec<Option<Box<dyn Node<M> + 'p>>>,
+    wakes: Vec<NodeId>,
+    scheduler: Box<dyn Scheduler + 'p>,
+    step_limit: u64,
+    probe: Option<&'p mut dyn Probe<M>>,
+}
+
+impl<'p, M> std::fmt::Debug for SimBuilder<'p, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("topology", &self.topology)
+            .field("wakes", &self.wakes)
+            .field("step_limit", &self.step_limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p, M> SimBuilder<'p, M> {
+    /// Starts a builder for the given topology with the default FIFO
+    /// scheduler and step limit.
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.len();
+        Self {
+            topology,
+            nodes: (0..n).map(|_| None).collect(),
+            wakes: Vec::new(),
+            scheduler: Box::new(FifoScheduler::new()),
+            step_limit: DEFAULT_STEP_LIMIT(n),
+            probe: None,
+        }
+    }
+
+    /// Installs the behaviour of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already assigned.
+    pub fn node(mut self, id: NodeId, node: impl Node<M> + 'p) -> Self {
+        assert!(id < self.nodes.len(), "node id {id} out of range");
+        assert!(self.nodes[id].is_none(), "node {id} assigned twice");
+        self.nodes[id] = Some(Box::new(node));
+        self
+    }
+
+    /// Installs a boxed behaviour of node `id` (for heterogeneous
+    /// protocol/attack mixes built at runtime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already assigned.
+    pub fn boxed_node(mut self, id: NodeId, node: Box<dyn Node<M> + 'p>) -> Self {
+        assert!(id < self.nodes.len(), "node id {id} out of range");
+        assert!(self.nodes[id].is_none(), "node {id} assigned twice");
+        self.nodes[id] = Some(node);
+        self
+    }
+
+    /// Schedules a spontaneous wake-up for `id` (wake-ups are scheduled
+    /// like messages, so they interleave obliviously with deliveries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn wake(mut self, id: NodeId) -> Self {
+        assert!(id < self.nodes.len(), "wake id {id} out of range");
+        self.wakes.push(id);
+        self
+    }
+
+    /// Schedules wake-ups for every node, in id order.
+    pub fn wake_all(mut self) -> Self {
+        let n = self.nodes.len();
+        self.wakes.extend(0..n);
+        self
+    }
+
+    /// Replaces the default FIFO scheduler.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'p) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Overrides the step limit (each wake-up or delivery is one step).
+    pub fn step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Attaches an observation probe for this run.
+    pub fn probe(mut self, probe: &'p mut dyn Probe<M>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Runs the simulation to completion and returns the [`Execution`].
+    ///
+    /// The run ends when all nodes have terminated, when no tokens remain
+    /// (deadlock), or when the step limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id was left without a behaviour — an incomplete
+    /// wiring is a programming error.
+    pub fn run(self) -> Execution {
+        let SimBuilder {
+            topology,
+            nodes,
+            wakes,
+            mut scheduler,
+            step_limit,
+            mut probe,
+        } = self;
+        let n = topology.len();
+        let mut nodes: Vec<Box<dyn Node<M> + 'p>> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("node {i} has no behaviour")))
+            .collect();
+        let out_neighbors: Vec<Vec<NodeId>> =
+            (0..n).map(|i| topology.out_neighbors(i)).collect();
+        // Per-node map from successor id to edge id (out-degrees are tiny,
+        // linear scan is fastest).
+        let out_edge_of: Vec<Vec<(NodeId, usize)>> = (0..n)
+            .map(|i| {
+                topology
+                    .out_edges(i)
+                    .iter()
+                    .map(|&e| (topology.edges()[e].1, e))
+                    .collect()
+            })
+            .collect();
+
+        let mut queues: Vec<VecDeque<M>> = (0..topology.edges().len())
+            .map(|_| VecDeque::new())
+            .collect();
+        let mut outputs: Vec<Option<Option<u64>>> = vec![None; n];
+        let mut sent = vec![0u64; n];
+        let mut received = vec![0u64; n];
+        let mut delivered = 0u64;
+        let mut steps = 0u64;
+
+        for &w in &wakes {
+            scheduler.push(Token::Wake(w));
+        }
+
+        let apply_ctx = |me: NodeId,
+                             ctx: Ctx<'_, M>,
+                             queues: &mut Vec<VecDeque<M>>,
+                             outputs: &mut Vec<Option<Option<u64>>>,
+                             sent: &mut Vec<u64>,
+                             scheduler: &mut Box<dyn Scheduler + 'p>,
+                             probe: &mut Option<&'p mut dyn Probe<M>>| {
+            let Ctx { sends, output, .. } = ctx;
+            for (to, msg) in sends {
+                let edge = out_edge_of[me]
+                    .iter()
+                    .find(|&&(t, _)| t == to)
+                    .map(|&(_, e)| e)
+                    .expect("Ctx validated the link exists");
+                sent[me] += 1;
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_send(me, to, &msg, sent);
+                }
+                queues[edge].push_back(msg);
+                scheduler.push(Token::Deliver(edge));
+            }
+            if let Some(out) = output {
+                outputs[me] = Some(out);
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_terminate(me, out);
+                }
+            }
+        };
+
+        let mut hit_limit = false;
+        while let Some(token) = scheduler.pop() {
+            if steps >= step_limit {
+                hit_limit = true;
+                break;
+            }
+            steps += 1;
+            match token {
+                Token::Wake(i) => {
+                    if outputs[i].is_none() {
+                        let mut ctx = Ctx::new(i, &out_neighbors[i]);
+                        nodes[i].on_wake(&mut ctx);
+                        apply_ctx(
+                            i,
+                            ctx,
+                            &mut queues,
+                            &mut outputs,
+                            &mut sent,
+                            &mut scheduler,
+                            &mut probe,
+                        );
+                    }
+                }
+                Token::Deliver(edge) => {
+                    let msg = queues[edge]
+                        .pop_front()
+                        .expect("token implies a queued message");
+                    let (from, to) = topology.edges()[edge];
+                    received[to] += 1;
+                    delivered += 1;
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_deliver(from, to, &msg, &received);
+                    }
+                    if outputs[to].is_none() {
+                        let mut ctx = Ctx::new(to, &out_neighbors[to]);
+                        nodes[to].on_message(from, msg, &mut ctx);
+                        apply_ctx(
+                            to,
+                            ctx,
+                            &mut queues,
+                            &mut outputs,
+                            &mut sent,
+                            &mut scheduler,
+                            &mut probe,
+                        );
+                    }
+                }
+            }
+        }
+
+        let outcome = outcome_of(&outputs, !hit_limit);
+        Execution {
+            outcome,
+            outputs,
+            stats: Stats {
+                steps,
+                delivered,
+                sent,
+                received,
+            },
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// The global outcome.
+    pub outcome: Outcome,
+    /// Per-node terminal outputs (`None` = never terminated,
+    /// `Some(None)` = aborted with `⊥`, `Some(Some(v))` = output `v`).
+    pub outputs: Vec<Option<Option<u64>>>,
+    /// Counters gathered during the run.
+    pub stats: Stats,
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Total wake-ups plus deliveries processed.
+    pub steps: u64,
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Messages sent per node.
+    pub sent: Vec<u64>,
+    /// Messages received per node (including messages dropped because the
+    /// receiver had terminated).
+    pub received: Vec<u64>,
+}
+
+impl Stats {
+    /// Total messages sent across all nodes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::FnNode;
+    use crate::outcome::FailReason;
+    use crate::scheduler::{LifoScheduler, RandomScheduler};
+    use crate::Topology;
+
+    /// Token-ring counter: origin starts a token; each node increments and
+    /// forwards; everyone terminates with the value they saw at `3n`.
+    fn token_ring(n: usize, scheduler: impl Scheduler + 'static) -> Execution {
+        let target = 3 * n as u64;
+        let mut b = SimBuilder::new(Topology::ring(n)).scheduler(scheduler);
+        for i in 0..n {
+            let node = FnNode::new(move |_from, m: u64, ctx: &mut Ctx<'_, u64>| {
+                if m >= target {
+                    if m < target + n as u64 - 1 {
+                        ctx.send(m + 1);
+                    }
+                    ctx.terminate(Some(target));
+                } else {
+                    ctx.send(m + 1);
+                }
+            })
+            .on_wake(move |ctx| {
+                ctx.send(1);
+            });
+            if i == 0 {
+                b = b.node(i, node);
+            } else {
+                b = b.node(
+                    i,
+                    FnNode::new(move |_from, m: u64, ctx: &mut Ctx<'_, u64>| {
+                        if m >= target {
+                            if m < target + n as u64 - 1 {
+                                ctx.send(m + 1);
+                            }
+                            ctx.terminate(Some(target));
+                        } else {
+                            ctx.send(m + 1);
+                        }
+                    }),
+                );
+            }
+        }
+        b.wake(0).run()
+    }
+
+    #[test]
+    fn token_ring_elects_target_under_fifo() {
+        let exec = token_ring(5, FifoScheduler::new());
+        assert_eq!(exec.outcome, Outcome::Elected(15));
+    }
+
+    #[test]
+    fn token_ring_schedule_independent() {
+        let fifo = token_ring(6, FifoScheduler::new());
+        let lifo = token_ring(6, LifoScheduler::new());
+        let rand = token_ring(6, RandomScheduler::new(99));
+        assert_eq!(fifo.outcome, lifo.outcome);
+        assert_eq!(fifo.outcome, rand.outcome);
+    }
+
+    #[test]
+    fn silent_network_deadlocks() {
+        let exec: Execution = SimBuilder::new(Topology::ring(2))
+            .node(0, FnNode::new(|_, _: u64, _| {}))
+            .node(1, FnNode::new(|_, _: u64, _| {}))
+            .run();
+        assert_eq!(exec.outcome, Outcome::Fail(FailReason::Deadlock));
+    }
+
+    #[test]
+    fn infinite_chatter_hits_step_limit() {
+        let exec: Execution = SimBuilder::new(Topology::ring(2))
+            .node(
+                0,
+                FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.send(m))
+                    .on_wake(|ctx| ctx.send(0)),
+            )
+            .node(1, FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.send(m)))
+            .wake(0)
+            .step_limit(500)
+            .run();
+        assert_eq!(exec.outcome, Outcome::Fail(FailReason::StepLimit));
+        assert_eq!(exec.stats.steps, 500);
+    }
+
+    #[test]
+    fn messages_to_terminated_nodes_are_dropped() {
+        // Node 1 terminates on first message; node 0 sends two.
+        let exec: Execution = SimBuilder::new(Topology::ring(2))
+            .node(
+                0,
+                FnNode::new(|_, _: u64, ctx: &mut Ctx<'_, u64>| ctx.terminate(Some(1)))
+                    .on_wake(|ctx| {
+                        ctx.send(1);
+                        ctx.send(2);
+                        ctx.terminate(Some(1));
+                    }),
+            )
+            .node(
+                1,
+                FnNode::new(|_, _m: u64, ctx: &mut Ctx<'_, u64>| ctx.terminate(Some(1))),
+            )
+            .wake(0)
+            .run();
+        assert_eq!(exec.outcome, Outcome::Elected(1));
+        assert_eq!(exec.stats.received[1], 2); // both counted, one dropped
+    }
+
+    #[test]
+    fn fifo_link_order_is_preserved_even_under_lifo_scheduler() {
+        // Node 0 sends 1, 2, 3 to node 1; node 1 records order.
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let exec: Execution = SimBuilder::new(Topology::ring(2))
+            .node(
+                0,
+                FnNode::new(|_, _: u64, _ctx: &mut Ctx<'_, u64>| {}).on_wake(|ctx| {
+                    ctx.send(1);
+                    ctx.send(2);
+                    ctx.send(3);
+                    ctx.terminate(Some(0));
+                }),
+            )
+            .node(
+                1,
+                FnNode::new(move |_, m: u64, ctx: &mut Ctx<'_, u64>| {
+                    seen2.borrow_mut().push(m);
+                    if seen2.borrow().len() == 3 {
+                        ctx.terminate(Some(0));
+                    }
+                }),
+            )
+            .wake(0)
+            .scheduler(LifoScheduler::new())
+            .run();
+        assert_eq!(exec.outcome, Outcome::Elected(0));
+        assert_eq!(*seen.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_count_sends_and_receives() {
+        let exec = token_ring(4, FifoScheduler::new());
+        assert_eq!(exec.stats.total_sent(), exec.stats.delivered);
+        assert!(exec.stats.sent.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no behaviour")]
+    fn missing_node_panics() {
+        let _ = SimBuilder::<u64>::new(Topology::ring(2))
+            .node(0, FnNode::new(|_, _: u64, _| {}))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_node_panics() {
+        let _ = SimBuilder::<u64>::new(Topology::ring(2))
+            .node(0, FnNode::new(|_, _: u64, _| {}))
+            .node(0, FnNode::new(|_, _: u64, _| {}));
+    }
+
+    #[test]
+    fn wake_all_wakes_everyone() {
+        let exec: Execution = SimBuilder::new(Topology::ring(3))
+            .node(
+                0,
+                FnNode::new(|_, _: u64, _| {}).on_wake(|ctx| ctx.terminate(Some(7))),
+            )
+            .node(
+                1,
+                FnNode::new(|_, _: u64, _| {}).on_wake(|ctx| ctx.terminate(Some(7))),
+            )
+            .node(
+                2,
+                FnNode::new(|_, _: u64, _| {}).on_wake(|ctx| ctx.terminate(Some(7))),
+            )
+            .wake_all()
+            .run();
+        assert_eq!(exec.outcome, Outcome::Elected(7));
+    }
+}

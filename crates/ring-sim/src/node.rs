@@ -1,0 +1,234 @@
+//! The [`Node`] behaviour trait and the [`Ctx`] action handle.
+
+use crate::topology::NodeId;
+
+/// Behaviour of a single processor.
+///
+/// A node is activated exactly once per wake-up or message delivery. During
+/// an activation it may send any number of messages and may terminate with
+/// an output (paper, Section 2: "When a processor receives a message, it may
+/// send zero or more messages and afterwards it may also select some output
+/// and terminate"). After terminating, a node is never activated again;
+/// messages delivered to it are counted and dropped.
+///
+/// Implementations are *strategies* in the paper's game-theoretic sense:
+/// the honest protocol assigns one strategy to every node, an adversarial
+/// deviation substitutes arbitrary strategies on the coalition.
+pub trait Node<M> {
+    /// Called when the node wakes up spontaneously (only for nodes listed
+    /// in [`crate::SimBuilder::wake`]).
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message arrives on an incoming link.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<'_, M>);
+}
+
+/// A [`Node`] built from a closure, convenient for tests and small
+/// experiments.
+///
+/// The closure receives `(from, msg, ctx)` on every delivery; wake-up calls
+/// the optional wake closure.
+///
+/// # Examples
+///
+/// ```
+/// use ring_sim::{FnNode, Outcome, SimBuilder, Topology};
+///
+/// let echo = |_from: usize, msg: u64, ctx: &mut ring_sim::Ctx<'_, u64>| {
+///     ctx.terminate(Some(msg));
+/// };
+/// let exec = SimBuilder::new(Topology::ring(2))
+///     .node(0, FnNode::new(echo).on_wake(|ctx| ctx.send(7)))
+///     .node(1, FnNode::new(echo))
+///     .wake(0)
+///     .run();
+/// // node 0 never receives anything, so the run deadlocks without
+/// // unanimous termination:
+/// assert!(matches!(exec.outcome, Outcome::Fail(_)));
+/// ```
+pub struct FnNode<M, F, W = fn(&mut Ctx<'_, M>)>
+where
+    F: FnMut(NodeId, M, &mut Ctx<'_, M>),
+    W: FnMut(&mut Ctx<'_, M>),
+{
+    on_message: F,
+    on_wake: Option<W>,
+    _marker: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M, F> FnNode<M, F>
+where
+    F: FnMut(NodeId, M, &mut Ctx<'_, M>),
+{
+    /// Creates a node that handles messages with `f` and ignores wake-ups.
+    pub fn new(f: F) -> Self {
+        FnNode {
+            on_message: f,
+            on_wake: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, F, W> FnNode<M, F, W>
+where
+    F: FnMut(NodeId, M, &mut Ctx<'_, M>),
+    W: FnMut(&mut Ctx<'_, M>),
+{
+    /// Adds a wake-up handler.
+    pub fn on_wake<W2>(self, w: W2) -> FnNode<M, F, W2>
+    where
+        W2: FnMut(&mut Ctx<'_, M>),
+    {
+        FnNode {
+            on_message: self.on_message,
+            on_wake: Some(w),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, F, W> Node<M> for FnNode<M, F, W>
+where
+    F: FnMut(NodeId, M, &mut Ctx<'_, M>),
+    W: FnMut(&mut Ctx<'_, M>),
+{
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, M>) {
+        if let Some(w) = &mut self.on_wake {
+            w(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<'_, M>) {
+        (self.on_message)(from, msg, ctx);
+    }
+}
+
+/// Handle given to a node during an activation.
+///
+/// Lets the node send messages along its outgoing links and terminate with
+/// an output. All actions are buffered and applied by the engine after the
+/// activation returns.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) out_neighbors: &'a [NodeId],
+    pub(crate) sends: Vec<(NodeId, M)>,
+    pub(crate) output: Option<Option<u64>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(me: NodeId, out_neighbors: &'a [NodeId]) -> Self {
+        Ctx {
+            me,
+            out_neighbors,
+            sends: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// The id of the node being activated.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's successors, in edge-insertion order.
+    pub fn out_neighbors(&self) -> &[NodeId] {
+        self.out_neighbors
+    }
+
+    /// Sends `msg` on the node's unique outgoing link.
+    ///
+    /// This is the natural primitive on a unidirectional ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not have exactly one outgoing link; use
+    /// [`Ctx::send_to`] on general topologies.
+    pub fn send(&mut self, msg: M) {
+        assert_eq!(
+            self.out_neighbors.len(),
+            1,
+            "Ctx::send requires exactly one outgoing link (node {} has {}); use send_to",
+            self.me,
+            self.out_neighbors.len()
+        );
+        let to = self.out_neighbors[0];
+        self.sends.push((to, msg));
+    }
+
+    /// Sends `msg` to the neighbor `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no edge from this node to `to` — sending on a
+    /// non-existent link is a programming error, not a runtime condition.
+    pub fn send_to(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.out_neighbors.contains(&to),
+            "node {} has no outgoing link to {}",
+            self.me,
+            to
+        );
+        self.sends.push((to, msg));
+    }
+
+    /// Terminates this node with the given output.
+    ///
+    /// `Some(v)` is a regular output, `None` is the abort output `⊥`.
+    /// Sends buffered earlier in the same activation are still delivered;
+    /// the node is never activated again afterwards. Calling `terminate`
+    /// twice in one activation keeps the first output.
+    pub fn terminate(&mut self, output: Option<u64>) {
+        if self.output.is_none() {
+            self.output = Some(output);
+        }
+    }
+
+    /// Terminates with the abort output `⊥` (the paper's punishment for a
+    /// detected deviation).
+    pub fn abort(&mut self) {
+        self.terminate(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_sends_in_order() {
+        let neigh = [1usize];
+        let mut ctx: Ctx<'_, u64> = Ctx::new(0, &neigh);
+        ctx.send(10);
+        ctx.send(20);
+        assert_eq!(ctx.sends, vec![(1, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn terminate_keeps_first_output() {
+        let neigh = [1usize];
+        let mut ctx: Ctx<'_, u64> = Ctx::new(0, &neigh);
+        ctx.terminate(Some(3));
+        ctx.terminate(Some(9));
+        assert_eq!(ctx.output, Some(Some(3)));
+    }
+
+    #[test]
+    fn abort_is_none_output() {
+        let neigh = [1usize];
+        let mut ctx: Ctx<'_, u64> = Ctx::new(0, &neigh);
+        ctx.abort();
+        assert_eq!(ctx.output, Some(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "no outgoing link")]
+    fn send_to_nonexistent_link_panics() {
+        let neigh = [1usize];
+        let mut ctx: Ctx<'_, u64> = Ctx::new(0, &neigh);
+        ctx.send_to(2, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Global execution outcomes.
+
+/// The global outcome of an execution (paper, Section 2).
+///
+/// `outcome(e) = o` when **all** processors terminate with output `o`;
+/// everything else — an abort (`⊥`), disagreement between two outputs, or a
+/// processor that never terminates — is `FAIL`. The solution-preference
+/// assumption gives every rational agent utility 0 for `FAIL`, which is why
+/// honest nodes can punish detected deviations by aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Every node terminated with the same output value.
+    Elected(u64),
+    /// The execution failed; the reason is diagnostic only — all failures
+    /// are identical from the game's perspective.
+    Fail(FailReason),
+}
+
+impl Outcome {
+    /// The elected value, if any.
+    pub fn elected(&self) -> Option<u64> {
+        match self {
+            Outcome::Elected(v) => Some(*v),
+            Outcome::Fail(_) => None,
+        }
+    }
+
+    /// `true` if the execution failed.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Elected(v) => write!(f, "elected({v})"),
+            Outcome::Fail(r) => write!(f, "fail({r})"),
+        }
+    }
+}
+
+/// Why an execution failed. Diagnostic detail beyond the paper's single
+/// `FAIL` outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailReason {
+    /// Some node terminated with the abort output `⊥`.
+    Abort,
+    /// Two nodes terminated with different outputs.
+    Disagreement,
+    /// No messages remained in flight but some node never terminated.
+    Deadlock,
+    /// The step limit was exceeded (treated as non-termination).
+    StepLimit,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailReason::Abort => "abort",
+            FailReason::Disagreement => "disagreement",
+            FailReason::Deadlock => "deadlock",
+            FailReason::StepLimit => "step limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Derives the global outcome from per-node outputs.
+///
+/// `outputs[i]` is `None` while node `i` has not terminated, `Some(None)`
+/// for `⊥`, and `Some(Some(v))` for a regular output.
+pub(crate) fn outcome_of(outputs: &[Option<Option<u64>>], all_delivered: bool) -> Outcome {
+    let mut agreed: Option<u64> = None;
+    for out in outputs {
+        match out {
+            None => {
+                return Outcome::Fail(if all_delivered {
+                    FailReason::Deadlock
+                } else {
+                    FailReason::StepLimit
+                });
+            }
+            Some(None) => return Outcome::Fail(FailReason::Abort),
+            Some(Some(v)) => match agreed {
+                None => agreed = Some(*v),
+                Some(prev) if prev != *v => return Outcome::Fail(FailReason::Disagreement),
+                Some(_) => {}
+            },
+        }
+    }
+    match agreed {
+        Some(v) => Outcome::Elected(v),
+        // Zero nodes: vacuously everyone agrees, but there is no value.
+        None => Outcome::Fail(FailReason::Deadlock),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_outputs_elect() {
+        let outs = vec![Some(Some(4)), Some(Some(4)), Some(Some(4))];
+        assert_eq!(outcome_of(&outs, true), Outcome::Elected(4));
+    }
+
+    #[test]
+    fn any_abort_fails() {
+        let outs = vec![Some(Some(4)), Some(None), Some(Some(4))];
+        assert_eq!(outcome_of(&outs, true), Outcome::Fail(FailReason::Abort));
+    }
+
+    #[test]
+    fn disagreement_fails() {
+        let outs = vec![Some(Some(4)), Some(Some(5))];
+        assert_eq!(
+            outcome_of(&outs, true),
+            Outcome::Fail(FailReason::Disagreement)
+        );
+    }
+
+    #[test]
+    fn unterminated_is_deadlock_or_step_limit() {
+        let outs = vec![Some(Some(4)), None];
+        assert_eq!(outcome_of(&outs, true), Outcome::Fail(FailReason::Deadlock));
+        assert_eq!(
+            outcome_of(&outs, false),
+            Outcome::Fail(FailReason::StepLimit)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Outcome::Elected(3).elected(), Some(3));
+        assert!(Outcome::Fail(FailReason::Abort).is_fail());
+        assert!(!Outcome::Elected(0).is_fail());
+        assert_eq!(Outcome::Elected(1).to_string(), "elected(1)");
+        assert_eq!(Outcome::Fail(FailReason::Abort).to_string(), "fail(abort)");
+    }
+}

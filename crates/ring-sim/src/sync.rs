@@ -1,0 +1,279 @@
+//! A synchronous round-based engine (the classical synchronous LOCAL
+//! model).
+//!
+//! The paper's hard results live in the *asynchronous* model; its related
+//! work (Section 1.1) notes that synchronous networks admit trivially
+//! optimal fair leader election, resilient to `n − 1` rational agents,
+//! because **silence is detectable**: every processor must commit its
+//! message for round `r` before seeing anyone else's round-`r` message,
+//! and a processor that stays quiet is caught immediately. This engine
+//! makes that contrast executable (see `fle-core`'s `SyncLead`).
+//!
+//! Rounds proceed in lock-step: at round `r` every live node receives the
+//! messages addressed to it in round `r − 1` (sorted by sender id) and
+//! produces its round-`r` sends atomically.
+
+use crate::outcome::{outcome_of, Outcome};
+use crate::topology::{NodeId, Topology};
+
+/// Behaviour of a processor in the synchronous model.
+pub trait SyncNode<M> {
+    /// Called once per round while the node is live. `inbox` holds the
+    /// previous round's messages to this node, sorted by sender.
+    fn on_round(&mut self, round: usize, inbox: &[(NodeId, M)], ctx: &mut SyncCtx<'_, M>);
+}
+
+/// Action handle for one synchronous round.
+#[derive(Debug)]
+pub struct SyncCtx<'a, M> {
+    me: NodeId,
+    out_neighbors: &'a [NodeId],
+    sends: Vec<(NodeId, M)>,
+    output: Option<Option<u64>>,
+}
+
+impl<'a, M> SyncCtx<'a, M> {
+    /// The node being activated.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The node's successors in the topology.
+    pub fn out_neighbors(&self) -> &[NodeId] {
+        self.out_neighbors
+    }
+
+    /// Sends `msg` to neighbor `to`, delivered at the start of the next
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no edge to `to`.
+    pub fn send_to(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.out_neighbors.contains(&to),
+            "node {} has no link to {to}",
+            self.me
+        );
+        self.sends.push((to, msg));
+    }
+
+    /// Terminates with an output (`None` = abort `⊥`); sends from this
+    /// round are still delivered.
+    pub fn terminate(&mut self, output: Option<u64>) {
+        if self.output.is_none() {
+            self.output = Some(output);
+        }
+    }
+
+    /// Terminates with the abort output `⊥`.
+    pub fn abort(&mut self) {
+        self.terminate(None);
+    }
+}
+
+/// A synchronous simulation over a topology.
+pub struct SyncSim<'p, M> {
+    topology: Topology,
+    nodes: Vec<Option<Box<dyn SyncNode<M> + 'p>>>,
+    max_rounds: usize,
+}
+
+impl<'p, M> std::fmt::Debug for SyncSim<'p, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSim")
+            .field("topology", &self.topology)
+            .field("max_rounds", &self.max_rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p, M> SyncSim<'p, M> {
+    /// Starts a builder over the topology (default 4·n rounds cap).
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.len();
+        Self {
+            topology,
+            nodes: (0..n).map(|_| None).collect(),
+            max_rounds: 4 * n + 8,
+        }
+    }
+
+    /// Installs the behaviour of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already assigned.
+    pub fn node(mut self, id: NodeId, node: impl SyncNode<M> + 'p) -> Self {
+        assert!(id < self.nodes.len(), "node id {id} out of range");
+        assert!(self.nodes[id].is_none(), "node {id} assigned twice");
+        self.nodes[id] = Some(Box::new(node));
+        self
+    }
+
+    /// Installs a boxed behaviour of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or already assigned.
+    pub fn boxed_node(mut self, id: NodeId, node: Box<dyn SyncNode<M> + 'p>) -> Self {
+        assert!(id < self.nodes.len(), "node id {id} out of range");
+        assert!(self.nodes[id].is_none(), "node {id} assigned twice");
+        self.nodes[id] = Some(node);
+        self
+    }
+
+    /// Caps the number of rounds (non-termination ⇒ `FAIL`).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs to unanimous termination or the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node id was left without a behaviour.
+    pub fn run(self) -> SyncExecution {
+        let n = self.topology.len();
+        let mut nodes: Vec<Box<dyn SyncNode<M> + 'p>> = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("node {i} has no behaviour")))
+            .collect();
+        let out_neighbors: Vec<Vec<NodeId>> =
+            (0..n).map(|i| self.topology.out_neighbors(i)).collect();
+        let mut outputs: Vec<Option<Option<u64>>> = vec![None; n];
+        let mut inboxes: Vec<Vec<(NodeId, M)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut messages = 0u64;
+        let mut rounds = 0usize;
+        for round in 0..self.max_rounds {
+            rounds = round;
+            if outputs.iter().all(Option::is_some) {
+                break;
+            }
+            let mut next: Vec<Vec<(NodeId, M)>> = (0..n).map(|_| Vec::new()).collect();
+            for (id, node) in nodes.iter_mut().enumerate() {
+                if outputs[id].is_some() {
+                    continue;
+                }
+                let mut inbox = std::mem::take(&mut inboxes[id]);
+                inbox.sort_by_key(|&(from, _)| from);
+                let mut ctx = SyncCtx {
+                    me: id,
+                    out_neighbors: &out_neighbors[id],
+                    sends: Vec::new(),
+                    output: None,
+                };
+                node.on_round(round, &inbox, &mut ctx);
+                messages += ctx.sends.len() as u64;
+                for (to, msg) in ctx.sends {
+                    next[to].push((id, msg));
+                }
+                if let Some(out) = ctx.output {
+                    outputs[id] = Some(out);
+                }
+            }
+            inboxes = next;
+        }
+        SyncExecution {
+            outcome: outcome_of(&outputs, false),
+            outputs,
+            rounds,
+            messages,
+        }
+    }
+}
+
+/// Result of a synchronous run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncExecution {
+    /// The global outcome.
+    pub outcome: Outcome,
+    /// Per-node terminal outputs.
+    pub outputs: Vec<Option<Option<u64>>>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages sent.
+    pub messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::FailReason;
+
+    struct Echo {
+        n: usize,
+    }
+
+    impl SyncNode<u64> for Echo {
+        fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+            match round {
+                0 => {
+                    for to in 0..self.n {
+                        if to != ctx.me() {
+                            ctx.send_to(to, ctx.me() as u64);
+                        }
+                    }
+                }
+                _ => {
+                    let sum: u64 = inbox.iter().map(|&(_, v)| v).sum();
+                    ctx.terminate(Some(sum));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_sum_in_two_rounds() {
+        let n = 5;
+        let mut sim = SyncSim::new(Topology::complete(n));
+        for i in 0..n {
+            sim = sim.node(i, Echo { n });
+        }
+        let exec = sim.run();
+        // Each node sums the other ids: total = 0+1+2+3+4 − own id.
+        assert!(exec.outcome.is_fail()); // outputs differ per node
+        assert_eq!(exec.rounds, 2);
+        assert_eq!(exec.messages, (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn round_cap_fails_cleanly() {
+        struct Forever;
+        impl SyncNode<u64> for Forever {
+            fn on_round(&mut self, _r: usize, _i: &[(NodeId, u64)], _c: &mut SyncCtx<'_, u64>) {}
+        }
+        let exec = SyncSim::<u64>::new(Topology::complete(2))
+            .node(0, Forever)
+            .node(1, Forever)
+            .max_rounds(5)
+            .run();
+        assert_eq!(exec.outcome, Outcome::Fail(FailReason::StepLimit));
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        struct Check;
+        impl SyncNode<u64> for Check {
+            fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+                if round == 0 {
+                    for to in ctx.out_neighbors().to_vec() {
+                        ctx.send_to(to, 1);
+                    }
+                } else {
+                    assert!(inbox.windows(2).all(|w| w[0].0 < w[1].0));
+                    ctx.terminate(Some(0));
+                }
+            }
+        }
+        let n = 6;
+        let mut sim = SyncSim::new(Topology::complete(n));
+        for i in 0..n {
+            sim = sim.node(i, Check);
+        }
+        assert_eq!(sim.run().outcome, Outcome::Elected(0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use ring_sim::rng::SplitMix64;
+use ring_sim::{
+    Ctx, FifoScheduler, FnNode, LifoScheduler, NodeId, Outcome, RandomScheduler, Scheduler,
+    SimBuilder, Token, Topology,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `next_below` is always in range and deterministic per seed.
+    #[test]
+    fn rng_next_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..10 {
+            let x = a.next_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_below(bound));
+        }
+    }
+
+    /// Derived streams never collide with the parent stream prefix.
+    #[test]
+    fn rng_derive_separates_streams(seed in any::<u64>(), salt in 0u64..1000) {
+        let parent = SplitMix64::new(seed);
+        let mut c1 = parent.derive(salt);
+        let mut c2 = parent.derive(salt.wrapping_add(1));
+        prop_assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    /// Every scheduler returns exactly the multiset of pushed tokens.
+    #[test]
+    fn schedulers_conserve_tokens(edges in proptest::collection::vec(0usize..50, 1..80), seed in any::<u64>()) {
+        let run = |mut s: Box<dyn Scheduler>| {
+            for &e in &edges {
+                s.push(Token::Deliver(e));
+            }
+            let mut out = Vec::new();
+            while let Some(Token::Deliver(e)) = s.pop() {
+                out.push(e);
+            }
+            out.sort_unstable();
+            out
+        };
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(run(Box::new(FifoScheduler::new())), expect.clone());
+        prop_assert_eq!(run(Box::new(LifoScheduler::new())), expect.clone());
+        prop_assert_eq!(run(Box::new(RandomScheduler::new(seed))), expect);
+    }
+
+    /// On a unidirectional ring every oblivious schedule produces the same
+    /// outcome (the paper's Section 2 observation).
+    #[test]
+    fn ring_outcomes_are_schedule_independent(n in 3usize..12, laps in 1u64..4, seed in any::<u64>()) {
+        let target = laps * n as u64;
+        let build = || {
+            let mut b: SimBuilder<'_, u64> = SimBuilder::new(Topology::ring(n));
+            for i in 0..n {
+                let node = FnNode::new(move |_f: NodeId, m: u64, ctx: &mut Ctx<'_, u64>| {
+                    if m >= target {
+                        if m < target + n as u64 - 1 {
+                            ctx.send(m + 1);
+                        }
+                        ctx.terminate(Some(target));
+                    } else {
+                        ctx.send(m + 1);
+                    }
+                });
+                if i == 0 {
+                    b = b.node(0, FnNode::new(move |_f: NodeId, m: u64, ctx: &mut Ctx<'_, u64>| {
+                        if m >= target {
+                            if m < target + n as u64 - 1 {
+                                ctx.send(m + 1);
+                            }
+                            ctx.terminate(Some(target));
+                        } else {
+                            ctx.send(m + 1);
+                        }
+                    }).on_wake(|ctx| ctx.send(1)));
+                } else {
+                    b = b.node(i, node);
+                }
+            }
+            b.wake(0)
+        };
+        let fifo = build().scheduler(FifoScheduler::new()).run();
+        let lifo = build().scheduler(LifoScheduler::new()).run();
+        let rand = build().scheduler(RandomScheduler::new(seed)).run();
+        prop_assert_eq!(fifo.outcome, Outcome::Elected(target));
+        prop_assert_eq!(lifo.outcome, fifo.outcome);
+        prop_assert_eq!(rand.outcome, fifo.outcome);
+    }
+
+    /// Message conservation: everything sent is eventually delivered (no
+    /// deadlock scenarios here because every node replies until target).
+    #[test]
+    fn sends_equal_deliveries(n in 2usize..8) {
+        let mut b: SimBuilder<'_, u64> = SimBuilder::new(Topology::ring(n));
+        for i in 0..n {
+            b = b.node(
+                i,
+                FnNode::new(move |_f: NodeId, m: u64, ctx: &mut Ctx<'_, u64>| {
+                    if m == 0 {
+                        ctx.terminate(Some(1));
+                    } else {
+                        ctx.send(m - 1);
+                        ctx.terminate(Some(1));
+                    }
+                })
+                .on_wake(move |ctx| {
+                    ctx.send(3);
+                }),
+            );
+        }
+        let exec = b.wake_all().run();
+        prop_assert_eq!(exec.stats.total_sent(), exec.stats.delivered);
+    }
+}

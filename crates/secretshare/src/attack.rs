@@ -1,0 +1,245 @@
+//! The share-pooling rushing attack on `A-LEADfc`, demonstrating that its
+//! `⌈n/2⌉ − 1` resilience is tight.
+//!
+//! Every adversary except a designated *leader* deals the secret `0`
+//! immediately and forwards each honest phase-1 share it receives to the
+//! leader over the coalition's direct links (a fully-connected network
+//! gives the coalition free private channels — the structural weakness the
+//! paper's ring protocols do not have). The leader postpones its own deal.
+//! Once every honest dealer's secret is covered by `k` pooled shares, the
+//! leader reconstructs them all — possible exactly when
+//! `k ≥ t + 1 = ⌈n/2⌉` — picks its own secret to steer the total to the
+//! target, deals it, and plays honestly ever after. Every validation
+//! passes and the election lands on the target with certainty.
+//!
+//! Below the threshold the pooled shares are information-theoretically
+//! useless; the leader falls back to an honest deal and the outcome stays
+//! uniform, which is what the resilience half of the experiment measures.
+
+use crate::field::Gf;
+use crate::protocol::{ALeadFc, FcMsg};
+use fle_core::protocols::FleProtocol;
+use crate::shamir::{reconstruct, Share};
+use ring_sim::rng::SplitMix64;
+use ring_sim::{Ctx, Execution, Node, NodeId};
+
+use crate::protocol::FcCore;
+
+/// Builds the coalition's node overrides for [`run_fc_attack`].
+///
+/// `coalition` must be non-empty, sorted or not, with distinct in-range
+/// ids; the first entry becomes the pooling leader.
+///
+/// # Panics
+///
+/// Panics if the coalition is empty or contains out-of-range ids.
+pub fn fc_pooling_deviation(
+    protocol: &ALeadFc,
+    coalition: &[NodeId],
+    target: u64,
+) -> Vec<(NodeId, Box<dyn Node<FcMsg>>)> {
+    let n = protocol.n();
+    assert!(!coalition.is_empty(), "coalition must be non-empty");
+    assert!(coalition.iter().all(|&a| a < n), "coalition id out of range");
+    let t = protocol.threshold();
+    let leader = coalition[0];
+    let members: Vec<NodeId> = coalition.to_vec();
+    let mut nodes: Vec<(NodeId, Box<dyn Node<FcMsg>>)> = Vec::with_capacity(coalition.len());
+    nodes.push((
+        leader,
+        Box::new(FcPoolLeader {
+            core: FcCore::new(n, t),
+            rng: SplitMix64::new(protocol.seed()).derive(leader as u64).derive(0xA77),
+            members: members.clone(),
+            target,
+            pooled: vec![Vec::new(); n],
+            dealt: false,
+            buffered: Vec::new(),
+        }),
+    ));
+    for &a in &coalition[1..] {
+        nodes.push((
+            a,
+            Box::new(FcPoolForwarder {
+                core: FcCore::new(n, t),
+                rng: SplitMix64::new(protocol.seed()).derive(a as u64).derive(0xA77),
+                leader,
+                members: members.clone(),
+            }),
+        ));
+    }
+    nodes
+}
+
+/// Runs the pooling attack and returns the execution.
+pub fn run_fc_attack(protocol: &ALeadFc, coalition: &[NodeId], target: u64) -> Execution {
+    protocol.run_with(fc_pooling_deviation(protocol, coalition, target))
+}
+
+/// A non-leader adversary: deals `0` at wake-up, forwards every honest
+/// phase-1 share to the leader, and otherwise follows the protocol (so no
+/// honest validation can fire).
+struct FcPoolForwarder {
+    core: FcCore,
+    rng: SplitMix64,
+    leader: NodeId,
+    members: Vec<NodeId>,
+}
+
+impl Node<FcMsg> for FcPoolForwarder {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        self.core.deal(Gf::ZERO, &mut self.rng, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+        if let FcMsg::Deal { dealer, .. } = msg {
+            if dealer == from && !self.members.contains(&dealer) {
+                // Forward the honest share to the pooling leader. The
+                // leader recognises forwards by `from ≠ dealer`.
+                ctx.send_to(self.leader, msg);
+            }
+        }
+        self.core.handle(from, msg, ctx);
+    }
+}
+
+/// The pooling leader: collects direct and forwarded honest shares, and
+/// deals only once it either reconstructed every honest secret (steering
+/// the sum to `target`) or learned it never will (honest fallback).
+struct FcPoolLeader {
+    core: FcCore,
+    rng: SplitMix64,
+    members: Vec<NodeId>,
+    target: u64,
+    /// Pooled shares per honest dealer, deduplicated by evaluation point.
+    pooled: Vec<Vec<Share>>,
+    dealt: bool,
+    /// Messages deferred until after our (late) deal, replayed in order so
+    /// the inner state machine still sees a legal history.
+    buffered: Vec<(NodeId, FcMsg)>,
+}
+
+impl FcPoolLeader {
+    /// `k` shares of every honest dealer are in the pool once each honest
+    /// dealer's entry reaches the coalition size.
+    fn pool_complete(&self, n: usize) -> bool {
+        (0..n)
+            .filter(|d| !self.members.contains(d))
+            .all(|d| self.pooled[d].len() >= self.members.len())
+    }
+
+    fn try_deal(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        if self.dealt {
+            return;
+        }
+        let n = self.core.n();
+        let t = self.core.threshold();
+        if !self.pool_complete(n) {
+            return;
+        }
+        self.dealt = true;
+        let k = self.members.len();
+        let d = if k >= t + 1 {
+            // Reconstruct every honest secret from any t+1 pooled shares,
+            // then cancel the running sum against the target. Non-leader
+            // coalition members dealt 0, so they drop out of the sum.
+            let mut honest_sum = 0u64;
+            for dealer in (0..n).filter(|d| !self.members.contains(d)) {
+                let d = reconstruct(&self.pooled[dealer], t).expect("k >= t + 1 pooled shares");
+                honest_sum = (honest_sum + d.value()) % n as u64;
+            }
+            Gf::new((self.target + n as u64 - honest_sum) % n as u64)
+        } else {
+            // Below the threshold the pool is useless: fall back to an
+            // honest uniform draw so the protocol still succeeds.
+            Gf::new(self.rng.next_below(n as u64))
+        };
+        self.core.deal(d, &mut self.rng, ctx);
+        for (from, msg) in std::mem::take(&mut self.buffered) {
+            self.core.handle(from, msg, ctx);
+        }
+    }
+}
+
+impl Node<FcMsg> for FcPoolLeader {
+    fn on_wake(&mut self, _ctx: &mut Ctx<'_, FcMsg>) {
+        // Deliberately idle: the deal waits for the pool.
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+        match msg {
+            FcMsg::Deal { dealer, share } if !self.members.contains(&dealer) => {
+                // Direct (from == dealer) or forwarded (from in coalition)
+                // honest share; pool it, deduplicating by x.
+                if self.pooled[dealer].iter().all(|s| s.x != share.x) {
+                    self.pooled[dealer].push(share);
+                }
+                if dealer == from {
+                    // Also a legal protocol message for our own machine.
+                    if self.dealt {
+                        self.core.handle(from, msg, ctx);
+                    } else {
+                        self.buffered.push((from, msg));
+                    }
+                }
+            }
+            _ => {
+                if self.dealt {
+                    self.core.handle(from, msg, ctx);
+                } else {
+                    self.buffered.push((from, msg));
+                }
+            }
+        }
+        self.try_deal(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_sim::Outcome;
+
+    #[test]
+    fn majority_coalition_controls_the_outcome() {
+        // n = 8, t = 3: a coalition of ⌈n/2⌉ = 4 forces any target.
+        let p = ALeadFc::new(8).with_seed(11);
+        for target in [0u64, 3, 7] {
+            let exec = run_fc_attack(&p, &[0, 2, 4, 6], target);
+            assert_eq!(exec.outcome, Outcome::Elected(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn coalition_placement_is_irrelevant_in_complete_graphs() {
+        let p = ALeadFc::new(9).with_seed(5);
+        // ⌈9/2⌉ = 5 adversaries, arbitrary ids.
+        let exec = run_fc_attack(&p, &[8, 1, 3, 2, 7], 4);
+        assert_eq!(exec.outcome, Outcome::Elected(4));
+    }
+
+    #[test]
+    fn below_threshold_the_attack_degrades_to_uniform() {
+        // k = 3 < ⌈8/2⌉ = 4: the pool never reconstructs; runs complete
+        // with a valid (not forced) outcome.
+        let mut hits = 0u64;
+        let trials = 48u64;
+        for seed in 0..trials {
+            let p = ALeadFc::new(8).with_seed(seed);
+            let exec = run_fc_attack(&p, &[0, 2, 4], 5);
+            let w = exec.outcome.elected().expect("fallback still succeeds");
+            if w == 5 {
+                hits += 1;
+            }
+        }
+        // Uniform would hit ~1/8 of trials; "always" would be all 48.
+        assert!(hits < trials / 2, "sub-threshold coalition forced {hits}/{trials}");
+    }
+
+    #[test]
+    fn single_adversary_cannot_bias() {
+        let p = ALeadFc::new(6).with_seed(9);
+        let exec = run_fc_attack(&p, &[3], 2);
+        assert!(exec.outcome.elected().is_some());
+    }
+}

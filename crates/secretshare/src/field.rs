@@ -1,0 +1,254 @@
+//! The prime field `GF(p)` with `p = 2^61 − 1` (a Mersenne prime).
+//!
+//! Shamir's scheme needs a field large enough that share values carry no
+//! usable structure and that `n` distinct evaluation points always exist.
+//! `2^61 − 1` keeps every product inside `u128` and admits a fast Mersenne
+//! reduction, so no external big-integer dependency is needed.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus, `2^61 − 1 = 2 305 843 009 213 693 951`.
+pub const MODULUS: u64 = (1 << 61) - 1;
+
+/// An element of `GF(2^61 − 1)`, always stored reduced (`0 ≤ value < p`).
+///
+/// # Examples
+///
+/// ```
+/// use fle_secretshare::Gf;
+///
+/// let a = Gf::new(7);
+/// let b = Gf::new(11);
+/// assert_eq!((a + b).value(), 18);
+/// assert_eq!((a * a.inverse().unwrap()).value(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gf(u64);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// Creates a field element, reducing `value` modulo `p`.
+    pub fn new(value: u64) -> Self {
+        Gf(reduce64(value))
+    }
+
+    /// The canonical representative in `[0, p)`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Gf::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat's little theorem: `a^{p−2} = a^{−1}` in `GF(p)`.
+    pub fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+}
+
+impl From<u64> for Gf {
+    fn from(value: u64) -> Self {
+        Gf::new(value)
+    }
+}
+
+impl fmt::Display for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Reduces a `u64` modulo the Mersenne prime `2^61 − 1`.
+fn reduce64(x: u64) -> u64 {
+    // x = hi·2^61 + lo ≡ hi + lo (mod 2^61 − 1); one conditional subtract
+    // finishes because hi ≤ 7 and lo < 2^61.
+    let folded = (x >> 61) + (x & MODULUS);
+    if folded >= MODULUS {
+        folded - MODULUS
+    } else {
+        folded
+    }
+}
+
+/// Reduces a `u128` (product of two reduced elements) modulo `2^61 − 1`.
+fn reduce128(x: u128) -> u64 {
+    let lo = (x & MODULUS as u128) as u64;
+    let hi = (x >> 61) as u64; // < 2^61 for products of reduced inputs
+    reduce64(reduce64(hi).wrapping_add(lo))
+}
+
+impl Add for Gf {
+    type Output = Gf;
+    fn add(self, rhs: Gf) -> Gf {
+        // Both operands < 2^61, so the sum fits in u64 without overflow.
+        Gf(reduce64(self.0 + rhs.0))
+    }
+}
+
+impl Sub for Gf {
+    type Output = Gf;
+    fn sub(self, rhs: Gf) -> Gf {
+        Gf(reduce64(self.0 + MODULUS - rhs.0))
+    }
+}
+
+impl Mul for Gf {
+    type Output = Gf;
+    fn mul(self, rhs: Gf) -> Gf {
+        Gf(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl Div for Gf {
+    type Output = Gf;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Gf) -> Gf {
+        self * rhs.inverse().expect("division by zero in GF(p)")
+    }
+}
+
+impl Neg for Gf {
+    type Output = Gf;
+    fn neg(self) -> Gf {
+        Gf::ZERO - self
+    }
+}
+
+impl AddAssign for Gf {
+    fn add_assign(&mut self, rhs: Gf) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Gf {
+    fn sub_assign(&mut self, rhs: Gf) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Gf {
+    fn mul_assign(&mut self, rhs: Gf) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::iter::Sum for Gf {
+    fn sum<I: Iterator<Item = Gf>>(iter: I) -> Gf {
+        iter.fold(Gf::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Gf {
+    fn product<I: Iterator<Item = Gf>>(iter: I) -> Gf {
+        iter.fold(Gf::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_reduces_modulo_p() {
+        assert_eq!(Gf::new(MODULUS).value(), 0);
+        assert_eq!(Gf::new(MODULUS + 5).value(), 5);
+        assert_eq!(Gf::new(u64::MAX).value(), u64::MAX % MODULUS);
+    }
+
+    #[test]
+    fn addition_wraps() {
+        let a = Gf::new(MODULUS - 1);
+        assert_eq!((a + Gf::ONE).value(), 0);
+        assert_eq!((a + Gf::new(2)).value(), 1);
+    }
+
+    #[test]
+    fn subtraction_wraps() {
+        assert_eq!((Gf::ZERO - Gf::ONE).value(), MODULUS - 1);
+        assert_eq!((Gf::new(5) - Gf::new(3)).value(), 2);
+    }
+
+    #[test]
+    fn multiplication_matches_u128_reference() {
+        let a = Gf::new(0x1234_5678_9abc_def0);
+        let b = Gf::new(0x0fed_cba9_8765_4321);
+        let expect = ((a.value() as u128 * b.value() as u128) % MODULUS as u128) as u64;
+        assert_eq!((a * b).value(), expect);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Gf::new(12345);
+        let mut acc = Gf::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for v in [1u64, 2, 3, 17, MODULUS - 1, 0xdead_beef] {
+            let a = Gf::new(v);
+            let inv = a.inverse().expect("nonzero");
+            assert_eq!(a * inv, Gf::ONE, "value {v}");
+        }
+        assert_eq!(Gf::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn division_is_multiplication_by_inverse() {
+        let a = Gf::new(999);
+        let b = Gf::new(7);
+        assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf::ONE / Gf::ZERO;
+    }
+
+    #[test]
+    fn negation_is_additive_inverse() {
+        let a = Gf::new(42);
+        assert_eq!(a + (-a), Gf::ZERO);
+        assert_eq!(-Gf::ZERO, Gf::ZERO);
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [Gf::new(1), Gf::new(2), Gf::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Gf>().value(), 6);
+        assert_eq!(xs.iter().copied().product::<Gf>().value(), 6);
+    }
+
+    #[test]
+    fn display_shows_canonical_value() {
+        assert_eq!(Gf::new(MODULUS + 3).to_string(), "3");
+    }
+}

@@ -1,0 +1,48 @@
+//! # fle-secretshare — Shamir secret sharing and the fully-connected FLE
+//!
+//! The paper's Section 1.1 recalls that on an *asynchronous fully-connected*
+//! network, Abraham et al. obtain an optimally resilient fair leader
+//! election by "applying Shamir's secret sharing scheme in a
+//! straightforward manner": resilience `⌈n/2⌉ − 1`, matching the general
+//! `⌈n/2⌉` impossibility (Theorem 7.2 / Claim F.5). This crate builds that
+//! whole stack from scratch:
+//!
+//! * [`Gf`] — the prime field `GF(2^61 − 1)` ([`field`]).
+//! * [`Poly`] — Horner evaluation and Lagrange interpolation ([`poly`]).
+//! * [`share`] / [`reconstruct`] / [`consistent`] — `(t, n)` threshold
+//!   sharing ([`shamir`]).
+//! * [`ALeadFc`] — the deal / ready / reveal election protocol
+//!   ([`protocol`]), run on the `ring-sim` engine over
+//!   [`Topology::complete`](ring_sim::Topology::complete).
+//! * [`run_fc_attack`] — the share-pooling rushing coalition showing the
+//!   bound is tight: `⌈n/2⌉` adversaries force any outcome, `⌈n/2⌉ − 1`
+//!   cannot ([`attack`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use fle_core::protocols::FleProtocol;
+//! use fle_secretshare::{run_fc_attack, ALeadFc};
+//!
+//! let protocol = ALeadFc::new(8).with_seed(1);
+//! // Honest runs elect the secret sum.
+//! assert!(protocol.run_honest().outcome.elected().is_some());
+//! // A majority coalition forces its target.
+//! let exec = run_fc_attack(&protocol, &[0, 1, 2, 3], 6);
+//! assert_eq!(exec.outcome.elected(), Some(6));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod field;
+pub mod poly;
+pub mod protocol;
+pub mod shamir;
+
+pub use attack::{fc_pooling_deviation, run_fc_attack};
+pub use field::{Gf, MODULUS};
+pub use poly::{InterpolationError, Poly};
+pub use protocol::{ALeadFc, FcHonest, FcMsg};
+pub use shamir::{consistent, reconstruct, share, ShamirError, Share};

@@ -1,0 +1,239 @@
+//! Polynomials over `GF(2^61 − 1)`: Horner evaluation and Lagrange
+//! interpolation, the two primitives Shamir's scheme is built from.
+
+use crate::field::Gf;
+
+/// A polynomial in coefficient form, `coeffs[i]` multiplying `x^i`.
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// constructors strip trailing zero coefficients so `degree` is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<Gf>,
+}
+
+impl Poly {
+    /// Creates a polynomial from low-to-high coefficients, normalizing away
+    /// trailing zeros.
+    pub fn new(mut coeffs: Vec<Gf>) -> Self {
+        while coeffs.last() == Some(&Gf::ZERO) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// The coefficients, low order first (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[Gf] {
+        &self.coeffs
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf) -> Gf {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Gf::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Interpolates the unique polynomial of degree `< points.len()`
+    /// through the given `(x, y)` pairs (Lagrange form, rebuilt into
+    /// coefficients so the result can be evaluated anywhere and its degree
+    /// inspected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpolationError::DuplicateX`] if two points share an
+    /// x-coordinate, and [`InterpolationError::Empty`] for no points.
+    pub fn interpolate(points: &[(Gf, Gf)]) -> Result<Poly, InterpolationError> {
+        if points.is_empty() {
+            return Err(InterpolationError::Empty);
+        }
+        for (i, (xi, _)) in points.iter().enumerate() {
+            if points[i + 1..].iter().any(|(xj, _)| xj == xi) {
+                return Err(InterpolationError::DuplicateX(xi.value()));
+            }
+        }
+        let k = points.len();
+        let mut acc = vec![Gf::ZERO; k];
+        // basis holds the running product Π (x − x_j) for j processed so far.
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Numerator polynomial Π_{j≠i} (x − x_j), built incrementally.
+            let mut num = vec![Gf::ZERO; k];
+            num[0] = Gf::ONE;
+            let mut deg = 0usize;
+            let mut denom = Gf::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                // Multiply num by (x − x_j).
+                for d in (0..=deg).rev() {
+                    let c = num[d];
+                    num[d + 1] += c;
+                    num[d] = c * (-xj);
+                }
+                deg += 1;
+                denom *= xi - xj;
+            }
+            let scale = yi * denom.inverse().expect("distinct x-coordinates");
+            for (a, n) in acc.iter_mut().zip(&num) {
+                *a += *n * scale;
+            }
+        }
+        Ok(Poly::new(acc))
+    }
+
+    /// Evaluates the interpolating polynomial at `x = 0` directly — the
+    /// Shamir reconstruction step — without building the full polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Poly::interpolate`].
+    pub fn interpolate_at_zero(points: &[(Gf, Gf)]) -> Result<Gf, InterpolationError> {
+        if points.is_empty() {
+            return Err(InterpolationError::Empty);
+        }
+        for (i, (xi, _)) in points.iter().enumerate() {
+            if points[i + 1..].iter().any(|(xj, _)| xj == xi) {
+                return Err(InterpolationError::DuplicateX(xi.value()));
+            }
+        }
+        let mut acc = Gf::ZERO;
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            let mut num = Gf::ONE;
+            let mut denom = Gf::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if j != i {
+                    num *= -xj;
+                    denom *= xi - xj;
+                }
+            }
+            acc += yi * num * denom.inverse().expect("distinct x-coordinates");
+        }
+        Ok(acc)
+    }
+}
+
+/// Why interpolation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpolationError {
+    /// No points were supplied.
+    Empty,
+    /// Two points share the same x-coordinate (shown).
+    DuplicateX(u64),
+}
+
+impl std::fmt::Display for InterpolationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpolationError::Empty => write!(f, "no points to interpolate"),
+            InterpolationError::DuplicateX(x) => {
+                write!(f, "duplicate x-coordinate {x} in interpolation points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpolationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf(v: u64) -> Gf {
+        Gf::new(v)
+    }
+
+    #[test]
+    fn zero_polynomial_normalizes() {
+        let p = Poly::new(vec![Gf::ZERO, Gf::ZERO]);
+        assert_eq!(p.degree(), None);
+        assert_eq!(p.eval(gf(5)), Gf::ZERO);
+    }
+
+    #[test]
+    fn trailing_zeros_are_stripped() {
+        let p = Poly::new(vec![gf(3), gf(2), Gf::ZERO]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[gf(3), gf(2)]);
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        // p(x) = 3 + 2x + x²
+        let p = Poly::new(vec![gf(3), gf(2), gf(1)]);
+        for x in 0..10u64 {
+            assert_eq!(p.eval(gf(x)).value(), 3 + 2 * x + x * x);
+        }
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = Poly::new(vec![gf(7), gf(0), gf(5), gf(11)]);
+        let points: Vec<(Gf, Gf)> = (1..=4u64).map(|x| (gf(x), p.eval(gf(x)))).collect();
+        let q = Poly::interpolate(&points).expect("distinct points");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn interpolation_through_line() {
+        // Two points determine the line y = 2x + 1.
+        let points = [(gf(1), gf(3)), (gf(2), gf(5))];
+        let q = Poly::interpolate(&points).expect("distinct points");
+        assert_eq!(q.coeffs(), &[gf(1), gf(2)]);
+    }
+
+    #[test]
+    fn interpolate_at_zero_agrees_with_full_interpolation() {
+        let p = Poly::new(vec![gf(42), gf(13), gf(9)]);
+        let points: Vec<(Gf, Gf)> = (5..8u64).map(|x| (gf(x), p.eval(gf(x)))).collect();
+        let direct = Poly::interpolate_at_zero(&points).expect("distinct points");
+        let full = Poly::interpolate(&points).expect("distinct points");
+        assert_eq!(direct, full.eval(Gf::ZERO));
+        assert_eq!(direct.value(), 42);
+    }
+
+    #[test]
+    fn duplicate_x_is_rejected() {
+        let points = [(gf(1), gf(3)), (gf(1), gf(5))];
+        assert_eq!(
+            Poly::interpolate(&points),
+            Err(InterpolationError::DuplicateX(1))
+        );
+        assert_eq!(
+            Poly::interpolate_at_zero(&points),
+            Err(InterpolationError::DuplicateX(1))
+        );
+    }
+
+    #[test]
+    fn empty_points_are_rejected() {
+        assert_eq!(Poly::interpolate(&[]), Err(InterpolationError::Empty));
+        assert_eq!(
+            Poly::interpolate_at_zero(&[]),
+            Err(InterpolationError::Empty)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        assert_eq!(
+            InterpolationError::DuplicateX(9).to_string(),
+            "duplicate x-coordinate 9 in interpolation points"
+        );
+        assert_eq!(
+            InterpolationError::Empty.to_string(),
+            "no points to interpolate"
+        );
+    }
+}

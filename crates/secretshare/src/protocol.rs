@@ -1,0 +1,480 @@
+//! `A-LEADfc` — fair leader election for an *asynchronous fully-connected*
+//! network via Shamir secret sharing (the paper's Section 1.1 account of
+//! Abraham et al.'s `n/2 − 1`-resilient construction).
+//!
+//! Every processor hides its secret `d_i ∈ [n]` behind a degree-`t`
+//! polynomial with `t = ⌈n/2⌉ − 1` and deals one share to each processor.
+//! A processor announces `Ready` only once it holds a share from **every**
+//! dealer, reveals its shares only once **everyone** is ready, and finally
+//! reconstructs all secrets, aborting unless every dealer's `n` shares lie
+//! on a single degree-`≤ t` polynomial whose constant term is in `[n]`.
+//! The leader is `Σ d_i (mod n)`.
+//!
+//! Why this resists coalitions of size `k ≤ ⌈n/2⌉ − 1`: before the reveal
+//! phase the coalition holds exactly `k < t + 1` shares of every honest
+//! secret — information-theoretically independent of the secrets — yet by
+//! the time reveals flow, every dealer is committed (its polynomial is
+//! determined by the honest majority's shares and any inconsistency
+//! aborts). A coalition of `⌈n/2⌉ = t + 1` pools enough shares to
+//! reconstruct every honest secret *before* the last adversary deals,
+//! which is exactly the [`attack`](crate::attack) module — matching the
+//! paper's general `⌈n/2⌉` impossibility bound (Theorem 7.2).
+
+use crate::field::Gf;
+use crate::shamir::{consistent, reconstruct, share, Share};
+use fle_core::protocols::FleProtocol;
+use ring_sim::rng::SplitMix64;
+use ring_sim::{Ctx, Execution, Node, NodeId, SimBuilder, Topology};
+
+/// Messages of `A-LEADfc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcMsg {
+    /// Phase 1 — the dealer hands a processor its share.
+    Deal {
+        /// The dealing processor.
+        dealer: NodeId,
+        /// The recipient's share of the dealer's secret.
+        share: Share,
+    },
+    /// Phase 2 — sender holds a share from every dealer.
+    Ready,
+    /// Phase 3 — sender discloses the share it holds of `dealer`'s secret.
+    Reveal {
+        /// Whose secret the share belongs to.
+        dealer: NodeId,
+        /// The disclosed share (evaluation point `sender + 1`).
+        share: Share,
+    },
+}
+
+/// The `A-LEADfc` protocol instance: ring-free, fully-connected, seeded.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::FleProtocol;
+/// use fle_secretshare::ALeadFc;
+///
+/// let protocol = ALeadFc::new(8).with_seed(3);
+/// let exec = protocol.run_honest();
+/// assert!(exec.outcome.elected().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ALeadFc {
+    n: usize,
+    seed: u64,
+}
+
+impl ALeadFc {
+    /// Creates an instance for `n ≥ 3` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (the threshold arithmetic needs at least three
+    /// processors).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "A-LEADfc needs at least 3 processors");
+        ALeadFc { n, seed: 0 }
+    }
+
+    /// Sets the instance seed that derives all per-node randomness.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        ALeadFc { seed, ..self }
+    }
+
+    /// The sharing polynomial degree `t = ⌈n/2⌉ − 1`: `t + 1` shares
+    /// reconstruct, `t` shares reveal nothing.
+    pub fn threshold(&self) -> usize {
+        self.n.div_ceil(2) - 1
+    }
+
+    /// The instance seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the honest node for processor `id`.
+    pub fn honest_node(&self, id: NodeId) -> FcHonest {
+        FcHonest {
+            core: FcCore::new(self.n, self.threshold()),
+            rng: SplitMix64::new(self.seed).derive(id as u64),
+        }
+    }
+
+    /// Runs the protocol with some processors replaced by deviating nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override id is out of range or duplicated.
+    pub fn run_with(&self, mut overrides: Vec<(NodeId, Box<dyn Node<FcMsg>>)>) -> Execution {
+        overrides.sort_by_key(|(id, _)| *id);
+        let mut builder = SimBuilder::new(Topology::complete(self.n));
+        let mut next = overrides.into_iter().peekable();
+        for id in 0..self.n {
+            if next.peek().is_some_and(|(o, _)| *o == id) {
+                let (_, node) = next.next().expect("peeked");
+                builder = builder.boxed_node(id, node);
+            } else {
+                builder = builder.boxed_node(id, Box::new(self.honest_node(id)));
+            }
+        }
+        assert!(next.next().is_none(), "override id out of range or duplicated");
+        // Reveal traffic is Θ(n³) messages; budget generously above it.
+        let steps = (self.n as u64).pow(3) * 8 + 10_000;
+        builder.wake_all().step_limit(steps).run()
+    }
+
+    /// The data values honest processors draw, exposed for tests that
+    /// predict the honest sum (attacks never call this).
+    pub fn honest_values(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|id| {
+                SplitMix64::new(self.seed)
+                    .derive(id as u64)
+                    .next_below(self.n as u64)
+            })
+            .collect()
+    }
+}
+
+impl FleProtocol for ALeadFc {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &'static str {
+        "A-LEADfc"
+    }
+
+    fn run_honest(&self) -> Execution {
+        self.run_with(Vec::new())
+    }
+}
+
+/// The deal / ready / reveal state machine shared by honest nodes and the
+/// attack nodes (which drive it with chosen secrets and extra traffic).
+#[derive(Debug, Clone)]
+pub(crate) struct FcCore {
+    n: usize,
+    threshold: usize,
+    /// My drawn secret, set by [`FcCore::deal`].
+    secret: Option<Gf>,
+    /// Share received from each dealer (mine included once dealt).
+    dealt_to_me: Vec<Option<Share>>,
+    ready: Vec<bool>,
+    sent_ready: bool,
+    sent_reveal: bool,
+    /// `reveals[dealer][holder]` — the share of `dealer`'s secret that
+    /// `holder` disclosed (my own filled locally at reveal time).
+    reveals: Vec<Vec<Option<Share>>>,
+    halted: bool,
+}
+
+impl FcCore {
+    pub(crate) fn new(n: usize, threshold: usize) -> Self {
+        FcCore {
+            n,
+            threshold,
+            secret: None,
+            dealt_to_me: vec![None; n],
+            ready: vec![false; n],
+            sent_ready: false,
+            sent_reveal: false,
+            reveals: vec![vec![None; n]; n],
+            halted: false,
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Deals my secret: sends share `j` to processor `j`, keeps my own.
+    /// Coefficient randomness comes from `rng`.
+    pub(crate) fn deal(&mut self, d: Gf, rng: &mut SplitMix64, ctx: &mut Ctx<'_, FcMsg>) {
+        debug_assert!(self.secret.is_none(), "deal called twice");
+        self.secret = Some(d);
+        let me = ctx.me();
+        let shares = share(d, self.threshold, self.n, rng).expect("threshold < n by construction");
+        for (j, &s) in shares.iter().enumerate() {
+            if j == me {
+                self.dealt_to_me[me] = Some(s);
+            } else {
+                ctx.send_to(j, FcMsg::Deal { dealer: me, share: s });
+            }
+        }
+        self.advance(ctx);
+    }
+
+    /// Feeds one incoming message through the honest state machine.
+    pub(crate) fn handle(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+        if self.halted {
+            return;
+        }
+        match msg {
+            FcMsg::Deal { dealer, share } => {
+                // Phase-1 shares must come from their dealer, address me,
+                // and be fresh — anything else is a detected deviation.
+                if dealer != from
+                    || share.x != Gf::new(ctx.me() as u64 + 1)
+                    || self.dealt_to_me[dealer].is_some()
+                {
+                    return self.halt(ctx);
+                }
+                self.dealt_to_me[dealer] = Some(share);
+            }
+            FcMsg::Ready => {
+                if self.ready[from] {
+                    return self.halt(ctx);
+                }
+                self.ready[from] = true;
+            }
+            FcMsg::Reveal { dealer, share } => {
+                // A holder may only reveal its own evaluation point, once.
+                if dealer >= self.n
+                    || share.x != Gf::new(from as u64 + 1)
+                    || self.reveals[dealer][from].is_some()
+                {
+                    return self.halt(ctx);
+                }
+                self.reveals[dealer][from] = Some(share);
+            }
+        }
+        self.advance(ctx);
+    }
+
+    /// Fires any phase transition enabled by the current state.
+    fn advance(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        if self.halted {
+            return;
+        }
+        let me = ctx.me();
+        if !self.sent_ready && self.dealt_to_me.iter().all(Option::is_some) {
+            self.sent_ready = true;
+            self.ready[me] = true;
+            for j in 0..self.n {
+                if j != me {
+                    ctx.send_to(j, FcMsg::Ready);
+                }
+            }
+        }
+        if self.sent_ready && !self.sent_reveal && self.ready.iter().all(|&r| r) {
+            self.sent_reveal = true;
+            for dealer in 0..self.n {
+                let s = self.dealt_to_me[dealer].expect("ready implies all dealt");
+                self.reveals[dealer][me] = Some(s);
+                for j in 0..self.n {
+                    if j != me {
+                        ctx.send_to(j, FcMsg::Reveal { dealer, share: s });
+                    }
+                }
+            }
+        }
+        if self.sent_reveal
+            && self
+                .reveals
+                .iter()
+                .all(|per_dealer| per_dealer.iter().all(Option::is_some))
+        {
+            self.finish(ctx);
+        }
+    }
+
+    /// Reconstructs every secret, runs all abort checks, and terminates.
+    fn finish(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        let me = ctx.me();
+        let mut sum = 0u64;
+        for dealer in 0..self.n {
+            let shares: Vec<Share> = self.reveals[dealer]
+                .iter()
+                .map(|s| s.expect("finish implies complete"))
+                .collect();
+            let ok = consistent(&shares, self.threshold).unwrap_or(false);
+            if !ok {
+                return self.halt(ctx);
+            }
+            let d = reconstruct(&shares, self.threshold).expect("n > threshold shares");
+            // Secrets must be in [n]; my own must reconstruct to what I dealt.
+            if d.value() >= self.n as u64 || (dealer == me && Some(d) != self.secret) {
+                return self.halt(ctx);
+            }
+            sum = (sum + d.value()) % self.n as u64;
+        }
+        self.halted = true;
+        ctx.terminate(Some(sum));
+    }
+
+    fn halt(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        self.halted = true;
+        ctx.abort();
+    }
+}
+
+/// The honest `A-LEADfc` processor: draws `d ∈ [n]` on wake-up, deals it,
+/// and follows the deal / ready / reveal machine.
+#[derive(Debug, Clone)]
+pub struct FcHonest {
+    core: FcCore,
+    rng: SplitMix64,
+}
+
+impl Node<FcMsg> for FcHonest {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+        let d = Gf::new(self.rng.next_below(self.core.n as u64));
+        self.core.deal(d, &mut self.rng, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+        self.core.handle(from, msg, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_sim::Outcome;
+
+    #[test]
+    fn honest_run_elects_the_secret_sum() {
+        for seed in 0..8 {
+            let p = ALeadFc::new(7).with_seed(seed);
+            let expect = p.honest_values().iter().sum::<u64>() % 7;
+            assert_eq!(p.run_honest().outcome, Outcome::Elected(expect), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn honest_run_works_across_sizes() {
+        for n in [3, 4, 5, 8, 12] {
+            let p = ALeadFc::new(n).with_seed(1);
+            assert!(p.run_honest().outcome.elected().is_some(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn threshold_is_majority_minus_one() {
+        assert_eq!(ALeadFc::new(8).threshold(), 3);
+        assert_eq!(ALeadFc::new(9).threshold(), 4);
+        assert_eq!(ALeadFc::new(3).threshold(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_rings_are_rejected() {
+        let _ = ALeadFc::new(2);
+    }
+
+    #[test]
+    fn message_counts_are_cubic_in_n() {
+        let p = ALeadFc::new(6).with_seed(0);
+        let exec = p.run_honest();
+        let total: u64 = exec.stats.total_sent();
+        // deal: n(n−1), ready: n(n−1), reveal: n²(n−1).
+        let n = 6u64;
+        assert_eq!(total, n * (n - 1) + n * (n - 1) + n * n * (n - 1));
+    }
+
+    #[test]
+    fn inconsistent_dealing_aborts_the_run() {
+        // A dealer whose shares do not lie on one degree-≤t polynomial must
+        // cause a global failure, not a biased election.
+        struct BadDealer {
+            core: FcCore,
+            rng: SplitMix64,
+        }
+        impl Node<FcMsg> for BadDealer {
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+                let n = self.core.n;
+                let t = self.core.threshold;
+                let me = ctx.me();
+                let mut shares =
+                    share(Gf::new(1), t, n, &mut self.rng).expect("threshold < n");
+                // Corrupt the share handed to the last processor.
+                shares[n - 1].y += Gf::ONE;
+                self.core.secret = Some(Gf::new(1));
+                for (j, &s) in shares.iter().enumerate() {
+                    if j == me {
+                        self.core.dealt_to_me[me] = Some(s);
+                    } else {
+                        ctx.send_to(j, FcMsg::Deal { dealer: me, share: s });
+                    }
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+                self.core.handle(from, msg, ctx);
+            }
+        }
+        let p = ALeadFc::new(5).with_seed(3);
+        let bad = BadDealer {
+            core: FcCore::new(5, p.threshold()),
+            rng: SplitMix64::new(77),
+        };
+        let exec = p.run_with(vec![(2, Box::new(bad))]);
+        assert!(exec.outcome.is_fail(), "inconsistent dealing must abort");
+    }
+
+    #[test]
+    fn out_of_range_secret_aborts() {
+        struct BigSecret {
+            core: FcCore,
+            rng: SplitMix64,
+        }
+        impl Node<FcMsg> for BigSecret {
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+                // Deals a perfectly consistent polynomial whose secret is
+                // outside [n] — caught by the range check at finish.
+                let d = Gf::new(self.core.n as u64 + 5);
+                self.core.deal(d, &mut self.rng, ctx);
+            }
+            fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+                self.core.handle(from, msg, ctx);
+            }
+        }
+        let p = ALeadFc::new(5).with_seed(3);
+        let bad = BigSecret {
+            core: FcCore::new(5, p.threshold()),
+            rng: SplitMix64::new(78),
+        };
+        let exec = p.run_with(vec![(1, Box::new(bad))]);
+        assert!(exec.outcome.is_fail());
+    }
+
+    #[test]
+    fn forged_dealer_field_aborts() {
+        // An adversary claiming to deal on behalf of processor 0.
+        struct Forger {
+            inner: FcHonest,
+            forged: bool,
+        }
+        impl Node<FcMsg> for Forger {
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, FcMsg>) {
+                self.inner.on_wake(ctx);
+                if !self.forged {
+                    self.forged = true;
+                    ctx.send_to(
+                        1,
+                        FcMsg::Deal {
+                            dealer: 0,
+                            share: Share { x: Gf::new(2), y: Gf::new(9) },
+                        },
+                    );
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: FcMsg, ctx: &mut Ctx<'_, FcMsg>) {
+                self.inner.on_message(from, msg, ctx);
+            }
+        }
+        let p = ALeadFc::new(5).with_seed(3);
+        let bad = Forger {
+            inner: p.honest_node(3),
+            forged: false,
+        };
+        let exec = p.run_with(vec![(3, Box::new(bad))]);
+        assert!(exec.outcome.is_fail());
+    }
+}

@@ -1,0 +1,261 @@
+//! Shamir's `(t, n)` threshold secret sharing over `GF(2^61 − 1)`.
+//!
+//! A dealer hides a secret as the constant term of a uniformly random
+//! polynomial of degree `t` and hands share `j` — the evaluation at
+//! `x = j + 1` — to processor `j`. Any `t + 1` shares reconstruct the
+//! secret by interpolation; any `t` shares are jointly uniform and reveal
+//! nothing. This is the commitment primitive behind the asynchronous
+//! fully-connected fair leader election of the paper's Section 1.1
+//! (Abraham et al.'s `n/2 − 1`-resilient protocol).
+
+use crate::field::Gf;
+use crate::poly::{InterpolationError, Poly};
+use ring_sim::rng::SplitMix64;
+
+/// One Shamir share: the dealer's polynomial evaluated at `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Share {
+    /// Evaluation point (never zero; share for processor `j` uses `j + 1`).
+    pub x: Gf,
+    /// Evaluation value.
+    pub y: Gf,
+}
+
+/// Why sharing or reconstruction failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShamirError {
+    /// `threshold + 1 > n`: the secret could never be reconstructed.
+    ThresholdTooLarge {
+        /// Requested polynomial degree.
+        threshold: usize,
+        /// Number of shares requested.
+        n: usize,
+    },
+    /// Fewer than `threshold + 1` shares were supplied.
+    NotEnoughShares {
+        /// Shares supplied.
+        got: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// Two shares claim the same evaluation point.
+    DuplicateShare(u64),
+}
+
+impl std::fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShamirError::ThresholdTooLarge { threshold, n } => {
+                write!(f, "threshold {threshold} needs {} shares but only {n} exist", threshold + 1)
+            }
+            ShamirError::NotEnoughShares { got, need } => {
+                write!(f, "reconstruction needs {need} shares, got {got}")
+            }
+            ShamirError::DuplicateShare(x) => write!(f, "duplicate share at x = {x}"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+impl From<InterpolationError> for ShamirError {
+    fn from(err: InterpolationError) -> Self {
+        match err {
+            InterpolationError::Empty => ShamirError::NotEnoughShares { got: 0, need: 1 },
+            InterpolationError::DuplicateX(x) => ShamirError::DuplicateShare(x),
+        }
+    }
+}
+
+/// Splits `secret` into `n` shares such that any `threshold + 1` of them
+/// reconstruct it and any `threshold` of them are information-theoretically
+/// independent of it. Share `j` (for processor `j`) evaluates the hidden
+/// polynomial at `x = j + 1`.
+///
+/// # Errors
+///
+/// Returns [`ShamirError::ThresholdTooLarge`] when `threshold + 1 > n`.
+///
+/// # Examples
+///
+/// ```
+/// use fle_secretshare::{share, reconstruct, Gf};
+/// use ring_sim::rng::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(7);
+/// let shares = share(Gf::new(42), 2, 5, &mut rng)?;
+/// let secret = reconstruct(&shares[1..4], 2)?;
+/// assert_eq!(secret.value(), 42);
+/// # Ok::<(), fle_secretshare::ShamirError>(())
+/// ```
+pub fn share(
+    secret: Gf,
+    threshold: usize,
+    n: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<Share>, ShamirError> {
+    if threshold + 1 > n {
+        return Err(ShamirError::ThresholdTooLarge { threshold, n });
+    }
+    let mut coeffs = Vec::with_capacity(threshold + 1);
+    coeffs.push(secret);
+    for _ in 0..threshold {
+        coeffs.push(Gf::new(rng.next_below(crate::field::MODULUS)));
+    }
+    let poly = Poly::new(coeffs);
+    Ok((0..n)
+        .map(|j| {
+            let x = Gf::new(j as u64 + 1);
+            Share { x, y: poly.eval(x) }
+        })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `threshold + 1` shares.
+///
+/// Only the first `threshold + 1` shares are used for interpolation; pass
+/// exactly that many when checking consistency separately (see
+/// [`consistent`]).
+///
+/// # Errors
+///
+/// [`ShamirError::NotEnoughShares`] when too few shares are supplied and
+/// [`ShamirError::DuplicateShare`] when two shares collide on `x`.
+pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Gf, ShamirError> {
+    if shares.len() < threshold + 1 {
+        return Err(ShamirError::NotEnoughShares {
+            got: shares.len(),
+            need: threshold + 1,
+        });
+    }
+    let points: Vec<(Gf, Gf)> = shares[..threshold + 1]
+        .iter()
+        .map(|s| (s.x, s.y))
+        .collect();
+    Ok(Poly::interpolate_at_zero(&points)?)
+}
+
+/// Checks that *all* shares lie on a single polynomial of degree
+/// `≤ threshold` — the abort test honest processors run during the reveal
+/// phase: a dealer that handed out inconsistent shares is caught here.
+///
+/// # Errors
+///
+/// Propagates [`ShamirError::NotEnoughShares`] / [`ShamirError::DuplicateShare`].
+pub fn consistent(shares: &[Share], threshold: usize) -> Result<bool, ShamirError> {
+    if shares.len() < threshold + 1 {
+        return Err(ShamirError::NotEnoughShares {
+            got: shares.len(),
+            need: threshold + 1,
+        });
+    }
+    let base: Vec<(Gf, Gf)> = shares[..threshold + 1]
+        .iter()
+        .map(|s| (s.x, s.y))
+        .collect();
+    let poly = Poly::interpolate(&base)?;
+    for s in shares {
+        if poly.eval(s.x) != s.y {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_threshold_plus_one_shares_reconstruct() {
+        let mut rng = SplitMix64::new(99);
+        let secret = Gf::new(123_456);
+        let shares = share(secret, 3, 8, &mut rng).expect("valid params");
+        assert_eq!(shares.len(), 8);
+        // Every 4-subset of a few sampled ones reconstructs.
+        for window in shares.windows(4) {
+            assert_eq!(reconstruct(window, 3).expect("enough shares"), secret);
+        }
+        // Non-contiguous subset too.
+        let subset = [shares[0], shares[3], shares[5], shares[7]];
+        assert_eq!(reconstruct(&subset, 3).expect("enough"), secret);
+    }
+
+    #[test]
+    fn threshold_shares_do_not_determine_secret() {
+        // With t shares, every candidate secret is consistent with some
+        // degree-t polynomial — verify for two different secrets that the
+        // same t shares could have come from either.
+        let mut rng = SplitMix64::new(7);
+        let shares = share(Gf::new(5), 2, 5, &mut rng).expect("valid");
+        let partial = &shares[..2];
+        // Interpolating partial + a forged zero-point for ANY secret works:
+        for candidate in [0u64, 1, 999] {
+            let mut pts: Vec<(Gf, Gf)> = partial.iter().map(|s| (s.x, s.y)).collect();
+            pts.push((Gf::ZERO, Gf::new(candidate)));
+            let poly = Poly::interpolate(&pts).expect("distinct x");
+            assert!(poly.degree().unwrap_or(0) <= 2);
+            assert_eq!(poly.eval(Gf::ZERO).value(), candidate);
+        }
+    }
+
+    #[test]
+    fn too_few_shares_is_an_error() {
+        let mut rng = SplitMix64::new(1);
+        let shares = share(Gf::new(9), 4, 6, &mut rng).expect("valid");
+        let err = reconstruct(&shares[..4], 4).unwrap_err();
+        assert_eq!(err, ShamirError::NotEnoughShares { got: 4, need: 5 });
+    }
+
+    #[test]
+    fn threshold_larger_than_n_is_an_error() {
+        let mut rng = SplitMix64::new(1);
+        let err = share(Gf::new(9), 6, 6, &mut rng).unwrap_err();
+        assert_eq!(err, ShamirError::ThresholdTooLarge { threshold: 6, n: 6 });
+    }
+
+    #[test]
+    fn duplicate_shares_are_detected() {
+        let mut rng = SplitMix64::new(1);
+        let shares = share(Gf::new(9), 1, 4, &mut rng).expect("valid");
+        let dup = [shares[0], shares[0]];
+        assert_eq!(
+            reconstruct(&dup, 1).unwrap_err(),
+            ShamirError::DuplicateShare(1)
+        );
+    }
+
+    #[test]
+    fn consistency_accepts_honest_dealer() {
+        let mut rng = SplitMix64::new(5);
+        let shares = share(Gf::new(77), 2, 7, &mut rng).expect("valid");
+        assert!(consistent(&shares, 2).expect("enough shares"));
+    }
+
+    #[test]
+    fn consistency_rejects_tampered_share() {
+        let mut rng = SplitMix64::new(5);
+        let mut shares = share(Gf::new(77), 2, 7, &mut rng).expect("valid");
+        shares[6].y += Gf::ONE;
+        assert!(!consistent(&shares, 2).expect("enough shares"));
+    }
+
+    #[test]
+    fn share_points_skip_zero() {
+        let mut rng = SplitMix64::new(5);
+        let shares = share(Gf::new(1), 1, 3, &mut rng).expect("valid");
+        assert!(shares.iter().all(|s| s.x != Gf::ZERO));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert_eq!(
+            ShamirError::NotEnoughShares { got: 1, need: 3 }.to_string(),
+            "reconstruction needs 3 shares, got 1"
+        );
+        assert_eq!(
+            ShamirError::ThresholdTooLarge { threshold: 5, n: 4 }.to_string(),
+            "threshold 5 needs 6 shares but only 4 exist"
+        );
+    }
+}

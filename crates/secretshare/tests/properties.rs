@@ -1,0 +1,213 @@
+//! Property-based tests for the secret-sharing stack: field axioms,
+//! interpolation round-trips, Shamir threshold semantics, and the
+//! protocol-level resilience crossover.
+
+use fle_core::protocols::FleProtocol;
+use fle_secretshare::{
+    consistent, reconstruct, run_fc_attack, share, ALeadFc, Gf, Poly, MODULUS,
+};
+use proptest::prelude::*;
+use ring_sim::rng::SplitMix64;
+
+fn gf() -> impl Strategy<Value = Gf> {
+    any::<u64>().prop_map(Gf::new)
+}
+
+proptest! {
+    #[test]
+    fn field_addition_is_commutative_and_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn field_multiplication_is_commutative_and_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn field_distributes(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn field_identities_and_inverses(a in gf()) {
+        prop_assert_eq!(a + Gf::ZERO, a);
+        prop_assert_eq!(a * Gf::ONE, a);
+        prop_assert_eq!(a - a, Gf::ZERO);
+        if a != Gf::ZERO {
+            prop_assert_eq!(a * a.inverse().unwrap(), Gf::ONE);
+        }
+    }
+
+    #[test]
+    fn field_values_stay_reduced(a in gf(), b in gf()) {
+        prop_assert!((a + b).value() < MODULUS);
+        prop_assert!((a * b).value() < MODULUS);
+        prop_assert!((a - b).value() < MODULUS);
+    }
+
+    #[test]
+    fn interpolation_round_trips(coeffs in prop::collection::vec(gf(), 1..7)) {
+        let poly = Poly::new(coeffs);
+        let k = poly.coeffs().len().max(1);
+        let points: Vec<(Gf, Gf)> =
+            (1..=k as u64).map(|x| (Gf::new(x), poly.eval(Gf::new(x)))).collect();
+        let back = Poly::interpolate(&points).unwrap();
+        prop_assert_eq!(back, poly);
+    }
+
+    #[test]
+    fn shamir_round_trips_for_every_threshold(
+        secret in any::<u64>(),
+        t in 0usize..6,
+        extra in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = t + extra;
+        let mut rng = SplitMix64::new(seed);
+        let shares = share(Gf::new(secret), t, n, &mut rng).unwrap();
+        prop_assert_eq!(shares.len(), n);
+        prop_assert!(consistent(&shares, t).unwrap());
+        // Reconstruct from the first t+1 and from the last t+1.
+        prop_assert_eq!(reconstruct(&shares[..t + 1], t).unwrap(), Gf::new(secret));
+        prop_assert_eq!(reconstruct(&shares[n - t - 1..], t).unwrap(), Gf::new(secret));
+    }
+
+    #[test]
+    fn shamir_shares_are_marginally_uniformish(secret in 0u64..16, seed in any::<u64>()) {
+        // Sanity rather than a statistical proof: two different secrets
+        // produce share sets that differ (the polynomial actually moved) and
+        // individual share values are spread over the field, not clustered
+        // near the secret.
+        let mut rng = SplitMix64::new(seed);
+        let shares = share(Gf::new(secret), 2, 5, &mut rng).unwrap();
+        let near = shares
+            .iter()
+            .filter(|s| s.y.value().abs_diff(secret) < 1_000_000)
+            .count();
+        prop_assert!(near <= 1, "shares cluster near the secret");
+    }
+
+    #[test]
+    fn tampering_any_share_breaks_consistency(
+        secret in any::<u64>(),
+        idx in 0usize..6,
+        delta in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut shares = share(Gf::new(secret), 2, 6, &mut rng).unwrap();
+        shares[idx].y = shares[idx].y + Gf::new(delta);
+        prop_assert!(!consistent(&shares, 2).unwrap());
+    }
+}
+
+#[test]
+fn honest_fc_outcomes_are_uniformish() {
+    // χ²-free sanity: over 64 seeds every processor of an n = 5 network is
+    // elected at least once and no processor dominates.
+    let n = 5;
+    let mut counts = vec![0u32; n];
+    for seed in 0..64 {
+        let exec = ALeadFc::new(n).with_seed(seed).run_honest();
+        counts[exec.outcome.elected().expect("honest success") as usize] += 1;
+    }
+    assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    assert!(counts.iter().all(|&c| c < 32), "counts {counts:?}");
+}
+
+#[test]
+fn honest_outcome_is_schedule_independent() {
+    // Definition 2.3 quantifies over oblivious schedules. A-LEADfc's
+    // honest outcome is a function of the drawn secrets only: every
+    // delivery interleaving elects the same leader.
+    use fle_secretshare::FcMsg;
+    use ring_sim::{RandomScheduler, SimBuilder, Topology};
+    let n = 6usize;
+    for seed in 0..6u64 {
+        let p = ALeadFc::new(n).with_seed(seed);
+        let reference = p.run_honest().outcome;
+        for sched_seed in 0..5u64 {
+            let mut builder = SimBuilder::<FcMsg>::new(Topology::complete(n))
+                .scheduler(RandomScheduler::new(sched_seed))
+                .wake_all()
+                .step_limit((n as u64).pow(3) * 8 + 10_000);
+            for id in 0..n {
+                builder = builder.node(id, p.honest_node(id));
+            }
+            assert_eq!(
+                builder.run().outcome,
+                reference,
+                "seed {seed}, schedule {sched_seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooling_attack_wins_under_every_schedule() {
+    use fle_secretshare::{fc_pooling_deviation, FcMsg};
+    use ring_sim::{LifoScheduler, RandomScheduler, SimBuilder, Topology};
+    let n = 8usize;
+    let p = ALeadFc::new(n).with_seed(4);
+    let target = 3u64;
+    let coalition = [0usize, 1, 2, 3];
+    let build = |p: &ALeadFc| -> Vec<(usize, Box<dyn ring_sim::Node<FcMsg>>)> {
+        let mut nodes = fc_pooling_deviation(p, &coalition, target);
+        for id in 0..n {
+            if !coalition.contains(&id) {
+                nodes.push((id, Box::new(p.honest_node(id))));
+            }
+        }
+        nodes
+    };
+    for sched_seed in 0..4u64 {
+        let mut builder = SimBuilder::<FcMsg>::new(Topology::complete(n))
+            .scheduler(RandomScheduler::new(sched_seed))
+            .wake_all()
+            .step_limit((n as u64).pow(3) * 8 + 10_000);
+        for (id, node) in build(&p) {
+            builder = builder.boxed_node(id, node);
+        }
+        assert_eq!(
+            builder.run().outcome.elected(),
+            Some(target),
+            "schedule {sched_seed}"
+        );
+    }
+    // LIFO delivery too.
+    let mut builder = SimBuilder::<FcMsg>::new(Topology::complete(n))
+        .scheduler(LifoScheduler::new())
+        .wake_all()
+        .step_limit((n as u64).pow(3) * 8 + 10_000);
+    for (id, node) in build(&p) {
+        builder = builder.boxed_node(id, node);
+    }
+    assert_eq!(builder.run().outcome.elected(), Some(target), "LIFO");
+}
+
+#[test]
+fn resilience_crossover_sits_at_half_n() {
+    // k = ⌈n/2⌉ forces the target every time; k = ⌈n/2⌉ − 1 does not.
+    let n = 8;
+    let target = 2u64;
+    let mut forced_above = 0;
+    let mut forced_below = 0;
+    let trials = 24;
+    for seed in 0..trials {
+        let p = ALeadFc::new(n).with_seed(seed);
+        if run_fc_attack(&p, &[0, 1, 2, 3], target).outcome.elected() == Some(target) {
+            forced_above += 1;
+        }
+        if run_fc_attack(&p, &[0, 1, 2], target).outcome.elected() == Some(target) {
+            forced_below += 1;
+        }
+    }
+    assert_eq!(forced_above, trials, "majority coalition must always win");
+    assert!(
+        forced_below < trials / 2,
+        "sub-majority coalition forced {forced_below}/{trials}"
+    );
+}

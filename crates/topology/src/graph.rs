@@ -1,0 +1,300 @@
+//! Simple undirected graphs and the families used in the Section 7
+//! experiments.
+
+use ring_sim::rng::SplitMix64;
+use ring_sim::NodeId;
+use std::collections::BTreeSet;
+
+/// An undirected simple graph on nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use fle_topology::Graph;
+///
+/// let g = Graph::cycle(5);
+/// assert_eq!(g.len(), 5);
+/// assert!(g.has_edge(4, 0));
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<BTreeSet<NodeId>>,
+}
+
+impl Graph {
+    /// An empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Adds the undirected edge `{a, b}` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        assert!(a != b, "self loops not allowed");
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+    }
+
+    /// A path `0 — 1 — … — n−1`.
+    pub fn path(n: usize) -> Self {
+        let mut g = Self::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// A cycle on `n ≥ 3` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs n >= 3");
+        let mut g = Self::path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::new(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// A `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut g = Self::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(v, v + cols);
+                }
+            }
+        }
+        g
+    }
+
+    /// A random tree from a uniformly random parent assignment
+    /// (`parent(i)` uniform in `0..i`).
+    pub fn random_tree(n: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut g = Self::new(n);
+        for i in 1..n {
+            let p = rng.next_below(i as u64) as usize;
+            g.add_edge(p, i);
+        }
+        g
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph conditioned on connectivity by
+    /// overlaying a random tree.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Self {
+        let mut g = Self::random_tree(n, seed);
+        let mut rng = SplitMix64::new(seed ^ 0xda7a_5eed);
+        for a in 0..n {
+            for b in a + 1..n {
+                if rng.next_bool(p) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// `true` if `{a, b}` is an edge.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj.get(a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// All edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if the whole graph is one connected component.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.component_of(0, &vec![false; self.n]).len() == self.n
+    }
+
+    /// `true` if `nodes` induces a connected subgraph (the Definition 7.1
+    /// requirement on parts).
+    pub fn is_connected_subset(&self, nodes: &[NodeId]) -> bool {
+        if nodes.is_empty() {
+            return false;
+        }
+        let inside: BTreeSet<NodeId> = nodes.iter().copied().collect();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![nodes[0]];
+        seen.insert(nodes[0]);
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if inside.contains(&w) && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen.len() == inside.len()
+    }
+
+    /// The connected component of `start` among nodes where
+    /// `excluded[v] == false`.
+    pub fn component_of(&self, start: NodeId, excluded: &[bool]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        if excluded[start] {
+            return out;
+        }
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for w in self.neighbors(v) {
+                if !seen[w] && !excluded[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// A connected subset of exactly `size` nodes grown by BFS from
+    /// `start` (used by the Claim F.5 construction), or `None` if the
+    /// component of `start` is smaller than `size`.
+    pub fn bfs_ball(&self, start: NodeId, size: usize) -> Option<Vec<NodeId>> {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        let mut out = Vec::with_capacity(size);
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            if out.len() == size {
+                out.sort_unstable();
+                return Some(out);
+            }
+            for w in self.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_expected_shape() {
+        assert_eq!(Graph::path(5).edge_count(), 4);
+        assert_eq!(Graph::cycle(5).edge_count(), 5);
+        assert_eq!(Graph::complete(5).edge_count(), 10);
+        assert_eq!(Graph::grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(Graph::random_tree(10, 3).edge_count(), 9);
+    }
+
+    #[test]
+    fn all_families_connected() {
+        assert!(Graph::path(7).is_connected());
+        assert!(Graph::cycle(7).is_connected());
+        assert!(Graph::complete(7).is_connected());
+        assert!(Graph::grid(4, 4).is_connected());
+        assert!(Graph::random_tree(20, 1).is_connected());
+        assert!(Graph::random_connected(20, 0.1, 2).is_connected());
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = Graph::path(6);
+        assert!(g.is_connected_subset(&[1, 2, 3]));
+        assert!(!g.is_connected_subset(&[1, 3]));
+        assert!(!g.is_connected_subset(&[]));
+        assert!(g.is_connected_subset(&[4]));
+    }
+
+    #[test]
+    fn bfs_ball_is_connected_and_sized() {
+        let g = Graph::grid(4, 4);
+        for size in 1..=16 {
+            let ball = g.bfs_ball(5, size).unwrap();
+            assert_eq!(ball.len(), size);
+            assert!(g.is_connected_subset(&ball));
+        }
+        assert!(g.bfs_ball(0, 17).is_none());
+    }
+
+    #[test]
+    fn component_excludes_nodes() {
+        let g = Graph::path(5);
+        let mut excluded = vec![false; 5];
+        excluded[2] = true;
+        assert_eq!(g.component_of(0, &excluded), vec![0, 1]);
+        assert_eq!(g.component_of(3, &excluded), vec![3, 4]);
+        assert!(g.component_of(2, &excluded).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fle-topology — impossibility machinery for general networks
+//!
+//! Executable reproduction of Section 7 and Appendix F of Yifrach &
+//! Mansour (PODC 2018): *for every `k`-simulated tree there is no
+//! `ε`-`k`-resilient fair leader election protocol* (Theorem 7.2),
+//! generalizing Abraham et al.'s `⌈n/2⌉` bound because every connected
+//! graph is a `⌈n/2⌉`-simulated tree (Claim F.5).
+//!
+//! The theorem is an existence proof over *all* protocols; its
+//! constructive content is reproduced in three executable pieces:
+//!
+//! * [`Graph`] and [`TreePartition`] — Definition 7.1: verify that a
+//!   partition of a graph into connected parts of size ≤ k induces a tree,
+//!   and build the Claim F.5 partition for arbitrary connected graphs.
+//! * [`two_party`] — Lemma F.2: a backward-induction solver that, for any
+//!   finite two-party coin-toss protocol, *extracts* a deviating strategy
+//!   with which one party assures an outcome, and verifies it against
+//!   every input of the honest counterparty.
+//! * [`tree_fle`] — Lemma F.3 / Corollary F.4: simulate a graph protocol
+//!   on its quotient tree and let the coalition behind one tree node
+//!   dictate the elected leader.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod simulated_tree;
+pub mod tree_fle;
+pub mod two_party;
+
+pub use graph::Graph;
+pub use simulated_tree::{figure2_graph, PartitionError, TreePartition};

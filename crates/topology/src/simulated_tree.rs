@@ -1,0 +1,342 @@
+//! `k`-simulated trees (paper Definition 7.1, Claim F.5, Figure 2).
+//!
+//! A graph `G` is a *k-simulated tree* when its vertices can be
+//! partitioned into connected parts of size at most `k` such that the
+//! quotient (the graph induced on the parts) is a tree. Theorem 7.2 shows
+//! that on any such graph some single part — a coalition of at most `k`
+//! processors — can bias every fair leader election protocol.
+
+use crate::graph::Graph;
+use ring_sim::NodeId;
+
+/// A partition of a graph's vertices witnessing the k-simulated-tree
+/// structure of Definition 7.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePartition {
+    parts: Vec<Vec<NodeId>>,
+    /// Quotient edges as pairs of part indices `(a, b)`, `a < b`.
+    quotient_edges: Vec<(usize, usize)>,
+}
+
+/// Why a candidate partition fails Definition 7.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The parts are not a partition of `0..n` (missing/duplicate nodes).
+    NotAPartition,
+    /// Some part is not connected in the graph.
+    DisconnectedPart(usize),
+    /// Some part is empty.
+    EmptyPart(usize),
+    /// The quotient graph contains a cycle (or is disconnected), so it is
+    /// not a tree.
+    QuotientNotATree,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NotAPartition => write!(f, "parts do not partition the vertex set"),
+            PartitionError::DisconnectedPart(i) => write!(f, "part {i} is not connected"),
+            PartitionError::EmptyPart(i) => write!(f, "part {i} is empty"),
+            PartitionError::QuotientNotATree => write!(f, "quotient graph is not a tree"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl TreePartition {
+    /// Validates a candidate partition against Definition 7.1 for graph
+    /// `g`: parts partition the vertices, each part is connected, and the
+    /// quotient is a tree. (The homomorphism requirement of the
+    /// definition is exactly "every `G`-edge is intra-part or joins two
+    /// quotient-adjacent parts", which holds by construction of the
+    /// quotient; what must be *checked* is treeness.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`PartitionError`] violated.
+    pub fn new(g: &Graph, parts: Vec<Vec<NodeId>>) -> Result<Self, PartitionError> {
+        let n = g.len();
+        let mut owner = vec![usize::MAX; n];
+        for (i, part) in parts.iter().enumerate() {
+            if part.is_empty() {
+                return Err(PartitionError::EmptyPart(i));
+            }
+            for &v in part {
+                if v >= n || owner[v] != usize::MAX {
+                    return Err(PartitionError::NotAPartition);
+                }
+                owner[v] = i;
+            }
+        }
+        if owner.contains(&usize::MAX) {
+            return Err(PartitionError::NotAPartition);
+        }
+        for (i, part) in parts.iter().enumerate() {
+            if !g.is_connected_subset(part) {
+                return Err(PartitionError::DisconnectedPart(i));
+            }
+        }
+        // Build the quotient simple graph.
+        let mut qedges = std::collections::BTreeSet::new();
+        for (a, b) in g.edges() {
+            let (pa, pb) = (owner[a], owner[b]);
+            if pa != pb {
+                qedges.insert((pa.min(pb), pa.max(pb)));
+            }
+        }
+        // A connected simple graph on m nodes is a tree iff it has m − 1
+        // edges.
+        let m = parts.len();
+        if qedges.len() != m.saturating_sub(1) || !quotient_connected(m, &qedges) {
+            return Err(PartitionError::QuotientNotATree);
+        }
+        Ok(Self {
+            parts,
+            quotient_edges: qedges.into_iter().collect(),
+        })
+    }
+
+    /// The Claim F.5 construction: every connected graph is a
+    /// `⌈n/2⌉`-simulated tree. The first part is a BFS ball of exactly
+    /// `⌈n/2⌉` vertices; each further part is a connected component of
+    /// what remains (maximality makes the quotient acyclic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty or disconnected (Claim F.5 assumes a
+    /// connected graph).
+    pub fn claim_f5(g: &Graph) -> Self {
+        let n = g.len();
+        assert!(n > 0, "graph must be non-empty");
+        assert!(g.is_connected(), "Claim F.5 requires a connected graph");
+        let first = g
+            .bfs_ball(0, n.div_ceil(2))
+            .expect("connected graph has a ball of size ceil(n/2)");
+        let mut excluded = vec![false; n];
+        for &v in &first {
+            excluded[v] = true;
+        }
+        let mut parts = vec![first];
+        for v in 0..n {
+            if !excluded[v] {
+                let comp = g.component_of(v, &excluded);
+                for &w in &comp {
+                    excluded[w] = true;
+                }
+                parts.push(comp);
+            }
+        }
+        Self::new(g, parts).expect("Claim F.5 construction is always valid")
+    }
+
+    /// The parts (each sorted ascending).
+    pub fn parts(&self) -> &[Vec<NodeId>] {
+        &self.parts
+    }
+
+    /// The `k` witnessed by this partition: the largest part size.
+    pub fn k(&self) -> usize {
+        self.parts.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Edges of the quotient tree, as part-index pairs.
+    pub fn quotient_edges(&self) -> &[(usize, usize)] {
+        &self.quotient_edges
+    }
+
+    /// The part index owning vertex `v`, if in range.
+    pub fn part_of(&self, v: NodeId) -> Option<usize> {
+        self.parts.iter().position(|p| p.contains(&v))
+    }
+
+    /// The quotient tree as a `ring-sim` topology (bidirectional edges),
+    /// for running simulated protocols on it.
+    pub fn quotient_topology(&self) -> ring_sim::Topology {
+        let m = self.parts.len();
+        let mut edges = Vec::with_capacity(2 * self.quotient_edges.len());
+        for &(a, b) in &self.quotient_edges {
+            edges.push((a, b));
+            edges.push((b, a));
+        }
+        ring_sim::Topology::from_edges(m, edges).expect("quotient edges are simple")
+    }
+}
+
+fn quotient_connected(m: usize, edges: &std::collections::BTreeSet<(usize, usize)>) -> bool {
+    if m == 0 {
+        return false;
+    }
+    let mut adj = vec![Vec::new(); m];
+    for &(a, b) in edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; m];
+    let mut stack = vec![0];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == m
+}
+
+/// The paper's Figure 2: a 16-vertex graph that is a 4-simulated tree —
+/// four 4-cliques glued along a path by single bridge edges. Returns the
+/// graph together with the witnessing partition (`k = 4`).
+///
+/// # Examples
+///
+/// ```
+/// use fle_topology::figure2_graph;
+///
+/// let (g, partition) = figure2_graph();
+/// assert_eq!(g.len(), 16);
+/// assert_eq!(partition.k(), 4);
+/// assert_eq!(partition.parts().len(), 4);
+/// ```
+pub fn figure2_graph() -> (Graph, TreePartition) {
+    let mut g = Graph::new(16);
+    // Four cliques {0..4}, {4..8}, {8..12}, {12..16}… using disjoint
+    // vertex groups: clique c occupies 4c..4c+4.
+    for c in 0..4 {
+        let base = 4 * c;
+        for a in 0..4 {
+            for b in a + 1..4 {
+                g.add_edge(base + a, base + b);
+            }
+        }
+    }
+    // Bridges forming a star around clique 0: 3—4, 2—8, 1—12.
+    g.add_edge(3, 4);
+    g.add_edge(2, 8);
+    g.add_edge(1, 12);
+    let parts = (0..4).map(|c| (4 * c..4 * c + 4).collect()).collect();
+    let partition = TreePartition::new(&g, parts).expect("figure 2 partition is valid");
+    (g, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_is_a_4_simulated_tree() {
+        let (g, p) = figure2_graph();
+        assert_eq!(p.k(), 4);
+        assert!(g.is_connected());
+        assert_eq!(p.quotient_edges().len(), 3);
+    }
+
+    #[test]
+    fn claim_f5_holds_for_families() {
+        for (name, g) in [
+            ("path", Graph::path(9)),
+            ("cycle", Graph::cycle(10)),
+            ("complete", Graph::complete(8)),
+            ("grid", Graph::grid(3, 5)),
+            ("random", Graph::random_connected(17, 0.2, 5)),
+        ] {
+            let p = TreePartition::claim_f5(&g);
+            assert!(
+                p.k() <= g.len().div_ceil(2),
+                "{name}: k = {} > ⌈n/2⌉",
+                p.k()
+            );
+        }
+    }
+
+    #[test]
+    fn trees_are_1_simulated() {
+        let g = Graph::random_tree(12, 9);
+        let parts = (0..12).map(|v| vec![v]).collect();
+        let p = TreePartition::new(&g, parts).unwrap();
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn cycle_two_arc_partition_is_valid() {
+        let g = Graph::cycle(8);
+        let p = TreePartition::new(&g, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]).unwrap();
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.quotient_edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn cycle_three_arc_partition_is_rejected() {
+        // Three arcs of a cycle induce a quotient triangle — not a tree.
+        let g = Graph::cycle(9);
+        let parts = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+        assert_eq!(
+            TreePartition::new(&g, parts).unwrap_err(),
+            PartitionError::QuotientNotATree
+        );
+    }
+
+    #[test]
+    fn disconnected_part_is_rejected() {
+        let g = Graph::path(5);
+        let parts = vec![vec![0, 2], vec![1], vec![3, 4]];
+        assert_eq!(
+            TreePartition::new(&g, parts).unwrap_err(),
+            PartitionError::DisconnectedPart(0)
+        );
+    }
+
+    #[test]
+    fn bad_partitions_are_rejected() {
+        let g = Graph::path(4);
+        assert_eq!(
+            TreePartition::new(&g, vec![vec![0, 1], vec![1, 2, 3]]).unwrap_err(),
+            PartitionError::NotAPartition
+        );
+        assert_eq!(
+            TreePartition::new(&g, vec![vec![0, 1, 2]]).unwrap_err(),
+            PartitionError::NotAPartition
+        );
+        assert_eq!(
+            TreePartition::new(&g, vec![vec![0, 1, 2, 3], vec![]]).unwrap_err(),
+            PartitionError::EmptyPart(1)
+        );
+    }
+
+    #[test]
+    fn part_of_locates_vertices() {
+        let (_, p) = figure2_graph();
+        assert_eq!(p.part_of(0), Some(0));
+        assert_eq!(p.part_of(5), Some(1));
+        assert_eq!(p.part_of(15), Some(3));
+        assert_eq!(p.part_of(99), None);
+    }
+
+    #[test]
+    fn quotient_topology_matches_edges() {
+        let (_, p) = figure2_graph();
+        let t = p.quotient_topology();
+        assert_eq!(t.len(), 4);
+        for &(a, b) in p.quotient_edges() {
+            assert!(t.edge_id(a, b).is_some());
+            assert!(t.edge_id(b, a).is_some());
+        }
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            PartitionError::NotAPartition,
+            PartitionError::DisconnectedPart(1),
+            PartitionError::EmptyPart(0),
+            PartitionError::QuotientNotATree,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Lemma F.3 / Corollary F.4 demonstrated: leader election over a
+//! simulated tree, and the coalition behind one tree node dictating the
+//! outcome.
+//!
+//! Given a `k`-simulated tree (a graph plus a witnessing
+//! [`TreePartition`]), the paper simulates any protocol for the graph on
+//! the quotient tree — each tree node simulating the ≤ k processors of
+//! its part — and shows some tree node assures the outcome. This module
+//! instantiates the construction for the natural *tree-sum* fair leader
+//! election (convergecast partial sums to the root, broadcast
+//! `Σ dᵢ mod n` back down): honest runs are perfectly fair, and the
+//! coalition simulated by the quotient root — at most `k` real
+//! processors — elects any target it likes by choosing its contribution
+//! last. This is the same "wait, then cancel the sum" dictatorship that
+//! Lemma F.2's induction extracts in the two-party case.
+
+use crate::graph::Graph;
+use crate::simulated_tree::TreePartition;
+use ring_sim::rng::SplitMix64;
+use ring_sim::{Ctx, Execution, Node, NodeId, Outcome, SimBuilder};
+
+/// Tree-sum fair leader election over the quotient tree of a
+/// `k`-simulated graph.
+///
+/// # Examples
+///
+/// ```
+/// use fle_topology::{figure2_graph, tree_fle::TreeSumFle};
+///
+/// let (g, partition) = figure2_graph();
+/// let fle = TreeSumFle::new(&g, &partition, 7);
+/// let honest = fle.run_honest();
+/// assert!(honest.outcome.elected().unwrap() < 16);
+///
+/// // The ≤ k processors of the root part dictate the outcome:
+/// let forced = fle.run_with_dictator(11);
+/// assert_eq!(forced.outcome.elected(), Some(11));
+/// assert!(fle.dictator_coalition().len() <= partition.k());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeSumFle {
+    /// Total number of *real* processors (the graph's n — the leader
+    /// space).
+    n_real: usize,
+    /// Per-part sums of the simulated processors' secret values.
+    part_sums: Vec<u64>,
+    /// Members of each part (root part = dictating coalition).
+    root_part: Vec<NodeId>,
+    parents: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    topology: ring_sim::Topology,
+}
+
+impl TreeSumFle {
+    /// Builds the protocol instance for a graph with a witnessing
+    /// partition; `seed` derives every real processor's secret value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not belong to a graph of `g.len()`
+    /// vertices.
+    pub fn new(g: &Graph, partition: &TreePartition, seed: u64) -> Self {
+        let n_real = g.len();
+        let total: usize = partition.parts().iter().map(Vec::len).sum();
+        assert_eq!(total, n_real, "partition does not cover the graph");
+        let part_sums: Vec<u64> = partition
+            .parts()
+            .iter()
+            .map(|part| {
+                part.iter()
+                    .map(|&v| SplitMix64::new(seed).derive(v as u64).next_below(n_real as u64))
+                    .sum::<u64>()
+                    % n_real as u64
+            })
+            .collect();
+        let topology = partition.quotient_topology();
+        let m = partition.parts().len();
+        // Root the quotient tree at part 0.
+        let mut parents = vec![None; m];
+        let mut children = vec![Vec::new(); m];
+        let mut seen = vec![false; m];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(v) = queue.pop_front() {
+            for w in topology.out_neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    parents[w] = Some(v);
+                    children[v].push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        Self {
+            n_real,
+            part_sums,
+            root_part: partition.parts()[0].clone(),
+            parents,
+            children,
+            topology,
+        }
+    }
+
+    /// The coalition that dictates under [`TreeSumFle::run_with_dictator`]:
+    /// the real processors simulated by the quotient root (at most `k`).
+    pub fn dictator_coalition(&self) -> &[NodeId] {
+        &self.root_part
+    }
+
+    /// Runs the protocol honestly; the outcome is `Σ dᵢ (mod n)` over all
+    /// real processors.
+    pub fn run_honest(&self) -> Execution {
+        self.run(None)
+    }
+
+    /// Runs with the root part deviating: it waits for every subtree sum
+    /// (which the honest protocol already lets it do!) and then announces
+    /// `target` instead of the true total.
+    pub fn run_with_dictator(&self, target: u64) -> Execution {
+        self.run(Some(target % self.n_real as u64))
+    }
+
+    fn run(&self, dictate: Option<u64>) -> Execution {
+        let m = self.part_sums.len();
+        let mut builder: SimBuilder<'_, u64> = SimBuilder::new(self.topology.clone());
+        for id in 0..m {
+            builder = builder.boxed_node(
+                id,
+                Box::new(TreeNode {
+                    n_real: self.n_real as u64,
+                    own: self.part_sums[id],
+                    parent: self.parents[id],
+                    children: self.children[id].clone(),
+                    pending: self.children[id].len(),
+                    acc: 0,
+                    dictate: if id == 0 { dictate } else { None },
+                }),
+            );
+        }
+        builder.wake_all().run()
+    }
+}
+
+/// One quotient-tree node simulating its part: convergecast the subtree
+/// sum, then broadcast the root's announcement.
+struct TreeNode {
+    n_real: u64,
+    own: u64,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    pending: usize,
+    acc: u64,
+    dictate: Option<u64>,
+}
+
+impl TreeNode {
+    fn finish_subtree(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let total = (self.own + self.acc) % self.n_real;
+        match self.parent {
+            Some(p) => ctx.send_to(p, total),
+            None => {
+                // Root: decide and broadcast. A dictating root ignores the
+                // true total — it has seen every other contribution first.
+                let leader = self.dictate.unwrap_or(total);
+                for &c in &self.children {
+                    ctx.send_to(c, leader);
+                }
+                ctx.terminate(Some(leader));
+            }
+        }
+    }
+}
+
+impl Node<u64> for TreeNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if self.pending == 0 {
+            self.finish_subtree(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if Some(from) == self.parent {
+            // The elected leader travelling down.
+            for &c in &self.children {
+                ctx.send_to(c, msg);
+            }
+            ctx.terminate(Some(msg));
+        } else {
+            self.acc = (self.acc + msg) % self.n_real;
+            self.pending -= 1;
+            if self.pending == 0 {
+                self.finish_subtree(ctx);
+            }
+        }
+    }
+}
+
+/// Convenience: the Theorem 7.2 demonstration on an arbitrary connected
+/// graph. Builds the Claim F.5 partition (`k ≤ ⌈n/2⌉`), runs the
+/// dictatorship, and returns `(k, outcome)`.
+pub fn theorem_7_2_demo(g: &Graph, seed: u64, target: u64) -> (usize, Outcome) {
+    let partition = TreePartition::claim_f5(g);
+    let fle = TreeSumFle::new(g, &partition, seed);
+    let exec = fle.run_with_dictator(target);
+    (partition.k(), exec.outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulated_tree::figure2_graph;
+
+    fn expected_sum(seed: u64, n: usize) -> u64 {
+        (0..n)
+            .map(|v| SplitMix64::new(seed).derive(v as u64).next_below(n as u64))
+            .sum::<u64>()
+            % n as u64
+    }
+
+    #[test]
+    fn honest_run_elects_global_sum() {
+        let (g, p) = figure2_graph();
+        for seed in 0..10 {
+            let fle = TreeSumFle::new(&g, &p, seed);
+            assert_eq!(
+                fle.run_honest().outcome.elected(),
+                Some(expected_sum(seed, 16)),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn honest_distribution_is_uniform() {
+        let (g, p) = figure2_graph();
+        let trials = 3200;
+        let mut counts = vec![0u32; 16];
+        for seed in 0..trials {
+            let fle = TreeSumFle::new(&g, &p, seed);
+            counts[fle.run_honest().outcome.elected().unwrap() as usize] += 1;
+        }
+        let expect = trials as f64 / 16.0;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.3, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn root_part_dictates_every_target_with_k_4() {
+        let (g, p) = figure2_graph();
+        let fle = TreeSumFle::new(&g, &p, 3);
+        assert_eq!(fle.dictator_coalition().len(), 4); // k = 4, not ⌈16/2⌉ = 8
+        for w in 0..16u64 {
+            assert_eq!(fle.run_with_dictator(w).outcome.elected(), Some(w));
+        }
+    }
+
+    #[test]
+    fn claim_f5_dictatorship_on_families() {
+        for (name, g) in [
+            ("path", Graph::path(10)),
+            ("cycle", Graph::cycle(12)),
+            ("complete", Graph::complete(9)),
+            ("grid", Graph::grid(3, 4)),
+        ] {
+            let (k, outcome) = theorem_7_2_demo(&g, 5, 3);
+            assert!(k <= g.len().div_ceil(2), "{name}");
+            assert_eq!(outcome.elected(), Some(3), "{name}");
+        }
+    }
+
+    #[test]
+    fn single_node_tree_elects_itself() {
+        let g = Graph::new(1);
+        let p = TreePartition::new(&g, vec![vec![0]]).unwrap();
+        let fle = TreeSumFle::new(&g, &p, 0);
+        assert_eq!(fle.run_honest().outcome.elected(), Some(0));
+    }
+
+    #[test]
+    fn one_to_one_partition_on_a_tree_still_works() {
+        // Trees are 1-simulated trees: the "coalition" is a single node,
+        // matching the paper's remark that even k = 1 suffices on trees.
+        let g = Graph::random_tree(9, 4);
+        let parts = (0..9).map(|v| vec![v]).collect();
+        let p = TreePartition::new(&g, parts).unwrap();
+        let fle = TreeSumFle::new(&g, &p, 1);
+        assert_eq!(fle.dictator_coalition().len(), 1);
+        for w in [0u64, 4, 8] {
+            assert_eq!(fle.run_with_dictator(w).outcome.elected(), Some(w));
+        }
+    }
+}

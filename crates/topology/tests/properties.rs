@@ -1,0 +1,98 @@
+//! Property-based tests for the impossibility machinery.
+
+use fle_topology::tree_fle::TreeSumFle;
+use fle_topology::two_party::{dichotomy, AlternatingProtocol, Party, Verdict};
+use fle_topology::{Graph, TreePartition};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Claim F.5 holds for random connected graphs of any density.
+    #[test]
+    fn claim_f5_on_random_graphs(n in 2usize..40, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = Graph::random_connected(n, p, seed);
+        let partition = TreePartition::claim_f5(&g);
+        prop_assert!(partition.k() <= n.div_ceil(2));
+        // Parts partition the vertex set.
+        let total: usize = partition.parts().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        // Quotient edge count is parts − 1 (a tree).
+        prop_assert_eq!(partition.quotient_edges().len(), partition.parts().len() - 1);
+    }
+
+    /// The verifier rejects a partition with one part split in two
+    /// whenever that creates a quotient cycle or disconnected part.
+    #[test]
+    fn singleton_partitions_valid_only_for_trees(n in 3usize..20, seed in any::<u64>()) {
+        let tree = Graph::random_tree(n, seed);
+        let parts: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+        prop_assert!(TreePartition::new(&tree, parts.clone()).is_ok());
+        // Add one chord: the singleton quotient now has a cycle.
+        let mut cyclic = tree.clone();
+        let mut added = false;
+        'outer: for a in 0..n {
+            for b in a + 2..n {
+                if !cyclic.has_edge(a, b) {
+                    cyclic.add_edge(a, b);
+                    added = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(added);
+        prop_assert!(TreePartition::new(&cyclic, parts).is_err());
+    }
+
+    /// Tree-sum FLE on the quotient of a random connected graph: honest
+    /// runs elect Σ dᵢ mod n, and the root part forces any target.
+    #[test]
+    fn tree_fle_honest_and_dictated(n in 2usize..30, seed in any::<u64>(), w_raw in any::<u64>()) {
+        let g = Graph::random_connected(n, 0.2, seed);
+        let partition = TreePartition::claim_f5(&g);
+        let fle = TreeSumFle::new(&g, &partition, seed);
+        let honest = fle.run_honest().outcome.elected().expect("honest succeeds");
+        prop_assert!(honest < n as u64);
+        let w = w_raw % n as u64;
+        prop_assert_eq!(fle.run_with_dictator(w).outcome.elected(), Some(w));
+        prop_assert!(fle.dictator_coalition().len() <= partition.k());
+    }
+
+    /// Lemma F.2 dichotomy, with verified extracted strategies, over the
+    /// random protocol space (the executable form of the lemma's "for
+    /// every protocol" quantifier).
+    #[test]
+    fn lemma_f2_dichotomy_universal(seed in any::<u64>(), rounds in 2usize..5, inputs in 2usize..4) {
+        let p = AlternatingProtocol::random(seed, rounds, 2, inputs);
+        match dichotomy(&p) {
+            Verdict::Favourable { bit, by_a, by_b } => {
+                for i in 0..inputs {
+                    prop_assert_eq!(p.run_against(Party::A, &by_a, i), bit);
+                    prop_assert_eq!(p.run_against(Party::B, &by_b, i), bit);
+                }
+            }
+            Verdict::Dictator { party, force_0, force_1 } => {
+                for i in 0..inputs {
+                    prop_assert_eq!(p.run_against(party, &force_0, i), 0);
+                    prop_assert_eq!(p.run_against(party, &force_1, i), 1);
+                }
+            }
+        }
+    }
+
+    /// `assures` is monotone in the honest input set: a strategy that
+    /// beats every input also beats the protocol restricted to fewer
+    /// inputs (sanity of the solver's universal quantifier).
+    #[test]
+    fn assures_implies_pointwise_wins(seed in any::<u64>()) {
+        use fle_topology::two_party::assures;
+        let p = AlternatingProtocol::random(seed, 4, 2, 4);
+        for bit in [0u8, 1] {
+            if let Some(s) = assures(&p, Party::B, bit) {
+                for input in 0..4 {
+                    prop_assert_eq!(p.run_against(Party::B, &s, input), bit);
+                }
+            }
+        }
+    }
+}

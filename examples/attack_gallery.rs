@@ -1,0 +1,76 @@
+//! The attack gallery: every adversarial deviation from the paper, run
+//! against its victim protocol on one ring size.
+//!
+//! ```text
+//! cargo run --example attack_gallery
+//! ```
+
+use fle_attacks::{
+    cubic_distances, BasicSingleAttack, CubicAttack, PhaseBurstAttack, PhaseRushingAttack,
+    PhaseSumAttack, RandomLocatedAttack, RushingAttack,
+};
+use fle_core::protocols::{ALeadUni, BasicLead, PhaseAsyncLead, PhaseSumLead};
+use fle_core::Coalition;
+
+fn main() {
+    let n = 100;
+    let target = 42u64;
+    println!("ring size n = {n}, every attack aims at leader {target}\n");
+
+    // Claim B.1 — one adversary vs Basic-LEAD.
+    let basic = BasicLead::new(n).with_seed(1);
+    let exec = BasicSingleAttack::new(7, target).run(&basic).unwrap();
+    println!("Claim B.1   Basic-LEAD,     k = 1:   {}", exec.outcome);
+
+    // Lemma 4.1 / Theorem 4.2 — rushing with k = sqrt(n).
+    let alead = ALeadUni::new(n).with_seed(1);
+    let coalition = Coalition::equally_spaced(n, 10, 1).unwrap();
+    let exec = RushingAttack::new(target).run(&alead, &coalition).unwrap();
+    println!("Thm 4.2     A-LEADuni,      k = 10:  {}", exec.outcome);
+
+    // Theorem 4.3 — the cubic attack with k ≈ 2·cbrt(n).
+    let plan = cubic_distances(n).unwrap();
+    let exec = CubicAttack::new(target).run(&alead, &plan).unwrap();
+    println!(
+        "Thm 4.3     A-LEADuni,      k = {}:   {}   (distances {:?})",
+        plan.k(),
+        exec.outcome,
+        plan.distances()
+    );
+
+    // Theorem C.1 — randomly located adversaries, k and l_j unknown.
+    let random = Coalition::random_bernoulli(n, 0.3, 9).unwrap();
+    let attack = RandomLocatedAttack::new(target, 4);
+    let exec = attack.run(&alead, &random).unwrap();
+    println!(
+        "Thm C.1     A-LEADuni,      k = {} (random): {}",
+        random.k(),
+        exec.outcome
+    );
+
+    // Theorem 6.1 tightness — rushing vs PhaseAsyncLead at sqrt(n) + 3.
+    let phase = PhaseAsyncLead::new(n).with_seed(1).with_fn_key(5);
+    let coalition = Coalition::equally_spaced(n, 13, 1).unwrap();
+    let exec = PhaseRushingAttack::new(target).run(&phase, &coalition).unwrap();
+    println!("Thm 6.1     PhaseAsyncLead, k = 13:  {}", exec.outcome);
+
+    // …but the protocol holds below the threshold.
+    let small = Coalition::equally_spaced(n, 6, 1).unwrap();
+    match PhaseRushingAttack::new(target).run(&phase, &small) {
+        Err(e) => println!("Thm 6.1     PhaseAsyncLead, k = 6:   refused ({e})"),
+        Ok(exec) => println!("Thm 6.1     PhaseAsyncLead, k = 6:   {}", exec.outcome),
+    }
+
+    // …and detects the cubic burst outright.
+    let burst_coalition = Coalition::equally_spaced(n, 11, 1).unwrap();
+    let exec = PhaseBurstAttack::new(target)
+        .run(&phase, &burst_coalition)
+        .unwrap();
+    println!("Sec 6       PhaseAsyncLead, burst:   {}", exec.outcome);
+
+    // Appendix E.4 — four adversaries vs the sum-output ablation.
+    let sum = PhaseSumLead::new(n).with_seed(1);
+    let four = Coalition::equally_spaced(n, 4, 1).unwrap();
+    let exec = PhaseSumAttack::new(target).run(&sum, &four).unwrap();
+    println!("App E.4     PhaseSumLead,   k = 4:   {}", exec.outcome);
+}

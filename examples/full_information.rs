@@ -1,0 +1,73 @@
+//! Tour of the full-information coin-flipping model (paper Section 1.1):
+//! one-round boolean games, Ben-Or & Linial's iterated majority, Saks'
+//! baton passing, and lightest-bin leader election.
+//!
+//! ```text
+//! cargo run --release -p fle-experiments --example full_information
+//! ```
+
+use fle_fullinfo::{
+    best_coalition, coalition_power, BatonGame, IteratedMajority, LightestBin,
+    Majority, Parity,
+};
+
+fn main() {
+    println!("== one-round games: who controls the coin? ==");
+    for n in [5usize, 9, 13] {
+        let maj = Majority::new(n);
+        let p1 = coalition_power(&maj, 1);
+        let psqrt = coalition_power(&maj, (1 << (n as f64).sqrt() as usize) - 1);
+        println!(
+            "majority({n}):  1 voter bias {:+.3}   sqrt(n) voters bias {:+.3}",
+            p1.bias(),
+            psqrt.bias()
+        );
+    }
+    let par = Parity::new(9);
+    let p = coalition_power(&par, 1);
+    println!(
+        "parity(9):    1 rushing voter controls with prob {:.3} — a dictator\n",
+        p.control
+    );
+
+    println!("== best coalitions, found exhaustively ==");
+    let maj = Majority::new(9);
+    for k in [1usize, 2, 3] {
+        let (mask, power) = best_coalition(&maj, k);
+        println!(
+            "majority(9), k={k}: best mask {mask:#011b}, control {:.3}",
+            power.control
+        );
+    }
+    println!();
+
+    println!("== iterated majority-of-3: the n^0.63 threshold ==");
+    for h in 1..=5u32 {
+        let g = IteratedMajority::new(h);
+        let cheap = g.cheapest_controlling_set();
+        println!(
+            "height {h}: n = {:>4}, cheapest controlling set = {:>3} leaves (n^{:.2}), control = {:.3}",
+            g.n(),
+            cheap.len(),
+            (cheap.len() as f64).ln() / (g.n() as f64).ln(),
+            g.control_probability(&cheap),
+        );
+    }
+    println!();
+
+    println!("== leader election: corrupt-leader probability vs fair share ==");
+    let n = 64;
+    println!("{:>4} {:>8} {:>14} {:>14}", "k", "k/n", "baton (exact)", "lightest-bin");
+    for k in [1usize, 4, 8, 16, 32] {
+        let baton = BatonGame::new(n, k);
+        let bin = LightestBin::new(n, k);
+        println!(
+            "{k:>4} {:>8.3} {:>14.3} {:>14.3}",
+            k as f64 / n as f64,
+            baton.corrupt_leader_probability(),
+            bin.corrupt_leader_rate(7, 400),
+        );
+    }
+    println!("\nSaks' baton resists O(n/log n); plain 2-bin lightest-bin falls even faster —");
+    println!("the gap the linear-resilience constructions [9,11,25] close with more machinery.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: elect a leader fairly among rational agents, then watch a
+//! coalition try — and fail — to steal the election.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fle_attacks::PhaseRushingAttack;
+use fle_core::protocols::{FleProtocol, PhaseAsyncLead};
+use fle_core::Coalition;
+
+fn main() {
+    // A ring of 64 processors running the paper's Θ(√n)-resilient
+    // protocol. The seed fixes every processor's secret values; the
+    // function key fixes the protocol's random function f.
+    let n = 64;
+    let protocol = PhaseAsyncLead::new(n).with_seed(2024).with_fn_key(7);
+
+    // Honest execution: everyone follows the protocol.
+    let execution = protocol.run_honest();
+    println!("honest outcome:        {}", execution.outcome);
+    println!(
+        "messages exchanged:    {} (= 2n^2 = {})",
+        execution.stats.total_sent(),
+        2 * n * n
+    );
+
+    // A small coalition (k = 5 < sqrt(64)/10 rounded up... well below the
+    // threshold) cannot even mount the rushing attack: its honest
+    // segments are longer than its slack.
+    let small = Coalition::equally_spaced(n, 5, 1).expect("valid coalition");
+    match PhaseRushingAttack::new(13).run(&protocol, &small) {
+        Err(err) => println!("k=5 coalition:         {err}"),
+        Ok(exec) => println!("k=5 coalition:         unexpectedly ran: {}", exec.outcome),
+    }
+
+    // A coalition of sqrt(n) + 3 = 11, however, controls the outcome
+    // completely (the paper's tightness remark after Theorem 6.1).
+    let big = Coalition::equally_spaced(n, 11, 1).expect("valid coalition");
+    let forced = PhaseRushingAttack::new(13)
+        .run(&protocol, &big)
+        .expect("feasible at sqrt(n) + 3");
+    println!("k=11 coalition forces: {}", forced.outcome);
+
+    // Different seeds elect different leaders — fairness in action.
+    print!("ten honest elections:  ");
+    for seed in 0..10 {
+        let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(7);
+        print!("{} ", p.run_honest().outcome.elected().expect("honest"));
+    }
+    println!();
+}

@@ -1,0 +1,31 @@
+//! Fair renaming on top of the election machinery (Afek et al. [5] /
+//! paper Section 8 reductions): rotation renaming and uniform-permutation
+//! renaming.
+//!
+//! ```text
+//! cargo run --release -p fle-experiments --example renaming_demo
+//! ```
+
+use fle_core::renaming::{permutation_renaming, rotation_renaming};
+
+fn main() {
+    let n = 8;
+    println!("== rotation renaming: one election, marginally uniform names ==");
+    for seed in 0..4 {
+        let r = rotation_renaming(n, seed).expect("honest elections succeed");
+        println!("seed {seed}: names {:?} (valid: {})", r.names, r.is_valid());
+    }
+    println!();
+
+    println!("== permutation renaming: elections -> unbiased coins -> Fisher-Yates ==");
+    for seed in 0..4 {
+        let r = permutation_renaming(n, seed).expect("honest elections succeed");
+        println!(
+            "seed {seed}: names {:?} using {} elections",
+            r.names, r.elections
+        );
+    }
+    println!();
+    println!("rotation costs 1 election but correlates names;");
+    println!("permutation costs Theta(n) elections and is uniform over all n! assignments.");
+}

@@ -1,0 +1,61 @@
+//! Figure 1, interactively: coalition layouts, honest segments, and why
+//! layout decides which attack is possible.
+//!
+//! ```text
+//! cargo run --example ring_layout
+//! ```
+
+use fle_attacks::{cubic_distances, RushingAttack};
+use fle_core::protocols::ALeadUni;
+use fle_core::Coalition;
+
+fn describe(name: &str, c: &Coalition) {
+    println!("{name} (n = {}, k = {}):", c.n(), c.k());
+    println!("  {}", c.render_ascii(c.n()).replace('\n', "\n  "));
+    println!(
+        "  distances l_j = {:?}  (exposed adversaries: {})",
+        c.distances(),
+        c.exposed().len()
+    );
+    let feasible = RushingAttack::new(0).plan(&ALeadUni::new(c.n()), c).is_ok();
+    println!(
+        "  rushing attack (needs every l_j <= k - 1 = {}): {}",
+        c.k() - 1,
+        if feasible { "FEASIBLE" } else { "infeasible" }
+    );
+    println!();
+}
+
+fn main() {
+    let n = 60;
+
+    describe(
+        "equally spaced, k = 8 (sqrt(n) ~ 7.7)",
+        &Coalition::equally_spaced(n, 8, 1).unwrap(),
+    );
+    describe(
+        "equally spaced, k = 5 (below sqrt(n))",
+        &Coalition::equally_spaced(n, 5, 1).unwrap(),
+    );
+    describe(
+        "consecutive, k = 20 (below (n+1)/2)",
+        &Coalition::consecutive(n, 20, 1).unwrap(),
+    );
+    describe(
+        "consecutive, k = 31 (above (n+1)/2)",
+        &Coalition::consecutive(n, 31, 1).unwrap(),
+    );
+    describe(
+        "bernoulli p = 0.2",
+        &Coalition::random_bernoulli(n, 0.2, 3).unwrap(),
+    );
+
+    // The cubic layout: geometric distances squeeze k down to ~2·cbrt(n).
+    let plan = cubic_distances(n).unwrap();
+    println!(
+        "cubic layout (Thm 4.3): k = {} with distances {:?}",
+        plan.k(),
+        plan.distances()
+    );
+    describe("cubic-planned coalition", &plan.coalition());
+}

@@ -1,0 +1,70 @@
+//! Theorem 7.2 live: a 16-node graph that is a 4-simulated tree
+//! (Figure 2), where 4 colluding processors dictate any fair leader
+//! election — plus the Lemma F.2 two-party dictator extraction.
+//!
+//! ```text
+//! cargo run --example tree_impossibility
+//! ```
+
+use fle_topology::tree_fle::{theorem_7_2_demo, TreeSumFle};
+use fle_topology::two_party::{dichotomy, AlternatingProtocol, Verdict};
+use fle_topology::{figure2_graph, Graph, TreePartition};
+
+fn main() {
+    // Figure 2: four 4-cliques glued into a tree shape.
+    let (graph, partition) = figure2_graph();
+    println!(
+        "figure-2 graph: {} nodes, {} edges, k-simulated tree with k = {}",
+        graph.len(),
+        graph.edge_count(),
+        partition.k()
+    );
+    for (i, part) in partition.parts().iter().enumerate() {
+        println!("  part {i}: {part:?}");
+    }
+    println!("  quotient tree edges: {:?}", partition.quotient_edges());
+
+    // The coalition = the root part (4 processors of 16) picks any leader.
+    let fle = TreeSumFle::new(&graph, &partition, 11);
+    println!(
+        "\nhonest tree-sum election: {}",
+        fle.run_honest().outcome
+    );
+    println!(
+        "coalition {:?} dictates:",
+        fle.dictator_coalition()
+    );
+    for target in [0u64, 7, 15] {
+        println!(
+            "  forcing leader {target}: {}",
+            fle.run_with_dictator(target).outcome
+        );
+    }
+
+    // Claim F.5: ANY connected graph is a ceil(n/2)-simulated tree.
+    println!("\nClaim F.5 partitions (k <= ceil(n/2)):");
+    for (name, g) in [
+        ("cycle(11)", Graph::cycle(11)),
+        ("complete(9)", Graph::complete(9)),
+        ("grid(3x5)", Graph::grid(3, 5)),
+    ] {
+        let p = TreePartition::claim_f5(&g);
+        let (k, outcome) = theorem_7_2_demo(&g, 3, 2);
+        println!(
+            "  {name:<12} k = {:>2} (bound {:>2}), dictated outcome: {outcome}",
+            p.k(),
+            g.len().div_ceil(2),
+            outcome = outcome
+        );
+        let _ = k;
+    }
+
+    // Lemma F.2 in miniature: extract the dictator of the XOR coin toss.
+    println!("\nLemma F.2 on the naive XOR coin toss:");
+    match dichotomy(&AlternatingProtocol::xor_coin()) {
+        Verdict::Dictator { party, .. } => {
+            println!("  {party:?} (the second mover) dictates both outcomes")
+        }
+        Verdict::Favourable { bit, .. } => println!("  favourable value {bit}"),
+    }
+}

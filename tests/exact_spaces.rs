@@ -1,0 +1,101 @@
+//! Integration tests for the exact-enumeration layer: the paper's
+//! definitions checked as integer identities on complete input spaces,
+//! cross-validated against Monte-Carlo estimates.
+
+use fle_attacks::{BasicSingleAttack, RushingAttack};
+use fle_core::exact::{exact_distribution, for_each_assignment};
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol};
+use fle_core::Coalition;
+
+#[test]
+fn both_ring_protocols_are_exactly_fair_on_tiny_rings() {
+    for n in [2usize, 3, 4] {
+        let free: Vec<usize> = (0..n).collect();
+        let basic = exact_distribution(n, &free, |values| {
+            BasicLead::new(n).with_values(values.to_vec()).run_honest().outcome
+        });
+        assert!(basic.is_exactly_uniform(), "Basic-LEAD n={n}: {basic:?}");
+        let a_lead = exact_distribution(n, &free, |values| {
+            ALeadUni::new(n).with_values(values.to_vec()).run_honest().outcome
+        });
+        assert!(a_lead.is_exactly_uniform(), "A-LEADuni n={n}: {a_lead:?}");
+        assert_eq!(basic.total, (n as u64).pow(n as u32));
+    }
+}
+
+#[test]
+fn claim_b1_forcing_is_exact_for_every_adversary_position_and_target() {
+    let n = 4usize;
+    for adv in 0..n {
+        for target in 0..n as u64 {
+            let free: Vec<usize> = (0..n).filter(|&p| p != adv).collect();
+            let dist = exact_distribution(n, &free, |values| {
+                let protocol = BasicLead::new(n).with_values(values.to_vec());
+                BasicSingleAttack::new(adv, target)
+                    .run(&protocol)
+                    .expect("feasible")
+                    .outcome
+            });
+            assert_eq!(dist.fails, 0, "adv {adv} target {target}");
+            assert_eq!(
+                dist.counts[target as usize], dist.total,
+                "adv {adv} target {target}: {dist:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rushing_attack_is_exact_on_an_enumerable_ring() {
+    // n = 4, k = 2 opposite: every segment has l = 1 <= k - 1 = 1; the
+    // rushing attack must force the target on every one of the 4^2 = 16
+    // honest inputs.
+    let n = 4usize;
+    let coalition = Coalition::new(n, vec![1, 3]).expect("valid");
+    let target = 2u64;
+    let free: Vec<usize> = vec![0, 2];
+    let dist = exact_distribution(n, &free, |values| {
+        let protocol = ALeadUni::new(n).with_values(values.to_vec());
+        RushingAttack::new(target)
+            .run(&protocol, &coalition)
+            .expect("feasible layout")
+            .outcome
+    });
+    assert_eq!(dist.counts[target as usize], dist.total, "{dist:?}");
+    assert_eq!(dist.total, 16);
+}
+
+#[test]
+fn exact_epsilon_matches_monte_carlo_estimate() {
+    // For the honest protocol both must be ~0; exact is exactly 0.
+    let n = 4usize;
+    let free: Vec<usize> = (0..n).collect();
+    let exact = exact_distribution(n, &free, |values| {
+        BasicLead::new(n).with_values(values.to_vec()).run_honest().outcome
+    });
+    assert_eq!(exact.epsilon(), 0.0);
+    // Monte-Carlo over seeds converges to the same per-leader frequency.
+    let trials = 2000u64;
+    let mut counts = vec![0u64; n];
+    for seed in 0..trials {
+        let w = BasicLead::new(n)
+            .with_seed(seed)
+            .run_honest()
+            .outcome
+            .elected()
+            .expect("honest");
+        counts[w as usize] += 1;
+    }
+    let max = counts.iter().copied().max().expect("nonempty") as f64 / trials as f64;
+    assert!((max - 0.25).abs() < 0.05, "{counts:?}");
+}
+
+#[test]
+fn odometer_and_distribution_sizes_agree() {
+    let mut visits = 0u64;
+    for_each_assignment(5, 3, |_| visits += 1);
+    assert_eq!(visits, 125);
+    let dist = exact_distribution(3, &[0, 1], |_| ring_sim::Outcome::Elected(0));
+    assert_eq!(dist.total, 9);
+    assert_eq!(dist.counts[0], 9);
+}

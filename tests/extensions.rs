@@ -1,0 +1,93 @@
+//! Integration tests for the extension layers: the Appendix G indexed
+//! protocol, the Section 1.1 synchronous contrast, and fair consensus —
+//! all interacting with the same substrates as the core reproduction.
+
+use fle_core::consensus::FairConsensus;
+use fle_core::protocols::{
+    FleProtocol, IndexedPhaseLead, PhaseAsyncLead, SyncFixedValue, SyncLead, SyncWaitAndCancel,
+};
+use ring_sim::sync::SyncNode;
+
+#[test]
+fn indexed_and_plain_phase_protocols_agree_everywhere() {
+    for n in [4usize, 10, 21, 40] {
+        for seed in 0..4 {
+            for key in 0..3 {
+                let indexed = IndexedPhaseLead::new(n).with_seed(seed).with_fn_key(key);
+                let plain = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(key);
+                assert_eq!(
+                    indexed.run_honest().outcome,
+                    plain.run_honest().outcome,
+                    "n={n} seed={seed} key={key}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn consensus_decision_distribution_tracks_input_share() {
+    let n = 12usize;
+    for true_count in [3usize, 6, 9] {
+        let inputs: Vec<bool> = (0..n).map(|i| i < true_count).collect();
+        let trials = 1200u64;
+        let mut trues = 0u64;
+        for seed in 0..trials {
+            let c = FairConsensus::new(inputs.clone()).with_seed(seed);
+            if c.run_honest().expect("honest").0 {
+                trues += 1;
+            }
+        }
+        let freq = trues as f64 / trials as f64;
+        let share = true_count as f64 / n as f64;
+        assert!(
+            (freq - share).abs() < 0.06,
+            "true_count={true_count}: freq {freq} vs share {share}"
+        );
+    }
+}
+
+#[test]
+fn synchrony_beats_the_wait_and_cancel_for_every_position() {
+    let n = 10;
+    for pos in 1..n {
+        let p = SyncLead::new(n).with_seed(pos as u64);
+        let exec = p.run_with(vec![(pos, Box::new(SyncWaitAndCancel::new(n, 3)))]);
+        assert!(exec.outcome.is_fail(), "position {pos} went undetected");
+    }
+}
+
+#[test]
+fn sync_lead_resists_maximal_complying_coalitions() {
+    // Any n−1 processors playing arbitrary fixed values leave the outcome
+    // uniform over the lone honest processor's randomness.
+    let n = 6usize;
+    let honest_one = 4usize;
+    let mut counts = vec![0u64; n];
+    let trials = 3000u64;
+    for seed in 0..trials {
+        let p = SyncLead::new(n).with_seed(seed);
+        let overrides = (0..n)
+            .filter(|&id| id != honest_one)
+            .map(|id| {
+                let node: Box<dyn SyncNode<u64>> =
+                    Box::new(SyncFixedValue::new(n, (id % 3) as u64));
+                (id, node)
+            })
+            .collect();
+        let exec = p.run_with(overrides);
+        counts[exec.outcome.elected().expect("complying run") as usize] += 1;
+    }
+    let expect = trials as f64 / n as f64;
+    for &c in &counts {
+        assert!((c as f64 - expect).abs() < expect * 0.25, "{counts:?}");
+    }
+}
+
+#[test]
+fn consensus_inherits_the_election_seed_determinism() {
+    let inputs = vec![true, false, false, true, true, false, false, true];
+    let a = FairConsensus::new(inputs.clone()).with_seed(42).run_honest();
+    let b = FairConsensus::new(inputs).with_seed(42).run_honest();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,121 @@
+//! Section 7 / Appendix F end-to-end: k-simulated trees, the two-party
+//! dichotomy, Claim F.5, and the dictating tree coalition.
+
+use fle_topology::tree_fle::{theorem_7_2_demo, TreeSumFle};
+use fle_topology::two_party::{assures, dichotomy, AlternatingProtocol, Party, Verdict};
+use fle_topology::{figure2_graph, Graph, TreePartition};
+
+#[test]
+fn figure2_coalition_of_4_dictates_a_16_node_graph() {
+    let (g, partition) = figure2_graph();
+    assert_eq!(partition.k(), 4);
+    let fle = TreeSumFle::new(&g, &partition, 99);
+    assert_eq!(fle.dictator_coalition().len(), 4);
+    for w in 0..16 {
+        assert_eq!(fle.run_with_dictator(w).outcome.elected(), Some(w));
+    }
+}
+
+#[test]
+fn every_connected_graph_is_half_n_simulated() {
+    for (name, g) in [
+        ("path", Graph::path(15)),
+        ("cycle", Graph::cycle(14)),
+        ("complete", Graph::complete(11)),
+        ("grid", Graph::grid(4, 5)),
+        ("random", Graph::random_connected(21, 0.15, 8)),
+        ("tree", Graph::random_tree(18, 2)),
+    ] {
+        let p = TreePartition::claim_f5(&g);
+        assert!(p.k() <= g.len().div_ceil(2), "{name}: k={}", p.k());
+        let (k, outcome) = theorem_7_2_demo(&g, 7, 1);
+        assert!(k <= g.len().div_ceil(2), "{name}");
+        assert_eq!(outcome.elected(), Some(1), "{name}");
+    }
+}
+
+#[test]
+fn lemma_f2_dichotomy_verified_over_random_protocol_space() {
+    let mut favourable = 0;
+    let mut dictators = 0;
+    for seed in 0..120 {
+        let p = AlternatingProtocol::random(seed, 4, 2, 3);
+        match dichotomy(&p) {
+            Verdict::Favourable { bit, by_a, by_b } => {
+                favourable += 1;
+                for input in 0..3 {
+                    assert_eq!(p.run_against(Party::A, &by_a, input), bit);
+                    assert_eq!(p.run_against(Party::B, &by_b, input), bit);
+                }
+            }
+            Verdict::Dictator {
+                party,
+                force_0,
+                force_1,
+            } => {
+                dictators += 1;
+                for input in 0..3 {
+                    assert_eq!(p.run_against(party, &force_0, input), 0);
+                    assert_eq!(p.run_against(party, &force_1, input), 1);
+                }
+            }
+        }
+    }
+    assert!(favourable > 0 && dictators > 0, "{favourable}/{dictators}");
+}
+
+#[test]
+fn no_two_party_coin_toss_resists_both_parties() {
+    // Theorem 7.2 specialized: a fair two-party coin toss would need BOTH
+    // "A cannot assure any bit" and "B cannot assure any bit"; the
+    // dichotomy makes that impossible. Verify directly on a sample.
+    for seed in 0..30 {
+        let p = AlternatingProtocol::random(seed, 4, 2, 4);
+        let a_powerless = assures(&p, Party::A, 0).is_none() && assures(&p, Party::A, 1).is_none();
+        let b_powerless = assures(&p, Party::B, 0).is_none() && assures(&p, Party::B, 1).is_none();
+        // If A can bias nothing, B must be able to force at least one
+        // outcome (and vice versa): a 1-resilient fair coin toss cannot
+        // exist in this model.
+        assert!(
+            !(a_powerless && b_powerless),
+            "seed={seed}: a perfectly resilient protocol appeared"
+        );
+    }
+}
+
+#[test]
+fn deeper_trees_still_have_a_dictating_part() {
+    // A three-level caterpillar of triangles: parts of size 3 simulate it.
+    let mut g = Graph::new(12);
+    for c in 0..4 {
+        let b = 3 * c;
+        g.add_edge(b, b + 1);
+        g.add_edge(b + 1, b + 2);
+        g.add_edge(b, b + 2);
+    }
+    g.add_edge(2, 3);
+    g.add_edge(5, 6);
+    g.add_edge(8, 9);
+    let parts = (0..4).map(|c| vec![3 * c, 3 * c + 1, 3 * c + 2]).collect();
+    let partition = TreePartition::new(&g, parts).unwrap();
+    assert_eq!(partition.k(), 3);
+    let fle = TreeSumFle::new(&g, &partition, 5);
+    for w in [0u64, 6, 11] {
+        assert_eq!(fle.run_with_dictator(w).outcome.elected(), Some(w));
+    }
+}
+
+#[test]
+fn honest_tree_fle_is_fair_across_seeds() {
+    let (g, partition) = figure2_graph();
+    let mut counts = vec![0u32; 16];
+    let trials = 1600;
+    for seed in 0..trials {
+        let fle = TreeSumFle::new(&g, &partition, seed);
+        counts[fle.run_honest().outcome.elected().unwrap() as usize] += 1;
+    }
+    let expect = trials as f64 / 16.0;
+    for &c in &counts {
+        assert!((c as f64 - expect).abs() < expect * 0.35, "{counts:?}");
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end matrix: every protocol × every applicable attack, checking
+//! exactly the paper's predicted winner in each cell.
+//!
+//! | protocol        | attack          | coalition         | predicted |
+//! |-----------------|-----------------|-------------------|-----------|
+//! | Basic-LEAD      | wait-and-cancel | k = 1             | attacker  |
+//! | A-LEADuni       | rushing         | k = √n spaced     | attacker  |
+//! | A-LEADuni       | rushing         | k < √n spaced     | protocol  |
+//! | A-LEADuni       | cubic           | k ≈ 2∛n geometric | attacker  |
+//! | A-LEADuni       | random-located  | Θ(√(n log n))     | attacker  |
+//! | PhaseAsyncLead  | rushing         | k = √n + 3        | attacker  |
+//! | PhaseAsyncLead  | rushing         | k ≤ √n/10         | protocol  |
+//! | PhaseAsyncLead  | cubic-burst     | any               | protocol  |
+//! | PhaseSumLead    | partial-sum     | k = 4             | attacker  |
+
+use fle_attacks::{
+    cubic_distances, BasicSingleAttack, CubicAttack, PhaseBurstAttack, PhaseRushingAttack,
+    PhaseSumAttack, RandomLocatedAttack, RushingAttack,
+};
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
+use fle_core::Coalition;
+use ring_sim::Outcome;
+
+const N: usize = 100;
+
+#[test]
+fn basic_lead_falls_to_one_adversary() {
+    for seed in 0..5 {
+        let p = BasicLead::new(N).with_seed(seed);
+        let exec = BasicSingleAttack::new(37, 73).run(&p).unwrap();
+        assert_eq!(exec.outcome, Outcome::Elected(73));
+    }
+}
+
+#[test]
+fn a_lead_uni_falls_to_sqrt_n_rushing() {
+    let coalition = Coalition::equally_spaced(N, 10, 1).unwrap();
+    for seed in 0..5 {
+        let p = ALeadUni::new(N).with_seed(seed);
+        let exec = RushingAttack::new(41).run(&p, &coalition).unwrap();
+        assert_eq!(exec.outcome, Outcome::Elected(41));
+    }
+}
+
+#[test]
+fn a_lead_uni_withstands_sub_sqrt_rushing() {
+    for k in 2..10 {
+        let coalition = Coalition::equally_spaced(N, k, 1).unwrap();
+        let p = ALeadUni::new(N).with_seed(0);
+        assert!(
+            RushingAttack::new(0).run(&p, &coalition).is_err(),
+            "k={k} should be infeasible on n={N}"
+        );
+    }
+}
+
+#[test]
+fn a_lead_uni_falls_to_cubic() {
+    let plan = cubic_distances(N).unwrap();
+    assert!(plan.k() < 10, "cubic needs fewer than rushing: {}", plan.k());
+    for seed in 0..5 {
+        let p = ALeadUni::new(N).with_seed(seed);
+        let exec = CubicAttack::new(seed % N as u64).run(&p, &plan).unwrap();
+        assert_eq!(exec.outcome, Outcome::Elected(seed % N as u64));
+    }
+}
+
+#[test]
+fn a_lead_uni_falls_to_random_located_in_regime() {
+    let attack = RandomLocatedAttack::new(11, 4);
+    let mut favourable_and_won = 0;
+    let mut favourable = 0;
+    for seed in 0..40 {
+        let Some(coalition) = Coalition::random_bernoulli(N, 0.30, seed ^ 0xbeef) else {
+            continue;
+        };
+        if !attack.layout_is_favourable(&coalition) {
+            continue;
+        }
+        favourable += 1;
+        let p = ALeadUni::new(N).with_seed(seed);
+        if attack.run(&p, &coalition).unwrap().outcome == Outcome::Elected(11) {
+            favourable_and_won += 1;
+        }
+    }
+    assert!(favourable >= 5, "sample too small: {favourable}");
+    assert_eq!(favourable_and_won, favourable);
+}
+
+#[test]
+fn phase_async_falls_to_sqrt_n_plus_3_rushing() {
+    let coalition = Coalition::equally_spaced(N, 13, 1).unwrap();
+    for seed in 0..5 {
+        let p = PhaseAsyncLead::new(N).with_seed(seed).with_fn_key(seed * 7);
+        let exec = PhaseRushingAttack::new(5).run(&p, &coalition).unwrap();
+        assert_eq!(exec.outcome, Outcome::Elected(5), "seed={seed}");
+    }
+}
+
+#[test]
+fn phase_async_withstands_small_coalitions() {
+    let p = PhaseAsyncLead::new(N).with_fn_key(3);
+    for k in 2..=9 {
+        let coalition = Coalition::equally_spaced(N, k, 1).unwrap();
+        assert!(
+            PhaseRushingAttack::new(0).run(&p, &coalition).is_err(),
+            "k={k} must be infeasible against PhaseAsyncLead on n={N}"
+        );
+    }
+}
+
+#[test]
+fn phase_async_detects_cubic_burst() {
+    let coalition = Coalition::equally_spaced(N, 11, 1).unwrap();
+    for seed in 0..5 {
+        let p = PhaseAsyncLead::new(N).with_seed(seed).with_fn_key(seed);
+        let exec = PhaseBurstAttack::new(1).run(&p, &coalition).unwrap();
+        assert!(exec.outcome.is_fail(), "seed={seed}: {:?}", exec.outcome);
+    }
+}
+
+#[test]
+fn phase_sum_falls_to_four_adversaries() {
+    let coalition = Coalition::equally_spaced(N, 4, 1).unwrap();
+    for seed in 0..5 {
+        let p = PhaseSumLead::new(N).with_seed(seed);
+        let exec = PhaseSumAttack::new(99).run(&p, &coalition).unwrap();
+        assert_eq!(exec.outcome, Outcome::Elected(99));
+    }
+}
+
+#[test]
+fn all_protocols_succeed_honestly_and_sum_family_agrees() {
+    let a = ALeadUni::new(N).with_seed(7).run_honest();
+    let b = BasicLead::new(N).with_seed(7).run_honest();
+    let c = PhaseSumLead::new(N).with_seed(7).run_honest();
+    let d = PhaseAsyncLead::new(N).with_seed(7).with_fn_key(7).run_honest();
+    for exec in [&a, &b, &c, &d] {
+        assert!(exec.outcome.elected().is_some());
+    }
+    // Same seed derives the same secrets, so the three sum-based
+    // protocols elect the same leader.
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.outcome, c.outcome);
+}
+
+#[test]
+fn attacked_executions_never_deliver_a_wrong_valid_outcome() {
+    // Whatever the doomed burst attack does, the outcome must be either
+    // FAIL or the honest value — never a silently biased election.
+    let coalition = Coalition::equally_spaced(N, 11, 1).unwrap();
+    for seed in 0..10 {
+        let p = PhaseAsyncLead::new(N).with_seed(seed).with_fn_key(seed);
+        let exec = PhaseBurstAttack::new(1).run(&p, &coalition).unwrap();
+        match exec.outcome {
+            Outcome::Fail(_) => {}
+            Outcome::Elected(v) => {
+                assert_eq!(v, p.run_honest().outcome.elected().unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Section 8 end-to-end: coin tosses built from real protocol executions
+//! and elections built from real coins, under honest play and under
+//! attack, with the bias bounds of Theorem 8.1 checked on measurements.
+
+use fle_attacks::{BasicSingleAttack, RushingAttack};
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol};
+use fle_core::reductions::{
+    coin_bias_from_fle, coin_outcome_of_fle, elect_from_coins, fle_prob_bound_from_coin,
+    CoinFromFle,
+};
+use fle_core::Coalition;
+use ring_sim::Outcome;
+
+#[test]
+fn honest_fle_gives_a_fair_coin() {
+    let trials = 3000u64;
+    let mut ones = 0;
+    for seed in 0..trials {
+        let coin = CoinFromFle::new(ALeadUni::new(16).with_seed(seed));
+        if coin.toss() == Outcome::Elected(1) {
+            ones += 1;
+        }
+    }
+    let bias = (ones as f64 / trials as f64 - 0.5).abs();
+    assert!(bias < 0.03, "measured bias {bias}");
+}
+
+#[test]
+fn attacked_fle_gives_a_dictated_coin() {
+    // The Claim B.1 adversary picks the leader, hence the coin: forcing
+    // an odd leader makes the coin constantly 1.
+    let n = 16;
+    for seed in 0..50 {
+        let p = BasicLead::new(n).with_seed(seed);
+        let exec = BasicSingleAttack::new(3, 9).run(&p).unwrap();
+        assert_eq!(coin_outcome_of_fle(exec.outcome), Outcome::Elected(1));
+    }
+}
+
+#[test]
+fn rushing_attack_dictates_the_derived_coin_on_a_lead_uni() {
+    let n = 64;
+    let coalition = Coalition::equally_spaced(n, 8, 1).unwrap();
+    for seed in 0..20 {
+        let p = ALeadUni::new(n).with_seed(seed);
+        // Forcing an even leader forces coin = 0.
+        let exec = RushingAttack::new(42).run(&p, &coalition).unwrap();
+        assert_eq!(coin_outcome_of_fle(exec.outcome), Outcome::Elected(0));
+    }
+}
+
+#[test]
+fn election_from_honest_coins_is_fair() {
+    let bits = 3;
+    let n = 1usize << bits;
+    let trials = 2400u64;
+    let mut counts = vec![0u64; n];
+    for seed in 0..trials {
+        let outcome = elect_from_coins(bits, |i| {
+            let fle = ALeadUni::new(8).with_seed(seed * 31 + i as u64);
+            coin_outcome_of_fle(fle.run_honest().outcome)
+        });
+        counts[outcome.elected().unwrap() as usize] += 1;
+    }
+    let expect = trials as f64 / n as f64;
+    for &c in &counts {
+        assert!((c as f64 - expect).abs() < expect * 0.3, "{counts:?}");
+    }
+}
+
+#[test]
+fn election_from_a_dictated_coin_is_a_dictated_election() {
+    // All three coins forced to 1 elect leader 0b111 = 7 always — the
+    // worst case of the (1/2 + eps)^log(n) bound with eps = 1/2.
+    let bits = 3;
+    for seed in 0..20 {
+        let outcome = elect_from_coins(bits, |i| {
+            let p = BasicLead::new(8).with_seed(seed * 3 + i as u64);
+            let exec = BasicSingleAttack::new(2, 1).run(&p).unwrap();
+            coin_outcome_of_fle(exec.outcome)
+        });
+        assert_eq!(outcome, Outcome::Elected(7));
+    }
+    assert!((fle_prob_bound_from_coin(0.5, 8) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn failure_propagates_through_both_reductions() {
+    // A failing FLE trial fails the coin; a failing coin fails the
+    // election — solution preference survives composition.
+    let fail = Outcome::Fail(ring_sim::FailReason::Abort);
+    assert_eq!(coin_outcome_of_fle(fail), fail);
+    let out = elect_from_coins(3, |i| {
+        if i == 2 {
+            fail
+        } else {
+            Outcome::Elected(0)
+        }
+    });
+    assert_eq!(out, fail);
+}
+
+#[test]
+fn theorem_8_1_bound_is_tight_for_indicator_bias() {
+    // eps-unbiased FLE -> (n*eps/2)-unbiased coin: with n = 4 and a
+    // +eps boost concentrated on one odd leader, the coin's measured
+    // bias approaches n*eps/2... here we check the formula's shape.
+    assert!(coin_bias_from_fle(0.0, 10) == 0.0);
+    assert!(coin_bias_from_fle(0.1, 10) == 0.5);
+    assert!(fle_prob_bound_from_coin(0.0, 16) == 0.0625);
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the Appendix H unknown-ids model: `WakeLead`
+//! end-to-end, the id-lie utility argument, and the masking attack's
+//! interplay with the Lemma 4.1 feasibility boundary.
+
+use fle_attacks::{RushingAttack, WakeupIdLieAttack, WakeupMaskAttack};
+use fle_core::protocols::{ALeadUni, FleProtocol, WakeLead};
+use fle_core::Coalition;
+
+#[test]
+fn wake_lead_and_a_lead_uni_agree_on_the_winning_position() {
+    // With the same seed, WakeLead's election phase is A-LEADuni shifted
+    // to the believed origin: the winning *position* offset matches the
+    // data-sum arithmetic of both protocols.
+    for seed in 0..10 {
+        let n = 7;
+        let wake = WakeLead::new(n).with_seed(seed);
+        let winner_id = wake.run_honest().outcome.elected().expect("honest");
+        let winner_pos = wake
+            .ids()
+            .iter()
+            .position(|&id| id == winner_id)
+            .expect("winner is a member");
+        let origin_pos = (0..n).min_by_key(|&i| wake.ids()[i]).expect("nonempty");
+        let sum: u64 = wake.honest_values().iter().sum::<u64>() % n as u64;
+        assert_eq!(winner_pos, (origin_pos + sum as usize) % n, "seed {seed}");
+    }
+}
+
+#[test]
+fn id_lie_utility_converges_to_k_over_n_across_layouts() {
+    // The Appendix H utility argument is layout-independent: scattered or
+    // consecutive liars reach the same E[u0] = k/n.
+    let n = 10;
+    let trials = 300u64;
+    for positions in [vec![0, 5], vec![3, 4]] {
+        let coalition = Coalition::new(n, positions.clone()).expect("valid");
+        let mut ghosts = 0u32;
+        for seed in 0..trials {
+            let protocol = WakeLead::new(n).with_seed(seed);
+            let exec = WakeupIdLieAttack::new()
+                .run(&protocol, &coalition)
+                .expect("always feasible");
+            if WakeupIdLieAttack::is_ghost(exec.outcome.elected().expect("succeeds")) {
+                ghosts += 1;
+            }
+        }
+        let rate = ghosts as f64 / trials as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.08,
+            "positions {positions:?}: ghost rate {rate}"
+        );
+    }
+}
+
+#[test]
+fn mask_attack_and_rushing_share_the_same_feasibility_boundary() {
+    // The masking attack needs exactly the Lemma 4.1 layout that the
+    // known-ids rushing attack needs.
+    let n = 36;
+    for k in [3usize, 4, 5, 6, 7] {
+        let coalition = Coalition::equally_spaced(n, k, 1).expect("valid");
+        let wake = WakeLead::new(n).with_seed(1);
+        let known = ALeadUni::new(n).with_seed(1);
+        let mask_feasible = WakeupMaskAttack::new(0).plan(&wake, &coalition).is_ok();
+        let rush_feasible = RushingAttack::new(0).plan(&known, &coalition).is_ok();
+        assert_eq!(mask_feasible, rush_feasible, "k = {k}");
+    }
+}
+
+#[test]
+fn mask_attack_elects_a_ghost_everywhere_it_is_feasible() {
+    let n = 25;
+    let coalition = Coalition::equally_spaced(n, 5, 2).expect("valid");
+    for seed in 0..8 {
+        let protocol = WakeLead::new(n).with_seed(seed);
+        let attack = WakeupMaskAttack::new(seed as usize % 5);
+        let plan = attack.plan(&protocol, &coalition).expect("feasible");
+        let exec = attack.run(&protocol, &coalition).expect("feasible");
+        assert_eq!(exec.outcome.elected(), Some(plan.target_id), "seed {seed}");
+        assert!(WakeupIdLieAttack::is_ghost(plan.target_id));
+        // Per-segment origins: one per non-empty segment, all honest.
+        assert_eq!(plan.segment_origins.len(), 5);
+        for &(_, origin, _) in &plan.segment_origins {
+            assert!(!coalition.contains(origin));
+        }
+    }
+}
+
+#[test]
+fn honest_wake_lead_never_elects_a_ghost() {
+    for seed in 0..30 {
+        let protocol = WakeLead::new(9).with_seed(seed);
+        let winner = protocol.run_honest().outcome.elected().expect("honest");
+        assert!(!WakeupIdLieAttack::is_ghost(winner));
+        assert!(protocol.ids().contains(&winner));
+    }
+}
