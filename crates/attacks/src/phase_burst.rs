@@ -158,8 +158,7 @@ impl Node<PhaseMsg> for Burster {
                     }
                 }
                 if t == self.n - self.k {
-                    let correcting =
-                        (self.w + self.n as u64 - self.sum) % self.n as u64;
+                    let correcting = (self.w + self.n as u64 - self.sum) % self.n as u64;
                     ctx.send(PhaseMsg::Data(correcting));
                     ctx.send(PhaseMsg::Val(self.rng.next_below(self.m_range)));
                     let from = self.n - self.k - self.l_own;

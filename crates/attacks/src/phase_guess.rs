@@ -139,7 +139,9 @@ mod tests {
             if let Some(m) = m {
                 p = p.with_validation_range(m);
             }
-            let exec = PhaseGuessAttack::new(n / 2).run(&p).expect("valid position");
+            let exec = PhaseGuessAttack::new(n / 2)
+                .run(&p)
+                .expect("valid position");
             if exec.outcome.elected().is_some() {
                 ok += 1;
             }

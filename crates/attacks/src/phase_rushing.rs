@@ -320,7 +320,9 @@ mod tests {
         let mut successes = 0;
         for key in 0..20 {
             let protocol = PhaseAsyncLead::new(n).with_seed(key).with_fn_key(key * 31);
-            let exec = PhaseRushingAttack::new(7).run(&protocol, &coalition).unwrap();
+            let exec = PhaseRushingAttack::new(7)
+                .run(&protocol, &coalition)
+                .unwrap();
             if exec.outcome == Outcome::Elected(7) {
                 successes += 1;
             }
@@ -346,7 +348,7 @@ mod tests {
         let n = 16; // l = min(40, 15) = 15
         let protocol = PhaseAsyncLead::new(n).with_seed(0).with_fn_key(0);
         let coalition = Coalition::new(n, (0..16).step_by(1).skip(1).collect()).unwrap(); // k = 15... k > l? l=15, k=15 not > l
-        // k = 15 == l is allowed; remove nothing. Build an explicit check:
+                                                                                          // k = 15 == l is allowed; remove nothing. Build an explicit check:
         let attack = PhaseRushingAttack::new(0);
         assert!(attack.plan(&protocol, &coalition).is_ok());
     }
@@ -356,7 +358,9 @@ mod tests {
         let n = 64;
         let protocol = PhaseAsyncLead::new(n).with_seed(1).with_fn_key(1);
         let coalition = Coalition::new(n, vec![0, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60]).unwrap();
-        assert!(PhaseRushingAttack::new(1).run(&protocol, &coalition).is_err());
+        assert!(PhaseRushingAttack::new(1)
+            .run(&protocol, &coalition)
+            .is_err());
     }
 
     #[test]
@@ -365,7 +369,9 @@ mod tests {
         let n = 36;
         let protocol = PhaseAsyncLead::new(n).with_seed(4).with_fn_key(8);
         let coalition = Coalition::equally_spaced(n, 9, 1).unwrap();
-        let exec = PhaseRushingAttack::new(30).run(&protocol, &coalition).unwrap();
+        let exec = PhaseRushingAttack::new(30)
+            .run(&protocol, &coalition)
+            .unwrap();
         assert_eq!(exec.outcome, Outcome::Elected(30));
         assert!(exec.stats.sent.iter().all(|&s| s == 2 * n as u64));
     }

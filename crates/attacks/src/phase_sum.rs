@@ -81,11 +81,7 @@ impl PhaseSumAttack {
     /// [`AttackError::Infeasible`] when `k < 4`, the origin is corrupted,
     /// some adversaries are adjacent, or the broadcast round would come
     /// after some adversary's commitment point (`r₂ > n − k − l_j`).
-    pub fn plan(
-        &self,
-        protocol: &PhaseSumLead,
-        coalition: &Coalition,
-    ) -> Result<(), AttackError> {
+    pub fn plan(&self, protocol: &PhaseSumLead, coalition: &Coalition) -> Result<(), AttackError> {
         let n = protocol.n();
         if coalition.n() != n {
             return Err(AttackError::Infeasible(format!(
@@ -350,7 +346,9 @@ mod tests {
         let n = 64;
         let protocol = PhaseSumLead::new(n).with_seed(0);
         let coalition = Coalition::equally_spaced(n, 3, 1).unwrap();
-        let err = PhaseSumAttack::new(0).run(&protocol, &coalition).unwrap_err();
+        let err = PhaseSumAttack::new(0)
+            .run(&protocol, &coalition)
+            .unwrap_err();
         assert!(matches!(err, AttackError::Infeasible(_)));
     }
 

@@ -94,10 +94,7 @@ impl RandomLocatedAttack {
         if k < self.window + 2 || k - self.window - 1 > n - k {
             return false;
         }
-        active
-            .distances()
-            .into_iter()
-            .all(|l| l < k - self.window)
+        active.distances().into_iter().all(|l| l < k - self.window)
     }
 
     /// Builds the deviation nodes (origin behaves honestly if corrupted).
@@ -199,8 +196,7 @@ impl Node<u64> for CircularityAdversary {
             let end = n - kp; // 0-based exclusive end of the first n−k' values
             let start = end - tail_len;
             let sum_all: u64 = self.received.iter().map(|&v| v % self.n).sum::<u64>() % self.n;
-            let sum_tail: u64 =
-                self.received[start..end].iter().sum::<u64>() % self.n;
+            let sum_tail: u64 = self.received[start..end].iter().sum::<u64>() % self.n;
             ctx.send((self.w + 2 * self.n - sum_all - sum_tail) % self.n);
             for i in start..end {
                 let v = self.received[i];
@@ -278,7 +274,10 @@ mod tests {
     fn origin_adversary_behaves_honestly() {
         let n = 49;
         let protocol = ALeadUni::new(n).with_seed(2);
-        let mut positions = Coalition::equally_spaced(n, 12, 1).unwrap().positions().to_vec();
+        let mut positions = Coalition::equally_spaced(n, 12, 1)
+            .unwrap()
+            .positions()
+            .to_vec();
         positions.push(0);
         let coalition = Coalition::new(n, positions).unwrap();
         let attack = RandomLocatedAttack::new(3, 3);

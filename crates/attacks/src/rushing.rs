@@ -190,8 +190,7 @@ impl Node<u64> for Rusher {
             // exactly the secrets of our honest segment, in the order the
             // validations demand (Lemma 4.5).
             let tail_sum = self.tail.iter().sum::<u64>() % self.n;
-            let correcting =
-                (self.w + 2 * self.n - self.sum - tail_sum) % self.n;
+            let correcting = (self.w + 2 * self.n - self.sum - tail_sum) % self.n;
             ctx.send(correcting);
             for _ in 0..(self.k - 1 - self.l) {
                 ctx.send(0);
@@ -237,7 +236,9 @@ mod tests {
         let protocol = ALeadUni::new(n).with_seed(0);
         // k = 4 < √n: equal spacing gives l_j = 8 > k − 1 = 3.
         let coalition = Coalition::equally_spaced(n, 4, 1).unwrap();
-        let err = RushingAttack::new(0).run(&protocol, &coalition).unwrap_err();
+        let err = RushingAttack::new(0)
+            .run(&protocol, &coalition)
+            .unwrap_err();
         assert!(matches!(err, AttackError::Infeasible(_)));
     }
 
@@ -261,7 +262,12 @@ mod tests {
         // Coalition includes 0; active coalition is the other 5, equally
         // spaced with l_j <= 4.
         let mut positions = vec![0];
-        positions.extend(Coalition::equally_spaced(n, 5, 2).unwrap().positions().to_vec());
+        positions.extend(
+            Coalition::equally_spaced(n, 5, 2)
+                .unwrap()
+                .positions()
+                .to_vec(),
+        );
         let coalition = Coalition::new(n, positions).unwrap();
         let exec = RushingAttack::new(11).run(&protocol, &coalition).unwrap();
         assert_eq!(exec.outcome, Outcome::Elected(11));

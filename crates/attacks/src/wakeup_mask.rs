@@ -205,7 +205,11 @@ impl WakeupMaskAttack {
             let w = ((target_pos + n - origin) % n) as u64;
             segment_origins.push((j, origin, w));
         }
-        Ok(MaskPlan { target_id, target_pos, segment_origins })
+        Ok(MaskPlan {
+            target_id,
+            target_pos,
+            segment_origins,
+        })
     }
 
     /// Builds the deviation nodes.
@@ -415,11 +419,12 @@ mod tests {
         let n = 20;
         let protocol = WakeLead::new(n).with_seed(3);
         let coalition = Coalition::equally_spaced(n, 5, 1).unwrap();
-        let plan = WakeupMaskAttack::new(0).plan(&protocol, &coalition).unwrap();
+        let plan = WakeupMaskAttack::new(0)
+            .plan(&protocol, &coalition)
+            .unwrap();
         // Five non-empty segments, each with its own believed origin.
         assert_eq!(plan.segment_origins.len(), 5);
-        let mut origins: Vec<NodeId> =
-            plan.segment_origins.iter().map(|&(_, o, _)| o).collect();
+        let mut origins: Vec<NodeId> = plan.segment_origins.iter().map(|&(_, o, _)| o).collect();
         origins.sort_unstable();
         origins.dedup();
         assert_eq!(origins.len(), 5, "origins must be distinct processors");
@@ -433,7 +438,9 @@ mod tests {
         let protocol = WakeLead::new(n).with_seed(0);
         // k = 3 equally spaced: l_j = 7 > k − 1 = 2.
         let coalition = Coalition::equally_spaced(n, 3, 0).unwrap();
-        let err = WakeupMaskAttack::new(0).run(&protocol, &coalition).unwrap_err();
+        let err = WakeupMaskAttack::new(0)
+            .run(&protocol, &coalition)
+            .unwrap_err();
         assert!(matches!(err, AttackError::Infeasible(_)));
     }
 
@@ -446,7 +453,11 @@ mod tests {
             let attack = WakeupMaskAttack::new(member);
             let plan = attack.plan(&protocol, &coalition).unwrap();
             let exec = attack.run(&protocol, &coalition).unwrap();
-            assert_eq!(exec.outcome, Outcome::Elected(plan.target_id), "member {member}");
+            assert_eq!(
+                exec.outcome,
+                Outcome::Elected(plan.target_id),
+                "member {member}"
+            );
         }
     }
 
@@ -454,6 +465,8 @@ mod tests {
     fn out_of_range_target_member_is_rejected() {
         let protocol = WakeLead::new(8).with_seed(0);
         let coalition = Coalition::new(8, vec![0, 4]).unwrap();
-        assert!(WakeupMaskAttack::new(2).plan(&protocol, &coalition).is_err());
+        assert!(WakeupMaskAttack::new(2)
+            .plan(&protocol, &coalition)
+            .is_err());
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the attack layer: feasibility boundaries are
 //! exact, and feasible attacks win with probability one.
 
-use fle_attacks::{
-    cubic_distances, plan_with_k, BasicSingleAttack, PhaseSumAttack, RushingAttack,
-};
+use fle_attacks::{cubic_distances, plan_with_k, BasicSingleAttack, PhaseSumAttack, RushingAttack};
 use fle_core::protocols::{ALeadUni, BasicLead, PhaseSumLead};
 use fle_core::Coalition;
 use proptest::prelude::*;

@@ -70,7 +70,10 @@ impl PetersonDkr {
                 Box::new(PetersonNode {
                     pos: pos as u64,
                     original_id: id,
-                    state: State::Active { tid: id, ntid: None },
+                    state: State::Active {
+                        tid: id,
+                        ntid: None,
+                    },
                 }),
             );
         }

@@ -2,7 +2,9 @@
 //! (rushing), Theorem C.1 (random located), Theorem 4.3 (cubic).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fle_attacks::{cubic_distances, BasicSingleAttack, CubicAttack, RandomLocatedAttack, RushingAttack};
+use fle_attacks::{
+    cubic_distances, BasicSingleAttack, CubicAttack, RandomLocatedAttack, RushingAttack,
+};
 use fle_core::protocols::{ALeadUni, BasicLead};
 use fle_core::Coalition;
 use std::hint::black_box;

@@ -181,8 +181,9 @@ mod tests {
     fn decides_the_elected_leaders_input() {
         for n in [2usize, 5, 12] {
             for seed in 0..8 {
-                let inputs: Vec<bool> =
-                    (0..n).map(|i| (i * 7 + seed as usize).is_multiple_of(3)).collect();
+                let inputs: Vec<bool> = (0..n)
+                    .map(|i| (i * 7 + seed as usize).is_multiple_of(3))
+                    .collect();
                 let c = FairConsensus::new(inputs.clone()).with_seed(seed);
                 let (decision, leader) = c.run_honest().expect("honest consensus succeeds");
                 // The leader matches the plain election on the same seed.

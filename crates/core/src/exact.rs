@@ -36,7 +36,7 @@ impl ExactDistribution {
     pub fn is_exactly_uniform(&self) -> bool {
         let n = self.counts.len() as u64;
         self.fails == 0
-            && self.total % n == 0
+            && self.total.is_multiple_of(n)
             && self.counts.iter().all(|&c| c == self.total / n)
     }
 
@@ -147,7 +147,11 @@ pub fn exact_distribution(
             Outcome::Fail(_) => fails += 1,
         }
     });
-    ExactDistribution { counts, fails, total }
+    ExactDistribution {
+        counts,
+        fails,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -206,17 +210,29 @@ mod tests {
 
     #[test]
     fn expected_utility_is_count_weighted() {
-        let dist = ExactDistribution { counts: vec![2, 1, 1], fails: 0, total: 4 };
+        let dist = ExactDistribution {
+            counts: vec![2, 1, 1],
+            fails: 0,
+            total: 4,
+        };
         // u = indicator of leader 0.
         assert!((dist.expected_utility(&[1.0, 0.0, 0.0]) - 0.5).abs() < 1e-12);
         // FAIL contributes zero utility.
-        let dist = ExactDistribution { counts: vec![1, 0, 0], fails: 3, total: 4 };
+        let dist = ExactDistribution {
+            counts: vec![1, 0, 0],
+            fails: 3,
+            total: 4,
+        };
         assert!((dist.expected_utility(&[1.0, 1.0, 1.0]) - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn uniformity_check_requires_zero_fails() {
-        let dist = ExactDistribution { counts: vec![2, 2], fails: 1, total: 5 };
+        let dist = ExactDistribution {
+            counts: vec![2, 2],
+            fails: 1,
+            total: 5,
+        };
         assert!(!dist.is_exactly_uniform());
         assert!((dist.fail_probability() - 0.2).abs() < 1e-12);
     }

@@ -44,7 +44,11 @@ impl ALeadUni {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "A-LEADuni needs n >= 2");
-        Self { n, seed: 0, values: None }
+        Self {
+            n,
+            seed: 0,
+            values: None,
+        }
     }
 
     /// Sets the randomness seed for the honest processors' secret values.
@@ -63,7 +67,10 @@ impl ALeadUni {
     /// Panics if the vector length differs from `n` or a value is `≥ n`.
     pub fn with_values(mut self, values: Vec<u64>) -> Self {
         assert_eq!(values.len(), self.n, "need one value per processor");
-        assert!(values.iter().all(|&d| d < self.n as u64), "values must be in [n]");
+        assert!(
+            values.iter().all(|&d| d < self.n as u64),
+            "values must be in [n]"
+        );
         self.values = Some(values);
         self
     }
@@ -206,8 +213,7 @@ mod tests {
         for n in [2, 3, 4, 9, 32] {
             for seed in 0..5 {
                 let p = ALeadUni::new(n).with_seed(seed);
-                let expected =
-                    honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
+                let expected = honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
                 assert_eq!(
                     p.run_honest().outcome,
                     Outcome::Elected(expected),

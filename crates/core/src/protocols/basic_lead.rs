@@ -35,7 +35,11 @@ impl BasicLead {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "Basic-LEAD needs n >= 2");
-        Self { n, seed: 0, values: None }
+        Self {
+            n,
+            seed: 0,
+            values: None,
+        }
     }
 
     /// Sets the randomness seed for the honest processors' secret values.
@@ -53,7 +57,10 @@ impl BasicLead {
     /// Panics if the vector length differs from `n` or a value is `≥ n`.
     pub fn with_values(mut self, values: Vec<u64>) -> Self {
         assert_eq!(values.len(), self.n, "need one value per processor");
-        assert!(values.iter().all(|&d| d < self.n as u64), "values must be in [n]");
+        assert!(
+            values.iter().all(|&d| d < self.n as u64),
+            "values must be in [n]"
+        );
         self.values = Some(values);
         self
     }
@@ -142,8 +149,7 @@ mod tests {
         for n in [2, 3, 5, 16] {
             for seed in 0..5 {
                 let p = BasicLead::new(n).with_seed(seed);
-                let expected =
-                    honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
+                let expected = honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
                 assert_eq!(
                     p.run_honest().outcome,
                     Outcome::Elected(expected),

@@ -314,12 +314,8 @@ impl PhaseState {
 
     fn output(&self) -> u64 {
         match self.rule {
-            OutputRule::Random(f) => {
-                f.eval(&self.data, &self.vals[1..=self.params.vals_in_f()])
-            }
-            OutputRule::Sum => {
-                self.data.iter().sum::<u64>() % self.params.n as u64
-            }
+            OutputRule::Random(f) => f.eval(&self.data, &self.vals[1..=self.params.vals_in_f()]),
+            OutputRule::Sum => self.data.iter().sum::<u64>() % self.params.n as u64,
         }
     }
 }
@@ -447,8 +443,7 @@ mod tests {
         for n in [4, 5, 9, 24] {
             for seed in 0..4 {
                 let p = PhaseSumLead::new(n).with_seed(seed);
-                let expected =
-                    honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
+                let expected = honest_data_values(seed, n).iter().sum::<u64>() % n as u64;
                 assert_eq!(
                     p.run_honest().outcome,
                     Outcome::Elected(expected),
@@ -462,11 +457,13 @@ mod tests {
     fn phase_async_honest_runs_succeed() {
         for n in [4, 7, 16, 33] {
             for seed in 0..4 {
-                let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(seed + 99);
+                let p = PhaseAsyncLead::new(n)
+                    .with_seed(seed)
+                    .with_fn_key(seed + 99);
                 let out = p.run_honest().outcome;
-                let leader = out.elected().unwrap_or_else(|| {
-                    panic!("honest run failed: n={n} seed={seed} out={out:?}")
-                });
+                let leader = out
+                    .elected()
+                    .unwrap_or_else(|| panic!("honest run failed: n={n} seed={seed} out={out:?}"));
                 assert!(leader < n as u64);
             }
         }
@@ -503,7 +500,11 @@ mod tests {
             let p = PhaseAsyncLead::new(n).with_seed(7).with_fn_key(key);
             distinct.insert(p.run_honest().outcome.elected().unwrap());
         }
-        assert!(distinct.len() > 4, "only {} distinct leaders", distinct.len());
+        assert!(
+            distinct.len() > 4,
+            "only {} distinct leaders",
+            distinct.len()
+        );
     }
 
     #[test]

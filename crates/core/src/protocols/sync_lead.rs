@@ -65,10 +65,7 @@ impl SyncLead {
     /// Builds the honest node for `id`.
     pub fn honest_node(&self, id: NodeId) -> Box<dyn SyncNode<u64>> {
         let d = node_rng(self.seed, id).next_below(self.n as u64);
-        Box::new(SyncLeadNode {
-            n: self.n,
-            d,
-        })
+        Box::new(SyncLeadNode { n: self.n, d })
     }
 
     /// Runs with the coalition positions replaced by `overrides`.

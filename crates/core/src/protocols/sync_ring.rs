@@ -81,10 +81,7 @@ impl SyncRingLead {
     /// # Panics
     ///
     /// Panics if an override id is out of range or duplicated.
-    pub fn run_with(
-        &self,
-        mut overrides: Vec<(NodeId, Box<dyn SyncNode<u64>>)>,
-    ) -> SyncExecution {
+    pub fn run_with(&self, mut overrides: Vec<(NodeId, Box<dyn SyncNode<u64>>)>) -> SyncExecution {
         overrides.sort_by_key(|(id, _)| *id);
         let mut sim = SyncSim::new(Topology::ring(self.n)).max_rounds(self.n + 4);
         let mut next = overrides.into_iter().peekable();
@@ -96,7 +93,10 @@ impl SyncRingLead {
                 sim = sim.node(id, self.honest_node(id));
             }
         }
-        assert!(next.next().is_none(), "override id out of range or duplicated");
+        assert!(
+            next.next().is_none(),
+            "override id out of range or duplicated"
+        );
         sim.run()
     }
 
@@ -175,7 +175,10 @@ impl SyncRingCorruptor {
     /// Wraps the honest behaviour of position `id` of `protocol`, but adds
     /// 1 (mod n) to the value it forwards at `corrupt_round`.
     pub fn new(protocol: &SyncRingLead, id: NodeId, corrupt_round: usize) -> Self {
-        Self { inner: protocol.honest_node(id), corrupt_round }
+        Self {
+            inner: protocol.honest_node(id),
+            corrupt_round,
+        }
     }
 }
 
@@ -242,7 +245,10 @@ mod tests {
             let p = SyncRingLead::new(n).with_seed(7);
             let bad = SyncRingCorruptor::new(&p, 2, round);
             let exec = p.run_with(vec![(2, Box::new(bad))]);
-            assert!(exec.outcome.is_fail(), "corruption at round {round} undetected");
+            assert!(
+                exec.outcome.is_fail(),
+                "corruption at round {round} undetected"
+            );
         }
     }
 

@@ -63,7 +63,11 @@ impl WakeLead {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "WakeLead needs n >= 2");
-        let mut p = Self { n, seed: 0, ids: Vec::new() };
+        let mut p = Self {
+            n,
+            seed: 0,
+            ids: Vec::new(),
+        };
         p.redraw_ids();
         p
     }
@@ -109,10 +113,7 @@ impl WakeLead {
 
     /// Builds the honest node for ring position `pos`.
     pub fn honest_node(&self, pos: NodeId) -> Box<dyn Node<WakeMsg>> {
-        Box::new(WakeNode::new(
-            self.ids[pos],
-            node_rng(self.seed, pos),
-        ))
+        Box::new(WakeNode::new(self.ids[pos], node_rng(self.seed, pos)))
     }
 
     /// Builds a node that follows the protocol *honestly* except that it
@@ -131,7 +132,12 @@ impl WakeLead {
 
     /// Runs with coalition positions replaced by `overrides`.
     pub fn run_with(&self, overrides: Vec<(NodeId, Box<dyn Node<WakeMsg>>)>) -> Execution {
-        run_ring(self.n, |pos| self.honest_node(pos), overrides, &self.wakes())
+        run_ring(
+            self.n,
+            |pos| self.honest_node(pos),
+            overrides,
+            &self.wakes(),
+        )
     }
 }
 
@@ -351,7 +357,11 @@ mod tests {
         for seed in 0..1500 {
             let p = WakeLead::new(n).with_seed(seed);
             let winner = p.run_honest().outcome.elected().expect("honest");
-            let pos = p.ids().iter().position(|&id| id == winner).expect("member id");
+            let pos = p
+                .ids()
+                .iter()
+                .position(|&id| id == winner)
+                .expect("member id");
             counts[pos] += 1;
         }
         let expect = 1500.0 / n as f64;

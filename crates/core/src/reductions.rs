@@ -139,8 +139,14 @@ mod tests {
     fn coin_outcome_preserves_failures() {
         let fail = Outcome::Fail(FailReason::Abort);
         assert_eq!(coin_outcome_of_fle(fail), fail);
-        assert_eq!(coin_outcome_of_fle(Outcome::Elected(7)), Outcome::Elected(1));
-        assert_eq!(coin_outcome_of_fle(Outcome::Elected(4)), Outcome::Elected(0));
+        assert_eq!(
+            coin_outcome_of_fle(Outcome::Elected(7)),
+            Outcome::Elected(1)
+        );
+        assert_eq!(
+            coin_outcome_of_fle(Outcome::Elected(4)),
+            Outcome::Elected(0)
+        );
     }
 
     #[test]

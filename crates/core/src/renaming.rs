@@ -94,7 +94,9 @@ impl Renaming {
 /// # Ok::<(), fle_core::renaming::RenamingError>(())
 /// ```
 pub fn rotation_renaming(n: usize, seed: u64) -> Result<Renaming, RenamingError> {
-    let protocol = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(seed ^ 0x5eed);
+    let protocol = PhaseAsyncLead::new(n)
+        .with_seed(seed)
+        .with_fn_key(seed ^ 0x5eed);
     match protocol.run_honest().outcome {
         Outcome::Elected(s) => Ok(Renaming {
             names: (0..n).map(|i| (i + s as usize) % n).collect(),
@@ -197,7 +199,10 @@ pub fn permutation_renaming_with(
         let j = source.next_below(i as u64 + 1)? as usize;
         names.swap(i, j);
     }
-    Ok(Renaming { names, elections: source.round })
+    Ok(Renaming {
+        names,
+        elections: source.round,
+    })
 }
 
 /// Permutation renaming over honest `PhaseAsyncLead` elections with
@@ -222,7 +227,10 @@ pub fn permutation_renaming(n: usize, seed: u64) -> Result<Renaming, RenamingErr
     let budget = 8 * n + 64;
     permutation_renaming_with(n, budget, |round| {
         PhaseAsyncLead::new(n)
-            .with_seed(seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_seed(
+                seed.wrapping_add(round as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
             .with_fn_key(seed ^ round as u64)
             .run_honest()
             .outcome

@@ -26,19 +26,18 @@ fn main() {
         return;
     }
 
-    let selected: Vec<&fle_experiments::Experiment> =
-        if ids.iter().any(|id| id.as_str() == "all") {
-            EXPERIMENTS.iter().collect()
-        } else {
-            ids.iter()
-                .map(|id| {
-                    find(id).unwrap_or_else(|| {
-                        eprintln!("unknown experiment '{id}' (try --list)");
-                        std::process::exit(2);
-                    })
+    let selected: Vec<&fle_experiments::Experiment> = if ids.iter().any(|id| id.as_str() == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                find(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{id}' (try --list)");
+                    std::process::exit(2);
                 })
-                .collect()
-        };
+            })
+            .collect()
+    };
 
     for e in selected {
         eprintln!("# {} — {}", e.id, e.description);

@@ -50,7 +50,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt_rate(1.0 - rate),
         ]);
     }
-    t.note("one guessed validation value survives with probability exactly 1/m (Lemma E.19 margin)");
+    t.note(
+        "one guessed validation value survives with probability exactly 1/m (Lemma E.19 margin)",
+    );
     vec![t]
 }
 

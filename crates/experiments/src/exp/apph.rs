@@ -114,7 +114,10 @@ mod tests {
             .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
         {
             let cells: Vec<&str> = line.split_whitespace().collect();
-            assert_eq!(cells[2], cells[3], "origins must be one per segment: {line}");
+            assert_eq!(
+                cells[2], cells[3],
+                "origins must be one per segment: {line}"
+            );
             assert_eq!(cells[4], "1.000", "mask attack must force: {line}");
         }
     }

@@ -15,7 +15,11 @@ use fle_core::Coalition;
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let trials: u64 = if quick { 20 } else { 60 };
     let mut t = Table::new(
         "e4: k = 4 vs PhaseSumLead (sum output) and PhaseAsyncLead (random f)",

@@ -52,7 +52,13 @@ fn basic_attacked(n: usize, adv: usize, target: u64) -> ExactDistribution {
 pub fn run(quick: bool) -> Vec<Table> {
     let mut honest = Table::new(
         "exact: honest distributions over the full input space",
-        &["protocol", "n", "|chi|", "per-leader count", "exactly uniform"],
+        &[
+            "protocol",
+            "n",
+            "|chi|",
+            "per-leader count",
+            "exactly uniform",
+        ],
     );
     let sizes: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5] };
     for &n in sizes {

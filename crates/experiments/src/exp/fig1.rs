@@ -25,7 +25,9 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut stats = Table::new(
         "fig1: honest segment statistics (Defs 3.1, 3.2)",
-        &["layout", "n", "k", "exposed", "min l_j", "max l_j", "sum l_j"],
+        &[
+            "layout", "n", "k", "exposed", "min l_j", "max l_j", "sum l_j",
+        ],
     );
     for (name, c) in [
         ("equally spaced", &equally),

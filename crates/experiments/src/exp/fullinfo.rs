@@ -26,7 +26,14 @@ use fle_fullinfo::{
 pub fn run(quick: bool) -> Vec<Table> {
     let mut onebit = Table::new(
         "fullinfo: one-round games, exact rushing-coalition power",
-        &["function", "k", "honest Pr[1]", "force 1", "control", "bias"],
+        &[
+            "function",
+            "k",
+            "honest Pr[1]",
+            "force 1",
+            "control",
+            "bias",
+        ],
     );
     let sizes: &[usize] = if quick { &[9] } else { &[9, 15, 21] };
     for &n in sizes {
@@ -66,18 +73,27 @@ pub fn run(quick: bool) -> Vec<Table> {
         fmt_rate(p.control),
         fmt_eps(p.bias()),
     ]);
-    onebit.note("majority: one voter swings Theta(1/sqrt(n)); parity: one rushing voter is a dictator");
+    onebit.note(
+        "majority: one voter swings Theta(1/sqrt(n)); parity: one rushing voter is a dictator",
+    );
 
     let mut itmaj = Table::new(
         "fullinfo: iterated majority-of-3, control threshold 2^h = n^0.63",
-        &["height", "n", "2^h", "cheapest-set control", "random k=2^h-1 control"],
+        &[
+            "height",
+            "n",
+            "2^h",
+            "cheapest-set control",
+            "random k=2^h-1 control",
+        ],
     );
     let heights: &[u32] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
     for &h in heights {
         let g = IteratedMajority::new(h);
         let cheap = g.cheapest_controlling_set();
         let ctrl = g.control_probability(&cheap);
-        let rand_ctrl = g.random_coalition_control(g.min_control_cost() - 1, 7, if quick { 20 } else { 80 });
+        let rand_ctrl =
+            g.random_coalition_control(g.min_control_cost() - 1, 7, if quick { 20 } else { 80 });
         itmaj.row([
             h.to_string(),
             g.n().to_string(),
@@ -90,10 +106,22 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut election = Table::new(
         "fullinfo: leader election, Pr[corrupt leader] vs fair share k/n",
-        &["n", "k", "fair k/n", "baton (exact)", "baton bias", "lightest-bin", "bin bias"],
+        &[
+            "n",
+            "k",
+            "fair k/n",
+            "baton (exact)",
+            "baton bias",
+            "lightest-bin",
+            "bin bias",
+        ],
     );
     let n = if quick { 32 } else { 64 };
-    let ks: &[usize] = if quick { &[1, 4, 8, 16] } else { &[1, 4, 8, 16, 32, 48] };
+    let ks: &[usize] = if quick {
+        &[1, 4, 8, 16]
+    } else {
+        &[1, 4, 8, 16, 32, 48]
+    };
     let trials = if quick { 200 } else { 800 };
     for &k in ks {
         let baton = BatonGame::new(n, k);
@@ -123,7 +151,9 @@ mod tests {
         let onebit = tables[0].render();
         // Parity with k = 1 has control 1.000.
         assert!(
-            onebit.lines().any(|l| l.starts_with("parity") && l.contains("1.000")),
+            onebit
+                .lines()
+                .any(|l| l.starts_with("parity") && l.contains("1.000")),
             "{onebit}"
         );
         let itmaj = tables[1].render();

@@ -12,7 +12,11 @@ use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let sizes: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
     let trials: u64 = if quick { 10 } else { 30 };
     let mut t = Table::new(
         "msg: total messages to elect a leader",
@@ -32,19 +36,34 @@ pub fn run(quick: bool) -> Vec<Table> {
     for &n in sizes {
         let cr_avg = {
             let counts = par_seeds(trials, |seed| {
-                ChangRoberts::new(random_ids(n, seed)).run().stats.total_sent()
+                ChangRoberts::new(random_ids(n, seed))
+                    .run()
+                    .stats
+                    .total_sent()
             });
             counts.iter().sum::<u64>() as f64 / trials as f64
         };
-        let cr_worst = ChangRoberts::new(worst_case_ids(n)).run().stats.total_sent();
+        let cr_worst = ChangRoberts::new(worst_case_ids(n))
+            .run()
+            .stats
+            .total_sent();
         let peterson = PetersonDkr::new(worst_case_ids(n)).run().stats.total_sent();
         let ir_avg = {
-            let counts =
-                par_seeds(trials, |seed| ItaiRodeh::new(n, seed).run().stats.total_sent());
+            let counts = par_seeds(trials, |seed| {
+                ItaiRodeh::new(n, seed).run().stats.total_sent()
+            });
             counts.iter().sum::<u64>() as f64 / trials as f64
         };
-        let basic = BasicLead::new(n).with_seed(0).run_honest().stats.total_sent();
-        let alead = ALeadUni::new(n).with_seed(0).run_honest().stats.total_sent();
+        let basic = BasicLead::new(n)
+            .with_seed(0)
+            .run_honest()
+            .stats
+            .total_sent();
+        let alead = ALeadUni::new(n)
+            .with_seed(0)
+            .run_honest()
+            .stats
+            .total_sent();
         let phase = PhaseAsyncLead::new(n)
             .with_seed(0)
             .run_honest()

@@ -41,7 +41,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut permutation = Table::new(
         "rename: permutation renaming (elections -> coins -> Fisher-Yates)",
-        &["n", "trials", "valid rate", "distinct permutations", "avg elections"],
+        &[
+            "n",
+            "trials",
+            "valid rate",
+            "distinct permutations",
+            "avg elections",
+        ],
     );
     let pn = if quick { 4 } else { 5 };
     let ptrials: u64 = if quick { 60 } else { 300 };
@@ -53,8 +59,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut distinct: Vec<_> = perms.iter().map(|(_, names, _)| names.clone()).collect();
     distinct.sort();
     distinct.dedup();
-    let avg_elections =
-        perms.iter().map(|&(_, _, e)| e as f64).sum::<f64>() / ptrials as f64;
+    let avg_elections = perms.iter().map(|&(_, _, e)| e as f64).sum::<f64>() / ptrials as f64;
     permutation.row([
         pn.to_string(),
         ptrials.to_string(),
@@ -62,7 +67,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         distinct.len().to_string(),
         format!("{avg_elections:.1}"),
     ]);
-    permutation.note("entropy cost: Theta(n log n) bits, each election yields floor(log2 n) of them");
+    permutation
+        .note("entropy cost: Theta(n log n) bits, each election yields floor(log2 n) of them");
 
     vec![rotation, permutation]
 }
@@ -73,7 +79,10 @@ mod tests {
     fn renamings_are_valid_and_uniformish() {
         let tables = super::run(true);
         let rotation = tables[0].render();
-        assert!(rotation.contains("1.000"), "all renamings valid: {rotation}");
+        assert!(
+            rotation.contains("1.000"),
+            "all renamings valid: {rotation}"
+        );
         let permutation = tables[1].render();
         let line = permutation
             .lines()

@@ -24,7 +24,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "sfc: wait-and-cancel across the synchrony boundary",
-        &["network", "protocol", "adversary", "Pr[target]", "FAIL rate"],
+        &[
+            "network",
+            "protocol",
+            "adversary",
+            "Pr[target]",
+            "FAIL rate",
+        ],
     );
     // Asynchronous: Claim B.1 wins with probability 1.
     let async_wins = par_seeds(200, |seed| {

@@ -45,7 +45,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt_rate(at_wins.iter().filter(|&&b| b).count() as f64 / trials as f64),
         ]);
     }
-    crossover.note("paper: resilient to n/2 - 1; the pooled coalition reconstructs at t + 1 = ceil(n/2)");
+    crossover.note(
+        "paper: resilient to n/2 - 1; the pooled coalition reconstructs at t + 1 = ceil(n/2)",
+    );
 
     let mut fairness = Table::new(
         "shamir: honest A-LEADfc uniformity",
@@ -89,7 +91,10 @@ mod tests {
             let below: f64 = cells[2].parse().unwrap();
             let at: f64 = cells[3].parse().unwrap();
             assert!(below < 0.5, "sub-threshold coalition too strong: {line}");
-            assert!((at - 1.0).abs() < 1e-9, "threshold coalition must win: {line}");
+            assert!(
+                (at - 1.0).abs() < 1e-9,
+                "threshold coalition must win: {line}"
+            );
         }
         let fairness = tables[1].render();
         assert!(fairness.contains("chi2"));

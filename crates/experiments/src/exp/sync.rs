@@ -124,7 +124,13 @@ mod tests {
         };
         let cubic_gap = ints_of("cubic attack")[1];
         let honest_phase_gap = ints_of("PhaseAsyncLead  honest")[0];
-        assert!(cubic_gap > 20, "cubic gap should be Omega(k^2): {cubic_gap}");
-        assert!(honest_phase_gap <= 4, "phase honest gap: {honest_phase_gap}");
+        assert!(
+            cubic_gap > 20,
+            "cubic gap should be Omega(k^2): {cubic_gap}"
+        );
+        assert!(
+            honest_phase_gap <= 4,
+            "phase honest gap: {honest_phase_gap}"
+        );
     }
 }

@@ -13,16 +13,19 @@
 use super::fmt_rate;
 use crate::{par_seeds, Table};
 use fle_attacks::BasicSingleAttack;
-use fle_core::protocols::{
-    BasicLead, SyncRingCorruptor, SyncRingLead, SyncRingWaiter,
-};
+use fle_core::protocols::{BasicLead, SyncRingCorruptor, SyncRingLead, SyncRingWaiter};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
     let trials: u64 = if quick { 60 } else { 300 };
     let mut detection = Table::new(
         "syncring: deviations are detected, not rewarded",
-        &["n", "deviation", "detected (FAIL) rate", "async contrast: Pr[w]"],
+        &[
+            "n",
+            "deviation",
+            "detected (FAIL) rate",
+            "async contrast: Pr[w]",
+        ],
     );
     let sizes: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
     for &n in sizes {
@@ -64,7 +67,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             "-".to_string(),
         ]);
     }
-    detection.note("synchrony detects silence; asynchrony lets the same strategy control the outcome");
+    detection
+        .note("synchrony detects silence; asynchrony lets the same strategy control the outcome");
 
     let mut unbias = Table::new(
         "syncring: n-1 fixed-value coalition cannot bias the lone honest processor",
@@ -86,10 +90,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 )
             })
             .collect();
-        p.run_with(overrides)
-            .outcome
-            .elected()
-            .expect("valid run")
+        p.run_with(overrides).outcome.elected().expect("valid run")
     });
     let mut counts = vec![0u64; n];
     for w in winners {
@@ -119,7 +120,10 @@ mod tests {
         }
         for line in detection.lines().filter(|l| l.contains("corrupt-forward")) {
             let cells: Vec<&str> = line.split_whitespace().collect();
-            assert_eq!(cells[2], "1.000", "corruption must always be detected: {line}");
+            assert_eq!(
+                cells[2], "1.000",
+                "corruption must always be detected: {line}"
+            );
         }
         let unbias = tables[1].render();
         let line = unbias

@@ -19,9 +19,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let ratios = [0.5, 0.75, 1.0, 1.25, 1.5];
     let mut t = Table::new(
         "t42: equal-spacing rushing attack on A-LEADuni (Lemma 4.1 / Thm 4.2)",
-        &[
-            "n", "k", "k/sqrt(n)", "max l_j", "feasible", "Pr[w]",
-        ],
+        &["n", "k", "k/sqrt(n)", "max l_j", "feasible", "Pr[w]"],
     );
     for &n in sizes {
         let sqrt_n = (n as f64).sqrt();

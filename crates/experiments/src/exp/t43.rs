@@ -16,7 +16,11 @@ use ring_sim::SyncGapProbe;
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[64, 216] } else { &[64, 216, 512, 1000] };
+    let sizes: &[usize] = if quick {
+        &[64, 216]
+    } else {
+        &[64, 216, 512, 1000]
+    };
     let trials: u64 = if quick { 15 } else { 40 };
     let mut t = Table::new(
         "t43: cubic attack on A-LEADuni (Thm 4.3)",

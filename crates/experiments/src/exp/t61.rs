@@ -35,7 +35,9 @@ pub fn run(quick: bool) -> Vec<Table> {
         for k in ks {
             let coalition = Coalition::equally_spaced(n, k, 1).expect("valid");
             let protocol = PhaseAsyncLead::new(n).with_fn_key(99);
-            let feasible = PhaseRushingAttack::new(0).plan(&protocol, &coalition).is_ok();
+            let feasible = PhaseRushingAttack::new(0)
+                .plan(&protocol, &coalition)
+                .is_ok();
             let rate = if feasible {
                 let wins = par_seeds(trials, |seed| {
                     let protocol = PhaseAsyncLead::new(n)

@@ -52,7 +52,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         "Basic-LEAD under Claim B.1 attack (eps=1-1/n)".to_string(),
         fmt_rate(p1),
         fmt_eps((p1 - 0.5).abs()),
-        format!("{:.3} (vacuous)", coin_bias_from_fle(1.0 - 1.0 / n as f64, n).min(0.5)),
+        format!(
+            "{:.3} (vacuous)",
+            coin_bias_from_fle(1.0 - 1.0 / n as f64, n).min(0.5)
+        ),
     ]);
     fwd.note("bias propagates exactly as Lemma: coin bias <= n*eps/2");
 
@@ -75,7 +78,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     for o in &outcomes {
         counts[o.elected().expect("honest") as usize] += 1;
     }
-    let max_p = counts.iter().map(|&c| c as f64 / trials as f64).fold(0.0, f64::max);
+    let max_p = counts
+        .iter()
+        .map(|&c| c as f64 / trials as f64)
+        .fold(0.0, f64::max);
     bwd.row([
         "fair (eps=0)".to_string(),
         (1usize << bits).to_string(),
@@ -94,7 +100,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     for o in &outcomes {
         counts[o.elected().expect("coins always land") as usize] += 1;
     }
-    let max_p = counts.iter().map(|&c| c as f64 / trials as f64).fold(0.0, f64::max);
+    let max_p = counts
+        .iter()
+        .map(|&c| c as f64 / trials as f64)
+        .fold(0.0, f64::max);
     bwd.row([
         format!("biased (eps={delta})"),
         (1usize << bits).to_string(),

@@ -37,8 +37,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             let p = (c * p_star).min(0.45);
             let attack = RandomLocatedAttack::new(3, window);
             let results = par_seeds(trials, |seed| {
-                let Some(coalition) = Coalition::random_bernoulli(n, p, seed * 65_537 + 11)
-                else {
+                let Some(coalition) = Coalition::random_bernoulli(n, p, seed * 65_537 + 11) else {
                     return (0usize, false, false);
                 };
                 let protocol = ALeadUni::new(n).with_seed(seed);
@@ -48,8 +47,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                     .is_ok_and(|e| e.outcome.elected() == Some(3));
                 (coalition.k(), fav, win)
             });
-            let mean_k =
-                results.iter().map(|r| r.0).sum::<usize>() as f64 / trials as f64;
+            let mean_k = results.iter().map(|r| r.0).sum::<usize>() as f64 / trials as f64;
             let fav = results.iter().filter(|r| r.1).count();
             let wins = results.iter().filter(|r| r.2).count();
             let fav_wins = results.iter().filter(|r| r.1 && r.2).count();

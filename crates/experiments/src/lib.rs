@@ -126,7 +126,8 @@ pub const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         id: "fullinfo",
-        description: "Sec 1.1: full-information model - one-round games, iterated majority, baton, bins",
+        description:
+            "Sec 1.1: full-information model - one-round games, iterated majority, baton, bins",
         run: exp::fullinfo::run,
     },
     Experiment {

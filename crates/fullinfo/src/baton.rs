@@ -139,8 +139,16 @@ impl BatonGame {
             while h + c > 0 {
                 let pass_to_corrupt = if holder_corrupt {
                     // Optimal play straight from the table.
-                    let to_honest = if h > 0 { self.memo[h - 1][c].0 } else { f64::MIN };
-                    let to_corrupt = if c > 0 { self.memo[h][c - 1].1 } else { f64::MIN };
+                    let to_honest = if h > 0 {
+                        self.memo[h - 1][c].0
+                    } else {
+                        f64::MIN
+                    };
+                    let to_corrupt = if c > 0 {
+                        self.memo[h][c - 1].1
+                    } else {
+                        f64::MIN
+                    };
                     to_corrupt >= to_honest
                 } else {
                     rng.next_below((h + c) as u64) < c as u64
@@ -261,7 +269,10 @@ mod tests {
         let g = BatonGame::new(12, 4);
         let exact = g.corrupt_leader_probability();
         let approx = g.simulate(99, 20_000);
-        assert!((exact - approx).abs() < 0.02, "exact {exact} vs sim {approx}");
+        assert!(
+            (exact - approx).abs() < 0.02,
+            "exact {exact} vs sim {approx}"
+        );
     }
 
     #[test]

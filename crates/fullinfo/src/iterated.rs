@@ -41,8 +41,16 @@ pub struct StateDist {
 }
 
 impl StateDist {
-    const HONEST_LEAF: StateDist = StateDist { zero: 0.5, one: 0.5, free: 0.0 };
-    const CORRUPT_LEAF: StateDist = StateDist { zero: 0.0, one: 0.0, free: 1.0 };
+    const HONEST_LEAF: StateDist = StateDist {
+        zero: 0.5,
+        one: 0.5,
+        free: 0.0,
+    };
+    const CORRUPT_LEAF: StateDist = StateDist {
+        zero: 0.0,
+        one: 0.0,
+        free: 1.0,
+    };
 
     /// Combines three independent child distributions through a majority
     /// gate, enumerating the 27 state combinations.
@@ -53,7 +61,11 @@ impl StateDist {
             NodeState::One => d.one,
             NodeState::Free => d.free,
         };
-        let mut out = StateDist { zero: 0.0, one: 0.0, free: 0.0 };
+        let mut out = StateDist {
+            zero: 0.0,
+            one: 0.0,
+            free: 0.0,
+        };
         for sa in STATES {
             for sb in STATES {
                 for sc in STATES {
@@ -349,9 +361,7 @@ mod tests {
         let g = IteratedMajority::new(2);
         let greedy = g.greedy_coalition(4);
         let prefix: Vec<u64> = (0..4).collect();
-        assert!(
-            g.control_probability(&greedy) >= g.control_probability(&prefix) - 1e-12
-        );
+        assert!(g.control_probability(&greedy) >= g.control_probability(&prefix) - 1e-12);
         // Greedy with the full budget reaches certainty.
         assert!(close(g.control_probability(&g.greedy_coalition(4)), 1.0));
     }

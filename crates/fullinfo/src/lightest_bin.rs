@@ -99,11 +99,7 @@ impl LightestBin {
                     };
                     (c0, (frac, total))
                 })
-                .max_by(|a, b| {
-                    a.1 .0
-                        .total_cmp(&b.1 .0)
-                        .then_with(|| b.1 .1.cmp(&a.1 .1))
-                })
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then_with(|| b.1 .1.cmp(&a.1 .1)))
                 .expect("at least one allocation");
             let c1 = corrupt - best_c0;
             let (sh, sc) = survivors(h0, h1, best_c0, c1);
@@ -117,7 +113,11 @@ impl LightestBin {
         } else {
             self.k + rng.next_below((self.n - self.k).max(1) as u64) as usize
         };
-        BinElection { leader, leader_corrupt, rounds }
+        BinElection {
+            leader,
+            leader_corrupt,
+            rounds,
+        }
     }
 
     /// Pr[leader is a coalition member] over `trials` seeded elections.

@@ -22,11 +22,14 @@ pub struct Turn {
     pub domain: u64,
 }
 
+/// The outcome function of a broadcast game: complete transcript to winner.
+type OutcomeFn<'a> = Box<dyn Fn(&[u64]) -> u64 + 'a>;
+
 /// A finite sequential broadcast game.
 pub struct BroadcastGame<'a> {
     n: usize,
     turns: Vec<Turn>,
-    outcome: Box<dyn Fn(&[u64]) -> u64 + 'a>,
+    outcome: OutcomeFn<'a>,
 }
 
 impl<'a> BroadcastGame<'a> {
@@ -36,17 +39,17 @@ impl<'a> BroadcastGame<'a> {
     /// # Panics
     ///
     /// Panics if a turn references a player `≥ n` or has an empty domain.
-    pub fn new(
-        n: usize,
-        turns: Vec<Turn>,
-        outcome: impl Fn(&[u64]) -> u64 + 'a,
-    ) -> Self {
+    pub fn new(n: usize, turns: Vec<Turn>, outcome: impl Fn(&[u64]) -> u64 + 'a) -> Self {
         assert!(
             turns.iter().all(|t| t.player < n),
             "turn references unknown player"
         );
         assert!(turns.iter().all(|t| t.domain >= 1), "empty message domain");
-        BroadcastGame { n, turns, outcome: Box::new(outcome) }
+        BroadcastGame {
+            n,
+            turns,
+            outcome: Box::new(outcome),
+        }
     }
 
     /// Number of players.
@@ -92,7 +95,11 @@ impl<'a> BroadcastGame<'a> {
     fn recurse(&self, coalition: u64, target: u64, transcript: &mut Vec<u64>) -> f64 {
         let depth = transcript.len();
         if depth == self.turns.len() {
-            return if (self.outcome)(transcript) == target { 1.0 } else { 0.0 };
+            return if (self.outcome)(transcript) == target {
+                1.0
+            } else {
+                0.0
+            };
         }
         let turn = self.turns[depth];
         let adversarial = coalition >> turn.player & 1 == 1;
@@ -115,7 +122,11 @@ impl<'a> BroadcastGame<'a> {
     fn recurse_min(&self, coalition: u64, target: u64, transcript: &mut Vec<u64>) -> f64 {
         let depth = transcript.len();
         if depth == self.turns.len() {
-            return if (self.outcome)(transcript) == target { 1.0 } else { 0.0 };
+            return if (self.outcome)(transcript) == target {
+                1.0
+            } else {
+                0.0
+            };
         }
         let turn = self.turns[depth];
         let adversarial = coalition >> turn.player & 1 == 1;
@@ -147,13 +158,15 @@ pub fn one_round_game<'a>(
     let n = f.n();
     let mut turns: Vec<Turn> = (0..n)
         .filter(|&p| coalition >> p & 1 == 0)
-        .map(|p| Turn { player: p, domain: 2 })
+        .map(|p| Turn {
+            player: p,
+            domain: 2,
+        })
         .collect();
-    turns.extend(
-        (0..n)
-            .filter(|&p| coalition >> p & 1 == 1)
-            .map(|p| Turn { player: p, domain: 2 }),
-    );
+    turns.extend((0..n).filter(|&p| coalition >> p & 1 == 1).map(|p| Turn {
+        player: p,
+        domain: 2,
+    }));
     let order: Vec<usize> = turns.iter().map(|t| t.player).collect();
     BroadcastGame::new(n, turns, move |transcript| {
         let mut bits = 0u64;
@@ -175,8 +188,20 @@ mod tests {
 
     #[test]
     fn honest_coin_is_fair() {
-        let g = BroadcastGame::new(2, vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
-            |t| (t[0] + t[1]) % 2);
+        let g = BroadcastGame::new(
+            2,
+            vec![
+                Turn {
+                    player: 0,
+                    domain: 2,
+                },
+                Turn {
+                    player: 1,
+                    domain: 2,
+                },
+            ],
+            |t| (t[0] + t[1]) % 2,
+        );
         assert!(close(g.honest_probability(1), 0.5));
         assert!(close(g.honest_probability(0), 0.5));
     }
@@ -185,7 +210,16 @@ mod tests {
     fn last_speaker_dictates_xor() {
         let g = BroadcastGame::new(
             2,
-            vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
+            vec![
+                Turn {
+                    player: 0,
+                    domain: 2,
+                },
+                Turn {
+                    player: 1,
+                    domain: 2,
+                },
+            ],
             |t| (t[0] + t[1]) % 2,
         );
         // Player 1 speaks last: sees t[0], flips to match any target.
@@ -198,7 +232,10 @@ mod tests {
     #[test]
     fn minimax_agrees_with_onebit_enumeration() {
         for (f, coalition) in [
-            (&Majority::new(5) as &dyn crate::onebit::CoinFunction, 0b00011u64),
+            (
+                &Majority::new(5) as &dyn crate::onebit::CoinFunction,
+                0b00011u64,
+            ),
             (&Majority::new(5), 0b10100),
             (&Parity::new(4), 0b0010),
         ] {
@@ -225,7 +262,12 @@ mod tests {
         // A mod-3 sum game: the last speaker controls it completely.
         let g = BroadcastGame::new(
             3,
-            (0..3).map(|p| Turn { player: p, domain: 3 }).collect(),
+            (0..3)
+                .map(|p| Turn {
+                    player: p,
+                    domain: 3,
+                })
+                .collect(),
             |t| t.iter().sum::<u64>() % 3,
         );
         assert!(close(g.max_outcome_probability(0b100, 2), 1.0));
@@ -246,11 +288,23 @@ mod tests {
         let reversed = BroadcastGame::new(
             3,
             vec![
-                Turn { player: 2, domain: 2 },
-                Turn { player: 0, domain: 2 },
-                Turn { player: 1, domain: 2 },
+                Turn {
+                    player: 2,
+                    domain: 2,
+                },
+                Turn {
+                    player: 0,
+                    domain: 2,
+                },
+                Turn {
+                    player: 1,
+                    domain: 2,
+                },
             ],
             move |t| {
+                // `t[i]` is the i-th *speaker*; map each back to its
+                // player-indexed bit (the symmetric `<< 0` is deliberate).
+                #[allow(clippy::identity_op)]
                 let bits = (t[0] << 2) | (t[1] << 0) | (t[2] << 1);
                 u64::from(f.eval(bits))
             },
@@ -262,7 +316,16 @@ mod tests {
     fn empty_coalition_max_equals_min() {
         let g = BroadcastGame::new(
             2,
-            vec![Turn { player: 0, domain: 2 }, Turn { player: 1, domain: 2 }],
+            vec![
+                Turn {
+                    player: 0,
+                    domain: 2,
+                },
+                Turn {
+                    player: 1,
+                    domain: 2,
+                },
+            ],
             |t| t[0] & t[1],
         );
         assert!(close(g.max_outcome_probability(0, 1), 0.25));
@@ -272,6 +335,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown player")]
     fn bad_turn_panics() {
-        let _ = BroadcastGame::new(1, vec![Turn { player: 3, domain: 2 }], |_| 0);
+        let _ = BroadcastGame::new(
+            1,
+            vec![Turn {
+                player: 3,
+                domain: 2,
+            }],
+            |_| 0,
+        );
     }
 }

@@ -42,7 +42,7 @@ impl Majority {
     ///
     /// Panics if `n` is zero or greater than 24.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 24, "majority supports 1..=24 players");
+        assert!((1..=24).contains(&n), "majority supports 1..=24 players");
         Majority { n }
     }
 }
@@ -75,7 +75,7 @@ impl Parity {
     ///
     /// Panics if `n` is zero or greater than 24.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 24, "parity supports 1..=24 players");
+        assert!((1..=24).contains(&n), "parity supports 1..=24 players");
         Parity { n }
     }
 }
@@ -142,7 +142,10 @@ impl Tribes {
     ///
     /// Panics if either dimension is zero or the product exceeds 24.
     pub fn new(width: usize, tribes: usize) -> Self {
-        assert!(width >= 1 && tribes >= 1, "tribes dimensions must be positive");
+        assert!(
+            width >= 1 && tribes >= 1,
+            "tribes dimensions must be positive"
+        );
         assert!(width * tribes <= 24, "tribes supports at most 24 players");
         Tribes { width, tribes }
     }
@@ -178,8 +181,12 @@ impl<F: Fn(u64) -> bool> FnCoin<F> {
     ///
     /// Panics if `n` is zero or greater than 24.
     pub fn new(n: usize, label: &str, f: F) -> Self {
-        assert!(n >= 1 && n <= 24, "FnCoin supports 1..=24 players");
-        FnCoin { n, f, label: label.to_string() }
+        assert!((1..=24).contains(&n), "FnCoin supports 1..=24 players");
+        FnCoin {
+            n,
+            f,
+            label: label.to_string(),
+        }
     }
 }
 

@@ -3,8 +3,8 @@
 //! of the classic protocols.
 
 use fle_fullinfo::{
-    coalition_power, one_round_game, BatonGame, CoinFunction, FnCoin, IteratedMajority,
-    LightestBin, Majority, Parity, Tribes,
+    coalition_power, one_round_game, BatonGame, FnCoin, IteratedMajority, LightestBin, Majority,
+    Parity, Tribes,
 };
 use proptest::prelude::*;
 
@@ -160,7 +160,11 @@ fn iterated_majority_dp_agrees_with_monte_carlo() {
             }
             let maj3 = |a: u64, b: u64, c: u64| u64::from(a + b + c >= 2);
             let s = |t: u64| {
-                maj3(bits >> (3 * t) & 1, bits >> (3 * t + 1) & 1, bits >> (3 * t + 2) & 1)
+                maj3(
+                    bits >> (3 * t) & 1,
+                    bits >> (3 * t + 1) & 1,
+                    bits >> (3 * t + 2) & 1,
+                )
             };
             maj3(s(0), s(1), s(2))
         };

@@ -161,8 +161,7 @@ impl<'p, M> SimBuilder<'p, M> {
             .enumerate()
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("node {i} has no behaviour")))
             .collect();
-        let out_neighbors: Vec<Vec<NodeId>> =
-            (0..n).map(|i| topology.out_neighbors(i)).collect();
+        let out_neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| topology.out_neighbors(i)).collect();
         // Per-node map from successor id to edge id (out-degrees are tiny,
         // linear scan is fastest).
         let out_edge_of: Vec<Vec<(NodeId, usize)>> = (0..n)
@@ -189,12 +188,12 @@ impl<'p, M> SimBuilder<'p, M> {
         }
 
         let apply_ctx = |me: NodeId,
-                             ctx: Ctx<'_, M>,
-                             queues: &mut Vec<VecDeque<M>>,
-                             outputs: &mut Vec<Option<Option<u64>>>,
-                             sent: &mut Vec<u64>,
-                             scheduler: &mut Box<dyn Scheduler + 'p>,
-                             probe: &mut Option<&'p mut dyn Probe<M>>| {
+                         ctx: Ctx<'_, M>,
+                         queues: &mut Vec<VecDeque<M>>,
+                         outputs: &mut Vec<Option<Option<u64>>>,
+                         sent: &mut Vec<u64>,
+                         scheduler: &mut Box<dyn Scheduler + 'p>,
+                         probe: &mut Option<&'p mut dyn Probe<M>>| {
             let Ctx { sends, output, .. } = ctx;
             for (to, msg) in sends {
                 let edge = out_edge_of[me]
@@ -394,7 +393,10 @@ mod tests {
                 FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.send(m))
                     .on_wake(|ctx| ctx.send(0)),
             )
-            .node(1, FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.send(m)))
+            .node(
+                1,
+                FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.send(m)),
+            )
             .wake(0)
             .step_limit(500)
             .run();
@@ -408,12 +410,13 @@ mod tests {
         let exec: Execution = SimBuilder::new(Topology::ring(2))
             .node(
                 0,
-                FnNode::new(|_, _: u64, ctx: &mut Ctx<'_, u64>| ctx.terminate(Some(1)))
-                    .on_wake(|ctx| {
+                FnNode::new(|_, _: u64, ctx: &mut Ctx<'_, u64>| ctx.terminate(Some(1))).on_wake(
+                    |ctx| {
                         ctx.send(1);
                         ctx.send(2);
                         ctx.terminate(Some(1));
-                    }),
+                    },
+                ),
             )
             .node(
                 1,

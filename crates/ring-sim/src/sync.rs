@@ -258,7 +258,12 @@ mod tests {
     fn inbox_is_sorted_by_sender() {
         struct Check;
         impl SyncNode<u64> for Check {
-            fn on_round(&mut self, round: usize, inbox: &[(NodeId, u64)], ctx: &mut SyncCtx<'_, u64>) {
+            fn on_round(
+                &mut self,
+                round: usize,
+                inbox: &[(NodeId, u64)],
+                ctx: &mut SyncCtx<'_, u64>,
+            ) {
                 if round == 0 {
                     for to in ctx.out_neighbors().to_vec() {
                         ctx.send_to(to, 1);

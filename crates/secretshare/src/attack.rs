@@ -18,8 +18,8 @@
 
 use crate::field::Gf;
 use crate::protocol::{ALeadFc, FcMsg};
-use fle_core::protocols::FleProtocol;
 use crate::shamir::{reconstruct, Share};
+use fle_core::protocols::FleProtocol;
 use ring_sim::rng::SplitMix64;
 use ring_sim::{Ctx, Execution, Node, NodeId};
 
@@ -40,7 +40,10 @@ pub fn fc_pooling_deviation(
 ) -> Vec<(NodeId, Box<dyn Node<FcMsg>>)> {
     let n = protocol.n();
     assert!(!coalition.is_empty(), "coalition must be non-empty");
-    assert!(coalition.iter().all(|&a| a < n), "coalition id out of range");
+    assert!(
+        coalition.iter().all(|&a| a < n),
+        "coalition id out of range"
+    );
     let t = protocol.threshold();
     let leader = coalition[0];
     let members: Vec<NodeId> = coalition.to_vec();
@@ -49,7 +52,9 @@ pub fn fc_pooling_deviation(
         leader,
         Box::new(FcPoolLeader {
             core: FcCore::new(n, t),
-            rng: SplitMix64::new(protocol.seed()).derive(leader as u64).derive(0xA77),
+            rng: SplitMix64::new(protocol.seed())
+                .derive(leader as u64)
+                .derive(0xA77),
             members: members.clone(),
             target,
             pooled: vec![Vec::new(); n],
@@ -62,7 +67,9 @@ pub fn fc_pooling_deviation(
             a,
             Box::new(FcPoolForwarder {
                 core: FcCore::new(n, t),
-                rng: SplitMix64::new(protocol.seed()).derive(a as u64).derive(0xA77),
+                rng: SplitMix64::new(protocol.seed())
+                    .derive(a as u64)
+                    .derive(0xA77),
                 leader,
                 members: members.clone(),
             }),
@@ -139,7 +146,7 @@ impl FcPoolLeader {
         }
         self.dealt = true;
         let k = self.members.len();
-        let d = if k >= t + 1 {
+        let d = if k > t {
             // Reconstruct every honest secret from any t+1 pooled shares,
             // then cancel the running sum against the target. Non-leader
             // coalition members dealt 0, so they drop out of the sum.
@@ -233,7 +240,10 @@ mod tests {
             }
         }
         // Uniform would hit ~1/8 of trials; "always" would be all 48.
-        assert!(hits < trials / 2, "sub-threshold coalition forced {hits}/{trials}");
+        assert!(
+            hits < trials / 2,
+            "sub-threshold coalition forced {hits}/{trials}"
+        );
     }
 
     #[test]

@@ -126,6 +126,8 @@ impl Div for Gf {
     /// # Panics
     ///
     /// Panics on division by zero.
+    // Field division IS multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Gf) -> Gf {
         self * rhs.inverse().expect("division by zero in GF(p)")
     }

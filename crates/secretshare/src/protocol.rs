@@ -119,7 +119,10 @@ impl ALeadFc {
                 builder = builder.boxed_node(id, Box::new(self.honest_node(id)));
             }
         }
-        assert!(next.next().is_none(), "override id out of range or duplicated");
+        assert!(
+            next.next().is_none(),
+            "override id out of range or duplicated"
+        );
         // Reveal traffic is Θ(n³) messages; budget generously above it.
         let steps = (self.n as u64).pow(3) * 8 + 10_000;
         builder.wake_all().step_limit(steps).run()
@@ -205,7 +208,13 @@ impl FcCore {
             if j == me {
                 self.dealt_to_me[me] = Some(s);
             } else {
-                ctx.send_to(j, FcMsg::Deal { dealer: me, share: s });
+                ctx.send_to(
+                    j,
+                    FcMsg::Deal {
+                        dealer: me,
+                        share: s,
+                    },
+                );
             }
         }
         self.advance(ctx);
@@ -344,7 +353,11 @@ mod tests {
         for seed in 0..8 {
             let p = ALeadFc::new(7).with_seed(seed);
             let expect = p.honest_values().iter().sum::<u64>() % 7;
-            assert_eq!(p.run_honest().outcome, Outcome::Elected(expect), "seed {seed}");
+            assert_eq!(
+                p.run_honest().outcome,
+                Outcome::Elected(expect),
+                "seed {seed}"
+            );
         }
     }
 
@@ -392,8 +405,7 @@ mod tests {
                 let n = self.core.n;
                 let t = self.core.threshold;
                 let me = ctx.me();
-                let mut shares =
-                    share(Gf::new(1), t, n, &mut self.rng).expect("threshold < n");
+                let mut shares = share(Gf::new(1), t, n, &mut self.rng).expect("threshold < n");
                 // Corrupt the share handed to the last processor.
                 shares[n - 1].y += Gf::ONE;
                 self.core.secret = Some(Gf::new(1));
@@ -401,7 +413,13 @@ mod tests {
                     if j == me {
                         self.core.dealt_to_me[me] = Some(s);
                     } else {
-                        ctx.send_to(j, FcMsg::Deal { dealer: me, share: s });
+                        ctx.send_to(
+                            j,
+                            FcMsg::Deal {
+                                dealer: me,
+                                share: s,
+                            },
+                        );
                     }
                 }
             }
@@ -460,7 +478,10 @@ mod tests {
                         1,
                         FcMsg::Deal {
                             dealer: 0,
-                            share: Share { x: Gf::new(2), y: Gf::new(9) },
+                            share: Share {
+                                x: Gf::new(2),
+                                y: Gf::new(9),
+                            },
                         },
                     );
                 }

@@ -46,7 +46,11 @@ impl std::fmt::Display for ShamirError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShamirError::ThresholdTooLarge { threshold, n } => {
-                write!(f, "threshold {threshold} needs {} shares but only {n} exist", threshold + 1)
+                write!(
+                    f,
+                    "threshold {threshold} needs {} shares but only {n} exist",
+                    threshold + 1
+                )
             }
             ShamirError::NotEnoughShares { got, need } => {
                 write!(f, "reconstruction needs {need} shares, got {got}")
@@ -128,10 +132,7 @@ pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Gf, ShamirError
             need: threshold + 1,
         });
     }
-    let points: Vec<(Gf, Gf)> = shares[..threshold + 1]
-        .iter()
-        .map(|s| (s.x, s.y))
-        .collect();
+    let points: Vec<(Gf, Gf)> = shares[..threshold + 1].iter().map(|s| (s.x, s.y)).collect();
     Ok(Poly::interpolate_at_zero(&points)?)
 }
 
@@ -149,10 +150,7 @@ pub fn consistent(shares: &[Share], threshold: usize) -> Result<bool, ShamirErro
             need: threshold + 1,
         });
     }
-    let base: Vec<(Gf, Gf)> = shares[..threshold + 1]
-        .iter()
-        .map(|s| (s.x, s.y))
-        .collect();
+    let base: Vec<(Gf, Gf)> = shares[..threshold + 1].iter().map(|s| (s.x, s.y)).collect();
     let poly = Poly::interpolate(&base)?;
     for s in shares {
         if poly.eval(s.x) != s.y {

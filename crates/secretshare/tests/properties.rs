@@ -3,9 +3,7 @@
 //! protocol-level resilience crossover.
 
 use fle_core::protocols::FleProtocol;
-use fle_secretshare::{
-    consistent, reconstruct, run_fc_attack, share, ALeadFc, Gf, Poly, MODULUS,
-};
+use fle_secretshare::{consistent, reconstruct, run_fc_attack, share, ALeadFc, Gf, Poly, MODULUS};
 use proptest::prelude::*;
 use ring_sim::rng::SplitMix64;
 
@@ -99,7 +97,7 @@ proptest! {
     ) {
         let mut rng = SplitMix64::new(seed);
         let mut shares = share(Gf::new(secret), 2, 6, &mut rng).unwrap();
-        shares[idx].y = shares[idx].y + Gf::new(delta);
+        shares[idx].y += Gf::new(delta);
         prop_assert!(!consistent(&shares, 2).unwrap());
     }
 }

@@ -68,7 +68,11 @@ impl TreeSumFle {
             .iter()
             .map(|part| {
                 part.iter()
-                    .map(|&v| SplitMix64::new(seed).derive(v as u64).next_below(n_real as u64))
+                    .map(|&v| {
+                        SplitMix64::new(seed)
+                            .derive(v as u64)
+                            .next_below(n_real as u64)
+                    })
                     .sum::<u64>()
                     % n_real as u64
             })

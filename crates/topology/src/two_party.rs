@@ -459,7 +459,9 @@ mod tests {
     #[test]
     fn xor_verdict_is_b_dictator() {
         match dichotomy(&AlternatingProtocol::xor_coin()) {
-            Verdict::Dictator { party: Party::B, .. } => {}
+            Verdict::Dictator {
+                party: Party::B, ..
+            } => {}
             other => panic!("expected B dictator, got {other:?}"),
         }
     }

@@ -51,7 +51,9 @@ fn main() {
     // Theorem 6.1 tightness — rushing vs PhaseAsyncLead at sqrt(n) + 3.
     let phase = PhaseAsyncLead::new(n).with_seed(1).with_fn_key(5);
     let coalition = Coalition::equally_spaced(n, 13, 1).unwrap();
-    let exec = PhaseRushingAttack::new(target).run(&phase, &coalition).unwrap();
+    let exec = PhaseRushingAttack::new(target)
+        .run(&phase, &coalition)
+        .unwrap();
     println!("Thm 6.1     PhaseAsyncLead, k = 13:  {}", exec.outcome);
 
     // …but the protocol holds below the threshold.

@@ -39,8 +39,10 @@ fn main() {
             ones += 1;
         }
     }
-    println!("coin from dictated Basic-LEAD:  Pr[1] = {:.3} (adversary chose an odd leader)",
-        ones as f64 / 200.0);
+    println!(
+        "coin from dictated Basic-LEAD:  Pr[1] = {:.3} (adversary chose an odd leader)",
+        ones as f64 / 200.0
+    );
 
     // Coins -> FLE: three independent honest coins elect one of 8 leaders.
     let mut counts = [0u64; 8];
@@ -51,7 +53,10 @@ fn main() {
         });
         counts[out.elected().expect("honest coins land") as usize] += 1;
     }
-    println!("\nelection from 3 honest coins over 8 leaders ({} trials):", trials);
+    println!(
+        "\nelection from 3 honest coins over 8 leaders ({} trials):",
+        trials
+    );
     for (leader, &c) in counts.iter().enumerate() {
         println!(
             "  leader {leader}: {:.3}  (fair share 0.125, bound {:.3})",

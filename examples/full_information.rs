@@ -7,8 +7,7 @@
 //! ```
 
 use fle_fullinfo::{
-    best_coalition, coalition_power, BatonGame, IteratedMajority, LightestBin,
-    Majority, Parity,
+    best_coalition, coalition_power, BatonGame, IteratedMajority, LightestBin, Majority, Parity,
 };
 
 fn main() {
@@ -57,7 +56,10 @@ fn main() {
 
     println!("== leader election: corrupt-leader probability vs fair share ==");
     let n = 64;
-    println!("{:>4} {:>8} {:>14} {:>14}", "k", "k/n", "baton (exact)", "lightest-bin");
+    println!(
+        "{:>4} {:>8} {:>14} {:>14}",
+        "k", "k/n", "baton (exact)", "lightest-bin"
+    );
     for k in [1usize, 4, 8, 16, 32] {
         let baton = BatonGame::new(n, k);
         let bin = LightestBin::new(n, k);

@@ -32,7 +32,10 @@ fn main() {
     let protocol = ALeadFc::new(8).with_seed(7);
     for seed in 0..4 {
         let exec = ALeadFc::new(8).with_seed(seed).run_honest();
-        println!("seed {seed}: elected {:?}", exec.outcome.elected().expect("honest"));
+        println!(
+            "seed {seed}: elected {:?}",
+            exec.outcome.elected().expect("honest")
+        );
     }
     println!();
 

@@ -26,14 +26,8 @@ fn main() {
 
     // The coalition = the root part (4 processors of 16) picks any leader.
     let fle = TreeSumFle::new(&graph, &partition, 11);
-    println!(
-        "\nhonest tree-sum election: {}",
-        fle.run_honest().outcome
-    );
-    println!(
-        "coalition {:?} dictates:",
-        fle.dictator_coalition()
-    );
+    println!("\nhonest tree-sum election: {}", fle.run_honest().outcome);
+    println!("coalition {:?} dictates:", fle.dictator_coalition());
     for target in [0u64, 7, 15] {
         println!(
             "  forcing leader {target}: {}",

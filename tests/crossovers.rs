@@ -116,5 +116,8 @@ fn the_resilience_hierarchy_holds() {
     let basic = 1;
     let alead = cubic_threshold(n);
     let phase = phase_threshold(n);
-    assert!(basic < alead && alead < phase, "{basic} < {alead} < {phase}");
+    assert!(
+        basic < alead && alead < phase,
+        "{basic} < {alead} < {phase}"
+    );
 }

@@ -12,11 +12,17 @@ fn both_ring_protocols_are_exactly_fair_on_tiny_rings() {
     for n in [2usize, 3, 4] {
         let free: Vec<usize> = (0..n).collect();
         let basic = exact_distribution(n, &free, |values| {
-            BasicLead::new(n).with_values(values.to_vec()).run_honest().outcome
+            BasicLead::new(n)
+                .with_values(values.to_vec())
+                .run_honest()
+                .outcome
         });
         assert!(basic.is_exactly_uniform(), "Basic-LEAD n={n}: {basic:?}");
         let a_lead = exact_distribution(n, &free, |values| {
-            ALeadUni::new(n).with_values(values.to_vec()).run_honest().outcome
+            ALeadUni::new(n)
+                .with_values(values.to_vec())
+                .run_honest()
+                .outcome
         });
         assert!(a_lead.is_exactly_uniform(), "A-LEADuni n={n}: {a_lead:?}");
         assert_eq!(basic.total, (n as u64).pow(n as u32));
@@ -71,7 +77,10 @@ fn exact_epsilon_matches_monte_carlo_estimate() {
     let n = 4usize;
     let free: Vec<usize> = (0..n).collect();
     let exact = exact_distribution(n, &free, |values| {
-        BasicLead::new(n).with_values(values.to_vec()).run_honest().outcome
+        BasicLead::new(n)
+            .with_values(values.to_vec())
+            .run_honest()
+            .outcome
     });
     assert_eq!(exact.epsilon(), 0.0);
     // Monte-Carlo over seeds converges to the same per-leader frequency.

@@ -87,7 +87,9 @@ fn sync_lead_resists_maximal_complying_coalitions() {
 #[test]
 fn consensus_inherits_the_election_seed_determinism() {
     let inputs = vec![true, false, false, true, true, false, false, true];
-    let a = FairConsensus::new(inputs.clone()).with_seed(42).run_honest();
+    let a = FairConsensus::new(inputs.clone())
+        .with_seed(42)
+        .run_honest();
     let b = FairConsensus::new(inputs).with_seed(42).run_honest();
     assert_eq!(a, b);
 }

@@ -191,7 +191,11 @@ fn honest_control_runs_still_pass() {
         Outcome::Elected(_)
     ));
     assert!(matches!(
-        PhaseAsyncLead::new(12).with_seed(6).with_fn_key(2).run_honest().outcome,
+        PhaseAsyncLead::new(12)
+            .with_seed(6)
+            .with_fn_key(2)
+            .run_honest()
+            .outcome,
         Outcome::Elected(_)
     ));
 }

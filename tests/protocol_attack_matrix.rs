@@ -57,7 +57,11 @@ fn a_lead_uni_withstands_sub_sqrt_rushing() {
 #[test]
 fn a_lead_uni_falls_to_cubic() {
     let plan = cubic_distances(N).unwrap();
-    assert!(plan.k() < 10, "cubic needs fewer than rushing: {}", plan.k());
+    assert!(
+        plan.k() < 10,
+        "cubic needs fewer than rushing: {}",
+        plan.k()
+    );
     for seed in 0..5 {
         let p = ALeadUni::new(N).with_seed(seed);
         let exec = CubicAttack::new(seed % N as u64).run(&p, &plan).unwrap();
@@ -134,7 +138,10 @@ fn all_protocols_succeed_honestly_and_sum_family_agrees() {
     let a = ALeadUni::new(N).with_seed(7).run_honest();
     let b = BasicLead::new(N).with_seed(7).run_honest();
     let c = PhaseSumLead::new(N).with_seed(7).run_honest();
-    let d = PhaseAsyncLead::new(N).with_seed(7).with_fn_key(7).run_honest();
+    let d = PhaseAsyncLead::new(N)
+        .with_seed(7)
+        .with_fn_key(7)
+        .run_honest();
     for exec in [&a, &b, &c, &d] {
         assert!(exec.outcome.elected().is_some());
     }

@@ -90,13 +90,7 @@ fn failure_propagates_through_both_reductions() {
     // election — solution preference survives composition.
     let fail = Outcome::Fail(ring_sim::FailReason::Abort);
     assert_eq!(coin_outcome_of_fle(fail), fail);
-    let out = elect_from_coins(3, |i| {
-        if i == 2 {
-            fail
-        } else {
-            Outcome::Elected(0)
-        }
-    });
+    let out = elect_from_coins(3, |i| if i == 2 { fail } else { Outcome::Elected(0) });
     assert_eq!(out, fail);
 }
 

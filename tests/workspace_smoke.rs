@@ -1,0 +1,42 @@
+//! Workspace-wiring smoke test: each headline protocol of the paper builds,
+//! runs honestly on a small ring, and elects a leader in `0..n`.
+
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead};
+
+fn assert_elects_in_range(protocol: &dyn FleProtocol) {
+    let n = protocol.n();
+    let exec = protocol.run_honest();
+    let leader = exec.outcome.elected().unwrap_or_else(|| {
+        panic!(
+            "{}: honest run on n={n} did not elect: {:?}",
+            protocol.name(),
+            exec.outcome
+        )
+    });
+    assert!(
+        (leader as usize) < n,
+        "{}: elected leader {leader} out of range 0..{n}",
+        protocol.name()
+    );
+}
+
+#[test]
+fn basic_lead_elects_on_small_ring() {
+    for seed in 0..8 {
+        assert_elects_in_range(&BasicLead::new(9).with_seed(seed));
+    }
+}
+
+#[test]
+fn a_lead_uni_elects_on_small_ring() {
+    for seed in 0..8 {
+        assert_elects_in_range(&ALeadUni::new(9).with_seed(seed));
+    }
+}
+
+#[test]
+fn phase_async_lead_elects_on_small_ring() {
+    for seed in 0..8 {
+        assert_elects_in_range(&PhaseAsyncLead::new(9).with_seed(seed).with_fn_key(3));
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline shim for the subset of [criterion](https://crates.io/crates/criterion)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the real harness cannot
+//! be fetched. This shim keeps the bench sources unchanged and implements a
+//! plain wall-clock timer: each benchmark runs a short warm-up followed by a
+//! fixed number of timed iterations and reports the mean time per iteration.
+//!
+//! Like real criterion, the binary understands `cargo test`'s `--test` flag:
+//! in test mode every benchmark body executes exactly once (a smoke run), so
+//! `cargo test` stays fast while still proving the benches work.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export: benches use `std::hint::black_box` via this path in some
+/// criterion versions.
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to each target function.
+pub struct Criterion {
+    test_mode: bool,
+    measure_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs `harness = false` bench binaries with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measure_iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            eprintln!("group {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id, f);
+        self
+    }
+
+    /// Final configuration hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let name = self.name.clone();
+        run_one(self.criterion, Some(&name), &id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = self.name.clone();
+        run_one(self.criterion, Some(&name), &id, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times after one warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Batched timing; the shim times `routine` like [`Bencher::iter`],
+    /// regenerating the input each call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        std::hint::black_box(routine(input));
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Batch sizing hints (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+fn run_one<F>(criterion: &mut Criterion, group: Option<&str>, id: &BenchmarkId, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let iters = if criterion.test_mode {
+        1
+    } else {
+        criterion.measure_iters
+    };
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if !criterion.test_mode {
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(iters.max(1));
+        match group {
+            Some(g) => eprintln!("  {g}/{}: {} ns/iter", id.label, per_iter),
+            None => eprintln!("  {}: {} ns/iter", id.label, per_iter),
+        }
+    }
+}
+
+/// Group several target functions under one name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,575 @@
+//! Offline shim for the subset of [proptest](https://crates.io/crates/proptest)
+//! this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the property-test sources unchanged: it provides
+//! the [`proptest!`] macro, integer/float range strategies, [`any`],
+//! `prop_map`, the `collection::{vec, btree_set}` strategies, and the
+//! `prop_assert*` / [`prop_assume!`] macros. Case generation is a
+//! deterministic SplitMix64 stream seeded from the test name, so failures
+//! reproduce exactly across runs; failing inputs are printed before the
+//! panic, mirroring real proptest's minimal-failure report (without
+//! shrinking).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Runner configuration. Only the knobs the workspace uses are modelled.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is falsified by this input.
+    Fail(String),
+    /// The input was rejected by `prop_assume!`; try another one.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Per-case result type produced by the body the [`proptest!`] macro wraps.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    //! The deterministic RNG driving case generation.
+
+    /// SplitMix64: tiny, fast, and deterministic. One instance is created
+    /// per property, seeded from the property's name, so each test sees a
+    /// stable input stream across runs and platforms.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from raw state.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seed deterministically from a test name (FNV-1a over the bytes).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` via rejection sampling.
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "next_below bound must be positive");
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let x = self.next_u64();
+                if x < zone {
+                    return x % bound;
+                }
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Something that can produce values of type [`Strategy::Value`] from
+    /// the deterministic RNG. Mirrors real proptest's trait of the same
+    /// name (without shrinking machinery).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.next_below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.next_below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing a constant value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for "any value of this type".
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> u16 {
+            rng.next_u64() as u16
+        }
+    }
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_unit_f64()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: vectors and B-tree sets of generated elements.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Accepted size specifications (a fixed size or a half-open range).
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.next_below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from the range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng).max(self.size.lo);
+            let mut out = BTreeSet::new();
+            // Bounded number of draws: if the element space is smaller than
+            // the requested size we return what we managed to collect, like
+            // real proptest does after its retry budget.
+            for _ in 0..(target.max(1) * 64) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// A strategy for B-tree sets with `size` distinct elements drawn from
+    /// `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    /// Alias so `prop::collection::vec(..)` works as with the real crate.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (the input is rejected, not a
+/// failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests. Supports the subset of the real macro's grammar
+/// used in this workspace:
+///
+/// The `#[test]` attribute on each property is forwarded verbatim, so the
+/// example below omits it to run the generated function directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     fn my_property(x in 0u64..10, v in proptest::collection::vec(0usize..5, 1..4)) {
+///         prop_assert!(x < 10);
+///         prop_assert!(v.len() < 4);
+///     }
+/// }
+/// my_property();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            $(let __strategy_input = $strat;
+              #[allow(unused_variables)]
+              let $arg = ();
+              let $arg = __strategy_input;)*
+            let mut __executed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __executed < __config.cases {
+                __attempts += 1;
+                if __attempts > __config.cases.saturating_mul(16).max(64) {
+                    panic!(
+                        "proptest '{}': too many rejected inputs ({} attempts, {} executed)",
+                        stringify!($name),
+                        __attempts,
+                        __executed
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng);)*
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                    $(&$arg,)*
+                );
+                let __result: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {
+                        __executed += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' falsified (case {} of {})\ninputs: {}\n{}",
+                            stringify!($name),
+                            __executed + 1,
+                            __config.cases,
+                            __inputs,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
