@@ -65,7 +65,7 @@ impl WakeupIdLieAttack {
     }
 
     /// The fabricated id a coalition member at `pos` announces: its real
-    /// id with [`COALITION_MARK`] set — guaranteed outside the 48-bit
+    /// id with the coalition mark bit set — guaranteed outside the 48-bit
     /// space `Ω`, yet indistinguishable from a legal id to processors
     /// that do not know `Ω`.
     pub fn fake_id(protocol: &WakeLead, pos: NodeId) -> u64 {

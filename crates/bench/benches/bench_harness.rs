@@ -1,0 +1,61 @@
+//! The `fle-harness` batch runner vs the legacy serial trial loop.
+//!
+//! Measures the two components of the harness speedup separately: the
+//! allocation-reuse win (`batch_1thread` vs `serial_builder` — same work,
+//! reusable engine vs fresh `SimBuilder` per trial) and the thread fan-out
+//! (`batch_auto`). The batch results are byte-identical across all of
+//! them, which `tests/golden_outcomes.rs` and the harness determinism
+//! suite pin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fle_core::protocols::{FleProtocol, PhaseAsyncLead};
+use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
+use std::hint::black_box;
+
+const TRIALS: u64 = 50;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("harness_batch");
+    g.sample_size(10);
+    for &n in fle_bench::BENCH_SIZES {
+        g.bench_with_input(BenchmarkId::new("serial_builder", n), &n, |b, &n| {
+            // The pre-harness path: one heap-allocated SimBuilder working
+            // set per trial, no reuse.
+            b.iter(|| {
+                let mut wins = vec![0u64; n];
+                for i in 0..TRIALS {
+                    let exec = PhaseAsyncLead::new(n)
+                        .with_seed(trial_seed(1, i))
+                        .with_fn_key(9)
+                        .run_honest();
+                    wins[exec.outcome.elected().expect("honest") as usize] += 1;
+                }
+                black_box(wins)
+            });
+        });
+        let sweep = |threads| SweepConfig {
+            protocol: ProtocolKind::PhaseAsyncLead,
+            n,
+            fn_key: 9,
+            batch: BatchConfig {
+                trials: TRIALS,
+                base_seed: 1,
+                threads,
+            },
+        };
+        g.bench_with_input(BenchmarkId::new("batch_1thread", n), &n, |b, &n| {
+            let cfg = sweep(1);
+            let _ = n;
+            b.iter(|| black_box(run_sweep(&cfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("batch_auto", n), &n, |b, &n| {
+            let cfg = sweep(0);
+            let _ = n;
+            b.iter(|| black_box(run_sweep(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,6 +10,8 @@
 //! * `bench_reductions` — Theorem 8.1.
 //! * `bench_sync` — Lemma D.5 / Section 6 synchronization probes.
 //! * `bench_baselines` — Section 1.1 message-complexity baselines.
+//! * `bench_harness` — the `fle-harness` batch runner vs the legacy
+//!   serial trial loop (allocation reuse and thread fan-out).
 //!
 //! Run with `cargo bench --workspace`. The benches exercise exactly the
 //! code paths the `fle-lab` experiments use, so their throughput numbers

@@ -114,6 +114,22 @@ impl ALeadUni {
         run_ring(self.n, |id| self.honest_node(id), overrides, &self.wakes())
     }
 
+    /// Runs an honest execution through a reusable engine (the batch-trial
+    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's ring size differs from `n`.
+    pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<u64>) -> Execution {
+        super::run_ring_in(
+            engine,
+            self.n,
+            |id| self.honest_node(id),
+            Vec::new(),
+            &self.wakes(),
+        )
+    }
+
     /// [`ALeadUni::run_with`] plus an instrumentation probe.
     pub fn run_with_probe(
         &self,

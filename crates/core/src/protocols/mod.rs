@@ -32,7 +32,9 @@ pub use sync_ring::{SyncRingCorruptor, SyncRingLead, SyncRingNode, SyncRingWaite
 pub use wakeup::{WakeLead, WakeMsg, WakeNode};
 
 use ring_sim::rng::SplitMix64;
-use ring_sim::{Execution, Node, NodeId, Probe, SimBuilder, Topology};
+use ring_sim::{
+    Engine, Execution, FifoScheduler, Node, NodeId, Probe, SimBuilder, Topology, DEFAULT_STEP_LIMIT,
+};
 
 /// Common interface of the ring fair-leader-election protocols, used by
 /// the experiment harness.
@@ -83,6 +85,70 @@ pub fn run_ring<M: 'static>(
     run_ring_probed(n, honest, overrides, wakes, None)
 }
 
+/// [`run_ring`] through a reusable [`Engine`] — the batch-trial entry
+/// point used by `fle-harness`.
+///
+/// Produces bit-identical [`Execution`]s to [`run_ring`] on the same
+/// inputs, but reuses the engine's preallocated link queues and adjacency
+/// tables instead of rebuilding them per trial. The engine must simulate a
+/// unidirectional ring of `n` nodes (typically
+/// `Engine::new(Topology::ring(n))`, created once per worker thread).
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`, or if an
+/// override id is out of range or duplicated.
+pub fn run_ring_in<M: 'static>(
+    engine: &mut Engine<M>,
+    n: usize,
+    honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
+    overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+    wakes: &[NodeId],
+) -> Execution {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    let mut nodes = assemble_ring_nodes(n, honest, overrides);
+    engine.run(
+        &mut nodes,
+        wakes,
+        &mut FifoScheduler::new(),
+        DEFAULT_STEP_LIMIT(n),
+    )
+}
+
+/// Merges the honest node builder with the coalition's overrides into the
+/// full `0..n` behaviour vector (shared by the builder and engine paths,
+/// so override semantics cannot drift between them).
+///
+/// # Panics
+///
+/// Panics if an override id is out of range or duplicated.
+fn assemble_ring_nodes<M>(
+    n: usize,
+    honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
+    mut overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+) -> Vec<Box<dyn Node<M>>> {
+    overrides.sort_by_key(|(id, _)| *id);
+    let mut next_override = overrides.into_iter().peekable();
+    let mut nodes: Vec<Box<dyn Node<M>>> = Vec::with_capacity(n);
+    for id in 0..n {
+        if next_override.peek().is_some_and(|(o, _)| *o == id) {
+            let (_, node) = next_override.next().expect("peeked");
+            nodes.push(node);
+        } else {
+            nodes.push(honest(id));
+        }
+    }
+    assert!(
+        next_override.next().is_none(),
+        "override id out of range or duplicated"
+    );
+    nodes
+}
+
 /// [`run_ring`] with an optional instrumentation probe.
 ///
 /// # Panics
@@ -91,25 +157,17 @@ pub fn run_ring<M: 'static>(
 pub fn run_ring_probed<M: 'static>(
     n: usize,
     honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
-    mut overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+    overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
     wakes: &[NodeId],
     probe: Option<&mut dyn Probe<M>>,
 ) -> Execution {
-    overrides.sort_by_key(|(id, _)| *id);
     let mut builder = SimBuilder::new(Topology::ring(n));
-    let mut next_override = overrides.into_iter().peekable();
-    for id in 0..n {
-        if next_override.peek().is_some_and(|(o, _)| *o == id) {
-            let (_, node) = next_override.next().expect("peeked");
-            builder = builder.boxed_node(id, node);
-        } else {
-            builder = builder.boxed_node(id, honest(id));
-        }
+    for (id, node) in assemble_ring_nodes(n, honest, overrides)
+        .into_iter()
+        .enumerate()
+    {
+        builder = builder.boxed_node(id, node);
     }
-    assert!(
-        next_override.next().is_none(),
-        "override id out of range or duplicated"
-    );
     for &w in wakes {
         builder = builder.wake(w);
     }
@@ -138,5 +196,32 @@ mod tests {
         let mut r0 = node_rng(7, 0);
         let mut r1 = node_rng(7, 1);
         assert_ne!(r0.next_u64(), r1.next_u64());
+    }
+
+    /// The engine-reuse path must be bit-identical to the builder path for
+    /// every protocol, including across back-to-back trials on one engine.
+    #[test]
+    fn run_honest_in_matches_run_honest() {
+        let n = 8;
+        let mut u64_engine = Engine::new(Topology::ring(n));
+        let mut phase_engine = Engine::new(Topology::ring(n));
+        for seed in [0, 1, 77] {
+            let basic = BasicLead::new(n).with_seed(seed);
+            assert_eq!(basic.run_honest_in(&mut u64_engine), basic.run_honest());
+            let alead = ALeadUni::new(n).with_seed(seed);
+            assert_eq!(alead.run_honest_in(&mut u64_engine), alead.run_honest());
+            let phase = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(9);
+            assert_eq!(phase.run_honest_in(&mut phase_engine), phase.run_honest());
+            let psum = PhaseSumLead::new(n).with_seed(seed);
+            assert_eq!(psum.run_honest_in(&mut phase_engine), psum.run_honest());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "engine topology size")]
+    fn run_ring_in_rejects_size_mismatch() {
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(4));
+        let p = BasicLead::new(5);
+        let _ = p.run_honest_in(&mut engine);
     }
 }

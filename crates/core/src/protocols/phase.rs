@@ -149,6 +149,22 @@ impl PhaseAsyncLead {
         )
     }
 
+    /// Runs an honest execution through a reusable engine (the batch-trial
+    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's ring size differs from `n`.
+    pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<PhaseMsg>) -> Execution {
+        super::run_ring_in(
+            engine,
+            self.params.n,
+            |id| self.honest_node(id),
+            Vec::new(),
+            &self.wakes(),
+        )
+    }
+
     /// [`PhaseAsyncLead::run_with`] plus an instrumentation probe.
     pub fn run_with_probe(
         &self,
@@ -241,6 +257,22 @@ impl PhaseSumLead {
             self.params.n,
             |id| self.honest_node(id),
             overrides,
+            &self.wakes(),
+        )
+    }
+
+    /// Runs an honest execution through a reusable engine (the batch-trial
+    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's ring size differs from `n`.
+    pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<PhaseMsg>) -> Execution {
+        super::run_ring_in(
+            engine,
+            self.params.n,
+            |id| self.honest_node(id),
+            Vec::new(),
             &self.wakes(),
         )
     }

@@ -1,5 +1,5 @@
 //! Fair renaming for rational agents — the third building block Afek et
-//! al. [5] derive from knowledge sharing, reproduced here on top of the
+//! al. \[5\] derive from knowledge sharing, reproduced here on top of the
 //! ring FLE protocols and the Section 8 reduction machinery.
 //!
 //! A *fair renaming* assigns every processor a distinct new name in

@@ -1,28 +1,181 @@
-//! `fle-lab` — run the reproduction experiments.
+//! `fle-lab` — run the reproduction experiments and harness sweeps.
 //!
 //! ```text
-//! fle-lab all              # every experiment, full sizes
-//! fle-lab t42 t61 --quick  # selected experiments, smoke-test sizes
-//! fle-lab --list           # show the registry
+//! fle-lab all                      # every experiment, full sizes
+//! fle-lab t42 t61 --quick          # selected experiments, smoke sizes
+//! fle-lab --list                   # show the registry
+//! fle-lab --threads 4 all          # cap the worker pool for everything
+//! fle-lab sweep --protocol phase --n 64 --trials 10000 --seed 1 \
+//!         --threads 8 --format json
 //! ```
+//!
+//! The `sweep` subcommand runs one deterministic `fle-harness` batch and
+//! prints the aggregated [`fle_harness::TrialReport`] as JSON (default) or
+//! CSV on stdout. Output is byte-identical for every `--threads` value.
 
 use fle_experiments::{find, EXPERIMENTS};
+use fle_harness::{run_sweep, set_default_threads, BatchConfig, ProtocolKind, SweepConfig};
+
+fn print_registry() {
+    eprintln!("experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:<5} {}", e.id, e.description);
+    }
+    eprintln!("\nusage: fle-lab <id>.. | all [--quick] [--threads N]");
+    eprintln!(
+        "       fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N> \
+         [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]"
+    );
+}
+
+fn usage() -> ! {
+    print_registry();
+    std::process::exit(2);
+}
+
+fn parse_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    let Some(raw) = args.get(i) else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value '{raw}' for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn run_sweep_cli(args: &[String]) {
+    let mut protocol: Option<ProtocolKind> = None;
+    let mut n: usize = 0;
+    let mut batch = BatchConfig {
+        trials: 10_000,
+        base_seed: 0,
+        threads: 0,
+    };
+    let mut fn_key = 0u64;
+    let mut format = String::from("json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--protocol" | "-p" => {
+                let spec: String = parse_arg(args, i + 1, "--protocol");
+                match spec.parse() {
+                    Ok(p) => protocol = Some(p),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--n" | "-n" => {
+                n = parse_arg(args, i + 1, "--n");
+                i += 2;
+            }
+            "--trials" | "-t" => {
+                batch.trials = parse_arg(args, i + 1, "--trials");
+                i += 2;
+            }
+            "--seed" | "-s" => {
+                batch.base_seed = parse_arg(args, i + 1, "--seed");
+                i += 2;
+            }
+            "--threads" | "-j" => {
+                batch.threads = parse_arg(args, i + 1, "--threads");
+                i += 2;
+            }
+            "--fn-key" => {
+                fn_key = parse_arg(args, i + 1, "--fn-key");
+                i += 2;
+            }
+            "--format" | "-f" => {
+                format = parse_arg(args, i + 1, "--format");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown sweep argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(protocol) = protocol else {
+        eprintln!("sweep needs --protocol");
+        std::process::exit(2);
+    };
+    if n == 0 {
+        eprintln!("sweep needs --n");
+        std::process::exit(2);
+    }
+    // Validate the output format up front — a typo must not cost a full
+    // multi-minute sweep.
+    if format != "json" && format != "csv" {
+        eprintln!("unknown format '{format}' (expected json | csv)");
+        std::process::exit(2);
+    }
+    let start = std::time::Instant::now();
+    let report = run_sweep(&SweepConfig {
+        protocol,
+        n,
+        fn_key,
+        batch,
+    });
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        "csv" => print!("{}", report.to_csv()),
+        _ => unreachable!("format validated before the sweep"),
+    }
+    eprintln!(
+        "  [sweep {} n={} trials={} threads={}: {:.1?}]",
+        report.protocol,
+        n,
+        batch.trials,
+        batch.resolved_threads(),
+        start.elapsed()
+    );
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `sweep` is a subcommand with its own flags; recognize it before or
+    // after the global `--threads N` pair so both orderings work.
+    let sweep_pos = args
+        .iter()
+        .position(|a| a == "sweep")
+        .filter(|&pos| pos == 0 || (pos == 2 && (args[0] == "--threads" || args[0] == "-j")));
+    if let Some(pos) = sweep_pos {
+        if pos == 2 {
+            let threads: usize = parse_arg(&args, 1, "--threads");
+            set_default_threads(threads);
+        }
+        run_sweep_cli(&args[pos + 1..]);
+        return;
+    }
+
+    // Global `--threads N` (applies to every experiment's worker pool).
+    if let Some(pos) = args.iter().position(|a| a == "--threads" || a == "-j") {
+        let threads: usize = parse_arg(&args, pos + 1, "--threads");
+        set_default_threads(threads);
+        args.drain(pos..pos + 2);
+    }
+
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let unknown_flags: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with('-') && !["--quick", "-q", "--list", "-l"].contains(&a.as_str()))
+        .collect();
+    if !unknown_flags.is_empty() {
+        eprintln!("unknown flag '{}'", unknown_flags[0]);
+        usage();
+    }
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
 
     if list || ids.is_empty() {
-        eprintln!("experiments:");
-        for e in EXPERIMENTS {
-            eprintln!("  {:<5} {}", e.id, e.description);
-        }
-        eprintln!("\nusage: fle-lab <id>.. | all [--quick]");
         if !list {
-            std::process::exit(2);
+            usage();
         }
+        print_registry();
         return;
     }
 

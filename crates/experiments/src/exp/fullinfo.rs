@@ -5,10 +5,10 @@
 //!
 //! Paper claims reproduced in shape:
 //! * one rushing player biases majority by `Θ(1/√n)` and controls parity
-//!   outright ([10]);
+//!   outright (\[10\]);
 //! * iterated majority-of-3 falls to exactly `n^{log₃ 2}` adversarial
 //!   leaves;
-//! * baton passing resists `O(n / log n)` but not linear coalitions [26];
+//! * baton passing resists `O(n / log n)` but not linear coalitions \[26\];
 //! * plain two-bin lightest-bin — the folklore building block behind the
 //!   linear-resilience constructions [9, 11, 25] — falls even faster
 //!   than baton passing against a rushing coalition (its fraction

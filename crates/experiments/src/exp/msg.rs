@@ -8,7 +8,28 @@
 
 use crate::{par_seeds, Table};
 use fle_baselines::{random_ids, worst_case_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
-use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead};
+use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
+
+/// Messages per honest run of `protocol`, measured through a short
+/// `fle-harness` sweep (the count is seed-independent, which the sweep
+/// verifies across its trials).
+fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
+    let report = run_sweep(&SweepConfig {
+        protocol,
+        n,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials: 2,
+            base_seed: 0,
+            threads: 0,
+        },
+    });
+    assert_eq!(
+        report.messages.min, report.messages.max,
+        "honest message counts are deterministic"
+    );
+    report.messages.max
+}
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -54,21 +75,9 @@ pub fn run(quick: bool) -> Vec<Table> {
             });
             counts.iter().sum::<u64>() as f64 / trials as f64
         };
-        let basic = BasicLead::new(n)
-            .with_seed(0)
-            .run_honest()
-            .stats
-            .total_sent();
-        let alead = ALeadUni::new(n)
-            .with_seed(0)
-            .run_honest()
-            .stats
-            .total_sent();
-        let phase = PhaseAsyncLead::new(n)
-            .with_seed(0)
-            .run_honest()
-            .stats
-            .total_sent();
+        let basic = honest_messages(ProtocolKind::BasicLead, n);
+        let alead = honest_messages(ProtocolKind::ALeadUni, n);
+        let phase = honest_messages(ProtocolKind::PhaseAsyncLead, n);
         t.row([
             n.to_string(),
             format!("{cr_avg:.0}"),

@@ -1,4 +1,4 @@
-//! Afek et al. [5], Renaming: fair renaming built from the election
+//! Afek et al. \[5\], Renaming: fair renaming built from the election
 //! machinery (Section 1.1 related work) — rotation renaming from one
 //! election, uniform-permutation renaming from election-derived coins
 //! (Theorem 8.1 direction FLE → coin).

@@ -12,8 +12,9 @@ use super::fmt_rate;
 use crate::stats::chi_square_uniform;
 use crate::{par_seeds, Table};
 use fle_attacks::{PhaseBurstAttack, PhaseRushingAttack};
-use fle_core::protocols::{FleProtocol, PhaseAsyncLead};
+use fle_core::protocols::PhaseAsyncLead;
 use fle_core::Coalition;
+use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -99,20 +100,21 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let n_uni = if quick { 16 } else { 32 };
     let uni_trials: u64 = if quick { 2000 } else { 8000 };
-    let outcomes = par_seeds(uni_trials, |seed| {
-        PhaseAsyncLead::new(n_uni)
-            .with_seed(seed)
-            .with_fn_key(12345)
-            .run_honest()
-            .outcome
-            .elected()
-            .expect("honest runs succeed")
+    // Honest uniformity through the fle-harness sweep: per-node win
+    // counts are exactly the chi-square input, and the per-worker engine
+    // reuse makes this the fastest way to run thousands of trials.
+    let report = run_sweep(&SweepConfig {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: n_uni,
+        fn_key: 12345,
+        batch: BatchConfig {
+            trials: uni_trials,
+            base_seed: 0,
+            threads: 0,
+        },
     });
-    let mut counts = vec![0u64; n_uni];
-    for o in outcomes {
-        counts[o as usize] += 1;
-    }
-    let (chi2, p) = chi_square_uniform(&counts);
+    assert_eq!(report.fails.total(), 0, "honest runs succeed");
+    let (chi2, p) = chi_square_uniform(&report.wins);
     let mut uni = Table::new(
         "t61c: honest PhaseAsyncLead uniformity (chi-square)",
         &["n", "trials", "chi2", "p-value"],

@@ -13,6 +13,7 @@ use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol};
 use fle_core::reductions::{
     coin_bias_from_fle, coin_outcome_of_fle, elect_from_coins, fle_prob_bound_from_coin,
 };
+use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
 use ring_sim::Outcome;
 
 /// Runs the experiment.
@@ -24,12 +25,21 @@ pub fn run(quick: bool) -> Vec<Table> {
         "t81a: coin toss from FLE (leader's low bit)",
         &["source FLE", "Pr[coin=1]", "measured bias", "paper bound"],
     );
-    // Honest A-LEADuni: fair coin.
-    let ones = par_seeds(trials, |seed| {
-        let out = ALeadUni::new(n).with_seed(seed).run_honest().outcome;
-        matches!(coin_outcome_of_fle(out), Outcome::Elected(1))
+    // Honest A-LEADuni: fair coin. The leader's low bit decides the coin,
+    // so the per-node win counts of an `fle-harness` sweep aggregate it
+    // directly (odd leaders toss 1).
+    let report = run_sweep(&SweepConfig {
+        protocol: ProtocolKind::ALeadUni,
+        n,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 0,
+            threads: 0,
+        },
     });
-    let p1 = ones.iter().filter(|&&b| b).count() as f64 / trials as f64;
+    let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
+    let p1 = ones as f64 / trials as f64;
     fwd.row([
         "A-LEADuni (honest, eps=0)".to_string(),
         fmt_rate(p1),

@@ -1,10 +1,19 @@
 //! Parallel Monte-Carlo execution over trial seeds.
+//!
+//! Since the `fle-harness` crate landed, this module is a façade: the
+//! implementation (deterministic seed slots, worker pool, thread-count
+//! independence) lives in [`fle_harness`], and every experiment rides on
+//! it. `fle-lab --threads N` sets the pool size process-wide via
+//! [`fle_harness::set_default_threads`].
 
-/// Runs `f(seed)` for `seed in 0..trials`, fanning out over the available
-/// cores with `std::thread::scope`, and returns the results in seed order.
+/// Runs `f(seed)` for `seed in 0..trials`, fanning out over the worker
+/// pool, and returns the results in seed order.
 ///
 /// Every simulation in this workspace is deterministic in its seed, so
-/// results are reproducible regardless of thread count.
+/// results are reproducible regardless of thread count. Seeds are the raw
+/// trial indices — the spelling every recorded experiment table was
+/// produced with. See [`fle_harness::run_batch`] for the engine-reusing
+/// batch API underneath.
 ///
 /// # Examples
 ///
@@ -15,29 +24,7 @@
 /// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 /// ```
 pub fn par_seeds<T: Send>(trials: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials.max(1) as usize);
-    if threads <= 1 || trials <= 1 {
-        return (0..trials).map(f).collect();
-    }
-    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let chunk = slots.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, piece) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (i, slot) in piece.iter_mut().enumerate() {
-                    *slot = Some(f((t * chunk + i) as u64));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    fle_harness::par_seeds(trials, f)
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Saks' *pass-the-baton* leader election [26] in the full-information
+//! Saks' *pass-the-baton* leader election \[26\] in the full-information
 //! model.
 //!
 //! The baton starts at a designated player. Whoever holds it passes it to

@@ -1,4 +1,4 @@
-//! Ben-Or & Linial's iterated majority-of-three game [10].
+//! Ben-Or & Linial's iterated majority-of-three game \[10\].
 //!
 //! `n = 3^h` players sit at the leaves of a complete ternary tree of
 //! height `h`; the coin is the recursive majority of the leaf bits. A
@@ -29,7 +29,7 @@ enum NodeState {
     Free,
 }
 
-/// Distribution of [`NodeState`] over the honest leaves' randomness.
+/// Distribution of subtree control states over the honest leaves' randomness.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StateDist {
     /// Probability the subtree is pinned to 0.

@@ -1,6 +1,6 @@
 //! Plain two-bin lightest-bin leader election — the folklore building
 //! block behind the linear-resilience full-information constructions the
-//! paper cites in Section 1.1 ([9], [11], [25]) — together with the
+//! paper cites in Section 1.1 (\[9\], \[11\], \[25\]) — together with the
 //! *negative* finding that motivates their extra machinery.
 //!
 //! Each round, every surviving player announces one of two bins; the bin
@@ -62,7 +62,7 @@ impl LightestBin {
     /// Note the known two-player endgame artifact of plain lightest-bin:
     /// once one honest and one coalition player remain, the rushing
     /// adversary eventually isolates itself in the lighter bin and wins.
-    /// Full constructions (Feige; Russell–Zuckerman [25]) switch
+    /// Full constructions (Feige; Russell–Zuckerman \[25\]) switch
     /// sub-protocols below a size threshold; we keep the plain rule and
     /// report the resulting rates as-is.
     pub fn play(&self, seed: u64) -> BinElection {

@@ -3,7 +3,7 @@
 //! Every player broadcasts one bit; the coin is `f(x₁, …, xₙ)` for a fixed
 //! boolean function `f`. Honest players broadcast fair coins; a rushing
 //! coalition sees every honest bit before choosing its own (the worst
-//! oblivious order, and the standard adversary of Ben-Or & Linial [10]).
+//! oblivious order, and the standard adversary of Ben-Or & Linial \[10\]).
 //! The coalition's power is then exactly a combinatorial quantity of `f` —
 //! the probability, over the honest bits, that the coalition's bits still
 //! matter — which this module computes *exactly* by exhaustive enumeration
@@ -12,7 +12,7 @@
 //! The paper's Section 1.1 cites this line of work ([8, 9, 10, 11]) as the
 //! origin of "protocols immune to large coalitions", and the paper's own
 //! random function `f` in `PhaseAsyncLead` is directly inspired by
-//! Alon & Naor's random-protocol argument [9].
+//! Alon & Naor's random-protocol argument \[9\].
 
 /// A boolean function on `n` bits, the outcome rule of a one-round game.
 ///

@@ -1,0 +1,218 @@
+//! The generic deterministic batch runner.
+
+use crate::trial_seed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count used when [`BatchConfig::threads`] is
+/// 0. Itself 0 means "ask [`std::thread::available_parallelism`]".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (0 restores auto-detection).
+///
+/// `fle-lab --threads N` routes through this so every experiment in the
+/// process, including legacy [`par_seeds`] call sites, obeys the flag.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count a [`BatchConfig::threads`] of 0 resolves to: the value
+/// of [`set_default_threads`] if set, otherwise the available parallelism.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Shape of one batch: how many trials, from which base seed, on how many
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of trials to run.
+    pub trials: u64,
+    /// Base seed; trial `i` runs with [`trial_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+    /// Worker threads; 0 means [`default_threads`]. The result is
+    /// identical for every value.
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            base_seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The resolved worker count for this batch (at least 1, at most
+    /// `trials`).
+    pub fn resolved_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        };
+        t.clamp(1, self.trials.max(1) as usize)
+    }
+}
+
+/// Runs `trials` independent trials across worker threads, giving each
+/// worker its own state from `make_worker`, and returns the results in
+/// trial order.
+///
+/// `trial(worker, index, seed)` must be deterministic in `(index, seed)`
+/// given a fresh-equivalent worker — the workers exist purely for
+/// allocation reuse (e.g. a [`ring_sim::Engine`] per thread) and must not
+/// leak state between trials. Under that contract the returned vector is
+/// identical for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use fle_harness::{run_batch, BatchConfig, trial_seed};
+///
+/// let cfg = BatchConfig { trials: 10, base_seed: 7, threads: 3 };
+/// let out = run_batch(&cfg, || (), |(), i, seed| (i, seed));
+/// assert_eq!(out.len(), 10);
+/// assert!(out.iter().enumerate().all(|(i, &(j, s))| {
+///     j == i as u64 && s == trial_seed(7, i as u64)
+/// }));
+/// ```
+pub fn run_batch<W, T: Send>(
+    cfg: &BatchConfig,
+    make_worker: impl Fn() -> W + Sync,
+    trial: impl Fn(&mut W, u64, u64) -> T + Sync,
+) -> Vec<T> {
+    let trials = cfg.trials;
+    let threads = cfg.resolved_threads();
+    if threads <= 1 || trials <= 1 {
+        let mut worker = make_worker();
+        return (0..trials)
+            .map(|i| trial(&mut worker, i, trial_seed(cfg.base_seed, i)))
+            .collect();
+    }
+    let base_seed = cfg.base_seed;
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let chunk = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, piece) in slots.chunks_mut(chunk).enumerate() {
+            let trial = &trial;
+            let make_worker = &make_worker;
+            scope.spawn(move || {
+                let mut worker = make_worker();
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    let index = (t * chunk + i) as u64;
+                    *slot = Some(trial(&mut worker, index, trial_seed(base_seed, index)));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs `f(seed)` for `seed in 0..trials` across the worker pool and
+/// returns the results in seed order.
+///
+/// The legacy `fle-experiments` surface: seeds are the *raw trial
+/// indices* (not [`trial_seed`]-derived), preserving the exact random
+/// streams of the recorded experiment tables. New code should prefer
+/// [`run_batch`], which separates the seed stream from the index space and
+/// supports per-worker engine reuse.
+///
+/// # Examples
+///
+/// ```
+/// use fle_harness::par_seeds;
+///
+/// let squares = par_seeds(8, |s| s * s);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_seeds<T: Send>(trials: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let cfg = BatchConfig {
+        trials,
+        base_seed: 0,
+        threads: 0,
+    };
+    run_batch(&cfg, || (), |(), index, _seed| f(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_seed_order() {
+        let out = par_seeds(100, |s| s + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn handles_zero_and_one_trials() {
+        assert!(par_seeds(0, |s| s).is_empty());
+        assert_eq!(par_seeds(1, |s| s), vec![0]);
+    }
+
+    #[test]
+    fn batch_results_identical_across_thread_counts() {
+        let run = |threads| {
+            let cfg = BatchConfig {
+                trials: 97,
+                base_seed: 5,
+                threads,
+            };
+            run_batch(
+                &cfg,
+                || 0u64,
+                |acc, i, seed| {
+                    // A worker-stateful trial: the accumulator must not leak
+                    // into results (it only proves workers are per-thread).
+                    *acc += 1;
+                    i.wrapping_mul(31) ^ seed
+                },
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert_eq!(one, run(64));
+    }
+
+    #[test]
+    fn resolved_threads_clamps() {
+        let cfg = BatchConfig {
+            trials: 3,
+            base_seed: 0,
+            threads: 100,
+        };
+        assert_eq!(cfg.resolved_threads(), 3);
+        let cfg = BatchConfig {
+            trials: 0,
+            base_seed: 0,
+            threads: 100,
+        };
+        assert_eq!(cfg.resolved_threads(), 1);
+    }
+
+    #[test]
+    fn default_threads_override_roundtrip() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        let cfg = BatchConfig {
+            trials: 100,
+            base_seed: 0,
+            threads: 0,
+        };
+        assert_eq!(cfg.resolved_threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+}

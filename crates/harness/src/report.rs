@@ -1,0 +1,319 @@
+//! Aggregated batch statistics and their JSON/CSV serializations.
+//!
+//! Everything here is deterministic down to the byte: aggregation walks
+//! trials in index order, floats are produced by fixed-precision
+//! formatting, and field order is pinned — so two [`TrialReport`]s built
+//! from the same `(protocol, n, trials, base_seed)` serialize identically
+//! no matter how many threads ran the batch.
+
+use ring_sim::{Execution, FailReason, Outcome};
+
+/// The per-trial measurement the harness aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The trial's global outcome.
+    pub outcome: Outcome,
+    /// Total messages sent in the trial.
+    pub messages: u64,
+    /// Scheduler steps (wake-ups plus deliveries) consumed.
+    pub steps: u64,
+}
+
+impl TrialOutcome {
+    /// Extracts the measurement from a finished [`Execution`].
+    pub fn of(exec: &Execution) -> Self {
+        Self {
+            outcome: exec.outcome,
+            messages: exec.stats.total_sent(),
+            steps: exec.stats.steps,
+        }
+    }
+}
+
+/// Failure counts by [`FailReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailCounts {
+    /// Trials where some node aborted with `⊥`.
+    pub abort: u64,
+    /// Trials where two nodes output different values.
+    pub disagreement: u64,
+    /// Trials that deadlocked.
+    pub deadlock: u64,
+    /// Trials that hit the step limit.
+    pub step_limit: u64,
+}
+
+impl FailCounts {
+    /// Total failed trials.
+    pub fn total(&self) -> u64 {
+        self.abort + self.disagreement + self.deadlock + self.step_limit
+    }
+
+    fn record(&mut self, reason: FailReason) {
+        match reason {
+            FailReason::Abort => self.abort += 1,
+            FailReason::Disagreement => self.disagreement += 1,
+            FailReason::Deadlock => self.deadlock += 1,
+            FailReason::StepLimit => self.step_limit += 1,
+        }
+    }
+}
+
+/// Order statistics of one per-trial metric (messages or steps).
+///
+/// Percentiles use the nearest-rank method on the sorted samples; an empty
+/// sample set yields all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricSummary {
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+impl MetricSummary {
+    /// Summarizes `samples` (order-independent: sorts a copy).
+    pub fn of(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        Self {
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sum as f64 / sorted.len() as f64,
+            p50: nearest_rank(&sorted, 50),
+            p90: nearest_rank(&sorted, 90),
+            p99: nearest_rank(&sorted, 99),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.min,
+            self.max,
+            fmt_f64(self.mean),
+            self.p50,
+            self.p90,
+            self.p99
+        )
+    }
+}
+
+/// Nearest-rank percentile of pre-sorted samples.
+fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    let rank = (pct as u128 * sorted.len() as u128).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// Fixed-precision float formatting so serialized reports are
+/// byte-deterministic.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Aggregated statistics of one batch of trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialReport {
+    /// Protocol name (e.g. `PhaseAsyncLead`).
+    pub protocol: String,
+    /// Ring size.
+    pub n: usize,
+    /// Number of trials aggregated.
+    pub trials: u64,
+    /// The batch's base seed.
+    pub base_seed: u64,
+    /// `wins[i]` = trials that elected node `i`.
+    pub wins: Vec<u64>,
+    /// Trials electing a value outside `[0, n)` — no protocol in this
+    /// workspace produces one; recorded so the accounting always closes.
+    pub out_of_range: u64,
+    /// Failed trials by reason.
+    pub fails: FailCounts,
+    /// Summary of per-trial total message counts.
+    pub messages: MetricSummary,
+    /// Summary of per-trial scheduler step counts.
+    pub steps: MetricSummary,
+}
+
+impl TrialReport {
+    /// Aggregates `outcomes` (in trial order) into a report.
+    pub fn from_trials(
+        protocol: &str,
+        n: usize,
+        base_seed: u64,
+        outcomes: &[TrialOutcome],
+    ) -> Self {
+        let mut wins = vec![0u64; n];
+        let mut out_of_range = 0;
+        let mut fails = FailCounts::default();
+        let mut messages = Vec::with_capacity(outcomes.len());
+        let mut steps = Vec::with_capacity(outcomes.len());
+        for t in outcomes {
+            match t.outcome {
+                Outcome::Elected(v) if (v as usize) < n => wins[v as usize] += 1,
+                Outcome::Elected(_) => out_of_range += 1,
+                Outcome::Fail(r) => fails.record(r),
+            }
+            messages.push(t.messages);
+            steps.push(t.steps);
+        }
+        Self {
+            protocol: protocol.to_string(),
+            n,
+            trials: outcomes.len() as u64,
+            base_seed,
+            wins,
+            out_of_range,
+            fails,
+            messages: MetricSummary::of(&messages),
+            steps: MetricSummary::of(&steps),
+        }
+    }
+
+    /// Total trials that elected a leader in `[0, n)`.
+    pub fn elected(&self) -> u64 {
+        self.wins.iter().sum()
+    }
+
+    /// Per-node win probabilities (`wins[i] / trials`).
+    pub fn win_rates(&self) -> Vec<f64> {
+        let t = self.trials.max(1) as f64;
+        self.wins.iter().map(|&w| w as f64 / t).collect()
+    }
+
+    /// The largest per-node win probability — the quantity the paper's
+    /// bias bounds are stated about.
+    pub fn max_win_probability(&self) -> f64 {
+        self.win_rates().iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Serializes to a single-line JSON object with pinned field order.
+    ///
+    /// Byte-identical for byte-identical batches, regardless of thread
+    /// count.
+    pub fn to_json(&self) -> String {
+        let wins = self
+            .wins
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"n\":{},\"trials\":{},\"base_seed\":{},",
+                "\"elected\":{},\"out_of_range\":{},",
+                "\"fails\":{{\"abort\":{},\"disagreement\":{},\"deadlock\":{},\"step_limit\":{}}},",
+                "\"wins\":[{}],\"messages\":{},\"steps\":{}}}"
+            ),
+            self.protocol,
+            self.n,
+            self.trials,
+            self.base_seed,
+            self.elected(),
+            self.out_of_range,
+            self.fails.abort,
+            self.fails.disagreement,
+            self.fails.deadlock,
+            self.fails.step_limit,
+            wins,
+            self.messages.to_json(),
+            self.steps.to_json(),
+        )
+    }
+
+    /// Serializes the per-node win table to CSV
+    /// (`node,wins,win_rate` with a header row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("node,wins,win_rate\n");
+        let t = self.trials.max(1) as f64;
+        for (i, &w) in self.wins.iter().enumerate() {
+            out.push_str(&format!("{i},{w},{}\n", fmt_f64(w as f64 / t)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elected(v: u64, messages: u64, steps: u64) -> TrialOutcome {
+        TrialOutcome {
+            outcome: Outcome::Elected(v),
+            messages,
+            steps,
+        }
+    }
+
+    #[test]
+    fn aggregates_wins_and_fails() {
+        let outcomes = [
+            elected(0, 10, 12),
+            elected(2, 10, 14),
+            elected(2, 12, 16),
+            elected(9, 10, 12), // out of range for n = 4
+            TrialOutcome {
+                outcome: Outcome::Fail(FailReason::Abort),
+                messages: 3,
+                steps: 5,
+            },
+        ];
+        let r = TrialReport::from_trials("Test", 4, 7, &outcomes);
+        assert_eq!(r.wins, vec![1, 0, 2, 0]);
+        assert_eq!(r.out_of_range, 1);
+        assert_eq!(r.fails.abort, 1);
+        assert_eq!(r.elected(), 3);
+        assert_eq!(r.trials, 5);
+        assert_eq!(r.messages.min, 3);
+        assert_eq!(r.messages.max, 12);
+    }
+
+    #[test]
+    fn metric_summary_percentiles() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let m = MetricSummary::of(&samples);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 100);
+        assert_eq!(m.p50, 50);
+        assert_eq!(m.p90, 90);
+        assert_eq!(m.p99, 99);
+        assert!((m.mean - 50.5).abs() < 1e-12);
+        assert_eq!(MetricSummary::of(&[]), MetricSummary::default());
+        let single = MetricSummary::of(&[42]);
+        assert_eq!(
+            (single.min, single.p50, single.p99, single.max),
+            (42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = MetricSummary::of(&[5, 1, 9, 3, 7]);
+        let b = MetricSummary::of(&[9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_and_csv_are_stable() {
+        let outcomes = [elected(1, 8, 10), elected(0, 8, 11)];
+        let r = TrialReport::from_trials("Test", 2, 3, &outcomes);
+        let json = r.to_json();
+        assert_eq!(json, r.to_json());
+        assert!(json.starts_with("{\"protocol\":\"Test\",\"n\":2,\"trials\":2,\"base_seed\":3,"));
+        assert!(json.contains("\"wins\":[1,1]"));
+        let csv = r.to_csv();
+        assert_eq!(csv, "node,wins,win_rate\n0,1,0.500000\n1,1,0.500000\n");
+    }
+}

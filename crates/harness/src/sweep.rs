@@ -1,0 +1,203 @@
+//! Protocol-level batch sweeps with per-worker engine reuse.
+
+use crate::{run_batch, BatchConfig, TrialOutcome, TrialReport};
+use fle_core::protocols::{ALeadUni, BasicLead, PhaseAsyncLead, PhaseMsg, PhaseSumLead};
+use ring_sim::{Engine, Topology};
+
+/// The ring protocols the harness can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Appendix B's non-resilient strawman (`n ≥ 2`).
+    BasicLead,
+    /// Abraham et al.'s buffered protocol (`n ≥ 2`).
+    ALeadUni,
+    /// The paper's Θ(√n)-resilient protocol (`n ≥ 4`).
+    PhaseAsyncLead,
+    /// The Appendix E.4 ablation (`n ≥ 4`).
+    PhaseSumLead,
+}
+
+impl ProtocolKind {
+    /// All sweepable protocols, in paper order.
+    pub const ALL: &'static [ProtocolKind] = &[
+        ProtocolKind::BasicLead,
+        ProtocolKind::ALeadUni,
+        ProtocolKind::PhaseAsyncLead,
+        ProtocolKind::PhaseSumLead,
+    ];
+
+    /// The protocol's display name (matches
+    /// [`fle_core::protocols::FleProtocol::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::BasicLead => "Basic-LEAD",
+            ProtocolKind::ALeadUni => "A-LEADuni",
+            ProtocolKind::PhaseAsyncLead => "PhaseAsyncLead",
+            ProtocolKind::PhaseSumLead => "PhaseSumLead",
+        }
+    }
+}
+
+impl std::str::FromStr for ProtocolKind {
+    type Err = String;
+
+    /// Parses a CLI spelling: `basic`, `alead`, `phase`, `phasesum` (or
+    /// the full display names, case-insensitively, with `-` stripped).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match key.as_str() {
+            "basic" | "basiclead" => Ok(ProtocolKind::BasicLead),
+            "alead" | "aleaduni" => Ok(ProtocolKind::ALeadUni),
+            "phase" | "phaseasynclead" => Ok(ProtocolKind::PhaseAsyncLead),
+            "phasesum" | "phasesumlead" => Ok(ProtocolKind::PhaseSumLead),
+            _ => Err(format!(
+                "unknown protocol '{s}' (expected basic | alead | phase | phasesum)"
+            )),
+        }
+    }
+}
+
+/// One protocol sweep: which protocol, at what size, over which batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// The protocol to run honestly.
+    pub protocol: ProtocolKind,
+    /// Ring size.
+    pub n: usize,
+    /// Key of the random function `f` (used by `PhaseAsyncLead` only).
+    pub fn_key: u64,
+    /// Trial count, base seed and worker threads.
+    pub batch: BatchConfig,
+}
+
+/// Runs `batch.trials` honest executions of the configured protocol, one
+/// deterministic seed per trial, and aggregates them into a
+/// [`TrialReport`].
+///
+/// Each worker thread owns one reusable [`Engine`] for the ring, so trial
+/// setup allocates only the node behaviours. The report (and its JSON/CSV
+/// serializations) is byte-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `n` is below the protocol's minimum ring size.
+pub fn run_sweep(cfg: &SweepConfig) -> TrialReport {
+    let n = cfg.n;
+    let outcomes = match cfg.protocol {
+        ProtocolKind::BasicLead => run_batch(
+            &cfg.batch,
+            || Engine::<u64>::new(Topology::ring(n)),
+            |engine, _i, seed| {
+                TrialOutcome::of(&BasicLead::new(n).with_seed(seed).run_honest_in(engine))
+            },
+        ),
+        ProtocolKind::ALeadUni => run_batch(
+            &cfg.batch,
+            || Engine::<u64>::new(Topology::ring(n)),
+            |engine, _i, seed| {
+                TrialOutcome::of(&ALeadUni::new(n).with_seed(seed).run_honest_in(engine))
+            },
+        ),
+        ProtocolKind::PhaseAsyncLead => run_batch(
+            &cfg.batch,
+            || Engine::<PhaseMsg>::new(Topology::ring(n)),
+            |engine, _i, seed| {
+                TrialOutcome::of(
+                    &PhaseAsyncLead::new(n)
+                        .with_seed(seed)
+                        .with_fn_key(cfg.fn_key)
+                        .run_honest_in(engine),
+                )
+            },
+        ),
+        ProtocolKind::PhaseSumLead => run_batch(
+            &cfg.batch,
+            || Engine::<PhaseMsg>::new(Topology::ring(n)),
+            |engine, _i, seed| {
+                TrialOutcome::of(&PhaseSumLead::new(n).with_seed(seed).run_honest_in(engine))
+            },
+        ),
+    };
+    TrialReport::from_trials(cfg.protocol.name(), n, cfg.batch.base_seed, &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial_seed;
+    use fle_core::protocols::FleProtocol;
+
+    #[test]
+    fn protocol_kind_parses() {
+        assert_eq!("basic".parse::<ProtocolKind>(), Ok(ProtocolKind::BasicLead));
+        assert_eq!(
+            "A-LEADuni".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::ALeadUni)
+        );
+        assert_eq!(
+            "phase".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::PhaseAsyncLead)
+        );
+        assert_eq!(
+            "PhaseSumLead".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::PhaseSumLead)
+        );
+        assert!("nope".parse::<ProtocolKind>().is_err());
+    }
+
+    #[test]
+    fn sweep_accounts_every_trial() {
+        for &protocol in ProtocolKind::ALL {
+            let report = run_sweep(&SweepConfig {
+                protocol,
+                n: 6,
+                fn_key: 3,
+                batch: BatchConfig {
+                    trials: 20,
+                    base_seed: 2,
+                    threads: 1,
+                },
+            });
+            assert_eq!(report.protocol, protocol.name());
+            assert_eq!(
+                report.elected() + report.out_of_range + report.fails.total(),
+                20,
+                "{protocol:?}"
+            );
+            // Honest runs never fail.
+            assert_eq!(report.fails.total(), 0, "{protocol:?}");
+            assert_eq!(report.out_of_range, 0, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_direct_protocol_runs() {
+        let n = 8;
+        let batch = BatchConfig {
+            trials: 12,
+            base_seed: 9,
+            threads: 1,
+        };
+        let report = run_sweep(&SweepConfig {
+            protocol: ProtocolKind::ALeadUni,
+            n,
+            fn_key: 0,
+            batch,
+        });
+        let mut wins = vec![0u64; n];
+        for i in 0..batch.trials {
+            let exec = ALeadUni::new(n)
+                .with_seed(trial_seed(batch.base_seed, i))
+                .run_honest();
+            wins[exec.outcome.elected().expect("honest") as usize] += 1;
+        }
+        assert_eq!(report.wins, wins);
+        // A-LEADuni sends exactly n² messages in every honest run.
+        assert_eq!(report.messages.min, (n * n) as u64);
+        assert_eq!(report.messages.max, (n * n) as u64);
+    }
+}

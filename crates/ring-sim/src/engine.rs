@@ -142,6 +142,11 @@ impl<'p, M> SimBuilder<'p, M> {
     /// The run ends when all nodes have terminated, when no tokens remain
     /// (deadlock), or when the step limit is exceeded.
     ///
+    /// This is the one-shot path: it builds a fresh [`Engine`] per call.
+    /// Batch workloads that run many trials over the same topology should
+    /// hold an [`Engine`] and call [`Engine::run`] directly to reuse its
+    /// buffers.
+    ///
     /// # Panics
     ///
     /// Panics if any node id was left without a behaviour — an incomplete
@@ -153,17 +158,79 @@ impl<'p, M> SimBuilder<'p, M> {
             wakes,
             mut scheduler,
             step_limit,
-            mut probe,
+            probe,
         } = self;
-        let n = topology.len();
         let mut nodes: Vec<Box<dyn Node<M> + 'p>> = nodes
             .into_iter()
             .enumerate()
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("node {i} has no behaviour")))
             .collect();
+        let mut engine = Engine::new(topology);
+        engine.run_session(&mut nodes, &wakes, &mut *scheduler, step_limit, probe)
+    }
+}
+
+/// A reusable simulation engine for one fixed [`Topology`].
+///
+/// [`SimBuilder::run`] allocates the per-run working set — link queues,
+/// adjacency tables, per-node counters — from scratch on every call. For a
+/// Monte-Carlo sweep of many thousands of trials over the *same* topology
+/// that churn dominates the runtime, so `Engine` keeps those buffers alive
+/// across runs: [`Engine::run`] resets them in place (queue capacities are
+/// retained) and executes a fresh set of node behaviours.
+///
+/// An `Engine` produces bit-identical [`Execution`]s to the equivalent
+/// [`SimBuilder::run`] call — it is purely an allocation-reuse facility.
+/// The `fle-harness` crate gives every worker thread its own `Engine`.
+///
+/// # Examples
+///
+/// ```
+/// use ring_sim::{Ctx, Engine, FifoScheduler, FnNode, Node, Outcome, Topology};
+///
+/// let mut engine = Engine::new(Topology::ring(2));
+/// for trial in 0..3u64 {
+///     let mut nodes: Vec<Box<dyn Node<u64>>> = vec![
+///         Box::new(
+///             FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| ctx.terminate(Some(m)))
+///                 .on_wake(move |ctx| {
+///                     ctx.send(trial);
+///                     ctx.terminate(Some(trial));
+///                 }),
+///         ),
+///         Box::new(FnNode::new(|_, m: u64, ctx: &mut Ctx<'_, u64>| {
+///             ctx.terminate(Some(m));
+///         })),
+///     ];
+///     let exec = engine.run(&mut nodes, &[0], &mut FifoScheduler::new(), 1000);
+///     assert_eq!(exec.outcome, Outcome::Elected(trial));
+/// }
+/// ```
+pub struct Engine<M> {
+    topology: Topology,
+    out_neighbors: Vec<Vec<NodeId>>,
+    /// Per-node map from successor id to edge id (out-degrees are tiny,
+    /// linear scan is fastest).
+    out_edge_of: Vec<Vec<(NodeId, usize)>>,
+    queues: Vec<VecDeque<M>>,
+    outputs: Vec<Option<Option<u64>>>,
+    sent: Vec<u64>,
+    received: Vec<u64>,
+}
+
+impl<M> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine for `topology`, preallocating the working set.
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.len();
         let out_neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| topology.out_neighbors(i)).collect();
-        // Per-node map from successor id to edge id (out-degrees are tiny,
-        // linear scan is fastest).
         let out_edge_of: Vec<Vec<(NodeId, usize)>> = (0..n)
             .map(|i| {
                 topology
@@ -173,48 +240,80 @@ impl<'p, M> SimBuilder<'p, M> {
                     .collect()
             })
             .collect();
-
-        let mut queues: Vec<VecDeque<M>> = (0..topology.edges().len())
+        let queues = (0..topology.edges().len())
             .map(|_| VecDeque::new())
             .collect();
-        let mut outputs: Vec<Option<Option<u64>>> = vec![None; n];
-        let mut sent = vec![0u64; n];
-        let mut received = vec![0u64; n];
+        Self {
+            topology,
+            out_neighbors,
+            out_edge_of,
+            queues,
+            outputs: vec![None; n],
+            sent: vec![0; n],
+            received: vec![0; n],
+        }
+    }
+
+    /// The topology this engine simulates.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Clears all per-run state in place, keeping every allocation (link
+    /// queues retain their capacity). Called automatically at the start of
+    /// each [`Engine::run`]; exposed for callers that want a cleared engine
+    /// between batches.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.outputs.fill(None);
+        self.sent.fill(0);
+        self.received.fill(0);
+    }
+
+    /// Runs one trial with the given step limit and no probe.
+    ///
+    /// `nodes[i]` is the behaviour of node `i`; `wakes` lists the
+    /// spontaneously waking nodes in wake order. The engine is reset first,
+    /// so back-to-back calls are independent trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run(
+        &mut self,
+        nodes: &mut [Box<dyn Node<M> + '_>],
+        wakes: &[NodeId],
+        scheduler: &mut dyn Scheduler,
+        step_limit: u64,
+    ) -> Execution {
+        self.run_session(nodes, wakes, scheduler, step_limit, None)
+    }
+
+    /// [`Engine::run`] with an optional instrumentation probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run_session(
+        &mut self,
+        nodes: &mut [Box<dyn Node<M> + '_>],
+        wakes: &[NodeId],
+        scheduler: &mut dyn Scheduler,
+        step_limit: u64,
+        mut probe: Option<&mut dyn Probe<M>>,
+    ) -> Execution {
+        let n = self.topology.len();
+        assert_eq!(nodes.len(), n, "need one behaviour per node");
+        self.reset();
+
         let mut delivered = 0u64;
         let mut steps = 0u64;
 
-        for &w in &wakes {
+        for &w in wakes {
             scheduler.push(Token::Wake(w));
         }
-
-        let apply_ctx = |me: NodeId,
-                         ctx: Ctx<'_, M>,
-                         queues: &mut Vec<VecDeque<M>>,
-                         outputs: &mut Vec<Option<Option<u64>>>,
-                         sent: &mut Vec<u64>,
-                         scheduler: &mut Box<dyn Scheduler + 'p>,
-                         probe: &mut Option<&'p mut dyn Probe<M>>| {
-            let Ctx { sends, output, .. } = ctx;
-            for (to, msg) in sends {
-                let edge = out_edge_of[me]
-                    .iter()
-                    .find(|&&(t, _)| t == to)
-                    .map(|&(_, e)| e)
-                    .expect("Ctx validated the link exists");
-                sent[me] += 1;
-                if let Some(p) = probe.as_deref_mut() {
-                    p.on_send(me, to, &msg, sent);
-                }
-                queues[edge].push_back(msg);
-                scheduler.push(Token::Deliver(edge));
-            }
-            if let Some(out) = output {
-                outputs[me] = Some(out);
-                if let Some(p) = probe.as_deref_mut() {
-                    p.on_terminate(me, out);
-                }
-            }
-        };
 
         let mut hit_limit = false;
         while let Some(token) = scheduler.pop() {
@@ -225,57 +324,74 @@ impl<'p, M> SimBuilder<'p, M> {
             steps += 1;
             match token {
                 Token::Wake(i) => {
-                    if outputs[i].is_none() {
-                        let mut ctx = Ctx::new(i, &out_neighbors[i]);
+                    if self.outputs[i].is_none() {
+                        let mut ctx = Ctx::new(i, &self.out_neighbors[i]);
                         nodes[i].on_wake(&mut ctx);
-                        apply_ctx(
-                            i,
-                            ctx,
-                            &mut queues,
-                            &mut outputs,
-                            &mut sent,
-                            &mut scheduler,
-                            &mut probe,
-                        );
+                        let Ctx { sends, output, .. } = ctx;
+                        self.apply(i, sends, output, scheduler, &mut probe);
                     }
                 }
                 Token::Deliver(edge) => {
-                    let msg = queues[edge]
+                    let msg = self.queues[edge]
                         .pop_front()
                         .expect("token implies a queued message");
-                    let (from, to) = topology.edges()[edge];
-                    received[to] += 1;
+                    let (from, to) = self.topology.edges()[edge];
+                    self.received[to] += 1;
                     delivered += 1;
                     if let Some(p) = probe.as_deref_mut() {
-                        p.on_deliver(from, to, &msg, &received);
+                        p.on_deliver(from, to, &msg, &self.received);
                     }
-                    if outputs[to].is_none() {
-                        let mut ctx = Ctx::new(to, &out_neighbors[to]);
+                    if self.outputs[to].is_none() {
+                        let mut ctx = Ctx::new(to, &self.out_neighbors[to]);
                         nodes[to].on_message(from, msg, &mut ctx);
-                        apply_ctx(
-                            to,
-                            ctx,
-                            &mut queues,
-                            &mut outputs,
-                            &mut sent,
-                            &mut scheduler,
-                            &mut probe,
-                        );
+                        let Ctx { sends, output, .. } = ctx;
+                        self.apply(to, sends, output, scheduler, &mut probe);
                     }
                 }
             }
         }
 
-        let outcome = outcome_of(&outputs, !hit_limit);
+        let outcome = outcome_of(&self.outputs, !hit_limit);
         Execution {
             outcome,
-            outputs,
+            outputs: self.outputs.clone(),
             stats: Stats {
                 steps,
                 delivered,
-                sent,
-                received,
+                sent: self.sent.clone(),
+                received: self.received.clone(),
             },
+        }
+    }
+
+    /// Applies the buffered actions of one activation: enqueue sends on
+    /// their links, record a terminal output.
+    fn apply(
+        &mut self,
+        me: NodeId,
+        sends: Vec<(NodeId, M)>,
+        output: Option<Option<u64>>,
+        scheduler: &mut dyn Scheduler,
+        probe: &mut Option<&mut dyn Probe<M>>,
+    ) {
+        for (to, msg) in sends {
+            let edge = self.out_edge_of[me]
+                .iter()
+                .find(|&&(t, _)| t == to)
+                .map(|&(_, e)| e)
+                .expect("Ctx validated the link exists");
+            self.sent[me] += 1;
+            if let Some(p) = probe.as_deref_mut() {
+                p.on_send(me, to, &msg, &self.sent);
+            }
+            self.queues[edge].push_back(msg);
+            scheduler.push(Token::Deliver(edge));
+        }
+        if let Some(out) = output {
+            self.outputs[me] = Some(out);
+            if let Some(p) = probe.as_deref_mut() {
+                p.on_terminate(me, out);
+            }
         }
     }
 }
@@ -480,6 +596,73 @@ mod tests {
         let _ = SimBuilder::<u64>::new(Topology::ring(2))
             .node(0, FnNode::new(|_, _: u64, _| {}))
             .node(0, FnNode::new(|_, _: u64, _| {}));
+    }
+
+    /// Node set for [`token_ring`]-style runs through a reusable engine.
+    fn counter_nodes(n: usize, target: u64) -> Vec<Box<dyn Node<u64>>> {
+        (0..n)
+            .map(|i| {
+                let step = move |_f: usize, m: u64, ctx: &mut Ctx<'_, u64>| {
+                    if m >= target {
+                        if m < target + n as u64 - 1 {
+                            ctx.send(m + 1);
+                        }
+                        ctx.terminate(Some(target));
+                    } else {
+                        ctx.send(m + 1);
+                    }
+                };
+                if i == 0 {
+                    Box::new(FnNode::new(step).on_wake(|ctx| ctx.send(1))) as Box<dyn Node<u64>>
+                } else {
+                    Box::new(FnNode::new(step)) as Box<dyn Node<u64>>
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_reuse_matches_builder() {
+        let n = 5;
+        let target = 3 * n as u64;
+        let via_builder = token_ring(n, FifoScheduler::new());
+        let mut engine = Engine::new(Topology::ring(n));
+        for _ in 0..3 {
+            let mut nodes = counter_nodes(n, target);
+            let exec = engine.run(
+                &mut nodes,
+                &[0],
+                &mut FifoScheduler::new(),
+                DEFAULT_STEP_LIMIT(n),
+            );
+            assert_eq!(exec, via_builder);
+        }
+    }
+
+    #[test]
+    fn engine_reset_clears_state() {
+        let n = 4;
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(n));
+        let mut nodes = counter_nodes(n, 3 * n as u64);
+        let _ = engine.run(
+            &mut nodes,
+            &[0],
+            &mut FifoScheduler::new(),
+            DEFAULT_STEP_LIMIT(n),
+        );
+        engine.reset();
+        assert!(engine.queues.iter().all(|q| q.is_empty()));
+        assert!(engine.outputs.iter().all(|o| o.is_none()));
+        assert!(engine.sent.iter().all(|&s| s == 0));
+        assert!(engine.received.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one behaviour per node")]
+    fn engine_rejects_wrong_node_count() {
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(3));
+        let mut nodes = counter_nodes(2, 6);
+        let _ = engine.run(&mut nodes, &[0], &mut FifoScheduler::new(), 100);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * [`SimBuilder`] wires nodes, topology, wake-ups and scheduler together
 //!   and [`SimBuilder::run`] produces an [`Execution`] with the global
 //!   [`Outcome`] and per-node statistics.
+//! * [`Engine`] is the reusable batch-trial variant of the same run loop:
+//!   it keeps the per-topology working set alive across trials (used by
+//!   `fle-harness` to run thousands of trials per second per worker).
+//! * [`EnumerativeScheduler`] and [`for_each_schedule`] exhaustively
+//!   enumerate every oblivious schedule of a small instance — a model
+//!   checker for schedule-independence claims.
 //! * [`Probe`] observes events for instrumentation (e.g. the
 //!   "m-synchronized" measurements of the paper's Section 5/6).
 //!
@@ -69,9 +75,12 @@ mod scheduler;
 pub mod sync;
 mod topology;
 
-pub use engine::{Execution, SimBuilder, Stats, DEFAULT_STEP_LIMIT};
+pub use engine::{Engine, Execution, SimBuilder, Stats, DEFAULT_STEP_LIMIT};
 pub use node::{Ctx, FnNode, Node};
 pub use outcome::{FailReason, Outcome};
 pub use probe::{DeliveryCountProbe, MessageLogProbe, NoProbe, Probe, SyncGapProbe};
-pub use scheduler::{FifoScheduler, LifoScheduler, RandomScheduler, Scheduler, Token};
+pub use scheduler::{
+    for_each_schedule, EnumerativeScheduler, FifoScheduler, LifoScheduler, RandomScheduler,
+    ScheduleSweep, Scheduler, Token,
+};
 pub use topology::{EdgeId, NodeId, Topology, TopologyError};

@@ -143,6 +143,201 @@ impl Scheduler for RandomScheduler {
     }
 }
 
+/// A scheduler driven by an explicit choice script, for exhaustively
+/// enumerating oblivious schedules (a small model checker for the
+/// [`Scheduler`] contract).
+///
+/// Each [`Scheduler::pop`] chooses among the *distinct* pending tokens in
+/// first-pushed order: entry `i` of the script picks the `script[i]`-th
+/// distinct token at the `i`-th pop; past the end of the script the first
+/// distinct token is taken, and every choice point's arity is recorded.
+/// Two pending `Deliver(e)` tokens for the same link are interchangeable
+/// (popping either delivers the front message of `e`'s FIFO queue), so
+/// collapsing duplicates prunes the schedule tree without losing any
+/// distinct execution.
+///
+/// Handles are shared: [`Clone`] yields a second view of the same state,
+/// so a driver can keep one handle, give the other to
+/// [`crate::SimBuilder::scheduler`], and read the recorded
+/// [`trace`](EnumerativeScheduler::trace) after the run. The state is
+/// intentionally `Rc`-backed (not thread-safe): enumeration is a
+/// single-threaded, depth-first sweep.
+///
+/// Use [`for_each_schedule`] to drive a full enumeration.
+#[derive(Debug, Clone, Default)]
+pub struct EnumerativeScheduler {
+    state: std::rc::Rc<std::cell::RefCell<EnumState>>,
+}
+
+#[derive(Debug, Default)]
+struct EnumState {
+    pending: Vec<Token>,
+    script: Vec<usize>,
+    cursor: usize,
+    trace: Vec<ChoicePoint>,
+}
+
+/// One recorded decision of an [`EnumerativeScheduler`]: which distinct
+/// token index was taken and how many distinct tokens were available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Index of the distinct pending token that was popped.
+    pub choice: usize,
+    /// Number of distinct pending tokens at this decision.
+    pub arity: usize,
+}
+
+impl EnumerativeScheduler {
+    /// An empty scheduler that always takes the first distinct token
+    /// (equivalent to FIFO over distinct tokens).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scheduler that replays `script` and records arities.
+    pub fn with_script(script: Vec<usize>) -> Self {
+        Self {
+            state: std::rc::Rc::new(std::cell::RefCell::new(EnumState {
+                script,
+                ..EnumState::default()
+            })),
+        }
+    }
+
+    /// The decisions taken so far (one per pop of a non-empty scheduler).
+    pub fn trace(&self) -> Vec<ChoicePoint> {
+        self.state.borrow().trace.clone()
+    }
+}
+
+impl Scheduler for EnumerativeScheduler {
+    fn push(&mut self, token: Token) {
+        self.state.borrow_mut().pending.push(token);
+    }
+
+    fn pop(&mut self) -> Option<Token> {
+        let mut s = self.state.borrow_mut();
+        if s.pending.is_empty() {
+            return None;
+        }
+        // Distinct pending tokens in first-pushed order.
+        let mut distinct: Vec<Token> = Vec::new();
+        for &t in &s.pending {
+            if !distinct.contains(&t) {
+                distinct.push(t);
+            }
+        }
+        let choice = s.script.get(s.cursor).copied().unwrap_or(0);
+        assert!(
+            choice < distinct.len(),
+            "script choice {choice} out of range for {} distinct tokens",
+            distinct.len()
+        );
+        s.cursor += 1;
+        let arity = distinct.len();
+        s.trace.push(ChoicePoint { choice, arity });
+        let token = distinct[choice];
+        let at = s
+            .pending
+            .iter()
+            .position(|&t| t == token)
+            .expect("token came from pending");
+        s.pending.remove(at);
+        Some(token)
+    }
+
+    fn len(&self) -> usize {
+        self.state.borrow().pending.len()
+    }
+}
+
+/// The result of a [`for_each_schedule`] enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleSweep {
+    /// Number of schedules enumerated.
+    pub schedules: u64,
+    /// `true` when the enumeration stopped at `max_schedules` before
+    /// exhausting the tree (the visited schedules are then a prefix of
+    /// the space, not a proof over all of it).
+    pub truncated: bool,
+}
+
+/// Exhaustively enumerates every oblivious schedule of a simulation by
+/// depth-first search over [`EnumerativeScheduler`] choice points.
+///
+/// `run` is called once per schedule with a fresh scheduler handle, must
+/// install a clone of it in the simulation it builds (the handle shares
+/// state), and aggregates whatever it wants across calls — results are
+/// streamed, not collected, so enumerations of millions of schedules run
+/// in constant memory. Enumeration stops early after `max_schedules`
+/// runs; check [`ScheduleSweep::truncated`] before treating the sweep as
+/// a proof.
+///
+/// # Examples
+///
+/// Three tokens on distinct links admit exactly `3! = 6` interleavings:
+///
+/// ```
+/// use ring_sim::{for_each_schedule, Scheduler, Token};
+///
+/// let mut orders = std::collections::HashSet::new();
+/// let sweep = for_each_schedule(100, |mut s| {
+///     s.push(Token::Deliver(0));
+///     s.push(Token::Deliver(1));
+///     s.push(Token::Deliver(2));
+///     let mut order = Vec::new();
+///     while let Some(Token::Deliver(e)) = s.pop() {
+///         order.push(e);
+///     }
+///     orders.insert(order);
+/// });
+/// assert!(!sweep.truncated);
+/// assert_eq!(sweep.schedules, 6);
+/// assert_eq!(orders.len(), 6);
+/// ```
+pub fn for_each_schedule(
+    max_schedules: u64,
+    mut run: impl FnMut(EnumerativeScheduler),
+) -> ScheduleSweep {
+    let mut script: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    loop {
+        let sched = EnumerativeScheduler::with_script(script.clone());
+        run(sched.clone());
+        schedules += 1;
+        let next = next_script(&sched.trace());
+        if schedules >= max_schedules {
+            // Truncated only if the tree actually continues past this run.
+            return ScheduleSweep {
+                schedules,
+                truncated: next.is_some(),
+            };
+        }
+        match next {
+            Some(s) => script = s,
+            None => {
+                return ScheduleSweep {
+                    schedules,
+                    truncated: false,
+                }
+            }
+        }
+    }
+}
+
+/// Depth-first successor of a completed trace: bump the deepest choice
+/// point with untried alternatives, drop everything after it.
+fn next_script(trace: &[ChoicePoint]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        if trace[i].choice + 1 < trace[i].arity {
+            let mut script: Vec<usize> = trace[..i].iter().map(|c| c.choice).collect();
+            script.push(trace[i].choice + 1);
+            return Some(script);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +378,75 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn enumerative_default_is_fifo_over_distinct() {
+        let mut s = EnumerativeScheduler::new();
+        s.push(Token::Deliver(0));
+        s.push(Token::Wake(1));
+        s.push(Token::Deliver(0));
+        assert_eq!(s.pop(), Some(Token::Deliver(0)));
+        assert_eq!(s.pop(), Some(Token::Wake(1)));
+        assert_eq!(s.pop(), Some(Token::Deliver(0)));
+        assert_eq!(s.pop(), None);
+        let trace = s.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].arity, 2); // Deliver(0) duplicates collapse
+    }
+
+    #[test]
+    fn enumerative_handles_share_state() {
+        let a = EnumerativeScheduler::new();
+        let mut b = a.clone();
+        b.push(Token::Wake(0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn for_each_schedule_counts_permutations() {
+        // Two distinct links plus one duplicate token: the duplicate
+        // collapses, so the orderings are those of the multiset
+        // {0, 0, 1}: 001, 010, 100 — three schedules.
+        let mut orders = Vec::new();
+        let sweep = for_each_schedule(100, |mut s| {
+            s.push(Token::Deliver(0));
+            s.push(Token::Deliver(0));
+            s.push(Token::Deliver(1));
+            let mut order = Vec::new();
+            while let Some(Token::Deliver(e)) = s.pop() {
+                order.push(e);
+            }
+            orders.push(order);
+        });
+        assert!(!sweep.truncated);
+        assert_eq!(sweep.schedules, 3);
+        assert_eq!(orders, vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]);
+    }
+
+    #[test]
+    fn for_each_schedule_reports_truncation() {
+        let sweep = for_each_schedule(2, |mut s| {
+            for e in 0..4 {
+                s.push(Token::Deliver(e));
+            }
+            while s.pop().is_some() {}
+        });
+        assert!(sweep.truncated);
+        assert_eq!(sweep.schedules, 2);
+    }
+
+    #[test]
+    fn for_each_schedule_exact_limit_is_not_truncated() {
+        // The space has exactly 2 schedules; a limit of 2 must report a
+        // complete (non-truncated) sweep.
+        let sweep = for_each_schedule(2, |mut s| {
+            s.push(Token::Deliver(0));
+            s.push(Token::Deliver(1));
+            while s.pop().is_some() {}
+        });
+        assert!(!sweep.truncated);
+        assert_eq!(sweep.schedules, 2);
     }
 
     #[test]

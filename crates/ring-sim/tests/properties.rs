@@ -3,9 +3,68 @@
 use proptest::prelude::*;
 use ring_sim::rng::SplitMix64;
 use ring_sim::{
-    Ctx, FifoScheduler, FnNode, LifoScheduler, NodeId, Outcome, RandomScheduler, Scheduler,
-    SimBuilder, Token, Topology,
+    Ctx, EnumerativeScheduler, FifoScheduler, FnNode, LifoScheduler, NodeId, Outcome,
+    RandomScheduler, Scheduler, SimBuilder, Token, Topology,
 };
+
+/// Sorted multiset of tokens for conservation comparisons.
+fn sorted(mut tokens: Vec<Token>) -> Vec<Token> {
+    tokens.sort_unstable_by_key(|t| match *t {
+        Token::Wake(i) => (0, i),
+        Token::Deliver(e) => (1, e),
+    });
+    tokens
+}
+
+/// Drives `s` through an arbitrary interleaved push/pop sequence
+/// (`ops[i] = Some(token)` pushes, `None` pops), then drains it, and
+/// checks the [`Scheduler`] contract: every pop returns a token whose
+/// push is still outstanding (nothing invented, nothing duplicated),
+/// `len` tracks the pending count, and draining eventually pops every
+/// pushed token (eventual delivery).
+fn check_scheduler_contract(mut s: Box<dyn Scheduler>, ops: &[Option<Token>]) {
+    let mut outstanding: Vec<Token> = Vec::new();
+    let mut popped: Vec<Token> = Vec::new();
+    for op in ops {
+        match op {
+            Some(token) => {
+                s.push(*token);
+                outstanding.push(*token);
+            }
+            None => {
+                let before = s.len();
+                match s.pop() {
+                    Some(t) => {
+                        let at = outstanding
+                            .iter()
+                            .position(|&o| o == t)
+                            .expect("scheduler invented or duplicated a token");
+                        outstanding.swap_remove(at);
+                        popped.push(t);
+                        assert_eq!(s.len(), before - 1);
+                    }
+                    None => assert!(outstanding.is_empty(), "pop refused a pending token"),
+                }
+            }
+        }
+        assert_eq!(s.len(), outstanding.len());
+        assert_eq!(s.is_empty(), outstanding.is_empty());
+    }
+    while let Some(t) = s.pop() {
+        let at = outstanding
+            .iter()
+            .position(|&o| o == t)
+            .expect("drain invented or duplicated a token");
+        outstanding.swap_remove(at);
+        popped.push(t);
+    }
+    assert!(
+        outstanding.is_empty(),
+        "tokens never delivered: {outstanding:?}"
+    );
+    let pushed: Vec<Token> = ops.iter().flatten().copied().collect();
+    assert_eq!(sorted(popped), sorted(pushed));
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -49,7 +108,32 @@ proptest! {
         expect.sort_unstable();
         prop_assert_eq!(run(Box::new(FifoScheduler::new())), expect.clone());
         prop_assert_eq!(run(Box::new(LifoScheduler::new())), expect.clone());
-        prop_assert_eq!(run(Box::new(RandomScheduler::new(seed))), expect);
+        prop_assert_eq!(run(Box::new(RandomScheduler::new(seed))), expect.clone());
+        prop_assert_eq!(run(Box::new(EnumerativeScheduler::new())), expect);
+    }
+
+    /// For ANY interleaved push/pop sequence, every scheduler — FIFO,
+    /// LIFO, seeded-random and the enumerative model checker — eventually
+    /// pops each pushed token exactly once and never invents one.
+    #[test]
+    fn schedulers_honor_contract_under_interleaved_ops(
+        raw_ops in proptest::collection::vec(0u64..100, 0..120),
+        seed in any::<u64>(),
+    ) {
+        // Encode each draw as one op: 40% pops, 60% pushes of a wake or
+        // deliver token with a small id space (so duplicates are common).
+        let ops: Vec<Option<Token>> = raw_ops
+            .into_iter()
+            .map(|v| match v % 5 {
+                0 | 1 => None,
+                2 => Some(Token::Wake((v / 5 % 10) as usize)),
+                _ => Some(Token::Deliver((v / 5 % 10) as usize)),
+            })
+            .collect();
+        check_scheduler_contract(Box::new(FifoScheduler::new()), &ops);
+        check_scheduler_contract(Box::new(LifoScheduler::new()), &ops);
+        check_scheduler_contract(Box::new(RandomScheduler::new(seed)), &ops);
+        check_scheduler_contract(Box::new(EnumerativeScheduler::new()), &ops);
     }
 
     /// On a unidirectional ring every oblivious schedule produces the same

@@ -3,7 +3,8 @@
 //!
 //! The build environment has no network access, so the real crate cannot be
 //! fetched. This shim keeps the property-test sources unchanged: it provides
-//! the [`proptest!`] macro, integer/float range strategies, [`any`],
+//! the [`proptest!`] macro, integer/float range strategies,
+//! [`any`](arbitrary::any),
 //! `prop_map`, the `collection::{vec, btree_set}` strategies, and the
 //! `prop_assert*` / [`prop_assume!`] macros. Case generation is a
 //! deterministic SplitMix64 stream seeded from the test name, so failures
