@@ -1,15 +1,19 @@
 //! The `fle-harness` batch runner vs the legacy serial trial loop.
 //!
-//! Measures the two components of the harness speedup separately: the
-//! allocation-reuse win (`batch_1thread` vs `serial_builder` — same work,
-//! reusable engine vs fresh `SimBuilder` per trial) and the thread fan-out
+//! Measures the components of the harness speedup separately: the
+//! allocation-reuse + monomorphization win (`batch_1thread` vs
+//! `serial_builder` — same work, zero-allocation mono engine vs fresh
+//! `SimBuilder` per trial), the dyn-dispatch cost in isolation
+//! (`boxed_engine_1thread` — same reusable engine, but `Box<dyn Node>`
+//! behaviours and per-trial clones), and the thread fan-out
 //! (`batch_auto`). The batch results are byte-identical across all of
 //! them, which `tests/golden_outcomes.rs` and the harness determinism
 //! suite pin.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fle_core::protocols::{FleProtocol, PhaseAsyncLead};
+use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg};
 use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
+use ring_sim::{Engine, Topology};
 use std::hint::black_box;
 
 const TRIALS: u64 = 50;
@@ -28,6 +32,29 @@ fn bench(c: &mut Criterion) {
                         .with_seed(trial_seed(1, i))
                         .with_fn_key(9)
                         .run_honest();
+                    wins[exec.outcome.elected().expect("honest") as usize] += 1;
+                }
+                black_box(wins)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("boxed_engine_1thread", n), &n, |b, &n| {
+            // The PR 2 batch path: reusable engine, but `Box<dyn Node>`
+            // behaviours (vtable dispatch, one box per node per trial) and
+            // a cloned Execution per trial.
+            let mut engine: Engine<PhaseMsg> = Engine::new(Topology::ring(n));
+            b.iter(|| {
+                let mut wins = vec![0u64; n];
+                for i in 0..TRIALS {
+                    let p = PhaseAsyncLead::new(n)
+                        .with_seed(trial_seed(1, i))
+                        .with_fn_key(9);
+                    let exec = run_ring_in(
+                        &mut engine,
+                        n,
+                        |id| p.honest_node(id),
+                        Vec::new(),
+                        &p.wakes(),
+                    );
                     wins[exec.outcome.elected().expect("honest") as usize] += 1;
                 }
                 black_box(wins)

@@ -80,21 +80,30 @@ impl ALeadUni {
         self.seed
     }
 
-    /// Builds the honest node for position `id` (origin at 0).
+    /// Builds the honest node for position `id` (origin at 0) as a boxed
+    /// trait object (for heterogeneous protocol/attack mixes).
     pub fn honest_node(&self, id: NodeId) -> Box<dyn Node<u64>> {
+        Box::new(self.honest_ring_node(id))
+    }
+
+    /// Builds the honest node for position `id` as the concrete
+    /// [`ALeadNode`] enum — the monomorphized form the batch fast path
+    /// stores in a plain `Vec` (origin/normal dispatch is a branch, not a
+    /// vtable).
+    pub fn honest_ring_node(&self, id: NodeId) -> ALeadNode {
         let d = match &self.values {
             Some(vs) => vs[id],
             None => node_rng(self.seed, id).next_below(self.n as u64),
         };
         if id == 0 {
-            Box::new(Origin {
+            ALeadNode::Origin(Origin {
                 n: self.n as u64,
                 d,
                 sum: 0,
                 round: 0,
             })
         } else {
-            Box::new(Normal {
+            ALeadNode::Normal(Normal {
                 n: self.n as u64,
                 d,
                 buffer: d,
@@ -114,18 +123,18 @@ impl ALeadUni {
         run_ring(self.n, |id| self.honest_node(id), overrides, &self.wakes())
     }
 
-    /// Runs an honest execution through a reusable engine (the batch-trial
-    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    /// Runs an honest execution through a reusable engine (the
+    /// monomorphized batch-trial fast path; bit-identical to
+    /// [`FleProtocol::run_honest`]).
     ///
     /// # Panics
     ///
     /// Panics if the engine's ring size differs from `n`.
     pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<u64>) -> Execution {
-        super::run_ring_in(
+        super::run_ring_honest_in(
             engine,
             self.n,
-            |id| self.honest_node(id),
-            Vec::new(),
+            |id| self.honest_ring_node(id),
             &self.wakes(),
         )
     }
@@ -160,10 +169,42 @@ impl FleProtocol for ALeadUni {
     }
 }
 
+/// An honest `A-LEADuni` processor as a concrete type: the origin or a
+/// normal (buffering) processor.
+///
+/// Built by [`ALeadUni::honest_ring_node`]; honest sweeps store a
+/// `Vec<ALeadNode>`, so the engine's activation dispatch is a two-way
+/// branch instead of a `Box<dyn Node>` vtable call.
+#[derive(Debug, Clone)]
+pub enum ALeadNode {
+    /// The spontaneously-waking origin (processor 0).
+    Origin(Origin),
+    /// A normal processor with the one-round delay buffer.
+    Normal(Normal),
+}
+
+impl Node<u64> for ALeadNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+        match self {
+            ALeadNode::Origin(o) => o.on_wake(ctx),
+            ALeadNode::Normal(p) => p.on_wake(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        match self {
+            ALeadNode::Origin(o) => o.on_message(from, msg, ctx),
+            ALeadNode::Normal(p) => p.on_message(from, msg, ctx),
+        }
+    }
+}
+
 /// The origin: sends its secret at wake-up, then forwards `n − 1` incoming
 /// messages immediately ("behaves like a pipe"). Its `n`-th receive must be
 /// its own secret coming full circle.
-struct Origin {
+#[derive(Debug, Clone)]
+pub struct Origin {
     n: u64,
     d: u64,
     sum: u64,
@@ -192,7 +233,8 @@ impl Node<u64> for Origin {
 /// A normal processor: starts with its secret in the buffer; on each
 /// receive it sends the buffer and stores the new message — the one-round
 /// delay that forces commitment before knowledge.
-struct Normal {
+#[derive(Debug, Clone)]
+pub struct Normal {
     n: u64,
     d: u64,
     buffer: u64,

@@ -70,18 +70,26 @@ impl BasicLead {
         self.seed
     }
 
-    /// Builds the honest node for position `id`.
+    /// Builds the honest node for position `id` as a boxed trait object
+    /// (for heterogeneous protocol/attack mixes).
     pub fn honest_node(&self, id: NodeId) -> Box<dyn Node<u64>> {
+        Box::new(self.honest_ring_node(id))
+    }
+
+    /// Builds the honest node for position `id` as its concrete type — the
+    /// monomorphized form the batch fast path stores in a plain `Vec`
+    /// (no `Box`, no vtable per activation).
+    pub fn honest_ring_node(&self, id: NodeId) -> BasicNode {
         let d = match &self.values {
             Some(vs) => vs[id],
             None => node_rng(self.seed, id).next_below(self.n as u64),
         };
-        Box::new(BasicNode {
+        BasicNode {
             n: self.n as u64,
             d,
             sum: 0,
             round: 0,
-        })
+        }
     }
 
     /// Every processor wakes spontaneously in `Basic-LEAD`.
@@ -94,18 +102,18 @@ impl BasicLead {
         run_ring(self.n, |id| self.honest_node(id), overrides, &self.wakes())
     }
 
-    /// Runs an honest execution through a reusable engine (the batch-trial
-    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    /// Runs an honest execution through a reusable engine (the
+    /// monomorphized batch-trial fast path; bit-identical to
+    /// [`FleProtocol::run_honest`]).
     ///
     /// # Panics
     ///
     /// Panics if the engine's ring size differs from `n`.
     pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<u64>) -> Execution {
-        super::run_ring_in(
+        super::run_ring_honest_in(
             engine,
             self.n,
-            |id| self.honest_node(id),
-            Vec::new(),
+            |id| self.honest_ring_node(id),
             &self.wakes(),
         )
     }
@@ -127,7 +135,12 @@ impl FleProtocol for BasicLead {
 
 /// Honest `Basic-LEAD` processor: broadcast own value, forward `n − 1`
 /// others, validate that the own value returns last, output the sum.
-struct BasicNode {
+///
+/// Built by [`BasicLead::honest_ring_node`]; exposed as a concrete type so
+/// honest sweeps store nodes in a plain `Vec<BasicNode>` and the engine
+/// dispatches to it statically.
+#[derive(Debug, Clone)]
+pub struct BasicNode {
     n: u64,
     d: u64,
     sum: u64,

@@ -23,9 +23,9 @@ mod sync_lead;
 mod sync_ring;
 mod wakeup;
 
-pub use a_lead_uni::ALeadUni;
-pub use basic_lead::BasicLead;
-pub use phase::{PhaseAsyncLead, PhaseMsg, PhaseSumLead};
+pub use a_lead_uni::{ALeadNode, ALeadUni};
+pub use basic_lead::{BasicLead, BasicNode};
+pub use phase::{PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead};
 pub use phase_indexed::{IndexedMsg, IndexedPhaseLead};
 pub use sync_lead::{SyncFixedValue, SyncLead, SyncWaitAndCancel};
 pub use sync_ring::{SyncRingCorruptor, SyncRingLead, SyncRingNode, SyncRingWaiter};
@@ -33,7 +33,7 @@ pub use wakeup::{WakeLead, WakeMsg, WakeNode};
 
 use ring_sim::rng::SplitMix64;
 use ring_sim::{
-    Engine, Execution, FifoScheduler, Node, NodeId, Probe, SimBuilder, Topology, DEFAULT_STEP_LIMIT,
+    default_step_limit, Engine, Execution, FifoScheduler, Node, NodeId, Probe, SimBuilder, Topology,
 };
 
 /// Common interface of the ring fair-leader-election protocols, used by
@@ -115,8 +115,74 @@ pub fn run_ring_in<M: 'static>(
         &mut nodes,
         wakes,
         &mut FifoScheduler::new(),
-        DEFAULT_STEP_LIMIT(n),
+        default_step_limit(n),
     )
+}
+
+/// The honest-only, monomorphized variant of [`run_ring_in`]: node
+/// behaviours are a homogeneous `N` (each protocol's honest node enum), so
+/// the engine loop dispatches statically — no `Box`, no vtable. All four
+/// protocols' `run_honest_in` route through here.
+///
+/// Produces bit-identical [`Execution`]s to the boxed [`run_ring_in`] with
+/// the same behaviours.
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`.
+pub fn run_ring_honest_in<M, N: Node<M>>(
+    engine: &mut Engine<M>,
+    n: usize,
+    honest: impl FnMut(NodeId) -> N,
+    wakes: &[NodeId],
+) -> Execution {
+    let mut out = Execution::default();
+    run_ring_honest_into(
+        engine,
+        n,
+        honest,
+        wakes,
+        &mut Vec::new(),
+        &mut FifoScheduler::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`run_ring_honest_in`] with caller-owned node, scheduler and result
+/// buffers — the zero-allocation batch loop `fle-harness` sweeps run on.
+///
+/// `nodes_buf` is cleared and refilled (capacity retained), the
+/// scheduler's token storage is cleared and reused, and `out` is
+/// overwritten in place. A worker that reuses an [`Engine`], one
+/// `nodes_buf`, one [`FifoScheduler`] and one [`Execution`] across a batch
+/// performs no per-trial allocation beyond what the node behaviours
+/// themselves do.
+///
+/// The scheduler parameter is concretely FIFO: honest ring executions are
+/// defined over the fair global-send-order schedule, and pinning the type
+/// here keeps every honest entry point on the identical interleaving.
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`.
+pub fn run_ring_honest_into<M, N: Node<M>>(
+    engine: &mut Engine<M>,
+    n: usize,
+    honest: impl FnMut(NodeId) -> N,
+    wakes: &[NodeId],
+    nodes_buf: &mut Vec<N>,
+    scheduler: &mut FifoScheduler,
+    out: &mut Execution,
+) {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    nodes_buf.clear();
+    nodes_buf.extend((0..n).map(honest));
+    engine.run_mono_into(nodes_buf, wakes, scheduler, default_step_limit(n), out);
 }
 
 /// Merges the honest node builder with the coalition's overrides into the

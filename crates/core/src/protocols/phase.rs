@@ -129,8 +129,17 @@ impl PhaseAsyncLead {
         self.f
     }
 
-    /// Builds the honest node for position `id`.
+    /// Builds the honest node for position `id` as a boxed trait object
+    /// (for heterogeneous protocol/attack mixes).
     pub fn honest_node(&self, id: NodeId) -> Box<dyn Node<PhaseMsg>> {
+        Box::new(self.honest_ring_node(id))
+    }
+
+    /// Builds the honest node for position `id` as the concrete
+    /// [`PhaseNode`] enum — the monomorphized form the batch fast path
+    /// stores in a plain `Vec` (origin/normal dispatch is a branch, not a
+    /// vtable).
+    pub fn honest_ring_node(&self, id: NodeId) -> PhaseNode {
         make_honest_node(self.params, self.seed, OutputRule::Random(self.f), id)
     }
 
@@ -149,18 +158,18 @@ impl PhaseAsyncLead {
         )
     }
 
-    /// Runs an honest execution through a reusable engine (the batch-trial
-    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    /// Runs an honest execution through a reusable engine (the
+    /// monomorphized batch-trial fast path; bit-identical to
+    /// [`FleProtocol::run_honest`]).
     ///
     /// # Panics
     ///
     /// Panics if the engine's ring size differs from `n`.
     pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<PhaseMsg>) -> Execution {
-        super::run_ring_in(
+        super::run_ring_honest_in(
             engine,
             self.params.n,
-            |id| self.honest_node(id),
-            Vec::new(),
+            |id| self.honest_ring_node(id),
             &self.wakes(),
         )
     }
@@ -241,8 +250,15 @@ impl PhaseSumLead {
         self.seed
     }
 
-    /// Builds the honest node for position `id`.
+    /// Builds the honest node for position `id` as a boxed trait object
+    /// (for heterogeneous protocol/attack mixes).
     pub fn honest_node(&self, id: NodeId) -> Box<dyn Node<PhaseMsg>> {
+        Box::new(self.honest_ring_node(id))
+    }
+
+    /// Builds the honest node for position `id` as the concrete
+    /// [`PhaseNode`] enum (see [`PhaseAsyncLead::honest_ring_node`]).
+    pub fn honest_ring_node(&self, id: NodeId) -> PhaseNode {
         make_honest_node(self.params, self.seed, OutputRule::Sum, id)
     }
 
@@ -261,18 +277,18 @@ impl PhaseSumLead {
         )
     }
 
-    /// Runs an honest execution through a reusable engine (the batch-trial
-    /// fast path; bit-identical to [`FleProtocol::run_honest`]).
+    /// Runs an honest execution through a reusable engine (the
+    /// monomorphized batch-trial fast path; bit-identical to
+    /// [`FleProtocol::run_honest`]).
     ///
     /// # Panics
     ///
     /// Panics if the engine's ring size differs from `n`.
     pub fn run_honest_in(&self, engine: &mut ring_sim::Engine<PhaseMsg>) -> Execution {
-        super::run_ring_in(
+        super::run_ring_honest_in(
             engine,
             self.params.n,
-            |id| self.honest_node(id),
-            Vec::new(),
+            |id| self.honest_ring_node(id),
             &self.wakes(),
         )
     }
@@ -292,12 +308,7 @@ impl FleProtocol for PhaseSumLead {
     }
 }
 
-fn make_honest_node(
-    params: PhaseParams,
-    seed: u64,
-    rule: OutputRule,
-    id: NodeId,
-) -> Box<dyn Node<PhaseMsg>> {
+fn make_honest_node(params: PhaseParams, seed: u64, rule: OutputRule, id: NodeId) -> PhaseNode {
     let mut rng = node_rng(seed, id);
     let d = rng.next_below(params.n as u64);
     let common = PhaseState {
@@ -309,14 +320,45 @@ fn make_honest_node(
         buffer: d,
         round: 0,
         expect_data: true,
-        data: vec![0; params.n],
-        vals: vec![0; params.n + 1],
+        store: vec![0; 2 * params.n + 1],
         rng,
     };
     if id == 0 {
-        Box::new(PhaseOrigin { s: common })
+        PhaseNode::Origin(PhaseOrigin { s: common })
     } else {
-        Box::new(PhaseNormal { s: common })
+        PhaseNode::Normal(PhaseNormal { s: common })
+    }
+}
+
+/// An honest phase processor as a concrete type: the pacing origin or a
+/// normal processor. Shared by [`PhaseAsyncLead`] and [`PhaseSumLead`]
+/// (which differ only in the output rule carried inside).
+///
+/// Built by [`PhaseAsyncLead::honest_ring_node`] /
+/// [`PhaseSumLead::honest_ring_node`]; honest sweeps store a
+/// `Vec<PhaseNode>`, so the engine's activation dispatch is a two-way
+/// branch instead of a `Box<dyn Node>` vtable call.
+pub enum PhaseNode {
+    /// The spontaneously-waking origin (processor 0) that paces rounds.
+    Origin(PhaseOrigin),
+    /// A normal processor (`id ≥ 1`).
+    Normal(PhaseNormal),
+}
+
+impl Node<PhaseMsg> for PhaseNode {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, PhaseMsg>) {
+        match self {
+            PhaseNode::Origin(o) => o.on_wake(ctx),
+            PhaseNode::Normal(p) => p.on_wake(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_message(&mut self, from: NodeId, msg: PhaseMsg, ctx: &mut Ctx<'_, PhaseMsg>) {
+        match self {
+            PhaseNode::Origin(o) => o.on_message(from, msg, ctx),
+            PhaseNode::Normal(p) => p.on_message(from, msg, ctx),
+        }
     }
 }
 
@@ -331,8 +373,10 @@ struct PhaseState {
     /// Completed data rounds (1-based round currently being processed).
     round: usize,
     expect_data: bool,
-    data: Vec<u64>,
-    vals: Vec<u64>,
+    /// The `n` collected data values `d̂` followed by the `n + 1` (1-based)
+    /// validation values `v̂`, packed into one allocation so building a
+    /// node costs a single heap allocation instead of two.
+    store: Vec<u64>,
     rng: ring_sim::rng::SplitMix64,
 }
 
@@ -344,16 +388,29 @@ impl PhaseState {
         self.id + 1
     }
 
+    /// Records the collected data value of processor `i`.
+    #[inline]
+    fn set_data(&mut self, i: usize, x: u64) {
+        self.store[i] = x;
+    }
+
+    /// Records round `r`'s validation value.
+    #[inline]
+    fn set_val(&mut self, r: usize, y: u64) {
+        self.store[self.params.n + r] = y;
+    }
+
     fn output(&self) -> u64 {
+        let (data, vals) = self.store.split_at(self.params.n);
         match self.rule {
-            OutputRule::Random(f) => f.eval(&self.data, &self.vals[1..=self.params.vals_in_f()]),
-            OutputRule::Sum => self.data.iter().sum::<u64>() % self.params.n as u64,
+            OutputRule::Random(f) => f.eval(data, &vals[1..=self.params.vals_in_f()]),
+            OutputRule::Sum => data.iter().sum::<u64>() % self.params.n as u64,
         }
     }
 }
 
 /// A normal phase processor (`id >= 1`).
-struct PhaseNormal {
+pub struct PhaseNormal {
     s: PhaseState,
 }
 
@@ -370,7 +427,7 @@ impl Node<PhaseMsg> for PhaseNormal {
                 ctx.send(PhaseMsg::Data(s.buffer));
                 s.buffer = x;
                 // Round r delivers the data value of processor id − r (mod n).
-                s.data[(s.id + n - (s.round % n)) % n] = x;
+                s.set_data((s.id + n - (s.round % n)) % n, x);
                 if s.round == s.validator_round() {
                     s.v_own = s.rng.next_below(s.params.m);
                     ctx.send(PhaseMsg::Val(s.v_own));
@@ -390,9 +447,9 @@ impl Node<PhaseMsg> for PhaseNormal {
                         ctx.abort();
                         return;
                     }
-                    s.vals[s.round] = s.v_own; // absorb; do not forward
+                    s.set_val(s.round, s.v_own); // absorb; do not forward
                 } else {
-                    s.vals[s.round] = y;
+                    s.set_val(s.round, y);
                     ctx.send(PhaseMsg::Val(y));
                 }
                 if s.round == n {
@@ -410,14 +467,14 @@ impl Node<PhaseMsg> for PhaseNormal {
 /// `Val(v_1)`, and thereafter launches round `r + 1`'s data wave only
 /// after forwarding round `r`'s validation value — the pacing that keeps
 /// the ring synchronized.
-struct PhaseOrigin {
+pub struct PhaseOrigin {
     s: PhaseState,
 }
 
 impl Node<PhaseMsg> for PhaseOrigin {
     fn on_wake(&mut self, ctx: &mut Ctx<'_, PhaseMsg>) {
         let s = &mut self.s;
-        s.data[0] = s.d;
+        s.set_data(0, s.d);
         s.round = 1;
         ctx.send(PhaseMsg::Data(s.d));
         s.v_own = s.rng.next_below(s.params.m);
@@ -432,7 +489,7 @@ impl Node<PhaseMsg> for PhaseOrigin {
                 s.expect_data = false;
                 let x = x % n as u64;
                 // Round r delivers the data value of processor n − r (mod n).
-                s.data[(n - (s.round % n)) % n] = x;
+                s.set_data((n - (s.round % n)) % n, x);
                 s.buffer = x;
                 if s.round == n && x != s.d {
                     ctx.abort();
@@ -446,9 +503,9 @@ impl Node<PhaseMsg> for PhaseOrigin {
                         ctx.abort();
                         return;
                     }
-                    s.vals[1] = s.v_own; // absorb own validation value
+                    s.set_val(1, s.v_own); // absorb own validation value
                 } else {
-                    s.vals[s.round] = y;
+                    s.set_val(s.round, y);
                     ctx.send(PhaseMsg::Val(y));
                 }
                 if s.round == n {

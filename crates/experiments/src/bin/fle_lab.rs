@@ -7,14 +7,22 @@
 //! fle-lab --threads 4 all          # cap the worker pool for everything
 //! fle-lab sweep --protocol phase --n 64 --trials 10000 --seed 1 \
 //!         --threads 8 --format json
+//! fle-lab bench-baseline --out BENCH_3.json   # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic `fle-harness` batch and
 //! prints the aggregated [`fle_harness::TrialReport`] as JSON (default) or
 //! CSV on stdout. Output is byte-identical for every `--threads` value.
+//!
+//! The `bench-baseline` subcommand measures the honest monomorphized
+//! engine path (ns/trial for the canonical sweep workloads, single
+//! thread) and writes a machine-readable JSON snapshot, so successive PRs
+//! accumulate a perf trajectory (`BENCH_<pr>.json`) that can be diffed.
 
 use fle_experiments::{find, EXPERIMENTS};
-use fle_harness::{run_sweep, set_default_threads, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{
+    run_sweep, set_default_threads, sha256_hex, BatchConfig, ProtocolKind, SweepConfig,
+};
 
 fn print_registry() {
     eprintln!("experiments:");
@@ -26,6 +34,7 @@ fn print_registry() {
         "       fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N> \
          [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]"
     );
+    eprintln!("       fle-lab bench-baseline [--out PATH] [--quick]");
 }
 
 fn usage() -> ! {
@@ -134,8 +143,150 @@ fn run_sweep_cli(args: &[String]) {
     );
 }
 
+/// Single-threaded per-trial timings of the pre-optimization (PR 2)
+/// engine on the canonical workloads, measured on the reference container
+/// right before the zero-allocation/monomorphization refactor landed.
+/// Kept here so every `bench-baseline` snapshot records its improvement
+/// against the same origin point of the trajectory.
+const PR2_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 7_528.0),
+    ("phase_n64", 360_000.0),
+    ("alead_n64", 160_000.0),
+];
+
+/// Times one single-threaded sweep and returns ns/trial.
+fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
+    let cfg = SweepConfig {
+        protocol,
+        n,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 1,
+            threads: 1,
+        },
+    };
+    // One short warmup batch so page faults and lazy init don't bill the
+    // measured run.
+    let _ = run_sweep(&SweepConfig {
+        batch: BatchConfig {
+            trials: (trials / 10).max(1),
+            ..cfg.batch
+        },
+        ..cfg
+    });
+    let start = std::time::Instant::now();
+    let _ = run_sweep(&cfg);
+    start.elapsed().as_secs_f64() * 1e9 / trials as f64
+}
+
+fn run_bench_baseline(args: &[String]) {
+    let mut out_path = String::from("BENCH_3.json");
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "-o" => {
+                out_path = parse_arg(args, i + 1, "--out");
+                i += 2;
+            }
+            "--quick" | "-q" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown bench-baseline argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = if quick { 10 } else { 1 };
+    let workloads: [(&str, ProtocolKind, usize, u64); 3] = [
+        ("phase_n8", ProtocolKind::PhaseAsyncLead, 8, 50_000 / scale),
+        ("phase_n64", ProtocolKind::PhaseAsyncLead, 64, 5_000 / scale),
+        ("alead_n64", ProtocolKind::ALeadUni, 64, 5_000 / scale),
+    ];
+    // Snapshots are named after their output file (BENCH_3.json →
+    // "BENCH_3"), so per-PR trajectory files label themselves.
+    let label = std::path::Path::new(&out_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .to_string();
+    let mut measured: Vec<(&str, f64)> = Vec::new();
+    for (key, protocol, n, trials) in workloads {
+        let ns = time_sweep(protocol, n, trials);
+        eprintln!("  [bench-baseline {key}: {ns:.0} ns/trial over {trials} trials]");
+        measured.push((key, ns));
+    }
+    // The recorded-table workload: the full 10k-trial PhaseAsyncLead n=64
+    // sweep, wall-clock plus output fingerprint (the sha proves the timed
+    // run produced the golden bytes).
+    let sweep_trials = 10_000 / scale;
+    let start = std::time::Instant::now();
+    let report = run_sweep(&SweepConfig {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 64,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials: sweep_trials,
+            base_seed: 1,
+            threads: 1,
+        },
+    });
+    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sweep_sha = sha256_hex(report.to_json().as_bytes());
+    eprintln!("  [bench-baseline sweep_phase_n64: {sweep_ms:.0} ms for {sweep_trials} trials]");
+
+    let fmt_map = |entries: &[(&str, f64)]| {
+        entries
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let improvements: Vec<(&str, f64)> = measured
+        .iter()
+        .filter_map(|&(key, ns)| {
+            PR2_NS_PER_TRIAL
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, base)| (key, (1.0 - ns / base) * 100.0))
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"{}\",\"description\":\"honest monomorphized engine path, ",
+            "single thread, ns per trial\",\"quick\":{},",
+            "\"ns_per_trial\":{{{}}},",
+            "\"baseline_pr2_ns_per_trial\":{{{}}},",
+            "\"improvement_pct\":{{{}}},",
+            "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
+        ),
+        label,
+        quick,
+        fmt_map(&measured),
+        fmt_map(&PR2_NS_PER_TRIAL),
+        fmt_map(&improvements),
+        sweep_trials,
+        sweep_ms,
+        sweep_sha,
+    );
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{json}");
+    eprintln!("  [bench-baseline written to {out_path}]");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("bench-baseline") {
+        run_bench_baseline(&args[1..]);
+        return;
+    }
 
     // `sweep` is a subcommand with its own flags; recognize it before or
     // after the global `--threads N` pair so both orderings work.

@@ -55,10 +55,12 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod digest;
 mod report;
 mod sweep;
 
 pub use batch::{default_threads, par_seeds, run_batch, set_default_threads, BatchConfig};
+pub use digest::sha256_hex;
 pub use report::{FailCounts, MetricSummary, TrialOutcome, TrialReport};
 pub use sweep::{run_sweep, ProtocolKind, SweepConfig};
 

@@ -5,6 +5,12 @@
 //! formatting, and field order is pinned — so two [`TrialReport`]s built
 //! from the same `(protocol, n, trials, base_seed)` serialize identically
 //! no matter how many threads ran the batch.
+//!
+//! Allocation discipline: [`TrialOutcome`] is `Copy` (trials reduce to it
+//! with no per-trial heap traffic), and aggregation makes a constant
+//! number of batch-level allocations (the win vector plus one
+//! pre-capacitated sample vector per metric, sorted in place) — there is
+//! no per-trial `Vec` churn anywhere between the engine and the report.
 
 use ring_sim::{Execution, FailReason, Outcome};
 

@@ -1,8 +1,11 @@
 //! Protocol-level batch sweeps with per-worker engine reuse.
 
 use crate::{run_batch, BatchConfig, TrialOutcome, TrialReport};
-use fle_core::protocols::{ALeadUni, BasicLead, PhaseAsyncLead, PhaseMsg, PhaseSumLead};
-use ring_sim::{Engine, Topology};
+use fle_core::protocols::{
+    run_ring_honest_into, ALeadNode, ALeadUni, BasicLead, BasicNode, PhaseAsyncLead, PhaseMsg,
+    PhaseNode, PhaseSumLead,
+};
+use ring_sim::{Engine, Execution, FifoScheduler, Node, NodeId, Topology};
 
 /// The ring protocols the harness can sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,13 +77,56 @@ pub struct SweepConfig {
     pub batch: BatchConfig,
 }
 
+/// Per-worker state of one honest protocol sweep: a reusable [`Engine`],
+/// the monomorphized node vector, the (constant) wake list, a pooled FIFO
+/// scheduler and the reused [`Execution`] out-parameter. Once every buffer
+/// has reached its steady-state capacity, a trial performs no allocation
+/// in the engine or the harness — only what the node behaviours themselves
+/// allocate.
+struct SweepWorker<M, N> {
+    engine: Engine<M>,
+    nodes: Vec<N>,
+    wakes: Vec<NodeId>,
+    scheduler: FifoScheduler,
+    exec: Execution,
+}
+
+impl<M, N: Node<M>> SweepWorker<M, N> {
+    fn new(n: usize, wakes: Vec<NodeId>) -> Self {
+        Self {
+            engine: Engine::new(Topology::ring(n)),
+            nodes: Vec::with_capacity(n),
+            wakes,
+            scheduler: FifoScheduler::new(),
+            exec: Execution::default(),
+        }
+    }
+
+    /// Runs one honest trial through the monomorphized engine fast path,
+    /// reusing every worker buffer, and reduces it to its [`TrialOutcome`].
+    fn trial(&mut self, honest: impl FnMut(NodeId) -> N) -> TrialOutcome {
+        let n = self.engine.topology().len();
+        run_ring_honest_into(
+            &mut self.engine,
+            n,
+            honest,
+            &self.wakes,
+            &mut self.nodes,
+            &mut self.scheduler,
+            &mut self.exec,
+        );
+        TrialOutcome::of(&self.exec)
+    }
+}
+
 /// Runs `batch.trials` honest executions of the configured protocol, one
 /// deterministic seed per trial, and aggregates them into a
 /// [`TrialReport`].
 ///
-/// Each worker thread owns one reusable [`Engine`] for the ring, so trial
-/// setup allocates only the node behaviours. The report (and its JSON/CSV
-/// serializations) is byte-identical for every thread count.
+/// Each worker thread owns one sweep worker — a reusable [`Engine`] plus
+/// monomorphized node, scheduler and result buffers — so steady-state
+/// trials allocate only the node behaviours' own state. The report (and
+/// its JSON/CSV serializations) is byte-identical for every thread count.
 ///
 /// # Panics
 ///
@@ -90,35 +136,36 @@ pub fn run_sweep(cfg: &SweepConfig) -> TrialReport {
     let outcomes = match cfg.protocol {
         ProtocolKind::BasicLead => run_batch(
             &cfg.batch,
-            || Engine::<u64>::new(Topology::ring(n)),
-            |engine, _i, seed| {
-                TrialOutcome::of(&BasicLead::new(n).with_seed(seed).run_honest_in(engine))
+            || SweepWorker::<u64, BasicNode>::new(n, BasicLead::new(n).wakes()),
+            |w, _i, seed| {
+                let p = BasicLead::new(n).with_seed(seed);
+                w.trial(|id| p.honest_ring_node(id))
             },
         ),
         ProtocolKind::ALeadUni => run_batch(
             &cfg.batch,
-            || Engine::<u64>::new(Topology::ring(n)),
-            |engine, _i, seed| {
-                TrialOutcome::of(&ALeadUni::new(n).with_seed(seed).run_honest_in(engine))
+            || SweepWorker::<u64, ALeadNode>::new(n, ALeadUni::new(n).wakes()),
+            |w, _i, seed| {
+                let p = ALeadUni::new(n).with_seed(seed);
+                w.trial(|id| p.honest_ring_node(id))
             },
         ),
         ProtocolKind::PhaseAsyncLead => run_batch(
             &cfg.batch,
-            || Engine::<PhaseMsg>::new(Topology::ring(n)),
-            |engine, _i, seed| {
-                TrialOutcome::of(
-                    &PhaseAsyncLead::new(n)
-                        .with_seed(seed)
-                        .with_fn_key(cfg.fn_key)
-                        .run_honest_in(engine),
-                )
+            || SweepWorker::<PhaseMsg, PhaseNode>::new(n, PhaseAsyncLead::new(n).wakes()),
+            |w, _i, seed| {
+                let p = PhaseAsyncLead::new(n)
+                    .with_seed(seed)
+                    .with_fn_key(cfg.fn_key);
+                w.trial(|id| p.honest_ring_node(id))
             },
         ),
         ProtocolKind::PhaseSumLead => run_batch(
             &cfg.batch,
-            || Engine::<PhaseMsg>::new(Topology::ring(n)),
-            |engine, _i, seed| {
-                TrialOutcome::of(&PhaseSumLead::new(n).with_seed(seed).run_honest_in(engine))
+            || SweepWorker::<PhaseMsg, PhaseNode>::new(n, PhaseSumLead::new(n).wakes()),
+            |w, _i, seed| {
+                let p = PhaseSumLead::new(n).with_seed(seed);
+                w.trial(|id| p.honest_ring_node(id))
             },
         ),
     };

@@ -1,16 +1,27 @@
 //! The discrete-event execution engine.
 
-use crate::node::{Ctx, Node};
-use crate::outcome::{outcome_of, Outcome};
+use crate::node::{Ctx, Node, SendBuf};
+use crate::outcome::{outcome_of, FailReason, Outcome};
 use crate::probe::Probe;
 use crate::scheduler::{FifoScheduler, Scheduler, Token};
-use crate::topology::{NodeId, Topology};
+use crate::topology::{EdgeId, NodeId, Topology};
 use std::collections::VecDeque;
 
 /// Default step limit for a topology of `n` nodes: generous enough for any
 /// protocol in this workspace (`A-LEADuni` delivers `n²` messages,
 /// `PhaseAsyncLead` delivers `2n²`).
-pub const DEFAULT_STEP_LIMIT: fn(usize) -> u64 = |n| 16 * (n as u64) * (n as u64) + 4096;
+///
+/// A `const fn`, so callers evaluate it once up front — no fn-pointer
+/// indirection on any path near the engine loop.
+pub const fn default_step_limit(n: usize) -> u64 {
+    16 * (n as u64) * (n as u64) + 4096
+}
+
+/// Maximum number of entries the dense `(node, successor) → edge` table
+/// may hold (`n²` entries of 4 bytes, so at most 4 MiB per engine). Larger
+/// topologies fall back to the per-node linear scan, which is fine there:
+/// a topology that big is never swept trial-by-trial.
+const DENSE_EDGE_TABLE_MAX: usize = 1 << 20;
 
 /// Builder wiring nodes, topology, wake-ups, scheduler and probe into one
 /// runnable simulation.
@@ -70,7 +81,7 @@ impl<'p, M> SimBuilder<'p, M> {
             nodes: (0..n).map(|_| None).collect(),
             wakes: Vec::new(),
             scheduler: Box::new(FifoScheduler::new()),
-            step_limit: DEFAULT_STEP_LIMIT(n),
+            step_limit: default_step_limit(n),
             probe: None,
         }
     }
@@ -208,14 +219,21 @@ impl<'p, M> SimBuilder<'p, M> {
 /// ```
 pub struct Engine<M> {
     topology: Topology,
+    n: usize,
     out_neighbors: Vec<Vec<NodeId>>,
-    /// Per-node map from successor id to edge id (out-degrees are tiny,
-    /// linear scan is fastest).
-    out_edge_of: Vec<Vec<(NodeId, usize)>>,
+    /// Dense `(node, successor) → edge` table: entry `me * n + to` is the
+    /// edge id of the link `me → to`, or `u32::MAX` when absent. Empty when
+    /// the topology is too large ([`DENSE_EDGE_TABLE_MAX`]).
+    edge_of_dense: Vec<u32>,
+    /// Per-node `(successor, edge)` fallback list for topologies too large
+    /// for the dense table.
+    out_edge_of: Vec<Vec<(NodeId, EdgeId)>>,
     queues: Vec<VecDeque<M>>,
     outputs: Vec<Option<Option<u64>>>,
     sent: Vec<u64>,
     received: Vec<u64>,
+    /// Reusable per-activation send buffer lent to [`Ctx`].
+    sends: SendBuf<M>,
 }
 
 impl<M> std::fmt::Debug for Engine<M> {
@@ -231,7 +249,7 @@ impl<M> Engine<M> {
     pub fn new(topology: Topology) -> Self {
         let n = topology.len();
         let out_neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| topology.out_neighbors(i)).collect();
-        let out_edge_of: Vec<Vec<(NodeId, usize)>> = (0..n)
+        let out_edge_of: Vec<Vec<(NodeId, EdgeId)>> = (0..n)
             .map(|i| {
                 topology
                     .out_edges(i)
@@ -240,17 +258,33 @@ impl<M> Engine<M> {
                     .collect()
             })
             .collect();
+        let edge_of_dense = if n
+            .checked_mul(n)
+            .is_some_and(|nn| nn <= DENSE_EDGE_TABLE_MAX)
+            && topology.edges().len() < u32::MAX as usize
+        {
+            let mut table = vec![u32::MAX; n * n];
+            for (e, &(from, to)) in topology.edges().iter().enumerate() {
+                table[from * n + to] = e as u32;
+            }
+            table
+        } else {
+            Vec::new()
+        };
         let queues = (0..topology.edges().len())
             .map(|_| VecDeque::new())
             .collect();
         Self {
             topology,
+            n,
             out_neighbors,
+            edge_of_dense,
             out_edge_of,
             queues,
             outputs: vec![None; n],
             sent: vec![0; n],
             received: vec![0; n],
+            sends: SendBuf::default(),
         }
     }
 
@@ -270,13 +304,20 @@ impl<M> Engine<M> {
         self.outputs.fill(None);
         self.sent.fill(0);
         self.received.fill(0);
+        self.sends.clear();
     }
 
     /// Runs one trial with the given step limit and no probe.
     ///
     /// `nodes[i]` is the behaviour of node `i`; `wakes` lists the
-    /// spontaneously waking nodes in wake order. The engine is reset first,
-    /// so back-to-back calls are independent trials.
+    /// spontaneously waking nodes in wake order. The engine is reset first
+    /// (and the scheduler cleared), so back-to-back calls are independent
+    /// trials.
+    ///
+    /// This is the boxed-clone convenience path: it allocates a fresh
+    /// [`Execution`] per call. Batch aggregation should use
+    /// [`Engine::run_into`] (or [`Engine::run_mono_into`]) with a reused
+    /// out-parameter instead.
     ///
     /// # Panics
     ///
@@ -288,7 +329,30 @@ impl<M> Engine<M> {
         scheduler: &mut dyn Scheduler,
         step_limit: u64,
     ) -> Execution {
-        self.run_session(nodes, wakes, scheduler, step_limit, None)
+        let mut out = Execution::default();
+        self.session_core(nodes, wakes, scheduler, step_limit, None, &mut out);
+        out
+    }
+
+    /// [`Engine::run`] writing the result into a caller-owned
+    /// [`Execution`] instead of allocating a fresh one.
+    ///
+    /// `out`'s buffers are cleared and refilled in place, so a worker that
+    /// reuses one `Execution` across a batch performs zero per-trial
+    /// allocation on this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run_into(
+        &mut self,
+        nodes: &mut [Box<dyn Node<M> + '_>],
+        wakes: &[NodeId],
+        scheduler: &mut dyn Scheduler,
+        step_limit: u64,
+        out: &mut Execution,
+    ) {
+        self.session_core(nodes, wakes, scheduler, step_limit, None, out);
     }
 
     /// [`Engine::run`] with an optional instrumentation probe.
@@ -302,11 +366,71 @@ impl<M> Engine<M> {
         wakes: &[NodeId],
         scheduler: &mut dyn Scheduler,
         step_limit: u64,
-        mut probe: Option<&mut dyn Probe<M>>,
+        probe: Option<&mut dyn Probe<M>>,
     ) -> Execution {
-        let n = self.topology.len();
-        assert_eq!(nodes.len(), n, "need one behaviour per node");
+        let mut out = Execution::default();
+        self.session_core(nodes, wakes, scheduler, step_limit, probe, &mut out);
+        out
+    }
+
+    /// The monomorphized honest fast path: like [`Engine::run`], but the
+    /// node behaviours are a homogeneous `&mut [N]` — no `Box`, no vtable
+    /// dispatch per activation, and the scheduler calls are statically
+    /// dispatched too. The protocol crates' `run_honest_in` entries route
+    /// through here; `Box<dyn Node>` remains available (via
+    /// [`Engine::run`]) for heterogeneous protocol/attack mixes.
+    ///
+    /// Produces bit-identical [`Execution`]s to [`Engine::run`] over the
+    /// equivalent boxed behaviours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run_mono<N: Node<M>, S: Scheduler + ?Sized>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        scheduler: &mut S,
+        step_limit: u64,
+    ) -> Execution {
+        let mut out = Execution::default();
+        self.session_core(nodes, wakes, scheduler, step_limit, None, &mut out);
+        out
+    }
+
+    /// [`Engine::run_mono`] writing into a caller-owned [`Execution`] —
+    /// the zero-allocation batch-trial entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run_mono_into<N: Node<M>, S: Scheduler + ?Sized>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        scheduler: &mut S,
+        step_limit: u64,
+        out: &mut Execution,
+    ) {
+        self.session_core(nodes, wakes, scheduler, step_limit, None, out);
+    }
+
+    /// The engine loop, generic over node storage and scheduler so the
+    /// honest batch path monomorphizes end to end. Every public `run*`
+    /// entry funnels here, which is what keeps the boxed and mono paths
+    /// bit-identical by construction.
+    fn session_core<N: Node<M>, S: Scheduler + ?Sized>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        scheduler: &mut S,
+        step_limit: u64,
+        mut probe: Option<&mut dyn Probe<M>>,
+        out: &mut Execution,
+    ) {
+        assert_eq!(nodes.len(), self.n, "need one behaviour per node");
         self.reset();
+        scheduler.clear();
 
         let mut delivered = 0u64;
         let mut steps = 0u64;
@@ -325,10 +449,7 @@ impl<M> Engine<M> {
             match token {
                 Token::Wake(i) => {
                     if self.outputs[i].is_none() {
-                        let mut ctx = Ctx::new(i, &self.out_neighbors[i]);
-                        nodes[i].on_wake(&mut ctx);
-                        let Ctx { sends, output, .. } = ctx;
-                        self.apply(i, sends, output, scheduler, &mut probe);
+                        self.activate(nodes, i, None, scheduler, &mut probe);
                     }
                 }
                 Token::Deliver(edge) => {
@@ -342,56 +463,77 @@ impl<M> Engine<M> {
                         p.on_deliver(from, to, &msg, &self.received);
                     }
                     if self.outputs[to].is_none() {
-                        let mut ctx = Ctx::new(to, &self.out_neighbors[to]);
-                        nodes[to].on_message(from, msg, &mut ctx);
-                        let Ctx { sends, output, .. } = ctx;
-                        self.apply(to, sends, output, scheduler, &mut probe);
+                        self.activate(nodes, to, Some((from, msg)), scheduler, &mut probe);
                     }
                 }
             }
         }
 
-        let outcome = outcome_of(&self.outputs, !hit_limit);
-        Execution {
-            outcome,
-            outputs: self.outputs.clone(),
-            stats: Stats {
-                steps,
-                delivered,
-                sent: self.sent.clone(),
-                received: self.received.clone(),
-            },
-        }
+        out.outcome = outcome_of(&self.outputs, !hit_limit);
+        out.outputs.clear();
+        out.outputs.extend_from_slice(&self.outputs);
+        out.stats.steps = steps;
+        out.stats.delivered = delivered;
+        out.stats.sent.clear();
+        out.stats.sent.extend_from_slice(&self.sent);
+        out.stats.received.clear();
+        out.stats.received.extend_from_slice(&self.received);
     }
 
-    /// Applies the buffered actions of one activation: enqueue sends on
-    /// their links, record a terminal output.
-    fn apply(
+    /// Runs one activation of node `me` (a wake-up when `incoming` is
+    /// `None`, a delivery otherwise) and applies its buffered actions:
+    /// enqueue sends on their links, record a terminal output.
+    #[inline]
+    fn activate<N: Node<M>, S: Scheduler + ?Sized>(
         &mut self,
+        nodes: &mut [N],
         me: NodeId,
-        sends: Vec<(NodeId, M)>,
-        output: Option<Option<u64>>,
-        scheduler: &mut dyn Scheduler,
+        incoming: Option<(NodeId, M)>,
+        scheduler: &mut S,
         probe: &mut Option<&mut dyn Probe<M>>,
     ) {
-        for (to, msg) in sends {
-            let edge = self.out_edge_of[me]
-                .iter()
-                .find(|&&(t, _)| t == to)
-                .map(|&(_, e)| e)
-                .expect("Ctx validated the link exists");
+        // Lend the engine's persistent buffer to the Ctx for the duration
+        // of the activation; it comes back empty with capacity retained.
+        let mut sends = std::mem::take(&mut self.sends);
+        let mut ctx = Ctx::new(me, &self.out_neighbors[me], &mut sends);
+        match incoming {
+            Some((from, msg)) => nodes[me].on_message(from, msg, &mut ctx),
+            None => nodes[me].on_wake(&mut ctx),
+        }
+        let output = ctx.output;
+        sends.drain_with(|to, msg| {
+            let edge = self.edge_to(me, to);
             self.sent[me] += 1;
             if let Some(p) = probe.as_deref_mut() {
                 p.on_send(me, to, &msg, &self.sent);
             }
             self.queues[edge].push_back(msg);
             scheduler.push(Token::Deliver(edge));
-        }
+        });
+        self.sends = sends;
         if let Some(out) = output {
             self.outputs[me] = Some(out);
             if let Some(p) = probe.as_deref_mut() {
                 p.on_terminate(me, out);
             }
+        }
+    }
+
+    /// Resolves the edge id of the link `me → to` — O(1) through the dense
+    /// table on every topology a sweep would use, linear scan beyond
+    /// [`DENSE_EDGE_TABLE_MAX`].
+    #[inline]
+    fn edge_to(&self, me: NodeId, to: NodeId) -> EdgeId {
+        if !self.edge_of_dense.is_empty() {
+            let e = self.edge_of_dense[me * self.n + to];
+            debug_assert_ne!(e, u32::MAX, "Ctx validated the link exists");
+            e as EdgeId
+        } else {
+            self.out_edge_of[me]
+                .iter()
+                .find(|&&(t, _)| t == to)
+                .map(|&(_, e)| e)
+                .expect("Ctx validated the link exists")
         }
     }
 }
@@ -408,8 +550,23 @@ pub struct Execution {
     pub stats: Stats,
 }
 
+impl Default for Execution {
+    /// A pre-run placeholder (failed outcome, empty buffers) intended as
+    /// the out-parameter of [`Engine::run_into`] /
+    /// [`Engine::run_mono_into`], which overwrite every field. Reusing one
+    /// value across a batch keeps the buffers' capacity, so per-trial
+    /// result extraction allocates nothing.
+    fn default() -> Self {
+        Execution {
+            outcome: Outcome::Fail(FailReason::Deadlock),
+            outputs: Vec::new(),
+            stats: Stats::default(),
+        }
+    }
+}
+
 /// Execution counters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total wake-ups plus deliveries processed.
     pub steps: u64,
@@ -633,7 +790,7 @@ mod tests {
                 &mut nodes,
                 &[0],
                 &mut FifoScheduler::new(),
-                DEFAULT_STEP_LIMIT(n),
+                default_step_limit(n),
             );
             assert_eq!(exec, via_builder);
         }
@@ -648,7 +805,7 @@ mod tests {
             &mut nodes,
             &[0],
             &mut FifoScheduler::new(),
-            DEFAULT_STEP_LIMIT(n),
+            default_step_limit(n),
         );
         engine.reset();
         assert!(engine.queues.iter().all(|q| q.is_empty()));
@@ -663,6 +820,113 @@ mod tests {
         let mut engine: Engine<u64> = Engine::new(Topology::ring(3));
         let mut nodes = counter_nodes(2, 6);
         let _ = engine.run(&mut nodes, &[0], &mut FifoScheduler::new(), 100);
+    }
+
+    /// A monomorphic token-ring counter node (no boxing) for the
+    /// `run_mono` paths.
+    struct Counter {
+        n: u64,
+        target: u64,
+        wakes: bool,
+    }
+
+    impl Node<u64> for Counter {
+        fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.wakes {
+                ctx.send(1);
+            }
+        }
+
+        fn on_message(&mut self, _from: usize, m: u64, ctx: &mut Ctx<'_, u64>) {
+            if m >= self.target {
+                if m < self.target + self.n - 1 {
+                    ctx.send(m + 1);
+                }
+                ctx.terminate(Some(self.target));
+            } else {
+                ctx.send(m + 1);
+            }
+        }
+    }
+
+    fn mono_nodes(n: usize, target: u64) -> Vec<Counter> {
+        (0..n)
+            .map(|i| Counter {
+                n: n as u64,
+                target,
+                wakes: i == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_into_and_run_mono_match_run() {
+        let n = 5;
+        let target = 3 * n as u64;
+        let mut engine = Engine::new(Topology::ring(n));
+        let reference = engine.run(
+            &mut counter_nodes(n, target),
+            &[0],
+            &mut FifoScheduler::new(),
+            default_step_limit(n),
+        );
+
+        let mut reused = Execution::default();
+        let mut scheduler = FifoScheduler::new();
+        for _ in 0..3 {
+            engine.run_into(
+                &mut counter_nodes(n, target),
+                &[0],
+                &mut scheduler,
+                default_step_limit(n),
+                &mut reused,
+            );
+            assert_eq!(reused, reference);
+
+            let mut mono = mono_nodes(n, target);
+            let exec = engine.run_mono(&mut mono, &[0], &mut scheduler, default_step_limit(n));
+            assert_eq!(exec, reference);
+
+            engine.run_mono_into(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut scheduler,
+                default_step_limit(n),
+                &mut reused,
+            );
+            assert_eq!(reused, reference);
+        }
+    }
+
+    #[test]
+    fn run_clears_a_dirty_scheduler() {
+        // A stale token left over from an aborted run must not leak into
+        // the next trial.
+        let n = 4;
+        let mut engine = Engine::new(Topology::ring(n));
+        let mut scheduler = FifoScheduler::new();
+        scheduler.push(Token::Wake(2));
+        let exec = engine.run_mono(
+            &mut mono_nodes(n, 3 * n as u64),
+            &[0],
+            &mut scheduler,
+            default_step_limit(n),
+        );
+        assert_eq!(exec.outcome, Outcome::Elected(3 * n as u64));
+    }
+
+    #[test]
+    fn dense_edge_table_matches_topology_lookup() {
+        let topo = Topology::complete(6);
+        let engine: Engine<u64> = Engine::new(topo.clone());
+        assert!(!engine.edge_of_dense.is_empty());
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert_eq!(engine.edge_to(a, b), topo.edge_id(a, b).unwrap());
+                }
+            }
+        }
     }
 
     #[test]

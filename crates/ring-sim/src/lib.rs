@@ -75,7 +75,7 @@ mod scheduler;
 pub mod sync;
 mod topology;
 
-pub use engine::{Engine, Execution, SimBuilder, Stats, DEFAULT_STEP_LIMIT};
+pub use engine::{default_step_limit, Engine, Execution, SimBuilder, Stats};
 pub use node::{Ctx, FnNode, Node};
 pub use outcome::{FailReason, Outcome};
 pub use probe::{DeliveryCountProbe, MessageLogProbe, NoProbe, Probe, SyncGapProbe};

@@ -43,6 +43,17 @@ pub trait Scheduler {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Discards all pending tokens, retaining backing storage where the
+    /// implementation can. The engine clears the scheduler at the start of
+    /// every run, so one scheduler can be reused across a whole batch of
+    /// trials without reallocating its token storage.
+    ///
+    /// The default implementation pops until empty; implementations with
+    /// clearable storage override it.
+    fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
 }
 
 /// Delivers in global send order (a breadth-first, maximally fair schedule).
@@ -63,16 +74,23 @@ impl FifoScheduler {
 }
 
 impl Scheduler for FifoScheduler {
+    #[inline]
     fn push(&mut self, token: Token) {
         self.queue.push_back(token);
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<Token> {
         self.queue.pop_front()
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
     }
 }
 
@@ -91,16 +109,23 @@ impl LifoScheduler {
 }
 
 impl Scheduler for LifoScheduler {
+    #[inline]
     fn push(&mut self, token: Token) {
         self.stack.push(token);
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<Token> {
         self.stack.pop()
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.stack.len()
+    }
+
+    fn clear(&mut self) {
+        self.stack.clear();
     }
 }
 
@@ -123,13 +148,24 @@ impl RandomScheduler {
             rng: SplitMix64::new(seed),
         }
     }
+
+    /// Discards pending tokens (keeping their storage) and restarts the
+    /// random stream from `seed` — equivalent to `*self = Self::new(seed)`
+    /// without the reallocation, so one scheduler serves a whole batch of
+    /// differently-seeded trials.
+    pub fn reseed(&mut self, seed: u64) {
+        self.tokens.clear();
+        self.rng = SplitMix64::new(seed);
+    }
 }
 
 impl Scheduler for RandomScheduler {
+    #[inline]
     fn push(&mut self, token: Token) {
         self.tokens.push(token);
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<Token> {
         if self.tokens.is_empty() {
             return None;
@@ -138,8 +174,13 @@ impl Scheduler for RandomScheduler {
         Some(self.tokens.swap_remove(i))
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.tokens.len()
+    }
+
+    fn clear(&mut self) {
+        self.tokens.clear();
     }
 }
 
@@ -248,6 +289,12 @@ impl Scheduler for EnumerativeScheduler {
 
     fn len(&self) -> usize {
         self.state.borrow().pending.len()
+    }
+
+    /// Drops pending tokens only — the script, cursor and recorded trace
+    /// survive, so clearing never perturbs an enumeration in progress.
+    fn clear(&mut self) {
+        self.state.borrow_mut().pending.clear();
     }
 }
 
@@ -447,6 +494,52 @@ mod tests {
         });
         assert!(!sweep.truncated);
         assert_eq!(sweep.schedules, 2);
+    }
+
+    #[test]
+    fn clear_empties_and_reseed_restarts_the_stream() {
+        let mut fifo = FifoScheduler::new();
+        fifo.push(Token::Wake(0));
+        fifo.push(Token::Deliver(1));
+        fifo.clear();
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.pop(), None);
+
+        let mut lifo = LifoScheduler::new();
+        lifo.push(Token::Wake(0));
+        lifo.clear();
+        assert!(lifo.is_empty());
+
+        // After reseed, a RandomScheduler behaves exactly like a fresh one
+        // with that seed, token storage notwithstanding.
+        let drain = |s: &mut RandomScheduler| {
+            for i in 0..20 {
+                s.push(Token::Deliver(i));
+            }
+            let mut order = Vec::new();
+            while let Some(t) = s.pop() {
+                order.push(t);
+            }
+            order
+        };
+        let mut reused = RandomScheduler::new(1);
+        let first = drain(&mut reused);
+        reused.push(Token::Wake(9)); // stale token a reseed must discard
+        reused.reseed(5);
+        let reused_order = drain(&mut reused);
+        assert_eq!(reused_order, drain(&mut RandomScheduler::new(5)));
+        assert_ne!(reused_order, first);
+    }
+
+    #[test]
+    fn enumerative_clear_preserves_trace() {
+        let mut s = EnumerativeScheduler::new();
+        s.push(Token::Deliver(0));
+        assert!(s.pop().is_some());
+        s.push(Token::Deliver(1));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.trace().len(), 1, "clear must not record choices");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Differential tests of the engine's execution paths.
+//!
+//! The engine exposes one semantics through several entry points tuned for
+//! different callers: the one-shot `SimBuilder` (fresh working set per
+//! run), the boxed `Engine::run` / `Engine::run_into` (allocation reuse
+//! over `Box<dyn Node>`), and the monomorphized `Engine::run_mono` /
+//! `run_mono_into` honest fast path (no boxing, static dispatch). Every
+//! pair must produce *identical* `Execution`s — outcome, per-node outputs,
+//! and every counter — for every protocol, ring size and seed. These
+//! property tests are the oracle that keeps the fast paths honest.
+
+use fle_core::protocols::{
+    run_ring_honest_in, ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead,
+};
+use proptest::prelude::*;
+use ring_sim::{default_step_limit, Engine, Execution, FifoScheduler, Node, Topology};
+
+/// Drives one protocol instance through every engine entry point against
+/// the `SimBuilder` reference execution. The engine and the `run_into`
+/// out-parameter are reused across paths, so buffer-reuse bugs surface as
+/// cross-run contamination.
+fn assert_paths_agree<M: 'static, N: Node<M>>(
+    n: usize,
+    wakes: &[usize],
+    reference: &Execution,
+    engine: &mut Engine<M>,
+    mut boxed: impl FnMut() -> Vec<Box<dyn Node<M>>>,
+    mut mono: impl FnMut(usize) -> N,
+) {
+    let limit = default_step_limit(n);
+
+    let via_run = engine.run(&mut boxed(), wakes, &mut FifoScheduler::new(), limit);
+    assert_eq!(&via_run, reference, "Engine::run vs SimBuilder");
+
+    // The out-parameter starts dirty (filled by the previous path) and is
+    // reused below — run_into must overwrite it completely each time.
+    let mut out = via_run;
+    engine.run_into(
+        &mut boxed(),
+        wakes,
+        &mut FifoScheduler::new(),
+        limit,
+        &mut out,
+    );
+    assert_eq!(&out, reference, "Engine::run_into vs SimBuilder");
+
+    let mut mono_nodes: Vec<N> = (0..n).map(&mut mono).collect();
+    let mut scheduler = FifoScheduler::new();
+    let via_mono = engine.run_mono(&mut mono_nodes, wakes, &mut scheduler, limit);
+    assert_eq!(&via_mono, reference, "Engine::run_mono vs SimBuilder");
+
+    // Reused scheduler + reused out-parameter: the zero-allocation path.
+    let mut mono_nodes: Vec<N> = (0..n).map(&mut mono).collect();
+    engine.run_mono_into(&mut mono_nodes, wakes, &mut scheduler, limit, &mut out);
+    assert_eq!(&out, reference, "Engine::run_mono_into vs SimBuilder");
+
+    let via_honest_in = run_ring_honest_in(engine, n, mono, wakes);
+    assert_eq!(
+        &via_honest_in, reference,
+        "run_ring_honest_in vs SimBuilder"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn basic_lead_paths_agree(seed in any::<u64>(), n in 2usize..24) {
+        let p = BasicLead::new(n).with_seed(seed);
+        let reference = p.run_honest();
+        let mut engine = Engine::new(Topology::ring(n));
+        assert_paths_agree(
+            n,
+            &p.wakes(),
+            &reference,
+            &mut engine,
+            || (0..n).map(|id| p.honest_node(id)).collect(),
+            |id| p.honest_ring_node(id),
+        );
+        prop_assert_eq!(p.run_honest_in(&mut engine), reference);
+    }
+
+    #[test]
+    fn a_lead_uni_paths_agree(seed in any::<u64>(), n in 2usize..24) {
+        let p = ALeadUni::new(n).with_seed(seed);
+        let reference = p.run_honest();
+        let mut engine = Engine::new(Topology::ring(n));
+        assert_paths_agree(
+            n,
+            &p.wakes(),
+            &reference,
+            &mut engine,
+            || (0..n).map(|id| p.honest_node(id)).collect(),
+            |id| p.honest_ring_node(id),
+        );
+        prop_assert_eq!(p.run_honest_in(&mut engine), reference);
+    }
+
+    #[test]
+    fn phase_async_paths_agree(seed in any::<u64>(), key in any::<u64>(), n in 4usize..24) {
+        let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(key);
+        let reference = p.run_honest();
+        let mut engine = Engine::new(Topology::ring(n));
+        assert_paths_agree(
+            n,
+            &p.wakes(),
+            &reference,
+            &mut engine,
+            || (0..n).map(|id| p.honest_node(id)).collect(),
+            |id| p.honest_ring_node(id),
+        );
+        prop_assert_eq!(p.run_honest_in(&mut engine), reference);
+    }
+
+    #[test]
+    fn phase_sum_paths_agree(seed in any::<u64>(), n in 4usize..24) {
+        let p = PhaseSumLead::new(n).with_seed(seed);
+        let reference = p.run_honest();
+        let mut engine = Engine::new(Topology::ring(n));
+        assert_paths_agree(
+            n,
+            &p.wakes(),
+            &reference,
+            &mut engine,
+            || (0..n).map(|id| p.honest_node(id)).collect(),
+            |id| p.honest_ring_node(id),
+        );
+        prop_assert_eq!(p.run_honest_in(&mut engine), reference);
+    }
+}
+
+/// One engine serving many seeds back to back (the sweep worker's actual
+/// life) must match per-seed fresh references throughout.
+#[test]
+fn engine_reuse_across_seeds_matches_fresh_runs() {
+    let n = 9;
+    let mut engine = Engine::new(Topology::ring(n));
+    for seed in 0..40u64 {
+        let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(7);
+        assert_eq!(p.run_honest_in(&mut engine), p.run_honest(), "seed {seed}");
+    }
+}

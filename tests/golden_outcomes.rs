@@ -12,7 +12,7 @@
 //! that is the point.
 
 use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
-use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{run_sweep, sha256_hex, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
 use ring_sim::Execution;
 
 /// Asserts the full observable signature of one honest execution.
@@ -129,6 +129,59 @@ fn sweep_reports_are_pinned() {
         },
     });
     assert_eq!(report.wins, vec![1, 4, 7, 6, 6]);
+}
+
+/// Builds the canonical `PhaseAsyncLead n=64, seed=1, fn_key=0` sweep
+/// config (exactly what `fle_lab sweep --protocol phase --n 64 --seed 1`
+/// runs) — the workload the README's performance numbers and the
+/// `BENCH_3.json` trajectory are stated about.
+fn phase_n64_sweep(trials: u64) -> SweepConfig {
+    SweepConfig {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 64,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 1,
+            threads: 1,
+        },
+    }
+}
+
+/// SHA-256 pin of a mid-size sweep's JSON: cheap enough to run in every
+/// tier-1 pass, yet any drift in RNG consumption, seed derivation, engine
+/// scheduling or report serialization flips it.
+///
+/// The pinned digest was first derived on the pre-optimization (PR 2)
+/// engine; the zero-allocation/monomorphized engine reproducing it proves
+/// the refactor is byte-invisible in output.
+#[test]
+fn sweep_json_sha256_is_pinned() {
+    let report = run_sweep(&phase_n64_sweep(500));
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "b48a93b6398cec11f10e77363e7e00ca7d57eeae94eaa512c600b07f78bf016c"
+    );
+}
+
+/// The full 10 000-trial `PhaseAsyncLead n=64` sweep of the recorded
+/// experiment tables, sha256-pinned against the PR 2 engine's output.
+///
+/// `fle_lab sweep --protocol phase --n 64 --trials 10000 --seed 1` prints
+/// exactly this JSON plus a trailing newline (the newline-inclusive file
+/// digest is `7866a0a0e5c1c7156d59604f002e4188f3fe58761aff96ba345055f97b5b191e`).
+///
+/// Ignored by default (a few seconds of simulation in release, much more
+/// in debug); CI runs it explicitly in release alongside the other golden
+/// suites.
+#[test]
+#[ignore = "multi-second sweep; run explicitly in release (CI does)"]
+fn full_10k_sweep_json_sha256_is_pinned() {
+    let report = run_sweep(&phase_n64_sweep(10_000));
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
+    );
 }
 
 /// The engine-reuse fast path must agree with the pinned builder-path
