@@ -8,9 +8,14 @@
 //! processor would have produced.
 
 use crate::AttackError;
-use fle_core::protocols::BasicLead;
+use fle_core::protocols::{BasicLead, BasicNode, TrialCache};
 use fle_core::{Execution, Node, NodeId};
 use ring_sim::Ctx;
+
+/// [`TrialCache`] for the single-deviator fast path: honest positions run
+/// the concrete [`BasicNode`], the one coalition slot runs the concrete
+/// [`WaitAndCancel`] — the whole mix is monomorphized, zero boxes.
+pub type BasicSingleCache = TrialCache<u64, BasicNode, WaitAndCancel>;
 
 /// The Claim B.1 single-adversary attack on [`BasicLead`].
 ///
@@ -57,6 +62,21 @@ impl BasicSingleAttack {
         &self,
         protocol: &BasicLead,
     ) -> Result<(NodeId, Box<dyn Node<u64>>), AttackError> {
+        let (pos, node) = self.adversary_ring_node(protocol)?;
+        Ok((pos, Box::new(node)))
+    }
+
+    /// [`BasicSingleAttack::adversary_node`] as the concrete
+    /// [`WaitAndCancel`] type — the form the monomorphized single-deviator
+    /// fast path ([`BasicSingleAttack::run_in`]) stores unboxed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BasicSingleAttack::adversary_node`].
+    pub fn adversary_ring_node(
+        &self,
+        protocol: &BasicLead,
+    ) -> Result<(NodeId, WaitAndCancel), AttackError> {
         let n = fle_core::protocols::FleProtocol::n(protocol);
         if self.adversary >= n {
             return Err(AttackError::Infeasible(format!(
@@ -72,11 +92,11 @@ impl BasicSingleAttack {
         }
         Ok((
             self.adversary,
-            Box::new(WaitAndCancel {
+            WaitAndCancel {
                 n: n as u64,
                 w: self.target,
                 collected: Vec::with_capacity(n - 1),
-            }),
+            },
         ))
     }
 
@@ -89,12 +109,38 @@ impl BasicSingleAttack {
         let node = self.adversary_node(protocol)?;
         Ok(protocol.run_with(vec![node]))
     }
+
+    /// [`BasicSingleAttack::run`] through a per-thread [`BasicSingleCache`]
+    /// — the fully monomorphized attack fast path: cached engine, pooled
+    /// scheduler, reused [`Execution`], and *no* `Box` anywhere (the single
+    /// deviator is stored as its concrete type). Bit-identical outcomes to
+    /// [`BasicSingleAttack::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Infeasible`] when preconditions fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from the protocol's.
+    pub fn run_in<'c>(
+        &self,
+        protocol: &BasicLead,
+        cache: &'c mut BasicSingleCache,
+    ) -> Result<&'c Execution, AttackError> {
+        let node = self.adversary_ring_node(protocol)?;
+        Ok(protocol.run_with_in(vec![node], cache))
+    }
 }
 
 /// The adversary: silent at wake-up; after `n − 1` receives it knows every
 /// other secret, emits `w − Σ others (mod n)` and replays the collected
 /// values in arrival order (exactly what an honest node would have sent).
-struct WaitAndCancel {
+///
+/// Public as a concrete type so [`BasicSingleAttack::run_in`]'s
+/// single-deviator mix can store it unboxed; build it with
+/// [`BasicSingleAttack::adversary_ring_node`].
+pub struct WaitAndCancel {
     n: u64,
     w: u64,
     collected: Vec<u64>,

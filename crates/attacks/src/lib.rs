@@ -36,7 +36,7 @@ mod random_located;
 mod rushing;
 mod wakeup_mask;
 
-pub use basic_single::BasicSingleAttack;
+pub use basic_single::{BasicSingleAttack, BasicSingleCache, WaitAndCancel};
 pub use cubic::{cubic_distances, plan_with_k, CubicAttack, CubicPlan};
 pub use phase_burst::PhaseBurstAttack;
 pub use phase_guess::PhaseGuessAttack;

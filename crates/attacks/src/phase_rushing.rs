@@ -14,7 +14,7 @@
 //! exponentially unlikely).
 
 use crate::AttackError;
-use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseMsg};
+use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseMsg, PhaseTrialCache};
 use fle_core::{Coalition, DeviationNodes, Execution, Node, NodeId, RandomFn};
 use ring_sim::rng::SplitMix64;
 use ring_sim::Ctx;
@@ -173,6 +173,29 @@ impl PhaseRushingAttack {
     ) -> Result<Execution, AttackError> {
         let nodes = self.adversary_nodes(protocol, coalition)?;
         Ok(protocol.run_with(nodes))
+    }
+
+    /// [`PhaseRushingAttack::run`] through a per-thread
+    /// [`PhaseTrialCache`] — the attack fast path: cached engine, pooled
+    /// scheduler, arena-backed honest stores and a reused [`Execution`].
+    /// Only the `k` deviator nodes are built (boxed) per trial.
+    /// Bit-identical outcomes to [`PhaseRushingAttack::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Infeasible`] when preconditions fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from the protocol's.
+    pub fn run_in<'c>(
+        &self,
+        protocol: &PhaseAsyncLead,
+        coalition: &Coalition,
+        cache: &'c mut PhaseTrialCache,
+    ) -> Result<&'c Execution, AttackError> {
+        let nodes = self.adversary_nodes(protocol, coalition)?;
+        Ok(protocol.run_with_in(nodes, cache))
     }
 }
 

@@ -13,7 +13,7 @@
 //! (the Claim D.1 crossover).
 
 use crate::AttackError;
-use fle_core::protocols::{ALeadUni, FleProtocol};
+use fle_core::protocols::{ALeadTrialCache, ALeadUni, FleProtocol};
 use fle_core::{Coalition, DeviationNodes, Execution, Node, NodeId};
 use ring_sim::Ctx;
 
@@ -153,6 +153,29 @@ impl RushingAttack {
     ) -> Result<Execution, AttackError> {
         let nodes = self.adversary_nodes(protocol, coalition)?;
         Ok(protocol.run_with(nodes))
+    }
+
+    /// [`RushingAttack::run`] through a per-thread [`ALeadTrialCache`] —
+    /// the attack fast path: cached engine, pooled scheduler and a reused
+    /// [`Execution`]; only the `k` deviator nodes are built (boxed) per
+    /// trial. Bit-identical outcomes to [`RushingAttack::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Infeasible`] when the layout precondition
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from the protocol's.
+    pub fn run_in<'c>(
+        &self,
+        protocol: &ALeadUni,
+        coalition: &Coalition,
+        cache: &'c mut ALeadTrialCache,
+    ) -> Result<&'c Execution, AttackError> {
+        let nodes = self.adversary_nodes(protocol, coalition)?;
+        Ok(protocol.run_with_in(nodes, cache))
     }
 }
 

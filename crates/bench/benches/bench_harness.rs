@@ -11,7 +11,9 @@
 //! suite pin.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg};
+use fle_attacks::PhaseRushingAttack;
+use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg, PhaseTrialCache};
+use fle_core::Coalition;
 use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
 use ring_sim::{Engine, Topology};
 use std::hint::black_box;
@@ -81,6 +83,40 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(run_sweep(&cfg)));
         });
     }
+    g.finish();
+
+    // The attack fast path vs its SimBuilder baseline: a √n + 3 rushing
+    // coalition against PhaseAsyncLead n=16, per-trial seeds, one cached
+    // TrialCache vs a fresh one-shot build per trial (the BENCH_4
+    // `phase_rushing_n16` arms, criterion-shaped).
+    let mut g = c.benchmark_group("attack_paths");
+    g.sample_size(10);
+    let n = 16;
+    let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+    let attack = PhaseRushingAttack::new(3);
+    g.bench_function("rushing_simbuilder", |b| {
+        b.iter(|| {
+            let mut elected = 0u64;
+            for i in 0..TRIALS {
+                let p = PhaseAsyncLead::new(n).with_seed(trial_seed(1, i));
+                let exec = attack.run(&p, &coalition).expect("feasible");
+                elected += u64::from(exec.outcome.elected().is_some());
+            }
+            black_box(elected)
+        });
+    });
+    g.bench_function("rushing_cached_engine", |b| {
+        let mut cache = PhaseTrialCache::ring(n);
+        b.iter(|| {
+            let mut elected = 0u64;
+            for i in 0..TRIALS {
+                let p = PhaseAsyncLead::new(n).with_seed(trial_seed(1, i));
+                let exec = attack.run_in(&p, &coalition, &mut cache).expect("feasible");
+                elected += u64::from(exec.outcome.elected().is_some());
+            }
+            black_box(elected)
+        });
+    });
     g.finish();
 }
 

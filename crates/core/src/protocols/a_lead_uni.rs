@@ -16,8 +16,13 @@
 //! exactly `n` messages, and the origin does not forward its `n`-th
 //! (final) receive.
 
-use super::{node_rng, run_ring, run_ring_probed, FleProtocol};
-use ring_sim::{Ctx, Execution, Node, NodeId, Probe};
+use super::{
+    fold_mod, node_rng, run_ring, run_ring_probed, wrap_sub, FleProtocol, TrialCache, ORIGIN_WAKES,
+};
+use ring_sim::{ArenaBacked, Ctx, Execution, Node, NodeId, Probe, TrialArena};
+
+/// [`TrialCache`] for `A-LEADuni`'s boxed coalition mixes.
+pub type ALeadTrialCache = TrialCache<u64, ALeadNode>;
 
 /// An `A-LEADuni` protocol instance.
 ///
@@ -113,6 +118,12 @@ impl ALeadUni {
         }
     }
 
+    /// [`ALeadUni::honest_ring_node`] with the uniform arena-aware batch
+    /// surface; `ALeadNode` holds no heap state, so the arena goes unused.
+    pub fn honest_ring_node_in(&self, id: NodeId, _arena: &mut TrialArena) -> ALeadNode {
+        self.honest_ring_node(id)
+    }
+
     /// Only the origin wakes spontaneously.
     pub fn wakes(&self) -> Vec<NodeId> {
         vec![0]
@@ -121,6 +132,32 @@ impl ALeadUni {
     /// Runs with the coalition positions replaced by `overrides`.
     pub fn run_with(&self, overrides: Vec<(NodeId, Box<dyn Node<u64>>)>) -> Execution {
         run_ring(self.n, |id| self.honest_node(id), overrides, &self.wakes())
+    }
+
+    /// [`ALeadUni::run_with`] through a per-thread [`TrialCache`] — the
+    /// engine attack fast path (honest positions dispatch on the concrete
+    /// [`ALeadNode`]; only coalition positions run `D`). Bit-identical to
+    /// [`ALeadUni::run_with`] over equivalent overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from `n`, or an override id
+    /// is out of range or duplicated.
+    pub fn run_with_in<'c, D: Node<u64>>(
+        &self,
+        overrides: Vec<(NodeId, D)>,
+        cache: &'c mut TrialCache<u64, ALeadNode, D>,
+    ) -> &'c Execution {
+        assert_eq!(
+            cache.n(),
+            self.n,
+            "cache ring size must match the protocol's ring size"
+        );
+        cache.run(
+            |id, arena| self.honest_ring_node_in(id, arena),
+            overrides,
+            ORIGIN_WAKES,
+        )
     }
 
     /// Runs an honest execution through a reusable engine (the
@@ -183,6 +220,9 @@ pub enum ALeadNode {
     Normal(Normal),
 }
 
+/// `ALeadNode` keeps only scalar state — nothing to reclaim.
+impl ArenaBacked for ALeadNode {}
+
 impl Node<u64> for ALeadNode {
     fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
         match self {
@@ -217,9 +257,9 @@ impl Node<u64> for Origin {
     }
 
     fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
-        let m = msg % self.n;
+        let m = fold_mod(msg, self.n);
         self.round += 1;
-        self.sum = (self.sum + m) % self.n;
+        self.sum = wrap_sub(self.sum + m, self.n);
         if self.round < self.n {
             ctx.send(m);
         } else if m == self.d {
@@ -244,11 +284,11 @@ pub struct Normal {
 
 impl Node<u64> for Normal {
     fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
-        let m = msg % self.n;
+        let m = fold_mod(msg, self.n);
         ctx.send(self.buffer);
         self.buffer = m;
         self.round += 1;
-        self.sum = (self.sum + m) % self.n;
+        self.sum = wrap_sub(self.sum + m, self.n);
         if self.round == self.n {
             if m == self.d {
                 ctx.terminate(Some(self.sum));

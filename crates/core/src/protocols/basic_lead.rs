@@ -6,8 +6,11 @@
 //! waiting for the other `n − 1` values before "choosing" its own
 //! (Claim B.1, reproduced in `fle-attacks::basic_single`).
 
-use super::{node_rng, run_ring, FleProtocol};
-use ring_sim::{Ctx, Execution, Node, NodeId};
+use super::{fold_mod, node_rng, run_ring, wrap_sub, FleProtocol, TrialCache};
+use ring_sim::{ArenaBacked, Ctx, Execution, Node, NodeId, TrialArena};
+
+/// [`TrialCache`] for `Basic-LEAD`'s boxed coalition mixes.
+pub type BasicTrialCache = TrialCache<u64, BasicNode>;
 
 /// The `Basic-LEAD` protocol instance.
 ///
@@ -92,6 +95,12 @@ impl BasicLead {
         }
     }
 
+    /// [`BasicLead::honest_ring_node`] with the uniform arena-aware batch
+    /// surface; `BasicNode` holds no heap state, so the arena goes unused.
+    pub fn honest_ring_node_in(&self, id: NodeId, _arena: &mut TrialArena) -> BasicNode {
+        self.honest_ring_node(id)
+    }
+
     /// Every processor wakes spontaneously in `Basic-LEAD`.
     pub fn wakes(&self) -> Vec<NodeId> {
         (0..self.n).collect()
@@ -100,6 +109,28 @@ impl BasicLead {
     /// Runs with the coalition positions replaced by `overrides`.
     pub fn run_with(&self, overrides: Vec<(NodeId, Box<dyn Node<u64>>)>) -> Execution {
         run_ring(self.n, |id| self.honest_node(id), overrides, &self.wakes())
+    }
+
+    /// [`BasicLead::run_with`] through a per-thread [`TrialCache`] — the
+    /// engine attack fast path (honest positions dispatch on the concrete
+    /// [`BasicNode`]; only coalition positions run `D`). Bit-identical to
+    /// [`BasicLead::run_with`] over equivalent overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from `n`, or an override id
+    /// is out of range or duplicated.
+    pub fn run_with_in<'c, D: Node<u64>>(
+        &self,
+        overrides: Vec<(NodeId, D)>,
+        cache: &'c mut TrialCache<u64, BasicNode, D>,
+    ) -> &'c Execution {
+        assert_eq!(
+            cache.n(),
+            self.n,
+            "cache ring size must match the protocol's ring size"
+        );
+        cache.run_wake_all(|id, arena| self.honest_ring_node_in(id, arena), overrides)
     }
 
     /// Runs an honest execution through a reusable engine (the
@@ -147,15 +178,18 @@ pub struct BasicNode {
     round: u64,
 }
 
+/// `BasicNode` keeps only scalar state — nothing to reclaim.
+impl ArenaBacked for BasicNode {}
+
 impl Node<u64> for BasicNode {
     fn on_wake(&mut self, ctx: &mut Ctx<'_, u64>) {
         ctx.send(self.d);
     }
 
     fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
-        let m = msg % self.n;
+        let m = fold_mod(msg, self.n);
         self.round += 1;
-        self.sum = (self.sum + m) % self.n;
+        self.sum = wrap_sub(self.sum + m, self.n);
         if self.round < self.n {
             ctx.send(m);
         } else if m == self.d {

@@ -23,9 +23,9 @@ mod sync_lead;
 mod sync_ring;
 mod wakeup;
 
-pub use a_lead_uni::{ALeadNode, ALeadUni};
-pub use basic_lead::{BasicLead, BasicNode};
-pub use phase::{PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead};
+pub use a_lead_uni::{ALeadNode, ALeadTrialCache, ALeadUni};
+pub use basic_lead::{BasicLead, BasicNode, BasicTrialCache};
+pub use phase::{phase_async_builds, PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead};
 pub use phase_indexed::{IndexedMsg, IndexedPhaseLead};
 pub use sync_lead::{SyncFixedValue, SyncLead, SyncWaitAndCancel};
 pub use sync_ring::{SyncRingCorruptor, SyncRingLead, SyncRingNode, SyncRingWaiter};
@@ -33,8 +33,54 @@ pub use wakeup::{WakeLead, WakeMsg, WakeNode};
 
 use ring_sim::rng::SplitMix64;
 use ring_sim::{
-    default_step_limit, Engine, Execution, FifoScheduler, Node, NodeId, Probe, SimBuilder, Topology,
+    default_step_limit, ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, Probe,
+    SimBuilder, Topology, TrialArena,
 };
+
+/// Reduces `x` into `[0, n)` without paying a hardware division in the
+/// common case. Protocol message handlers fold every incoming value with
+/// this: honest senders always emit in-range values, so the branch
+/// predicts perfectly and the division only runs on adversarial
+/// out-of-range input. Bit-identical to `x % n` for all inputs.
+#[inline(always)]
+pub(crate) fn fold_mod(x: u64, n: u64) -> u64 {
+    if x < n {
+        x
+    } else {
+        x % n
+    }
+}
+
+/// `a % n` as a single conditional subtract — bit-identical whenever
+/// `a < 2n`, which the protocol arithmetic guarantees at every call site
+/// (both summands already lie in `[0, n)`, or one is `< n` and the other
+/// `≤ n`). Used on per-delivery paths where a hardware division would
+/// dominate the activation cost.
+#[inline(always)]
+pub(crate) fn wrap_sub(a: u64, n: u64) -> u64 {
+    debug_assert!(a < 2 * n);
+    if a >= n {
+        a - n
+    } else {
+        a
+    }
+}
+
+/// [`wrap_sub`] over `usize` ring indices.
+#[inline(always)]
+pub(crate) fn wrap_sub_usize(a: usize, n: usize) -> usize {
+    debug_assert!(a < 2 * n);
+    if a >= n {
+        a - n
+    } else {
+        a
+    }
+}
+
+/// The wake list shared by the origin-paced ring protocols (`A-LEADuni`
+/// and the phase family): only processor 0 wakes spontaneously. A `const`
+/// so per-trial attack runs need no wake-list allocation.
+pub(crate) const ORIGIN_WAKES: &[NodeId] = &[0];
 
 /// Common interface of the ring fair-leader-election protocols, used by
 /// the experiment harness.
@@ -185,9 +231,332 @@ pub fn run_ring_honest_into<M, N: Node<M>>(
     engine.run_mono_into(nodes_buf, wakes, scheduler, default_step_limit(n), out);
 }
 
+/// [`run_ring_honest_into`] with node state drawn from (and reclaimed
+/// into) a per-worker [`TrialArena`] — the fully allocation-free batch
+/// loop: with engine, node, scheduler, result *and* arena buffers reused,
+/// a steady-state trial touches the heap zero times, node construction
+/// included.
+///
+/// `honest(id, arena)` builds node `id`, drawing any trial-lifetime
+/// buffers from `arena` (e.g. [`PhaseAsyncLead::honest_ring_node_in`]);
+/// after the run every node's buffers are reclaimed via
+/// [`ArenaBacked::reclaim`]. Produces bit-identical [`Execution`]s to
+/// [`run_ring_honest_into`] over the equivalent builders.
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`.
+#[allow(clippy::too_many_arguments)] // the worker's reusable buffers, spelled out
+pub fn run_ring_honest_pooled_into<M, N: Node<M> + ArenaBacked>(
+    engine: &mut Engine<M>,
+    n: usize,
+    mut honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+    wakes: &[NodeId],
+    nodes_buf: &mut Vec<N>,
+    scheduler: &mut FifoScheduler,
+    arena: &mut TrialArena,
+    out: &mut Execution,
+) {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    arena.reset();
+    nodes_buf.clear();
+    nodes_buf.extend((0..n).map(|id| honest(id, arena)));
+    engine.run_mono_into(nodes_buf, wakes, scheduler, default_step_limit(n), out);
+    for node in nodes_buf.iter_mut() {
+        node.reclaim(arena);
+    }
+}
+
+/// One position's behaviour in a heterogeneous honest/deviant ring: the
+/// concrete honest node type of the protocol, or a deviating strategy.
+///
+/// This is the attack fast path's storage form. An attacked ring is
+/// almost entirely honest (`n − k` of `n` positions), so dispatching
+/// through this enum means the honest majority of activations take a
+/// predictable branch to a concrete, inlinable node — only the coalition's
+/// activations pay `D`'s cost. `D` is `Box<dyn Node<M>>` for coalition
+/// mixes built at runtime; single-deviator attacks can instantiate `D`
+/// with their concrete deviator type and run with no boxing at all.
+pub enum MixNode<N, D> {
+    /// An honest position, as the protocol's concrete node type.
+    Honest(N),
+    /// A coalition position running a deviating strategy.
+    Deviant(D),
+}
+
+impl<M, N: Node<M>, D: Node<M>> Node<M> for MixNode<N, D> {
+    fn on_wake(&mut self, ctx: &mut ring_sim::Ctx<'_, M>) {
+        match self {
+            MixNode::Honest(h) => h.on_wake(ctx),
+            MixNode::Deviant(d) => d.on_wake(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut ring_sim::Ctx<'_, M>) {
+        match self {
+            MixNode::Honest(h) => h.on_message(from, msg, ctx),
+            MixNode::Deviant(d) => d.on_message(from, msg, ctx),
+        }
+    }
+}
+
+/// Only the honest side holds arena-drawn state; deviators own their
+/// buffers outright (they are rebuilt per trial by the attack planner).
+impl<N: ArenaBacked, D> ArenaBacked for MixNode<N, D> {
+    fn reclaim(&mut self, arena: &mut TrialArena) {
+        if let MixNode::Honest(h) = self {
+            h.reclaim(arena);
+        }
+    }
+}
+
+/// [`run_ring_in`] for adversarial mixes on the engine fast path: honest
+/// positions run the protocol's concrete node type `N` (branch dispatch,
+/// arena-backed state), coalition positions run `D` — boxed for runtime
+/// mixes, concrete for single-deviator attacks.
+///
+/// Produces bit-identical [`Execution`]s to [`run_ring`] /
+/// `SimBuilder::run` over equivalent behaviours. This is the convenience
+/// form that allocates its working buffers per call; batch sweeps use
+/// [`run_ring_attack_into`] (typically through a [`TrialCache`]) to reuse
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::{run_ring_attack_in, BasicLead, FleProtocol};
+/// use ring_sim::{Engine, Node, Topology};
+///
+/// let n = 5;
+/// let p = BasicLead::new(n).with_seed(7);
+/// let mut engine = Engine::new(Topology::ring(n));
+/// // An empty coalition is the honest run, now through the cached engine:
+/// let exec = run_ring_attack_in(
+///     &mut engine,
+///     n,
+///     |id, arena| p.honest_ring_node_in(id, arena),
+///     Vec::<(usize, Box<dyn Node<u64>>)>::new(),
+///     &p.wakes(),
+/// );
+/// assert_eq!(exec, p.run_honest());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`, or if an
+/// override id is out of range or duplicated.
+pub fn run_ring_attack_in<M, N: Node<M> + ArenaBacked, D: Node<M>>(
+    engine: &mut Engine<M>,
+    n: usize,
+    honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+    overrides: Vec<(NodeId, D)>,
+    wakes: &[NodeId],
+) -> Execution {
+    let mut out = Execution::default();
+    run_ring_attack_into(
+        engine,
+        n,
+        honest,
+        overrides,
+        wakes,
+        &mut Vec::new(),
+        &mut FifoScheduler::new(),
+        &mut TrialArena::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`run_ring_attack_in`] with caller-owned node, scheduler, arena and
+/// result buffers — the zero-allocation attack batch loop. Per trial, the
+/// only heap traffic left is what the attack itself builds (its deviator
+/// nodes, boxed when the mix is truly heterogeneous).
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`, or if an
+/// override id is out of range or duplicated.
+#[allow(clippy::too_many_arguments)] // the worker's reusable buffers, spelled out
+pub fn run_ring_attack_into<M, N: Node<M> + ArenaBacked, D: Node<M>>(
+    engine: &mut Engine<M>,
+    n: usize,
+    mut honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+    overrides: Vec<(NodeId, D)>,
+    wakes: &[NodeId],
+    nodes_buf: &mut Vec<MixNode<N, D>>,
+    scheduler: &mut FifoScheduler,
+    arena: &mut TrialArena,
+    out: &mut Execution,
+) {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    arena.reset();
+    nodes_buf.clear();
+    merge_ring_overrides(n, overrides, |id, deviant| {
+        nodes_buf.push(match deviant {
+            Some(node) => MixNode::Deviant(node),
+            None => MixNode::Honest(honest(id, arena)),
+        })
+    });
+    engine.run_mono_into(nodes_buf, wakes, scheduler, default_step_limit(n), out);
+    for node in nodes_buf.iter_mut() {
+        node.reclaim(arena);
+    }
+}
+
+/// Per-thread cached trial state for repeated attack (or honest-vs-attack)
+/// runs over one ring size: the engine with its preallocated link queues
+/// and edge tables, the mixed node vector, a pooled FIFO scheduler, the
+/// trial arena, and the reused [`Execution`].
+///
+/// This gives `run_with`-style attack experiments the same steady-state
+/// allocation profile honest sweeps get from their per-worker state: hold
+/// one `TrialCache` per worker thread and call [`TrialCache::run`] per
+/// trial. The attacks crate's `run_in` entry points take one of these.
+///
+/// # Examples
+///
+/// ```
+/// use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseTrialCache};
+///
+/// let mut cache = PhaseTrialCache::ring(16);
+/// for seed in 0..4 {
+///     let p = PhaseAsyncLead::new(16).with_seed(seed);
+///     let exec = p.run_with_in(Vec::new(), &mut cache);
+///     assert_eq!(exec, &p.run_honest());
+/// }
+/// ```
+pub struct TrialCache<M, N, D = Box<dyn Node<M>>> {
+    engine: Engine<M>,
+    nodes: Vec<MixNode<N, D>>,
+    scheduler: FifoScheduler,
+    arena: TrialArena,
+    exec: Execution,
+    /// `0..n`, precomputed for protocols that wake every node
+    /// (`Basic-LEAD`) so per-trial wake lists need no allocation.
+    all_ids: Vec<NodeId>,
+}
+
+impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
+    /// Creates the cache for a unidirectional ring of `n` nodes.
+    pub fn ring(n: usize) -> Self {
+        Self {
+            engine: Engine::new(Topology::ring(n)),
+            nodes: Vec::with_capacity(n),
+            scheduler: FifoScheduler::new(),
+            arena: TrialArena::new(),
+            exec: Execution::default(),
+            all_ids: (0..n).collect(),
+        }
+    }
+
+    /// The cached ring size.
+    pub fn n(&self) -> usize {
+        self.engine.topology().len()
+    }
+
+    /// Runs one trial through [`run_ring_attack_into`] over this cache's
+    /// buffers and returns the reused [`Execution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wakes` or an override id is out of range, or an override
+    /// is duplicated.
+    pub fn run(
+        &mut self,
+        honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+        overrides: Vec<(NodeId, D)>,
+        wakes: &[NodeId],
+    ) -> &Execution {
+        let n = self.n();
+        run_ring_attack_into(
+            &mut self.engine,
+            n,
+            honest,
+            overrides,
+            wakes,
+            &mut self.nodes,
+            &mut self.scheduler,
+            &mut self.arena,
+            &mut self.exec,
+        );
+        &self.exec
+    }
+
+    /// [`TrialCache::run`] with every node waking spontaneously in id
+    /// order (`Basic-LEAD`'s wake pattern), using the cache's precomputed
+    /// id list (borrowed in place, so a panicking run cannot corrupt it).
+    pub fn run_wake_all(
+        &mut self,
+        honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+        overrides: Vec<(NodeId, D)>,
+    ) -> &Execution {
+        let n = self.engine.topology().len();
+        let Self {
+            engine,
+            nodes,
+            scheduler,
+            arena,
+            exec,
+            all_ids,
+        } = self;
+        run_ring_attack_into(
+            engine, n, honest, overrides, all_ids, nodes, scheduler, arena, exec,
+        );
+        exec
+    }
+
+    /// The last trial's [`Execution`] (all zeros/failed before any run).
+    pub fn execution(&self) -> &Execution {
+        &self.exec
+    }
+}
+
+/// [`TrialCache`] for the phase protocols' boxed coalition mixes.
+pub type PhaseTrialCache = TrialCache<PhaseMsg, PhaseNode>;
+
+/// The one override-merge loop every ring path shares: walks positions
+/// `0..n` in order, calling `emit(id, Some(deviant))` for coalition
+/// positions and `emit(id, None)` for honest ones. Both the `SimBuilder`
+/// path ([`assemble_ring_nodes`]) and the engine attack fast path
+/// ([`run_ring_attack_into`]) funnel through here, so override semantics
+/// cannot drift between them.
+///
+/// # Panics
+///
+/// Panics if an override id is out of range or duplicated.
+fn merge_ring_overrides<D>(
+    n: usize,
+    mut overrides: Vec<(NodeId, D)>,
+    mut emit: impl FnMut(NodeId, Option<D>),
+) {
+    overrides.sort_by_key(|(id, _)| *id);
+    let mut next_override = overrides.into_iter().peekable();
+    for id in 0..n {
+        if next_override.peek().is_some_and(|(o, _)| *o == id) {
+            let (_, node) = next_override.next().expect("peeked");
+            emit(id, Some(node));
+        } else {
+            emit(id, None);
+        }
+    }
+    assert!(
+        next_override.next().is_none(),
+        "override id out of range or duplicated"
+    );
+}
+
 /// Merges the honest node builder with the coalition's overrides into the
-/// full `0..n` behaviour vector (shared by the builder and engine paths,
-/// so override semantics cannot drift between them).
+/// full `0..n` behaviour vector (the `SimBuilder` form of
+/// [`merge_ring_overrides`]).
 ///
 /// # Panics
 ///
@@ -195,23 +564,12 @@ pub fn run_ring_honest_into<M, N: Node<M>>(
 fn assemble_ring_nodes<M>(
     n: usize,
     honest: impl Fn(NodeId) -> Box<dyn Node<M>>,
-    mut overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
+    overrides: Vec<(NodeId, Box<dyn Node<M>>)>,
 ) -> Vec<Box<dyn Node<M>>> {
-    overrides.sort_by_key(|(id, _)| *id);
-    let mut next_override = overrides.into_iter().peekable();
     let mut nodes: Vec<Box<dyn Node<M>>> = Vec::with_capacity(n);
-    for id in 0..n {
-        if next_override.peek().is_some_and(|(o, _)| *o == id) {
-            let (_, node) = next_override.next().expect("peeked");
-            nodes.push(node);
-        } else {
-            nodes.push(honest(id));
-        }
-    }
-    assert!(
-        next_override.next().is_none(),
-        "override id out of range or duplicated"
-    );
+    merge_ring_overrides(n, overrides, |id, deviant| {
+        nodes.push(deviant.unwrap_or_else(|| honest(id)))
+    });
     nodes
 }
 

@@ -27,9 +27,26 @@
 //! used by the proofs: every processor sends exactly `n` data plus `n`
 //! validation messages and receives the same.
 
-use super::{node_rng, run_ring, run_ring_probed, FleProtocol};
+use super::{
+    fold_mod, node_rng, run_ring, run_ring_probed, wrap_sub_usize, FleProtocol, TrialCache,
+    ORIGIN_WAKES,
+};
 use crate::randfn::{PhaseParams, RandomFn};
-use ring_sim::{Ctx, Execution, Node, NodeId, Probe};
+use ring_sim::{ArenaBacked, Ctx, Execution, Node, NodeId, Probe, TrialArena};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`PhaseAsyncLead::new`] calls — instrumentation
+/// for the harness's instance-hoisting contract (a sweep worker must build
+/// the protocol instance once per `(protocol, n, fn_key)` config, not once
+/// per trial). See [`phase_async_builds`].
+static PHASE_ASYNC_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the process-wide number of [`PhaseAsyncLead::new`] calls so
+/// far. Tests diff this counter around a sweep to assert the
+/// seed-independent protocol state is hoisted out of the per-trial loop.
+pub fn phase_async_builds() -> u64 {
+    PHASE_ASYNC_BUILDS.load(Ordering::Relaxed)
+}
 
 /// A message of the phase protocols: strictly alternating data /
 /// validation. An honest processor aborts on a parity violation, which is
@@ -79,6 +96,7 @@ impl PhaseAsyncLead {
     /// processors between origin and final validator).
     pub fn new(n: usize) -> Self {
         assert!(n >= 4, "PhaseAsyncLead needs n >= 4");
+        PHASE_ASYNC_BUILDS.fetch_add(1, Ordering::Relaxed);
         Self {
             params: PhaseParams::for_ring(n),
             seed: 0,
@@ -143,6 +161,21 @@ impl PhaseAsyncLead {
         make_honest_node(self.params, self.seed, OutputRule::Random(self.f), id)
     }
 
+    /// [`PhaseAsyncLead::honest_ring_node`] with the node's packed
+    /// `data ‖ vals` store drawn from `arena` instead of the heap — the
+    /// batch path that makes whole trials allocation-free. The built node
+    /// is bit-identical in behaviour; reclaim its store with
+    /// [`ArenaBacked::reclaim`] after the trial.
+    pub fn honest_ring_node_in(&self, id: NodeId, arena: &mut TrialArena) -> PhaseNode {
+        make_honest_node_with_store(
+            self.params,
+            self.seed,
+            OutputRule::Random(self.f),
+            id,
+            arena.alloc_u64s(2 * self.params.n + 1),
+        )
+    }
+
     /// Only the origin wakes spontaneously.
     pub fn wakes(&self) -> Vec<NodeId> {
         vec![0]
@@ -155,6 +188,33 @@ impl PhaseAsyncLead {
             |id| self.honest_node(id),
             overrides,
             &self.wakes(),
+        )
+    }
+
+    /// [`PhaseAsyncLead::run_with`] through a per-thread [`TrialCache`] —
+    /// the engine attack fast path: honest positions run the concrete
+    /// [`PhaseNode`] with arena-backed stores; only coalition positions
+    /// run `D`. Bit-identical to [`PhaseAsyncLead::run_with`] over
+    /// equivalent overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from `n`, or an override id
+    /// is out of range or duplicated.
+    pub fn run_with_in<'c, D: Node<PhaseMsg>>(
+        &self,
+        overrides: Vec<(NodeId, D)>,
+        cache: &'c mut TrialCache<PhaseMsg, PhaseNode, D>,
+    ) -> &'c Execution {
+        assert_eq!(
+            cache.n(),
+            self.params.n,
+            "cache ring size must match the protocol's ring size"
+        );
+        cache.run(
+            |id, arena| self.honest_ring_node_in(id, arena),
+            overrides,
+            ORIGIN_WAKES,
         )
     }
 
@@ -262,6 +322,18 @@ impl PhaseSumLead {
         make_honest_node(self.params, self.seed, OutputRule::Sum, id)
     }
 
+    /// [`PhaseSumLead::honest_ring_node`] with the node's store drawn from
+    /// `arena` (see [`PhaseAsyncLead::honest_ring_node_in`]).
+    pub fn honest_ring_node_in(&self, id: NodeId, arena: &mut TrialArena) -> PhaseNode {
+        make_honest_node_with_store(
+            self.params,
+            self.seed,
+            OutputRule::Sum,
+            id,
+            arena.alloc_u64s(2 * self.params.n + 1),
+        )
+    }
+
     /// Only the origin wakes spontaneously.
     pub fn wakes(&self) -> Vec<NodeId> {
         vec![0]
@@ -274,6 +346,30 @@ impl PhaseSumLead {
             |id| self.honest_node(id),
             overrides,
             &self.wakes(),
+        )
+    }
+
+    /// [`PhaseSumLead::run_with`] through a per-thread [`TrialCache`] (see
+    /// [`PhaseAsyncLead::run_with_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache's ring size differs from `n`, or an override id
+    /// is out of range or duplicated.
+    pub fn run_with_in<'c, D: Node<PhaseMsg>>(
+        &self,
+        overrides: Vec<(NodeId, D)>,
+        cache: &'c mut TrialCache<PhaseMsg, PhaseNode, D>,
+    ) -> &'c Execution {
+        assert_eq!(
+            cache.n(),
+            self.params.n,
+            "cache ring size must match the protocol's ring size"
+        );
+        cache.run(
+            |id, arena| self.honest_ring_node_in(id, arena),
+            overrides,
+            ORIGIN_WAKES,
         )
     }
 
@@ -309,6 +405,22 @@ impl FleProtocol for PhaseSumLead {
 }
 
 fn make_honest_node(params: PhaseParams, seed: u64, rule: OutputRule, id: NodeId) -> PhaseNode {
+    let store = vec![0; 2 * params.n + 1];
+    make_honest_node_with_store(params, seed, rule, id, store)
+}
+
+/// [`make_honest_node`] over a caller-provided (typically arena-drawn)
+/// store. `store` must be `2n + 1` zeros — exactly what
+/// [`TrialArena::alloc_u64s`] hands out.
+fn make_honest_node_with_store(
+    params: PhaseParams,
+    seed: u64,
+    rule: OutputRule,
+    id: NodeId,
+    store: Vec<u64>,
+) -> PhaseNode {
+    debug_assert_eq!(store.len(), 2 * params.n + 1);
+    debug_assert!(store.iter().all(|&x| x == 0));
     let mut rng = node_rng(seed, id);
     let d = rng.next_below(params.n as u64);
     let common = PhaseState {
@@ -320,7 +432,7 @@ fn make_honest_node(params: PhaseParams, seed: u64, rule: OutputRule, id: NodeId
         buffer: d,
         round: 0,
         expect_data: true,
-        store: vec![0; 2 * params.n + 1],
+        store,
         rng,
     };
     if id == 0 {
@@ -359,6 +471,16 @@ impl Node<PhaseMsg> for PhaseNode {
             PhaseNode::Origin(o) => o.on_message(from, msg, ctx),
             PhaseNode::Normal(p) => p.on_message(from, msg, ctx),
         }
+    }
+}
+
+impl ArenaBacked for PhaseNode {
+    fn reclaim(&mut self, arena: &mut TrialArena) {
+        let s = match self {
+            PhaseNode::Origin(o) => &mut o.s,
+            PhaseNode::Normal(p) => &mut p.s,
+        };
+        arena.reclaim_u64s(std::mem::take(&mut s.store));
     }
 }
 
@@ -421,13 +543,16 @@ impl Node<PhaseMsg> for PhaseNormal {
         match msg {
             PhaseMsg::Data(x) if s.expect_data => {
                 s.expect_data = false;
-                let x = x % n as u64;
+                let x = fold_mod(x, n as u64);
                 s.round += 1;
                 // Buffered secret sharing, exactly as in A-LEADuni.
                 ctx.send(PhaseMsg::Data(s.buffer));
                 s.buffer = x;
                 // Round r delivers the data value of processor id − r (mod n).
-                s.set_data((s.id + n - (s.round % n)) % n, x);
+                // `round ∈ 1..=n` and `id < n`, so both reductions are
+                // single conditional subtracts, not divisions.
+                let r = if s.round < n { s.round } else { s.round % n };
+                s.set_data(wrap_sub_usize(s.id + n - r, n), x);
                 if s.round == s.validator_round() {
                     s.v_own = s.rng.next_below(s.params.m);
                     ctx.send(PhaseMsg::Val(s.v_own));
@@ -439,7 +564,7 @@ impl Node<PhaseMsg> for PhaseNormal {
             }
             PhaseMsg::Val(y) if !s.expect_data => {
                 s.expect_data = true;
-                let y = y % s.params.m;
+                let y = fold_mod(y, s.params.m);
                 if s.round == s.validator_round() {
                     if y != s.v_own {
                         // Phase validation failed: someone desynchronized
@@ -487,9 +612,11 @@ impl Node<PhaseMsg> for PhaseOrigin {
         match msg {
             PhaseMsg::Data(x) if s.expect_data => {
                 s.expect_data = false;
-                let x = x % n as u64;
-                // Round r delivers the data value of processor n − r (mod n).
-                s.set_data((n - (s.round % n)) % n, x);
+                let x = fold_mod(x, n as u64);
+                // Round r delivers the data value of processor n − r (mod n)
+                // (`round ∈ 1..=n`, so these are conditional subtracts).
+                let r = if s.round < n { s.round } else { s.round % n };
+                s.set_data(wrap_sub_usize(n - r, n), x);
                 s.buffer = x;
                 if s.round == n && x != s.d {
                     ctx.abort();
@@ -497,7 +624,7 @@ impl Node<PhaseMsg> for PhaseOrigin {
             }
             PhaseMsg::Val(y) if !s.expect_data => {
                 s.expect_data = true;
-                let y = y % s.params.m;
+                let y = fold_mod(y, s.params.m);
                 if s.round == 1 {
                     if y != s.v_own {
                         ctx.abort();

@@ -7,17 +7,19 @@
 //! fle-lab --threads 4 all          # cap the worker pool for everything
 //! fle-lab sweep --protocol phase --n 64 --trials 10000 --seed 1 \
 //!         --threads 8 --format json
-//! fle-lab bench-baseline --out BENCH_3.json   # perf trajectory snapshot
+//! fle-lab bench-baseline --out BENCH_4.json   # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic `fle-harness` batch and
 //! prints the aggregated [`fle_harness::TrialReport`] as JSON (default) or
 //! CSV on stdout. Output is byte-identical for every `--threads` value.
 //!
-//! The `bench-baseline` subcommand measures the honest monomorphized
-//! engine path (ns/trial for the canonical sweep workloads, single
-//! thread) and writes a machine-readable JSON snapshot, so successive PRs
-//! accumulate a perf trajectory (`BENCH_<pr>.json`) that can be diffed.
+//! The `bench-baseline` subcommand measures the honest monomorphized +
+//! arena engine path (ns/trial for the canonical sweep workloads, single
+//! thread) *and* the cached-engine attack path against its `SimBuilder`
+//! baseline, then writes a machine-readable JSON snapshot, so successive
+//! PRs accumulate a perf trajectory (`BENCH_<pr>.json`) that can be
+//! diffed.
 
 use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
@@ -154,6 +156,95 @@ const PR2_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("alead_n64", 160_000.0),
 ];
 
+/// The PR 3 snapshot (`BENCH_3.json`) — the previous point of the
+/// trajectory, so each new snapshot also records its *incremental*
+/// improvement, not just the cumulative one against PR 2.
+const PR3_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 4_627.7),
+    ("phase_n64", 250_803.6),
+    ("alead_n64", 113_687.8),
+];
+
+/// Times `trial(seed)` over `trials` harness-derived seeds and returns
+/// ns/trial, after a warmup tenth (so page faults, lazy init and cache
+/// fills don't bill the measured run).
+fn time_trials(trials: u64, mut trial: impl FnMut(u64)) -> f64 {
+    for i in 0..(trials / 10).max(1) {
+        trial(fle_harness::trial_seed(0xbe7c, i));
+    }
+    let start = std::time::Instant::now();
+    for i in 0..trials {
+        trial(fle_harness::trial_seed(1, i));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / trials as f64
+}
+
+/// Measures the attack arms: each workload once through the cached-engine
+/// fast path (`run_in` over a per-thread `TrialCache`) and once through
+/// the one-shot `SimBuilder` path (`run`), single thread. Returns
+/// `(fast, simbuilder)` ns/trial keyed per workload.
+#[allow(clippy::type_complexity)] // two parallel (key, ns) tables
+fn bench_attack_arms(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>) {
+    use fle_attacks::{BasicSingleAttack, BasicSingleCache, PhaseRushingAttack};
+    use fle_core::protocols::{BasicLead, PhaseAsyncLead, PhaseTrialCache};
+    use fle_core::Coalition;
+    use ring_sim::Outcome;
+
+    let scale = if quick { 10 } else { 1 };
+    let mut fast: Vec<(&'static str, f64)> = Vec::new();
+    let mut slow: Vec<(&'static str, f64)> = Vec::new();
+
+    // Single-deviator rushing-style attack (Claim B.1) on Basic-LEAD:
+    // the fully monomorphized mix (concrete honest nodes + concrete
+    // deviator, no boxing at all on the fast path).
+    {
+        let n = 32;
+        let attack = BasicSingleAttack::new(21, 7);
+        let trials = 10_000 / scale;
+        let mut cache = BasicSingleCache::ring(n);
+        let ns = time_trials(trials, |seed| {
+            let p = BasicLead::new(n).with_seed(seed);
+            let exec = attack.run_in(&p, &mut cache).expect("feasible");
+            debug_assert_eq!(exec.outcome, Outcome::Elected(7));
+        });
+        eprintln!("  [bench-baseline basic_single_n32 (run_in): {ns:.0} ns/trial]");
+        fast.push(("basic_single_n32", ns));
+        let ns = time_trials(trials, |seed| {
+            let p = BasicLead::new(n).with_seed(seed);
+            let exec = attack.run(&p).expect("feasible");
+            debug_assert_eq!(exec.outcome, Outcome::Elected(7));
+        });
+        eprintln!("  [bench-baseline basic_single_n32 (SimBuilder): {ns:.0} ns/trial]");
+        slow.push(("basic_single_n32", ns));
+    }
+
+    // Coalition rushing on PhaseAsyncLead n=16 (k = 7 equally spaced):
+    // honest majority on the concrete enum + arena, k boxed deviators.
+    {
+        let n = 16;
+        let attack = PhaseRushingAttack::new(3);
+        let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+        let trials = 20_000 / scale;
+        let mut cache = PhaseTrialCache::ring(n);
+        let ns = time_trials(trials, |seed| {
+            let p = PhaseAsyncLead::new(n).with_seed(seed);
+            let exec = attack.run_in(&p, &coalition, &mut cache).expect("feasible");
+            debug_assert_eq!(exec.outcome, Outcome::Elected(3));
+        });
+        eprintln!("  [bench-baseline phase_rushing_n16 (run_in): {ns:.0} ns/trial]");
+        fast.push(("phase_rushing_n16", ns));
+        let ns = time_trials(trials, |seed| {
+            let p = PhaseAsyncLead::new(n).with_seed(seed);
+            let exec = attack.run(&p, &coalition).expect("feasible");
+            debug_assert_eq!(exec.outcome, Outcome::Elected(3));
+        });
+        eprintln!("  [bench-baseline phase_rushing_n16 (SimBuilder): {ns:.0} ns/trial]");
+        slow.push(("phase_rushing_n16", ns));
+    }
+
+    (fast, slow)
+}
+
 /// Times one single-threaded sweep and returns ns/trial.
 fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
     let cfg = SweepConfig {
@@ -181,7 +272,7 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
 }
 
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -238,6 +329,10 @@ fn run_bench_baseline(args: &[String]) {
     let sweep_sha = sha256_hex(report.to_json().as_bytes());
     eprintln!("  [bench-baseline sweep_phase_n64: {sweep_ms:.0} ms for {sweep_trials} trials]");
 
+    // Attack arms: the cached-engine `run_in` fast path vs the one-shot
+    // `SimBuilder` baseline, measured in the same process.
+    let (attack_fast, attack_base) = bench_attack_arms(quick);
+
     let fmt_map = |entries: &[(&str, f64)]| {
         entries
             .iter()
@@ -245,29 +340,48 @@ fn run_bench_baseline(args: &[String]) {
             .collect::<Vec<_>>()
             .join(",")
     };
-    let improvements: Vec<(&str, f64)> = measured
-        .iter()
-        .filter_map(|&(key, ns)| {
-            PR2_NS_PER_TRIAL
-                .iter()
-                .find(|(k, _)| *k == key)
-                .map(|&(_, base)| (key, (1.0 - ns / base) * 100.0))
-        })
-        .collect();
+    fn improve_against<'a>(
+        baseline: &[(&str, f64)],
+        measured: &[(&'a str, f64)],
+    ) -> Vec<(&'a str, f64)> {
+        measured
+            .iter()
+            .filter_map(|&(key, ns)| {
+                baseline
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|&(_, base)| (key, (1.0 - ns / base) * 100.0))
+            })
+            .collect()
+    }
+    let improvements = improve_against(&PR2_NS_PER_TRIAL, &measured);
+    let improvements_pr3 = improve_against(&PR3_NS_PER_TRIAL, &measured);
+    let attack_improvements = improve_against(&attack_base, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"honest monomorphized engine path, ",
-            "single thread, ns per trial\",\"quick\":{},",
+            "{{\"bench\":\"{}\",\"description\":\"honest monomorphized + arena engine ",
+            "path and cached-engine attack path, single thread, ns per trial\",",
+            "\"quick\":{},",
             "\"ns_per_trial\":{{{}}},",
             "\"baseline_pr2_ns_per_trial\":{{{}}},",
+            "\"baseline_pr3_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
+            "\"improvement_vs_pr3_pct\":{{{}}},",
+            "\"attack_ns_per_trial\":{{{}}},",
+            "\"attack_simbuilder_ns_per_trial\":{{{}}},",
+            "\"attack_improvement_pct\":{{{}}},",
             "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
         ),
         label,
         quick,
         fmt_map(&measured),
         fmt_map(&PR2_NS_PER_TRIAL),
+        fmt_map(&PR3_NS_PER_TRIAL),
         fmt_map(&improvements),
+        fmt_map(&improvements_pr3),
+        fmt_map(&attack_fast),
+        fmt_map(&attack_base),
+        fmt_map(&attack_improvements),
         sweep_trials,
         sweep_ms,
         sweep_sha,

@@ -2,10 +2,10 @@
 
 use crate::{run_batch, BatchConfig, TrialOutcome, TrialReport};
 use fle_core::protocols::{
-    run_ring_honest_into, ALeadNode, ALeadUni, BasicLead, BasicNode, PhaseAsyncLead, PhaseMsg,
-    PhaseNode, PhaseSumLead,
+    run_ring_honest_pooled_into, ALeadNode, ALeadUni, BasicLead, BasicNode, PhaseAsyncLead,
+    PhaseMsg, PhaseNode, PhaseSumLead,
 };
-use ring_sim::{Engine, Execution, FifoScheduler, Node, NodeId, Topology};
+use ring_sim::{ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, Topology, TrialArena};
 
 /// The ring protocols the harness can sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,40 +79,45 @@ pub struct SweepConfig {
 
 /// Per-worker state of one honest protocol sweep: a reusable [`Engine`],
 /// the monomorphized node vector, the (constant) wake list, a pooled FIFO
-/// scheduler and the reused [`Execution`] out-parameter. Once every buffer
-/// has reached its steady-state capacity, a trial performs no allocation
-/// in the engine or the harness — only what the node behaviours themselves
-/// allocate.
+/// scheduler, the per-worker [`TrialArena`] node-state pool and the reused
+/// [`Execution`] out-parameter. Once every buffer has reached its
+/// steady-state capacity — after the first trial — a trial performs *no*
+/// heap allocation at all, node construction included (phase-node stores
+/// are drawn from and reclaimed into the arena).
 struct SweepWorker<M, N> {
     engine: Engine<M>,
     nodes: Vec<N>,
     wakes: Vec<NodeId>,
     scheduler: FifoScheduler,
+    arena: TrialArena,
     exec: Execution,
 }
 
-impl<M, N: Node<M>> SweepWorker<M, N> {
+impl<M, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
     fn new(n: usize, wakes: Vec<NodeId>) -> Self {
         Self {
             engine: Engine::new(Topology::ring(n)),
             nodes: Vec::with_capacity(n),
             wakes,
             scheduler: FifoScheduler::new(),
+            arena: TrialArena::new(),
             exec: Execution::default(),
         }
     }
 
-    /// Runs one honest trial through the monomorphized engine fast path,
-    /// reusing every worker buffer, and reduces it to its [`TrialOutcome`].
-    fn trial(&mut self, honest: impl FnMut(NodeId) -> N) -> TrialOutcome {
+    /// Runs one honest trial through the monomorphized, arena-pooled
+    /// engine fast path, reusing every worker buffer, and reduces it to
+    /// its [`TrialOutcome`].
+    fn trial(&mut self, honest: impl FnMut(NodeId, &mut TrialArena) -> N) -> TrialOutcome {
         let n = self.engine.topology().len();
-        run_ring_honest_into(
+        run_ring_honest_pooled_into(
             &mut self.engine,
             n,
             honest,
             &self.wakes,
             &mut self.nodes,
             &mut self.scheduler,
+            &mut self.arena,
             &mut self.exec,
         );
         TrialOutcome::of(&self.exec)
@@ -124,9 +129,12 @@ impl<M, N: Node<M>> SweepWorker<M, N> {
 /// [`TrialReport`].
 ///
 /// Each worker thread owns one sweep worker — a reusable [`Engine`] plus
-/// monomorphized node, scheduler and result buffers — so steady-state
-/// trials allocate only the node behaviours' own state. The report (and
-/// its JSON/CSV serializations) is byte-identical for every thread count.
+/// monomorphized node, scheduler, arena and result buffers — and one
+/// hoisted protocol instance: the seed-independent state
+/// (`PhaseParams`, the keyed `RandomFn`, the ring size) is built *once*
+/// per worker in `make_worker`, and each trial derives its seeded copy
+/// from it, so steady-state trials allocate nothing. The report (and its
+/// JSON/CSV serializations) is byte-identical for every thread count.
 ///
 /// # Panics
 ///
@@ -136,36 +144,50 @@ pub fn run_sweep(cfg: &SweepConfig) -> TrialReport {
     let outcomes = match cfg.protocol {
         ProtocolKind::BasicLead => run_batch(
             &cfg.batch,
-            || SweepWorker::<u64, BasicNode>::new(n, BasicLead::new(n).wakes()),
-            |w, _i, seed| {
-                let p = BasicLead::new(n).with_seed(seed);
-                w.trial(|id| p.honest_ring_node(id))
+            || {
+                let p = BasicLead::new(n);
+                let w = SweepWorker::<u64, BasicNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |(w, p), _i, seed| {
+                let p = p.clone().with_seed(seed);
+                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
             },
         ),
         ProtocolKind::ALeadUni => run_batch(
             &cfg.batch,
-            || SweepWorker::<u64, ALeadNode>::new(n, ALeadUni::new(n).wakes()),
-            |w, _i, seed| {
-                let p = ALeadUni::new(n).with_seed(seed);
-                w.trial(|id| p.honest_ring_node(id))
+            || {
+                let p = ALeadUni::new(n);
+                let w = SweepWorker::<u64, ALeadNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |(w, p), _i, seed| {
+                let p = p.clone().with_seed(seed);
+                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
             },
         ),
         ProtocolKind::PhaseAsyncLead => run_batch(
             &cfg.batch,
-            || SweepWorker::<PhaseMsg, PhaseNode>::new(n, PhaseAsyncLead::new(n).wakes()),
-            |w, _i, seed| {
-                let p = PhaseAsyncLead::new(n)
-                    .with_seed(seed)
-                    .with_fn_key(cfg.fn_key);
-                w.trial(|id| p.honest_ring_node(id))
+            || {
+                let p = PhaseAsyncLead::new(n).with_fn_key(cfg.fn_key);
+                let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |(w, p), _i, seed| {
+                let p = p.with_seed(seed);
+                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
             },
         ),
         ProtocolKind::PhaseSumLead => run_batch(
             &cfg.batch,
-            || SweepWorker::<PhaseMsg, PhaseNode>::new(n, PhaseSumLead::new(n).wakes()),
-            |w, _i, seed| {
-                let p = PhaseSumLead::new(n).with_seed(seed);
-                w.trial(|id| p.honest_ring_node(id))
+            || {
+                let p = PhaseSumLead::new(n);
+                let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |(w, p), _i, seed| {
+                let p = p.with_seed(seed);
+                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
             },
         ),
     };

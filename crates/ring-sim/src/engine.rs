@@ -483,6 +483,11 @@ impl<M> Engine<M> {
     /// Runs one activation of node `me` (a wake-up when `incoming` is
     /// `None`, a delivery otherwise) and applies its buffered actions:
     /// enqueue sends on their links, record a terminal output.
+    ///
+    /// The [`Ctx`] borrows the engine's persistent send buffer in place
+    /// (disjoint-field borrows, no `mem::take` round-trip), so an
+    /// activation costs no `SendBuf` copies — measurable at PhaseAsyncLead
+    /// n=64, where one trial is 8k activations.
     #[inline]
     fn activate<N: Node<M>, S: Scheduler + ?Sized>(
         &mut self,
@@ -492,25 +497,35 @@ impl<M> Engine<M> {
         scheduler: &mut S,
         probe: &mut Option<&mut dyn Probe<M>>,
     ) {
-        // Lend the engine's persistent buffer to the Ctx for the duration
-        // of the activation; it comes back empty with capacity retained.
-        let mut sends = std::mem::take(&mut self.sends);
-        let mut ctx = Ctx::new(me, &self.out_neighbors[me], &mut sends);
-        match incoming {
-            Some((from, msg)) => nodes[me].on_message(from, msg, &mut ctx),
-            None => nodes[me].on_wake(&mut ctx),
-        }
-        let output = ctx.output;
-        sends.drain_with(|to, msg| {
-            let edge = self.edge_to(me, to);
-            self.sent[me] += 1;
-            if let Some(p) = probe.as_deref_mut() {
-                p.on_send(me, to, &msg, &self.sent);
+        let output = {
+            let mut ctx = Ctx::new(me, &self.out_neighbors[me], &mut self.sends);
+            match incoming {
+                Some((from, msg)) => nodes[me].on_message(from, msg, &mut ctx),
+                None => nodes[me].on_wake(&mut ctx),
             }
-            self.queues[edge].push_back(msg);
+            ctx.output
+        };
+        // Split the engine into disjoint field borrows so the drain
+        // closure can touch queues/sent/edge tables while `sends` is
+        // mutably borrowed.
+        let Engine {
+            n,
+            edge_of_dense,
+            out_edge_of,
+            queues,
+            sent,
+            sends,
+            ..
+        } = self;
+        sends.drain_with(|to, msg| {
+            let edge = edge_lookup(edge_of_dense, out_edge_of, *n, me, to);
+            sent[me] += 1;
+            if let Some(p) = probe.as_deref_mut() {
+                p.on_send(me, to, &msg, sent);
+            }
+            queues[edge].push_back(msg);
             scheduler.push(Token::Deliver(edge));
         });
-        self.sends = sends;
         if let Some(out) = output {
             self.outputs[me] = Some(out);
             if let Some(p) = probe.as_deref_mut() {
@@ -522,19 +537,32 @@ impl<M> Engine<M> {
     /// Resolves the edge id of the link `me → to` — O(1) through the dense
     /// table on every topology a sweep would use, linear scan beyond
     /// [`DENSE_EDGE_TABLE_MAX`].
-    #[inline]
+    #[cfg(test)]
     fn edge_to(&self, me: NodeId, to: NodeId) -> EdgeId {
-        if !self.edge_of_dense.is_empty() {
-            let e = self.edge_of_dense[me * self.n + to];
-            debug_assert_ne!(e, u32::MAX, "Ctx validated the link exists");
-            e as EdgeId
-        } else {
-            self.out_edge_of[me]
-                .iter()
-                .find(|&&(t, _)| t == to)
-                .map(|&(_, e)| e)
-                .expect("Ctx validated the link exists")
-        }
+        edge_lookup(&self.edge_of_dense, &self.out_edge_of, self.n, me, to)
+    }
+}
+
+/// The edge-resolution core shared by [`Engine::edge_to`] and the
+/// borrow-split send drain in [`Engine::activate`].
+#[inline]
+fn edge_lookup(
+    edge_of_dense: &[u32],
+    out_edge_of: &[Vec<(NodeId, EdgeId)>],
+    n: usize,
+    me: NodeId,
+    to: NodeId,
+) -> EdgeId {
+    if !edge_of_dense.is_empty() {
+        let e = edge_of_dense[me * n + to];
+        debug_assert_ne!(e, u32::MAX, "Ctx validated the link exists");
+        e as EdgeId
+    } else {
+        out_edge_of[me]
+            .iter()
+            .find(|&&(t, _)| t == to)
+            .map(|&(_, e)| e)
+            .expect("Ctx validated the link exists")
     }
 }
 

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod engine;
 mod node;
 mod outcome;
@@ -75,6 +76,7 @@ mod scheduler;
 pub mod sync;
 mod topology;
 
+pub use arena::{ArenaBacked, TrialArena};
 pub use engine::{default_step_limit, Engine, Execution, SimBuilder, Stats};
 pub use node::{Ctx, FnNode, Node};
 pub use outcome::{FailReason, Outcome};

@@ -58,6 +58,13 @@ impl SplitMix64 {
     /// Panics if `bound == 0`.
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
+        // Power-of-two bounds (the sweep workloads' n = 64, m = 2n²):
+        // the rejection zone below is the full range, so this mask is
+        // bit-identical to the general path — same value, same single
+        // stream advance — with no hardware division.
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
         // Rejection zone keeps the distribution exactly uniform.
         let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
         loop {

@@ -3,29 +3,40 @@
 //! The engine exposes one semantics through several entry points tuned for
 //! different callers: the one-shot `SimBuilder` (fresh working set per
 //! run), the boxed `Engine::run` / `Engine::run_into` (allocation reuse
-//! over `Box<dyn Node>`), and the monomorphized `Engine::run_mono` /
-//! `run_mono_into` honest fast path (no boxing, static dispatch). Every
-//! pair must produce *identical* `Execution`s — outcome, per-node outputs,
-//! and every counter — for every protocol, ring size and seed. These
-//! property tests are the oracle that keeps the fast paths honest.
+//! over `Box<dyn Node>`), the monomorphized `Engine::run_mono` /
+//! `run_mono_into` honest fast path (no boxing, static dispatch), the
+//! arena-pooled `run_ring_honest_pooled_into` batch loop, and the
+//! `run_with_in`/`TrialCache` attack fast path. Every pair must produce
+//! *identical* `Execution`s — outcome, per-node outputs, and every
+//! counter — for every protocol, ring size and seed. These property tests
+//! are the oracle that keeps the fast paths honest.
 
-use fle_core::protocols::{
-    run_ring_honest_in, ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead,
+use fle_attacks::{
+    BasicSingleAttack, BasicSingleCache, PhaseGuessAttack, PhaseRushingAttack, PhaseSumAttack,
+    RushingAttack,
 };
+use fle_core::protocols::{
+    run_ring_honest_in, run_ring_honest_pooled_into, ALeadTrialCache, ALeadUni, BasicLead,
+    BasicTrialCache, FleProtocol, PhaseAsyncLead, PhaseSumLead, PhaseTrialCache,
+};
+use fle_core::Coalition;
 use proptest::prelude::*;
-use ring_sim::{default_step_limit, Engine, Execution, FifoScheduler, Node, Topology};
+use ring_sim::{
+    default_step_limit, ArenaBacked, Engine, Execution, FifoScheduler, Node, Topology, TrialArena,
+};
 
 /// Drives one protocol instance through every engine entry point against
 /// the `SimBuilder` reference execution. The engine and the `run_into`
 /// out-parameter are reused across paths, so buffer-reuse bugs surface as
 /// cross-run contamination.
-fn assert_paths_agree<M: 'static, N: Node<M>>(
+fn assert_paths_agree<M: 'static, N: Node<M> + ArenaBacked>(
     n: usize,
     wakes: &[usize],
     reference: &Execution,
     engine: &mut Engine<M>,
     mut boxed: impl FnMut() -> Vec<Box<dyn Node<M>>>,
     mut mono: impl FnMut(usize) -> N,
+    mut pooled: impl FnMut(usize, &mut TrialArena) -> N,
 ) {
     let limit = default_step_limit(n);
 
@@ -54,6 +65,28 @@ fn assert_paths_agree<M: 'static, N: Node<M>>(
     engine.run_mono_into(&mut mono_nodes, wakes, &mut scheduler, limit, &mut out);
     assert_eq!(&out, reference, "Engine::run_mono_into vs SimBuilder");
 
+    // The arena-pooled batch loop, twice over the same arena and node
+    // buffer: the second pass runs entirely on reclaimed stores, so a
+    // stale or mis-reset buffer surfaces as a mismatch.
+    let mut arena = TrialArena::new();
+    let mut nodes_buf: Vec<N> = Vec::new();
+    for pass in 0..2 {
+        run_ring_honest_pooled_into(
+            engine,
+            n,
+            &mut pooled,
+            wakes,
+            &mut nodes_buf,
+            &mut scheduler,
+            &mut arena,
+            &mut out,
+        );
+        assert_eq!(
+            &out, reference,
+            "run_ring_honest_pooled_into (pass {pass}) vs SimBuilder"
+        );
+    }
+
     let via_honest_in = run_ring_honest_in(engine, n, mono, wakes);
     assert_eq!(
         &via_honest_in, reference,
@@ -76,6 +109,7 @@ proptest! {
             &mut engine,
             || (0..n).map(|id| p.honest_node(id)).collect(),
             |id| p.honest_ring_node(id),
+            |id, arena| p.honest_ring_node_in(id, arena),
         );
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
@@ -92,6 +126,7 @@ proptest! {
             &mut engine,
             || (0..n).map(|id| p.honest_node(id)).collect(),
             |id| p.honest_ring_node(id),
+            |id, arena| p.honest_ring_node_in(id, arena),
         );
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
@@ -108,6 +143,7 @@ proptest! {
             &mut engine,
             || (0..n).map(|id| p.honest_node(id)).collect(),
             |id| p.honest_ring_node(id),
+            |id, arena| p.honest_ring_node_in(id, arena),
         );
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
@@ -124,8 +160,117 @@ proptest! {
             &mut engine,
             || (0..n).map(|id| p.honest_node(id)).collect(),
             |id| p.honest_ring_node(id),
+            |id, arena| p.honest_ring_node_in(id, arena),
         );
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attack-path differentials: `run_with_in` (cached engine + MixNode) vs
+// `SimBuilder::run_with`, for every protocol. The cache is reused across
+// two runs per case so cross-trial contamination in the attack fast path
+// would surface as a second-run mismatch.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn basic_single_attack_paths_agree(
+        seed in any::<u64>(),
+        n in 3usize..24,
+        adv in 0usize..24,
+        w in 0u64..24,
+    ) {
+        let adv = adv % n;
+        let w = w % n as u64;
+        let p = BasicLead::new(n).with_seed(seed);
+        let attack = BasicSingleAttack::new(adv, w);
+        let reference = attack.run(&p).expect("always feasible in range");
+        // Boxed mix through the generic cache…
+        let mut cache = BasicTrialCache::ring(n);
+        for pass in 0..2 {
+            let nodes = vec![attack.adversary_node(&p).expect("feasible")];
+            let exec = p.run_with_in(nodes, &mut cache);
+            prop_assert_eq!(exec, &reference, "boxed pass {}", pass);
+        }
+        // …and the fully monomorphized single-deviator fast path.
+        let mut cache = BasicSingleCache::ring(n);
+        for pass in 0..2 {
+            let exec = attack.run_in(&p, &mut cache).expect("feasible");
+            prop_assert_eq!(exec, &reference, "concrete pass {}", pass);
+        }
+    }
+
+    #[test]
+    fn rushing_attack_paths_agree(seed in any::<u64>(), n in 16usize..26, w in 0u64..16) {
+        let p = ALeadUni::new(n).with_seed(seed);
+        let coalition = Coalition::equally_spaced(n, 5, 1).expect("valid layout");
+        let attack = RushingAttack::new(w);
+        prop_assume!(attack.plan(&p, &coalition).is_ok());
+        let reference = attack.run(&p, &coalition).expect("planned");
+        let mut cache = ALeadTrialCache::ring(n);
+        for pass in 0..2 {
+            let exec = attack.run_in(&p, &coalition, &mut cache).expect("planned");
+            prop_assert_eq!(exec, &reference, "pass {}", pass);
+        }
+    }
+
+    #[test]
+    fn phase_rushing_attack_paths_agree(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        n in 16usize..26,
+        w in 0u64..16,
+    ) {
+        let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(key);
+        let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+        let attack = PhaseRushingAttack::new(w);
+        prop_assume!(attack.plan(&p, &coalition).is_ok());
+        let reference = attack.run(&p, &coalition).expect("planned");
+        let mut cache = PhaseTrialCache::ring(n);
+        for pass in 0..2 {
+            let exec = attack.run_in(&p, &coalition, &mut cache).expect("planned");
+            prop_assert_eq!(exec, &reference, "pass {}", pass);
+        }
+    }
+
+    #[test]
+    fn phase_guess_attack_paths_agree(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        n in 4usize..20,
+        pos in 0usize..20,
+    ) {
+        let pos = 1 + pos % (n - 1);
+        let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(key);
+        let attack = PhaseGuessAttack::new(pos);
+        let reference = attack.run(&p).expect("valid position");
+        let mut cache = PhaseTrialCache::ring(n);
+        for pass in 0..2 {
+            let exec = attack.run_in(&p, &mut cache).expect("valid position");
+            prop_assert_eq!(exec, &reference, "pass {}", pass);
+        }
+    }
+
+    #[test]
+    fn phase_sum_attack_paths_agree(seed in any::<u64>(), n_quarter in 4usize..7, w in 0u64..16) {
+        let n = 4 * n_quarter;
+        let w = w % n as u64;
+        let p = PhaseSumLead::new(n).with_seed(seed);
+        let coalition = Coalition::equally_spaced(n, 4, 1).expect("valid layout");
+        let attack = PhaseSumAttack::new(w);
+        prop_assume!(attack.plan(&p, &coalition).is_ok());
+        let reference = {
+            let nodes = attack.adversary_nodes(&p, &coalition).expect("planned");
+            p.run_with(nodes)
+        };
+        let mut cache = PhaseTrialCache::ring(n);
+        for pass in 0..2 {
+            let nodes = attack.adversary_nodes(&p, &coalition).expect("planned");
+            let exec = p.run_with_in(nodes, &mut cache);
+            prop_assert_eq!(exec, &reference, "pass {}", pass);
+        }
     }
 }
 

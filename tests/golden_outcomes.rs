@@ -11,8 +11,15 @@
 //! pinned values must be re-derived and the change called out in review —
 //! that is the point.
 
-use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
-use fle_harness::{run_sweep, sha256_hex, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
+use fle_attacks::PhaseRushingAttack;
+use fle_core::protocols::{
+    ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead, PhaseTrialCache,
+};
+use fle_core::Coalition;
+use fle_harness::{
+    run_batch, run_sweep, sha256_hex, trial_seed, BatchConfig, ProtocolKind, SweepConfig,
+    TrialOutcome, TrialReport,
+};
 use ring_sim::Execution;
 
 /// Asserts the full observable signature of one honest execution.
@@ -182,6 +189,69 @@ fn full_10k_sweep_json_sha256_is_pinned() {
         sha256_hex(report.to_json().as_bytes()),
         "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
     );
+}
+
+/// Builds the canonical attack sweep: 500 trials of the `√n + 3` rushing
+/// coalition (`k = 7` equally spaced) against `PhaseAsyncLead n=16`, one
+/// derived seed per trial, run through the cached-engine attack fast path
+/// (`run_in` over a per-worker [`PhaseTrialCache`]).
+fn rushing_n16_report(trials: u64) -> TrialReport {
+    let n = 16;
+    let base_seed = 1;
+    let attack = PhaseRushingAttack::new(3);
+    let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+    let outcomes = run_batch(
+        &BatchConfig {
+            trials,
+            base_seed,
+            threads: 1,
+        },
+        || PhaseTrialCache::ring(n),
+        |cache, _i, seed| {
+            let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(9);
+            let exec = attack.run_in(&p, &coalition, cache).expect("feasible");
+            TrialOutcome::of(exec)
+        },
+    );
+    TrialReport::from_trials("PhaseRushing-n16", n, base_seed, &outcomes)
+}
+
+/// SHA-256 pin of the attack fast path's aggregate output — the
+/// byte-identical regression oracle for `run_in`/`TrialCache`, mirroring
+/// the honest sweep pins above. The digest was first derived through
+/// `SimBuilder::run_with` (`PhaseRushingAttack::run`), so it also proves
+/// the cached-engine path reproduces the one-shot path exactly.
+#[test]
+fn rushing_attack_sweep_json_sha256_is_pinned() {
+    let report = rushing_n16_report(500);
+    // The rushing coalition controls the outcome: all 500 trials elect
+    // target 3 (w=3 wins every trial; everything else zero).
+    assert_eq!(report.wins[3], 500);
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "a05b7ec457fe54acce4827023c6828ad34bb39427cbefe39925264ee45f8153a"
+    );
+}
+
+/// The same 500 trials through the one-shot `SimBuilder` path must
+/// aggregate to the identical report (differential form of the pin, so a
+/// drift in either path is attributed immediately).
+#[test]
+fn rushing_attack_sweep_matches_simbuilder_path() {
+    let n = 16;
+    let attack = PhaseRushingAttack::new(3);
+    let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+    let fast = rushing_n16_report(40);
+    let outcomes: Vec<TrialOutcome> = (0..40)
+        .map(|i| {
+            let p = PhaseAsyncLead::new(n)
+                .with_seed(trial_seed(1, i))
+                .with_fn_key(9);
+            TrialOutcome::of(&attack.run(&p, &coalition).expect("feasible"))
+        })
+        .collect();
+    let slow = TrialReport::from_trials("PhaseRushing-n16", n, 1, &outcomes);
+    assert_eq!(fast.to_json(), slow.to_json());
 }
 
 /// The engine-reuse fast path must agree with the pinned builder-path
