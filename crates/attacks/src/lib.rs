@@ -40,10 +40,10 @@ pub use basic_single::{BasicSingleAttack, BasicSingleCache, WaitAndCancel};
 pub use cubic::{cubic_distances, plan_with_k, CubicAttack, CubicPlan};
 pub use phase_burst::PhaseBurstAttack;
 pub use phase_guess::PhaseGuessAttack;
-pub use phase_rushing::PhaseRushingAttack;
+pub use phase_rushing::{PhaseRusher, PhaseRushingAttack, PhaseRushingCache};
 pub use phase_sum::PhaseSumAttack;
 pub use random_located::RandomLocatedAttack;
-pub use rushing::RushingAttack;
+pub use rushing::{Rusher, RushingAttack, RushingCache};
 pub use wakeup_mask::{MaskPlan, WakeupIdLieAttack, WakeupMaskAttack};
 
 /// Why an attack could not be mounted with the given coalition.

@@ -14,11 +14,17 @@
 //! exponentially unlikely).
 
 use crate::AttackError;
-use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseMsg, PhaseTrialCache};
+use fle_core::protocols::{FleProtocol, PhaseAsyncLead, PhaseMsg, PhaseNode, TrialCache};
 use fle_core::{Coalition, DeviationNodes, Execution, Node, NodeId, RandomFn};
 use ring_sim::rng::SplitMix64;
 use ring_sim::Ctx;
 use std::collections::VecDeque;
+
+/// [`TrialCache`] for the phase-rushing coalition's fully unboxed fast
+/// path: honest positions run the concrete [`PhaseNode`] with arena-backed
+/// stores, every coalition slot runs the concrete [`PhaseRusher`] — the
+/// homogeneous coalition pays no `Box<dyn Node>`.
+pub type PhaseRushingCache = TrialCache<PhaseMsg, PhaseNode, PhaseRusher>;
 
 /// The rushing attack on [`PhaseAsyncLead`].
 ///
@@ -131,6 +137,26 @@ impl PhaseRushingAttack {
         protocol: &PhaseAsyncLead,
         coalition: &Coalition,
     ) -> Result<DeviationNodes<PhaseMsg>, AttackError> {
+        Ok(self
+            .adversary_ring_nodes(protocol, coalition)?
+            .into_iter()
+            .map(|(pos, rusher)| (pos, Box::new(rusher) as Box<dyn Node<PhaseMsg>>))
+            .collect())
+    }
+
+    /// [`PhaseRushingAttack::adversary_nodes`] as concrete
+    /// [`PhaseRusher`]s — the form [`PhaseRushingAttack::run_in`]'s
+    /// homogeneous-coalition fast path stores unboxed (the origin is never
+    /// in the coalition here; [`PhaseRushingAttack::plan`] rejects it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhaseRushingAttack::plan`] errors.
+    pub fn adversary_ring_nodes(
+        &self,
+        protocol: &PhaseAsyncLead,
+        coalition: &Coalition,
+    ) -> Result<Vec<(NodeId, PhaseRusher)>, AttackError> {
         self.plan(protocol, coalition)?;
         let params = protocol.params();
         let k = coalition.k();
@@ -139,7 +165,7 @@ impl PhaseRushingAttack {
             .iter()
             .zip(coalition.distances())
             .map(|(&pos, l_own)| {
-                let node: Box<dyn Node<PhaseMsg>> = Box::new(PhaseRusher {
+                let node = PhaseRusher {
                     pos,
                     n: params.n,
                     k,
@@ -155,7 +181,7 @@ impl PhaseRushingAttack {
                     stream: Vec::with_capacity(params.n - k),
                     vals: vec![0; params.n + 1],
                     planned: VecDeque::new(),
-                });
+                };
                 (pos, node)
             })
             .collect())
@@ -176,9 +202,10 @@ impl PhaseRushingAttack {
     }
 
     /// [`PhaseRushingAttack::run`] through a per-thread
-    /// [`PhaseTrialCache`] — the attack fast path: cached engine, pooled
-    /// scheduler, arena-backed honest stores and a reused [`Execution`].
-    /// Only the `k` deviator nodes are built (boxed) per trial.
+    /// [`PhaseRushingCache`] — the fully unboxed attack fast path: cached
+    /// engine, pooled scheduler, arena-backed honest stores, a reused
+    /// [`Execution`], and the whole homogeneous coalition stored as
+    /// concrete [`PhaseRusher`]s — no `Box<dyn Node>` per trial.
     /// Bit-identical outcomes to [`PhaseRushingAttack::run`].
     ///
     /// # Errors
@@ -192,9 +219,9 @@ impl PhaseRushingAttack {
         &self,
         protocol: &PhaseAsyncLead,
         coalition: &Coalition,
-        cache: &'c mut PhaseTrialCache,
+        cache: &'c mut PhaseRushingCache,
     ) -> Result<&'c Execution, AttackError> {
-        let nodes = self.adversary_nodes(protocol, coalition)?;
+        let nodes = self.adversary_ring_nodes(protocol, coalition)?;
         Ok(protocol.run_with_in(nodes, cache))
     }
 }
@@ -203,7 +230,11 @@ impl PhaseRushingAttack {
 /// data handling pipes the first `n − k` rounds, then plays the planned
 /// `[free slots…, segment secrets…]` suffix computed by a preimage search
 /// on `f`.
-struct PhaseRusher {
+///
+/// Public as a concrete type so [`PhaseRushingAttack::run_in`]'s
+/// homogeneous coalition can store it unboxed; build instances with
+/// [`PhaseRushingAttack::adversary_ring_nodes`].
+pub struct PhaseRusher {
     pos: NodeId,
     n: usize,
     k: usize,

@@ -13,9 +13,15 @@
 //! (the Claim D.1 crossover).
 
 use crate::AttackError;
-use fle_core::protocols::{ALeadTrialCache, ALeadUni, FleProtocol};
+use fle_core::protocols::{ALeadNode, ALeadUni, FleProtocol, TrialCache};
 use fle_core::{Coalition, DeviationNodes, Execution, Node, NodeId};
 use ring_sim::Ctx;
+
+/// [`TrialCache`] for the rushing coalition's fully unboxed fast path:
+/// honest positions run the concrete [`ALeadNode`], every coalition slot
+/// runs the concrete [`Rusher`] — a homogeneous coalition needs no
+/// `Box<dyn Node>` anywhere in the mix.
+pub type RushingCache = TrialCache<u64, ALeadNode, Rusher>;
 
 /// The Lemma 4.1 rushing attack on [`ALeadUni`].
 ///
@@ -115,29 +121,54 @@ impl RushingAttack {
         protocol: &ALeadUni,
         coalition: &Coalition,
     ) -> Result<DeviationNodes<u64>, AttackError> {
-        let active = self.plan(protocol, coalition)?;
-        let n = protocol.n();
-        let k = active.k();
         let mut nodes: Vec<(NodeId, Box<dyn Node<u64>>)> = Vec::with_capacity(coalition.k());
         if coalition.contains(0) {
             nodes.push((0, protocol.honest_node(0)));
         }
-        for (idx, &pos) in active.positions().iter().enumerate() {
-            let l = active.distances()[idx];
-            nodes.push((
-                pos,
-                Box::new(Rusher {
-                    n: n as u64,
-                    k: k as u64,
-                    l: l as u64,
-                    w: self.target,
-                    count: 0,
-                    sum: 0,
-                    tail: Vec::with_capacity(l),
-                }),
-            ));
+        for (pos, rusher) in self.adversary_ring_nodes(protocol, coalition)? {
+            nodes.push((pos, Box::new(rusher)));
         }
         Ok(nodes)
+    }
+
+    /// [`RushingAttack::adversary_nodes`] as concrete [`Rusher`]s — the
+    /// form [`RushingAttack::run_in`]'s homogeneous-coalition fast path
+    /// stores unboxed. A corrupted origin behaves honestly, so it is
+    /// simply *omitted* here: the cache's honest builder supplies the
+    /// identical [`ALeadNode`] for position 0 (bit-identical executions
+    /// either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RushingAttack::plan`] errors.
+    pub fn adversary_ring_nodes(
+        &self,
+        protocol: &ALeadUni,
+        coalition: &Coalition,
+    ) -> Result<Vec<(NodeId, Rusher)>, AttackError> {
+        let active = self.plan(protocol, coalition)?;
+        let n = protocol.n();
+        let k = active.k();
+        Ok(active
+            .positions()
+            .iter()
+            .enumerate()
+            .map(|(idx, &pos)| {
+                let l = active.distances()[idx];
+                (
+                    pos,
+                    Rusher {
+                        n: n as u64,
+                        k: k as u64,
+                        l: l as u64,
+                        w: self.target,
+                        count: 0,
+                        sum: 0,
+                        tail: Vec::with_capacity(l),
+                    },
+                )
+            })
+            .collect())
     }
 
     /// Runs the deviation against a protocol instance.
@@ -155,10 +186,12 @@ impl RushingAttack {
         Ok(protocol.run_with(nodes))
     }
 
-    /// [`RushingAttack::run`] through a per-thread [`ALeadTrialCache`] —
-    /// the attack fast path: cached engine, pooled scheduler and a reused
-    /// [`Execution`]; only the `k` deviator nodes are built (boxed) per
-    /// trial. Bit-identical outcomes to [`RushingAttack::run`].
+    /// [`RushingAttack::run`] through a per-thread [`RushingCache`] — the
+    /// fully unboxed attack fast path: cached engine, pooled scheduler, a
+    /// reused [`Execution`], honest positions on the concrete
+    /// [`ALeadNode`] and the whole homogeneous coalition on the concrete
+    /// [`Rusher`] — no `Box<dyn Node>` anywhere. Bit-identical outcomes to
+    /// [`RushingAttack::run`].
     ///
     /// # Errors
     ///
@@ -172,9 +205,9 @@ impl RushingAttack {
         &self,
         protocol: &ALeadUni,
         coalition: &Coalition,
-        cache: &'c mut ALeadTrialCache,
+        cache: &'c mut RushingCache,
     ) -> Result<&'c Execution, AttackError> {
-        let nodes = self.adversary_nodes(protocol, coalition)?;
+        let nodes = self.adversary_ring_nodes(protocol, coalition)?;
         Ok(protocol.run_with_in(nodes, cache))
     }
 }
@@ -183,7 +216,11 @@ impl RushingAttack {
 /// honest secret), then spends its `k` spare sends on
 /// `[M, 0 × (k−1−l), secrets of its segment]`, making its outgoing sum `w`
 /// while satisfying every condition of Lemma 3.3.
-struct Rusher {
+///
+/// Public as a concrete type so [`RushingAttack::run_in`]'s homogeneous
+/// coalition can store it unboxed; build instances with
+/// [`RushingAttack::adversary_ring_nodes`].
+pub struct Rusher {
     n: u64,
     k: u64,
     l: u64,

@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fle_attacks::PhaseRushingAttack;
-use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg, PhaseTrialCache};
+use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg};
 use fle_core::Coalition;
 use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
 use ring_sim::{Engine, Topology};
@@ -106,7 +106,7 @@ fn bench(c: &mut Criterion) {
         });
     });
     g.bench_function("rushing_cached_engine", |b| {
-        let mut cache = PhaseTrialCache::ring(n);
+        let mut cache = fle_attacks::PhaseRushingCache::ring(n);
         b.iter(|| {
             let mut elected = 0u64;
             for i in 0..TRIALS {

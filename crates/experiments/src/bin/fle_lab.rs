@@ -7,7 +7,7 @@
 //! fle-lab --threads 4 all          # cap the worker pool for everything
 //! fle-lab sweep --protocol phase --n 64 --trials 10000 --seed 1 \
 //!         --threads 8 --format json
-//! fle-lab bench-baseline --out BENCH_4.json   # perf trajectory snapshot
+//! fle-lab bench-baseline --out BENCH_5.json   # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic `fle-harness` batch and
@@ -15,8 +15,9 @@
 //! CSV on stdout. Output is byte-identical for every `--threads` value.
 //!
 //! The `bench-baseline` subcommand measures the honest monomorphized +
-//! arena engine path (ns/trial for the canonical sweep workloads, single
-//! thread) *and* the cached-engine attack path against its `SimBuilder`
+//! arena engine path (ns/trial *and* ns/delivery — deliveries counted
+//! from a real `Execution` — for the canonical sweep workloads, single
+//! thread) plus the cached-engine attack path against its `SimBuilder`
 //! baseline, then writes a machine-readable JSON snapshot, so successive
 //! PRs accumulate a perf trajectory (`BENCH_<pr>.json`) that can be
 //! diffed.
@@ -156,13 +157,28 @@ const PR2_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("alead_n64", 160_000.0),
 ];
 
-/// The PR 3 snapshot (`BENCH_3.json`) — the previous point of the
-/// trajectory, so each new snapshot also records its *incremental*
-/// improvement, not just the cumulative one against PR 2.
+/// The PR 3 snapshot (`BENCH_3.json`) — an earlier point of the
+/// trajectory, kept so snapshots stay comparable across PRs.
 const PR3_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("phase_n8", 4_627.7),
     ("phase_n64", 250_803.6),
     ("alead_n64", 113_687.8),
+];
+
+/// The PR 4 snapshot (`BENCH_4.json`) — the previous point of the
+/// trajectory, so each new snapshot also records its *incremental*
+/// improvement, not just the cumulative one against PR 2.
+const PR4_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 3_769.4),
+    ("phase_n64", 193_705.5),
+    ("alead_n64", 84_680.3),
+];
+
+/// The PR 4 snapshot's attack-arm timings (cached `run_in` fast path),
+/// the baseline the fused-stream engine's attack arms are diffed against.
+const PR4_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
+    ("basic_single_n32", 20_886.2),
+    ("phase_rushing_n16", 25_332.2),
 ];
 
 /// Times `trial(seed)` over `trials` harness-derived seeds and returns
@@ -185,8 +201,8 @@ fn time_trials(trials: u64, mut trial: impl FnMut(u64)) -> f64 {
 /// `(fast, simbuilder)` ns/trial keyed per workload.
 #[allow(clippy::type_complexity)] // two parallel (key, ns) tables
 fn bench_attack_arms(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static str, f64)>) {
-    use fle_attacks::{BasicSingleAttack, BasicSingleCache, PhaseRushingAttack};
-    use fle_core::protocols::{BasicLead, PhaseAsyncLead, PhaseTrialCache};
+    use fle_attacks::{BasicSingleAttack, BasicSingleCache, PhaseRushingAttack, PhaseRushingCache};
+    use fle_core::protocols::{BasicLead, PhaseAsyncLead};
     use fle_core::Coalition;
     use ring_sim::Outcome;
 
@@ -225,7 +241,7 @@ fn bench_attack_arms(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static st
         let attack = PhaseRushingAttack::new(3);
         let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
         let trials = 20_000 / scale;
-        let mut cache = PhaseTrialCache::ring(n);
+        let mut cache = PhaseRushingCache::ring(n);
         let ns = time_trials(trials, |seed| {
             let p = PhaseAsyncLead::new(n).with_seed(seed);
             let exec = attack.run_in(&p, &coalition, &mut cache).expect("feasible");
@@ -271,8 +287,22 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / trials as f64
 }
 
+/// Deliveries per trial of one honest workload, counted from a real
+/// [`ring_sim::Execution`] (`stats.delivered`), so the per-delivery arm of
+/// the snapshot is derived from the measured object, not a formula.
+fn deliveries_per_trial(protocol: ProtocolKind, n: usize) -> u64 {
+    use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
+    let exec = match protocol {
+        ProtocolKind::BasicLead => BasicLead::new(n).with_seed(1).run_honest(),
+        ProtocolKind::ALeadUni => ALeadUni::new(n).with_seed(1).run_honest(),
+        ProtocolKind::PhaseAsyncLead => PhaseAsyncLead::new(n).with_seed(1).run_honest(),
+        ProtocolKind::PhaseSumLead => PhaseSumLead::new(n).with_seed(1).run_honest(),
+    };
+    exec.stats.delivered
+}
+
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -305,10 +335,19 @@ fn run_bench_baseline(args: &[String]) {
         .unwrap_or("BENCH")
         .to_string();
     let mut measured: Vec<(&str, f64)> = Vec::new();
+    let mut deliveries: Vec<(&str, f64)> = Vec::new();
+    let mut ns_per_delivery: Vec<(&str, f64)> = Vec::new();
     for (key, protocol, n, trials) in workloads {
         let ns = time_sweep(protocol, n, trials);
-        eprintln!("  [bench-baseline {key}: {ns:.0} ns/trial over {trials} trials]");
+        let per_trial = deliveries_per_trial(protocol, n);
+        let per_delivery = ns / per_trial as f64;
+        eprintln!(
+            "  [bench-baseline {key}: {ns:.0} ns/trial over {trials} trials, \
+             {per_trial} deliveries/trial → {per_delivery:.2} ns/delivery]"
+        );
         measured.push((key, ns));
+        deliveries.push((key, per_trial as f64));
+        ns_per_delivery.push((key, per_delivery));
     }
     // The recorded-table workload: the full 10k-trial PhaseAsyncLead n=64
     // sweep, wall-clock plus output fingerprint (the sha proves the timed
@@ -356,32 +395,47 @@ fn run_bench_baseline(args: &[String]) {
     }
     let improvements = improve_against(&PR2_NS_PER_TRIAL, &measured);
     let improvements_pr3 = improve_against(&PR3_NS_PER_TRIAL, &measured);
+    let improvements_pr4 = improve_against(&PR4_NS_PER_TRIAL, &measured);
     let attack_improvements = improve_against(&attack_base, &attack_fast);
+    let attack_improvements_pr4 = improve_against(&PR4_ATTACK_NS_PER_TRIAL, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"honest monomorphized + arena engine ",
-            "path and cached-engine attack path, single thread, ns per trial\",",
+            "{{\"bench\":\"{}\",\"description\":\"fused global-FIFO engine stream ",
+            "(packed tokens + inline message payloads) over the arena/mono trial ",
+            "paths, single thread, ns per trial\",",
             "\"quick\":{},",
             "\"ns_per_trial\":{{{}}},",
+            "\"deliveries_per_trial\":{{{}}},",
+            "\"ns_per_delivery\":{{{}}},",
             "\"baseline_pr2_ns_per_trial\":{{{}}},",
             "\"baseline_pr3_ns_per_trial\":{{{}}},",
+            "\"baseline_pr4_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
             "\"improvement_vs_pr3_pct\":{{{}}},",
+            "\"improvement_vs_pr4_pct\":{{{}}},",
             "\"attack_ns_per_trial\":{{{}}},",
             "\"attack_simbuilder_ns_per_trial\":{{{}}},",
+            "\"attack_baseline_pr4_ns_per_trial\":{{{}}},",
             "\"attack_improvement_pct\":{{{}}},",
+            "\"attack_improvement_vs_pr4_pct\":{{{}}},",
             "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
         ),
         label,
         quick,
         fmt_map(&measured),
+        fmt_map(&deliveries),
+        fmt_map(&ns_per_delivery),
         fmt_map(&PR2_NS_PER_TRIAL),
         fmt_map(&PR3_NS_PER_TRIAL),
+        fmt_map(&PR4_NS_PER_TRIAL),
         fmt_map(&improvements),
         fmt_map(&improvements_pr3),
+        fmt_map(&improvements_pr4),
         fmt_map(&attack_fast),
         fmt_map(&attack_base),
+        fmt_map(&PR4_ATTACK_NS_PER_TRIAL),
         fmt_map(&attack_improvements),
+        fmt_map(&attack_improvements_pr4),
         sweep_trials,
         sweep_ms,
         sweep_sha,

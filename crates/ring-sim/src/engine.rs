@@ -1,9 +1,10 @@
 //! The discrete-event execution engine.
 
+use crate::links::{LinkQueues, LinkSlab};
 use crate::node::{Ctx, Node, SendBuf};
 use crate::outcome::{outcome_of, FailReason, Outcome};
 use crate::probe::Probe;
-use crate::scheduler::{FifoScheduler, Scheduler, Token};
+use crate::scheduler::{FifoScheduler, PackedToken, Scheduler, Token};
 use crate::topology::{EdgeId, NodeId, Topology};
 use std::collections::VecDeque;
 
@@ -228,12 +229,47 @@ pub struct Engine<M> {
     /// Per-node `(successor, edge)` fallback list for topologies too large
     /// for the dense table.
     out_edge_of: Vec<Vec<(NodeId, EdgeId)>>,
-    queues: Vec<VecDeque<M>>,
+    /// Per-link message storage: the flat [`LinkSlab`] on ring-shaped
+    /// topologies, per-link `VecDeque`s elsewhere.
+    links: LinkStorage<M>,
+    /// `link_dirty[e]` is set the first time a run pushes onto link `e`;
+    /// `link_touched` lists exactly those links, so [`Engine::reset`]
+    /// clears O(touched) queues instead of all of them.
+    link_dirty: Vec<bool>,
+    link_touched: Vec<EdgeId>,
+    /// The fused token+message stream of the global-FIFO fast path (see
+    /// [`Scheduler::is_global_fifo`]): tokens and their messages travel as
+    /// one entry, so a delivery is a single `pop_front` instead of a token
+    /// pop plus a link-queue pop. Empty whenever the run's scheduler is
+    /// not a global FIFO. Capacity is retained across trials.
+    fused: VecDeque<FusedEvent<M>>,
     outputs: Vec<Option<Option<u64>>>,
     sent: Vec<u64>,
     received: Vec<u64>,
     /// Reusable per-activation send buffer lent to [`Ctx`].
     sends: SendBuf<M>,
+}
+
+/// The engine's two link-storage layouts. The variant is fixed at
+/// construction; every run entry dispatches on it **once**, outside the
+/// delivery loop, into a monomorphized [`drive`] instantiation.
+enum LinkStorage<M> {
+    /// Flat slab — topologies where every node has exactly one in-link.
+    Slab(LinkSlab<M>),
+    /// General-topology fallback: one `VecDeque` per link.
+    Queues(Vec<VecDeque<M>>),
+}
+
+/// One entry of the fused global-FIFO stream: a [`Token`] carrying its
+/// message payload inline. Under a global-FIFO schedule the `k`-th popped
+/// `Deliver` token always delivers the `k`-th sent message (token order
+/// *is* per-link message order), so storing them together is semantics-
+/// preserving — and halves the hot loop's queue traffic.
+enum FusedEvent<M> {
+    /// Wake node `NodeId` spontaneously.
+    Wake(NodeId),
+    /// Deliver `M` along link `EdgeId`.
+    Deliver(EdgeId, M),
 }
 
 impl<M> std::fmt::Debug for Engine<M> {
@@ -246,7 +282,27 @@ impl<M> std::fmt::Debug for Engine<M> {
 
 impl<M> Engine<M> {
     /// Creates an engine for `topology`, preallocating the working set.
+    ///
+    /// Topologies in which every node has exactly one incoming link
+    /// (unidirectional rings — every sweep workload) get the flat
+    /// `LinkSlab` message storage; general topologies fall back to
+    /// per-link `VecDeque`s. Both produce bit-identical [`Execution`]s.
     pub fn new(topology: Topology) -> Self {
+        Self::build(topology, false)
+    }
+
+    /// [`Engine::new`] forced onto the general-topology `VecDeque` link
+    /// storage even when the topology qualifies for the ring slab.
+    ///
+    /// Semantics are identical to [`Engine::new`] — this constructor
+    /// exists as the **differential-test oracle** for the slab fast path
+    /// (`tests/engine_paths.rs` runs every protocol through both layouts
+    /// and asserts bit-identical executions).
+    pub fn new_with_general_links(topology: Topology) -> Self {
+        Self::build(topology, true)
+    }
+
+    fn build(topology: Topology, force_general_links: bool) -> Self {
         let n = topology.len();
         let out_neighbors: Vec<Vec<NodeId>> = (0..n).map(|i| topology.out_neighbors(i)).collect();
         let out_edge_of: Vec<Vec<(NodeId, EdgeId)>> = (0..n)
@@ -271,16 +327,23 @@ impl<M> Engine<M> {
         } else {
             Vec::new()
         };
-        let queues = (0..topology.edges().len())
-            .map(|_| VecDeque::new())
-            .collect();
+        let links_count = topology.edges().len();
+        let ring_shaped = (0..n).all(|i| topology.in_edges(i).len() == 1);
+        let links = if ring_shaped && !force_general_links {
+            LinkStorage::Slab(LinkSlab::new(links_count))
+        } else {
+            LinkStorage::Queues((0..links_count).map(|_| VecDeque::new()).collect())
+        };
         Self {
             topology,
             n,
             out_neighbors,
             edge_of_dense,
             out_edge_of,
-            queues,
+            links,
+            link_dirty: vec![false; links_count],
+            link_touched: Vec::new(),
+            fused: VecDeque::new(),
             outputs: vec![None; n],
             sent: vec![0; n],
             received: vec![0; n],
@@ -293,14 +356,46 @@ impl<M> Engine<M> {
         &self.topology
     }
 
+    /// `true` when this engine stores link messages in the flat ring
+    /// `LinkSlab` (rather than the general-topology `VecDeque`
+    /// fallback). Exposed so tests and benches can assert which path a
+    /// workload rides.
+    pub fn uses_ring_slab(&self) -> bool {
+        matches!(self.links, LinkStorage::Slab(_))
+    }
+
     /// Clears all per-run state in place, keeping every allocation (link
     /// queues retain their capacity). Called automatically at the start of
     /// each [`Engine::run`]; exposed for callers that want a cleared engine
     /// between batches.
+    ///
+    /// Link clearing is O(links *touched by the previous run*): pushes
+    /// record first-touches in a dirty list, so a run that delivered
+    /// everything (or touched only a few links) costs a short walk here,
+    /// not a scan of every queue.
     pub fn reset(&mut self) {
-        for q in &mut self.queues {
-            q.clear();
+        let Engine {
+            links,
+            link_dirty,
+            link_touched,
+            ..
+        } = self;
+        match links {
+            LinkStorage::Slab(slab) => {
+                for &e in link_touched.iter() {
+                    slab.clear_link(e);
+                    link_dirty[e] = false;
+                }
+            }
+            LinkStorage::Queues(queues) => {
+                for &e in link_touched.iter() {
+                    queues.clear_link(e);
+                    link_dirty[e] = false;
+                }
+            }
         }
+        link_touched.clear();
+        self.fused.clear();
         self.outputs.fill(None);
         self.sent.fill(0);
         self.received.fill(0);
@@ -330,7 +425,7 @@ impl<M> Engine<M> {
         step_limit: u64,
     ) -> Execution {
         let mut out = Execution::default();
-        self.session_core(nodes, wakes, scheduler, step_limit, None, &mut out);
+        self.session_core(nodes, wakes, scheduler, step_limit, NoProbeHook, &mut out);
         out
     }
 
@@ -352,10 +447,15 @@ impl<M> Engine<M> {
         step_limit: u64,
         out: &mut Execution,
     ) {
-        self.session_core(nodes, wakes, scheduler, step_limit, None, out);
+        self.session_core(nodes, wakes, scheduler, step_limit, NoProbeHook, out);
     }
 
     /// [`Engine::run`] with an optional instrumentation probe.
+    ///
+    /// Probed runs go through a separate loop instantiation
+    /// (`DynProbeHook`); the probe-less entries compile with
+    /// `NoProbeHook`, whose empty inline hooks vanish entirely — no
+    /// `Option<&mut dyn Probe>` check survives on any per-delivery path.
     ///
     /// # Panics
     ///
@@ -369,7 +469,17 @@ impl<M> Engine<M> {
         probe: Option<&mut dyn Probe<M>>,
     ) -> Execution {
         let mut out = Execution::default();
-        self.session_core(nodes, wakes, scheduler, step_limit, probe, &mut out);
+        match probe {
+            Some(p) => self.session_core(
+                nodes,
+                wakes,
+                scheduler,
+                step_limit,
+                DynProbeHook(p),
+                &mut out,
+            ),
+            None => self.session_core(nodes, wakes, scheduler, step_limit, NoProbeHook, &mut out),
+        }
         out
     }
 
@@ -394,7 +504,7 @@ impl<M> Engine<M> {
         step_limit: u64,
     ) -> Execution {
         let mut out = Execution::default();
-        self.session_core(nodes, wakes, scheduler, step_limit, None, &mut out);
+        self.session_core(nodes, wakes, scheduler, step_limit, NoProbeHook, &mut out);
         out
     }
 
@@ -412,126 +522,83 @@ impl<M> Engine<M> {
         step_limit: u64,
         out: &mut Execution,
     ) {
-        self.session_core(nodes, wakes, scheduler, step_limit, None, out);
+        self.session_core(nodes, wakes, scheduler, step_limit, NoProbeHook, out);
     }
 
-    /// The engine loop, generic over node storage and scheduler so the
-    /// honest batch path monomorphizes end to end. Every public `run*`
-    /// entry funnels here, which is what keeps the boxed and mono paths
-    /// bit-identical by construction.
-    fn session_core<N: Node<M>, S: Scheduler + ?Sized>(
+    /// The engine loop's front half: resets per-run state, then dispatches
+    /// **once** on the link-storage variant and the probe hook into a fully
+    /// monomorphized [`drive`] instantiation — generic over node storage,
+    /// scheduler, link layout and probe, so the honest batch path carries
+    /// no vtable call, no storage match and no probe branch per delivery.
+    /// Every public `run*` entry funnels here, which is what keeps all the
+    /// paths bit-identical by construction.
+    fn session_core<N: Node<M>, S: Scheduler + ?Sized, P: ProbeHook<M>>(
         &mut self,
         nodes: &mut [N],
         wakes: &[NodeId],
         scheduler: &mut S,
         step_limit: u64,
-        mut probe: Option<&mut dyn Probe<M>>,
+        mut probe: P,
         out: &mut Execution,
     ) {
         assert_eq!(nodes.len(), self.n, "need one behaviour per node");
         self.reset();
         scheduler.clear();
 
-        let mut delivered = 0u64;
-        let mut steps = 0u64;
-
-        for &w in wakes {
-            scheduler.push(Token::Wake(w));
-        }
-
-        let mut hit_limit = false;
-        while let Some(token) = scheduler.pop() {
-            if steps >= step_limit {
-                hit_limit = true;
-                break;
+        let Engine {
+            topology,
+            n,
+            out_neighbors,
+            edge_of_dense,
+            out_edge_of,
+            links,
+            link_dirty,
+            link_touched,
+            fused,
+            outputs,
+            sent,
+            received,
+            sends,
+        } = self;
+        let hot = Hot {
+            n: *n,
+            edges: topology.edges(),
+            out_neighbors,
+            edge_of_dense,
+            out_edge_of,
+        };
+        let mut state = RunState {
+            outputs,
+            sent,
+            received,
+            sends,
+            link_dirty,
+            link_touched,
+        };
+        let (steps, delivered, hit_limit) = if scheduler.is_global_fifo() {
+            drive_fused(
+                &hot, &mut state, fused, nodes, wakes, step_limit, &mut probe,
+            )
+        } else {
+            match links {
+                LinkStorage::Slab(slab) => drive(
+                    &hot, &mut state, slab, nodes, wakes, scheduler, step_limit, &mut probe,
+                ),
+                LinkStorage::Queues(queues) => drive(
+                    &hot, &mut state, queues, nodes, wakes, scheduler, step_limit, &mut probe,
+                ),
             }
-            steps += 1;
-            match token {
-                Token::Wake(i) => {
-                    if self.outputs[i].is_none() {
-                        self.activate(nodes, i, None, scheduler, &mut probe);
-                    }
-                }
-                Token::Deliver(edge) => {
-                    let msg = self.queues[edge]
-                        .pop_front()
-                        .expect("token implies a queued message");
-                    let (from, to) = self.topology.edges()[edge];
-                    self.received[to] += 1;
-                    delivered += 1;
-                    if let Some(p) = probe.as_deref_mut() {
-                        p.on_deliver(from, to, &msg, &self.received);
-                    }
-                    if self.outputs[to].is_none() {
-                        self.activate(nodes, to, Some((from, msg)), scheduler, &mut probe);
-                    }
-                }
-            }
-        }
+        };
 
-        out.outcome = outcome_of(&self.outputs, !hit_limit);
+        out.outcome = outcome_of(&*state.outputs, !hit_limit);
         out.outputs.clear();
-        out.outputs.extend_from_slice(&self.outputs);
+        out.outputs.extend_from_slice(&*state.outputs);
         out.stats.steps = steps;
         out.stats.delivered = delivered;
         out.stats.sent.clear();
-        out.stats.sent.extend_from_slice(&self.sent);
+        out.stats.sent.extend_from_slice(&*state.sent);
         out.stats.received.clear();
-        out.stats.received.extend_from_slice(&self.received);
-    }
-
-    /// Runs one activation of node `me` (a wake-up when `incoming` is
-    /// `None`, a delivery otherwise) and applies its buffered actions:
-    /// enqueue sends on their links, record a terminal output.
-    ///
-    /// The [`Ctx`] borrows the engine's persistent send buffer in place
-    /// (disjoint-field borrows, no `mem::take` round-trip), so an
-    /// activation costs no `SendBuf` copies — measurable at PhaseAsyncLead
-    /// n=64, where one trial is 8k activations.
-    #[inline]
-    fn activate<N: Node<M>, S: Scheduler + ?Sized>(
-        &mut self,
-        nodes: &mut [N],
-        me: NodeId,
-        incoming: Option<(NodeId, M)>,
-        scheduler: &mut S,
-        probe: &mut Option<&mut dyn Probe<M>>,
-    ) {
-        let output = {
-            let mut ctx = Ctx::new(me, &self.out_neighbors[me], &mut self.sends);
-            match incoming {
-                Some((from, msg)) => nodes[me].on_message(from, msg, &mut ctx),
-                None => nodes[me].on_wake(&mut ctx),
-            }
-            ctx.output
-        };
-        // Split the engine into disjoint field borrows so the drain
-        // closure can touch queues/sent/edge tables while `sends` is
-        // mutably borrowed.
-        let Engine {
-            n,
-            edge_of_dense,
-            out_edge_of,
-            queues,
-            sent,
-            sends,
-            ..
-        } = self;
-        sends.drain_with(|to, msg| {
-            let edge = edge_lookup(edge_of_dense, out_edge_of, *n, me, to);
-            sent[me] += 1;
-            if let Some(p) = probe.as_deref_mut() {
-                p.on_send(me, to, &msg, sent);
-            }
-            queues[edge].push_back(msg);
-            scheduler.push(Token::Deliver(edge));
-        });
-        if let Some(out) = output {
-            self.outputs[me] = Some(out);
-            if let Some(p) = probe.as_deref_mut() {
-                p.on_terminate(me, out);
-            }
-        }
+        out.stats.received.extend_from_slice(&*state.received);
     }
 
     /// Resolves the edge id of the link `me → to` — O(1) through the dense
@@ -540,6 +607,304 @@ impl<M> Engine<M> {
     #[cfg(test)]
     fn edge_to(&self, me: NodeId, to: NodeId) -> EdgeId {
         edge_lookup(&self.edge_of_dense, &self.out_edge_of, self.n, me, to)
+    }
+
+    /// `true` when every link queue (and the fused stream) is empty
+    /// (test/oracle helper).
+    #[cfg(test)]
+    fn links_are_empty(&self) -> bool {
+        self.fused.is_empty()
+            && match &self.links {
+                LinkStorage::Slab(slab) => slab.is_empty(),
+                LinkStorage::Queues(queues) => queues.iter().all(|q| q.is_empty()),
+            }
+    }
+}
+
+/// Per-delivery observation hooks, monomorphized so the probe-less run
+/// entries compile their calls away entirely (no `Option` check, no
+/// vtable). [`DynProbeHook`] adapts the public `&mut dyn Probe<M>` surface
+/// for [`Engine::run_session`].
+trait ProbeHook<M> {
+    fn on_send(&mut self, from: NodeId, to: NodeId, msg: &M, sent: &[u64]);
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: &M, received: &[u64]);
+    fn on_terminate(&mut self, node: NodeId, output: Option<u64>);
+}
+
+/// The probe-free hook: every method is an empty inline no-op.
+struct NoProbeHook;
+
+impl<M> ProbeHook<M> for NoProbeHook {
+    #[inline(always)]
+    fn on_send(&mut self, _: NodeId, _: NodeId, _: &M, _: &[u64]) {}
+    #[inline(always)]
+    fn on_deliver(&mut self, _: NodeId, _: NodeId, _: &M, _: &[u64]) {}
+    #[inline(always)]
+    fn on_terminate(&mut self, _: NodeId, _: Option<u64>) {}
+}
+
+/// Adapter lending a dynamic [`Probe`] into the monomorphized loop.
+struct DynProbeHook<'a, M>(&'a mut dyn Probe<M>);
+
+impl<M> ProbeHook<M> for DynProbeHook<'_, M> {
+    fn on_send(&mut self, from: NodeId, to: NodeId, msg: &M, sent: &[u64]) {
+        self.0.on_send(from, to, msg, sent);
+    }
+    fn on_deliver(&mut self, from: NodeId, to: NodeId, msg: &M, received: &[u64]) {
+        self.0.on_deliver(from, to, msg, received);
+    }
+    fn on_terminate(&mut self, node: NodeId, output: Option<u64>) {
+        self.0.on_terminate(node, output);
+    }
+}
+
+/// The engine's read-only per-run lookups, grouped so [`drive`] and
+/// [`activate`] borrow them immutably alongside the mutable [`RunState`].
+struct Hot<'e> {
+    n: usize,
+    edges: &'e [(NodeId, NodeId)],
+    out_neighbors: &'e [Vec<NodeId>],
+    edge_of_dense: &'e [u32],
+    out_edge_of: &'e [Vec<(NodeId, EdgeId)>],
+}
+
+/// The engine's mutable per-run state, split off `Engine` as disjoint
+/// field borrows so the loop can hold the link storage `&mut` separately.
+struct RunState<'e, M> {
+    outputs: &'e mut [Option<Option<u64>>],
+    sent: &'e mut [u64],
+    received: &'e mut [u64],
+    sends: &'e mut SendBuf<M>,
+    link_dirty: &'e mut [bool],
+    link_touched: &'e mut Vec<EdgeId>,
+}
+
+/// The monomorphized delivery loop: pops packed tokens, moves messages
+/// through the link storage `L`, and activates nodes. One instantiation
+/// per (node storage, scheduler, link layout, probe hook) combination —
+/// the honest batch path's is fully static. The [`RunState`] is flattened
+/// into plain single-level `&mut` locals up front so every per-delivery
+/// counter access is one load, not a double indirection.
+#[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>>(
+    hot: &Hot<'_>,
+    state: &mut RunState<'_, M>,
+    links: &mut L,
+    nodes: &mut [N],
+    wakes: &[NodeId],
+    scheduler: &mut S,
+    step_limit: u64,
+    probe: &mut P,
+) -> (u64, u64, bool) {
+    let RunState {
+        outputs,
+        sent,
+        received,
+        sends,
+        link_dirty,
+        link_touched,
+    } = state;
+    let outputs: &mut [Option<Option<u64>>] = outputs;
+    let sent: &mut [u64] = sent;
+    let received: &mut [u64] = received;
+    let sends: &mut SendBuf<M> = sends;
+    let link_dirty: &mut [bool] = link_dirty;
+    let link_touched: &mut Vec<EdgeId> = link_touched;
+
+    let mut delivered = 0u64;
+    let mut steps = 0u64;
+
+    for &w in wakes {
+        scheduler.push_packed(PackedToken::wake(w));
+    }
+
+    let mut hit_limit = false;
+    while let Some(token) = scheduler.pop_packed() {
+        if steps >= step_limit {
+            hit_limit = true;
+            break;
+        }
+        steps += 1;
+        match token.decode() {
+            Token::Wake(i) => {
+                if outputs[i].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        i,
+                        None,
+                        probe,
+                        |edge, msg| {
+                            if !link_dirty[edge] {
+                                link_dirty[edge] = true;
+                                link_touched.push(edge);
+                            }
+                            links.push(edge, msg);
+                            scheduler.push_packed(PackedToken::deliver(edge));
+                        },
+                    );
+                }
+            }
+            Token::Deliver(edge) => {
+                let msg = links.pop(edge);
+                let (from, to) = hot.edges[edge];
+                received[to] += 1;
+                delivered += 1;
+                probe.on_deliver(from, to, &msg, received);
+                if outputs[to].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        to,
+                        Some((from, msg)),
+                        probe,
+                        |edge, msg| {
+                            if !link_dirty[edge] {
+                                link_dirty[edge] = true;
+                                link_touched.push(edge);
+                            }
+                            links.push(edge, msg);
+                            scheduler.push_packed(PackedToken::deliver(edge));
+                        },
+                    );
+                }
+            }
+        }
+    }
+    (steps, delivered, hit_limit)
+}
+
+/// The fused global-FIFO loop (see [`Scheduler::is_global_fifo`]): tokens
+/// and messages travel as one [`FusedEvent`] through a single `VecDeque`,
+/// so a delivery costs one `pop_front` and a send one `push_back` —
+/// half the queue traffic of the split token/link path. Link storage and
+/// dirty tracking are untouched (the stream carries the messages), and
+/// executions are bit-identical to [`drive`] under a FIFO schedule.
+fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
+    hot: &Hot<'_>,
+    state: &mut RunState<'_, M>,
+    fused: &mut VecDeque<FusedEvent<M>>,
+    nodes: &mut [N],
+    wakes: &[NodeId],
+    step_limit: u64,
+    probe: &mut P,
+) -> (u64, u64, bool) {
+    let RunState {
+        outputs,
+        sent,
+        received,
+        sends,
+        ..
+    } = state;
+    let outputs: &mut [Option<Option<u64>>] = outputs;
+    let sent: &mut [u64] = sent;
+    let received: &mut [u64] = received;
+    let sends: &mut SendBuf<M> = sends;
+
+    let mut delivered = 0u64;
+    let mut steps = 0u64;
+
+    for &w in wakes {
+        fused.push_back(FusedEvent::Wake(w));
+    }
+
+    let mut hit_limit = false;
+    while let Some(event) = fused.pop_front() {
+        if steps >= step_limit {
+            hit_limit = true;
+            break;
+        }
+        steps += 1;
+        match event {
+            FusedEvent::Wake(i) => {
+                if outputs[i].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        i,
+                        None,
+                        probe,
+                        |edge, msg| {
+                            fused.push_back(FusedEvent::Deliver(edge, msg));
+                        },
+                    );
+                }
+            }
+            FusedEvent::Deliver(edge, msg) => {
+                let (from, to) = hot.edges[edge];
+                received[to] += 1;
+                delivered += 1;
+                probe.on_deliver(from, to, &msg, received);
+                if outputs[to].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        to,
+                        Some((from, msg)),
+                        probe,
+                        |edge, msg| {
+                            fused.push_back(FusedEvent::Deliver(edge, msg));
+                        },
+                    );
+                }
+            }
+        }
+    }
+    (steps, delivered, hit_limit)
+}
+
+/// Runs one activation of node `me` (a wake-up when `incoming` is `None`,
+/// a delivery otherwise) and applies its buffered actions: each buffered
+/// send resolves its link and counters here, then flows into `emit` (the
+/// caller's queue shape: split token/link push or fused-stream push); a
+/// terminal output is recorded on the spot.
+///
+/// The [`Ctx`] borrows the engine's persistent send buffer in place
+/// (disjoint-field borrows, no `mem::take` round-trip), so an activation
+/// costs no `SendBuf` copies — measurable at PhaseAsyncLead n=64, where
+/// one trial is 8k activations.
+#[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+#[inline(always)]
+fn activate<M, N: Node<M>, P: ProbeHook<M>>(
+    hot: &Hot<'_>,
+    outputs: &mut [Option<Option<u64>>],
+    sent: &mut [u64],
+    sends: &mut SendBuf<M>,
+    nodes: &mut [N],
+    me: NodeId,
+    incoming: Option<(NodeId, M)>,
+    probe: &mut P,
+    mut emit: impl FnMut(EdgeId, M),
+) {
+    let output = {
+        let mut ctx = Ctx::new(me, &hot.out_neighbors[me], sends);
+        match incoming {
+            Some((from, msg)) => nodes[me].on_message(from, msg, &mut ctx),
+            None => nodes[me].on_wake(&mut ctx),
+        }
+        ctx.output
+    };
+    sends.drain_with(|to, msg| {
+        let edge = edge_lookup(hot.edge_of_dense, hot.out_edge_of, hot.n, me, to);
+        sent[me] += 1;
+        probe.on_send(me, to, &msg, sent);
+        emit(edge, msg);
+    });
+    if let Some(out) = output {
+        outputs[me] = Some(out);
+        probe.on_terminate(me, out);
     }
 }
 
@@ -836,7 +1201,7 @@ mod tests {
             default_step_limit(n),
         );
         engine.reset();
-        assert!(engine.queues.iter().all(|q| q.is_empty()));
+        assert!(engine.links_are_empty());
         assert!(engine.outputs.iter().all(|o| o.is_none()));
         assert!(engine.sent.iter().all(|&s| s == 0));
         assert!(engine.received.iter().all(|&r| r == 0));
@@ -955,6 +1320,129 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The fused global-FIFO stream vs the split token/link path driven by
+    /// `reference::FifoScheduler` (identical pop order, `is_global_fifo`
+    /// false): executions must be bit-identical, on both link layouts.
+    #[test]
+    fn fused_fifo_matches_split_path_with_same_schedule() {
+        let n = 6;
+        let target = 3 * n as u64;
+        let limit = default_step_limit(n);
+        for general in [false, true] {
+            let mut engine = if general {
+                Engine::new_with_general_links(Topology::ring(n))
+            } else {
+                Engine::new(Topology::ring(n))
+            };
+            for _ in 0..2 {
+                let fused = engine.run_mono(
+                    &mut mono_nodes(n, target),
+                    &[0],
+                    &mut FifoScheduler::new(),
+                    limit,
+                );
+                let split = engine.run_mono(
+                    &mut mono_nodes(n, target),
+                    &[0],
+                    &mut crate::scheduler::reference::FifoScheduler::new(),
+                    limit,
+                );
+                assert_eq!(fused, split, "general={general}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_storage_selection_matches_topology_shape() {
+        // Unidirectional ring: one in-edge per node → slab.
+        assert!(Engine::<u64>::new(Topology::ring(5)).uses_ring_slab());
+        // Complete digraph / bidirectional ring: multiple in-edges → queues.
+        assert!(!Engine::<u64>::new(Topology::complete(4)).uses_ring_slab());
+        assert!(!Engine::<u64>::new(Topology::bidirectional_ring(4)).uses_ring_slab());
+        // The differential oracle forces queues even on the ring.
+        assert!(!Engine::<u64>::new_with_general_links(Topology::ring(5)).uses_ring_slab());
+    }
+
+    #[test]
+    fn general_links_engine_matches_slab_engine() {
+        let n = 6;
+        let target = 3 * n as u64;
+        let mut slab = Engine::new(Topology::ring(n));
+        let mut general = Engine::new_with_general_links(Topology::ring(n));
+        for _ in 0..3 {
+            let a = slab.run_mono(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+            let b = general.run_mono(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn burst_past_slab_capacity_stays_fifo() {
+        // One activation sends 40 messages on a single ring link — far
+        // past the slab's initial per-link capacity, forcing grow mid-run.
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(2));
+        assert!(engine.uses_ring_slab());
+        let mut nodes: Vec<Box<dyn Node<u64>>> = vec![
+            Box::new(
+                FnNode::new(|_, _: u64, _ctx: &mut Ctx<'_, u64>| {}).on_wake(|ctx| {
+                    for v in 0..40 {
+                        ctx.send(v);
+                    }
+                    ctx.terminate(Some(0));
+                }),
+            ),
+            Box::new(FnNode::new(move |_, m: u64, ctx: &mut Ctx<'_, u64>| {
+                seen2.borrow_mut().push(m);
+                if seen2.borrow().len() == 40 {
+                    ctx.terminate(Some(0));
+                }
+            })),
+        ];
+        let exec = engine.run(&mut nodes, &[0], &mut FifoScheduler::new(), 1000);
+        assert_eq!(exec.outcome, Outcome::Elected(0));
+        assert_eq!(*seen.borrow(), (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reset_clears_only_touched_links_but_all_of_them() {
+        // Hit the step limit so messages are left queued, then rerun: the
+        // dirty-links reset must clear the leftovers (a stale message
+        // surfacing in run 2 would corrupt its FIFO order).
+        let n = 4;
+        let target = 3 * n as u64;
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(n));
+        let exec = engine.run(
+            &mut counter_nodes(n, target),
+            &[0],
+            &mut FifoScheduler::new(),
+            3,
+        );
+        assert_eq!(exec.outcome, Outcome::Fail(FailReason::StepLimit));
+        let clean = engine.run(
+            &mut counter_nodes(n, target),
+            &[0],
+            &mut FifoScheduler::new(),
+            default_step_limit(n),
+        );
+        assert_eq!(clean.outcome, Outcome::Elected(3 * n as u64));
+        engine.reset();
+        assert!(engine.links_are_empty());
+        assert!(engine.link_touched.is_empty());
+        assert!(engine.link_dirty.iter().all(|&d| !d));
     }
 
     #[test]

@@ -68,6 +68,7 @@
 
 mod arena;
 mod engine;
+mod links;
 mod node;
 mod outcome;
 mod probe;
@@ -82,7 +83,7 @@ pub use node::{Ctx, FnNode, Node};
 pub use outcome::{FailReason, Outcome};
 pub use probe::{DeliveryCountProbe, MessageLogProbe, NoProbe, Probe, SyncGapProbe};
 pub use scheduler::{
-    for_each_schedule, EnumerativeScheduler, FifoScheduler, LifoScheduler, RandomScheduler,
-    ScheduleSweep, Scheduler, Token,
+    for_each_schedule, reference, EnumerativeScheduler, FifoScheduler, LifoScheduler, PackedToken,
+    RandomScheduler, ScheduleSweep, Scheduler, Token,
 };
 pub use topology::{EdgeId, NodeId, Topology, TopologyError};

@@ -1,0 +1,242 @@
+//! Per-link FIFO message storage for the engine.
+//!
+//! The engine used to keep one `VecDeque<M>` per link: n scattered heap
+//! buffers plus per-delivery wrap/bounds machinery, the dominant cost of
+//! the hot loop after PR 4 (~25 ns/delivery on the reference container).
+//! [`LinkSlab`] flattens all link queues into **one** contiguous slab —
+//! every link owns a power-of-two segment addressed by shift/mask
+//! arithmetic, with per-link `head`/`len` cursors in two dense arrays —
+//! the flat per-flow queue shape discrete-event simulators use.
+//!
+//! The slab engages for topologies where every node has exactly one
+//! incoming link (unidirectional rings — the paper's Sections 3–6 model
+//! and every sweep workload); general topologies keep the `VecDeque`
+//! fallback. Both implement [`LinkQueues`], and the engine loop is generic
+//! over it, so each path monomorphizes with zero per-delivery dispatch.
+
+use crate::topology::EdgeId;
+use std::collections::VecDeque;
+
+/// Per-link FIFO storage, as the engine loop sees it. Implemented by the
+/// ring-specialized [`LinkSlab`] and by the general-topology
+/// `Vec<VecDeque<M>>` fallback.
+pub(crate) trait LinkQueues<M> {
+    /// Enqueues `msg` at the back of `link`'s queue.
+    fn push(&mut self, link: EdgeId, msg: M);
+
+    /// Dequeues the front message of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is empty — the engine's `Deliver` token
+    /// invariant guarantees a queued message.
+    fn pop(&mut self, link: EdgeId) -> M;
+
+    /// Drops every message still queued on `link` and resets its cursors.
+    fn clear_link(&mut self, link: EdgeId);
+}
+
+impl<M> LinkQueues<M> for Vec<VecDeque<M>> {
+    #[inline]
+    fn push(&mut self, link: EdgeId, msg: M) {
+        self[link].push_back(msg);
+    }
+
+    #[inline]
+    fn pop(&mut self, link: EdgeId) -> M {
+        self[link]
+            .pop_front()
+            .expect("token implies a queued message")
+    }
+
+    #[inline]
+    fn clear_link(&mut self, link: EdgeId) {
+        self[link].clear();
+    }
+}
+
+/// One link's queue cursors: the offset of its front message within its
+/// segment and the number of live slots. One 8-byte struct per link, so a
+/// push or pop touches exactly one bounds-checked cursor slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    head: u32,
+    len: u32,
+}
+
+/// All link queues of one topology flattened into a single slab.
+///
+/// Link `e` owns slots `e << cap_shift .. (e + 1) << cap_shift` of `data`
+/// as a circular segment: its front message sits at offset
+/// `cursor[e].head & (cap - 1)` and `cursor[e].len` slots are live. Slots
+/// hold `Option<M>` so messages move out of the slab by `take()` in safe
+/// Rust. When any link outgrows the uniform per-link capacity the whole
+/// slab doubles (out of line, amortized — an engine reaches its
+/// high-water mark in the first trials of a batch and never grows again).
+#[derive(Debug)]
+pub(crate) struct LinkSlab<M> {
+    data: Vec<Option<M>>,
+    cursors: Vec<Cursor>,
+    /// Per-link capacity is `1 << cap_shift` slots.
+    cap_shift: u32,
+}
+
+/// Initial per-link capacity: `1 << INITIAL_SHIFT` slots. Honest ring
+/// protocols keep at most a couple of messages in flight per link;
+/// bursty deviators (rushing coalitions) trigger one or two doublings.
+const INITIAL_SHIFT: u32 = 2;
+
+impl<M> LinkSlab<M> {
+    /// Creates a slab for `links` links, each with the initial capacity.
+    pub(crate) fn new(links: usize) -> Self {
+        let mut data = Vec::new();
+        data.resize_with(links << INITIAL_SHIFT, || None);
+        Self {
+            data,
+            cursors: vec![Cursor::default(); links],
+            cap_shift: INITIAL_SHIFT,
+        }
+    }
+
+    /// `true` when no link holds a message (test/oracle helper).
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.cursors.iter().all(|c| c.len == 0)
+    }
+
+    /// The full-segment slow path of [`LinkQueues::push`]: doubles the
+    /// slab, then retries (which cannot hit the full branch again).
+    #[cold]
+    fn grow_and_push(&mut self, link: EdgeId, msg: M) {
+        self.grow();
+        self.push(link, msg);
+    }
+
+    /// Doubles every link's segment, re-linearizing live messages to the
+    /// front of their new segment.
+    #[cold]
+    fn grow(&mut self) {
+        let links = self.cursors.len();
+        let old_shift = self.cap_shift;
+        let old_mask = (1u32 << old_shift) - 1;
+        let new_shift = old_shift + 1;
+        let mut data: Vec<Option<M>> = Vec::new();
+        data.resize_with(links << new_shift, || None);
+        for link in 0..links {
+            let c = &mut self.cursors[link];
+            for i in 0..c.len {
+                let old_idx = (link << old_shift) + ((c.head + i) & old_mask) as usize;
+                data[(link << new_shift) + i as usize] = self.data[old_idx].take();
+            }
+            c.head = 0;
+        }
+        self.data = data;
+        self.cap_shift = new_shift;
+    }
+}
+
+impl<M> LinkQueues<M> for LinkSlab<M> {
+    #[inline(always)]
+    fn push(&mut self, link: EdgeId, msg: M) {
+        let shift = self.cap_shift;
+        let mask = (1u32 << shift) - 1;
+        let c = &mut self.cursors[link];
+        if c.len > mask {
+            return self.grow_and_push(link, msg);
+        }
+        let slot = (c.head + c.len) & mask;
+        c.len += 1;
+        self.data[(link << shift) + slot as usize] = Some(msg);
+    }
+
+    #[inline(always)]
+    fn pop(&mut self, link: EdgeId) -> M {
+        let shift = self.cap_shift;
+        let mask = (1u32 << shift) - 1;
+        let c = &mut self.cursors[link];
+        let head = c.head;
+        c.head = (head + 1) & mask;
+        c.len -= 1;
+        self.data[(link << shift) + head as usize]
+            .take()
+            .expect("token implies a queued message")
+    }
+
+    #[inline]
+    fn clear_link(&mut self, link: EdgeId) {
+        let shift = self.cap_shift;
+        let mask = (1u32 << shift) - 1;
+        let c = self.cursors[link];
+        for i in 0..c.len {
+            self.data[(link << shift) + ((c.head + i) & mask) as usize] = None;
+        }
+        self.cursors[link] = Cursor::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_is_fifo_per_link() {
+        let mut slab: LinkSlab<u64> = LinkSlab::new(3);
+        for v in 0..3 {
+            slab.push(1, v);
+            slab.push(2, 10 + v);
+        }
+        assert_eq!(slab.pop(1), 0);
+        assert_eq!(slab.pop(2), 10);
+        assert_eq!(slab.pop(1), 1);
+        assert_eq!(slab.pop(1), 2);
+        assert_eq!(slab.pop(2), 11);
+        assert_eq!(slab.pop(2), 12);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slab_grows_past_initial_capacity_preserving_order() {
+        // Wrap the segment first (head away from 0), then burst far past
+        // the initial capacity: order must survive grow's re-linearize.
+        let mut slab: LinkSlab<u64> = LinkSlab::new(2);
+        slab.push(0, 100);
+        slab.push(0, 101);
+        assert_eq!(slab.pop(0), 100);
+        assert_eq!(slab.pop(0), 101);
+        for v in 0..40 {
+            slab.push(0, v);
+            slab.push(1, 1000 + v);
+        }
+        for v in 0..40 {
+            assert_eq!(slab.pop(0), v);
+            assert_eq!(slab.pop(1), 1000 + v);
+        }
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn clear_link_drops_leftovers_and_resets_cursors() {
+        let mut slab: LinkSlab<u64> = LinkSlab::new(2);
+        slab.push(0, 1);
+        slab.push(0, 2);
+        slab.push(1, 9);
+        slab.clear_link(0);
+        assert_eq!(slab.pop(1), 9);
+        assert!(slab.is_empty());
+        // A cleared link starts fresh.
+        slab.push(0, 7);
+        assert_eq!(slab.pop(0), 7);
+    }
+
+    #[test]
+    fn vecdeque_fallback_matches_contract() {
+        let mut q: Vec<VecDeque<u64>> = (0..2).map(|_| VecDeque::new()).collect();
+        LinkQueues::push(&mut q, 0, 5);
+        LinkQueues::push(&mut q, 0, 6);
+        assert_eq!(LinkQueues::pop(&mut q, 0), 5);
+        LinkQueues::clear_link(&mut q, 0);
+        assert!(q[0].is_empty());
+        LinkQueues::push(&mut q, 0, 7);
+        assert_eq!(LinkQueues::pop(&mut q, 0), 7);
+    }
+}

@@ -6,14 +6,17 @@
 //! over `Box<dyn Node>`), the monomorphized `Engine::run_mono` /
 //! `run_mono_into` honest fast path (no boxing, static dispatch), the
 //! arena-pooled `run_ring_honest_pooled_into` batch loop, and the
-//! `run_with_in`/`TrialCache` attack fast path. Every pair must produce
-//! *identical* `Execution`s — outcome, per-node outputs, and every
-//! counter — for every protocol, ring size and seed. These property tests
-//! are the oracle that keeps the fast paths honest.
+//! `run_with_in`/`TrialCache` attack fast path. Since the packed-token /
+//! link-slab engine landed, each protocol additionally runs through an
+//! `Engine::new_with_general_links` oracle — the general-topology
+//! `VecDeque` link layout — against the default ring `LinkSlab` layout.
+//! Every pair must produce *identical* `Execution`s — outcome, per-node
+//! outputs, and every counter — for every protocol, ring size and seed.
+//! These property tests are the oracle that keeps the fast paths honest.
 
 use fle_attacks::{
-    BasicSingleAttack, BasicSingleCache, PhaseGuessAttack, PhaseRushingAttack, PhaseSumAttack,
-    RushingAttack,
+    BasicSingleAttack, BasicSingleCache, PhaseGuessAttack, PhaseRushingAttack, PhaseRushingCache,
+    PhaseSumAttack, RushingAttack, RushingCache,
 };
 use fle_core::protocols::{
     run_ring_honest_in, run_ring_honest_pooled_into, ALeadTrialCache, ALeadUni, BasicLead,
@@ -94,6 +97,54 @@ fn assert_paths_agree<M: 'static, N: Node<M> + ArenaBacked>(
     );
 }
 
+/// Runs the same honest instance through every engine storage layout:
+/// the fused global-FIFO stream (what `FifoScheduler` rides) on both the
+/// ring `LinkSlab` engine and the forced general-topology `VecDeque`
+/// engine, plus the *split* token/link path driven by
+/// `ring_sim::reference::FifoScheduler` (identical pop order,
+/// `is_global_fifo` = false) on both layouts. All four must equal the
+/// `SimBuilder` reference. Engines are reused for a second pass so a
+/// stale slab cursor or dirty-list bug surfaces as a second-run mismatch.
+fn assert_link_layouts_agree<M, N: Node<M> + ArenaBacked>(
+    n: usize,
+    wakes: &[usize],
+    reference: &Execution,
+    mut mono: impl FnMut(usize) -> N,
+) {
+    let limit = default_step_limit(n);
+    let mut slab = Engine::new(Topology::ring(n));
+    let mut general = Engine::new_with_general_links(Topology::ring(n));
+    assert!(slab.uses_ring_slab() && !general.uses_ring_slab());
+    for pass in 0..2 {
+        let via_slab = run_ring_honest_in(&mut slab, n, &mut mono, wakes);
+        assert_eq!(&via_slab, reference, "fused on slab engine (pass {pass})");
+        let via_general = run_ring_honest_in(&mut general, n, &mut mono, wakes);
+        assert_eq!(
+            &via_general, reference,
+            "fused on general-links engine (pass {pass})"
+        );
+        let mut nodes: Vec<N> = (0..n).map(&mut mono).collect();
+        let split_slab = slab.run_mono(
+            &mut nodes,
+            wakes,
+            &mut ring_sim::reference::FifoScheduler::new(),
+            limit,
+        );
+        assert_eq!(&split_slab, reference, "split LinkSlab path (pass {pass})");
+        let mut nodes: Vec<N> = (0..n).map(&mut mono).collect();
+        let split_general = general.run_mono(
+            &mut nodes,
+            wakes,
+            &mut ring_sim::reference::FifoScheduler::new(),
+            limit,
+        );
+        assert_eq!(
+            &split_general, reference,
+            "split VecDeque-links path (pass {pass})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -111,6 +162,7 @@ proptest! {
             |id| p.honest_ring_node(id),
             |id, arena| p.honest_ring_node_in(id, arena),
         );
+        assert_link_layouts_agree(n, &p.wakes(), &reference, |id| p.honest_ring_node(id));
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
 
@@ -128,6 +180,7 @@ proptest! {
             |id| p.honest_ring_node(id),
             |id, arena| p.honest_ring_node_in(id, arena),
         );
+        assert_link_layouts_agree(n, &p.wakes(), &reference, |id| p.honest_ring_node(id));
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
 
@@ -145,6 +198,7 @@ proptest! {
             |id| p.honest_ring_node(id),
             |id, arena| p.honest_ring_node_in(id, arena),
         );
+        assert_link_layouts_agree(n, &p.wakes(), &reference, |id| p.honest_ring_node(id));
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
 
@@ -162,6 +216,7 @@ proptest! {
             |id| p.honest_ring_node(id),
             |id, arena| p.honest_ring_node_in(id, arena),
         );
+        assert_link_layouts_agree(n, &p.wakes(), &reference, |id| p.honest_ring_node(id));
         prop_assert_eq!(p.run_honest_in(&mut engine), reference);
     }
 }
@@ -209,10 +264,18 @@ proptest! {
         let attack = RushingAttack::new(w);
         prop_assume!(attack.plan(&p, &coalition).is_ok());
         let reference = attack.run(&p, &coalition).expect("planned");
+        // Boxed coalition through the generic cache…
         let mut cache = ALeadTrialCache::ring(n);
         for pass in 0..2 {
+            let nodes = attack.adversary_nodes(&p, &coalition).expect("planned");
+            let exec = p.run_with_in(nodes, &mut cache);
+            prop_assert_eq!(exec, &reference, "boxed pass {}", pass);
+        }
+        // …and the homogeneous coalition fully unboxed (concrete Rusher).
+        let mut cache = RushingCache::ring(n);
+        for pass in 0..2 {
             let exec = attack.run_in(&p, &coalition, &mut cache).expect("planned");
-            prop_assert_eq!(exec, &reference, "pass {}", pass);
+            prop_assert_eq!(exec, &reference, "unboxed pass {}", pass);
         }
     }
 
@@ -228,10 +291,19 @@ proptest! {
         let attack = PhaseRushingAttack::new(w);
         prop_assume!(attack.plan(&p, &coalition).is_ok());
         let reference = attack.run(&p, &coalition).expect("planned");
+        // Boxed coalition through the generic cache…
         let mut cache = PhaseTrialCache::ring(n);
         for pass in 0..2 {
+            let nodes = attack.adversary_nodes(&p, &coalition).expect("planned");
+            let exec = p.run_with_in(nodes, &mut cache);
+            prop_assert_eq!(exec, &reference, "boxed pass {}", pass);
+        }
+        // …and the homogeneous coalition fully unboxed (concrete
+        // PhaseRusher).
+        let mut cache = PhaseRushingCache::ring(n);
+        for pass in 0..2 {
             let exec = attack.run_in(&p, &coalition, &mut cache).expect("planned");
-            prop_assert_eq!(exec, &reference, "pass {}", pass);
+            prop_assert_eq!(exec, &reference, "unboxed pass {}", pass);
         }
     }
 

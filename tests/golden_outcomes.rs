@@ -11,10 +11,8 @@
 //! pinned values must be re-derived and the change called out in review —
 //! that is the point.
 
-use fle_attacks::PhaseRushingAttack;
-use fle_core::protocols::{
-    ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead, PhaseTrialCache,
-};
+use fle_attacks::{PhaseRushingAttack, PhaseRushingCache};
+use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
 use fle_core::Coalition;
 use fle_harness::{
     run_batch, run_sweep, sha256_hex, trial_seed, BatchConfig, ProtocolKind, SweepConfig,
@@ -194,7 +192,9 @@ fn full_10k_sweep_json_sha256_is_pinned() {
 /// Builds the canonical attack sweep: 500 trials of the `√n + 3` rushing
 /// coalition (`k = 7` equally spaced) against `PhaseAsyncLead n=16`, one
 /// derived seed per trial, run through the cached-engine attack fast path
-/// (`run_in` over a per-worker [`PhaseTrialCache`]).
+/// (`run_in` over a per-worker [`PhaseRushingCache`] — since the
+/// coalition-mix enum widening, the homogeneous coalition runs fully
+/// unboxed; the sha256 pin below proving the switch is byte-invisible).
 fn rushing_n16_report(trials: u64) -> TrialReport {
     let n = 16;
     let base_seed = 1;
@@ -206,7 +206,7 @@ fn rushing_n16_report(trials: u64) -> TrialReport {
             base_seed,
             threads: 1,
         },
-        || PhaseTrialCache::ring(n),
+        || PhaseRushingCache::ring(n),
         |cache, _i, seed| {
             let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(9);
             let exec = attack.run_in(&p, &coalition, cache).expect("feasible");
