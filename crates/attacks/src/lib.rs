@@ -33,6 +33,7 @@ mod phase_guess;
 mod phase_rushing;
 mod phase_sum;
 mod random_located;
+mod runner;
 mod rushing;
 mod wakeup_mask;
 
@@ -43,6 +44,9 @@ pub use phase_guess::PhaseGuessAttack;
 pub use phase_rushing::{PhaseRusher, PhaseRushingAttack, PhaseRushingCache};
 pub use phase_sum::PhaseSumAttack;
 pub use random_located::RandomLocatedAttack;
+pub use runner::{
+    build_runner, AttackKind, AttackRunner, AttackTrialResult, RANDOM_LOCATED_WINDOW,
+};
 pub use rushing::{Rusher, RushingAttack, RushingCache};
 pub use wakeup_mask::{MaskPlan, WakeupIdLieAttack, WakeupMaskAttack};
 

@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fle_attacks::PhaseRushingAttack;
 use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg};
 use fle_core::Coalition;
-use fle_harness::{run_sweep, trial_seed, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{run_sweep, trial_seed, BatchConfig, HonestSweep, ProtocolKind, SweepSpec};
 use ring_sim::{Engine, Topology};
 use std::hint::black_box;
 
@@ -62,15 +62,17 @@ fn bench(c: &mut Criterion) {
                 black_box(wins)
             });
         });
-        let sweep = |threads| SweepConfig {
-            protocol: ProtocolKind::PhaseAsyncLead,
-            n,
-            fn_key: 9,
-            batch: BatchConfig {
-                trials: TRIALS,
-                base_seed: 1,
-                threads,
-            },
+        let sweep = |threads| {
+            SweepSpec::Honest(HonestSweep {
+                protocol: ProtocolKind::PhaseAsyncLead,
+                n,
+                fn_key: 9,
+                batch: BatchConfig {
+                    trials: TRIALS,
+                    base_seed: 1,
+                    threads,
+                },
+            })
         };
         g.bench_with_input(BenchmarkId::new("batch_1thread", n), &n, |b, &n| {
             let cfg = sweep(1);

@@ -523,6 +523,9 @@ impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
 /// [`TrialCache`] for the phase protocols' boxed coalition mixes.
 pub type PhaseTrialCache = TrialCache<PhaseMsg, PhaseNode>;
 
+/// [`TrialCache`] for `WakeLead`'s boxed coalition mixes.
+pub type WakeTrialCache = TrialCache<WakeMsg, WakeNode>;
+
 /// The one override-merge loop every ring path shares: walks positions
 /// `0..n` in order, calling `emit(id, Some(deviant))` for coalition
 /// positions and `emit(id, None)` for honest ones. Both the `SimBuilder`

@@ -19,9 +19,9 @@
 //! utility `u₀(x) = 1[x ∉ Ω]`). Both abuses are implemented in
 //! `fle-attacks::wakeup_mask`.
 
-use super::{node_rng, run_ring, FleProtocol};
+use super::{node_rng, run_ring, FleProtocol, TrialCache};
 use ring_sim::rng::SplitMix64;
-use ring_sim::{Ctx, Execution, Node, NodeId};
+use ring_sim::{ArenaBacked, Ctx, Execution, Node, NodeId, TrialArena};
 
 /// Messages of `WakeLead`: id announcements, then election data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +139,36 @@ impl WakeLead {
             &self.wakes(),
         )
     }
+
+    /// Builds the honest node for position `pos` unboxed, for the cached
+    /// engine fast path. `WakeNode` holds no arena-backed storage (its
+    /// id buffer grows on the heap per trial), so the arena is unused.
+    pub fn honest_ring_node_in(&self, pos: NodeId, _arena: &mut TrialArena) -> WakeNode {
+        WakeNode::new(self.ids[pos], node_rng(self.seed, pos))
+    }
+
+    /// [`WakeLead::run_with`] through a per-worker [`TrialCache`]: reuses
+    /// the cache's engine, node vector, scheduler and result buffers
+    /// (every node wakes, via the cache's precomputed id list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a different ring size.
+    pub fn run_with_in<'c, D: Node<WakeMsg>>(
+        &self,
+        overrides: Vec<(NodeId, D)>,
+        cache: &'c mut TrialCache<WakeMsg, WakeNode, D>,
+    ) -> &'c Execution {
+        assert_eq!(
+            cache.n(),
+            self.n,
+            "cache ring size must match the protocol's ring size"
+        );
+        cache.run_wake_all(|pos, arena| self.honest_ring_node_in(pos, arena), overrides)
+    }
 }
+
+impl ArenaBacked for WakeNode {}
 
 impl FleProtocol for WakeLead {
     fn n(&self) -> usize {

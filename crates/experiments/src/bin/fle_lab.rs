@@ -7,24 +7,35 @@
 //! fle-lab --threads 4 all          # cap the worker pool for everything
 //! fle-lab sweep --protocol phase --n 64 --trials 10000 --seed 1 \
 //!         --threads 8 --format json
-//! fle-lab bench-baseline --out BENCH_5.json   # perf trajectory snapshot
+//! fle-lab attack-sweep --attack rushing --n 16 --trials 500 --seed 1 \
+//!         --coalition spaced:4:1 --target fixed:3 --format json
+//! fle-lab attack-sweep --spec scenario.json   # any SweepSpec JSON file
+//! fle-lab bench-baseline --out BENCH_6.json   # perf trajectory snapshot
 //! ```
 //!
-//! The `sweep` subcommand runs one deterministic `fle-harness` batch and
-//! prints the aggregated [`fle_harness::TrialReport`] as JSON (default) or
-//! CSV on stdout. Output is byte-identical for every `--threads` value.
+//! The `sweep` subcommand runs one deterministic honest `fle-harness`
+//! batch and prints the aggregated [`fle_harness::TrialReport`] as JSON
+//! (default) or CSV on stdout. The `attack-sweep` subcommand does the
+//! same for adversarial (and tree-dictator) grids: configure the attack
+//! with flags or load any serialized [`fle_harness::SweepSpec`] with
+//! `--spec`; reports carry an `attack` arm (successes, infeasible
+//! trials, success rate with Wilson 95% CI). Output is byte-identical
+//! for every `--threads` value.
 //!
 //! The `bench-baseline` subcommand measures the honest monomorphized +
 //! arena engine path (ns/trial *and* ns/delivery — deliveries counted
 //! from a real `Execution` — for the canonical sweep workloads, single
-//! thread) plus the cached-engine attack path against its `SimBuilder`
-//! baseline, then writes a machine-readable JSON snapshot, so successive
-//! PRs accumulate a perf trajectory (`BENCH_<pr>.json`) that can be
-//! diffed.
+//! thread) plus the cached-engine attack paths (both the raw `run_in`
+//! loop and the full `run_sweep` attack grid) against their `SimBuilder`
+//! baselines, then writes a machine-readable JSON snapshot, so
+//! successive PRs accumulate a perf trajectory (`BENCH_<pr>.json`) that
+//! can be diffed.
 
+use fle_attacks::AttackKind;
 use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
-    run_sweep, set_default_threads, sha256_hex, BatchConfig, ProtocolKind, SweepConfig,
+    run_sweep, set_default_threads, sha256_hex, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec,
+    HonestSweep, ProtocolKind, SeedMode, SweepSpec, TargetSpec,
 };
 
 fn print_registry() {
@@ -32,12 +43,29 @@ fn print_registry() {
     for e in EXPERIMENTS {
         eprintln!("  {:<5} {}", e.id, e.description);
     }
-    eprintln!("\nusage: fle-lab <id>.. | all [--quick] [--threads N]");
     eprintln!(
-        "       fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N> \
-         [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]"
+        "\nusage:\n  fle-lab <id>.. | all [--quick] [--threads N]\n\
+         \x20       run experiments by id (see the registry above)\n\
+         \x20 fle-lab --list\n\
+         \x20       print this registry\n\
+         \x20 fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N>\n\
+         \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]\n\
+         \x20       one deterministic honest batch; report on stdout\n\
+         \x20 fle-lab attack-sweep --attack <kind> --n <N> --coalition <placement>\n\
+         \x20       [--trials N] [--seed N] [--threads N] [--target <policy>]\n\
+         \x20       [--fn-key N | --fn-key-xor MASK] [--seed-mode derived|raw]\n\
+         \x20       [--format json|csv]\n\
+         \x20 fle-lab attack-sweep --spec FILE.json [--threads N] [--format json|csv]\n\
+         \x20       one adversarial batch; the report's attack arm carries\n\
+         \x20       successes, infeasible trials and the Wilson 95% CI\n\
+         \x20     <kind>: basic_single | rushing | cubic | random_located | phase_rushing |\n\
+         \x20             phase_guess | phase_burst | phase_sum | wakeup_id_lie | wakeup_mask\n\
+         \x20     <placement>: spaced:K[:OFFSET] | consecutive:K[:START] | explicit:P1,P2,..\n\
+         \x20             | random:K:SEED | cubic | single:POS\n\
+         \x20     <policy>: fixed:V | seedprod:M   (target leader per trial)\n\
+         \x20 fle-lab bench-baseline [--out PATH] [--quick]\n\
+         \x20       write the per-PR perf snapshot (default BENCH_6.json)"
     );
-    eprintln!("       fle-lab bench-baseline [--out PATH] [--quick]");
 }
 
 fn usage() -> ! {
@@ -54,6 +82,24 @@ fn parse_arg<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
         eprintln!("invalid value '{raw}' for {flag}");
         std::process::exit(2);
     })
+}
+
+/// Validates an output format up front — a typo must not cost a full
+/// multi-minute sweep.
+fn check_format(format: &str) {
+    if format != "json" && format != "csv" {
+        eprintln!("unknown format '{format}' (expected json | csv)");
+        std::process::exit(2);
+    }
+}
+
+/// Prints `report` in the requested (pre-validated) format.
+fn emit_report(report: &fle_harness::TrialReport, format: &str) {
+    match format {
+        "json" => println!("{}", report.to_json()),
+        "csv" => print!("{}", report.to_csv()),
+        _ => unreachable!("format validated before the sweep"),
+    }
 }
 
 fn run_sweep_cli(args: &[String]) {
@@ -105,7 +151,7 @@ fn run_sweep_cli(args: &[String]) {
                 i += 2;
             }
             other => {
-                eprintln!("unknown sweep argument '{other}'");
+                eprintln!("unknown flag '{other}' for subcommand 'sweep'");
                 std::process::exit(2);
             }
         }
@@ -118,30 +164,228 @@ fn run_sweep_cli(args: &[String]) {
         eprintln!("sweep needs --n");
         std::process::exit(2);
     }
-    // Validate the output format up front — a typo must not cost a full
-    // multi-minute sweep.
-    if format != "json" && format != "csv" {
-        eprintln!("unknown format '{format}' (expected json | csv)");
-        std::process::exit(2);
-    }
+    check_format(&format);
     let start = std::time::Instant::now();
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol,
         n,
         fn_key,
         batch,
-    });
-    match format.as_str() {
-        "json" => println!("{}", report.to_json()),
-        "csv" => print!("{}", report.to_csv()),
-        _ => unreachable!("format validated before the sweep"),
-    }
+    }));
+    emit_report(&report, &format);
     eprintln!(
         "  [sweep {} n={} trials={} threads={}: {:.1?}]",
         report.protocol,
         n,
         batch.trials,
         batch.resolved_threads(),
+        start.elapsed()
+    );
+}
+
+/// Parses an `attack-sweep --coalition` placement:
+/// `spaced:K[:OFFSET]`, `consecutive:K[:START]`, `explicit:P1,P2,..`,
+/// `random:K:SEED`, `cubic`, `single:POS`.
+fn parse_coalition(raw: &str) -> Result<CoalitionSpec, String> {
+    let mut parts = raw.split(':');
+    let head = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let int = |s: &str, what: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("invalid {what} '{s}' in coalition '{raw}'"))
+    };
+    match (head, rest.as_slice()) {
+        ("spaced", [k]) => Ok(CoalitionSpec::EquallySpaced {
+            k: int(k, "k")?,
+            offset: 1,
+        }),
+        ("spaced", [k, offset]) => Ok(CoalitionSpec::EquallySpaced {
+            k: int(k, "k")?,
+            offset: int(offset, "offset")?,
+        }),
+        ("consecutive", [k]) => Ok(CoalitionSpec::Contiguous {
+            k: int(k, "k")?,
+            start: 0,
+        }),
+        ("consecutive", [k, start]) => Ok(CoalitionSpec::Contiguous {
+            k: int(k, "k")?,
+            start: int(start, "start")?,
+        }),
+        ("explicit", [list]) => Ok(CoalitionSpec::Explicit {
+            positions: list
+                .split(',')
+                .map(|p| int(p, "position"))
+                .collect::<Result<_, _>>()?,
+        }),
+        ("random", [k, seed]) => Ok(CoalitionSpec::RandomLocated {
+            k: int(k, "k")?,
+            layout_seed: int(seed, "seed")? as u64,
+        }),
+        ("cubic", []) => Ok(CoalitionSpec::Cubic),
+        ("single", [pos]) => Ok(CoalitionSpec::Single {
+            position: int(pos, "position")?,
+        }),
+        _ => Err(format!(
+            "unknown coalition placement '{raw}' (expected spaced:K[:OFFSET] | \
+             consecutive:K[:START] | explicit:P1,P2,.. | random:K:SEED | cubic | single:POS)"
+        )),
+    }
+}
+
+/// Parses an `attack-sweep --target` policy: `fixed:V` or `seedprod:M`.
+fn parse_target(raw: &str) -> Result<TargetSpec, String> {
+    let (head, value) = raw.split_once(':').unwrap_or((raw, ""));
+    let v: u64 = value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}' in target '{raw}'"))?;
+    match head {
+        "fixed" => Ok(TargetSpec::Fixed(v)),
+        "seedprod" => Ok(TargetSpec::SeedProduct { multiplier: v }),
+        _ => Err(format!(
+            "unknown target policy '{raw}' (expected fixed:V | seedprod:M)"
+        )),
+    }
+}
+
+fn run_attack_sweep_cli(args: &[String]) {
+    let mut spec_path: Option<String> = None;
+    let mut attack: Option<AttackKind> = None;
+    let mut n: usize = 0;
+    let mut batch = BatchConfig {
+        trials: 1_000,
+        base_seed: 0,
+        threads: 0,
+    };
+    let mut threads_override: Option<usize> = None;
+    let mut fn_key = FnKeySpec::Fixed(0);
+    let mut coalition: Option<CoalitionSpec> = None;
+    let mut target = TargetSpec::Fixed(0);
+    let mut seed_mode = SeedMode::Derived;
+    let mut format = String::from("json");
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => {
+                spec_path = Some(parse_arg(args, i + 1, "--spec"));
+                i += 2;
+            }
+            "--attack" | "-a" => {
+                let raw: String = parse_arg(args, i + 1, "--attack");
+                attack = Some(raw.parse().unwrap_or_else(|e| fail(e)));
+                i += 2;
+            }
+            "--n" | "-n" => {
+                n = parse_arg(args, i + 1, "--n");
+                i += 2;
+            }
+            "--trials" | "-t" => {
+                batch.trials = parse_arg(args, i + 1, "--trials");
+                i += 2;
+            }
+            "--seed" | "-s" => {
+                batch.base_seed = parse_arg(args, i + 1, "--seed");
+                i += 2;
+            }
+            "--threads" | "-j" => {
+                let t: usize = parse_arg(args, i + 1, "--threads");
+                batch.threads = t;
+                threads_override = Some(t);
+                i += 2;
+            }
+            "--fn-key" => {
+                fn_key = FnKeySpec::Fixed(parse_arg(args, i + 1, "--fn-key"));
+                i += 2;
+            }
+            "--fn-key-xor" => {
+                fn_key = FnKeySpec::SeedXor(parse_arg(args, i + 1, "--fn-key-xor"));
+                i += 2;
+            }
+            "--coalition" | "-c" => {
+                let raw: String = parse_arg(args, i + 1, "--coalition");
+                coalition = Some(parse_coalition(&raw).unwrap_or_else(|e| fail(e)));
+                i += 2;
+            }
+            "--target" | "-w" => {
+                let raw: String = parse_arg(args, i + 1, "--target");
+                target = parse_target(&raw).unwrap_or_else(|e| fail(e));
+                i += 2;
+            }
+            "--seed-mode" => {
+                let raw: String = parse_arg(args, i + 1, "--seed-mode");
+                seed_mode = match raw.as_str() {
+                    "derived" => SeedMode::Derived,
+                    "raw" => SeedMode::RawIndex,
+                    _ => fail(format!(
+                        "unknown seed mode '{raw}' (expected derived | raw)"
+                    )),
+                };
+                i += 2;
+            }
+            "--format" | "-f" => {
+                format = parse_arg(args, i + 1, "--format");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' for subcommand 'attack-sweep'");
+                std::process::exit(2);
+            }
+        }
+    }
+    check_format(&format);
+    let spec = if let Some(path) = spec_path {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut spec = SweepSpec::parse_json(&src).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        // CLI-level overrides apply on top of the file.
+        if let Some(t) = threads_override {
+            match &mut spec {
+                SweepSpec::Honest(h) => h.batch.threads = t,
+                SweepSpec::Attack(a) => a.batch.threads = t,
+                SweepSpec::TreeDictator(d) => d.batch.threads = t,
+            }
+        }
+        spec
+    } else {
+        let Some(attack) = attack else {
+            eprintln!("attack-sweep needs --attack (or --spec FILE.json)");
+            std::process::exit(2);
+        };
+        if n == 0 {
+            eprintln!("attack-sweep needs --n");
+            std::process::exit(2);
+        }
+        let Some(coalition) = coalition else {
+            eprintln!("attack-sweep needs --coalition");
+            std::process::exit(2);
+        };
+        SweepSpec::Attack(AttackSweep {
+            attack,
+            n,
+            fn_key,
+            batch,
+            coalition,
+            target,
+            seed_mode,
+        })
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid sweep spec: {e}");
+        std::process::exit(2);
+    }
+    let start = std::time::Instant::now();
+    let report = run_sweep(&spec);
+    emit_report(&report, &format);
+    eprintln!(
+        "  [attack-sweep {} n={} trials={}: {:.1?}]",
+        report.protocol,
+        report.n,
+        report.trials,
         start.elapsed()
     );
 }
@@ -165,20 +409,36 @@ const PR3_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("alead_n64", 113_687.8),
 ];
 
-/// The PR 4 snapshot (`BENCH_4.json`) — the previous point of the
-/// trajectory, so each new snapshot also records its *incremental*
-/// improvement, not just the cumulative one against PR 2.
+/// The PR 4 snapshot (`BENCH_4.json`) — a further point of the
+/// trajectory, so each new snapshot also records intermediate
+/// improvements, not just the cumulative one against PR 2.
 const PR4_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("phase_n8", 3_769.4),
     ("phase_n64", 193_705.5),
     ("alead_n64", 84_680.3),
 ];
 
+/// The PR 5 snapshot (`BENCH_5.json`) — the previous point of the
+/// trajectory (fused global-FIFO engine stream), so each new snapshot
+/// records its *incremental* improvement.
+const PR5_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 3_007.0),
+    ("phase_n64", 150_569.6),
+    ("alead_n64", 65_569.4),
+];
+
 /// The PR 4 snapshot's attack-arm timings (cached `run_in` fast path),
-/// the baseline the fused-stream engine's attack arms are diffed against.
+/// kept for trajectory comparisons.
 const PR4_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
     ("basic_single_n32", 20_886.2),
     ("phase_rushing_n16", 25_332.2),
+];
+
+/// The PR 5 snapshot's attack-arm timings, the baseline the spec-driven
+/// attack sweeps are diffed against.
+const PR5_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
+    ("basic_single_n32", 16_162.1),
+    ("phase_rushing_n16", 23_929.2),
 ];
 
 /// Times `trial(seed)` over `trials` harness-derived seeds and returns
@@ -261,9 +521,60 @@ fn bench_attack_arms(quick: bool) -> (Vec<(&'static str, f64)>, Vec<(&'static st
     (fast, slow)
 }
 
-/// Times one single-threaded sweep and returns ns/trial.
+/// Measures the spec-driven attack-sweep path end to end (rushing on
+/// `A-LEADuni` n=16, k=7 equally spaced) against the pre-spec per-table
+/// loop (one `SimBuilder` execution per seed, the shape the experiment
+/// tables used before they migrated onto `run_sweep`). Returns
+/// `(sweep_ns, loop_ns)` per trial, single thread.
+fn bench_attack_sweep(quick: bool) -> (f64, f64, u64) {
+    use fle_attacks::RushingAttack;
+    use fle_core::protocols::ALeadUni;
+    use fle_core::Coalition;
+    use ring_sim::Outcome;
+
+    let scale = if quick { 10 } else { 1 };
+    let n = 16;
+    let trials = 20_000 / scale;
+    let spec = |trials| {
+        SweepSpec::Attack(AttackSweep {
+            attack: AttackKind::Rushing,
+            n,
+            fn_key: FnKeySpec::Fixed(0),
+            batch: BatchConfig {
+                trials,
+                base_seed: 1,
+                threads: 1,
+            },
+            coalition: CoalitionSpec::EquallySpaced { k: 7, offset: 1 },
+            target: TargetSpec::Fixed(3),
+            seed_mode: SeedMode::Derived,
+        })
+    };
+    // Warmup batch, then the timed run through the cached runners.
+    let _ = run_sweep(&spec((trials / 10).max(1)));
+    let start = std::time::Instant::now();
+    let _ = run_sweep(&spec(trials));
+    let sweep_ns = start.elapsed().as_secs_f64() * 1e9 / trials as f64;
+    eprintln!(
+        "  [bench-baseline attack_sweep rushing_alead_n16 (run_sweep): {sweep_ns:.0} ns/trial]"
+    );
+
+    let attack = RushingAttack::new(3);
+    let coalition = Coalition::equally_spaced(n, 7, 1).expect("valid layout");
+    let loop_ns = time_trials(trials, |seed| {
+        let p = ALeadUni::new(n).with_seed(seed);
+        let exec = attack.run(&p, &coalition).expect("feasible");
+        debug_assert_eq!(exec.outcome, Outcome::Elected(3));
+    });
+    eprintln!(
+        "  [bench-baseline attack_sweep rushing_alead_n16 (SimBuilder loop): {loop_ns:.0} ns/trial]"
+    );
+    (sweep_ns, loop_ns, trials)
+}
+
+/// Times one single-threaded honest sweep and returns ns/trial.
 fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
-    let cfg = SweepConfig {
+    let cfg = HonestSweep {
         protocol,
         n,
         fn_key: 0,
@@ -275,15 +586,15 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
     };
     // One short warmup batch so page faults and lazy init don't bill the
     // measured run.
-    let _ = run_sweep(&SweepConfig {
+    let _ = run_sweep(&SweepSpec::Honest(HonestSweep {
         batch: BatchConfig {
             trials: (trials / 10).max(1),
             ..cfg.batch
         },
         ..cfg
-    });
+    }));
     let start = std::time::Instant::now();
-    let _ = run_sweep(&cfg);
+    let _ = run_sweep(&SweepSpec::Honest(cfg));
     start.elapsed().as_secs_f64() * 1e9 / trials as f64
 }
 
@@ -302,7 +613,7 @@ fn deliveries_per_trial(protocol: ProtocolKind, n: usize) -> u64 {
 }
 
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -316,7 +627,7 @@ fn run_bench_baseline(args: &[String]) {
                 i += 1;
             }
             other => {
-                eprintln!("unknown bench-baseline argument '{other}'");
+                eprintln!("unknown flag '{other}' for subcommand 'bench-baseline'");
                 std::process::exit(2);
             }
         }
@@ -354,7 +665,7 @@ fn run_bench_baseline(args: &[String]) {
     // run produced the golden bytes).
     let sweep_trials = 10_000 / scale;
     let start = std::time::Instant::now();
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 64,
         fn_key: 0,
@@ -363,7 +674,7 @@ fn run_bench_baseline(args: &[String]) {
             base_seed: 1,
             threads: 1,
         },
-    });
+    }));
     let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
     let sweep_sha = sha256_hex(report.to_json().as_bytes());
     eprintln!("  [bench-baseline sweep_phase_n64: {sweep_ms:.0} ms for {sweep_trials} trials]");
@@ -371,6 +682,8 @@ fn run_bench_baseline(args: &[String]) {
     // Attack arms: the cached-engine `run_in` fast path vs the one-shot
     // `SimBuilder` baseline, measured in the same process.
     let (attack_fast, attack_base) = bench_attack_arms(quick);
+    // The spec-driven attack-sweep grid vs the pre-spec per-table loop.
+    let (attack_sweep_ns, attack_loop_ns, attack_sweep_trials) = bench_attack_sweep(quick);
 
     let fmt_map = |entries: &[(&str, f64)]| {
         entries
@@ -396,13 +709,15 @@ fn run_bench_baseline(args: &[String]) {
     let improvements = improve_against(&PR2_NS_PER_TRIAL, &measured);
     let improvements_pr3 = improve_against(&PR3_NS_PER_TRIAL, &measured);
     let improvements_pr4 = improve_against(&PR4_NS_PER_TRIAL, &measured);
+    let improvements_pr5 = improve_against(&PR5_NS_PER_TRIAL, &measured);
     let attack_improvements = improve_against(&attack_base, &attack_fast);
     let attack_improvements_pr4 = improve_against(&PR4_ATTACK_NS_PER_TRIAL, &attack_fast);
+    let attack_improvements_pr5 = improve_against(&PR5_ATTACK_NS_PER_TRIAL, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"fused global-FIFO engine stream ",
-            "(packed tokens + inline message payloads) over the arena/mono trial ",
-            "paths, single thread, ns per trial\",",
+            "{{\"bench\":\"{}\",\"description\":\"spec-driven sweep family ",
+            "(honest + attack grids through cached per-worker runners) over the ",
+            "fused-stream arena/mono engine, single thread, ns per trial\",",
             "\"quick\":{},",
             "\"ns_per_trial\":{{{}}},",
             "\"deliveries_per_trial\":{{{}}},",
@@ -410,14 +725,21 @@ fn run_bench_baseline(args: &[String]) {
             "\"baseline_pr2_ns_per_trial\":{{{}}},",
             "\"baseline_pr3_ns_per_trial\":{{{}}},",
             "\"baseline_pr4_ns_per_trial\":{{{}}},",
+            "\"baseline_pr5_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
             "\"improvement_vs_pr3_pct\":{{{}}},",
             "\"improvement_vs_pr4_pct\":{{{}}},",
+            "\"improvement_vs_pr5_pct\":{{{}}},",
             "\"attack_ns_per_trial\":{{{}}},",
             "\"attack_simbuilder_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr4_ns_per_trial\":{{{}}},",
+            "\"attack_baseline_pr5_ns_per_trial\":{{{}}},",
             "\"attack_improvement_pct\":{{{}}},",
             "\"attack_improvement_vs_pr4_pct\":{{{}}},",
+            "\"attack_improvement_vs_pr5_pct\":{{{}}},",
+            "\"attack_sweep\":{{\"workload\":\"rushing_alead_n16\",\"trials\":{},",
+            "\"ns_per_trial\":{:.1},\"simbuilder_loop_ns_per_trial\":{:.1},",
+            "\"improvement_vs_pr5_pct\":{:.1}}},",
             "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
         ),
         label,
@@ -428,14 +750,22 @@ fn run_bench_baseline(args: &[String]) {
         fmt_map(&PR2_NS_PER_TRIAL),
         fmt_map(&PR3_NS_PER_TRIAL),
         fmt_map(&PR4_NS_PER_TRIAL),
+        fmt_map(&PR5_NS_PER_TRIAL),
         fmt_map(&improvements),
         fmt_map(&improvements_pr3),
         fmt_map(&improvements_pr4),
+        fmt_map(&improvements_pr5),
         fmt_map(&attack_fast),
         fmt_map(&attack_base),
         fmt_map(&PR4_ATTACK_NS_PER_TRIAL),
+        fmt_map(&PR5_ATTACK_NS_PER_TRIAL),
         fmt_map(&attack_improvements),
         fmt_map(&attack_improvements_pr4),
+        fmt_map(&attack_improvements_pr5),
+        attack_sweep_trials,
+        attack_sweep_ns,
+        attack_loop_ns,
+        (1.0 - attack_sweep_ns / attack_loop_ns) * 100.0,
         sweep_trials,
         sweep_ms,
         sweep_sha,
@@ -456,18 +786,23 @@ fn main() {
         return;
     }
 
-    // `sweep` is a subcommand with its own flags; recognize it before or
-    // after the global `--threads N` pair so both orderings work.
-    let sweep_pos = args
+    // `sweep` and `attack-sweep` are subcommands with their own flags;
+    // recognize them before or after the global `--threads N` pair so
+    // both orderings work.
+    let sub_pos = args
         .iter()
-        .position(|a| a == "sweep")
+        .position(|a| a == "sweep" || a == "attack-sweep")
         .filter(|&pos| pos == 0 || (pos == 2 && (args[0] == "--threads" || args[0] == "-j")));
-    if let Some(pos) = sweep_pos {
+    if let Some(pos) = sub_pos {
         if pos == 2 {
             let threads: usize = parse_arg(&args, 1, "--threads");
             set_default_threads(threads);
         }
-        run_sweep_cli(&args[pos + 1..]);
+        if args[pos] == "sweep" {
+            run_sweep_cli(&args[pos + 1..]);
+        } else {
+            run_attack_sweep_cli(&args[pos + 1..]);
+        }
         return;
     }
 
@@ -485,7 +820,10 @@ fn main() {
         .filter(|a| a.starts_with('-') && !["--quick", "-q", "--list", "-l"].contains(&a.as_str()))
         .collect();
     if !unknown_flags.is_empty() {
-        eprintln!("unknown flag '{}'", unknown_flags[0]);
+        eprintln!(
+            "unknown flag '{}' for the experiment runner",
+            unknown_flags[0]
+        );
         usage();
     }
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();

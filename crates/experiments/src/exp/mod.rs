@@ -32,3 +32,10 @@ pub(crate) fn fmt_rate(x: f64) -> String {
 pub(crate) fn fmt_eps(x: f64) -> String {
     format!("{x:+.4}")
 }
+
+/// Formats an attack success rate with its Wilson 95% half-width, as
+/// reported by an attack sweep's [`fle_harness::AttackSummary`] arm:
+/// `"0.950 ±0.043"`.
+pub(crate) fn fmt_rate_ci(rate: f64, ci: (f64, f64)) -> String {
+    format!("{rate:.3} ±{:.3}", (ci.1 - ci.0) / 2.0)
+}

@@ -6,15 +6,15 @@
 //! (`A-LEADuni`: `n²`; `PhaseAsyncLead`: `2n²`). Measured counts come
 //! from the same simulator for all protocols.
 
-use crate::{par_seeds, Table};
+use crate::Table;
 use fle_baselines::{random_ids, worst_case_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
-use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{run_batch, run_sweep, BatchConfig, HonestSweep, ProtocolKind, SweepSpec};
 
 /// Messages per honest run of `protocol`, measured through a short
 /// `fle-harness` sweep (the count is seed-independent, which the sweep
 /// verifies across its trials).
 fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol,
         n,
         fn_key: 0,
@@ -23,7 +23,7 @@ fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
             base_seed: 0,
             threads: 0,
         },
-    });
+    }));
     assert_eq!(
         report.messages.min, report.messages.max,
         "honest message counts are deterministic"
@@ -39,6 +39,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         &[16, 64, 256, 1024]
     };
     let trials: u64 = if quick { 10 } else { 30 };
+    // Raw-index seeds through the batch engine, matching the recorded
+    // baseline averages.
+    let batch = BatchConfig {
+        trials,
+        base_seed: 0,
+        threads: 0,
+    };
     let mut t = Table::new(
         "msg: total messages to elect a leader",
         &[
@@ -56,12 +63,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for &n in sizes {
         let cr_avg = {
-            let counts = par_seeds(trials, |seed| {
-                ChangRoberts::new(random_ids(n, seed))
-                    .run()
-                    .stats
-                    .total_sent()
-            });
+            let counts = run_batch(
+                &batch,
+                || (),
+                |(), seed, _derived| {
+                    ChangRoberts::new(random_ids(n, seed))
+                        .run()
+                        .stats
+                        .total_sent()
+                },
+            );
             counts.iter().sum::<u64>() as f64 / trials as f64
         };
         let cr_worst = ChangRoberts::new(worst_case_ids(n))
@@ -70,9 +81,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             .total_sent();
         let peterson = PetersonDkr::new(worst_case_ids(n)).run().stats.total_sent();
         let ir_avg = {
-            let counts = par_seeds(trials, |seed| {
-                ItaiRodeh::new(n, seed).run().stats.total_sent()
-            });
+            let counts = run_batch(
+                &batch,
+                || (),
+                |(), seed, _derived| ItaiRodeh::new(n, seed).run().stats.total_sent(),
+            );
             counts.iter().sum::<u64>() as f64 / trials as f64
         };
         let basic = honest_messages(ProtocolKind::BasicLead, n);

@@ -9,10 +9,14 @@
 
 use super::{fmt_eps, fmt_rate};
 use crate::stats::chi_square_uniform;
-use crate::{par_seeds, Table};
-use fle_attacks::{plan_with_k, RushingAttack};
-use fle_core::protocols::{ALeadUni, FleProtocol};
+use crate::Table;
+use fle_attacks::{plan_with_k, AttackKind, RushingAttack};
+use fle_core::protocols::ALeadUni;
 use fle_core::Coalition;
+use fle_harness::{
+    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, ProtocolKind,
+    SeedMode, SweepSpec, TargetSpec,
+};
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -50,20 +54,20 @@ pub fn run(quick: bool) -> Vec<Table> {
         "t51b: honest A-LEADuni uniformity (chi-square)",
         &["n", "trials", "chi2", "p-value", "max |eps|"],
     );
-    let outcomes = par_seeds(trials, |seed| {
-        ALeadUni::new(n_uni)
-            .with_seed(seed)
-            .run_honest()
-            .outcome
-            .elected()
-            .expect("honest runs succeed")
-    });
-    let mut counts = vec![0u64; n_uni];
-    for o in outcomes {
-        counts[o as usize] += 1;
-    }
-    let (chi2, p) = chi_square_uniform(&counts);
-    let max_eps = counts
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
+        protocol: ProtocolKind::ALeadUni,
+        n: n_uni,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 0,
+            threads: 0,
+        },
+    }));
+    assert_eq!(report.elected(), trials, "honest runs succeed");
+    let (chi2, p) = chi_square_uniform(&report.wins);
+    let max_eps = report
+        .wins
         .iter()
         .map(|&c| (c as f64 / trials as f64 - 1.0 / n_uni as f64).abs())
         .fold(0.0f64, f64::max);
@@ -80,14 +84,24 @@ pub fn run(quick: bool) -> Vec<Table> {
     // strategy with k below sqrt(n) by faking a smaller protocol bound.
     let n = if quick { 100 } else { 400 };
     let k = ((n as f64).sqrt() as usize) / 2;
-    let coalition = Coalition::equally_spaced(n, k, 1).expect("valid");
     let runs: u64 = if quick { 30 } else { 100 };
-    let fails = par_seeds(runs, |seed| {
-        let protocol = ALeadUni::new(n).with_seed(seed);
-        // The layout is infeasible, so the planner refuses…
-        RushingAttack::new(1).run(&protocol, &coalition).is_err()
-    });
-    let refuse_rate = fails.iter().filter(|&&b| b).count() as f64 / runs as f64;
+    // The layout is infeasible, so the planner refuses every trial; the
+    // sweep counts each refusal in its `infeasible` arm.
+    let report = run_sweep(&SweepSpec::Attack(AttackSweep {
+        attack: AttackKind::Rushing,
+        n,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials: runs,
+            base_seed: 0,
+            threads: 0,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
+        target: TargetSpec::Fixed(1),
+        seed_mode: SeedMode::RawIndex,
+    }));
+    let arm = report.attack.expect("attack sweeps carry the arm");
+    let refuse_rate = arm.infeasible as f64 / runs as f64;
     let mut punish = Table::new(
         "t51c: sub-threshold rushing is refused (no deviation can comply)",
         &["n", "k", "k/sqrt(n)", "refusal rate"],

@@ -8,13 +8,42 @@
 //! validation. Measured: attack feasibility/success across the two
 //! thresholds, burst detection rate, and honest uniformity.
 
-use super::fmt_rate;
+use super::{fmt_rate, fmt_rate_ci};
 use crate::stats::chi_square_uniform;
-use crate::{par_seeds, Table};
-use fle_attacks::{PhaseBurstAttack, PhaseRushingAttack};
+use crate::Table;
+use fle_attacks::{AttackKind, PhaseRushingAttack};
 use fle_core::protocols::PhaseAsyncLead;
 use fle_core::Coalition;
-use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{
+    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, ProtocolKind,
+    SeedMode, SweepSpec, TargetSpec,
+};
+
+/// One adversarial cell of t61a/t61b: `attack` on `PhaseAsyncLead` of
+/// size `n` with the equally spaced size-`k` coalition, reproducing the
+/// recorded tables' raw-index seed stream and per-seed `f` keys.
+fn phase_cell(
+    attack: AttackKind,
+    n: usize,
+    k: usize,
+    trials: u64,
+    fn_key: FnKeySpec,
+    target: TargetSpec,
+) -> SweepSpec {
+    SweepSpec::Attack(AttackSweep {
+        attack,
+        n,
+        fn_key,
+        batch: BatchConfig {
+            trials,
+            base_seed: 0,
+            threads: 0,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
+        target,
+        seed_mode: SeedMode::RawIndex,
+    })
+}
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -23,7 +52,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "t61a: rushing attack vs PhaseAsyncLead across the sqrt(n) threshold",
-        &["n", "k", "k vs thresholds", "feasible", "Pr[w]"],
+        &["n", "k", "k vs thresholds", "feasible", "Pr[w] ± ci"],
     );
     for &n in sizes {
         let sqrt_n = (n as f64).sqrt();
@@ -39,20 +68,18 @@ pub fn run(quick: bool) -> Vec<Table> {
             let feasible = PhaseRushingAttack::new(0)
                 .plan(&protocol, &coalition)
                 .is_ok();
-            let rate = if feasible {
-                let wins = par_seeds(trials, |seed| {
-                    let protocol = PhaseAsyncLead::new(n)
-                        .with_seed(seed)
-                        .with_fn_key(seed ^ 0xf00d);
-                    let w = (seed * 11) % n as u64;
-                    PhaseRushingAttack::new(w)
-                        .run(&protocol, &coalition)
-                        .is_ok_and(|e| e.outcome.elected() == Some(w))
-                });
-                wins.iter().filter(|&&b| b).count() as f64 / trials as f64
-            } else {
-                0.0
-            };
+            let report = run_sweep(&phase_cell(
+                AttackKind::PhaseRushing,
+                n,
+                k,
+                trials,
+                FnKeySpec::SeedXor(0xf00d),
+                TargetSpec::SeedProduct { multiplier: 11 },
+            ));
+            let arm = report.attack.expect("attack sweeps carry the arm");
+            // Rushing feasibility depends only on the coalition layout,
+            // so the plan precheck and the sweep must agree.
+            assert_eq!(feasible, arm.infeasible == 0);
             let zone = if (k as f64) <= sqrt_n / 10.0 + 1.0 {
                 "<= sqrt(n)/10"
             } else if (k as f64) < sqrt_n + 3.0 {
@@ -65,7 +92,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 k.to_string(),
                 zone.to_string(),
                 feasible.to_string(),
-                fmt_rate(rate),
+                fmt_rate_ci(arm.success_rate(report.trials), arm.ci95(report.trials)),
             ]);
         }
     }
@@ -77,17 +104,21 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for &n in sizes {
         let k = (2.0 * (n as f64).cbrt()).ceil() as usize + 1;
-        let coalition = Coalition::equally_spaced(n, k, 1).expect("valid");
         let runs: u64 = if quick { 20 } else { 50 };
-        let results = par_seeds(runs, |seed| {
-            let protocol = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(seed);
-            let exec = PhaseBurstAttack::new(1)
-                .run(&protocol, &coalition)
-                .expect("burst attack always runs");
-            (exec.outcome.is_fail(), exec.outcome.elected() == Some(1))
-        });
-        let fails = results.iter().filter(|r| r.0).count() as f64 / runs as f64;
-        let wins = results.iter().filter(|r| r.1).count() as f64 / runs as f64;
+        // fn_key = seed (SeedXor with mask 0), matching the recorded
+        // per-seed `f` draws; success means the burst elected its target.
+        let report = run_sweep(&phase_cell(
+            AttackKind::PhaseBurst,
+            n,
+            k,
+            runs,
+            FnKeySpec::SeedXor(0),
+            TargetSpec::Fixed(1),
+        ));
+        let arm = report.attack.expect("attack sweeps carry the arm");
+        assert_eq!(arm.infeasible, 0, "burst attack always runs");
+        let fails = report.fails.total() as f64 / runs as f64;
+        let wins = arm.success_rate(report.trials);
         burst.row([
             n.to_string(),
             k.to_string(),
@@ -103,7 +134,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Honest uniformity through the fle-harness sweep: per-node win
     // counts are exactly the chi-square input, and the per-worker engine
     // reuse makes this the fastest way to run thousands of trials.
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: n_uni,
         fn_key: 12345,
@@ -112,7 +143,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
-    });
+    }));
     assert_eq!(report.fails.total(), 0, "honest runs succeed");
     let (chi2, p) = chi_square_uniform(&report.wins);
     let mut uni = Table::new(

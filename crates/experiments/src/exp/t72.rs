@@ -7,9 +7,9 @@
 //! families (Figure 2's `k = 4` among them); and the tree-node coalition
 //! dictating the tree-sum FLE via the Corollary F.4 simulation.
 
-use super::fmt_rate;
+use super::fmt_rate_ci;
 use crate::Table;
-use fle_topology::tree_fle::TreeSumFle;
+use fle_harness::{run_sweep, BatchConfig, GraphSpec, SeedMode, SweepSpec, TargetSpec, TreeSweep};
 use fle_topology::two_party::{dichotomy, AlternatingProtocol, Party, Verdict};
 use fle_topology::{figure2_graph, Graph, TreePartition};
 
@@ -91,36 +91,54 @@ pub fn run(quick: bool) -> Vec<Table> {
     }
     f5.note("trees additionally admit k = 1 partitions (every graph family satisfies F.5)");
 
-    // Part 3: the dictating coalition on the simulated tree.
+    // Part 3: the dictating coalition on the simulated tree, one
+    // tree-dictator sweep per graph family (targets `(seed * 5) mod n`
+    // over the recorded raw-index seed stream).
     let trials = if quick { 16u64 } else { 64 };
     let mut dict = Table::new(
         "t72c: tree-node coalition dictates tree-sum FLE (Cor F.4)",
-        &["graph", "coalition size k", "targets forced", "Pr[w]"],
+        &["graph", "coalition size k", "targets forced", "Pr[w] ± ci"],
     );
-    let mut entries: Vec<(String, Graph, TreePartition)> = vec![(
-        "figure-2 (k=4)".to_string(),
-        fig2.clone(),
-        fig2_partition.clone(),
-    )];
-    for (name, g) in families {
-        let p = TreePartition::claim_f5(&g);
-        entries.push((format!("{name} (F.5)"), g, p));
-    }
-    for (name, g, partition) in entries {
-        let n = g.len() as u64;
-        let mut wins = 0u64;
-        for seed in 0..trials {
-            let fle = TreeSumFle::new(&g, &partition, seed);
-            let w = (seed * 5) % n;
-            if fle.run_with_dictator(w).outcome.elected() == Some(w) {
-                wins += 1;
-            }
-        }
+    let entries: Vec<(String, GraphSpec)> = vec![
+        ("figure-2 (k=4)".to_string(), GraphSpec::Figure2),
+        ("path (F.5)".to_string(), GraphSpec::Path(12)),
+        ("cycle (F.5)".to_string(), GraphSpec::Cycle(12)),
+        ("complete (F.5)".to_string(), GraphSpec::Complete(10)),
+        (
+            "grid 3x4 (F.5)".to_string(),
+            GraphSpec::Grid { rows: 3, cols: 4 },
+        ),
+        (
+            "random tree (F.5)".to_string(),
+            GraphSpec::RandomTree { n: 12, seed: 3 },
+        ),
+        (
+            "random G(n,p) (F.5)".to_string(),
+            GraphSpec::RandomConnected {
+                n: 12,
+                permille: 250,
+                seed: 4,
+            },
+        ),
+    ];
+    for (name, graph) in entries {
+        let (_, partition) = graph.resolve().expect("valid graph family");
+        let report = run_sweep(&SweepSpec::TreeDictator(TreeSweep {
+            graph,
+            batch: BatchConfig {
+                trials,
+                base_seed: 0,
+                threads: 0,
+            },
+            target: TargetSpec::SeedProduct { multiplier: 5 },
+            seed_mode: SeedMode::RawIndex,
+        }));
+        let arm = report.attack.expect("tree sweeps carry the arm");
         dict.row([
             name,
             partition.parts()[0].len().to_string(),
             trials.to_string(),
-            fmt_rate(wins as f64 / trials as f64),
+            fmt_rate_ci(arm.success_rate(report.trials), arm.ci95(report.trials)),
         ]);
     }
     dict.note("the coalition is one part of the partition: at most k real processors");

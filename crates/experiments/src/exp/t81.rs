@@ -7,13 +7,16 @@
 //! synthesized from honest and adversarial coins.
 
 use super::{fmt_eps, fmt_rate};
-use crate::{par_seeds, Table};
-use fle_attacks::BasicSingleAttack;
-use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol};
+use crate::Table;
+use fle_attacks::AttackKind;
+use fle_core::protocols::{ALeadUni, FleProtocol};
 use fle_core::reductions::{
     coin_bias_from_fle, coin_outcome_of_fle, elect_from_coins, fle_prob_bound_from_coin,
 };
-use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{
+    run_batch, run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep,
+    ProtocolKind, SeedMode, SweepSpec, TargetSpec,
+};
 use ring_sim::Outcome;
 
 /// Runs the experiment.
@@ -28,7 +31,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Honest A-LEADuni: fair coin. The leader's low bit decides the coin,
     // so the per-node win counts of an `fle-harness` sweep aggregate it
     // directly (odd leaders toss 1).
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::ALeadUni,
         n,
         fn_key: 0,
@@ -37,7 +40,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
-    });
+    }));
     let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
     let p1 = ones as f64 / trials as f64;
     fwd.row([
@@ -49,15 +52,24 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Fully-biased Basic-LEAD (single adversary forcing odd leader 5):
     // eps = 1 − 1/n, the bound ½nε is vacuous (> ½), and the measured
     // coin is constant.
-    let ones = par_seeds(trials.min(600), |seed| {
-        let protocol = BasicLead::new(n).with_seed(seed);
-        let out = BasicSingleAttack::new(2, 5)
-            .run(&protocol)
-            .expect("feasible")
-            .outcome;
-        matches!(coin_outcome_of_fle(out), Outcome::Elected(1))
-    });
-    let p1 = ones.iter().filter(|&&b| b).count() as f64 / ones.len() as f64;
+    let report = run_sweep(&SweepSpec::Attack(AttackSweep {
+        attack: AttackKind::BasicSingle,
+        n,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials: trials.min(600),
+            base_seed: 0,
+            threads: 0,
+        },
+        coalition: CoalitionSpec::Single { position: 2 },
+        target: TargetSpec::Fixed(5),
+        seed_mode: SeedMode::RawIndex,
+    }));
+    let arm = report.attack.expect("attack sweeps carry the arm");
+    assert_eq!(arm.infeasible, 0, "the Claim B.1 attack is always feasible");
+    // The coin is the leader's low bit: odd-leader wins toss 1.
+    let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
+    let p1 = ones as f64 / report.trials as f64;
     fwd.row([
         "Basic-LEAD under Claim B.1 attack (eps=1-1/n)".to_string(),
         fmt_rate(p1),
@@ -73,17 +85,27 @@ pub fn run(quick: bool) -> Vec<Table> {
         "t81b: FLE from log2(n) independent coins",
         &["coin", "n", "max Pr[leader]", "paper bound"],
     );
-    // Honest coins from A-LEADuni parity.
+    // Honest coins from A-LEADuni parity (raw-index seeds, matching the
+    // recorded tables).
     let bits = 3; // n = 8
-    let outcomes = par_seeds(trials, |seed| {
-        elect_from_coins(bits, |i| {
-            let out = ALeadUni::new(n)
-                .with_seed(seed * bits as u64 + i as u64)
-                .run_honest()
-                .outcome;
-            coin_outcome_of_fle(out)
-        })
-    });
+    let batch = BatchConfig {
+        trials,
+        base_seed: 0,
+        threads: 0,
+    };
+    let outcomes = run_batch(
+        &batch,
+        || (),
+        |(), seed, _derived| {
+            elect_from_coins(bits, |i| {
+                let out = ALeadUni::new(n)
+                    .with_seed(seed * bits as u64 + i as u64)
+                    .run_honest()
+                    .outcome;
+                coin_outcome_of_fle(out)
+            })
+        },
+    );
     let mut counts = vec![0u64; 1 << bits];
     for o in &outcomes {
         counts[o.elected().expect("honest") as usize] += 1;
@@ -100,12 +122,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     ]);
     // A delta-biased coin (Pr[1] = 0.5 + delta) built synthetically.
     let delta = 0.2;
-    let outcomes = par_seeds(trials, |seed| {
-        let mut rng = ring_sim::rng::SplitMix64::new(seed ^ 0xc01_c011);
-        elect_from_coins(bits, |_| {
-            Outcome::Elected(u64::from(rng.next_f64() < 0.5 + delta))
-        })
-    });
+    let outcomes = run_batch(
+        &batch,
+        || (),
+        |(), seed, _derived| {
+            let mut rng = ring_sim::rng::SplitMix64::new(seed ^ 0xc01_c011);
+            elect_from_coins(bits, |_| {
+                Outcome::Elected(u64::from(rng.next_f64() < 0.5 + delta))
+            })
+        },
+    );
     let mut counts = vec![0u64; 1 << bits];
     for o in &outcomes {
         counts[o.elected().expect("coins always land") as usize] += 1;

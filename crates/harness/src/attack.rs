@@ -1,0 +1,133 @@
+//! Attack-grid execution: [`AttackSweep`] specs dispatched onto
+//! per-worker [`AttackRunner`](fle_attacks::AttackRunner) caches.
+
+use crate::spec::AttackSweep;
+use crate::{run_batch, TrialOutcome, TrialReport};
+use fle_attacks::build_runner;
+
+/// Runs `batch.trials` adversarial executions of the configured attack,
+/// one deterministic seed per trial, and aggregates them into a
+/// [`TrialReport`] whose `attack` arm carries the success/infeasible
+/// counts and the Wilson 95% CI on the success rate.
+///
+/// Each worker thread builds one cached runner
+/// ([`fle_attacks::build_runner`]) in `make_worker`: protocol base,
+/// engine, scheduler, arena and result buffers are all reused, so
+/// steady-state trials are allocation-free. Trials whose per-instance
+/// preconditions fail count as `infeasible` (and never as successes).
+/// The report is byte-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid (unresolvable coalition, layout
+/// rejected by the runner); call
+/// [`SweepSpec::validate`](crate::SweepSpec::validate) first for an
+/// actionable error instead.
+pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
+    let trials: Vec<(Option<TrialOutcome>, bool)> = run_batch(
+        &cfg.batch,
+        || {
+            let coalition = cfg
+                .coalition
+                .resolve(cfg.n)
+                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"));
+            build_runner(cfg.attack, cfg.n, &coalition)
+                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"))
+        },
+        |runner, index, derived| {
+            let seed = cfg.seed_mode.resolve(index, derived);
+            let fn_key = cfg.fn_key.resolve(seed);
+            let target = cfg.target.resolve(seed, cfg.n);
+            match runner.run_trial(seed, fn_key, target) {
+                Ok(r) => (Some(TrialOutcome::of(r.exec)), r.success),
+                Err(_) => (None, false),
+            }
+        },
+    );
+    let label = format!("{}:{}", cfg.attack.protocol_name(), cfg.attack.name());
+    TrialReport::from_attack_trials(&label, cfg.n, cfg.batch.base_seed, &trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CoalitionSpec, FnKeySpec, SeedMode, TargetSpec};
+    use crate::BatchConfig;
+    use fle_attacks::{AttackKind, RushingAttack};
+    use fle_core::protocols::ALeadUni;
+    use fle_core::Coalition;
+
+    fn rushing_sweep(threads: usize, seed_mode: SeedMode) -> AttackSweep {
+        AttackSweep {
+            attack: AttackKind::Rushing,
+            n: 16,
+            fn_key: FnKeySpec::Fixed(0),
+            batch: BatchConfig {
+                trials: 40,
+                base_seed: 1,
+                threads,
+            },
+            coalition: CoalitionSpec::EquallySpaced { k: 7, offset: 1 },
+            target: TargetSpec::Fixed(3),
+            seed_mode,
+        }
+    }
+
+    #[test]
+    fn attack_sweep_is_thread_count_invariant() {
+        let baseline = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived));
+        for threads in [2, 8] {
+            let report = run_attack_sweep(&rushing_sweep(threads, SeedMode::Derived));
+            assert_eq!(report.to_json(), baseline.to_json(), "threads={threads}");
+            assert_eq!(report.to_csv(), baseline.to_csv(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn raw_index_mode_matches_historical_loops() {
+        // The pre-spec experiment tables looped `for seed in 0..trials`
+        // and ran the attack directly; RawIndex mode must reproduce that
+        // stream exactly.
+        let report = run_attack_sweep(&rushing_sweep(1, SeedMode::RawIndex));
+        let coalition = Coalition::equally_spaced(16, 7, 1).unwrap();
+        let attack = RushingAttack::new(3);
+        let mut successes = 0;
+        for seed in 0..40u64 {
+            let p = ALeadUni::new(16).with_seed(seed);
+            let exec = attack.run(&p, &coalition).unwrap();
+            if exec.outcome.elected() == Some(3) {
+                successes += 1;
+            }
+        }
+        let attack_arm = report.attack.expect("attack sweeps carry the arm");
+        assert_eq!(attack_arm.successes, successes);
+        assert_eq!(attack_arm.infeasible, 0);
+        assert_eq!(report.trials, 40);
+    }
+
+    #[test]
+    fn infeasible_trials_are_counted_not_dropped() {
+        // Rushing with a too-sparse coalition: every trial refuses.
+        let cfg = AttackSweep {
+            attack: AttackKind::Rushing,
+            n: 16,
+            fn_key: FnKeySpec::Fixed(0),
+            batch: BatchConfig {
+                trials: 10,
+                base_seed: 0,
+                threads: 1,
+            },
+            coalition: CoalitionSpec::Explicit {
+                positions: vec![5, 11],
+            },
+            target: TargetSpec::Fixed(1),
+            seed_mode: SeedMode::Derived,
+        };
+        let report = run_attack_sweep(&cfg);
+        let arm = report.attack.expect("attack arm");
+        assert_eq!(arm.infeasible, 10);
+        assert_eq!(arm.successes, 0);
+        assert_eq!(report.trials, 10);
+        assert_eq!(report.elected(), 0);
+    }
+}

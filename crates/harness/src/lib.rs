@@ -23,46 +23,67 @@
 //! * [`par_seeds`] — the legacy `fle-experiments` surface, now a thin
 //!   wrapper over [`run_batch`] (seeds are the raw trial indices, for
 //!   compatibility with the recorded experiment tables).
-//! * [`run_sweep`] — protocol-level batches: pick a [`ProtocolKind`] and a
-//!   [`SweepConfig`], get a [`TrialReport`] with per-node win counts,
-//!   failure counts, message/step summaries and percentiles, serializable
-//!   to JSON ([`TrialReport::to_json`]) and CSV ([`TrialReport::to_csv`]).
+//! * [`run_sweep`] — spec-level batches: build a [`SweepSpec`] (an honest
+//!   [`HonestSweep`], an adversarial [`AttackSweep`] or a tree-dictator
+//!   [`TreeSweep`]), get a [`TrialReport`] with per-node win counts,
+//!   failure counts, message/step summaries and percentiles — plus, for
+//!   adversarial grids, attack success counts with Wilson 95% CIs —
+//!   serializable to JSON ([`TrialReport::to_json`]) and CSV
+//!   ([`TrialReport::to_csv`]). Specs round-trip through deterministic
+//!   JSON ([`SweepSpec::to_json`] / [`SweepSpec::parse_json`]) and are
+//!   reference-checked by [`SweepSpec::validate`].
 //!
 //! ## Example
 //!
 //! ```
-//! use fle_harness::{BatchConfig, ProtocolKind, SweepConfig, run_sweep};
+//! use fle_harness::{BatchConfig, HonestSweep, ProtocolKind, SweepSpec, run_sweep};
 //!
-//! let report = run_sweep(&SweepConfig {
+//! let spec = SweepSpec::Honest(HonestSweep {
 //!     protocol: ProtocolKind::PhaseAsyncLead,
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 2 },
 //! });
+//! let report = run_sweep(&spec);
 //! assert_eq!(report.trials, 64);
 //! assert_eq!(report.wins.iter().sum::<u64>() + report.fails.total(), 64);
 //! // Identical regardless of thread count:
-//! let serial = run_sweep(&SweepConfig {
+//! let serial = run_sweep(&SweepSpec::Honest(HonestSweep {
 //!     protocol: ProtocolKind::PhaseAsyncLead,
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 1 },
-//! });
+//! }));
 //! assert_eq!(report.to_json(), serial.to_json());
+//! // Specs round-trip through JSON for scenario files:
+//! assert_eq!(fle_harness::SweepSpec::parse_json(&spec.to_json()), Ok(spec));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attack;
 mod batch;
 mod digest;
+mod json;
 mod report;
+mod spec;
 mod sweep;
+mod tree;
 
+pub use attack::run_attack_sweep;
 pub use batch::{default_threads, par_seeds, run_batch, set_default_threads, BatchConfig};
 pub use digest::sha256_hex;
-pub use report::{FailCounts, MetricSummary, TrialOutcome, TrialReport};
-pub use sweep::{run_sweep, ProtocolKind, SweepConfig};
+pub use json::Json;
+pub use report::{
+    wilson_ci95, AttackSummary, FailCounts, MetricSummary, TrialOutcome, TrialReport,
+};
+pub use spec::{
+    protocol_key, AttackSweep, CoalitionSpec, FnKeySpec, GraphSpec, SeedMode, SweepSpec,
+    TargetSpec, TreeSweep,
+};
+pub use sweep::{run_honest_sweep, run_sweep, HonestSweep, ProtocolKind};
+pub use tree::run_tree_sweep;
 
 use ring_sim::rng::mix;
 

@@ -123,6 +123,67 @@ fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
     sorted[rank - 1]
 }
 
+/// Wilson score 95% confidence interval for a binomial proportion.
+///
+/// Returns `(lo, hi)` for `successes` out of `trials` Bernoulli trials at
+/// `z = 1.96`. Unlike the normal approximation it never leaves `[0, 1]`
+/// and stays informative at the boundary rates the attack tables live at
+/// (`Pr = 0` and `Pr = 1`). `trials = 0` yields the vacuous `(0, 1)`.
+pub fn wilson_ci95(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96_f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The attack arm of a [`TrialReport`]: how many trials achieved the
+/// attack's goal, and how many were refused as infeasible before running.
+///
+/// Only reports aggregated from attack sweeps carry one; honest reports
+/// leave [`TrialReport::attack`] as `None` and serialize exactly as
+/// before, so every pre-existing golden pin is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackSummary {
+    /// Trials where the attack achieved its goal (e.g. elected its
+    /// target).
+    pub successes: u64,
+    /// Trials the attack refused to run (infeasible plan for that seed's
+    /// instance). These count toward `trials` but contribute no execution
+    /// statistics.
+    pub infeasible: u64,
+}
+
+impl AttackSummary {
+    /// Success rate over *all* trials (infeasible ones count as failures).
+    pub fn success_rate(&self, trials: u64) -> f64 {
+        self.successes as f64 / trials.max(1) as f64
+    }
+
+    /// Wilson 95% CI of the success rate over all trials.
+    pub fn ci95(&self, trials: u64) -> (f64, f64) {
+        wilson_ci95(self.successes, trials)
+    }
+
+    fn to_json(self, trials: u64) -> String {
+        let (lo, hi) = self.ci95(trials);
+        format!(
+            "{{\"successes\":{},\"infeasible\":{},\"success_rate\":{},\"ci95_lo\":{},\"ci95_hi\":{}}}",
+            self.successes,
+            self.infeasible,
+            fmt_f64(self.success_rate(trials)),
+            fmt_f64(lo),
+            fmt_f64(hi),
+        )
+    }
+}
+
 /// Fixed-precision float formatting so serialized reports are
 /// byte-deterministic.
 fn fmt_f64(x: f64) -> String {
@@ -151,6 +212,10 @@ pub struct TrialReport {
     pub messages: MetricSummary,
     /// Summary of per-trial scheduler step counts.
     pub steps: MetricSummary,
+    /// Attack-sweep arm: present only for reports aggregated from attack
+    /// trials. `None` keeps honest serializations byte-identical to the
+    /// pre-attack-sweep format.
+    pub attack: Option<AttackSummary>,
 }
 
 impl TrialReport {
@@ -185,7 +250,32 @@ impl TrialReport {
             fails,
             messages: MetricSummary::of(&messages),
             steps: MetricSummary::of(&steps),
+            attack: None,
         }
+    }
+
+    /// Aggregates attack trials (in trial order) into a report.
+    ///
+    /// Each element is `(outcome, success)`: `outcome = None` marks a
+    /// trial the attack refused as infeasible (counted in
+    /// [`AttackSummary::infeasible`], contributing no execution
+    /// statistics), and `success` says whether the attack achieved its
+    /// goal. The returned report carries an [`AttackSummary`] and thus
+    /// serializes with a trailing `attack` arm.
+    pub fn from_attack_trials(
+        protocol: &str,
+        n: usize,
+        base_seed: u64,
+        trials: &[(Option<TrialOutcome>, bool)],
+    ) -> Self {
+        let ran: Vec<TrialOutcome> = trials.iter().filter_map(|&(o, _)| o).collect();
+        let mut report = Self::from_trials(protocol, n, base_seed, &ran);
+        report.trials = trials.len() as u64;
+        report.attack = Some(AttackSummary {
+            successes: trials.iter().filter(|&&(_, s)| s).count() as u64,
+            infeasible: trials.iter().filter(|&&(o, _)| o.is_none()).count() as u64,
+        });
+        report
     }
 
     /// Total trials that elected a leader in `[0, n)`.
@@ -216,7 +306,7 @@ impl TrialReport {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"protocol\":\"{}\",\"n\":{},\"trials\":{},\"base_seed\":{},",
                 "\"elected\":{},\"out_of_range\":{},",
@@ -236,16 +326,36 @@ impl TrialReport {
             wins,
             self.messages.to_json(),
             self.steps.to_json(),
-        )
+        );
+        if let Some(a) = self.attack {
+            // The attack arm slots in before the closing brace; honest
+            // reports (attack = None) keep the exact historical bytes.
+            out.pop();
+            out.push_str(&format!(",\"attack\":{}}}", a.to_json(self.trials)));
+        }
+        out
     }
 
     /// Serializes the per-node win table to CSV
-    /// (`node,wins,win_rate` with a header row).
+    /// (`node,wins,win_rate` with a header row). Attack reports append a
+    /// second section with the success rate and its Wilson 95% CI.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("node,wins,win_rate\n");
         let t = self.trials.max(1) as f64;
         for (i, &w) in self.wins.iter().enumerate() {
             out.push_str(&format!("{i},{w},{}\n", fmt_f64(w as f64 / t)));
+        }
+        if let Some(a) = self.attack {
+            let (lo, hi) = a.ci95(self.trials);
+            out.push_str("successes,infeasible,success_rate,ci95_lo,ci95_hi\n");
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                a.successes,
+                a.infeasible,
+                fmt_f64(a.success_rate(self.trials)),
+                fmt_f64(lo),
+                fmt_f64(hi),
+            ));
         }
         out
     }
@@ -309,6 +419,55 @@ mod tests {
         let a = MetricSummary::of(&[5, 1, 9, 3, 7]);
         let b = MetricSummary::of(&[9, 7, 5, 3, 1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wilson_ci95_matches_binomial_fixtures() {
+        // 50/100 at z = 1.96: the textbook Wilson interval (0.4038, 0.5962).
+        let (lo, hi) = wilson_ci95(50, 100);
+        assert!((lo - 0.4038).abs() < 5e-4, "lo = {lo}");
+        assert!((hi - 0.5962).abs() < 5e-4, "hi = {hi}");
+        // 8/10: (0.4902, 0.9433) (e.g. R binom.confint method "wilson").
+        let (lo, hi) = wilson_ci95(8, 10);
+        assert!((lo - 0.4902).abs() < 5e-4, "lo = {lo}");
+        assert!((hi - 0.9433).abs() < 5e-4, "hi = {hi}");
+        // Boundary rates stay exact at the boundary but have width.
+        let (lo, hi) = wilson_ci95(0, 500);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01, "hi = {hi}");
+        let (lo, hi) = wilson_ci95(500, 500);
+        // Exactly 1 in real arithmetic; floats land within one ulp.
+        assert!((hi - 1.0).abs() < 1e-12, "hi = {hi}");
+        assert!(lo > 0.99 && lo < 1.0, "lo = {lo}");
+        // Degenerate batch: vacuous interval.
+        assert_eq!(wilson_ci95(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn attack_aggregation_counts_infeasible_and_successes() {
+        let trials = [
+            (Some(elected(3, 10, 12)), true),
+            (Some(elected(0, 10, 12)), false),
+            (None, false), // infeasible: no execution statistics
+            (Some(elected(3, 11, 13)), true),
+        ];
+        let r = TrialReport::from_attack_trials("Test", 4, 1, &trials);
+        assert_eq!(r.trials, 4);
+        assert_eq!(r.wins, vec![1, 0, 0, 2]);
+        let a = r.attack.expect("attack arm");
+        assert_eq!(a.successes, 2);
+        assert_eq!(a.infeasible, 1);
+        assert!((a.success_rate(r.trials) - 0.5).abs() < 1e-12);
+        // Metric summaries cover only the trials that actually ran.
+        assert_eq!(r.messages.max, 11);
+        let json = r.to_json();
+        assert!(json.ends_with(
+            "\"attack\":{\"successes\":2,\"infeasible\":1,\"success_rate\":0.500000,\
+             \"ci95_lo\":0.150036,\"ci95_hi\":0.849964}}"
+        ));
+        let csv = r.to_csv();
+        assert!(csv.contains("successes,infeasible,success_rate,ci95_lo,ci95_hi\n"));
+        assert!(csv.ends_with("2,1,0.500000,0.150036,0.849964\n"));
     }
 
     #[test]

@@ -1,0 +1,960 @@
+//! Declarative sweep specifications: honest grids, attack grids and
+//! tree-dictator grids under one [`SweepSpec`] umbrella.
+//!
+//! Specs round-trip through a serde-free JSON encoding
+//! ([`SweepSpec::to_json`] / [`SweepSpec::parse_json`]) so scenario
+//! files can be checked into experiment repositories and replayed
+//! byte-identically. [`SweepSpec::validate`] cross-checks every
+//! reference (ring sizes, coalition layouts, target ranges) and returns
+//! actionable errors *before* any trial runs.
+
+use crate::json::Json;
+use crate::sweep::{HonestSweep, ProtocolKind};
+use crate::BatchConfig;
+use fle_attacks::{build_runner, cubic_distances, AttackKind};
+use fle_core::Coalition;
+use fle_topology::{figure2_graph, Graph, TreePartition};
+
+/// How per-trial protocol seeds are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// Seed trial `i` with [`trial_seed`](crate::trial_seed)`(base_seed, i)`
+    /// — the harness's default well-mixed stream.
+    #[default]
+    Derived,
+    /// Seed trial `i` with the raw index `i` itself. This reproduces the
+    /// historical per-table loops (`for seed in 0..trials`) exactly, so
+    /// migrated experiments keep their published numbers.
+    RawIndex,
+}
+
+impl SeedMode {
+    fn name(self) -> &'static str {
+        match self {
+            SeedMode::Derived => "derived",
+            SeedMode::RawIndex => "raw_index",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "derived" => Ok(SeedMode::Derived),
+            "raw_index" => Ok(SeedMode::RawIndex),
+            other => Err(format!(
+                "unknown seed_mode \"{other}\" (expected \"derived\" | \"raw_index\")"
+            )),
+        }
+    }
+
+    /// The protocol seed for trial `index` given the harness-derived
+    /// `derived` seed.
+    pub fn resolve(self, index: u64, derived: u64) -> u64 {
+        match self {
+            SeedMode::Derived => derived,
+            SeedMode::RawIndex => index,
+        }
+    }
+}
+
+/// How the per-trial attack target is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetSpec {
+    /// The same target every trial.
+    Fixed(u64),
+    /// `target = (seed * multiplier) % n` — the historical per-table
+    /// "rotate the target with the seed" policy.
+    SeedProduct {
+        /// The multiplier applied to the trial's protocol seed.
+        multiplier: u64,
+    },
+}
+
+impl TargetSpec {
+    /// The target for a trial with protocol seed `seed` on a ring/graph
+    /// of `n`.
+    pub fn resolve(self, seed: u64, n: usize) -> u64 {
+        match self {
+            TargetSpec::Fixed(v) => v,
+            TargetSpec::SeedProduct { multiplier } => seed.wrapping_mul(multiplier) % n as u64,
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            TargetSpec::Fixed(v) => format!("{{\"policy\":\"fixed\",\"value\":{v}}}"),
+            TargetSpec::SeedProduct { multiplier } => {
+                format!("{{\"policy\":\"seed_product\",\"multiplier\":{multiplier}}}")
+            }
+        }
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "target";
+        match req_str(v, "policy", ctx)? {
+            "fixed" => {
+                check_keys(v, &["policy", "value"], ctx)?;
+                Ok(TargetSpec::Fixed(req_u64(v, "value", ctx)?))
+            }
+            "seed_product" => {
+                check_keys(v, &["policy", "multiplier"], ctx)?;
+                Ok(TargetSpec::SeedProduct {
+                    multiplier: req_u64(v, "multiplier", ctx)?,
+                })
+            }
+            other => Err(format!(
+                "unknown target policy \"{other}\" (expected \"fixed\" | \"seed_product\")"
+            )),
+        }
+    }
+}
+
+/// How the phase protocols' random-function key is chosen per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FnKeySpec {
+    /// The same key every trial (hoistable: the random function is built
+    /// once per worker).
+    Fixed(u64),
+    /// `fn_key = seed ^ mask` — a fresh random function per trial, as
+    /// the historical phase-attack tables drew them.
+    SeedXor(u64),
+}
+
+impl FnKeySpec {
+    /// The random-function key for a trial with protocol seed `seed`.
+    pub fn resolve(self, seed: u64) -> u64 {
+        match self {
+            FnKeySpec::Fixed(v) => v,
+            FnKeySpec::SeedXor(mask) => seed ^ mask,
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            FnKeySpec::Fixed(v) => format!("{{\"mode\":\"fixed\",\"value\":{v}}}"),
+            FnKeySpec::SeedXor(mask) => format!("{{\"mode\":\"seed_xor\",\"mask\":{mask}}}"),
+        }
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "fn_key";
+        match req_str(v, "mode", ctx)? {
+            "fixed" => {
+                check_keys(v, &["mode", "value"], ctx)?;
+                Ok(FnKeySpec::Fixed(req_u64(v, "value", ctx)?))
+            }
+            "seed_xor" => {
+                check_keys(v, &["mode", "mask"], ctx)?;
+                Ok(FnKeySpec::SeedXor(req_u64(v, "mask", ctx)?))
+            }
+            other => Err(format!(
+                "unknown fn_key mode \"{other}\" (expected \"fixed\" | \"seed_xor\")"
+            )),
+        }
+    }
+}
+
+/// Where the coalition sits on the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoalitionSpec {
+    /// `k` adversaries at positions `(offset + i·n/k) mod n`.
+    EquallySpaced {
+        /// Coalition size.
+        k: usize,
+        /// Position of the first adversary.
+        offset: usize,
+    },
+    /// `k` consecutive adversaries starting at `start`.
+    Contiguous {
+        /// Coalition size.
+        k: usize,
+        /// First position of the block.
+        start: usize,
+    },
+    /// Exactly these ring positions.
+    Explicit {
+        /// The adversary positions.
+        positions: Vec<usize>,
+    },
+    /// `k` positions drawn uniformly without replacement from a
+    /// deterministic layout stream (for the randomly-located attack).
+    RandomLocated {
+        /// Coalition size.
+        k: usize,
+        /// Seed of the layout draw (independent of trial seeds).
+        layout_seed: u64,
+    },
+    /// The cubic attack's own Theorem 4.3 geometric layout for the ring
+    /// size at hand.
+    Cubic,
+    /// A single adversary (for the single-deviator attacks).
+    Single {
+        /// The adversary's position.
+        position: usize,
+    },
+}
+
+impl CoalitionSpec {
+    /// Resolves the placement into concrete positions on a ring of `n`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the layout cannot be built (empty,
+    /// out-of-range positions, or a ring too small for the cubic plan).
+    pub fn resolve(&self, n: usize) -> Result<Coalition, String> {
+        let built = match self {
+            CoalitionSpec::EquallySpaced { k, offset } => Coalition::equally_spaced(n, *k, *offset),
+            CoalitionSpec::Contiguous { k, start } => Coalition::consecutive(n, *k, *start),
+            CoalitionSpec::Explicit { positions } => Coalition::new(n, positions.clone()),
+            CoalitionSpec::RandomLocated { k, layout_seed } => {
+                Coalition::random_k(n, *k, *layout_seed)
+            }
+            CoalitionSpec::Cubic => {
+                return cubic_distances(n)
+                    .map(|plan| plan.coalition())
+                    .map_err(|e| e.to_string());
+            }
+            CoalitionSpec::Single { position } => Coalition::new(n, vec![*position]),
+        };
+        built.map_err(|e| format!("coalition: {e}"))
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            CoalitionSpec::EquallySpaced { k, offset } => {
+                format!("{{\"placement\":\"equally_spaced\",\"k\":{k},\"offset\":{offset}}}")
+            }
+            CoalitionSpec::Contiguous { k, start } => {
+                format!("{{\"placement\":\"contiguous\",\"k\":{k},\"start\":{start}}}")
+            }
+            CoalitionSpec::Explicit { positions } => {
+                let list = positions
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{\"placement\":\"explicit\",\"positions\":[{list}]}}")
+            }
+            CoalitionSpec::RandomLocated { k, layout_seed } => {
+                format!(
+                    "{{\"placement\":\"random_located\",\"k\":{k},\"layout_seed\":{layout_seed}}}"
+                )
+            }
+            CoalitionSpec::Cubic => "{\"placement\":\"cubic\"}".to_string(),
+            CoalitionSpec::Single { position } => {
+                format!("{{\"placement\":\"single\",\"position\":{position}}}")
+            }
+        }
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "coalition";
+        match req_str(v, "placement", ctx)? {
+            "equally_spaced" => {
+                check_keys(v, &["placement", "k", "offset"], ctx)?;
+                Ok(CoalitionSpec::EquallySpaced {
+                    k: req_usize(v, "k", ctx)?,
+                    offset: req_usize(v, "offset", ctx)?,
+                })
+            }
+            "contiguous" => {
+                check_keys(v, &["placement", "k", "start"], ctx)?;
+                Ok(CoalitionSpec::Contiguous {
+                    k: req_usize(v, "k", ctx)?,
+                    start: req_usize(v, "start", ctx)?,
+                })
+            }
+            "explicit" => {
+                check_keys(v, &["placement", "positions"], ctx)?;
+                let arr = req(v, "positions", ctx)?
+                    .as_array()
+                    .ok_or_else(|| "coalition: \"positions\" must be an array".to_string())?;
+                let positions = arr
+                    .iter()
+                    .map(|p| {
+                        p.as_usize()
+                            .ok_or_else(|| "coalition: positions must be integers".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(CoalitionSpec::Explicit { positions })
+            }
+            "random_located" => {
+                check_keys(v, &["placement", "k", "layout_seed"], ctx)?;
+                Ok(CoalitionSpec::RandomLocated {
+                    k: req_usize(v, "k", ctx)?,
+                    layout_seed: req_u64(v, "layout_seed", ctx)?,
+                })
+            }
+            "cubic" => {
+                check_keys(v, &["placement"], ctx)?;
+                Ok(CoalitionSpec::Cubic)
+            }
+            "single" => {
+                check_keys(v, &["placement", "position"], ctx)?;
+                Ok(CoalitionSpec::Single {
+                    position: req_usize(v, "position", ctx)?,
+                })
+            }
+            other => Err(format!(
+                "unknown coalition placement \"{other}\" (expected equally_spaced | contiguous | \
+                 explicit | random_located | cubic | single)"
+            )),
+        }
+    }
+}
+
+/// The graph family a tree-dictator sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// A path on `n` vertices.
+    Path(usize),
+    /// A cycle on `n` vertices.
+    Cycle(usize),
+    /// The complete graph on `n` vertices.
+    Complete(usize),
+    /// A `rows × cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A uniform random recursive tree.
+    RandomTree {
+        /// Vertex count.
+        n: usize,
+        /// Structure seed.
+        seed: u64,
+    },
+    /// A random tree plus Bernoulli extra edges with probability
+    /// `permille / 1000` (stored as an integer for lossless JSON).
+    RandomConnected {
+        /// Vertex count.
+        n: usize,
+        /// Edge probability in thousandths.
+        permille: u32,
+        /// Structure seed.
+        seed: u64,
+    },
+    /// The paper's Figure 2 clique-chain (16 vertices) with its
+    /// published partition.
+    Figure2,
+}
+
+impl GraphSpec {
+    /// The vertex count of the resolved graph.
+    pub fn n(self) -> usize {
+        match self {
+            GraphSpec::Path(n) | GraphSpec::Cycle(n) | GraphSpec::Complete(n) => n,
+            GraphSpec::Grid { rows, cols } => rows * cols,
+            GraphSpec::RandomTree { n, .. } | GraphSpec::RandomConnected { n, .. } => n,
+            GraphSpec::Figure2 => 16,
+        }
+    }
+
+    /// Builds the graph and its Claim F.5 partition (Figure 2 uses its
+    /// published partition instead).
+    ///
+    /// # Errors
+    ///
+    /// A message when the family parameters are out of range (e.g. a
+    /// cycle on fewer than 3 vertices).
+    pub fn resolve(self) -> Result<(Graph, TreePartition), String> {
+        let graph = match self {
+            GraphSpec::Path(n) => {
+                require(n >= 2, "path graph needs n >= 2")?;
+                Graph::path(n)
+            }
+            GraphSpec::Cycle(n) => {
+                require(n >= 3, "cycle graph needs n >= 3")?;
+                Graph::cycle(n)
+            }
+            GraphSpec::Complete(n) => {
+                require(n >= 2, "complete graph needs n >= 2")?;
+                Graph::complete(n)
+            }
+            GraphSpec::Grid { rows, cols } => {
+                require(rows >= 1 && cols >= 1, "grid dimensions must be positive")?;
+                require(rows * cols >= 2, "grid needs at least 2 vertices")?;
+                Graph::grid(rows, cols)
+            }
+            GraphSpec::RandomTree { n, seed } => {
+                require(n >= 2, "random tree needs n >= 2")?;
+                Graph::random_tree(n, seed)
+            }
+            GraphSpec::RandomConnected { n, permille, seed } => {
+                require(n >= 2, "random connected graph needs n >= 2")?;
+                require(permille <= 1000, "edge permille must be <= 1000")?;
+                Graph::random_connected(n, f64::from(permille) / 1000.0, seed)
+            }
+            GraphSpec::Figure2 => return Ok(figure2_graph()),
+        };
+        let partition = TreePartition::claim_f5(&graph);
+        Ok((graph, partition))
+    }
+
+    /// A short display name for report labels (e.g. `"grid3x4"`).
+    pub fn label(self) -> String {
+        match self {
+            GraphSpec::Path(n) => format!("path{n}"),
+            GraphSpec::Cycle(n) => format!("cycle{n}"),
+            GraphSpec::Complete(n) => format!("complete{n}"),
+            GraphSpec::Grid { rows, cols } => format!("grid{rows}x{cols}"),
+            GraphSpec::RandomTree { n, seed } => format!("rtree{n}s{seed}"),
+            GraphSpec::RandomConnected { n, permille, seed } => {
+                format!("gnp{n}p{permille}s{seed}")
+            }
+            GraphSpec::Figure2 => "figure2".to_string(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            GraphSpec::Path(n) => format!("{{\"family\":\"path\",\"n\":{n}}}"),
+            GraphSpec::Cycle(n) => format!("{{\"family\":\"cycle\",\"n\":{n}}}"),
+            GraphSpec::Complete(n) => format!("{{\"family\":\"complete\",\"n\":{n}}}"),
+            GraphSpec::Grid { rows, cols } => {
+                format!("{{\"family\":\"grid\",\"rows\":{rows},\"cols\":{cols}}}")
+            }
+            GraphSpec::RandomTree { n, seed } => {
+                format!("{{\"family\":\"random_tree\",\"n\":{n},\"seed\":{seed}}}")
+            }
+            GraphSpec::RandomConnected { n, permille, seed } => format!(
+                "{{\"family\":\"random_connected\",\"n\":{n},\"permille\":{permille},\"seed\":{seed}}}"
+            ),
+            GraphSpec::Figure2 => "{\"family\":\"figure2\"}".to_string(),
+        }
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "graph";
+        match req_str(v, "family", ctx)? {
+            "path" => {
+                check_keys(v, &["family", "n"], ctx)?;
+                Ok(GraphSpec::Path(req_usize(v, "n", ctx)?))
+            }
+            "cycle" => {
+                check_keys(v, &["family", "n"], ctx)?;
+                Ok(GraphSpec::Cycle(req_usize(v, "n", ctx)?))
+            }
+            "complete" => {
+                check_keys(v, &["family", "n"], ctx)?;
+                Ok(GraphSpec::Complete(req_usize(v, "n", ctx)?))
+            }
+            "grid" => {
+                check_keys(v, &["family", "rows", "cols"], ctx)?;
+                Ok(GraphSpec::Grid {
+                    rows: req_usize(v, "rows", ctx)?,
+                    cols: req_usize(v, "cols", ctx)?,
+                })
+            }
+            "random_tree" => {
+                check_keys(v, &["family", "n", "seed"], ctx)?;
+                Ok(GraphSpec::RandomTree {
+                    n: req_usize(v, "n", ctx)?,
+                    seed: req_u64(v, "seed", ctx)?,
+                })
+            }
+            "random_connected" => {
+                check_keys(v, &["family", "n", "permille", "seed"], ctx)?;
+                let permille = req_u64(v, "permille", ctx)?;
+                let permille = u32::try_from(permille)
+                    .map_err(|_| "graph: \"permille\" out of range".to_string())?;
+                Ok(GraphSpec::RandomConnected {
+                    n: req_usize(v, "n", ctx)?,
+                    permille,
+                    seed: req_u64(v, "seed", ctx)?,
+                })
+            }
+            "figure2" => {
+                check_keys(v, &["family"], ctx)?;
+                Ok(GraphSpec::Figure2)
+            }
+            other => Err(format!(
+                "unknown graph family \"{other}\" (expected path | cycle | complete | grid | \
+                 random_tree | random_connected | figure2)"
+            )),
+        }
+    }
+}
+
+/// An adversarial grid: one attack, one coalition layout, many seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSweep {
+    /// Which attack to mount.
+    pub attack: AttackKind,
+    /// Ring size.
+    pub n: usize,
+    /// Random-function key policy (phase protocols only).
+    pub fn_key: FnKeySpec,
+    /// Trials / base seed / threads.
+    pub batch: BatchConfig,
+    /// Coalition layout.
+    pub coalition: CoalitionSpec,
+    /// Target policy.
+    pub target: TargetSpec,
+    /// Protocol seed stream.
+    pub seed_mode: SeedMode,
+}
+
+/// A tree-dictator grid (Theorem 7.2's simulated-tree protocol): the
+/// dictator coalition forces `target` on every graph trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeSweep {
+    /// Graph family to elect on.
+    pub graph: GraphSpec,
+    /// Trials / base seed / threads.
+    pub batch: BatchConfig,
+    /// Forced-winner policy.
+    pub target: TargetSpec,
+    /// Protocol seed stream.
+    pub seed_mode: SeedMode,
+}
+
+/// Any sweep the harness can run: an honest grid, an attack grid or a
+/// tree-dictator grid. Dispatch with [`run_sweep`](crate::run_sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepSpec {
+    /// Honest executions of a ring protocol.
+    Honest(HonestSweep),
+    /// Adversarial executions of a ring attack.
+    Attack(AttackSweep),
+    /// Dictator executions of the simulated-tree protocol.
+    TreeDictator(TreeSweep),
+}
+
+impl From<HonestSweep> for SweepSpec {
+    fn from(cfg: HonestSweep) -> Self {
+        SweepSpec::Honest(cfg)
+    }
+}
+
+impl From<AttackSweep> for SweepSpec {
+    fn from(cfg: AttackSweep) -> Self {
+        SweepSpec::Attack(cfg)
+    }
+}
+
+impl From<TreeSweep> for SweepSpec {
+    fn from(cfg: TreeSweep) -> Self {
+        SweepSpec::TreeDictator(cfg)
+    }
+}
+
+impl SweepSpec {
+    /// Serializes to the canonical single-line JSON encoding (fixed
+    /// field order; parses back to an equal spec).
+    pub fn to_json(&self) -> String {
+        match self {
+            SweepSpec::Honest(h) => format!(
+                "{{\"sweep\":\"honest\",\"protocol\":\"{}\",\"n\":{},\"fn_key\":{},\
+                 \"trials\":{},\"base_seed\":{},\"threads\":{}}}",
+                protocol_key(h.protocol),
+                h.n,
+                h.fn_key,
+                h.batch.trials,
+                h.batch.base_seed,
+                h.batch.threads
+            ),
+            SweepSpec::Attack(a) => format!(
+                "{{\"sweep\":\"attack\",\"attack\":\"{}\",\"n\":{},\"trials\":{},\
+                 \"base_seed\":{},\"threads\":{},\"fn_key\":{},\"coalition\":{},\
+                 \"target\":{},\"seed_mode\":\"{}\"}}",
+                a.attack.name(),
+                a.n,
+                a.batch.trials,
+                a.batch.base_seed,
+                a.batch.threads,
+                a.fn_key.to_json(),
+                a.coalition.to_json(),
+                a.target.to_json(),
+                a.seed_mode.name()
+            ),
+            SweepSpec::TreeDictator(t) => format!(
+                "{{\"sweep\":\"tree_dictator\",\"graph\":{},\"trials\":{},\"base_seed\":{},\
+                 \"threads\":{},\"target\":{},\"seed_mode\":\"{}\"}}",
+                t.graph.to_json(),
+                t.batch.trials,
+                t.batch.base_seed,
+                t.batch.threads,
+                t.target.to_json(),
+                t.seed_mode.name()
+            ),
+        }
+    }
+
+    /// Parses the JSON encoding produced by [`SweepSpec::to_json`]
+    /// (field order is free; unknown fields are rejected).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn parse_json(src: &str) -> Result<Self, String> {
+        let v = Json::parse(src)?;
+        let kind = req_str(&v, "sweep", "spec")?;
+        match kind {
+            "honest" => {
+                check_keys(
+                    &v,
+                    &[
+                        "sweep",
+                        "protocol",
+                        "n",
+                        "fn_key",
+                        "trials",
+                        "base_seed",
+                        "threads",
+                    ],
+                    "honest sweep",
+                )?;
+                let protocol: ProtocolKind = req_str(&v, "protocol", "honest sweep")?.parse()?;
+                Ok(SweepSpec::Honest(HonestSweep {
+                    protocol,
+                    n: req_usize(&v, "n", "honest sweep")?,
+                    fn_key: opt_u64(&v, "fn_key", 0)?,
+                    batch: parse_batch(&v)?,
+                }))
+            }
+            "attack" => {
+                check_keys(
+                    &v,
+                    &[
+                        "sweep",
+                        "attack",
+                        "n",
+                        "trials",
+                        "base_seed",
+                        "threads",
+                        "fn_key",
+                        "coalition",
+                        "target",
+                        "seed_mode",
+                    ],
+                    "attack sweep",
+                )?;
+                let attack: AttackKind = req_str(&v, "attack", "attack sweep")?.parse()?;
+                let fn_key = match v.get("fn_key") {
+                    Some(obj) => FnKeySpec::parse(obj)?,
+                    None => FnKeySpec::Fixed(0),
+                };
+                let target = match v.get("target") {
+                    Some(obj) => TargetSpec::parse(obj)?,
+                    None => TargetSpec::Fixed(0),
+                };
+                let seed_mode = match v.get("seed_mode") {
+                    Some(s) => SeedMode::parse(
+                        s.as_str()
+                            .ok_or_else(|| "seed_mode must be a string".to_string())?,
+                    )?,
+                    None => SeedMode::Derived,
+                };
+                Ok(SweepSpec::Attack(AttackSweep {
+                    attack,
+                    n: req_usize(&v, "n", "attack sweep")?,
+                    fn_key,
+                    batch: parse_batch(&v)?,
+                    coalition: CoalitionSpec::parse(req(&v, "coalition", "attack sweep")?)?,
+                    target,
+                    seed_mode,
+                }))
+            }
+            "tree_dictator" => {
+                check_keys(
+                    &v,
+                    &[
+                        "sweep",
+                        "graph",
+                        "trials",
+                        "base_seed",
+                        "threads",
+                        "target",
+                        "seed_mode",
+                    ],
+                    "tree sweep",
+                )?;
+                let target = match v.get("target") {
+                    Some(obj) => TargetSpec::parse(obj)?,
+                    None => TargetSpec::Fixed(0),
+                };
+                let seed_mode = match v.get("seed_mode") {
+                    Some(s) => SeedMode::parse(
+                        s.as_str()
+                            .ok_or_else(|| "seed_mode must be a string".to_string())?,
+                    )?,
+                    None => SeedMode::Derived,
+                };
+                Ok(SweepSpec::TreeDictator(TreeSweep {
+                    graph: GraphSpec::parse(req(&v, "graph", "tree sweep")?)?,
+                    batch: parse_batch(&v)?,
+                    target,
+                    seed_mode,
+                }))
+            }
+            other => Err(format!(
+                "unknown sweep kind \"{other}\" (expected \"honest\" | \"attack\" | \
+                 \"tree_dictator\")"
+            )),
+        }
+    }
+
+    /// Cross-checks every reference in the spec without running trials:
+    /// ring sizes against protocol minimums, coalition layouts against
+    /// attack preconditions, targets against their ranges.
+    ///
+    /// # Errors
+    ///
+    /// An actionable message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SweepSpec::Honest(h) => {
+                let min = match h.protocol {
+                    ProtocolKind::BasicLead | ProtocolKind::ALeadUni => 2,
+                    ProtocolKind::PhaseAsyncLead | ProtocolKind::PhaseSumLead => 4,
+                };
+                require(
+                    h.n >= min,
+                    &format!("{} needs n >= {min}, got n={}", h.protocol.name(), h.n),
+                )?;
+                require(h.batch.trials >= 1, "trials must be >= 1")?;
+                Ok(())
+            }
+            SweepSpec::Attack(a) => {
+                let min = if a.attack.uses_fn_key() { 4 } else { 2 };
+                require(
+                    a.n >= min,
+                    &format!(
+                        "{} needs n >= {min}, got n={}",
+                        a.attack.protocol_name(),
+                        a.n
+                    ),
+                )?;
+                require(a.batch.trials >= 1, "trials must be >= 1")?;
+                let coalition = a.coalition.resolve(a.n)?;
+                // Reuse the runner layer's layout checks (single-position
+                // attacks, the cubic geometric layout, ...).
+                build_runner(a.attack, a.n, &coalition).map_err(|e| e.to_string())?;
+                if let TargetSpec::Fixed(v) = a.target {
+                    match a.attack {
+                        AttackKind::WakeupMask => require(
+                            (v as usize) < coalition.k(),
+                            &format!(
+                                "wakeup_mask target is a coalition member index; {v} out of \
+                                 range for k={}",
+                                coalition.k()
+                            ),
+                        )?,
+                        AttackKind::PhaseGuess | AttackKind::WakeupIdLie => {}
+                        _ => require(
+                            v < a.n as u64,
+                            &format!("target {v} out of range for n={}", a.n),
+                        )?,
+                    }
+                }
+                Ok(())
+            }
+            SweepSpec::TreeDictator(t) => {
+                require(t.batch.trials >= 1, "trials must be >= 1")?;
+                t.graph.resolve()?;
+                if let TargetSpec::Fixed(v) = t.target {
+                    require(
+                        v < t.graph.n() as u64,
+                        &format!("target {v} out of range for graph n={}", t.graph.n()),
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The short spelling of a protocol accepted by [`ProtocolKind`]'s
+/// `FromStr` (used in spec files, as opposed to the display name).
+pub fn protocol_key(p: ProtocolKind) -> &'static str {
+    match p {
+        ProtocolKind::BasicLead => "basic",
+        ProtocolKind::ALeadUni => "alead",
+        ProtocolKind::PhaseAsyncLead => "phase",
+        ProtocolKind::PhaseSumLead => "phasesum",
+    }
+}
+
+fn parse_batch(v: &Json) -> Result<BatchConfig, String> {
+    Ok(BatchConfig {
+        trials: req_u64(v, "trials", "spec")?,
+        base_seed: opt_u64(v, "base_seed", 0)?,
+        threads: usize::try_from(opt_u64(v, "threads", 0)?)
+            .map_err(|_| "\"threads\" out of range".to_string())?,
+    })
+}
+
+fn require(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| format!("{ctx} must be a JSON object"))?;
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown field \"{key}\" in {ctx} (expected one of: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn req<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing required field \"{key}\""))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    req(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a string"))
+}
+
+fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    req(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
+}
+
+fn req_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {
+    req(v, key, ctx)?
+        .as_usize()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rushing_spec() -> SweepSpec {
+        SweepSpec::Attack(AttackSweep {
+            attack: AttackKind::Rushing,
+            n: 16,
+            fn_key: FnKeySpec::Fixed(9),
+            batch: BatchConfig {
+                trials: 500,
+                base_seed: 1,
+                threads: 0,
+            },
+            coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
+            target: TargetSpec::Fixed(3),
+            seed_mode: SeedMode::Derived,
+        })
+    }
+
+    #[test]
+    fn attack_spec_round_trips_through_json() {
+        let spec = rushing_spec();
+        let json = spec.to_json();
+        let parsed = SweepSpec::parse_json(&json).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn honest_and_tree_specs_round_trip() {
+        let honest = SweepSpec::Honest(HonestSweep {
+            protocol: ProtocolKind::PhaseAsyncLead,
+            n: 64,
+            fn_key: 9,
+            batch: BatchConfig {
+                trials: 500,
+                base_seed: 1,
+                threads: 0,
+            },
+        });
+        let tree = SweepSpec::TreeDictator(TreeSweep {
+            graph: GraphSpec::Grid { rows: 3, cols: 4 },
+            batch: BatchConfig {
+                trials: 64,
+                base_seed: 0,
+                threads: 0,
+            },
+            target: TargetSpec::SeedProduct { multiplier: 5 },
+            seed_mode: SeedMode::RawIndex,
+        });
+        for spec in [honest, tree] {
+            let json = spec.to_json();
+            assert_eq!(SweepSpec::parse_json(&json).unwrap(), spec);
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_missing_fields() {
+        let err = SweepSpec::parse_json(r#"{"sweep":"attack","n":16,"trials":5}"#).unwrap_err();
+        assert!(err.contains("missing required field \"attack\""), "{err}");
+
+        let err = SweepSpec::parse_json(
+            r#"{"sweep":"honest","protocol":"phase","n":8,"trials":5,"bogus":1}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field \"bogus\""), "{err}");
+
+        let err = SweepSpec::parse_json(r#"{"sweep":"picnic"}"#).unwrap_err();
+        assert!(err.contains("unknown sweep kind"), "{err}");
+    }
+
+    #[test]
+    fn validate_names_the_violated_constraint() {
+        let SweepSpec::Attack(mut a) = rushing_spec() else {
+            unreachable!()
+        };
+        a.target = TargetSpec::Fixed(99);
+        let err = SweepSpec::Attack(a.clone()).validate().unwrap_err();
+        assert!(err.contains("target 99 out of range"), "{err}");
+
+        a.target = TargetSpec::Fixed(3);
+        a.coalition = CoalitionSpec::Explicit {
+            positions: vec![99],
+        };
+        let err = SweepSpec::Attack(a.clone()).validate().unwrap_err();
+        assert!(err.contains("coalition"), "{err}");
+
+        a.coalition = CoalitionSpec::EquallySpaced { k: 2, offset: 1 };
+        a.attack = AttackKind::BasicSingle;
+        let err = SweepSpec::Attack(a).validate().unwrap_err();
+        assert!(err.contains("single adversary"), "{err}");
+    }
+
+    #[test]
+    fn coalition_placements_resolve_deterministically() {
+        let spec = CoalitionSpec::RandomLocated {
+            k: 5,
+            layout_seed: 7,
+        };
+        let a = spec.resolve(32).unwrap();
+        let b = spec.resolve(32).unwrap();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.k(), 5);
+
+        let cubic = CoalitionSpec::Cubic.resolve(64).unwrap();
+        assert_eq!(
+            cubic.positions(),
+            fle_attacks::cubic_distances(64)
+                .unwrap()
+                .coalition()
+                .positions()
+        );
+    }
+}

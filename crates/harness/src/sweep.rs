@@ -1,6 +1,7 @@
 //! Protocol-level batch sweeps with per-worker engine reuse.
 
-use crate::{run_batch, BatchConfig, TrialOutcome, TrialReport};
+use crate::spec::SweepSpec;
+use crate::{run_attack_sweep, run_batch, run_tree_sweep, BatchConfig, TrialOutcome, TrialReport};
 use fle_core::protocols::{
     run_ring_honest_pooled_into, ALeadNode, ALeadUni, BasicLead, BasicNode, PhaseAsyncLead,
     PhaseMsg, PhaseNode, PhaseSumLead,
@@ -64,9 +65,11 @@ impl std::str::FromStr for ProtocolKind {
     }
 }
 
-/// One protocol sweep: which protocol, at what size, over which batch.
+/// One honest protocol sweep: which protocol, at what size, over which
+/// batch. Wrap in [`SweepSpec::Honest`] (or use `.into()`) to dispatch
+/// through [`run_sweep`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SweepConfig {
+pub struct HonestSweep {
     /// The protocol to run honestly.
     pub protocol: ProtocolKind,
     /// Ring size.
@@ -139,7 +142,7 @@ impl<M, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
 /// # Panics
 ///
 /// Panics if `n` is below the protocol's minimum ring size.
-pub fn run_sweep(cfg: &SweepConfig) -> TrialReport {
+pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
     let n = cfg.n;
     let outcomes = match cfg.protocol {
         ProtocolKind::BasicLead => run_batch(
@@ -194,6 +197,28 @@ pub fn run_sweep(cfg: &SweepConfig) -> TrialReport {
     TrialReport::from_trials(cfg.protocol.name(), n, cfg.batch.base_seed, &outcomes)
 }
 
+/// Runs any [`SweepSpec`] — honest, attack or tree-dictator — and
+/// aggregates it into a [`TrialReport`]. The report (and its JSON/CSV
+/// serializations) is byte-identical for every thread count.
+///
+/// Attack and tree grids dispatch onto per-worker caches
+/// ([`run_attack_sweep`] / [`run_tree_sweep`]) so steady-state trials
+/// are allocation-free; call [`SweepSpec::validate`] first for
+/// actionable errors instead of panics on malformed specs.
+///
+/// # Panics
+///
+/// Panics if the spec violates a constructor precondition that
+/// [`SweepSpec::validate`] would have reported (e.g. `n` below the
+/// protocol's minimum ring size, or an infeasible coalition layout).
+pub fn run_sweep(spec: &SweepSpec) -> TrialReport {
+    match spec {
+        SweepSpec::Honest(cfg) => run_honest_sweep(cfg),
+        SweepSpec::Attack(cfg) => run_attack_sweep(cfg),
+        SweepSpec::TreeDictator(cfg) => run_tree_sweep(cfg),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,7 +246,7 @@ mod tests {
     #[test]
     fn sweep_accounts_every_trial() {
         for &protocol in ProtocolKind::ALL {
-            let report = run_sweep(&SweepConfig {
+            let report = run_sweep(&SweepSpec::Honest(HonestSweep {
                 protocol,
                 n: 6,
                 fn_key: 3,
@@ -230,7 +255,7 @@ mod tests {
                     base_seed: 2,
                     threads: 1,
                 },
-            });
+            }));
             assert_eq!(report.protocol, protocol.name());
             assert_eq!(
                 report.elected() + report.out_of_range + report.fails.total(),
@@ -251,7 +276,7 @@ mod tests {
             base_seed: 9,
             threads: 1,
         };
-        let report = run_sweep(&SweepConfig {
+        let report = run_honest_sweep(&HonestSweep {
             protocol: ProtocolKind::ALeadUni,
             n,
             fn_key: 0,

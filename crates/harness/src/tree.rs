@@ -1,0 +1,97 @@
+//! Tree-dictator grids: Theorem 7.2's simulated-tree protocol under its
+//! dictator coalition, swept over deterministic seeds.
+
+use crate::spec::TreeSweep;
+use crate::{run_batch, TrialOutcome, TrialReport};
+use fle_topology::tree_fle::TreeSumFle;
+
+/// Runs `batch.trials` dictator executions of [`TreeSumFle`] on the
+/// configured graph and aggregates them into a [`TrialReport`] whose
+/// `attack` arm counts how often the dictator coalition forced its
+/// target (Theorem 7.2 predicts: always).
+///
+/// Each worker thread resolves the graph and its Claim F.5 partition
+/// once; per trial only the seeded protocol instance is rebuilt. The
+/// report is byte-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the graph family parameters are invalid; call
+/// [`SweepSpec::validate`](crate::SweepSpec::validate) first for an
+/// actionable error instead.
+pub fn run_tree_sweep(cfg: &TreeSweep) -> TrialReport {
+    let n = cfg.graph.n();
+    let trials: Vec<(Option<TrialOutcome>, bool)> = run_batch(
+        &cfg.batch,
+        || {
+            cfg.graph
+                .resolve()
+                .unwrap_or_else(|e| panic!("invalid tree sweep: {e}"))
+        },
+        |(graph, partition), index, derived| {
+            let seed = cfg.seed_mode.resolve(index, derived);
+            let target = cfg.target.resolve(seed, n) % n as u64;
+            let fle = TreeSumFle::new(graph, partition, seed);
+            let exec = fle.run_with_dictator(target);
+            let success = exec.outcome.elected() == Some(target);
+            (Some(TrialOutcome::of(&exec)), success)
+        },
+    );
+    let label = format!("TreeSumFle:{}", cfg.graph.label());
+    TrialReport::from_attack_trials(&label, n, cfg.batch.base_seed, &trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GraphSpec, SeedMode, TargetSpec};
+    use crate::BatchConfig;
+
+    #[test]
+    fn dictator_always_wins_across_graph_families() {
+        for graph in [
+            GraphSpec::Path(8),
+            GraphSpec::Grid { rows: 3, cols: 4 },
+            GraphSpec::Figure2,
+        ] {
+            let report = run_tree_sweep(&TreeSweep {
+                graph,
+                batch: BatchConfig {
+                    trials: 12,
+                    base_seed: 0,
+                    threads: 1,
+                },
+                target: TargetSpec::SeedProduct { multiplier: 5 },
+                seed_mode: SeedMode::RawIndex,
+            });
+            let arm = report.attack.expect("tree sweeps carry the arm");
+            assert_eq!(arm.successes, 12, "{graph:?}");
+            assert_eq!(arm.infeasible, 0, "{graph:?}");
+            assert_eq!(report.n, graph.n(), "{graph:?}");
+        }
+    }
+
+    #[test]
+    fn tree_sweep_is_thread_count_invariant() {
+        let sweep = |threads| {
+            run_tree_sweep(&TreeSweep {
+                graph: GraphSpec::RandomConnected {
+                    n: 12,
+                    permille: 250,
+                    seed: 4,
+                },
+                batch: BatchConfig {
+                    trials: 24,
+                    base_seed: 7,
+                    threads,
+                },
+                target: TargetSpec::Fixed(3),
+                seed_mode: SeedMode::Derived,
+            })
+        };
+        let baseline = sweep(1);
+        for threads in [2, 8] {
+            assert_eq!(sweep(threads).to_json(), baseline.to_json());
+        }
+    }
+}

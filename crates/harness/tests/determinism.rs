@@ -6,7 +6,9 @@
 //! results land in their index slot, and aggregation walks slots in
 //! order, so 1, 2 and 8 threads must be indistinguishable in output.
 
-use fle_harness::{run_batch, run_sweep, BatchConfig, ProtocolKind, SweepConfig, TrialReport};
+use fle_harness::{
+    run_batch, run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind, TrialReport,
+};
 
 fn sweep_with_threads(
     protocol: ProtocolKind,
@@ -14,7 +16,7 @@ fn sweep_with_threads(
     trials: u64,
     threads: usize,
 ) -> TrialReport {
-    run_sweep(&SweepConfig {
+    run_honest_sweep(&HonestSweep {
         protocol,
         n,
         fn_key: 9,

@@ -6,10 +6,10 @@
 //! test here may construct the protocol concurrently).
 
 use fle_core::protocols::phase_async_builds;
-use fle_harness::{run_sweep, BatchConfig, ProtocolKind, SweepConfig};
+use fle_harness::{run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind};
 
 fn sweep(trials: u64, threads: usize) {
-    let report = run_sweep(&SweepConfig {
+    let report = run_honest_sweep(&HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 8,
         fn_key: 9,

@@ -11,12 +11,13 @@
 //! pinned values must be re-derived and the change called out in review —
 //! that is the point.
 
-use fle_attacks::{PhaseRushingAttack, PhaseRushingCache};
+use fle_attacks::{AttackKind, PhaseRushingAttack, PhaseRushingCache, RushingAttack};
 use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
 use fle_core::Coalition;
 use fle_harness::{
-    run_batch, run_sweep, sha256_hex, trial_seed, BatchConfig, ProtocolKind, SweepConfig,
-    TrialOutcome, TrialReport,
+    run_batch, run_sweep, sha256_hex, trial_seed, AttackSweep, BatchConfig, CoalitionSpec,
+    FnKeySpec, HonestSweep, ProtocolKind, SeedMode, SweepSpec, TargetSpec, TrialOutcome,
+    TrialReport,
 };
 use ring_sim::Execution;
 
@@ -98,7 +99,7 @@ fn trial_seed_derivation_is_pinned() {
 
 #[test]
 fn sweep_reports_are_pinned() {
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 8,
         fn_key: 9,
@@ -107,7 +108,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 1,
             threads: 1,
         },
-    });
+    }));
     assert_eq!(report.wins, vec![3, 6, 5, 5, 2, 3, 3, 5]);
     assert_eq!(
         report.to_json(),
@@ -123,7 +124,7 @@ fn sweep_reports_are_pinned() {
         )
     );
 
-    let report = run_sweep(&SweepConfig {
+    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::ALeadUni,
         n: 5,
         fn_key: 0,
@@ -132,7 +133,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 7,
             threads: 1,
         },
-    });
+    }));
     assert_eq!(report.wins, vec![1, 4, 7, 6, 6]);
 }
 
@@ -140,8 +141,8 @@ fn sweep_reports_are_pinned() {
 /// config (exactly what `fle_lab sweep --protocol phase --n 64 --seed 1`
 /// runs) — the workload the README's performance numbers and the
 /// `BENCH_3.json` trajectory are stated about.
-fn phase_n64_sweep(trials: u64) -> SweepConfig {
-    SweepConfig {
+fn phase_n64_sweep(trials: u64) -> SweepSpec {
+    SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 64,
         fn_key: 0,
@@ -150,7 +151,7 @@ fn phase_n64_sweep(trials: u64) -> SweepConfig {
             base_seed: 1,
             threads: 1,
         },
-    }
+    })
 }
 
 /// SHA-256 pin of a mid-size sweep's JSON: cheap enough to run in every
@@ -252,6 +253,101 @@ fn rushing_attack_sweep_matches_simbuilder_path() {
         .collect();
     let slow = TrialReport::from_trials("PhaseRushing-n16", n, 1, &outcomes);
     assert_eq!(fast.to_json(), slow.to_json());
+}
+
+/// The canonical spec-level attack sweep: 500 trials of the Theorem 4.2
+/// rushing attack (`k = 4 = √n` equally spaced, offset 1 — every segment
+/// `l_j = 3 = k − 1`, so the plan is feasible and the coalition controls
+/// every outcome) against `A-LEADuni n=16`, derived seeds, fixed target 3.
+fn canonical_attack_sweep(threads: usize) -> SweepSpec {
+    SweepSpec::Attack(AttackSweep {
+        attack: AttackKind::Rushing,
+        n: 16,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials: 500,
+            base_seed: 1,
+            threads,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
+        target: TargetSpec::Fixed(3),
+        seed_mode: SeedMode::Derived,
+    })
+}
+
+/// SHA-256 pins of the canonical attack sweep's JSON *and* CSV — the
+/// byte-identical regression oracle for the whole spec → runner →
+/// aggregation → serialization pipeline (attack arm, Wilson CI
+/// formatting included), mirroring the honest sweep pins above.
+#[test]
+fn attack_sweep_json_and_csv_sha256_are_pinned() {
+    let report = run_sweep(&canonical_attack_sweep(1));
+    let arm = report.attack.expect("attack sweeps carry the arm");
+    // Thm 4.2: at k = √n the rushing coalition always elects its target.
+    assert_eq!(arm.successes, 500);
+    assert_eq!(arm.infeasible, 0);
+    assert_eq!(report.wins[3], 500);
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "1d5514fee155d268d19f3b691e80d5835c163bbb31f08789424f2bb712115915"
+    );
+    assert_eq!(
+        sha256_hex(report.to_csv().as_bytes()),
+        "ea1a4c60b2ce161d254585b05a7f018b589a0361a983cb3e94f7601814b2e264"
+    );
+}
+
+/// The canonical attack sweep must serialize byte-identically at every
+/// thread count (the same invariant the honest pins enjoy).
+#[test]
+fn attack_sweep_is_thread_count_invariant() {
+    let baseline = run_sweep(&canonical_attack_sweep(1));
+    for threads in [2, 8] {
+        let report = run_sweep(&canonical_attack_sweep(threads));
+        assert_eq!(report.to_json(), baseline.to_json(), "threads={threads}");
+        assert_eq!(report.to_csv(), baseline.to_csv(), "threads={threads}");
+    }
+}
+
+/// Differential pin for the t42 migration: one of the table's
+/// `(n, k)` cells, run through `run_sweep(SweepSpec::Attack)`, must
+/// reproduce the pre-migration per-seed loop (raw-index seeds, target
+/// `(seed * 31) mod n`) success for success.
+#[test]
+fn migrated_t42_cell_matches_premigration_loop() {
+    let (n, k, trials) = (64usize, 8usize, 20u64);
+    let report = run_sweep(&SweepSpec::Attack(AttackSweep {
+        attack: AttackKind::Rushing,
+        n,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials,
+            base_seed: 0,
+            threads: 1,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
+        target: TargetSpec::SeedProduct { multiplier: 31 },
+        seed_mode: SeedMode::RawIndex,
+    }));
+    let coalition = Coalition::equally_spaced(n, k, 1).expect("valid layout");
+    let mut successes = 0u64;
+    for seed in 0..trials {
+        let protocol = ALeadUni::new(n).with_seed(seed);
+        let w = (seed * 31) % n as u64;
+        if RushingAttack::new(w)
+            .run(&protocol, &coalition)
+            .is_ok_and(|e| e.outcome.elected() == Some(w))
+        {
+            successes += 1;
+        }
+    }
+    let arm = report.attack.expect("attack sweeps carry the arm");
+    assert_eq!(arm.successes, successes);
+    assert_eq!(arm.infeasible, 0);
+    assert_eq!(report.trials, trials);
+    // Thm 4.2 at k = √n: the pre-migration loop always won, and so must
+    // the sweep.
+    assert_eq!(successes, trials);
 }
 
 /// The engine-reuse fast path must agree with the pinned builder-path
