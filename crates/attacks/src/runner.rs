@@ -163,6 +163,13 @@ pub trait AttackRunner {
         fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError>;
+
+    /// Installs (or clears) a timed network on the runner's trial cache:
+    /// subsequent trials run on the engine's virtual-clock path under
+    /// `net`'s per-link latency/loss/duplication profiles, with the
+    /// network-noise stream derived from each trial's seed. `None`
+    /// restores the untimed FIFO fast path.
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>);
 }
 
 /// Builds the cached runner for `kind` on a ring of `n` with the given
@@ -301,10 +308,15 @@ impl AttackRunner for BasicSingleRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         let exec = BasicSingleAttack::new(self.pos, target).run_in(&p, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -321,10 +333,15 @@ impl AttackRunner for RushingRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         let exec = RushingAttack::new(target).run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -341,10 +358,15 @@ impl AttackRunner for CubicRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         let exec = CubicAttack::new(target).run_in(&p, &self.plan, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -361,11 +383,16 @@ impl AttackRunner for RandomLocatedRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         let attack = RandomLocatedAttack::new(target, RANDOM_LOCATED_WINDOW);
         let exec = attack.run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -382,10 +409,15 @@ impl AttackRunner for PhaseRushingRunner {
         fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.instance(fn_key, seed);
         let exec = PhaseRushingAttack::new(target).run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -402,12 +434,17 @@ impl AttackRunner for PhaseGuessRunner {
         fn_key: u64,
         _target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.instance(fn_key, seed);
         let exec = PhaseGuessAttack::new(self.pos).run_in(&p, &mut self.cache)?;
         // The guessing adversary "wins" by surviving validation at all
         // (probability exactly 1/m) — any elected leader counts.
         let success = exec.outcome.elected().is_some();
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -424,10 +461,15 @@ impl AttackRunner for PhaseBurstRunner {
         fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.instance(fn_key, seed);
         let exec = PhaseBurstAttack::new(target).run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -444,10 +486,15 @@ impl AttackRunner for PhaseSumRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.with_seed(seed);
         let exec = PhaseSumAttack::new(target).run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -464,6 +511,7 @@ impl AttackRunner for WakeupIdLieRunner {
         _fn_key: u64,
         _target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         let exec = WakeupIdLieAttack::new().run_in(&p, &self.coalition, &mut self.cache)?;
         // Success: a fabricated (ghost) id won the election.
@@ -472,6 +520,10 @@ impl AttackRunner for WakeupIdLieRunner {
             .elected()
             .is_some_and(WakeupIdLieAttack::is_ghost);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 
@@ -488,6 +540,7 @@ impl AttackRunner for WakeupMaskRunner {
         _fn_key: u64,
         target: u64,
     ) -> Result<AttackTrialResult<'_>, AttackError> {
+        self.cache.set_trial_seed(seed);
         let p = self.base.clone().with_seed(seed);
         // `target` is the coalition member index; success is electing that
         // member's fabricated id, which depends on the per-seed id draw.
@@ -496,6 +549,10 @@ impl AttackRunner for WakeupMaskRunner {
         let exec = attack.run_in(&p, &self.coalition, &mut self.cache)?;
         let success = exec.outcome.elected() == Some(target_id);
         Ok(AttackTrialResult { exec, success })
+    }
+
+    fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
+        self.cache.set_timed_net(net);
     }
 }
 

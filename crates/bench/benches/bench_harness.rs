@@ -14,7 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fle_attacks::PhaseRushingAttack;
 use fle_core::protocols::{run_ring_in, FleProtocol, PhaseAsyncLead, PhaseMsg};
 use fle_core::Coalition;
-use fle_harness::{run_sweep, trial_seed, BatchConfig, HonestSweep, ProtocolKind, SweepSpec};
+use fle_harness::{
+    run_sweep, trial_seed, BatchConfig, HonestSweep, ProtocolKind, ScheduleSpec, SweepSpec,
+};
 use ring_sim::{Engine, Topology};
 use std::hint::black_box;
 
@@ -72,6 +74,7 @@ fn bench(c: &mut Criterion) {
                     base_seed: 1,
                     threads,
                 },
+                schedule: ScheduleSpec::Fifo,
             })
         };
         g.bench_with_input(BenchmarkId::new("batch_1thread", n), &n, |b, &n| {

@@ -34,7 +34,7 @@ pub use wakeup::{WakeLead, WakeMsg, WakeNode};
 use ring_sim::rng::SplitMix64;
 use ring_sim::{
     default_step_limit, ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, Probe,
-    SimBuilder, Topology, TrialArena,
+    SimBuilder, TimedNetConfig, TimedScheduler, Topology, TrialArena,
 };
 
 /// Reduces `x` into `[0, n)` without paying a hardware division in the
@@ -271,6 +271,53 @@ pub fn run_ring_honest_pooled_into<M, N: Node<M> + ArenaBacked>(
     }
 }
 
+/// [`run_ring_honest_pooled_into`] on the engine's virtual-clock timed
+/// path: deliveries follow the per-link latency / bandwidth / loss /
+/// duplication profiles of `net`, with the network noise drawn from
+/// `seed`'s dedicated stream (protocol node randomness is untouched).
+///
+/// With the all-zero [`TimedNetConfig`] this produces bit-identical
+/// [`Execution`]s to [`run_ring_honest_pooled_into`] — the differential
+/// anchor `tests/timed_paths.rs` pins per protocol.
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`.
+#[allow(clippy::too_many_arguments)] // the worker's reusable buffers, spelled out
+pub fn run_ring_honest_timed_into<M: Clone, N: Node<M> + ArenaBacked>(
+    engine: &mut Engine<M>,
+    n: usize,
+    mut honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+    wakes: &[NodeId],
+    nodes_buf: &mut Vec<N>,
+    timed: &mut TimedScheduler<M>,
+    net: &TimedNetConfig,
+    seed: u64,
+    arena: &mut TrialArena,
+    out: &mut Execution,
+) {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    arena.reset();
+    nodes_buf.clear();
+    nodes_buf.extend((0..n).map(|id| honest(id, arena)));
+    engine.run_timed_mono_into(
+        nodes_buf,
+        wakes,
+        timed,
+        net,
+        seed,
+        default_step_limit(n),
+        out,
+    );
+    for node in nodes_buf.iter_mut() {
+        node.reclaim(arena);
+    }
+}
+
 /// One position's behaviour in a heterogeneous honest/deviant ring: the
 /// concrete honest node type of the protocol, or a deviating strategy.
 ///
@@ -412,6 +459,56 @@ pub fn run_ring_attack_into<M, N: Node<M> + ArenaBacked, D: Node<M>>(
     }
 }
 
+/// [`run_ring_attack_into`] on the engine's virtual-clock timed path —
+/// the adversarial twin of [`run_ring_honest_timed_into`]. Attack sweeps
+/// with a timed schedule route here through [`TrialCache::run`] once a
+/// network is installed via [`TrialCache::set_timed_net`].
+///
+/// # Panics
+///
+/// Panics if the engine's topology size differs from `n`, or if an
+/// override id is out of range or duplicated.
+#[allow(clippy::too_many_arguments)] // the worker's reusable buffers, spelled out
+pub fn run_ring_attack_timed_into<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>>(
+    engine: &mut Engine<M>,
+    n: usize,
+    mut honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+    overrides: Vec<(NodeId, D)>,
+    wakes: &[NodeId],
+    nodes_buf: &mut Vec<MixNode<N, D>>,
+    timed: &mut TimedScheduler<M>,
+    net: &TimedNetConfig,
+    seed: u64,
+    arena: &mut TrialArena,
+    out: &mut Execution,
+) {
+    assert_eq!(
+        engine.topology().len(),
+        n,
+        "engine topology size must match the protocol's ring size"
+    );
+    arena.reset();
+    nodes_buf.clear();
+    merge_ring_overrides(n, overrides, |id, deviant| {
+        nodes_buf.push(match deviant {
+            Some(node) => MixNode::Deviant(node),
+            None => MixNode::Honest(honest(id, arena)),
+        })
+    });
+    engine.run_timed_mono_into(
+        nodes_buf,
+        wakes,
+        timed,
+        net,
+        seed,
+        default_step_limit(n),
+        out,
+    );
+    for node in nodes_buf.iter_mut() {
+        node.reclaim(arena);
+    }
+}
+
 /// Per-thread cached trial state for repeated attack (or honest-vs-attack)
 /// runs over one ring size: the engine with its preallocated link queues
 /// and edge tables, the mixed node vector, a pooled FIFO scheduler, the
@@ -443,9 +540,18 @@ pub struct TrialCache<M, N, D = Box<dyn Node<M>>> {
     /// `0..n`, precomputed for protocols that wake every node
     /// (`Basic-LEAD`) so per-trial wake lists need no allocation.
     all_ids: Vec<NodeId>,
+    /// Reusable timed-path event heap (empty and unused until a network
+    /// is installed via [`TrialCache::set_timed_net`]).
+    timed: TimedScheduler<M>,
+    /// When set, [`TrialCache::run`] routes trials through the
+    /// virtual-clock timed path under this network configuration.
+    net: Option<TimedNetConfig>,
+    /// Seed of the timed path's network-noise stream for the next trial;
+    /// attack runners record the trial seed here before each run.
+    net_seed: u64,
 }
 
-impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
+impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
     /// Creates the cache for a unidirectional ring of `n` nodes.
     pub fn ring(n: usize) -> Self {
         Self {
@@ -455,7 +561,24 @@ impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
             arena: TrialArena::new(),
             exec: Execution::default(),
             all_ids: (0..n).collect(),
+            timed: TimedScheduler::new(),
+            net: None,
+            net_seed: 0,
         }
+    }
+
+    /// Installs (or clears) a timed network: subsequent trials run on the
+    /// virtual-clock path under `net`'s per-link profiles, seeded per
+    /// trial via [`TrialCache::set_trial_seed`]. `None` restores the
+    /// untimed FIFO fast path.
+    pub fn set_timed_net(&mut self, net: Option<&TimedNetConfig>) {
+        self.net = net.cloned();
+    }
+
+    /// Records the seed of the next trial's network-noise stream (a no-op
+    /// while no timed network is installed).
+    pub fn set_trial_seed(&mut self, seed: u64) {
+        self.net_seed = seed;
     }
 
     /// The cached ring size.
@@ -477,18 +600,26 @@ impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
         wakes: &[NodeId],
     ) -> &Execution {
         let n = self.n();
-        run_ring_attack_into(
-            &mut self.engine,
-            n,
-            honest,
-            overrides,
-            wakes,
-            &mut self.nodes,
-            &mut self.scheduler,
-            &mut self.arena,
-            &mut self.exec,
-        );
-        &self.exec
+        let Self {
+            engine,
+            nodes,
+            scheduler,
+            arena,
+            exec,
+            timed,
+            net,
+            net_seed,
+            ..
+        } = self;
+        match net {
+            Some(net) => run_ring_attack_timed_into(
+                engine, n, honest, overrides, wakes, nodes, timed, net, *net_seed, arena, exec,
+            ),
+            None => run_ring_attack_into(
+                engine, n, honest, overrides, wakes, nodes, scheduler, arena, exec,
+            ),
+        }
+        exec
     }
 
     /// [`TrialCache::run`] with every node waking spontaneously in id
@@ -507,10 +638,18 @@ impl<M, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
             arena,
             exec,
             all_ids,
+            timed,
+            net,
+            net_seed,
         } = self;
-        run_ring_attack_into(
-            engine, n, honest, overrides, all_ids, nodes, scheduler, arena, exec,
-        );
+        match net {
+            Some(net) => run_ring_attack_timed_into(
+                engine, n, honest, overrides, all_ids, nodes, timed, net, *net_seed, arena, exec,
+            ),
+            None => run_ring_attack_into(
+                engine, n, honest, overrides, all_ids, nodes, scheduler, arena, exec,
+            ),
+        }
         exec
     }
 

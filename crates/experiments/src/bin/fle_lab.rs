@@ -35,7 +35,7 @@ use fle_attacks::AttackKind;
 use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
     run_sweep, set_default_threads, sha256_hex, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec,
-    HonestSweep, ProtocolKind, SeedMode, SweepSpec, TargetSpec,
+    HonestSweep, LatencySpec, ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
 };
 
 fn print_registry() {
@@ -50,10 +50,12 @@ fn print_registry() {
          \x20       print this registry\n\
          \x20 fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N>\n\
          \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]\n\
+         \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
          \x20       one deterministic honest batch; report on stdout\n\
          \x20 fle-lab attack-sweep --attack <kind> --n <N> --coalition <placement>\n\
          \x20       [--trials N] [--seed N] [--threads N] [--target <policy>]\n\
          \x20       [--fn-key N | --fn-key-xor MASK] [--seed-mode derived|raw]\n\
+         \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
          \x20       [--format json|csv]\n\
          \x20 fle-lab attack-sweep --spec FILE.json [--threads N] [--format json|csv]\n\
          \x20       one adversarial batch; the report's attack arm carries\n\
@@ -63,8 +65,10 @@ fn print_registry() {
          \x20     <placement>: spaced:K[:OFFSET] | consecutive:K[:START] | explicit:P1,P2,..\n\
          \x20             | random:K:SEED | cubic | single:POS\n\
          \x20     <policy>: fixed:V | seedprod:M   (target leader per trial)\n\
+         \x20     <dist>: const:NS | uniform:LO:HI | twopoint:LO:HI:PERMILLE   (ns draws;\n\
+         \x20             any of --latency/--loss/--dup selects the timed scheduler)\n\
          \x20 fle-lab bench-baseline [--out PATH] [--quick]\n\
-         \x20       write the per-PR perf snapshot (default BENCH_6.json)"
+         \x20       write the per-PR perf snapshot (default BENCH_7.json)"
     );
 }
 
@@ -112,9 +116,28 @@ fn run_sweep_cli(args: &[String]) {
     };
     let mut fn_key = 0u64;
     let mut format = String::from("json");
+    let mut latency: Option<LatencySpec> = None;
+    let mut loss: Option<u32> = None;
+    let mut dup: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--latency" => {
+                let raw: String = parse_arg(args, i + 1, "--latency");
+                latency = Some(parse_latency(&raw).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--loss" => {
+                loss = Some(parse_arg(args, i + 1, "--loss"));
+                i += 2;
+            }
+            "--dup" => {
+                dup = Some(parse_arg(args, i + 1, "--dup"));
+                i += 2;
+            }
             "--protocol" | "-p" => {
                 let spec: String = parse_arg(args, i + 1, "--protocol");
                 match spec.parse() {
@@ -165,13 +188,19 @@ fn run_sweep_cli(args: &[String]) {
         std::process::exit(2);
     }
     check_format(&format);
-    let start = std::time::Instant::now();
-    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
+    let spec = SweepSpec::Honest(HonestSweep {
         protocol,
         n,
         fn_key,
         batch,
-    }));
+        schedule: schedule_from_flags(latency, loss, dup),
+    });
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid sweep spec: {e}");
+        std::process::exit(2);
+    }
+    let start = std::time::Instant::now();
+    let report = run_sweep(&spec);
     emit_report(&report, &format);
     eprintln!(
         "  [sweep {} n={} trials={} threads={}: {:.1?}]",
@@ -247,6 +276,55 @@ fn parse_target(raw: &str) -> Result<TargetSpec, String> {
     }
 }
 
+/// Parses a `--latency` distribution: `const:NS`, `uniform:LO:HI` or
+/// `twopoint:LO:HI:PERMILLE` (all values in nanoseconds of virtual time,
+/// the permille being the probability of the `hi` draw).
+fn parse_latency(raw: &str) -> Result<LatencySpec, String> {
+    let mut parts = raw.split(':');
+    let head = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let int = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("invalid {what} '{s}' in latency '{raw}'"))
+    };
+    match (head, rest.as_slice()) {
+        ("const", [ns]) => Ok(LatencySpec::Constant { ns: int(ns, "ns")? }),
+        ("uniform", [lo, hi]) => Ok(LatencySpec::Uniform {
+            lo: int(lo, "lo")?,
+            hi: int(hi, "hi")?,
+        }),
+        ("twopoint", [lo, hi, permille]) => Ok(LatencySpec::TwoPoint {
+            lo: int(lo, "lo")?,
+            hi: int(hi, "hi")?,
+            hi_permille: u32::try_from(int(permille, "permille")?)
+                .map_err(|_| format!("permille out of range in latency '{raw}'"))?,
+        }),
+        _ => Err(format!(
+            "unknown latency distribution '{raw}' (expected const:NS | uniform:LO:HI | \
+             twopoint:LO:HI:PERMILLE)"
+        )),
+    }
+}
+
+/// Folds the three timed-network flags into a [`ScheduleSpec`]: all
+/// absent → the FIFO fast path; any present → the timed scheduler with
+/// zero defaults for the rest.
+fn schedule_from_flags(
+    latency: Option<LatencySpec>,
+    loss: Option<u32>,
+    dup: Option<u32>,
+) -> ScheduleSpec {
+    if latency.is_none() && loss.is_none() && dup.is_none() {
+        ScheduleSpec::Fifo
+    } else {
+        ScheduleSpec::Timed {
+            latency: latency.unwrap_or(LatencySpec::ZERO),
+            loss_permille: loss.unwrap_or(0),
+            dup_permille: dup.unwrap_or(0),
+        }
+    }
+}
+
 fn run_attack_sweep_cli(args: &[String]) {
     let mut spec_path: Option<String> = None;
     let mut attack: Option<AttackKind> = None;
@@ -262,6 +340,9 @@ fn run_attack_sweep_cli(args: &[String]) {
     let mut target = TargetSpec::Fixed(0);
     let mut seed_mode = SeedMode::Derived;
     let mut format = String::from("json");
+    let mut latency: Option<LatencySpec> = None;
+    let mut loss: Option<u32> = None;
+    let mut dup: Option<u32> = None;
     let fail = |e: String| -> ! {
         eprintln!("{e}");
         std::process::exit(2);
@@ -269,6 +350,19 @@ fn run_attack_sweep_cli(args: &[String]) {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--latency" => {
+                let raw: String = parse_arg(args, i + 1, "--latency");
+                latency = Some(parse_latency(&raw).unwrap_or_else(|e| fail(e)));
+                i += 2;
+            }
+            "--loss" => {
+                loss = Some(parse_arg(args, i + 1, "--loss"));
+                i += 2;
+            }
+            "--dup" => {
+                dup = Some(parse_arg(args, i + 1, "--dup"));
+                i += 2;
+            }
             "--spec" => {
                 spec_path = Some(parse_arg(args, i + 1, "--spec"));
                 i += 2;
@@ -372,6 +466,7 @@ fn run_attack_sweep_cli(args: &[String]) {
             coalition,
             target,
             seed_mode,
+            schedule: schedule_from_flags(latency, loss, dup),
         })
     };
     if let Err(e) = spec.validate() {
@@ -439,6 +534,22 @@ const PR4_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
 const PR5_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
     ("basic_single_n32", 16_162.1),
     ("phase_rushing_n16", 23_929.2),
+];
+
+/// The PR 6 snapshot (`BENCH_6.json`) — the previous point of the
+/// trajectory (spec-driven sweep family), so each new snapshot records
+/// its *incremental* improvement.
+const PR6_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 2_966.7),
+    ("phase_n64", 149_098.7),
+    ("alead_n64", 69_639.5),
+];
+
+/// The PR 6 snapshot's attack-arm timings, kept for trajectory
+/// comparisons.
+const PR6_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
+    ("basic_single_n32", 17_227.9),
+    ("phase_rushing_n16", 23_905.6),
 ];
 
 /// Times `trial(seed)` over `trials` harness-derived seeds and returns
@@ -548,6 +659,7 @@ fn bench_attack_sweep(quick: bool) -> (f64, f64, u64) {
             coalition: CoalitionSpec::EquallySpaced { k: 7, offset: 1 },
             target: TargetSpec::Fixed(3),
             seed_mode: SeedMode::Derived,
+            schedule: ScheduleSpec::Fifo,
         })
     };
     // Warmup batch, then the timed run through the cached runners.
@@ -583,6 +695,7 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
             base_seed: 1,
             threads: 1,
         },
+        schedule: ScheduleSpec::Fifo,
     };
     // One short warmup batch so page faults and lazy init don't bill the
     // measured run.
@@ -612,8 +725,53 @@ fn deliveries_per_trial(protocol: ProtocolKind, n: usize) -> u64 {
     exec.stats.delivered
 }
 
+/// Measures the timed-network arm: the same `phase_n64` honest workload
+/// on the virtual-time scheduler with a constant 500 ns link latency —
+/// the harshest *fair* comparison. Constant delays preserve per-link
+/// FIFO order, so the protocol does identical work to the untimed run
+/// (same 2n² deliveries, same election) while every delivery pays the
+/// heap push/pop. Random jitter would be an unfair workload: it reorders
+/// messages within a link (non-FIFO channels, outside the paper's
+/// model), which aborts elections early and deflates deliveries/trial.
+/// Single thread. Returns `(ns_per_trial, deliveries_per_trial, trials)`.
+fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
+    let scale = if quick { 10 } else { 1 };
+    let trials = 5_000 / scale;
+    let cfg = HonestSweep {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 64,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 1,
+            threads: 1,
+        },
+        schedule: ScheduleSpec::Timed {
+            latency: LatencySpec::Constant { ns: 500 },
+            loss_permille: 0,
+            dup_permille: 0,
+        },
+    };
+    let _ = run_sweep(&SweepSpec::Honest(HonestSweep {
+        batch: BatchConfig {
+            trials: (trials / 10).max(1),
+            ..cfg.batch
+        },
+        ..cfg
+    }));
+    let start = std::time::Instant::now();
+    let report = run_sweep(&SweepSpec::Honest(cfg));
+    let ns = start.elapsed().as_secs_f64() * 1e9 / trials as f64;
+    eprintln!(
+        "  [bench-baseline timed phase_n64 (constant 500 ns links): {ns:.0} ns/trial, \
+         {:.1} deliveries/trial]",
+        report.messages.mean
+    );
+    (ns, report.messages.mean, trials)
+}
+
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -674,6 +832,7 @@ fn run_bench_baseline(args: &[String]) {
             base_seed: 1,
             threads: 1,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
     let sweep_sha = sha256_hex(report.to_json().as_bytes());
@@ -684,6 +843,19 @@ fn run_bench_baseline(args: &[String]) {
     let (attack_fast, attack_base) = bench_attack_arms(quick);
     // The spec-driven attack-sweep grid vs the pre-spec per-table loop.
     let (attack_sweep_ns, attack_loop_ns, attack_sweep_trials) = bench_attack_sweep(quick);
+    // The timed-network arm: phase_n64 on the virtual-time scheduler.
+    let (timed_ns, timed_deliveries, timed_trials) = bench_timed_sweep(quick);
+    let timed_ns_per_delivery = timed_ns / timed_deliveries;
+    let untimed_phase_n64_nd = ns_per_delivery
+        .iter()
+        .find(|(k, _)| *k == "phase_n64")
+        .map(|&(_, v)| v)
+        .expect("phase_n64 is a bench workload");
+    let timed_overhead_ratio = timed_ns_per_delivery / untimed_phase_n64_nd;
+    eprintln!(
+        "  [bench-baseline timed phase_n64: {timed_ns_per_delivery:.2} ns/delivery vs \
+         {untimed_phase_n64_nd:.2} untimed → {timed_overhead_ratio:.2}x]"
+    );
 
     let fmt_map = |entries: &[(&str, f64)]| {
         entries
@@ -710,14 +882,17 @@ fn run_bench_baseline(args: &[String]) {
     let improvements_pr3 = improve_against(&PR3_NS_PER_TRIAL, &measured);
     let improvements_pr4 = improve_against(&PR4_NS_PER_TRIAL, &measured);
     let improvements_pr5 = improve_against(&PR5_NS_PER_TRIAL, &measured);
+    let improvements_pr6 = improve_against(&PR6_NS_PER_TRIAL, &measured);
     let attack_improvements = improve_against(&attack_base, &attack_fast);
     let attack_improvements_pr4 = improve_against(&PR4_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr5 = improve_against(&PR5_ATTACK_NS_PER_TRIAL, &attack_fast);
+    let attack_improvements_pr6 = improve_against(&PR6_ATTACK_NS_PER_TRIAL, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"spec-driven sweep family ",
-            "(honest + attack grids through cached per-worker runners) over the ",
-            "fused-stream arena/mono engine, single thread, ns per trial\",",
+            "{{\"bench\":\"{}\",\"description\":\"timed network scenarios ",
+            "(latency/loss/dup virtual-time scheduler) beside the spec-driven ",
+            "sweep family over the fused-stream arena/mono engine, single ",
+            "thread, ns per trial\",",
             "\"quick\":{},",
             "\"ns_per_trial\":{{{}}},",
             "\"deliveries_per_trial\":{{{}}},",
@@ -726,20 +901,28 @@ fn run_bench_baseline(args: &[String]) {
             "\"baseline_pr3_ns_per_trial\":{{{}}},",
             "\"baseline_pr4_ns_per_trial\":{{{}}},",
             "\"baseline_pr5_ns_per_trial\":{{{}}},",
+            "\"baseline_pr6_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
             "\"improvement_vs_pr3_pct\":{{{}}},",
             "\"improvement_vs_pr4_pct\":{{{}}},",
             "\"improvement_vs_pr5_pct\":{{{}}},",
+            "\"improvement_vs_pr6_pct\":{{{}}},",
             "\"attack_ns_per_trial\":{{{}}},",
             "\"attack_simbuilder_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr4_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr5_ns_per_trial\":{{{}}},",
+            "\"attack_baseline_pr6_ns_per_trial\":{{{}}},",
             "\"attack_improvement_pct\":{{{}}},",
             "\"attack_improvement_vs_pr4_pct\":{{{}}},",
             "\"attack_improvement_vs_pr5_pct\":{{{}}},",
+            "\"attack_improvement_vs_pr6_pct\":{{{}}},",
             "\"attack_sweep\":{{\"workload\":\"rushing_alead_n16\",\"trials\":{},",
             "\"ns_per_trial\":{:.1},\"simbuilder_loop_ns_per_trial\":{:.1},",
             "\"improvement_vs_pr5_pct\":{:.1}}},",
+            "\"timed_sweep\":{{\"workload\":\"phase_n64_const500\",\"trials\":{},",
+            "\"ns_per_trial\":{:.1},\"deliveries_per_trial\":{:.1},",
+            "\"ns_per_delivery\":{:.2},\"untimed_ns_per_delivery\":{:.2},",
+            "\"overhead_ratio\":{:.2}}},",
             "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
         ),
         label,
@@ -751,21 +934,31 @@ fn run_bench_baseline(args: &[String]) {
         fmt_map(&PR3_NS_PER_TRIAL),
         fmt_map(&PR4_NS_PER_TRIAL),
         fmt_map(&PR5_NS_PER_TRIAL),
+        fmt_map(&PR6_NS_PER_TRIAL),
         fmt_map(&improvements),
         fmt_map(&improvements_pr3),
         fmt_map(&improvements_pr4),
         fmt_map(&improvements_pr5),
+        fmt_map(&improvements_pr6),
         fmt_map(&attack_fast),
         fmt_map(&attack_base),
         fmt_map(&PR4_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR5_ATTACK_NS_PER_TRIAL),
+        fmt_map(&PR6_ATTACK_NS_PER_TRIAL),
         fmt_map(&attack_improvements),
         fmt_map(&attack_improvements_pr4),
         fmt_map(&attack_improvements_pr5),
+        fmt_map(&attack_improvements_pr6),
         attack_sweep_trials,
         attack_sweep_ns,
         attack_loop_ns,
         (1.0 - attack_sweep_ns / attack_loop_ns) * 100.0,
+        timed_trials,
+        timed_ns,
+        timed_deliveries,
+        timed_ns_per_delivery,
+        untimed_phase_n64_nd,
+        timed_overhead_ratio,
         sweep_trials,
         sweep_ms,
         sweep_sha,

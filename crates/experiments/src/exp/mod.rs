@@ -22,6 +22,7 @@ pub mod t61;
 pub mod t72;
 pub mod t81;
 pub mod tc1;
+pub mod timed;
 
 /// Formats a probability/rate to three decimals.
 pub(crate) fn fmt_rate(x: f64) -> String {

@@ -8,7 +8,9 @@
 
 use crate::Table;
 use fle_baselines::{random_ids, worst_case_ids, ChangRoberts, ItaiRodeh, PetersonDkr};
-use fle_harness::{run_batch, run_sweep, BatchConfig, HonestSweep, ProtocolKind, SweepSpec};
+use fle_harness::{
+    run_batch, run_sweep, BatchConfig, HonestSweep, ProtocolKind, ScheduleSpec, SweepSpec,
+};
 
 /// Messages per honest run of `protocol`, measured through a short
 /// `fle-harness` sweep (the count is seed-independent, which the sweep
@@ -23,6 +25,7 @@ fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
             base_seed: 0,
             threads: 0,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     assert_eq!(
         report.messages.min, report.messages.max,

@@ -13,7 +13,8 @@ use fle_attacks::{AttackKind, RushingAttack};
 use fle_core::protocols::ALeadUni;
 use fle_core::Coalition;
 use fle_harness::{
-    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, SeedMode, SweepSpec, TargetSpec,
+    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, ScheduleSpec, SeedMode,
+    SweepSpec, TargetSpec,
 };
 
 /// The [`AttackSweep`] behind one table cell: rushing on `A-LEADuni` of
@@ -33,6 +34,7 @@ fn cell_spec(n: usize, k: usize, trials: u64) -> SweepSpec {
         coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
+        schedule: ScheduleSpec::Fifo,
     })
 }
 

@@ -13,7 +13,8 @@ use fle_attacks::{cubic_distances, AttackKind, CubicAttack, RushingAttack};
 use fle_core::protocols::ALeadUni;
 use fle_core::Coalition;
 use fle_harness::{
-    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, SeedMode, SweepSpec, TargetSpec,
+    run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, ScheduleSpec, SeedMode,
+    SweepSpec, TargetSpec,
 };
 use ring_sim::SyncGapProbe;
 
@@ -61,6 +62,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             coalition: CoalitionSpec::Cubic,
             target: TargetSpec::SeedProduct { multiplier: 17 },
             seed_mode: SeedMode::RawIndex,
+            schedule: ScheduleSpec::Fifo,
         }));
         let arm = report.attack.expect("attack sweeps carry the arm");
         // Sync gap over the coalition during one attacked execution.

@@ -15,7 +15,7 @@ use fle_core::protocols::ALeadUni;
 use fle_core::Coalition;
 use fle_harness::{
     run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, ProtocolKind,
-    SeedMode, SweepSpec, TargetSpec,
+    ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
 };
 
 /// Runs the experiment.
@@ -63,6 +63,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     assert_eq!(report.elected(), trials, "honest runs succeed");
     let (chi2, p) = chi_square_uniform(&report.wins);
@@ -99,6 +100,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
         target: TargetSpec::Fixed(1),
         seed_mode: SeedMode::RawIndex,
+        schedule: ScheduleSpec::Fifo,
     }));
     let arm = report.attack.expect("attack sweeps carry the arm");
     let refuse_rate = arm.infeasible as f64 / runs as f64;

@@ -16,7 +16,7 @@ use fle_core::protocols::PhaseAsyncLead;
 use fle_core::Coalition;
 use fle_harness::{
     run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, ProtocolKind,
-    SeedMode, SweepSpec, TargetSpec,
+    ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
 };
 
 /// One adversarial cell of t61a/t61b: `attack` on `PhaseAsyncLead` of
@@ -42,6 +42,7 @@ fn phase_cell(
         coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
         target,
         seed_mode: SeedMode::RawIndex,
+        schedule: ScheduleSpec::Fifo,
     })
 }
 
@@ -143,6 +144,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     assert_eq!(report.fails.total(), 0, "honest runs succeed");
     let (chi2, p) = chi_square_uniform(&report.wins);

@@ -15,7 +15,7 @@ use fle_core::reductions::{
 };
 use fle_harness::{
     run_batch, run_sweep, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep,
-    ProtocolKind, SeedMode, SweepSpec, TargetSpec,
+    ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
 };
 use ring_sim::Outcome;
 
@@ -40,6 +40,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
     let p1 = ones as f64 / trials as f64;
@@ -64,6 +65,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         coalition: CoalitionSpec::Single { position: 2 },
         target: TargetSpec::Fixed(5),
         seed_mode: SeedMode::RawIndex,
+        schedule: ScheduleSpec::Fifo,
     }));
     let arm = report.attack.expect("attack sweeps carry the arm");
     assert_eq!(arm.infeasible, 0, "the Claim B.1 attack is always feasible");

@@ -11,7 +11,7 @@
 //! or a single experiment by id (`fig1`, `b1`, `t42`, `tc1`, `t43`,
 //! `t51`, `d1`, `t61`, `e4`, `t72`, `t81`, `sync`, `msg`, `sfc`, `c47`,
 //! `shamir`, `syncring`, `fullinfo`, `apph`, `rename`, `exact`,
-//! `ablate`). Every experiment returns plain-text [`Table`]s; `--quick`
+//! `ablate`, `timed`). Every experiment returns plain-text [`Table`]s; `--quick`
 //! shrinks ring sizes and trial counts for smoke testing (the same
 //! configuration the integration tests and Criterion benches use).
 
@@ -149,6 +149,11 @@ pub const EXPERIMENTS: &[Experiment] = &[
         id: "ablate",
         description: "Sec 6 ablation: validation range m is exactly the guessing resistance (1/m)",
         run: exp::ablate::run,
+    },
+    Experiment {
+        id: "timed",
+        description: "Timed nets: latency placement never rescues the ring; loss leaves the model",
+        run: exp::timed::run,
     },
 ];
 

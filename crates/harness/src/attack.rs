@@ -4,6 +4,7 @@
 use crate::spec::AttackSweep;
 use crate::{run_batch, TrialOutcome, TrialReport};
 use fle_attacks::build_runner;
+use ring_sim::TimedNetConfig;
 
 /// Runs `batch.trials` adversarial executions of the configured attack,
 /// one deterministic seed per trial, and aggregates them into a
@@ -24,6 +25,21 @@ use fle_attacks::build_runner;
 /// [`SweepSpec::validate`](crate::SweepSpec::validate) first for an
 /// actionable error instead.
 pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
+    let net = cfg.schedule.timed_net();
+    run_attack_sweep_impl(cfg, net.as_ref())
+}
+
+/// [`run_attack_sweep`] with an explicit (possibly asymmetric, per-edge)
+/// [`TimedNetConfig`] instead of the uniform net implied by
+/// `cfg.schedule`. This is the entry point for experiments that place
+/// slow links *relative to the coalition* (e.g. adversary placement vs.
+/// asymmetric latency); everything else — batching, seed streams, report
+/// aggregation, thread-count invariance — is identical.
+pub fn run_attack_sweep_with_net(cfg: &AttackSweep, net: &TimedNetConfig) -> TrialReport {
+    run_attack_sweep_impl(cfg, Some(net))
+}
+
+fn run_attack_sweep_impl(cfg: &AttackSweep, net: Option<&TimedNetConfig>) -> TrialReport {
     let trials: Vec<(Option<TrialOutcome>, bool)> = run_batch(
         &cfg.batch,
         || {
@@ -31,8 +47,10 @@ pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
                 .coalition
                 .resolve(cfg.n)
                 .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"));
-            build_runner(cfg.attack, cfg.n, &coalition)
-                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"))
+            let mut runner = build_runner(cfg.attack, cfg.n, &coalition)
+                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"));
+            runner.set_timed_net(net);
+            runner
         },
         |runner, index, derived| {
             let seed = cfg.seed_mode.resolve(index, derived);
@@ -51,7 +69,7 @@ pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{CoalitionSpec, FnKeySpec, SeedMode, TargetSpec};
+    use crate::spec::{CoalitionSpec, FnKeySpec, ScheduleSpec, SeedMode, TargetSpec};
     use crate::BatchConfig;
     use fle_attacks::{AttackKind, RushingAttack};
     use fle_core::protocols::ALeadUni;
@@ -70,6 +88,7 @@ mod tests {
             coalition: CoalitionSpec::EquallySpaced { k: 7, offset: 1 },
             target: TargetSpec::Fixed(3),
             seed_mode,
+            schedule: ScheduleSpec::Fifo,
         }
     }
 
@@ -81,6 +100,20 @@ mod tests {
             assert_eq!(report.to_json(), baseline.to_json(), "threads={threads}");
             assert_eq!(report.to_csv(), baseline.to_csv(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn zero_profile_timed_attack_sweep_matches_fifo() {
+        use ring_sim::LatencySpec;
+        let fifo = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived));
+        let mut timed_cfg = rushing_sweep(1, SeedMode::Derived);
+        timed_cfg.schedule = ScheduleSpec::Timed {
+            latency: LatencySpec::ZERO,
+            loss_permille: 0,
+            dup_permille: 0,
+        };
+        let timed = run_attack_sweep(&timed_cfg);
+        assert_eq!(timed.to_json(), fifo.to_json());
     }
 
     #[test]
@@ -122,6 +155,7 @@ mod tests {
             },
             target: TargetSpec::Fixed(1),
             seed_mode: SeedMode::Derived,
+            schedule: ScheduleSpec::Fifo,
         };
         let report = run_attack_sweep(&cfg);
         let arm = report.attack.expect("attack arm");

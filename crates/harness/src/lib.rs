@@ -43,6 +43,7 @@
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 2 },
+//!     schedule: fle_harness::ScheduleSpec::Fifo,
 //! });
 //! let report = run_sweep(&spec);
 //! assert_eq!(report.trials, 64);
@@ -53,6 +54,7 @@
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 1 },
+//!     schedule: fle_harness::ScheduleSpec::Fifo,
 //! }));
 //! assert_eq!(report.to_json(), serial.to_json());
 //! // Specs round-trip through JSON for scenario files:
@@ -71,7 +73,7 @@ mod spec;
 mod sweep;
 mod tree;
 
-pub use attack::run_attack_sweep;
+pub use attack::{run_attack_sweep, run_attack_sweep_with_net};
 pub use batch::{default_threads, par_seeds, run_batch, set_default_threads, BatchConfig};
 pub use digest::sha256_hex;
 pub use json::Json;
@@ -79,9 +81,12 @@ pub use report::{
     wilson_ci95, AttackSummary, FailCounts, MetricSummary, TrialOutcome, TrialReport,
 };
 pub use spec::{
-    protocol_key, AttackSweep, CoalitionSpec, FnKeySpec, GraphSpec, SeedMode, SweepSpec,
-    TargetSpec, TreeSweep,
+    protocol_key, AttackSweep, CoalitionSpec, FnKeySpec, GraphSpec, ScheduleSpec, SeedMode,
+    SweepSpec, TargetSpec, TreeSweep,
 };
+// The timed-network building blocks, re-exported so spec consumers can
+// construct schedules and per-edge nets without naming `ring_sim`.
+pub use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
 pub use sweep::{run_honest_sweep, run_sweep, HonestSweep, ProtocolKind};
 pub use tree::run_tree_sweep;
 

@@ -14,6 +14,7 @@ use crate::BatchConfig;
 use fle_attacks::{build_runner, cubic_distances, AttackKind};
 use fle_core::Coalition;
 use fle_topology::{figure2_graph, Graph, TreePartition};
+use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
 
 /// How per-trial protocol seeds are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -149,6 +150,182 @@ impl FnKeySpec {
             other => Err(format!(
                 "unknown fn_key mode \"{other}\" (expected \"fixed\" | \"seed_xor\")"
             )),
+        }
+    }
+}
+
+/// The delivery discipline trials run under.
+///
+/// `Fifo` is the fused global-FIFO fast path every historical sweep used;
+/// `Timed` runs trials on the virtual-time scheduler with a uniform
+/// per-link [`LatencySpec`] plus optional loss and duplication (both in
+/// permille for lossless integer JSON). A `Timed` schedule whose latency
+/// is [`LatencySpec::ZERO`] and whose loss/dup are 0 produces
+/// bit-identical outcomes to `Fifo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleSpec {
+    /// Global-FIFO delivery (the default).
+    #[default]
+    Fifo,
+    /// Timed delivery: latency draws, loss and duplication per link.
+    Timed {
+        /// Per-link latency distribution.
+        latency: LatencySpec,
+        /// Per-message drop probability in thousandths (0..=1000).
+        loss_permille: u32,
+        /// Per-message duplication probability in thousandths (0..=1000).
+        dup_permille: u32,
+    },
+}
+
+impl ScheduleSpec {
+    /// The uniform [`TimedNetConfig`] this schedule runs on, or `None`
+    /// for the FIFO fast path.
+    pub fn timed_net(&self) -> Option<TimedNetConfig> {
+        match *self {
+            ScheduleSpec::Fifo => None,
+            ScheduleSpec::Timed {
+                latency,
+                loss_permille,
+                dup_permille,
+            } => Some(TimedNetConfig::uniform(LinkProfile {
+                latency,
+                loss_permille,
+                dup_permille,
+                gap_ns: 0,
+            })),
+        }
+    }
+
+    fn latency_to_json(latency: LatencySpec) -> String {
+        match latency {
+            LatencySpec::Constant { ns } => format!("{{\"dist\":\"constant\",\"ns\":{ns}}}"),
+            LatencySpec::Uniform { lo, hi } => {
+                format!("{{\"dist\":\"uniform\",\"lo\":{lo},\"hi\":{hi}}}")
+            }
+            LatencySpec::TwoPoint {
+                lo,
+                hi,
+                hi_permille,
+            } => format!(
+                "{{\"dist\":\"two_point\",\"lo\":{lo},\"hi\":{hi},\"hi_permille\":{hi_permille}}}"
+            ),
+        }
+    }
+
+    fn parse_latency(v: &Json) -> Result<LatencySpec, String> {
+        let ctx = "latency";
+        match req_str(v, "dist", ctx)? {
+            "constant" => {
+                check_keys(v, &["dist", "ns"], ctx)?;
+                Ok(LatencySpec::Constant {
+                    ns: req_u64(v, "ns", ctx)?,
+                })
+            }
+            "uniform" => {
+                check_keys(v, &["dist", "lo", "hi"], ctx)?;
+                Ok(LatencySpec::Uniform {
+                    lo: req_u64(v, "lo", ctx)?,
+                    hi: req_u64(v, "hi", ctx)?,
+                })
+            }
+            "two_point" => {
+                check_keys(v, &["dist", "lo", "hi", "hi_permille"], ctx)?;
+                let hi_permille = req_u64(v, "hi_permille", ctx)?;
+                let hi_permille = u32::try_from(hi_permille)
+                    .map_err(|_| "latency: \"hi_permille\" out of range".to_string())?;
+                Ok(LatencySpec::TwoPoint {
+                    lo: req_u64(v, "lo", ctx)?,
+                    hi: req_u64(v, "hi", ctx)?,
+                    hi_permille,
+                })
+            }
+            other => Err(format!(
+                "unknown latency dist \"{other}\" (expected constant | uniform | two_point)"
+            )),
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            ScheduleSpec::Fifo => "{\"mode\":\"fifo\"}".to_string(),
+            ScheduleSpec::Timed {
+                latency,
+                loss_permille,
+                dup_permille,
+            } => format!(
+                "{{\"mode\":\"timed\",\"latency\":{},\"loss_permille\":{loss_permille},\
+                 \"dup_permille\":{dup_permille}}}",
+                Self::latency_to_json(latency)
+            ),
+        }
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "schedule";
+        match req_str(v, "mode", ctx)? {
+            "fifo" => {
+                check_keys(v, &["mode"], ctx)?;
+                Ok(ScheduleSpec::Fifo)
+            }
+            "timed" => {
+                check_keys(
+                    v,
+                    &["mode", "latency", "loss_permille", "dup_permille"],
+                    ctx,
+                )?;
+                let latency = match v.get("latency") {
+                    Some(obj) => Self::parse_latency(obj)?,
+                    None => LatencySpec::ZERO,
+                };
+                let loss = opt_u64(v, "loss_permille", 0)?;
+                let loss_permille = u32::try_from(loss)
+                    .map_err(|_| "schedule: \"loss_permille\" out of range".to_string())?;
+                let dup = opt_u64(v, "dup_permille", 0)?;
+                let dup_permille = u32::try_from(dup)
+                    .map_err(|_| "schedule: \"dup_permille\" out of range".to_string())?;
+                Ok(ScheduleSpec::Timed {
+                    latency,
+                    loss_permille,
+                    dup_permille,
+                })
+            }
+            other => Err(format!(
+                "unknown schedule mode \"{other}\" (expected \"fifo\" | \"timed\")"
+            )),
+        }
+    }
+
+    /// Cross-checks the schedule's parameters: probabilities within
+    /// [0, 1000] permille and non-degenerate latency ranges.
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            ScheduleSpec::Fifo => Ok(()),
+            ScheduleSpec::Timed {
+                latency,
+                loss_permille,
+                dup_permille,
+            } => {
+                require(
+                    loss_permille <= 1000,
+                    &format!("schedule loss_permille must be <= 1000, got {loss_permille}"),
+                )?;
+                require(
+                    dup_permille <= 1000,
+                    &format!("schedule dup_permille must be <= 1000, got {dup_permille}"),
+                )?;
+                match latency {
+                    LatencySpec::Constant { .. } => Ok(()),
+                    LatencySpec::Uniform { lo, hi } => require(
+                        hi > lo,
+                        &format!("uniform latency needs hi > lo, got lo={lo} hi={hi}"),
+                    ),
+                    LatencySpec::TwoPoint { hi_permille, .. } => require(
+                        hi_permille <= 1000,
+                        &format!("two_point hi_permille must be <= 1000, got {hi_permille}"),
+                    ),
+                }
+            }
         }
     }
 }
@@ -494,6 +671,8 @@ pub struct AttackSweep {
     pub target: TargetSpec,
     /// Protocol seed stream.
     pub seed_mode: SeedMode,
+    /// Delivery discipline (FIFO fast path or timed network).
+    pub schedule: ScheduleSpec,
 }
 
 /// A tree-dictator grid (Theorem 7.2's simulated-tree protocol): the
@@ -545,30 +724,42 @@ impl SweepSpec {
     /// field order; parses back to an equal spec).
     pub fn to_json(&self) -> String {
         match self {
-            SweepSpec::Honest(h) => format!(
-                "{{\"sweep\":\"honest\",\"protocol\":\"{}\",\"n\":{},\"fn_key\":{},\
-                 \"trials\":{},\"base_seed\":{},\"threads\":{}}}",
-                protocol_key(h.protocol),
-                h.n,
-                h.fn_key,
-                h.batch.trials,
-                h.batch.base_seed,
-                h.batch.threads
-            ),
-            SweepSpec::Attack(a) => format!(
-                "{{\"sweep\":\"attack\",\"attack\":\"{}\",\"n\":{},\"trials\":{},\
-                 \"base_seed\":{},\"threads\":{},\"fn_key\":{},\"coalition\":{},\
-                 \"target\":{},\"seed_mode\":\"{}\"}}",
-                a.attack.name(),
-                a.n,
-                a.batch.trials,
-                a.batch.base_seed,
-                a.batch.threads,
-                a.fn_key.to_json(),
-                a.coalition.to_json(),
-                a.target.to_json(),
-                a.seed_mode.name()
-            ),
+            SweepSpec::Honest(h) => {
+                let schedule = match h.schedule {
+                    ScheduleSpec::Fifo => String::new(),
+                    s => format!(",\"schedule\":{}", s.to_json()),
+                };
+                format!(
+                    "{{\"sweep\":\"honest\",\"protocol\":\"{}\",\"n\":{},\"fn_key\":{},\
+                     \"trials\":{},\"base_seed\":{},\"threads\":{}{schedule}}}",
+                    protocol_key(h.protocol),
+                    h.n,
+                    h.fn_key,
+                    h.batch.trials,
+                    h.batch.base_seed,
+                    h.batch.threads
+                )
+            }
+            SweepSpec::Attack(a) => {
+                let schedule = match a.schedule {
+                    ScheduleSpec::Fifo => String::new(),
+                    s => format!(",\"schedule\":{}", s.to_json()),
+                };
+                format!(
+                    "{{\"sweep\":\"attack\",\"attack\":\"{}\",\"n\":{},\"trials\":{},\
+                     \"base_seed\":{},\"threads\":{},\"fn_key\":{},\"coalition\":{},\
+                     \"target\":{},\"seed_mode\":\"{}\"{schedule}}}",
+                    a.attack.name(),
+                    a.n,
+                    a.batch.trials,
+                    a.batch.base_seed,
+                    a.batch.threads,
+                    a.fn_key.to_json(),
+                    a.coalition.to_json(),
+                    a.target.to_json(),
+                    a.seed_mode.name()
+                )
+            }
             SweepSpec::TreeDictator(t) => format!(
                 "{{\"sweep\":\"tree_dictator\",\"graph\":{},\"trials\":{},\"base_seed\":{},\
                  \"threads\":{},\"target\":{},\"seed_mode\":\"{}\"}}",
@@ -603,6 +794,7 @@ impl SweepSpec {
                         "trials",
                         "base_seed",
                         "threads",
+                        "schedule",
                     ],
                     "honest sweep",
                 )?;
@@ -612,6 +804,7 @@ impl SweepSpec {
                     n: req_usize(&v, "n", "honest sweep")?,
                     fn_key: opt_u64(&v, "fn_key", 0)?,
                     batch: parse_batch(&v)?,
+                    schedule: parse_schedule(&v)?,
                 }))
             }
             "attack" => {
@@ -628,6 +821,7 @@ impl SweepSpec {
                         "coalition",
                         "target",
                         "seed_mode",
+                        "schedule",
                     ],
                     "attack sweep",
                 )?;
@@ -655,6 +849,7 @@ impl SweepSpec {
                     coalition: CoalitionSpec::parse(req(&v, "coalition", "attack sweep")?)?,
                     target,
                     seed_mode,
+                    schedule: parse_schedule(&v)?,
                 }))
             }
             "tree_dictator" => {
@@ -715,6 +910,7 @@ impl SweepSpec {
                     &format!("{} needs n >= {min}, got n={}", h.protocol.name(), h.n),
                 )?;
                 require(h.batch.trials >= 1, "trials must be >= 1")?;
+                h.schedule.validate()?;
                 Ok(())
             }
             SweepSpec::Attack(a) => {
@@ -728,6 +924,7 @@ impl SweepSpec {
                     ),
                 )?;
                 require(a.batch.trials >= 1, "trials must be >= 1")?;
+                a.schedule.validate()?;
                 let coalition = a.coalition.resolve(a.n)?;
                 // Reuse the runner layer's layout checks (single-position
                 // attacks, the cubic geometric layout, ...).
@@ -774,6 +971,13 @@ pub fn protocol_key(p: ProtocolKind) -> &'static str {
         ProtocolKind::ALeadUni => "alead",
         ProtocolKind::PhaseAsyncLead => "phase",
         ProtocolKind::PhaseSumLead => "phasesum",
+    }
+}
+
+fn parse_schedule(v: &Json) -> Result<ScheduleSpec, String> {
+    match v.get("schedule") {
+        None => Ok(ScheduleSpec::Fifo),
+        Some(obj) => ScheduleSpec::parse(obj),
     }
 }
 
@@ -858,6 +1062,7 @@ mod tests {
             coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
             target: TargetSpec::Fixed(3),
             seed_mode: SeedMode::Derived,
+            schedule: ScheduleSpec::Fifo,
         })
     }
 
@@ -882,6 +1087,7 @@ mod tests {
                 base_seed: 1,
                 threads: 0,
             },
+            schedule: ScheduleSpec::Fifo,
         });
         let tree = SweepSpec::TreeDictator(TreeSweep {
             graph: GraphSpec::Grid { rows: 3, cols: 4 },
@@ -898,6 +1104,89 @@ mod tests {
             assert_eq!(SweepSpec::parse_json(&json).unwrap(), spec);
             spec.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn fifo_specs_serialize_without_a_schedule_key() {
+        // The default schedule is omitted from the encoding so existing
+        // pinned spec files (and their shas) are unchanged.
+        assert!(!rushing_spec().to_json().contains("schedule"));
+    }
+
+    #[test]
+    fn timed_specs_round_trip_through_json() {
+        let mut timed = rushing_spec();
+        let SweepSpec::Attack(ref mut a) = timed else {
+            unreachable!()
+        };
+        a.schedule = ScheduleSpec::Timed {
+            latency: LatencySpec::TwoPoint {
+                lo: 10,
+                hi: 1000,
+                hi_permille: 100,
+            },
+            loss_permille: 25,
+            dup_permille: 5,
+        };
+        let json = timed.to_json();
+        assert!(json.contains("\"schedule\":{\"mode\":\"timed\""), "{json}");
+        let parsed = SweepSpec::parse_json(&json).unwrap();
+        assert_eq!(parsed, timed);
+        assert_eq!(parsed.to_json(), json);
+        timed.validate().unwrap();
+
+        let honest = SweepSpec::Honest(HonestSweep {
+            protocol: ProtocolKind::PhaseAsyncLead,
+            n: 16,
+            fn_key: 7,
+            batch: BatchConfig {
+                trials: 10,
+                base_seed: 0,
+                threads: 0,
+            },
+            schedule: ScheduleSpec::Timed {
+                latency: LatencySpec::Uniform { lo: 0, hi: 50 },
+                loss_permille: 0,
+                dup_permille: 0,
+            },
+        });
+        let json = honest.to_json();
+        assert_eq!(SweepSpec::parse_json(&json).unwrap(), honest);
+        honest.validate().unwrap();
+    }
+
+    #[test]
+    fn schedule_validation_names_the_violated_constraint() {
+        let base = |schedule| {
+            SweepSpec::Honest(HonestSweep {
+                protocol: ProtocolKind::BasicLead,
+                n: 8,
+                fn_key: 0,
+                batch: BatchConfig {
+                    trials: 1,
+                    base_seed: 0,
+                    threads: 0,
+                },
+                schedule,
+            })
+        };
+        let err = base(ScheduleSpec::Timed {
+            latency: LatencySpec::ZERO,
+            loss_permille: 1001,
+            dup_permille: 0,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("loss_permille must be <= 1000"), "{err}");
+
+        let err = base(ScheduleSpec::Timed {
+            latency: LatencySpec::Uniform { lo: 9, hi: 9 },
+            loss_permille: 0,
+            dup_permille: 0,
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("uniform latency needs hi > lo"), "{err}");
     }
 
     #[test]

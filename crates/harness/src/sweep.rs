@@ -1,12 +1,15 @@
 //! Protocol-level batch sweeps with per-worker engine reuse.
 
-use crate::spec::SweepSpec;
+use crate::spec::{ScheduleSpec, SweepSpec};
 use crate::{run_attack_sweep, run_batch, run_tree_sweep, BatchConfig, TrialOutcome, TrialReport};
 use fle_core::protocols::{
-    run_ring_honest_pooled_into, ALeadNode, ALeadUni, BasicLead, BasicNode, PhaseAsyncLead,
-    PhaseMsg, PhaseNode, PhaseSumLead,
+    run_ring_honest_pooled_into, run_ring_honest_timed_into, ALeadNode, ALeadUni, BasicLead,
+    BasicNode, PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead,
 };
-use ring_sim::{ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, Topology, TrialArena};
+use ring_sim::{
+    ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, TimedNetConfig, TimedScheduler,
+    Topology, TrialArena,
+};
 
 /// The ring protocols the harness can sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +81,8 @@ pub struct HonestSweep {
     pub fn_key: u64,
     /// Trial count, base seed and worker threads.
     pub batch: BatchConfig,
+    /// Delivery discipline (FIFO fast path or timed network).
+    pub schedule: ScheduleSpec,
 }
 
 /// Per-worker state of one honest protocol sweep: a reusable [`Engine`],
@@ -92,17 +97,19 @@ struct SweepWorker<M, N> {
     nodes: Vec<N>,
     wakes: Vec<NodeId>,
     scheduler: FifoScheduler,
+    timed: TimedScheduler<M>,
     arena: TrialArena,
     exec: Execution,
 }
 
-impl<M, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
+impl<M: Clone, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
     fn new(n: usize, wakes: Vec<NodeId>) -> Self {
         Self {
             engine: Engine::new(Topology::ring(n)),
             nodes: Vec::with_capacity(n),
             wakes,
             scheduler: FifoScheduler::new(),
+            timed: TimedScheduler::new(),
             arena: TrialArena::new(),
             exec: Execution::default(),
         }
@@ -120,6 +127,31 @@ impl<M, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
             &self.wakes,
             &mut self.nodes,
             &mut self.scheduler,
+            &mut self.arena,
+            &mut self.exec,
+        );
+        TrialOutcome::of(&self.exec)
+    }
+
+    /// The timed-network twin of [`SweepWorker::trial`]: same pooled
+    /// buffers, but deliveries run on the virtual-time scheduler with the
+    /// trial's network stream derived from `seed`.
+    fn trial_timed(
+        &mut self,
+        honest: impl FnMut(NodeId, &mut TrialArena) -> N,
+        net: &TimedNetConfig,
+        seed: u64,
+    ) -> TrialOutcome {
+        let n = self.engine.topology().len();
+        run_ring_honest_timed_into(
+            &mut self.engine,
+            n,
+            honest,
+            &self.wakes,
+            &mut self.nodes,
+            &mut self.timed,
+            net,
+            seed,
             &mut self.arena,
             &mut self.exec,
         );
@@ -144,6 +176,8 @@ impl<M, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
 /// Panics if `n` is below the protocol's minimum ring size.
 pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
     let n = cfg.n;
+    let net = cfg.schedule.timed_net();
+    let net = net.as_ref();
     let outcomes = match cfg.protocol {
         ProtocolKind::BasicLead => run_batch(
             &cfg.batch,
@@ -154,7 +188,12 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
             },
             |(w, p), _i, seed| {
                 let p = p.clone().with_seed(seed);
-                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
             },
         ),
         ProtocolKind::ALeadUni => run_batch(
@@ -166,7 +205,12 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
             },
             |(w, p), _i, seed| {
                 let p = p.clone().with_seed(seed);
-                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
             },
         ),
         ProtocolKind::PhaseAsyncLead => run_batch(
@@ -178,7 +222,12 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
             },
             |(w, p), _i, seed| {
                 let p = p.with_seed(seed);
-                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
             },
         ),
         ProtocolKind::PhaseSumLead => run_batch(
@@ -190,7 +239,12 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
             },
             |(w, p), _i, seed| {
                 let p = p.with_seed(seed);
-                w.trial(|id, arena| p.honest_ring_node_in(id, arena))
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
             },
         ),
     };
@@ -255,6 +309,7 @@ mod tests {
                     base_seed: 2,
                     threads: 1,
                 },
+                schedule: ScheduleSpec::Fifo,
             }));
             assert_eq!(report.protocol, protocol.name());
             assert_eq!(
@@ -265,6 +320,34 @@ mod tests {
             // Honest runs never fail.
             assert_eq!(report.fails.total(), 0, "{protocol:?}");
             assert_eq!(report.out_of_range, 0, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn zero_profile_timed_sweep_matches_fifo_sweep() {
+        use ring_sim::LatencySpec;
+        for &protocol in ProtocolKind::ALL {
+            let base = HonestSweep {
+                protocol,
+                n: 8,
+                fn_key: 5,
+                batch: BatchConfig {
+                    trials: 25,
+                    base_seed: 11,
+                    threads: 1,
+                },
+                schedule: ScheduleSpec::Fifo,
+            };
+            let fifo = run_honest_sweep(&base);
+            let timed = run_honest_sweep(&HonestSweep {
+                schedule: ScheduleSpec::Timed {
+                    latency: LatencySpec::ZERO,
+                    loss_permille: 0,
+                    dup_permille: 0,
+                },
+                ..base
+            });
+            assert_eq!(timed.to_json(), fifo.to_json(), "{protocol:?}");
         }
     }
 
@@ -281,6 +364,7 @@ mod tests {
             n,
             fn_key: 0,
             batch,
+            schedule: ScheduleSpec::Fifo,
         });
         let mut wins = vec![0u64; n];
         for i in 0..batch.trials {

@@ -7,7 +7,7 @@
 //! order, so 1, 2 and 8 threads must be indistinguishable in output.
 
 use fle_harness::{
-    run_batch, run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind, TrialReport,
+    run_batch, run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind, ScheduleSpec, TrialReport,
 };
 
 fn sweep_with_threads(
@@ -25,6 +25,7 @@ fn sweep_with_threads(
             base_seed: 1,
             threads,
         },
+        schedule: ScheduleSpec::Fifo,
     })
 }
 

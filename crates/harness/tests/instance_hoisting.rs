@@ -6,7 +6,7 @@
 //! test here may construct the protocol concurrently).
 
 use fle_core::protocols::phase_async_builds;
-use fle_harness::{run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind};
+use fle_harness::{run_honest_sweep, BatchConfig, HonestSweep, ProtocolKind, ScheduleSpec};
 
 fn sweep(trials: u64, threads: usize) {
     let report = run_honest_sweep(&HonestSweep {
@@ -18,6 +18,7 @@ fn sweep(trials: u64, threads: usize) {
             base_seed: 1,
             threads,
         },
+        schedule: ScheduleSpec::Fifo,
     });
     assert_eq!(report.trials, trials);
 }

@@ -9,8 +9,8 @@
 
 use fle_attacks::AttackKind;
 use fle_harness::{
-    AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, GraphSpec, HonestSweep, ProtocolKind,
-    SeedMode, SweepSpec, TargetSpec, TreeSweep,
+    AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, GraphSpec, HonestSweep, LatencySpec,
+    ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec, TreeSweep,
 };
 
 /// Asserts `src` fails to parse and the error mentions `needle`.
@@ -38,6 +38,7 @@ fn attack_spec(attack: AttackKind, n: usize, coalition: CoalitionSpec) -> Attack
         coalition,
         target: TargetSpec::Fixed(0),
         seed_mode: SeedMode::Derived,
+        schedule: ScheduleSpec::Fifo,
     }
 }
 
@@ -78,6 +79,103 @@ fn malformed_documents_name_the_offending_field() {
 }
 
 #[test]
+fn malformed_timed_schedules_name_the_offending_field() {
+    // Unknown key inside the schedule object.
+    assert_parse_error(
+        r#"{"sweep":"honest","protocol":"phase","n":8,"trials":10,
+           "schedule":{"mode":"timed","jitter":3}}"#,
+        "unknown field \"jitter\" in schedule",
+    );
+    // Unknown schedule mode.
+    assert_parse_error(
+        r#"{"sweep":"honest","protocol":"phase","n":8,"trials":10,
+           "schedule":{"mode":"warp"}}"#,
+        "unknown schedule mode \"warp\"",
+    );
+    // Malformed latency: unknown distribution.
+    assert_parse_error(
+        r#"{"sweep":"honest","protocol":"phase","n":8,"trials":10,
+           "schedule":{"mode":"timed","latency":{"dist":"pareto","ns":3}}}"#,
+        "unknown latency dist \"pareto\"",
+    );
+    // Malformed latency: missing bound.
+    assert_parse_error(
+        r#"{"sweep":"honest","protocol":"phase","n":8,"trials":10,
+           "schedule":{"mode":"timed","latency":{"dist":"uniform","lo":1}}}"#,
+        "latency: missing required field \"hi\"",
+    );
+    // Fifo mode takes no further keys.
+    assert_parse_error(
+        r#"{"sweep":"honest","protocol":"phase","n":8,"trials":10,
+           "schedule":{"mode":"fifo","loss_permille":5}}"#,
+        "unknown field \"loss_permille\" in schedule",
+    );
+}
+
+#[test]
+fn validate_rejects_out_of_range_timed_schedules() {
+    let timed = |schedule| {
+        let mut spec = attack_spec(
+            AttackKind::Rushing,
+            16,
+            CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
+        );
+        spec.schedule = schedule;
+        SweepSpec::Attack(spec)
+    };
+    // Probabilities above 1 (1000 permille) are rejected by name.
+    assert_invalid(
+        timed(ScheduleSpec::Timed {
+            latency: LatencySpec::ZERO,
+            loss_permille: 1001,
+            dup_permille: 0,
+        }),
+        "schedule loss_permille must be <= 1000",
+    );
+    assert_invalid(
+        timed(ScheduleSpec::Timed {
+            latency: LatencySpec::ZERO,
+            loss_permille: 0,
+            dup_permille: 2000,
+        }),
+        "schedule dup_permille must be <= 1000",
+    );
+    // Zero-width uniform latency ranges are degenerate.
+    assert_invalid(
+        timed(ScheduleSpec::Timed {
+            latency: LatencySpec::Uniform { lo: 5, hi: 5 },
+            loss_permille: 0,
+            dup_permille: 0,
+        }),
+        "uniform latency needs hi > lo",
+    );
+    assert_invalid(
+        timed(ScheduleSpec::Timed {
+            latency: LatencySpec::TwoPoint {
+                lo: 1,
+                hi: 10,
+                hi_permille: 1500,
+            },
+            loss_permille: 0,
+            dup_permille: 0,
+        }),
+        "two_point hi_permille must be <= 1000",
+    );
+    // A well-formed timed spec round-trips and validates.
+    let spec = timed(ScheduleSpec::Timed {
+        latency: LatencySpec::TwoPoint {
+            lo: 10,
+            hi: 500,
+            hi_permille: 200,
+        },
+        loss_permille: 50,
+        dup_permille: 10,
+    });
+    assert_eq!(SweepSpec::parse_json(&spec.to_json()), Ok(spec.clone()));
+    spec.validate().unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
 fn validate_rejects_out_of_range_references() {
     // Ring below the protocol minimum.
     assert_invalid(
@@ -90,6 +188,7 @@ fn validate_rejects_out_of_range_references() {
                 base_seed: 0,
                 threads: 0,
             },
+            schedule: ScheduleSpec::Fifo,
         }),
         "needs n >= 4",
     );

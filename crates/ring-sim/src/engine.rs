@@ -5,6 +5,7 @@ use crate::node::{Ctx, Node, SendBuf};
 use crate::outcome::{outcome_of, FailReason, Outcome};
 use crate::probe::Probe;
 use crate::scheduler::{FifoScheduler, PackedToken, Scheduler, Token};
+use crate::timed::{TimedEvent, TimedNetConfig, TimedScheduler};
 use crate::topology::{EdgeId, NodeId, Topology};
 use std::collections::VecDeque;
 
@@ -248,6 +249,11 @@ pub struct Engine<M> {
     received: Vec<u64>,
     /// Reusable per-activation send buffer lent to [`Ctx`].
     sends: SendBuf<M>,
+    /// Decaying high-water mark of events processed per run, driving the
+    /// shrink-on-idle capacity policy in [`Engine::reset`]: retained queue
+    /// capacity is bounded by 4× this mark, so one oversized trial cannot
+    /// pin its peak working set for the lifetime of a cached engine.
+    hwm_events: u64,
 }
 
 /// The engine's two link-storage layouts. The variant is fixed at
@@ -348,6 +354,7 @@ impl<M> Engine<M> {
             sent: vec![0; n],
             received: vec![0; n],
             sends: SendBuf::default(),
+            hwm_events: 0,
         }
     }
 
@@ -373,7 +380,14 @@ impl<M> Engine<M> {
     /// record first-touches in a dirty list, so a run that delivered
     /// everything (or touched only a few links) costs a short walk here,
     /// not a scan of every queue.
+    ///
+    /// Capacity is retained across trials **up to a budget**: 4× the
+    /// decaying high-water mark of events per run (floored at 64 slots).
+    /// Steady-state batches keep their allocations and never shrink; after
+    /// one anomalously large trial the excess is released here over the
+    /// following trials instead of being pinned for the engine's lifetime.
     pub fn reset(&mut self) {
+        let budget = (4 * self.hwm_events).max(64) as usize;
         let Engine {
             links,
             link_dirty,
@@ -386,20 +400,44 @@ impl<M> Engine<M> {
                     slab.clear_link(e);
                     link_dirty[e] = false;
                 }
+                slab.shrink_to_budget(budget);
             }
             LinkStorage::Queues(queues) => {
                 for &e in link_touched.iter() {
                     queues.clear_link(e);
                     link_dirty[e] = false;
+                    if queues[e].capacity() > budget {
+                        queues[e].shrink_to(budget);
+                    }
                 }
             }
         }
         link_touched.clear();
         self.fused.clear();
+        if self.fused.capacity() > budget {
+            self.fused.shrink_to(budget);
+        }
         self.outputs.fill(None);
         self.sent.fill(0);
         self.received.fill(0);
         self.sends.clear();
+    }
+
+    /// Retained capacity of the fused global-FIFO stream, in events —
+    /// bounded by the shrink-on-idle policy of [`Engine::reset`]. Exposed
+    /// for the capacity-regression suite.
+    pub fn retained_fused_capacity(&self) -> usize {
+        self.fused.capacity()
+    }
+
+    /// Largest retained per-link queue capacity, in messages — bounded by
+    /// the shrink-on-idle policy of [`Engine::reset`]. Exposed for the
+    /// capacity-regression suite.
+    pub fn retained_link_capacity(&self) -> usize {
+        match &self.links {
+            LinkStorage::Slab(slab) => slab.per_link_capacity(),
+            LinkStorage::Queues(queues) => queues.iter().map(|q| q.capacity()).max().unwrap_or(0),
+        }
     }
 
     /// Runs one trial with the given step limit and no probe.
@@ -559,6 +597,7 @@ impl<M> Engine<M> {
             sent,
             received,
             sends,
+            ..
         } = self;
         let hot = Hot {
             n: *n,
@@ -599,6 +638,126 @@ impl<M> Engine<M> {
         out.stats.sent.extend_from_slice(&*state.sent);
         out.stats.received.clear();
         out.stats.received.extend_from_slice(&*state.received);
+        self.hwm_events = steps.max(self.hwm_events / 2);
+    }
+
+    /// Runs one trial on the virtual-clock timed path (latency, bandwidth,
+    /// loss, duplication per [`TimedNetConfig`]), allocating a fresh
+    /// [`Execution`]. The convenience form of
+    /// [`Engine::run_timed_mono_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    pub fn run_timed<N: Node<M>>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        timed: &mut TimedScheduler<M>,
+        net: &TimedNetConfig,
+        seed: u64,
+        step_limit: u64,
+    ) -> Execution
+    where
+        M: Clone,
+    {
+        let mut out = Execution::default();
+        self.run_timed_mono_into(nodes, wakes, timed, net, seed, step_limit, &mut out);
+        out
+    }
+
+    /// The timed analogue of [`Engine::run_mono_into`]: executes one trial
+    /// over the virtual clock of `timed`, configured by `net` and seeded
+    /// (for latency/loss/dup draws) from `seed` through the dedicated
+    /// network stream — protocol node randomness is untouched.
+    ///
+    /// With the all-zero [`TimedNetConfig`] this is **bit-identical** to
+    /// [`Engine::run_mono_into`] under a FIFO scheduler: every event is
+    /// stamped `t = 0`, so the heap degenerates to the fused send-order
+    /// queue. `M: Clone` is required for duplicate deliveries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size.
+    #[allow(clippy::too_many_arguments)] // the worker's reusable buffers, spelled out
+    pub fn run_timed_mono_into<N: Node<M>>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        timed: &mut TimedScheduler<M>,
+        net: &TimedNetConfig,
+        seed: u64,
+        step_limit: u64,
+        out: &mut Execution,
+    ) where
+        M: Clone,
+    {
+        self.timed_session_core(nodes, wakes, timed, net, seed, step_limit, NoProbeHook, out);
+    }
+
+    /// The timed twin of [`session_core`](Engine::session_core): resets
+    /// engine and timed scheduler, then drives the heap loop.
+    #[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+    fn timed_session_core<N: Node<M>, P: ProbeHook<M>>(
+        &mut self,
+        nodes: &mut [N],
+        wakes: &[NodeId],
+        timed: &mut TimedScheduler<M>,
+        net: &TimedNetConfig,
+        seed: u64,
+        step_limit: u64,
+        mut probe: P,
+        out: &mut Execution,
+    ) where
+        M: Clone,
+    {
+        assert_eq!(nodes.len(), self.n, "need one behaviour per node");
+        self.reset();
+        timed.begin_trial(net, self.topology.edges().len(), seed);
+
+        let Engine {
+            topology,
+            n,
+            out_neighbors,
+            edge_of_dense,
+            out_edge_of,
+            outputs,
+            sent,
+            received,
+            sends,
+            link_dirty,
+            link_touched,
+            ..
+        } = self;
+        let hot = Hot {
+            n: *n,
+            edges: topology.edges(),
+            out_neighbors,
+            edge_of_dense,
+            out_edge_of,
+        };
+        let mut state = RunState {
+            outputs,
+            sent,
+            received,
+            sends,
+            link_dirty,
+            link_touched,
+        };
+        let (steps, delivered, hit_limit) = drive_timed(
+            &hot, &mut state, timed, nodes, wakes, step_limit, &mut probe,
+        );
+
+        out.outcome = outcome_of(&*state.outputs, !hit_limit);
+        out.outputs.clear();
+        out.outputs.extend_from_slice(&*state.outputs);
+        out.stats.steps = steps;
+        out.stats.delivered = delivered;
+        out.stats.sent.clear();
+        out.stats.sent.extend_from_slice(&*state.sent);
+        out.stats.received.clear();
+        out.stats.received.extend_from_slice(&*state.received);
+        self.hwm_events = steps.max(self.hwm_events / 2);
     }
 
     /// Resolves the edge id of the link `me → to` — O(1) through the dense
@@ -857,6 +1016,88 @@ fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
                         |edge, msg| {
                             fused.push_back(FusedEvent::Deliver(edge, msg));
                         },
+                    );
+                }
+            }
+        }
+    }
+    (steps, delivered, hit_limit)
+}
+
+/// The virtual-clock loop: pops the earliest `(time, seq)` event off the
+/// [`TimedScheduler`] heap and activates nodes exactly like
+/// [`drive_fused`]; sends flow through [`TimedScheduler::send`], which
+/// applies the link's loss coin, bandwidth queue, latency draw and
+/// duplication coin. Under the all-zero network profile every entry is
+/// stamped `t = 0` and the heap pops in sequence (= send) order, making
+/// this loop bit-identical to [`drive_fused`] by construction.
+fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>>(
+    hot: &Hot<'_>,
+    state: &mut RunState<'_, M>,
+    timed: &mut TimedScheduler<M>,
+    nodes: &mut [N],
+    wakes: &[NodeId],
+    step_limit: u64,
+    probe: &mut P,
+) -> (u64, u64, bool) {
+    let RunState {
+        outputs,
+        sent,
+        received,
+        sends,
+        ..
+    } = state;
+    let outputs: &mut [Option<Option<u64>>] = outputs;
+    let sent: &mut [u64] = sent;
+    let received: &mut [u64] = received;
+    let sends: &mut SendBuf<M> = sends;
+
+    let mut delivered = 0u64;
+    let mut steps = 0u64;
+
+    for &w in wakes {
+        timed.push_wake(w);
+    }
+
+    let mut hit_limit = false;
+    while let Some(event) = timed.pop() {
+        if steps >= step_limit {
+            hit_limit = true;
+            break;
+        }
+        steps += 1;
+        match event {
+            TimedEvent::Wake(i) => {
+                if outputs[i].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        i,
+                        None,
+                        probe,
+                        |edge, msg| timed.send(edge, msg),
+                    );
+                }
+            }
+            TimedEvent::Deliver(edge, msg) => {
+                let (from, to) = hot.edges[edge];
+                received[to] += 1;
+                delivered += 1;
+                probe.on_deliver(from, to, &msg, received);
+                if outputs[to].is_none() {
+                    activate(
+                        hot,
+                        outputs,
+                        sent,
+                        sends,
+                        nodes,
+                        to,
+                        Some((from, msg)),
+                        probe,
+                        |edge, msg| timed.send(edge, msg),
                     );
                 }
             }
@@ -1443,6 +1684,194 @@ mod tests {
         assert!(engine.links_are_empty());
         assert!(engine.link_touched.is_empty());
         assert!(engine.link_dirty.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn timed_zero_profile_matches_fused_fifo() {
+        // The equivalence anchor: an all-zero network stamps every event
+        // with t = 0, so the timed heap pops in send order — bit-identical
+        // to the fused global-FIFO path.
+        let n = 6;
+        let target = 3 * n as u64;
+        let mut engine = Engine::new(Topology::ring(n));
+        let mut timed = crate::TimedScheduler::new();
+        let net = crate::TimedNetConfig::default();
+        for seed in 0..3 {
+            let fused = engine.run_mono(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+            let timed_exec = engine.run_timed(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut timed,
+                &net,
+                seed,
+                default_step_limit(n),
+            );
+            assert_eq!(fused, timed_exec, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn timed_latency_changes_delivery_order_not_election() {
+        // The token ring's outcome is schedule-independent, so even a
+        // noisy network elects the same value — but the virtual clock
+        // must have advanced.
+        let n = 5;
+        let target = 3 * n as u64;
+        let mut engine = Engine::new(Topology::ring(n));
+        let mut timed = crate::TimedScheduler::new();
+        let net = crate::TimedNetConfig::uniform(crate::LinkProfile {
+            latency: crate::LatencySpec::Uniform { lo: 10, hi: 5000 },
+            ..crate::LinkProfile::default()
+        });
+        let exec = engine.run_timed(
+            &mut mono_nodes(n, target),
+            &[0],
+            &mut timed,
+            &net,
+            42,
+            default_step_limit(n),
+        );
+        assert_eq!(exec.outcome, Outcome::Elected(target));
+        assert!(timed.now() > 0, "virtual clock must advance");
+    }
+
+    #[test]
+    fn timed_runs_replay_bit_identically_from_one_seed() {
+        let n = 6;
+        let target = 3 * n as u64;
+        let mut engine = Engine::new(Topology::ring(n));
+        let mut timed = crate::TimedScheduler::new();
+        let net = crate::TimedNetConfig::uniform(crate::LinkProfile {
+            latency: crate::LatencySpec::TwoPoint {
+                lo: 5,
+                hi: 500,
+                hi_permille: 250,
+            },
+            loss_permille: 100,
+            dup_permille: 100,
+            gap_ns: 3,
+        });
+        let mut run = |seed: u64| {
+            engine.run_timed(
+                &mut mono_nodes(n, target),
+                &[0],
+                &mut timed,
+                &net,
+                seed,
+                default_step_limit(n),
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retained_capacity_is_bounded_after_oversized_trial() {
+        // One burst trial grows the fused stream (FIFO path) and the link
+        // slab (split path) far past steady state; the decaying budget in
+        // reset() must release the excess over the following small trials.
+        let n = 2;
+        let burst = 100_000u64;
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(n));
+        let burst_nodes = || -> Vec<Box<dyn Node<u64>>> {
+            vec![
+                Box::new(
+                    FnNode::new(|_, _: u64, _ctx: &mut Ctx<'_, u64>| {}).on_wake(move |ctx| {
+                        for v in 0..burst {
+                            ctx.send(v);
+                        }
+                        ctx.terminate(Some(0));
+                    }),
+                ),
+                Box::new(FnNode::new(move |_, m: u64, ctx: &mut Ctx<'_, u64>| {
+                    if m + 1 == burst {
+                        ctx.terminate(Some(0));
+                    }
+                })),
+            ]
+        };
+        // Grow both layouts: the fused path via the global FIFO, the slab
+        // via the split-path reference scheduler.
+        let _ = engine.run(
+            &mut burst_nodes(),
+            &[0],
+            &mut FifoScheduler::new(),
+            4 * burst,
+        );
+        let _ = engine.run(
+            &mut burst_nodes(),
+            &[0],
+            &mut crate::scheduler::reference::FifoScheduler::new(),
+            4 * burst,
+        );
+        assert!(
+            engine.retained_fused_capacity() >= burst as usize
+                || engine.retained_link_capacity() >= burst as usize,
+            "burst must have grown a queue"
+        );
+        // Many small trials decay the watermark; capacity must follow.
+        for _ in 0..64 {
+            let _ = engine.run(
+                &mut counter_nodes(n, 3 * n as u64),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+        }
+        engine.reset();
+        assert!(
+            engine.retained_fused_capacity() <= 1024,
+            "fused stream retained {} slots",
+            engine.retained_fused_capacity()
+        );
+        assert!(
+            engine.retained_link_capacity() <= 1024,
+            "link slab retained {} slots per link",
+            engine.retained_link_capacity()
+        );
+    }
+
+    #[test]
+    fn steady_state_batches_do_not_thrash_capacity() {
+        // Identical mid-size trials must settle: capacity after trial 3
+        // and after trial 50 are the same (the budget never dips below the
+        // steady-state watermark, so reset never releases live capacity).
+        let n = 8;
+        let target = 3 * n as u64;
+        let mut engine: Engine<u64> = Engine::new(Topology::ring(n));
+        for _ in 0..3 {
+            let _ = engine.run(
+                &mut counter_nodes(n, target),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+        }
+        let settled = (
+            engine.retained_fused_capacity(),
+            engine.retained_link_capacity(),
+        );
+        for _ in 0..47 {
+            let _ = engine.run(
+                &mut counter_nodes(n, target),
+                &[0],
+                &mut FifoScheduler::new(),
+                default_step_limit(n),
+            );
+        }
+        assert_eq!(
+            settled,
+            (
+                engine.retained_fused_capacity(),
+                engine.retained_link_capacity(),
+            )
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ mod probe;
 pub mod rng;
 mod scheduler;
 pub mod sync;
+mod timed;
 mod topology;
 
 pub use arena::{ArenaBacked, TrialArena};
@@ -86,4 +87,5 @@ pub use scheduler::{
     for_each_schedule, reference, EnumerativeScheduler, FifoScheduler, LifoScheduler, PackedToken,
     RandomScheduler, ScheduleSweep, Scheduler, Token,
 };
+pub use timed::{LatencySpec, LinkProfile, TimedNetConfig, TimedScheduler, NET_STREAM_SALT};
 pub use topology::{EdgeId, NodeId, Topology, TopologyError};

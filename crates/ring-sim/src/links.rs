@@ -104,6 +104,32 @@ impl<M> LinkSlab<M> {
         self.cursors.iter().all(|c| c.len == 0)
     }
 
+    /// The uniform per-link capacity, in messages.
+    pub(crate) fn per_link_capacity(&self) -> usize {
+        1usize << self.cap_shift
+    }
+
+    /// Shrinks the per-link capacity back toward `per_link` messages
+    /// (rounded up to a power of two, floored at the initial capacity) —
+    /// the engine's shrink-on-idle reset calls this once all links are
+    /// empty, so one bursty trial cannot pin its peak slab forever.
+    ///
+    /// No-op unless every link is empty and the budget is below the
+    /// current capacity.
+    pub(crate) fn shrink_to_budget(&mut self, per_link: usize) {
+        let target_shift = per_link
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(INITIAL_SHIFT);
+        if target_shift >= self.cap_shift || self.cursors.iter().any(|c| c.len != 0) {
+            return;
+        }
+        let links = self.cursors.len();
+        self.data = Vec::new(); // release the large buffer before reallocating
+        self.data.resize_with(links << target_shift, || None);
+        self.cap_shift = target_shift;
+    }
+
     /// The full-segment slow path of [`LinkQueues::push`]: doubles the
     /// slab, then retries (which cannot hit the full branch again).
     #[cold]

@@ -346,6 +346,84 @@ proptest! {
     }
 }
 
+/// Times the *split* token/link path (non-global-FIFO schedulers) on the
+/// ring `LinkSlab` layout vs. the general `VecDeque` layout, for the two
+/// non-FIFO schedulers the suite ships. Ignored by default: it is a
+/// measurement, not an assertion — run it in release to (re)settle the
+/// keep-or-delete question for the slab's non-FIFO branch:
+///
+/// ```text
+/// cargo test --release -p fle-bench --test engine_paths -- \
+///     --ignored --nocapture split_path_slab_vs_vecdeque_timing
+/// ```
+///
+/// Recorded 2026-08-08 (PR 7, 1-core container, PhaseAsyncLead n=64,
+/// 300 trials/config, two runs): Lifo slab 199–226 µs/trial vs general
+/// 219–251 µs/trial (slab ~1.10x faster); Random slab 285–298 µs/trial
+/// vs general 293–357 µs/trial (parity to ~1.25x — the scheduler's
+/// `swap_remove` dominates). Verdict: keep the slab branch — it never
+/// loses on either non-FIFO scheduler, and deleting it would fork the
+/// engine's link storage per scheduler for no win.
+#[test]
+#[ignore = "release-mode timing measurement; run explicitly with --nocapture"]
+fn split_path_slab_vs_vecdeque_timing() {
+    use ring_sim::{LifoScheduler, RandomScheduler, Scheduler};
+    use std::time::Instant;
+
+    let n = 64;
+    let trials = 300u64;
+    let limit = default_step_limit(n);
+    fn time_config<S: Scheduler>(
+        label: &str,
+        engine: &mut Engine<fle_core::protocols::PhaseMsg>,
+        mut scheduler: S,
+        n: usize,
+        trials: u64,
+        limit: u64,
+    ) -> std::time::Duration {
+        // Warm-up trial so allocations reach steady state before timing.
+        for pass in 0..2 {
+            let start = Instant::now();
+            for seed in 0..trials {
+                let p = PhaseAsyncLead::new(n).with_seed(seed).with_fn_key(7);
+                let mut nodes: Vec<_> = (0..n).map(|id| p.honest_ring_node(id)).collect();
+                let exec = engine.run_mono(&mut nodes, &p.wakes(), &mut scheduler, limit);
+                assert!(exec.outcome.elected().is_some(), "{label} seed {seed}");
+            }
+            if pass == 1 {
+                let per = start.elapsed() / trials as u32;
+                println!("{label}: {per:?}/trial");
+                return start.elapsed();
+            }
+        }
+        unreachable!()
+    }
+
+    for layout in ["slab", "general"] {
+        let mut engine = if layout == "slab" {
+            Engine::new(Topology::ring(n))
+        } else {
+            Engine::new_with_general_links(Topology::ring(n))
+        };
+        time_config(
+            &format!("lifo/{layout}"),
+            &mut engine,
+            LifoScheduler::new(),
+            n,
+            trials,
+            limit,
+        );
+        time_config(
+            &format!("random/{layout}"),
+            &mut engine,
+            RandomScheduler::new(42),
+            n,
+            trials,
+            limit,
+        );
+    }
+}
+
 /// One engine serving many seeds back to back (the sweep worker's actual
 /// life) must match per-seed fresh references throughout.
 #[test]

@@ -16,8 +16,8 @@ use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, Phas
 use fle_core::Coalition;
 use fle_harness::{
     run_batch, run_sweep, sha256_hex, trial_seed, AttackSweep, BatchConfig, CoalitionSpec,
-    FnKeySpec, HonestSweep, ProtocolKind, SeedMode, SweepSpec, TargetSpec, TrialOutcome,
-    TrialReport,
+    FnKeySpec, HonestSweep, ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
+    TrialOutcome, TrialReport,
 };
 use ring_sim::Execution;
 
@@ -108,6 +108,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 1,
             threads: 1,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     assert_eq!(report.wins, vec![3, 6, 5, 5, 2, 3, 3, 5]);
     assert_eq!(
@@ -133,6 +134,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 7,
             threads: 1,
         },
+        schedule: ScheduleSpec::Fifo,
     }));
     assert_eq!(report.wins, vec![1, 4, 7, 6, 6]);
 }
@@ -151,6 +153,7 @@ fn phase_n64_sweep(trials: u64) -> SweepSpec {
             base_seed: 1,
             threads: 1,
         },
+        schedule: ScheduleSpec::Fifo,
     })
 }
 
@@ -272,6 +275,7 @@ fn canonical_attack_sweep(threads: usize) -> SweepSpec {
         coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
         target: TargetSpec::Fixed(3),
         seed_mode: SeedMode::Derived,
+        schedule: ScheduleSpec::Fifo,
     })
 }
 
@@ -328,6 +332,7 @@ fn migrated_t42_cell_matches_premigration_loop() {
         coalition: CoalitionSpec::EquallySpaced { k, offset: 1 },
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
+        schedule: ScheduleSpec::Fifo,
     }));
     let coalition = Coalition::equally_spaced(n, k, 1).expect("valid layout");
     let mut successes = 0u64;
@@ -348,6 +353,96 @@ fn migrated_t42_cell_matches_premigration_loop() {
     // Thm 4.2 at k = √n: the pre-migration loop always won, and so must
     // the sweep.
     assert_eq!(successes, trials);
+}
+
+/// The canonical *timed* honest sweep: `PhaseAsyncLead n=16` under a
+/// jittered, lossy, duplicating virtual-clock net. The profile is
+/// deliberately non-degenerate (every noise knob exercised) so the pin
+/// covers the whole timed delivery pipeline, not just the zero-profile
+/// anchor that `tests/timed_paths.rs` proves equal to FIFO.
+fn timed_honest_sweep(threads: usize) -> SweepSpec {
+    SweepSpec::Honest(HonestSweep {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 16,
+        fn_key: 9,
+        batch: BatchConfig {
+            trials: 200,
+            base_seed: 1,
+            threads,
+        },
+        schedule: fle_harness::ScheduleSpec::Timed {
+            latency: fle_harness::LatencySpec::Uniform { lo: 0, hi: 1000 },
+            loss_permille: 50,
+            dup_permille: 20,
+        },
+    })
+}
+
+/// The canonical timed attack sweep: the Theorem 4.2 rushing cell under
+/// two-point latency stalls (no loss, so feasibility is unaffected and
+/// only delivery order moves).
+fn timed_attack_sweep(threads: usize) -> SweepSpec {
+    SweepSpec::Attack(AttackSweep {
+        attack: AttackKind::Rushing,
+        n: 16,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials: 200,
+            base_seed: 1,
+            threads,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
+        target: TargetSpec::Fixed(3),
+        seed_mode: SeedMode::Derived,
+        schedule: fle_harness::ScheduleSpec::Timed {
+            latency: fle_harness::LatencySpec::TwoPoint {
+                lo: 10,
+                hi: 1000,
+                hi_permille: 100,
+            },
+            loss_permille: 0,
+            dup_permille: 0,
+        },
+    })
+}
+
+/// SHA-256 pins of the timed sweeps' JSON — the regression oracle for
+/// the virtual-clock scheduler's event ordering, noise-stream seeding
+/// (`NET_STREAM_SALT` derivation) and latency draws. Any drift in RNG
+/// consumption order inside the timed path flips these.
+#[test]
+fn timed_sweep_json_sha256_is_pinned() {
+    let report = run_sweep(&timed_honest_sweep(1));
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "bc81febbb00a984ffa78755683790b2316adc18fa2d0ac457687a1e99ade83f3"
+    );
+    let report = run_sweep(&timed_attack_sweep(1));
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "1ca6ba58d1ae104512965cf239b3cc3d4a51d1f3070c05bc6077f07d304d9c95"
+    );
+}
+
+/// Timed sweeps must serialize byte-identically at every thread count:
+/// the virtual clock and its noise streams are derived per trial, so
+/// scheduling trials across workers cannot reorder anything observable.
+#[test]
+fn timed_sweeps_are_thread_count_invariant() {
+    let honest = run_sweep(&timed_honest_sweep(1));
+    let attack = run_sweep(&timed_attack_sweep(1));
+    for threads in [2, 8] {
+        assert_eq!(
+            run_sweep(&timed_honest_sweep(threads)).to_json(),
+            honest.to_json(),
+            "honest threads={threads}"
+        );
+        assert_eq!(
+            run_sweep(&timed_attack_sweep(threads)).to_json(),
+            attack.to_json(),
+            "attack threads={threads}"
+        );
+    }
 }
 
 /// The engine-reuse fast path must agree with the pinned builder-path
