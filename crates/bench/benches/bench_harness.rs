@@ -80,12 +80,12 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("batch_1thread", n), &n, |b, &n| {
             let cfg = sweep(1);
             let _ = n;
-            b.iter(|| black_box(run_sweep(&cfg)));
+            b.iter(|| black_box(run_sweep(&cfg).expect("valid spec")));
         });
         g.bench_with_input(BenchmarkId::new("batch_auto", n), &n, |b, &n| {
             let cfg = sweep(0);
             let _ = n;
-            b.iter(|| black_box(run_sweep(&cfg)));
+            b.iter(|| black_box(run_sweep(&cfg).expect("valid spec")));
         });
     }
     g.finish();

@@ -10,7 +10,10 @@
 //! fle-lab attack-sweep --attack rushing --n 16 --trials 500 --seed 1 \
 //!         --coalition spaced:4:1 --target fixed:3 --format json
 //! fle-lab attack-sweep --spec scenario.json   # any SweepSpec JSON file
-//! fle-lab bench-baseline --out BENCH_6.json   # perf trajectory snapshot
+//! fle-lab sweep ... --checkpoint state.json --checkpoint-every 1000
+//! fle-lab sweep ... --shard 0/4 > part0.json  # one shard of the range
+//! fle-lab merge-reports part0.json part1.json part2.json part3.json
+//! fle-lab bench-baseline --out BENCH_8.json   # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic honest `fle-harness`
@@ -21,6 +24,15 @@
 //! `--spec`; reports carry an `attack` arm (successes, infeasible
 //! trials, success rate with Wilson 95% CI). Output is byte-identical
 //! for every `--threads` value.
+//!
+//! Both sweep subcommands are crash-safe: `--checkpoint FILE` snapshots
+//! the accumulated [`fle_harness::ReportPartial`] atomically every
+//! `--checkpoint-every` trials, and rerunning the identical command after
+//! a crash (SIGKILL included) resumes past the recorded prefix — the
+//! final bytes match the uninterrupted run exactly. `--shard I/K` runs
+//! only the I-th of K slices of the trial index space and prints the
+//! partial report instead; `merge-reports` folds such partials (any
+//! order, any K) back into the byte-identical monolithic report.
 //!
 //! The `bench-baseline` subcommand measures the honest monomorphized +
 //! arena engine path (ns/trial *and* ns/delivery — deliveries counted
@@ -34,8 +46,9 @@
 use fle_attacks::AttackKind;
 use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
-    run_sweep, set_default_threads, sha256_hex, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec,
-    HonestSweep, LatencySpec, ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
+    run_sweep, run_sweep_checkpointed, run_sweep_partial, set_default_threads, sha256_hex,
+    AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, LatencySpec, ProtocolKind,
+    ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
 };
 
 fn print_registry() {
@@ -51,15 +64,19 @@ fn print_registry() {
          \x20 fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N>\n\
          \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]\n\
          \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
+         \x20       [--checkpoint FILE [--checkpoint-every N]] [--shard I/K]\n\
          \x20       one deterministic honest batch; report on stdout\n\
          \x20 fle-lab attack-sweep --attack <kind> --n <N> --coalition <placement>\n\
          \x20       [--trials N] [--seed N] [--threads N] [--target <policy>]\n\
          \x20       [--fn-key N | --fn-key-xor MASK] [--seed-mode derived|raw]\n\
          \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
+         \x20       [--checkpoint FILE [--checkpoint-every N]] [--shard I/K]\n\
          \x20       [--format json|csv]\n\
          \x20 fle-lab attack-sweep --spec FILE.json [--threads N] [--format json|csv]\n\
          \x20       one adversarial batch; the report's attack arm carries\n\
          \x20       successes, infeasible trials and the Wilson 95% CI\n\
+         \x20 fle-lab merge-reports PART.json.. [--format json|csv]\n\
+         \x20       fold `--shard` partial reports into the monolithic report\n\
          \x20     <kind>: basic_single | rushing | cubic | random_located | phase_rushing |\n\
          \x20             phase_guess | phase_burst | phase_sum | wakeup_id_lie | wakeup_mask\n\
          \x20     <placement>: spaced:K[:OFFSET] | consecutive:K[:START] | explicit:P1,P2,..\n\
@@ -68,7 +85,7 @@ fn print_registry() {
          \x20     <dist>: const:NS | uniform:LO:HI | twopoint:LO:HI:PERMILLE   (ns draws;\n\
          \x20             any of --latency/--loss/--dup selects the timed scheduler)\n\
          \x20 fle-lab bench-baseline [--out PATH] [--quick]\n\
-         \x20       write the per-PR perf snapshot (default BENCH_7.json)"
+         \x20       write the per-PR perf snapshot (default BENCH_8.json)"
     );
 }
 
@@ -106,6 +123,161 @@ fn emit_report(report: &fle_harness::TrialReport, format: &str) {
     }
 }
 
+/// Crash-safety flags shared by `sweep` and `attack-sweep`.
+struct ResilienceOpts {
+    /// `--checkpoint FILE`: snapshot progress atomically and resume from
+    /// the file if it already exists.
+    checkpoint: Option<String>,
+    /// `--checkpoint-every N` trials between snapshots.
+    checkpoint_every: u64,
+    /// `--shard I/K`: run only slice `I` of `K` and print the partial.
+    shard: Option<(u64, u64)>,
+}
+
+impl Default for ResilienceOpts {
+    fn default() -> Self {
+        Self {
+            checkpoint: None,
+            checkpoint_every: 1_000,
+            shard: None,
+        }
+    }
+}
+
+/// Parses a `--shard I/K` slice selector.
+fn parse_shard(raw: &str) -> Result<(u64, u64), String> {
+    let (i, k) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("invalid shard '{raw}' (expected I/K, e.g. 0/4)"))?;
+    let parse = |s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("invalid number '{s}' in shard '{raw}'"))
+    };
+    let (i, k) = (parse(i)?, parse(k)?);
+    if k == 0 || i >= k {
+        return Err(format!("shard '{raw}' out of range (need I < K, K >= 1)"));
+    }
+    Ok((i, k))
+}
+
+/// The trial range shard `i` of `k` covers: proportional slices that
+/// partition `0..trials` exactly, every shard within one trial of the
+/// others.
+fn shard_range(shard: Option<(u64, u64)>, trials: u64) -> (u64, u64) {
+    match shard {
+        Some((i, k)) => (
+            (i as u128 * trials as u128 / k as u128) as u64,
+            ((i + 1) as u128 * trials as u128 / k as u128) as u64,
+        ),
+        None => (0, trials),
+    }
+}
+
+/// Runs a validated spec honouring the crash-safety flags and prints the
+/// result: the aggregated report normally, the shard's mergeable
+/// [`ReportPartial`] under `--shard`. A completed run deletes its
+/// checkpoint file (the output it protected has been emitted). Returns
+/// `(protocol label, n, trials run)` for the caller's status line.
+fn execute_sweep(spec: &SweepSpec, format: &str, opts: &ResilienceOpts) -> (String, usize, u64) {
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    if opts.shard.is_some() && format != "json" {
+        fail(
+            "--shard prints a mergeable partial report, which is JSON-only (drop --format csv)"
+                .to_string(),
+        );
+    }
+    let (lo, hi) = shard_range(opts.shard, spec.batch().trials);
+    let partial = match &opts.checkpoint {
+        Some(raw) => {
+            let run = run_sweep_checkpointed(
+                spec,
+                std::path::Path::new(raw),
+                opts.checkpoint_every,
+                lo,
+                hi,
+            )
+            .unwrap_or_else(|e| fail(e));
+            if let Some(at) = run.resumed_from {
+                eprintln!("  [sweep resumed from trial {at}]");
+            }
+            run.partial
+        }
+        None => run_sweep_partial(spec, lo, hi).unwrap_or_else(|e| fail(e)),
+    };
+    let label = partial.protocol().to_string();
+    let (n, ran) = (partial.n(), partial.covered());
+    if opts.shard.is_some() {
+        println!("{}", partial.to_json());
+    } else {
+        let report = partial
+            .finish()
+            .expect("full-range partial always finishes");
+        emit_report(&report, format);
+    }
+    if let Some(raw) = &opts.checkpoint {
+        // The protected output has been emitted; the snapshot is spent.
+        let _ = std::fs::remove_file(raw);
+    }
+    (label, n, ran)
+}
+
+/// `merge-reports PART.json.. [--format json|csv]`: folds `--shard`
+/// partial-report files into the byte-identical monolithic report.
+fn run_merge_reports(args: &[String]) {
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let mut format = String::from("json");
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" | "-f" => {
+                format = parse_arg(args, i + 1, "--format");
+                i += 2;
+            }
+            flag if flag.starts_with('-') => fail(format!(
+                "unknown flag '{flag}' for subcommand 'merge-reports'"
+            )),
+            file => {
+                files.push(file.to_string());
+                i += 1;
+            }
+        }
+    }
+    check_format(&format);
+    if files.is_empty() {
+        fail("merge-reports needs at least one partial-report file".to_string());
+    }
+    let mut merged: Option<ReportPartial> = None;
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+        let partial =
+            ReportPartial::parse_json(&src).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        match &mut merged {
+            None => merged = Some(partial),
+            Some(acc) => acc
+                .merge(&partial)
+                .unwrap_or_else(|e| fail(format!("{path}: {e}"))),
+        }
+    }
+    let merged = merged.expect("at least one file parsed");
+    let report = merged.finish().unwrap_or_else(|e| fail(e));
+    emit_report(&report, &format);
+    eprintln!(
+        "  [merge-reports {} n={} trials={} from {} partials]",
+        report.protocol,
+        report.n,
+        report.trials,
+        files.len()
+    );
+}
+
 fn run_sweep_cli(args: &[String]) {
     let mut protocol: Option<ProtocolKind> = None;
     let mut n: usize = 0;
@@ -119,9 +291,26 @@ fn run_sweep_cli(args: &[String]) {
     let mut latency: Option<LatencySpec> = None;
     let mut loss: Option<u32> = None;
     let mut dup: Option<u32> = None;
+    let mut opts = ResilienceOpts::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--checkpoint" => {
+                opts.checkpoint = Some(parse_arg(args, i + 1, "--checkpoint"));
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_arg(args, i + 1, "--checkpoint-every");
+                i += 2;
+            }
+            "--shard" => {
+                let raw: String = parse_arg(args, i + 1, "--shard");
+                opts.shard = Some(parse_shard(&raw).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             "--latency" => {
                 let raw: String = parse_arg(args, i + 1, "--latency");
                 latency = Some(parse_latency(&raw).unwrap_or_else(|e| {
@@ -200,13 +389,12 @@ fn run_sweep_cli(args: &[String]) {
         std::process::exit(2);
     }
     let start = std::time::Instant::now();
-    let report = run_sweep(&spec);
-    emit_report(&report, &format);
+    let (label, n, ran) = execute_sweep(&spec, &format, &opts);
     eprintln!(
         "  [sweep {} n={} trials={} threads={}: {:.1?}]",
-        report.protocol,
+        label,
         n,
-        batch.trials,
+        ran,
         batch.resolved_threads(),
         start.elapsed()
     );
@@ -343,6 +531,7 @@ fn run_attack_sweep_cli(args: &[String]) {
     let mut latency: Option<LatencySpec> = None;
     let mut loss: Option<u32> = None;
     let mut dup: Option<u32> = None;
+    let mut opts = ResilienceOpts::default();
     let fail = |e: String| -> ! {
         eprintln!("{e}");
         std::process::exit(2);
@@ -350,6 +539,19 @@ fn run_attack_sweep_cli(args: &[String]) {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--checkpoint" => {
+                opts.checkpoint = Some(parse_arg(args, i + 1, "--checkpoint"));
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_arg(args, i + 1, "--checkpoint-every");
+                i += 2;
+            }
+            "--shard" => {
+                let raw: String = parse_arg(args, i + 1, "--shard");
+                opts.shard = Some(parse_shard(&raw).unwrap_or_else(|e| fail(e)));
+                i += 2;
+            }
             "--latency" => {
                 let raw: String = parse_arg(args, i + 1, "--latency");
                 latency = Some(parse_latency(&raw).unwrap_or_else(|e| fail(e)));
@@ -474,13 +676,9 @@ fn run_attack_sweep_cli(args: &[String]) {
         std::process::exit(2);
     }
     let start = std::time::Instant::now();
-    let report = run_sweep(&spec);
-    emit_report(&report, &format);
+    let (label, n, ran) = execute_sweep(&spec, &format, &opts);
     eprintln!(
-        "  [attack-sweep {} n={} trials={}: {:.1?}]",
-        report.protocol,
-        report.n,
-        report.trials,
+        "  [attack-sweep {label} n={n} trials={ran}: {:.1?}]",
         start.elapsed()
     );
 }
@@ -536,9 +734,9 @@ const PR5_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
     ("phase_rushing_n16", 23_929.2),
 ];
 
-/// The PR 6 snapshot (`BENCH_6.json`) — the previous point of the
+/// The PR 6 snapshot (`BENCH_6.json`) — a further point of the
 /// trajectory (spec-driven sweep family), so each new snapshot records
-/// its *incremental* improvement.
+/// intermediate improvements, not just the cumulative one.
 const PR6_NS_PER_TRIAL: [(&str, f64); 3] = [
     ("phase_n8", 2_966.7),
     ("phase_n64", 149_098.7),
@@ -550,6 +748,22 @@ const PR6_NS_PER_TRIAL: [(&str, f64); 3] = [
 const PR6_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
     ("basic_single_n32", 17_227.9),
     ("phase_rushing_n16", 23_905.6),
+];
+
+/// The PR 7 snapshot (`BENCH_7.json`) — the previous point of the
+/// trajectory (timed network scenarios), so each new snapshot records
+/// its *incremental* improvement.
+const PR7_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 3_592.9),
+    ("phase_n64", 165_051.3),
+    ("alead_n64", 71_022.3),
+];
+
+/// The PR 7 snapshot's attack-arm timings, kept for trajectory
+/// comparisons.
+const PR7_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
+    ("basic_single_n32", 15_526.9),
+    ("phase_rushing_n16", 24_161.1),
 ];
 
 /// Times `trial(seed)` over `trials` harness-derived seeds and returns
@@ -663,9 +877,9 @@ fn bench_attack_sweep(quick: bool) -> (f64, f64, u64) {
         })
     };
     // Warmup batch, then the timed run through the cached runners.
-    let _ = run_sweep(&spec((trials / 10).max(1)));
+    let _ = run_sweep(&spec((trials / 10).max(1))).expect("valid spec");
     let start = std::time::Instant::now();
-    let _ = run_sweep(&spec(trials));
+    let _ = run_sweep(&spec(trials)).expect("valid spec");
     let sweep_ns = start.elapsed().as_secs_f64() * 1e9 / trials as f64;
     eprintln!(
         "  [bench-baseline attack_sweep rushing_alead_n16 (run_sweep): {sweep_ns:.0} ns/trial]"
@@ -705,9 +919,10 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
             ..cfg.batch
         },
         ..cfg
-    }));
+    }))
+    .expect("valid spec");
     let start = std::time::Instant::now();
-    let _ = run_sweep(&SweepSpec::Honest(cfg));
+    let _ = run_sweep(&SweepSpec::Honest(cfg)).expect("valid spec");
     start.elapsed().as_secs_f64() * 1e9 / trials as f64
 }
 
@@ -758,9 +973,10 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
             ..cfg.batch
         },
         ..cfg
-    }));
+    }))
+    .expect("valid spec");
     let start = std::time::Instant::now();
-    let report = run_sweep(&SweepSpec::Honest(cfg));
+    let report = run_sweep(&SweepSpec::Honest(cfg)).expect("valid spec");
     let ns = start.elapsed().as_secs_f64() * 1e9 / trials as f64;
     eprintln!(
         "  [bench-baseline timed phase_n64 (constant 500 ns links): {ns:.0} ns/trial, \
@@ -771,7 +987,7 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
 }
 
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -822,8 +1038,7 @@ fn run_bench_baseline(args: &[String]) {
     // sweep, wall-clock plus output fingerprint (the sha proves the timed
     // run produced the golden bytes).
     let sweep_trials = 10_000 / scale;
-    let start = std::time::Instant::now();
-    let report = run_sweep(&SweepSpec::Honest(HonestSweep {
+    let sweep_spec = SweepSpec::Honest(HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 64,
         fn_key: 0,
@@ -833,10 +1048,36 @@ fn run_bench_baseline(args: &[String]) {
             threads: 1,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    });
+    let start = std::time::Instant::now();
+    let report = run_sweep(&sweep_spec).expect("valid spec");
     let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
     let sweep_sha = sha256_hex(report.to_json().as_bytes());
     eprintln!("  [bench-baseline sweep_phase_n64: {sweep_ms:.0} ms for {sweep_trials} trials]");
+
+    // The checkpoint-overhead arm: the same sweep snapshotting its
+    // partial to disk every 1000 trials. The sha check proves the
+    // checkpointed path produced the identical golden bytes.
+    let checkpoint_every = 1_000u64;
+    let cp_path =
+        std::env::temp_dir().join(format!("fle_bench_checkpoint_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&cp_path);
+    let start = std::time::Instant::now();
+    let cp_run = run_sweep_checkpointed(&sweep_spec, &cp_path, checkpoint_every, 0, sweep_trials)
+        .expect("valid spec and writable temp dir");
+    let checkpoint_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cp_report = cp_run.partial.finish().expect("full coverage");
+    assert_eq!(
+        sha256_hex(cp_report.to_json().as_bytes()),
+        sweep_sha,
+        "checkpointed sweep diverged from the plain run"
+    );
+    let _ = std::fs::remove_file(&cp_path);
+    let checkpoint_overhead_pct = (checkpoint_ms / sweep_ms - 1.0) * 100.0;
+    eprintln!(
+        "  [bench-baseline checkpoint_sweep: {checkpoint_ms:.0} ms vs {sweep_ms:.0} ms plain \
+         → {checkpoint_overhead_pct:+.2}% overhead]"
+    );
 
     // Attack arms: the cached-engine `run_in` fast path vs the one-shot
     // `SimBuilder` baseline, measured in the same process.
@@ -883,16 +1124,18 @@ fn run_bench_baseline(args: &[String]) {
     let improvements_pr4 = improve_against(&PR4_NS_PER_TRIAL, &measured);
     let improvements_pr5 = improve_against(&PR5_NS_PER_TRIAL, &measured);
     let improvements_pr6 = improve_against(&PR6_NS_PER_TRIAL, &measured);
+    let improvements_pr7 = improve_against(&PR7_NS_PER_TRIAL, &measured);
     let attack_improvements = improve_against(&attack_base, &attack_fast);
     let attack_improvements_pr4 = improve_against(&PR4_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr5 = improve_against(&PR5_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr6 = improve_against(&PR6_ATTACK_NS_PER_TRIAL, &attack_fast);
+    let attack_improvements_pr7 = improve_against(&PR7_ATTACK_NS_PER_TRIAL, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"timed network scenarios ",
-            "(latency/loss/dup virtual-time scheduler) beside the spec-driven ",
-            "sweep family over the fused-stream arena/mono engine, single ",
-            "thread, ns per trial\",",
+            "{{\"bench\":\"{}\",\"description\":\"crash-safe sweeps ",
+            "(mergeable partials, checkpoint/resume, sharding) over the ",
+            "timed + fused-stream arena/mono engine, single thread, ns per ",
+            "trial\",",
             "\"quick\":{},",
             "\"ns_per_trial\":{{{}}},",
             "\"deliveries_per_trial\":{{{}}},",
@@ -902,20 +1145,24 @@ fn run_bench_baseline(args: &[String]) {
             "\"baseline_pr4_ns_per_trial\":{{{}}},",
             "\"baseline_pr5_ns_per_trial\":{{{}}},",
             "\"baseline_pr6_ns_per_trial\":{{{}}},",
+            "\"baseline_pr7_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
             "\"improvement_vs_pr3_pct\":{{{}}},",
             "\"improvement_vs_pr4_pct\":{{{}}},",
             "\"improvement_vs_pr5_pct\":{{{}}},",
             "\"improvement_vs_pr6_pct\":{{{}}},",
+            "\"improvement_vs_pr7_pct\":{{{}}},",
             "\"attack_ns_per_trial\":{{{}}},",
             "\"attack_simbuilder_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr4_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr5_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr6_ns_per_trial\":{{{}}},",
+            "\"attack_baseline_pr7_ns_per_trial\":{{{}}},",
             "\"attack_improvement_pct\":{{{}}},",
             "\"attack_improvement_vs_pr4_pct\":{{{}}},",
             "\"attack_improvement_vs_pr5_pct\":{{{}}},",
             "\"attack_improvement_vs_pr6_pct\":{{{}}},",
+            "\"attack_improvement_vs_pr7_pct\":{{{}}},",
             "\"attack_sweep\":{{\"workload\":\"rushing_alead_n16\",\"trials\":{},",
             "\"ns_per_trial\":{:.1},\"simbuilder_loop_ns_per_trial\":{:.1},",
             "\"improvement_vs_pr5_pct\":{:.1}}},",
@@ -923,6 +1170,9 @@ fn run_bench_baseline(args: &[String]) {
             "\"ns_per_trial\":{:.1},\"deliveries_per_trial\":{:.1},",
             "\"ns_per_delivery\":{:.2},\"untimed_ns_per_delivery\":{:.2},",
             "\"overhead_ratio\":{:.2}}},",
+            "\"checkpoint_sweep\":{{\"workload\":\"phase_n64\",\"trials\":{},",
+            "\"every\":{},\"wall_ms\":{:.1},\"plain_wall_ms\":{:.1},",
+            "\"overhead_pct\":{:.2}}},",
             "\"sweep_phase_n64\":{{\"trials\":{},\"wall_ms\":{:.1},\"json_sha256\":\"{}\"}}}}"
         ),
         label,
@@ -935,20 +1185,24 @@ fn run_bench_baseline(args: &[String]) {
         fmt_map(&PR4_NS_PER_TRIAL),
         fmt_map(&PR5_NS_PER_TRIAL),
         fmt_map(&PR6_NS_PER_TRIAL),
+        fmt_map(&PR7_NS_PER_TRIAL),
         fmt_map(&improvements),
         fmt_map(&improvements_pr3),
         fmt_map(&improvements_pr4),
         fmt_map(&improvements_pr5),
         fmt_map(&improvements_pr6),
+        fmt_map(&improvements_pr7),
         fmt_map(&attack_fast),
         fmt_map(&attack_base),
         fmt_map(&PR4_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR5_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR6_ATTACK_NS_PER_TRIAL),
+        fmt_map(&PR7_ATTACK_NS_PER_TRIAL),
         fmt_map(&attack_improvements),
         fmt_map(&attack_improvements_pr4),
         fmt_map(&attack_improvements_pr5),
         fmt_map(&attack_improvements_pr6),
+        fmt_map(&attack_improvements_pr7),
         attack_sweep_trials,
         attack_sweep_ns,
         attack_loop_ns,
@@ -959,6 +1213,11 @@ fn run_bench_baseline(args: &[String]) {
         timed_ns_per_delivery,
         untimed_phase_n64_nd,
         timed_overhead_ratio,
+        sweep_trials,
+        checkpoint_every,
+        checkpoint_ms,
+        sweep_ms,
+        checkpoint_overhead_pct,
         sweep_trials,
         sweep_ms,
         sweep_sha,
@@ -976,6 +1235,11 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("bench-baseline") {
         run_bench_baseline(&args[1..]);
+        return;
+    }
+
+    if args.first().map(String::as_str) == Some("merge-reports") {
+        run_merge_reports(&args[1..]);
         return;
     }
 

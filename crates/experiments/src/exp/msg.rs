@@ -26,7 +26,8 @@ fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
             threads: 0,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     assert_eq!(
         report.messages.min, report.messages.max,
         "honest message counts are deterministic"

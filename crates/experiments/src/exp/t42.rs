@@ -55,7 +55,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             let feasible = RushingAttack::new(0)
                 .plan(&ALeadUni::new(n), &coalition)
                 .is_ok();
-            let report = run_sweep(&cell_spec(n, k, trials));
+            let report = run_sweep(&cell_spec(n, k, trials)).expect("valid spec");
             let arm = report.attack.expect("attack sweeps carry the arm");
             // The plan precheck and the sweep's per-trial feasibility must
             // agree: rushing feasibility depends only on the layout.

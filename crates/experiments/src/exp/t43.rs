@@ -63,7 +63,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             target: TargetSpec::SeedProduct { multiplier: 17 },
             seed_mode: SeedMode::RawIndex,
             schedule: ScheduleSpec::Fifo,
-        }));
+        }))
+        .expect("valid spec");
         let arm = report.attack.expect("attack sweeps carry the arm");
         // Sync gap over the coalition during one attacked execution.
         let protocol = ALeadUni::new(n).with_seed(1);

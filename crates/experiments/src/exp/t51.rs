@@ -64,7 +64,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             threads: 0,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     assert_eq!(report.elected(), trials, "honest runs succeed");
     let (chi2, p) = chi_square_uniform(&report.wins);
     let max_eps = report
@@ -101,7 +102,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         target: TargetSpec::Fixed(1),
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     let arm = report.attack.expect("attack sweeps carry the arm");
     let refuse_rate = arm.infeasible as f64 / runs as f64;
     let mut punish = Table::new(

@@ -76,7 +76,8 @@ pub fn run(quick: bool) -> Vec<Table> {
                 trials,
                 FnKeySpec::SeedXor(0xf00d),
                 TargetSpec::SeedProduct { multiplier: 11 },
-            ));
+            ))
+            .expect("valid spec");
             let arm = report.attack.expect("attack sweeps carry the arm");
             // Rushing feasibility depends only on the coalition layout,
             // so the plan precheck and the sweep must agree.
@@ -115,7 +116,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             runs,
             FnKeySpec::SeedXor(0),
             TargetSpec::Fixed(1),
-        ));
+        ))
+        .expect("valid spec");
         let arm = report.attack.expect("attack sweeps carry the arm");
         assert_eq!(arm.infeasible, 0, "burst attack always runs");
         let fails = report.fails.total() as f64 / runs as f64;
@@ -145,7 +147,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             threads: 0,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     assert_eq!(report.fails.total(), 0, "honest runs succeed");
     let (chi2, p) = chi_square_uniform(&report.wins);
     let mut uni = Table::new(

@@ -132,7 +132,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             },
             target: TargetSpec::SeedProduct { multiplier: 5 },
             seed_mode: SeedMode::RawIndex,
-        }));
+        }))
+        .expect("valid spec");
         let arm = report.attack.expect("tree sweeps carry the arm");
         dict.row([
             name,

@@ -41,7 +41,8 @@ pub fn run(quick: bool) -> Vec<Table> {
             threads: 0,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
     let p1 = ones as f64 / trials as f64;
     fwd.row([
@@ -66,7 +67,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         target: TargetSpec::Fixed(5),
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     let arm = report.attack.expect("attack sweeps carry the arm");
     assert_eq!(arm.infeasible, 0, "the Claim B.1 attack is always feasible");
     // The coin is the leader's low bit: odd-leader wins toss 1.

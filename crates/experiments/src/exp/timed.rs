@@ -104,22 +104,23 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["scenario (FIFO links)", "Pr[w] ± ci", "msgs mean"],
     );
     for (label, report) in [
-        ("untimed fifo", run_attack_sweep(&fifo)),
+        ("untimed fifo", run_attack_sweep(&fifo).expect("valid spec")),
         (
             "timed, zero latency",
-            run_attack_sweep(&spec(trials, timed(LatencySpec::ZERO, 0))),
+            run_attack_sweep(&spec(trials, timed(LatencySpec::ZERO, 0))).expect("valid spec"),
         ),
         (
             "const 100ns everywhere",
-            run_attack_sweep(&spec(trials, timed(LatencySpec::Constant { ns: 100 }, 0))),
+            run_attack_sweep(&spec(trials, timed(LatencySpec::Constant { ns: 100 }, 0)))
+                .expect("valid spec"),
         ),
         (
             "slow arc over coalition",
-            run_attack_sweep_with_net(&fifo, &slow_arc(1..=K)),
+            run_attack_sweep_with_net(&fifo, &slow_arc(1..=K)).expect("valid spec"),
         ),
         (
             "slow arc over honest seg",
-            run_attack_sweep_with_net(&fifo, &slow_arc((K + 1..N).chain([0]))),
+            run_attack_sweep_with_net(&fifo, &slow_arc((K + 1..N).chain([0]))).expect("valid spec"),
         ),
     ] {
         a.row_vec(rate_cells(label, &report));
@@ -131,11 +132,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         "timed-b: the same attack outside the FIFO reliable-link model",
         &["scenario", "Pr[w] ± ci", "msgs mean", "(1-p)^M"],
     );
-    let base_msgs = run_attack_sweep(&fifo).messages.mean;
+    let base_msgs = run_attack_sweep(&fifo).expect("valid spec").messages.mean;
     let jitter = run_attack_sweep(&spec(
         trials,
         timed(LatencySpec::Uniform { lo: 0, hi: 1000 }, 0),
-    ));
+    ))
+    .expect("valid spec");
     let stalls = run_attack_sweep(&spec(
         trials,
         timed(
@@ -146,14 +148,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             },
             0,
         ),
-    ));
+    ))
+    .expect("valid spec");
     for (label, report) in [("jitter U(0,1000)ns", jitter), ("5% stalls x100", stalls)] {
         let mut cells = rate_cells(label, &report);
         cells.push("-".to_string());
         b.row_vec(cells);
     }
     for loss in [2u32, 5, 25, 250] {
-        let report = run_attack_sweep(&spec(trials, timed(LatencySpec::ZERO, loss)));
+        let report =
+            run_attack_sweep(&spec(trials, timed(LatencySpec::ZERO, loss))).expect("valid spec");
         let pred = (1.0 - f64::from(loss) / 1000.0).powf(base_msgs);
         let mut cells = rate_cells(&format!("loss {loss} permille"), &report);
         cells.push(format!("{pred:.3}"));

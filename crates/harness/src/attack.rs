@@ -1,8 +1,9 @@
 //! Attack-grid execution: [`AttackSweep`] specs dispatched onto
 //! per-worker [`AttackRunner`](fle_attacks::AttackRunner) caches.
 
+use crate::partial::ReportPartial;
 use crate::spec::AttackSweep;
-use crate::{run_batch, TrialOutcome, TrialReport};
+use crate::{run_batch_range, TrialOutcome, TrialReport};
 use fle_attacks::build_runner;
 use ring_sim::TimedNetConfig;
 
@@ -18,15 +19,15 @@ use ring_sim::TimedNetConfig;
 /// preconditions fail count as `infeasible` (and never as successes).
 /// The report is byte-identical for every thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the spec is invalid (unresolvable coalition, layout
-/// rejected by the runner); call
-/// [`SweepSpec::validate`](crate::SweepSpec::validate) first for an
-/// actionable error instead.
-pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
-    let net = cfg.schedule.timed_net();
-    run_attack_sweep_impl(cfg, net.as_ref())
+/// If the spec is invalid (unresolvable coalition, layout rejected by
+/// the runner) — the same conditions
+/// [`SweepSpec::validate`](crate::SweepSpec::validate) reports. A
+/// malformed spec is a `Result`, never a worker panic, so a long-running
+/// multi-sweep process survives it.
+pub fn run_attack_sweep(cfg: &AttackSweep) -> Result<TrialReport, String> {
+    run_attack_partial(cfg, 0, cfg.batch.trials)?.finish()
 }
 
 /// [`run_attack_sweep`] with an explicit (possibly asymmetric, per-edge)
@@ -35,20 +36,65 @@ pub fn run_attack_sweep(cfg: &AttackSweep) -> TrialReport {
 /// slow links *relative to the coalition* (e.g. adversary placement vs.
 /// asymmetric latency); everything else — batching, seed streams, report
 /// aggregation, thread-count invariance — is identical.
-pub fn run_attack_sweep_with_net(cfg: &AttackSweep, net: &TimedNetConfig) -> TrialReport {
-    run_attack_sweep_impl(cfg, Some(net))
+///
+/// # Errors
+///
+/// As for [`run_attack_sweep`].
+pub fn run_attack_sweep_with_net(
+    cfg: &AttackSweep,
+    net: &TimedNetConfig,
+) -> Result<TrialReport, String> {
+    run_attack_partial_impl(cfg, Some(net), 0, cfg.batch.trials)?.finish()
 }
 
-fn run_attack_sweep_impl(cfg: &AttackSweep, net: Option<&TimedNetConfig>) -> TrialReport {
-    let trials: Vec<(Option<TrialOutcome>, bool)> = run_batch(
+/// Runs trials `start..end` of the attack sweep (global indices and
+/// seeds) into a mergeable [`ReportPartial`]. Panicking trials are
+/// contained as recorded faults; infeasible trials count as such.
+///
+/// # Errors
+///
+/// As for [`run_attack_sweep`].
+pub fn run_attack_partial(
+    cfg: &AttackSweep,
+    start: u64,
+    end: u64,
+) -> Result<ReportPartial, String> {
+    let net = cfg.schedule.timed_net();
+    run_attack_partial_impl(cfg, net.as_ref(), start, end)
+}
+
+/// [`run_attack_partial`] with an explicit [`TimedNetConfig`], the
+/// range form of [`run_attack_sweep_with_net`].
+///
+/// # Errors
+///
+/// As for [`run_attack_sweep`].
+pub fn run_attack_partial_with_net(
+    cfg: &AttackSweep,
+    net: &TimedNetConfig,
+    start: u64,
+    end: u64,
+) -> Result<ReportPartial, String> {
+    run_attack_partial_impl(cfg, Some(net), start, end)
+}
+
+fn run_attack_partial_impl(
+    cfg: &AttackSweep,
+    net: Option<&TimedNetConfig>,
+    start: u64,
+    end: u64,
+) -> Result<ReportPartial, String> {
+    // Validate the spec once up front so workers can only fail per-trial:
+    // the coalition must resolve and the runner must accept the layout.
+    let coalition = cfg.coalition.resolve(cfg.n)?;
+    build_runner(cfg.attack, cfg.n, &coalition).map_err(|e| e.to_string())?;
+    let results = run_batch_range(
         &cfg.batch,
+        start,
+        end,
         || {
-            let coalition = cfg
-                .coalition
-                .resolve(cfg.n)
-                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"));
-            let mut runner = build_runner(cfg.attack, cfg.n, &coalition)
-                .unwrap_or_else(|e| panic!("invalid attack sweep: {e}"));
+            let mut runner =
+                build_runner(cfg.attack, cfg.n, &coalition).expect("layout validated above");
             runner.set_timed_net(net);
             runner
         },
@@ -63,7 +109,15 @@ fn run_attack_sweep_impl(cfg: &AttackSweep, net: Option<&TimedNetConfig>) -> Tri
         },
     );
     let label = format!("{}:{}", cfg.attack.protocol_name(), cfg.attack.name());
-    TrialReport::from_attack_trials(&label, cfg.n, cfg.batch.base_seed, &trials)
+    let mut partial =
+        ReportPartial::new_attack(&label, cfg.n, cfg.batch.base_seed, cfg.batch.trials);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot {
+            Ok((outcome, success)) => partial.record_attack(start + i as u64, outcome, success),
+            Err(fault) => partial.record_fault(fault),
+        }
+    }
+    Ok(partial)
 }
 
 #[cfg(test)]
@@ -94,9 +148,10 @@ mod tests {
 
     #[test]
     fn attack_sweep_is_thread_count_invariant() {
-        let baseline = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived));
+        let baseline = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived)).expect("valid");
         for threads in [2, 8] {
-            let report = run_attack_sweep(&rushing_sweep(threads, SeedMode::Derived));
+            let report =
+                run_attack_sweep(&rushing_sweep(threads, SeedMode::Derived)).expect("valid");
             assert_eq!(report.to_json(), baseline.to_json(), "threads={threads}");
             assert_eq!(report.to_csv(), baseline.to_csv(), "threads={threads}");
         }
@@ -105,14 +160,14 @@ mod tests {
     #[test]
     fn zero_profile_timed_attack_sweep_matches_fifo() {
         use ring_sim::LatencySpec;
-        let fifo = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived));
+        let fifo = run_attack_sweep(&rushing_sweep(1, SeedMode::Derived)).expect("valid");
         let mut timed_cfg = rushing_sweep(1, SeedMode::Derived);
         timed_cfg.schedule = ScheduleSpec::Timed {
             latency: LatencySpec::ZERO,
             loss_permille: 0,
             dup_permille: 0,
         };
-        let timed = run_attack_sweep(&timed_cfg);
+        let timed = run_attack_sweep(&timed_cfg).expect("valid");
         assert_eq!(timed.to_json(), fifo.to_json());
     }
 
@@ -121,7 +176,7 @@ mod tests {
         // The pre-spec experiment tables looped `for seed in 0..trials`
         // and ran the attack directly; RawIndex mode must reproduce that
         // stream exactly.
-        let report = run_attack_sweep(&rushing_sweep(1, SeedMode::RawIndex));
+        let report = run_attack_sweep(&rushing_sweep(1, SeedMode::RawIndex)).expect("valid");
         let coalition = Coalition::equally_spaced(16, 7, 1).unwrap();
         let attack = RushingAttack::new(3);
         let mut successes = 0;
@@ -136,6 +191,15 @@ mod tests {
         assert_eq!(attack_arm.successes, successes);
         assert_eq!(attack_arm.infeasible, 0);
         assert_eq!(report.trials, 40);
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        // k > n cannot resolve; historically this panicked inside a worker.
+        let mut cfg = rushing_sweep(1, SeedMode::Derived);
+        cfg.coalition = CoalitionSpec::EquallySpaced { k: 99, offset: 0 };
+        let err = run_attack_sweep(&cfg).unwrap_err();
+        assert!(err.contains("coalition"), "unexpected message: {err}");
     }
 
     #[test]
@@ -157,7 +221,7 @@ mod tests {
             seed_mode: SeedMode::Derived,
             schedule: ScheduleSpec::Fifo,
         };
-        let report = run_attack_sweep(&cfg);
+        let report = run_attack_sweep(&cfg).expect("valid");
         let arm = report.attack.expect("attack arm");
         assert_eq!(arm.infeasible, 10);
         assert_eq!(arm.successes, 0);

@@ -1,6 +1,7 @@
 //! The generic deterministic batch runner.
 
 use crate::trial_seed;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default worker count used when [`BatchConfig::threads`] is
@@ -62,6 +63,115 @@ impl BatchConfig {
     }
 }
 
+/// One contained trial failure: the panicking trial's global index, its
+/// derived seed (rerun `trial(worker, index, seed)` with exactly these to
+/// reproduce), and the panic payload when it was a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFault {
+    /// Global trial index within the sweep's `0..trials` space.
+    pub index: u64,
+    /// The [`trial_seed`]-derived seed the trial ran with.
+    pub seed: u64,
+    /// The panic payload (`"non-string panic payload"` if it was neither
+    /// `&str` nor `String`).
+    pub message: String,
+}
+
+/// Renders a caught panic payload as a fault message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs the contiguous trial range `start..end` of a `cfg.trials`-trial
+/// batch across worker threads, containing per-trial panics, and returns
+/// one entry per trial in trial order.
+///
+/// Indices and seeds are *global*: trial `i` runs with
+/// [`trial_seed`]`(cfg.base_seed, i)` regardless of the range, so a batch
+/// split across shards or checkpoints replays the exact seed schedule of
+/// the monolithic run. A panicking trial becomes an `Err(`[`TrialFault`]`)`
+/// slot instead of aborting the batch; the worker that hit it is discarded
+/// (its cached state may be mid-trial garbage) and rebuilt via
+/// `make_worker` before the next trial.
+///
+/// # Panics
+///
+/// Panics if the range is not within `0..=cfg.trials`.
+pub fn run_batch_range<W, T: Send>(
+    cfg: &BatchConfig,
+    start: u64,
+    end: u64,
+    make_worker: impl Fn() -> W + Sync,
+    trial: impl Fn(&mut W, u64, u64) -> T + Sync,
+) -> Vec<Result<T, TrialFault>> {
+    assert!(
+        start <= end && end <= cfg.trials,
+        "trial range {start}..{end} outside batch of {} trials",
+        cfg.trials
+    );
+    let len = end - start;
+    let threads = {
+        let t = if cfg.threads == 0 {
+            default_threads()
+        } else {
+            cfg.threads
+        };
+        t.clamp(1, len.max(1) as usize)
+    };
+    let base_seed = cfg.base_seed;
+    let run_one = |worker: &mut W, index: u64| -> Result<T, TrialFault> {
+        let seed = trial_seed(base_seed, index);
+        catch_unwind(AssertUnwindSafe(|| trial(worker, index, seed))).map_err(|payload| {
+            TrialFault {
+                index,
+                seed,
+                message: panic_message(payload),
+            }
+        })
+    };
+    if threads <= 1 || len <= 1 {
+        let mut worker = make_worker();
+        let mut out = Vec::with_capacity(len as usize);
+        for index in start..end {
+            let result = run_one(&mut worker, index);
+            if result.is_err() {
+                worker = make_worker();
+            }
+            out.push(result);
+        }
+        return out;
+    }
+    let mut slots: Vec<Option<Result<T, TrialFault>>> = (0..len).map(|_| None).collect();
+    let chunk = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, piece) in slots.chunks_mut(chunk).enumerate() {
+            let run_one = &run_one;
+            let make_worker = &make_worker;
+            scope.spawn(move || {
+                let mut worker = make_worker();
+                for (i, slot) in piece.iter_mut().enumerate() {
+                    let index = start + (t * chunk + i) as u64;
+                    let result = run_one(&mut worker, index);
+                    if result.is_err() {
+                        worker = make_worker();
+                    }
+                    *slot = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
 /// Runs `trials` independent trials across worker threads, giving each
 /// worker its own state from `make_worker`, and returns the results in
 /// trial order.
@@ -71,6 +181,11 @@ impl BatchConfig {
 /// allocation reuse (e.g. a [`ring_sim::Engine`] per thread) and must not
 /// leak state between trials. Under that contract the returned vector is
 /// identical for every thread count.
+///
+/// A panicking trial no longer tears down sibling workers: the whole batch
+/// completes first (via [`run_batch_range`]), then this wrapper re-raises
+/// the first fault with its index and repro seed. Callers that want the
+/// surviving results instead should use [`run_batch_range`] directly.
 ///
 /// # Examples
 ///
@@ -89,33 +204,16 @@ pub fn run_batch<W, T: Send>(
     make_worker: impl Fn() -> W + Sync,
     trial: impl Fn(&mut W, u64, u64) -> T + Sync,
 ) -> Vec<T> {
-    let trials = cfg.trials;
-    let threads = cfg.resolved_threads();
-    if threads <= 1 || trials <= 1 {
-        let mut worker = make_worker();
-        return (0..trials)
-            .map(|i| trial(&mut worker, i, trial_seed(cfg.base_seed, i)))
-            .collect();
-    }
-    let base_seed = cfg.base_seed;
-    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let chunk = slots.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, piece) in slots.chunks_mut(chunk).enumerate() {
-            let trial = &trial;
-            let make_worker = &make_worker;
-            scope.spawn(move || {
-                let mut worker = make_worker();
-                for (i, slot) in piece.iter_mut().enumerate() {
-                    let index = (t * chunk + i) as u64;
-                    *slot = Some(trial(&mut worker, index, trial_seed(base_seed, index)));
-                }
-            });
-        }
-    });
-    slots
+    run_batch_range(cfg, 0, cfg.trials, make_worker, trial)
         .into_iter()
-        .map(|s| s.expect("every slot filled"))
+        .map(|slot| {
+            slot.unwrap_or_else(|f| {
+                panic!(
+                    "trial {} (seed {}) panicked: {}",
+                    f.index, f.seed, f.message
+                )
+            })
+        })
         .collect()
 }
 
@@ -200,6 +298,82 @@ mod tests {
             threads: 100,
         };
         assert_eq!(cfg.resolved_threads(), 1);
+    }
+
+    #[test]
+    fn range_matches_full_batch_slice() {
+        let cfg = BatchConfig {
+            trials: 50,
+            base_seed: 9,
+            threads: 4,
+        };
+        let full = run_batch(&cfg, || (), |(), i, seed| i ^ seed);
+        let part = run_batch_range(&cfg, 13, 37, || (), |(), i, seed| i ^ seed);
+        let part: Vec<u64> = part.into_iter().map(|r| r.expect("no faults")).collect();
+        assert_eq!(part, full[13..37]);
+    }
+
+    #[test]
+    fn panicking_trial_becomes_fault_not_abort() {
+        for threads in [1, 2, 8] {
+            let cfg = BatchConfig {
+                trials: 20,
+                base_seed: 3,
+                threads,
+            };
+            // Workers count trials served so the rebuild is observable: the
+            // worker that hit index 7 restarts its count from zero.
+            let out = run_batch_range(
+                &cfg,
+                0,
+                20,
+                || 0u64,
+                |served, i, seed| {
+                    if i == 7 {
+                        panic!("injected fault at {i}");
+                    }
+                    *served += 1;
+                    (i, seed, *served)
+                },
+            );
+            assert_eq!(out.len(), 20);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 7 {
+                    let fault = slot.as_ref().expect_err("index 7 panicked");
+                    assert_eq!(fault.index, 7);
+                    assert_eq!(fault.seed, trial_seed(3, 7));
+                    assert_eq!(fault.message, "injected fault at 7");
+                } else {
+                    let (j, seed, served) = slot.as_ref().expect("healthy trial");
+                    assert_eq!(*j, i as u64);
+                    assert_eq!(*seed, trial_seed(3, i as u64));
+                    assert!(*served >= 1);
+                }
+            }
+            // The worker serving index 8 was rebuilt after the fault, so its
+            // counter restarted at 1 (single-thread case pins this exactly).
+            if threads == 1 {
+                let (_, _, served) = out[8].as_ref().expect("healthy trial");
+                assert_eq!(*served, 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 (seed")]
+    fn run_batch_reraises_fault_with_repro_seed() {
+        let cfg = BatchConfig {
+            trials: 5,
+            base_seed: 0,
+            threads: 1,
+        };
+        run_batch(
+            &cfg,
+            || (),
+            |(), i, _seed| {
+                assert!(i != 3, "boom");
+            },
+        );
     }
 
     #[test]

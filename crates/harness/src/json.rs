@@ -92,6 +92,27 @@ impl Json {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
     }
+
+    /// Escapes `s` for embedding inside a JSON string literal (the
+    /// surrounding quotes are the caller's). Round-trips through
+    /// [`Json::parse`].
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
 }
 
 struct Parser<'a> {
@@ -317,6 +338,19 @@ mod tests {
             "{} trailing",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tab\tnl\nback\\slash",
+            "\u{1}\u{1f}",
+        ] {
+            let doc = format!("\"{}\"", Json::escape(s));
+            assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(s), "doc {doc:?}");
         }
     }
 

@@ -32,6 +32,13 @@
 //!   ([`TrialReport::to_csv`]). Specs round-trip through deterministic
 //!   JSON ([`SweepSpec::to_json`] / [`SweepSpec::parse_json`]) and are
 //!   reference-checked by [`SweepSpec::validate`].
+//! * [`run_sweep_partial`] / [`ReportPartial`] — the crash-safe form:
+//!   any contiguous trial range aggregates into a mergeable partial with
+//!   exact metric histograms; disjoint partials [`merge`](ReportPartial::merge)
+//!   in any order and [`finish`](ReportPartial::finish) to bytes
+//!   identical to the monolithic run. [`run_sweep_checkpointed`] builds
+//!   atomic-file checkpoint/resume on top; panicking trials are contained
+//!   per-trial as recorded [`TrialFault`]s instead of aborting the sweep.
 //!
 //! ## Example
 //!
@@ -45,7 +52,7 @@
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 2 },
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
 //! });
-//! let report = run_sweep(&spec);
+//! let report = run_sweep(&spec).expect("valid spec");
 //! assert_eq!(report.trials, 64);
 //! assert_eq!(report.wins.iter().sum::<u64>() + report.fails.total(), 64);
 //! // Identical regardless of thread count:
@@ -55,8 +62,14 @@
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 1 },
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
-//! }));
+//! }))
+//! .expect("valid spec");
 //! assert_eq!(report.to_json(), serial.to_json());
+//! // ... and regardless of how the trial range is sharded:
+//! let mut left = fle_harness::run_sweep_partial(&spec, 0, 40).expect("valid range");
+//! let right = fle_harness::run_sweep_partial(&spec, 40, 64).expect("valid range");
+//! left.merge(&right).expect("disjoint shards");
+//! assert_eq!(left.finish().expect("full coverage").to_json(), report.to_json());
 //! // Specs round-trip through JSON for scenario files:
 //! assert_eq!(fle_harness::SweepSpec::parse_json(&spec.to_json()), Ok(spec));
 //! ```
@@ -66,17 +79,29 @@
 
 mod attack;
 mod batch;
+mod checkpoint;
 mod digest;
 mod json;
+mod partial;
 mod report;
 mod spec;
 mod sweep;
 mod tree;
 
-pub use attack::{run_attack_sweep, run_attack_sweep_with_net};
-pub use batch::{default_threads, par_seeds, run_batch, set_default_threads, BatchConfig};
+pub use attack::{
+    run_attack_partial, run_attack_partial_with_net, run_attack_sweep, run_attack_sweep_with_net,
+};
+pub use batch::{
+    default_threads, par_seeds, run_batch, run_batch_range, set_default_threads, BatchConfig,
+    TrialFault,
+};
+pub use checkpoint::{
+    run_sweep_checkpointed, write_checkpoint, CheckpointedRun, SweepCheckpoint, CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+};
 pub use digest::sha256_hex;
 pub use json::Json;
+pub use partial::{ReportPartial, PARTIAL_FORMAT, PARTIAL_VERSION};
 pub use report::{
     wilson_ci95, AttackSummary, FailCounts, MetricSummary, TrialOutcome, TrialReport,
 };
@@ -87,8 +112,10 @@ pub use spec::{
 // The timed-network building blocks, re-exported so spec consumers can
 // construct schedules and per-edge nets without naming `ring_sim`.
 pub use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
-pub use sweep::{run_honest_sweep, run_sweep, HonestSweep, ProtocolKind};
-pub use tree::run_tree_sweep;
+pub use sweep::{
+    run_honest_partial, run_honest_sweep, run_sweep, run_sweep_partial, HonestSweep, ProtocolKind,
+};
+pub use tree::{run_tree_partial, run_tree_sweep};
 
 use ring_sim::rng::mix;
 

@@ -12,6 +12,8 @@
 //! pre-capacitated sample vector per metric, sorted in place) — there is
 //! no per-trial `Vec` churn anywhere between the engine and the report.
 
+use crate::batch::TrialFault;
+use crate::json::Json;
 use ring_sim::{Execution, FailReason, Outcome};
 
 /// The per-trial measurement the harness aggregates.
@@ -55,7 +57,7 @@ impl FailCounts {
         self.abort + self.disagreement + self.deadlock + self.step_limit
     }
 
-    fn record(&mut self, reason: FailReason) {
+    pub(crate) fn record(&mut self, reason: FailReason) {
         match reason {
             FailReason::Abort => self.abort += 1,
             FailReason::Disagreement => self.disagreement += 1,
@@ -216,6 +218,11 @@ pub struct TrialReport {
     /// trials. `None` keeps honest serializations byte-identical to the
     /// pre-attack-sweep format.
     pub attack: Option<AttackSummary>,
+    /// Contained trial panics (index + repro seed), in index order. These
+    /// trials are excluded from `trials` and every statistic; an empty
+    /// vector (every fault-free run) serializes exactly as before, so
+    /// golden pins are unaffected.
+    pub faults: Vec<TrialFault>,
 }
 
 impl TrialReport {
@@ -251,6 +258,7 @@ impl TrialReport {
             messages: MetricSummary::of(&messages),
             steps: MetricSummary::of(&steps),
             attack: None,
+            faults: Vec::new(),
         }
     }
 
@@ -333,6 +341,23 @@ impl TrialReport {
             out.pop();
             out.push_str(&format!(",\"attack\":{}}}", a.to_json(self.trials)));
         }
+        if !self.faults.is_empty() {
+            let list = self
+                .faults
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{{\"index\":{},\"seed\":{},\"message\":\"{}\"}}",
+                        f.index,
+                        f.seed,
+                        Json::escape(&f.message)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.pop();
+            out.push_str(&format!(",\"faults\":[{list}]}}"));
+        }
         out
     }
 
@@ -356,6 +381,17 @@ impl TrialReport {
                 fmt_f64(lo),
                 fmt_f64(hi),
             ));
+        }
+        if !self.faults.is_empty() {
+            out.push_str("fault_index,seed,message\n");
+            for f in &self.faults {
+                out.push_str(&format!(
+                    "{},{},\"{}\"\n",
+                    f.index,
+                    f.seed,
+                    f.message.replace('"', "\"\"")
+                ));
+            }
         }
         out
     }
@@ -468,6 +504,25 @@ mod tests {
         let csv = r.to_csv();
         assert!(csv.contains("successes,infeasible,success_rate,ci95_lo,ci95_hi\n"));
         assert!(csv.ends_with("2,1,0.500000,0.150036,0.849964\n"));
+    }
+
+    #[test]
+    fn faults_section_appears_only_when_nonempty() {
+        let mut r = TrialReport::from_trials("Test", 2, 3, &[elected(1, 8, 10)]);
+        let plain = r.to_json();
+        assert!(!plain.contains("faults"));
+        r.faults.push(TrialFault {
+            index: 4,
+            seed: 99,
+            message: "boom \"quoted\"".into(),
+        });
+        let json = r.to_json();
+        assert!(json.starts_with(plain.trim_end_matches('}')));
+        assert!(json.ends_with(
+            ",\"faults\":[{\"index\":4,\"seed\":99,\"message\":\"boom \\\"quoted\\\"\"}]}"
+        ));
+        let csv = r.to_csv();
+        assert!(csv.ends_with("fault_index,seed,message\n4,99,\"boom \"\"quoted\"\"\"\n"));
     }
 
     #[test]

@@ -720,6 +720,16 @@ impl From<TreeSweep> for SweepSpec {
 }
 
 impl SweepSpec {
+    /// The batch shape (trials / base seed / threads) of any sweep kind —
+    /// the trial index space that sharding and checkpointing partition.
+    pub fn batch(&self) -> &BatchConfig {
+        match self {
+            SweepSpec::Honest(h) => &h.batch,
+            SweepSpec::Attack(a) => &a.batch,
+            SweepSpec::TreeDictator(t) => &t.batch,
+        }
+    }
+
     /// Serializes to the canonical single-line JSON encoding (fixed
     /// field order; parses back to an equal spec).
     pub fn to_json(&self) -> String {
@@ -990,7 +1000,7 @@ fn parse_batch(v: &Json) -> Result<BatchConfig, String> {
     })
 }
 
-fn require(cond: bool, msg: &str) -> Result<(), String> {
+pub(crate) fn require(cond: bool, msg: &str) -> Result<(), String> {
     if cond {
         Ok(())
     } else {
@@ -998,7 +1008,7 @@ fn require(cond: bool, msg: &str) -> Result<(), String> {
     }
 }
 
-fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+pub(crate) fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
     let members = v
         .as_object()
         .ok_or_else(|| format!("{ctx} must be a JSON object"))?;
@@ -1013,30 +1023,30 @@ fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn req<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+pub(crate) fn req<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
     v.get(key)
         .ok_or_else(|| format!("{ctx}: missing required field \"{key}\""))
 }
 
-fn req_str<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+pub(crate) fn req_str<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
     req(v, key, ctx)?
         .as_str()
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a string"))
 }
 
-fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+pub(crate) fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
     req(v, key, ctx)?
         .as_u64()
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
 }
 
-fn req_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {
+pub(crate) fn req_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {
     req(v, key, ctx)?
         .as_usize()
         .ok_or_else(|| format!("{ctx}: \"{key}\" must be a non-negative integer"))
 }
 
-fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+pub(crate) fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
     match v.get(key) {
         None => Ok(default),
         Some(j) => j

@@ -1,7 +1,11 @@
 //! Protocol-level batch sweeps with per-worker engine reuse.
 
+use crate::partial::ReportPartial;
 use crate::spec::{ScheduleSpec, SweepSpec};
-use crate::{run_attack_sweep, run_batch, run_tree_sweep, BatchConfig, TrialOutcome, TrialReport};
+use crate::{
+    run_attack_partial, run_attack_sweep, run_batch_range, run_tree_partial, run_tree_sweep,
+    BatchConfig, TrialFault, TrialOutcome, TrialReport,
+};
 use fle_core::protocols::{
     run_ring_honest_pooled_into, run_ring_honest_timed_into, ALeadNode, ALeadUni, BasicLead,
     BasicNode, PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead,
@@ -175,12 +179,31 @@ impl<M: Clone, N: Node<M> + ArenaBacked> SweepWorker<M, N> {
 ///
 /// Panics if `n` is below the protocol's minimum ring size.
 pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
+    run_honest_partial(cfg, 0, cfg.batch.trials)
+        .finish()
+        .expect("full-range partial always finishes")
+}
+
+/// Runs trials `start..end` of the honest sweep (global indices and
+/// seeds, as in [`run_batch_range`]) into a mergeable [`ReportPartial`].
+/// Panicking trials are contained as recorded faults.
+///
+/// `run_honest_partial(cfg, 0, trials).finish()` is exactly
+/// [`run_honest_sweep`]; disjoint ranges merge to the same bytes.
+///
+/// # Panics
+///
+/// Panics if `n` is below the protocol's minimum ring size or the range
+/// is out of bounds.
+pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPartial {
     let n = cfg.n;
     let net = cfg.schedule.timed_net();
     let net = net.as_ref();
     let outcomes = match cfg.protocol {
-        ProtocolKind::BasicLead => run_batch(
+        ProtocolKind::BasicLead => run_batch_range(
             &cfg.batch,
+            start,
+            end,
             || {
                 let p = BasicLead::new(n);
                 let w = SweepWorker::<u64, BasicNode>::new(n, p.wakes());
@@ -196,8 +219,10 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
                 }
             },
         ),
-        ProtocolKind::ALeadUni => run_batch(
+        ProtocolKind::ALeadUni => run_batch_range(
             &cfg.batch,
+            start,
+            end,
             || {
                 let p = ALeadUni::new(n);
                 let w = SweepWorker::<u64, ALeadNode>::new(n, p.wakes());
@@ -213,8 +238,10 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
                 }
             },
         ),
-        ProtocolKind::PhaseAsyncLead => run_batch(
+        ProtocolKind::PhaseAsyncLead => run_batch_range(
             &cfg.batch,
+            start,
+            end,
             || {
                 let p = PhaseAsyncLead::new(n).with_fn_key(cfg.fn_key);
                 let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
@@ -230,8 +257,10 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
                 }
             },
         ),
-        ProtocolKind::PhaseSumLead => run_batch(
+        ProtocolKind::PhaseSumLead => run_batch_range(
             &cfg.batch,
+            start,
+            end,
             || {
                 let p = PhaseSumLead::new(n);
                 let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
@@ -248,7 +277,29 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
             },
         ),
     };
-    TrialReport::from_trials(cfg.protocol.name(), n, cfg.batch.base_seed, &outcomes)
+    let mut partial = ReportPartial::new_honest(
+        cfg.protocol.name(),
+        n,
+        cfg.batch.base_seed,
+        cfg.batch.trials,
+    );
+    record_honest(&mut partial, start, outcomes);
+    partial
+}
+
+/// Feeds a [`run_batch_range`] result vector (whose slot `i` is global
+/// trial `start + i`) into an honest partial.
+fn record_honest(
+    partial: &mut ReportPartial,
+    start: u64,
+    outcomes: Vec<Result<TrialOutcome, TrialFault>>,
+) {
+    for (i, slot) in outcomes.into_iter().enumerate() {
+        match slot {
+            Ok(outcome) => partial.record(start + i as u64, outcome),
+            Err(fault) => partial.record_fault(fault),
+        }
+    }
 }
 
 /// Runs any [`SweepSpec`] — honest, attack or tree-dictator — and
@@ -257,19 +308,47 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
 ///
 /// Attack and tree grids dispatch onto per-worker caches
 /// ([`run_attack_sweep`] / [`run_tree_sweep`]) so steady-state trials
-/// are allocation-free; call [`SweepSpec::validate`] first for
-/// actionable errors instead of panics on malformed specs.
+/// are allocation-free.
+///
+/// # Errors
+///
+/// If the spec violates a constructor precondition (e.g. an infeasible
+/// coalition layout) — the same conditions [`SweepSpec::validate`]
+/// reports.
 ///
 /// # Panics
 ///
-/// Panics if the spec violates a constructor precondition that
-/// [`SweepSpec::validate`] would have reported (e.g. `n` below the
-/// protocol's minimum ring size, or an infeasible coalition layout).
-pub fn run_sweep(spec: &SweepSpec) -> TrialReport {
+/// Panics if `n` is below an honest protocol's minimum ring size (honest
+/// specs have no runner-layer checks; call [`SweepSpec::validate`]
+/// first).
+pub fn run_sweep(spec: &SweepSpec) -> Result<TrialReport, String> {
     match spec {
-        SweepSpec::Honest(cfg) => run_honest_sweep(cfg),
+        SweepSpec::Honest(cfg) => Ok(run_honest_sweep(cfg)),
         SweepSpec::Attack(cfg) => run_attack_sweep(cfg),
         SweepSpec::TreeDictator(cfg) => run_tree_sweep(cfg),
+    }
+}
+
+/// Runs trials `start..end` of any [`SweepSpec`] into a mergeable
+/// [`ReportPartial`] — the primitive sharding and checkpointing are built
+/// on. Disjoint ranges [`merge`](ReportPartial::merge) and
+/// [`finish`](ReportPartial::finish) to bytes identical to
+/// [`run_sweep`] over the full range.
+///
+/// # Errors
+///
+/// If the range exceeds the spec's trial count or the spec is invalid.
+pub fn run_sweep_partial(spec: &SweepSpec, start: u64, end: u64) -> Result<ReportPartial, String> {
+    let trials = spec.batch().trials;
+    if start > end || end > trials {
+        return Err(format!(
+            "trial range [{start}, {end}) invalid for a sweep of {trials} trials"
+        ));
+    }
+    match spec {
+        SweepSpec::Honest(cfg) => Ok(run_honest_partial(cfg, start, end)),
+        SweepSpec::Attack(cfg) => run_attack_partial(cfg, start, end),
+        SweepSpec::TreeDictator(cfg) => run_tree_partial(cfg, start, end),
     }
 }
 
@@ -310,7 +389,8 @@ mod tests {
                     threads: 1,
                 },
                 schedule: ScheduleSpec::Fifo,
-            }));
+            }))
+            .expect("valid spec");
             assert_eq!(report.protocol, protocol.name());
             assert_eq!(
                 report.elected() + report.out_of_range + report.fails.total(),

@@ -1,8 +1,9 @@
 //! Tree-dictator grids: Theorem 7.2's simulated-tree protocol under its
 //! dictator coalition, swept over deterministic seeds.
 
+use crate::partial::ReportPartial;
 use crate::spec::TreeSweep;
-use crate::{run_batch, TrialOutcome, TrialReport};
+use crate::{run_batch_range, TrialOutcome, TrialReport};
 use fle_topology::tree_fle::TreeSumFle;
 
 /// Runs `batch.trials` dictator executions of [`TreeSumFle`] on the
@@ -14,20 +15,31 @@ use fle_topology::tree_fle::TreeSumFle;
 /// once; per trial only the seeded protocol instance is rebuilt. The
 /// report is byte-identical for every thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the graph family parameters are invalid; call
-/// [`SweepSpec::validate`](crate::SweepSpec::validate) first for an
-/// actionable error instead.
-pub fn run_tree_sweep(cfg: &TreeSweep) -> TrialReport {
+/// If the graph family parameters are invalid — the same conditions
+/// [`SweepSpec::validate`](crate::SweepSpec::validate) reports. A
+/// malformed spec is a `Result`, never a worker panic.
+pub fn run_tree_sweep(cfg: &TreeSweep) -> Result<TrialReport, String> {
+    run_tree_partial(cfg, 0, cfg.batch.trials)?.finish()
+}
+
+/// Runs trials `start..end` of the tree-dictator sweep (global indices
+/// and seeds) into a mergeable [`ReportPartial`]. Panicking trials are
+/// contained as recorded faults.
+///
+/// # Errors
+///
+/// As for [`run_tree_sweep`].
+pub fn run_tree_partial(cfg: &TreeSweep, start: u64, end: u64) -> Result<ReportPartial, String> {
     let n = cfg.graph.n();
-    let trials: Vec<(Option<TrialOutcome>, bool)> = run_batch(
+    // Validate the spec once up front so workers can only fail per-trial.
+    cfg.graph.resolve()?;
+    let results = run_batch_range(
         &cfg.batch,
-        || {
-            cfg.graph
-                .resolve()
-                .unwrap_or_else(|e| panic!("invalid tree sweep: {e}"))
-        },
+        start,
+        end,
+        || cfg.graph.resolve().expect("graph validated above"),
         |(graph, partition), index, derived| {
             let seed = cfg.seed_mode.resolve(index, derived);
             let target = cfg.target.resolve(seed, n) % n as u64;
@@ -38,7 +50,14 @@ pub fn run_tree_sweep(cfg: &TreeSweep) -> TrialReport {
         },
     );
     let label = format!("TreeSumFle:{}", cfg.graph.label());
-    TrialReport::from_attack_trials(&label, n, cfg.batch.base_seed, &trials)
+    let mut partial = ReportPartial::new_attack(&label, n, cfg.batch.base_seed, cfg.batch.trials);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot {
+            Ok((outcome, success)) => partial.record_attack(start + i as u64, outcome, success),
+            Err(fault) => partial.record_fault(fault),
+        }
+    }
+    Ok(partial)
 }
 
 #[cfg(test)]
@@ -63,7 +82,8 @@ mod tests {
                 },
                 target: TargetSpec::SeedProduct { multiplier: 5 },
                 seed_mode: SeedMode::RawIndex,
-            });
+            })
+            .expect("valid spec");
             let arm = report.attack.expect("tree sweeps carry the arm");
             assert_eq!(arm.successes, 12, "{graph:?}");
             assert_eq!(arm.infeasible, 0, "{graph:?}");
@@ -88,6 +108,7 @@ mod tests {
                 target: TargetSpec::Fixed(3),
                 seed_mode: SeedMode::Derived,
             })
+            .expect("valid spec")
         };
         let baseline = sweep(1);
         for threads in [2, 8] {

@@ -1,0 +1,172 @@
+//! In-process tests of sweep checkpoint/resume.
+//!
+//! The checkpoint layer's contract: a run that snapshots every `N` trials
+//! produces the same bytes as the plain run; a run that *resumes* from a
+//! mid-sweep checkpoint (the crash case, simulated here by writing the
+//! checkpoint file by hand) also produces the same bytes; and a
+//! checkpoint belonging to a different spec is an error, never a silent
+//! restart. The subprocess SIGKILL version of the crash case lives in
+//! `crates/experiments/tests/checkpoint_resume.rs`.
+
+use std::path::PathBuf;
+
+use fle_harness::{
+    run_sweep, run_sweep_checkpointed, run_sweep_partial, sha256_hex, write_checkpoint,
+    BatchConfig, HonestSweep, ProtocolKind, ScheduleSpec, SweepCheckpoint, SweepSpec,
+};
+
+const TRIALS: u64 = 300;
+
+fn spec(base_seed: u64) -> SweepSpec {
+    SweepSpec::Honest(HonestSweep {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 8,
+        fn_key: 9,
+        batch: BatchConfig {
+            trials: TRIALS,
+            base_seed,
+            threads: 2,
+        },
+        schedule: ScheduleSpec::Fifo,
+    })
+}
+
+/// A collision-free temp path that cleans up on drop, so a failing
+/// assertion doesn't leak state into the next run.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "fle_checkpoint_test_{}_{name}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        Self(path)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run() {
+    let spec = spec(1);
+    let plain = run_sweep(&spec).expect("valid spec");
+    let tmp = TempPath::new("plain");
+    let run = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS).expect("checkpointed run");
+    assert_eq!(run.resumed_from, None);
+    assert_eq!(run.checkpoints_written, 3);
+    let report = run.partial.finish().expect("full coverage");
+    assert_eq!(report.to_json(), plain.to_json());
+
+    // The final checkpoint file is left for the caller and must parse
+    // back as a complete snapshot of the whole range.
+    let src = std::fs::read_to_string(&tmp.0).expect("checkpoint file exists");
+    let cp = SweepCheckpoint::parse_json(&src).expect("valid checkpoint");
+    assert_eq!(cp.completed(), TRIALS);
+    assert_eq!(
+        cp.spec_sha256,
+        sha256_hex(spec.to_json().as_bytes()),
+        "checkpoint is bound to its spec"
+    );
+    assert_eq!(
+        cp.partial.finish().expect("full coverage").to_json(),
+        plain.to_json()
+    );
+}
+
+/// The crash case: a checkpoint covering `[0, 120)` exists (as if the
+/// process died mid-sweep); rerunning fast-forwards past it and the final
+/// report is byte-identical to the uninterrupted run.
+#[test]
+fn resume_from_mid_sweep_checkpoint_is_byte_identical() {
+    let spec = spec(1);
+    let plain = run_sweep(&spec).expect("valid spec");
+    let tmp = TempPath::new("resume");
+    let prefix = run_sweep_partial(&spec, 0, 120).expect("valid range");
+    write_checkpoint(
+        &tmp.0,
+        &SweepCheckpoint {
+            spec_sha256: sha256_hex(spec.to_json().as_bytes()),
+            start: 0,
+            end: TRIALS,
+            partial: prefix,
+        },
+    )
+    .expect("checkpoint written");
+
+    let run = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS).expect("resumed run");
+    assert_eq!(run.resumed_from, Some(120));
+    assert_eq!(run.checkpoints_written, 2, "chunks [120,220) and [220,300)");
+    let report = run.partial.finish().expect("full coverage");
+    assert_eq!(report.to_json(), plain.to_json());
+}
+
+/// A checkpoint written by a *different* spec must be rejected loudly —
+/// resuming it would silently splice two unrelated seed schedules.
+#[test]
+fn mismatched_spec_hash_is_an_error() {
+    let tmp = TempPath::new("mismatch");
+    let other = spec(99);
+    let prefix = run_sweep_partial(&other, 0, 50).expect("valid range");
+    write_checkpoint(
+        &tmp.0,
+        &SweepCheckpoint {
+            spec_sha256: sha256_hex(other.to_json().as_bytes()),
+            start: 0,
+            end: TRIALS,
+            partial: prefix,
+        },
+    )
+    .expect("checkpoint written");
+
+    let err = run_sweep_checkpointed(&spec(1), &tmp.0, 100, 0, TRIALS).unwrap_err();
+    assert!(err.contains("different spec"), "unexpected message: {err}");
+}
+
+/// `--checkpoint-every 0` means "snapshot only at the end": exactly one
+/// write, same bytes.
+#[test]
+fn every_zero_checkpoints_once_at_the_end() {
+    let spec = spec(1);
+    let plain = run_sweep(&spec).expect("valid spec");
+    let tmp = TempPath::new("once");
+    let run = run_sweep_checkpointed(&spec, &tmp.0, 0, 0, TRIALS).expect("checkpointed run");
+    assert_eq!(run.checkpoints_written, 1);
+    let report = run.partial.finish().expect("full coverage");
+    assert_eq!(report.to_json(), plain.to_json());
+}
+
+/// A completed checkpoint resumes to a no-op: zero further trials run,
+/// zero further writes, identical bytes — so retrying a command that
+/// crashed *after* its last checkpoint but before output is safe.
+#[test]
+fn resuming_a_completed_checkpoint_is_a_noop() {
+    let spec = spec(1);
+    let tmp = TempPath::new("noop");
+    let first = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS).expect("first run");
+    let second = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS).expect("second run");
+    assert_eq!(second.resumed_from, Some(TRIALS));
+    assert_eq!(second.checkpoints_written, 0);
+    assert_eq!(second.partial, first.partial);
+}
+
+/// Checkpoint JSON round-trips through its parser.
+#[test]
+fn checkpoint_json_round_trips() {
+    let spec = spec(1);
+    let partial = run_sweep_partial(&spec, 0, 120).expect("valid range");
+    let cp = SweepCheckpoint {
+        spec_sha256: sha256_hex(spec.to_json().as_bytes()),
+        start: 0,
+        end: TRIALS,
+        partial,
+    };
+    let parsed = SweepCheckpoint::parse_json(&cp.to_json()).expect("round trip");
+    assert_eq!(parsed, cp);
+    assert_eq!(parsed.completed(), 120);
+}

@@ -15,9 +15,9 @@ use fle_attacks::{AttackKind, PhaseRushingAttack, PhaseRushingCache, RushingAtta
 use fle_core::protocols::{ALeadUni, BasicLead, FleProtocol, PhaseAsyncLead, PhaseSumLead};
 use fle_core::Coalition;
 use fle_harness::{
-    run_batch, run_sweep, sha256_hex, trial_seed, AttackSweep, BatchConfig, CoalitionSpec,
-    FnKeySpec, HonestSweep, ProtocolKind, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
-    TrialOutcome, TrialReport,
+    run_batch, run_sweep, run_sweep_partial, sha256_hex, trial_seed, AttackSweep, BatchConfig,
+    CoalitionSpec, FnKeySpec, HonestSweep, ProtocolKind, ScheduleSpec, SeedMode, SweepSpec,
+    TargetSpec, TrialOutcome, TrialReport,
 };
 use ring_sim::Execution;
 
@@ -109,7 +109,8 @@ fn sweep_reports_are_pinned() {
             threads: 1,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     assert_eq!(report.wins, vec![3, 6, 5, 5, 2, 3, 3, 5]);
     assert_eq!(
         report.to_json(),
@@ -135,7 +136,8 @@ fn sweep_reports_are_pinned() {
             threads: 1,
         },
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     assert_eq!(report.wins, vec![1, 4, 7, 6, 6]);
 }
 
@@ -166,7 +168,7 @@ fn phase_n64_sweep(trials: u64) -> SweepSpec {
 /// the refactor is byte-invisible in output.
 #[test]
 fn sweep_json_sha256_is_pinned() {
-    let report = run_sweep(&phase_n64_sweep(500));
+    let report = run_sweep(&phase_n64_sweep(500)).expect("valid spec");
     assert_eq!(
         sha256_hex(report.to_json().as_bytes()),
         "b48a93b6398cec11f10e77363e7e00ca7d57eeae94eaa512c600b07f78bf016c"
@@ -186,7 +188,52 @@ fn sweep_json_sha256_is_pinned() {
 #[test]
 #[ignore = "multi-second sweep; run explicitly in release (CI does)"]
 fn full_10k_sweep_json_sha256_is_pinned() {
-    let report = run_sweep(&phase_n64_sweep(10_000));
+    let report = run_sweep(&phase_n64_sweep(10_000)).expect("valid spec");
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
+    );
+}
+
+/// The crash-safety layer's byte-identity oracle: the 500-trial canonical
+/// sweep run as three uneven shards, merged *out of order*, must finish
+/// to the exact pinned bytes of the monolithic run.
+#[test]
+fn sharded_sweep_merge_reproduces_pinned_sha() {
+    let spec = phase_n64_sweep(500);
+    let mut merged = run_sweep_partial(&spec, 350, 500).expect("valid range");
+    let mid = run_sweep_partial(&spec, 200, 350).expect("valid range");
+    merged.merge(&mid).expect("disjoint shards");
+    let head = run_sweep_partial(&spec, 0, 200).expect("valid range");
+    merged.merge(&head).expect("disjoint shards");
+    let report = merged.finish().expect("full coverage");
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "b48a93b6398cec11f10e77363e7e00ca7d57eeae94eaa512c600b07f78bf016c"
+    );
+}
+
+/// k-way shard/merge of the full 10 000-trial recorded sweep reproduces
+/// the monolithic pin exactly — the acceptance oracle for multi-process
+/// sharding (`fle_lab sweep --shard I/K` + `merge-reports`). Ignored for
+/// the same cost reason as the monolithic 10k pin; CI runs it in release.
+#[test]
+#[ignore = "multi-second sweep; run explicitly in release (CI does)"]
+fn full_10k_sharded_merge_sha256_is_pinned() {
+    let spec = phase_n64_sweep(10_000);
+    let k = 4u64;
+    let parts: Vec<_> = (0..k)
+        .map(|i| {
+            let lo = i * 10_000 / k;
+            let hi = (i + 1) * 10_000 / k;
+            run_sweep_partial(&spec, lo, hi).expect("valid range")
+        })
+        .collect();
+    let mut merged = parts[2].clone();
+    for i in [0usize, 3, 1] {
+        merged.merge(&parts[i]).expect("disjoint shards");
+    }
+    let report = merged.finish().expect("full coverage");
     assert_eq!(
         sha256_hex(report.to_json().as_bytes()),
         "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
@@ -285,7 +332,7 @@ fn canonical_attack_sweep(threads: usize) -> SweepSpec {
 /// formatting included), mirroring the honest sweep pins above.
 #[test]
 fn attack_sweep_json_and_csv_sha256_are_pinned() {
-    let report = run_sweep(&canonical_attack_sweep(1));
+    let report = run_sweep(&canonical_attack_sweep(1)).expect("valid spec");
     let arm = report.attack.expect("attack sweeps carry the arm");
     // Thm 4.2: at k = √n the rushing coalition always elects its target.
     assert_eq!(arm.successes, 500);
@@ -305,9 +352,9 @@ fn attack_sweep_json_and_csv_sha256_are_pinned() {
 /// thread count (the same invariant the honest pins enjoy).
 #[test]
 fn attack_sweep_is_thread_count_invariant() {
-    let baseline = run_sweep(&canonical_attack_sweep(1));
+    let baseline = run_sweep(&canonical_attack_sweep(1)).expect("valid spec");
     for threads in [2, 8] {
-        let report = run_sweep(&canonical_attack_sweep(threads));
+        let report = run_sweep(&canonical_attack_sweep(threads)).expect("valid spec");
         assert_eq!(report.to_json(), baseline.to_json(), "threads={threads}");
         assert_eq!(report.to_csv(), baseline.to_csv(), "threads={threads}");
     }
@@ -333,7 +380,8 @@ fn migrated_t42_cell_matches_premigration_loop() {
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
-    }));
+    }))
+    .expect("valid spec");
     let coalition = Coalition::equally_spaced(n, k, 1).expect("valid layout");
     let mut successes = 0u64;
     for seed in 0..trials {
@@ -412,12 +460,12 @@ fn timed_attack_sweep(threads: usize) -> SweepSpec {
 /// consumption order inside the timed path flips these.
 #[test]
 fn timed_sweep_json_sha256_is_pinned() {
-    let report = run_sweep(&timed_honest_sweep(1));
+    let report = run_sweep(&timed_honest_sweep(1)).expect("valid spec");
     assert_eq!(
         sha256_hex(report.to_json().as_bytes()),
         "bc81febbb00a984ffa78755683790b2316adc18fa2d0ac457687a1e99ade83f3"
     );
-    let report = run_sweep(&timed_attack_sweep(1));
+    let report = run_sweep(&timed_attack_sweep(1)).expect("valid spec");
     assert_eq!(
         sha256_hex(report.to_json().as_bytes()),
         "1ca6ba58d1ae104512965cf239b3cc3d4a51d1f3070c05bc6077f07d304d9c95"
@@ -429,16 +477,20 @@ fn timed_sweep_json_sha256_is_pinned() {
 /// scheduling trials across workers cannot reorder anything observable.
 #[test]
 fn timed_sweeps_are_thread_count_invariant() {
-    let honest = run_sweep(&timed_honest_sweep(1));
-    let attack = run_sweep(&timed_attack_sweep(1));
+    let honest = run_sweep(&timed_honest_sweep(1)).expect("valid spec");
+    let attack = run_sweep(&timed_attack_sweep(1)).expect("valid spec");
     for threads in [2, 8] {
         assert_eq!(
-            run_sweep(&timed_honest_sweep(threads)).to_json(),
+            run_sweep(&timed_honest_sweep(threads))
+                .expect("valid spec")
+                .to_json(),
             honest.to_json(),
             "honest threads={threads}"
         );
         assert_eq!(
-            run_sweep(&timed_attack_sweep(threads)).to_json(),
+            run_sweep(&timed_attack_sweep(threads))
+                .expect("valid spec")
+                .to_json(),
             attack.to_json(),
             "attack threads={threads}"
         );

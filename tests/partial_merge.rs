@@ -1,0 +1,173 @@
+//! Property-based tests of the crash-safe partial-report algebra.
+//!
+//! The resilience layer's contract is *byte-identity*: however a sweep's
+//! trial range is split — shards, checkpoint chunks, thread counts — the
+//! merged [`ReportPartial`] must [`finish`](ReportPartial::finish) to the
+//! exact JSON of the monolithic run, and `merge` must be associative so
+//! the fold order never matters. These properties are what make
+//! `fle_lab sweep --shard I/K` + `merge-reports` and checkpoint/resume
+//! sound; this suite searches for counterexamples instead of trusting
+//! three hand-picked split points.
+
+use fle_harness::{
+    run_sweep, run_sweep_partial, AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep,
+    ProtocolKind, ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
+};
+use proptest::prelude::*;
+
+const TRIALS: u64 = 48;
+
+/// A small honest sweep — cheap enough for many proptest cases in debug.
+fn honest_spec(threads: usize) -> SweepSpec {
+    SweepSpec::Honest(HonestSweep {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 8,
+        fn_key: 9,
+        batch: BatchConfig {
+            trials: TRIALS,
+            base_seed: 1,
+            threads,
+        },
+        schedule: ScheduleSpec::Fifo,
+    })
+}
+
+/// A small adversarial sweep (the Theorem 4.2 rushing cell).
+fn attack_spec(threads: usize) -> SweepSpec {
+    SweepSpec::Attack(AttackSweep {
+        attack: fle_attacks::AttackKind::Rushing,
+        n: 16,
+        fn_key: FnKeySpec::Fixed(0),
+        batch: BatchConfig {
+            trials: TRIALS,
+            base_seed: 1,
+            threads,
+        },
+        coalition: CoalitionSpec::EquallySpaced { k: 4, offset: 1 },
+        target: TargetSpec::Fixed(3),
+        seed_mode: SeedMode::Derived,
+        schedule: ScheduleSpec::Fifo,
+    })
+}
+
+/// Splits `0..TRIALS` at the (sorted) cut points and runs each segment as
+/// its own partial, then merges them back *last to first* so the fold
+/// also exercises out-of-order merging. Empty segments are kept — merging
+/// an empty partial must be a no-op, not an error.
+fn run_split(spec: &SweepSpec, cuts: &mut [u64]) -> ReportPartial {
+    cuts.sort_unstable();
+    let mut bounds = vec![0u64];
+    bounds.extend_from_slice(cuts);
+    bounds.push(TRIALS);
+    let parts: Vec<ReportPartial> = bounds
+        .windows(2)
+        .map(|w| run_sweep_partial(spec, w[0], w[1]).expect("valid range"))
+        .collect();
+    let mut merged = parts.last().expect("at least one segment").clone();
+    for part in parts.iter().rev().skip(1) {
+        merged.merge(part).expect("disjoint segments");
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any split of an honest sweep's range, at any thread count, merges
+    /// and finishes to the monolithic run's exact bytes.
+    #[test]
+    fn honest_any_split_finishes_byte_identical(
+        a in 0..TRIALS + 1,
+        b in 0..TRIALS + 1,
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1, 2, 8][threads_idx];
+        let spec = honest_spec(threads);
+        let monolithic = run_sweep(&spec).expect("valid spec");
+        let merged = run_split(&spec, &mut [a, b]);
+        let report = merged.finish().expect("full coverage");
+        prop_assert_eq!(report.to_json(), monolithic.to_json());
+        prop_assert_eq!(report.to_csv(), monolithic.to_csv());
+    }
+
+    /// The same byte-identity for attack sweeps (success/infeasible
+    /// bookkeeping and the Wilson-CI arm included).
+    #[test]
+    fn attack_any_split_finishes_byte_identical(
+        a in 0..TRIALS + 1,
+        b in 0..TRIALS + 1,
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1, 2, 8][threads_idx];
+        let spec = attack_spec(threads);
+        let monolithic = run_sweep(&spec).expect("valid spec");
+        let merged = run_split(&spec, &mut [a, b]);
+        let report = merged.finish().expect("full coverage");
+        prop_assert_eq!(report.to_json(), monolithic.to_json());
+        prop_assert_eq!(report.to_csv(), monolithic.to_csv());
+    }
+
+    /// `merge` is associative: `(a + b) + c == a + (b + c)` for any three
+    /// disjoint segments — so shard files can be folded in any grouping.
+    #[test]
+    fn merge_is_associative(a in 0..TRIALS + 1, b in 0..TRIALS + 1) {
+        let spec = honest_spec(1);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pa = run_sweep_partial(&spec, 0, lo).expect("valid range");
+        let pb = run_sweep_partial(&spec, lo, hi).expect("valid range");
+        let pc = run_sweep_partial(&spec, hi, TRIALS).expect("valid range");
+
+        let mut left = pa.clone();
+        left.merge(&pb).expect("disjoint");
+        left.merge(&pc).expect("disjoint");
+
+        let mut bc = pb.clone();
+        bc.merge(&pc).expect("disjoint");
+        let mut right = pa.clone();
+        right.merge(&bc).expect("disjoint");
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    /// Proportional `I/K` sharding (what `fle_lab sweep --shard` uses)
+    /// reassembles exactly for any shard count, shards merged in rotated
+    /// order.
+    #[test]
+    fn any_shard_count_reassembles(k in 1u64..9, rot in 0usize..8, attack in any::<bool>()) {
+        let spec = if attack { attack_spec(1) } else { honest_spec(1) };
+        let monolithic = run_sweep(&spec).expect("valid spec");
+        let parts: Vec<ReportPartial> = (0..k)
+            .map(|i| {
+                let lo = (i as u128 * TRIALS as u128 / k as u128) as u64;
+                let hi = ((i + 1) as u128 * TRIALS as u128 / k as u128) as u64;
+                run_sweep_partial(&spec, lo, hi).expect("valid range")
+            })
+            .collect();
+        let rot = rot % parts.len();
+        let mut merged = parts[rot].clone();
+        for i in 1..parts.len() {
+            merged.merge(&parts[(rot + i) % parts.len()]).expect("disjoint shards");
+        }
+        let report = merged.finish().expect("full coverage");
+        prop_assert_eq!(report.to_json(), monolithic.to_json());
+    }
+
+    /// Shard partials survive their JSON wire format: parse ∘ serialize
+    /// is the identity, and merging *parsed* shards still reassembles the
+    /// monolithic bytes — exactly the `merge-reports` code path.
+    #[test]
+    fn shard_json_round_trip_preserves_merge(cut in 0..TRIALS + 1, attack in any::<bool>()) {
+        let spec = if attack { attack_spec(1) } else { honest_spec(1) };
+        let monolithic = run_sweep(&spec).expect("valid spec");
+        let left = run_sweep_partial(&spec, 0, cut).expect("valid range");
+        let right = run_sweep_partial(&spec, cut, TRIALS).expect("valid range");
+        let mut parsed_left = ReportPartial::parse_json(&left.to_json()).expect("round trip");
+        let parsed_right = ReportPartial::parse_json(&right.to_json()).expect("round trip");
+        prop_assert_eq!(&parsed_left, &left);
+        prop_assert_eq!(&parsed_right, &right);
+        parsed_left.merge(&parsed_right).expect("disjoint shards");
+        let report = parsed_left.finish().expect("full coverage");
+        prop_assert_eq!(report.to_json(), monolithic.to_json());
+    }
+}
