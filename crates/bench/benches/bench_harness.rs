@@ -74,6 +74,7 @@ fn bench(c: &mut Criterion) {
                     base_seed: 1,
                     threads,
                 },
+                batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
             })
         };

@@ -85,6 +85,12 @@ impl ALeadUni {
         self.seed
     }
 
+    /// The pinned honest values installed by [`ALeadUni::with_values`],
+    /// if any — read by the batch-lockstep builder.
+    pub(crate) fn pinned_values(&self) -> Option<&[u64]> {
+        self.values.as_deref()
+    }
+
     /// Builds the honest node for position `id` (origin at 0) as a boxed
     /// trait object (for heterogeneous protocol/attack mixes).
     pub fn honest_node(&self, id: NodeId) -> Box<dyn Node<u64>> {

@@ -17,6 +17,7 @@
 
 mod a_lead_uni;
 mod basic_lead;
+mod batch;
 mod phase;
 mod phase_indexed;
 mod sync_lead;
@@ -25,6 +26,10 @@ mod wakeup;
 
 pub use a_lead_uni::{ALeadNode, ALeadTrialCache, ALeadUni};
 pub use basic_lead::{BasicLead, BasicNode, BasicTrialCache};
+pub use batch::{
+    run_ring_honest_batch_into, ALeadBatchCache, BasicBatchCache, BatchALeadNode, BatchBasicNode,
+    BatchPhaseNode, PhaseBatchCache,
+};
 pub use phase::{phase_async_builds, PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead};
 pub use phase_indexed::{IndexedMsg, IndexedPhaseLead};
 pub use sync_lead::{SyncFixedValue, SyncLead, SyncWaitAndCancel};

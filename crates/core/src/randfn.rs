@@ -84,6 +84,75 @@ impl RandomFn {
     }
 }
 
+/// A precomputed evaluation table for [`RandomFn`] at one fixed input
+/// shape `(data_len, vals_len)`.
+///
+/// [`RandomFn::eval`] recomputes the key/length absorption prefix and the
+/// per-position domain-separation terms on every call. Within one sweep
+/// configuration those are constants — every honest trial of a
+/// `(protocol, n)` pair evaluates `f` on the same shape — so the batched
+/// engine hoists them once per configuration and evaluates lanes with
+/// [`EvalTable::eval_strided`] straight out of slot-major
+/// structure-of-arrays storage, no gather copy required.
+///
+/// Produces bit-identical results to [`RandomFn::eval`] for the shape it
+/// was built for.
+#[derive(Debug, Clone)]
+pub struct EvalTable {
+    /// Hash state after absorbing the key and the `data` length term.
+    prefix: u64,
+    /// `data_pos[i] = i · DOMAIN_DATA` — the position term of `data[i]`.
+    data_pos: Vec<u64>,
+    /// The `vals` length absorption term.
+    vals_len_term: u64,
+    /// `vals_pos[i] = i · DOMAIN_VALS` — the position term of `vals[i]`.
+    vals_pos: Vec<u64>,
+    range: u64,
+}
+
+impl EvalTable {
+    /// Precomputes the table of `f` for inputs of exactly `data_len` data
+    /// values and `vals_len` validation values.
+    pub fn new(f: &RandomFn, data_len: usize, vals_len: usize) -> Self {
+        let mut prefix = mix(f.key ^ DOMAIN_INIT);
+        prefix = mix(prefix ^ (data_len as u64).wrapping_mul(DOMAIN_DATA));
+        Self {
+            prefix,
+            data_pos: (0..data_len as u64)
+                .map(|i| i.wrapping_mul(DOMAIN_DATA))
+                .collect(),
+            vals_len_term: (vals_len as u64).wrapping_mul(DOMAIN_VALS),
+            vals_pos: (0..vals_len as u64)
+                .map(|i| i.wrapping_mul(DOMAIN_VALS))
+                .collect(),
+            range: f.range,
+        }
+    }
+
+    /// Evaluates `f` for one lane of slot-major storage: the `i`-th data
+    /// value is `data[i * stride + lane]` and the `i`-th validation value
+    /// is `vals[i * stride + lane]`.
+    ///
+    /// Equals `RandomFn::eval` on the gathered inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if the slices are shorter than the
+    /// table's shape requires, or if `lane >= stride`.
+    pub fn eval_strided(&self, data: &[u64], vals: &[u64], stride: usize, lane: usize) -> u64 {
+        assert!(lane < stride, "lane {lane} out of stride {stride}");
+        let mut h = self.prefix;
+        for (i, &pos) in self.data_pos.iter().enumerate() {
+            h = mix(h ^ mix(data[i * stride + lane] ^ pos));
+        }
+        h = mix(h ^ self.vals_len_term);
+        for (i, &pos) in self.vals_pos.iter().enumerate() {
+            h = mix(h ^ mix(vals[i * stride + lane] ^ pos));
+        }
+        h % self.range
+    }
+}
+
 /// Parameters of the phase-validation protocol family, derived from `n`
 /// (paper Section 6): `m = 2n²` and `l = ⌈10√n⌉`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,5 +264,28 @@ mod tests {
     #[should_panic(expected = "range must be positive")]
     fn zero_range_panics() {
         let _ = RandomFn::new(1, 0);
+    }
+
+    #[test]
+    fn eval_table_matches_eval_across_shapes_and_lanes() {
+        let mut rng = ring_sim::rng::SplitMix64::new(0xeaa1);
+        for &(data_len, vals_len) in &[(0usize, 0usize), (1, 0), (0, 1), (4, 1), (8, 3), (64, 1)] {
+            let f = RandomFn::new(rng.next_u64(), 1 + rng.next_below(1 << 20));
+            let table = EvalTable::new(&f, data_len, vals_len);
+            for &stride in &[1usize, 2, 7, 8] {
+                // Slot-major storage: stride lanes of random inputs.
+                let data: Vec<u64> = (0..data_len * stride).map(|_| rng.next_u64()).collect();
+                let vals: Vec<u64> = (0..vals_len * stride).map(|_| rng.next_u64()).collect();
+                for lane in 0..stride {
+                    let d: Vec<u64> = (0..data_len).map(|i| data[i * stride + lane]).collect();
+                    let v: Vec<u64> = (0..vals_len).map(|i| vals[i * stride + lane]).collect();
+                    assert_eq!(
+                        table.eval_strided(&data, &vals, stride, lane),
+                        f.eval(&d, &v),
+                        "shape ({data_len},{vals_len}) stride {stride} lane {lane}"
+                    );
+                }
+            }
+        }
     }
 }

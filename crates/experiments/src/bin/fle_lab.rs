@@ -13,7 +13,8 @@
 //! fle-lab sweep ... --checkpoint state.json --checkpoint-every 1000
 //! fle-lab sweep ... --shard 0/4 > part0.json  # one shard of the range
 //! fle-lab merge-reports part0.json part1.json part2.json part3.json
-//! fle-lab bench-baseline --out BENCH_8.json   # perf trajectory snapshot
+//! fle-lab sweep ... --batch 8                 # lockstep-batched honest path
+//! fle-lab bench-baseline --out BENCH_9.json   # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic honest `fle-harness`
@@ -48,7 +49,7 @@ use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
     run_sweep, run_sweep_checkpointed, run_sweep_partial, set_default_threads, sha256_hex,
     AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, LatencySpec, ProtocolKind,
-    ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
+    ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec, DEFAULT_BATCH_WIDTH,
 };
 
 fn print_registry() {
@@ -62,7 +63,8 @@ fn print_registry() {
          \x20 fle-lab --list\n\
          \x20       print this registry\n\
          \x20 fle-lab sweep --protocol <basic|alead|phase|phasesum> --n <N>\n\
-         \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--format json|csv]\n\
+         \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--batch K]\n\
+         \x20       [--format json|csv]\n\
          \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
          \x20       [--checkpoint FILE [--checkpoint-every N]] [--shard I/K]\n\
          \x20       one deterministic honest batch; report on stdout\n\
@@ -85,7 +87,7 @@ fn print_registry() {
          \x20     <dist>: const:NS | uniform:LO:HI | twopoint:LO:HI:PERMILLE   (ns draws;\n\
          \x20             any of --latency/--loss/--dup selects the timed scheduler)\n\
          \x20 fle-lab bench-baseline [--out PATH] [--quick]\n\
-         \x20       write the per-PR perf snapshot (default BENCH_8.json)"
+         \x20       write the per-PR perf snapshot (default BENCH_9.json)"
     );
 }
 
@@ -287,6 +289,7 @@ fn run_sweep_cli(args: &[String]) {
         threads: 0,
     };
     let mut fn_key = 0u64;
+    let mut batch_width = 0usize;
     let mut format = String::from("json");
     let mut latency: Option<LatencySpec> = None;
     let mut loss: Option<u32> = None;
@@ -358,6 +361,10 @@ fn run_sweep_cli(args: &[String]) {
                 fn_key = parse_arg(args, i + 1, "--fn-key");
                 i += 2;
             }
+            "--batch" | "-b" => {
+                batch_width = parse_arg(args, i + 1, "--batch");
+                i += 2;
+            }
             "--format" | "-f" => {
                 format = parse_arg(args, i + 1, "--format");
                 i += 2;
@@ -382,6 +389,7 @@ fn run_sweep_cli(args: &[String]) {
         n,
         fn_key,
         batch,
+        batch_width,
         schedule: schedule_from_flags(latency, loss, dup),
     });
     if let Err(e) = spec.validate() {
@@ -766,6 +774,30 @@ const PR7_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
     ("phase_rushing_n16", 24_161.1),
 ];
 
+/// The PR 8 snapshot (`BENCH_8.json`) — the previous point of the
+/// trajectory (crash-safe sweeps), so each new snapshot records its
+/// *incremental* improvement.
+const PR8_NS_PER_TRIAL: [(&str, f64); 3] = [
+    ("phase_n8", 2_720.8),
+    ("phase_n64", 156_406.9),
+    ("alead_n64", 73_016.5),
+];
+
+/// The PR 8 snapshot's attack-arm timings, kept for trajectory
+/// comparisons.
+const PR8_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
+    ("basic_single_n32", 15_151.1),
+    ("phase_rushing_n16", 23_738.9),
+];
+
+/// The PR 8 snapshot's scalar `phase_n64` ns/delivery — the baseline the
+/// lockstep batch arm diffs against.
+const PR8_PHASE_N64_NS_PER_DELIVERY: f64 = 19.1;
+
+/// How many times each measured sweep arm runs; the snapshot records the
+/// median, so one noisy run can't skew the trajectory.
+const BENCH_REPEATS: usize = 5;
+
 /// Times `trial(seed)` over `trials` harness-derived seeds and returns
 /// ns/trial, after a warmup tenth (so page faults, lazy init and cache
 /// fills don't bill the measured run).
@@ -898,8 +930,9 @@ fn bench_attack_sweep(quick: bool) -> (f64, f64, u64) {
     (sweep_ns, loop_ns, trials)
 }
 
-/// Times one single-threaded honest sweep and returns ns/trial.
-fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
+/// Times one single-threaded honest sweep at the given lockstep width
+/// and returns the median ns/trial over [`BENCH_REPEATS`] runs.
+fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64, batch_width: usize) -> f64 {
     let cfg = HonestSweep {
         protocol,
         n,
@@ -909,10 +942,11 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
             base_seed: 1,
             threads: 1,
         },
+        batch_width,
         schedule: ScheduleSpec::Fifo,
     };
     // One short warmup batch so page faults and lazy init don't bill the
-    // measured run.
+    // measured runs.
     let _ = run_sweep(&SweepSpec::Honest(HonestSweep {
         batch: BatchConfig {
             trials: (trials / 10).max(1),
@@ -921,9 +955,15 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64) -> f64 {
         ..cfg
     }))
     .expect("valid spec");
-    let start = std::time::Instant::now();
-    let _ = run_sweep(&SweepSpec::Honest(cfg)).expect("valid spec");
-    start.elapsed().as_secs_f64() * 1e9 / trials as f64
+    let mut runs: Vec<f64> = (0..BENCH_REPEATS)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let _ = run_sweep(&SweepSpec::Honest(cfg)).expect("valid spec");
+            start.elapsed().as_secs_f64() * 1e9 / trials as f64
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
 }
 
 /// Deliveries per trial of one honest workload, counted from a real
@@ -961,6 +1001,7 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
             base_seed: 1,
             threads: 1,
         },
+        batch_width: 1,
         schedule: ScheduleSpec::Timed {
             latency: LatencySpec::Constant { ns: 500 },
             loss_permille: 0,
@@ -987,7 +1028,7 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
 }
 
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_8.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -1023,7 +1064,9 @@ fn run_bench_baseline(args: &[String]) {
     let mut deliveries: Vec<(&str, f64)> = Vec::new();
     let mut ns_per_delivery: Vec<(&str, f64)> = Vec::new();
     for (key, protocol, n, trials) in workloads {
-        let ns = time_sweep(protocol, n, trials);
+        // Width 1: the trajectory table stays scalar-vs-scalar; the
+        // lockstep engine gets its own `batch_sweep` arm below.
+        let ns = time_sweep(protocol, n, trials, 1);
         let per_trial = deliveries_per_trial(protocol, n);
         let per_delivery = ns / per_trial as f64;
         eprintln!(
@@ -1038,7 +1081,7 @@ fn run_bench_baseline(args: &[String]) {
     // sweep, wall-clock plus output fingerprint (the sha proves the timed
     // run produced the golden bytes).
     let sweep_trials = 10_000 / scale;
-    let sweep_spec = SweepSpec::Honest(HonestSweep {
+    let honest_phase_n64 = HonestSweep {
         protocol: ProtocolKind::PhaseAsyncLead,
         n: 64,
         fn_key: 0,
@@ -1047,8 +1090,10 @@ fn run_bench_baseline(args: &[String]) {
             base_seed: 1,
             threads: 1,
         },
+        batch_width: 1,
         schedule: ScheduleSpec::Fifo,
-    });
+    };
+    let sweep_spec = SweepSpec::Honest(honest_phase_n64);
     let start = std::time::Instant::now();
     let report = run_sweep(&sweep_spec).expect("valid spec");
     let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -1098,6 +1143,35 @@ fn run_bench_baseline(args: &[String]) {
          {untimed_phase_n64_nd:.2} untimed → {timed_overhead_ratio:.2}x]"
     );
 
+    // The lockstep batch arm: the same 10k-trial phase_n64 sweep through
+    // the structure-of-arrays engine at the default width, timed like the
+    // trajectory workloads (median of repeats). The sha check proves the
+    // batched path produced the byte-identical golden report.
+    let batch_width = DEFAULT_BATCH_WIDTH;
+    let batched_ns = time_sweep(ProtocolKind::PhaseAsyncLead, 64, sweep_trials, batch_width);
+    let batched_report = run_sweep(&SweepSpec::Honest(HonestSweep {
+        batch_width,
+        ..honest_phase_n64
+    }))
+    .expect("valid spec");
+    let batched_sha = sha256_hex(batched_report.to_json().as_bytes());
+    assert_eq!(
+        batched_sha, sweep_sha,
+        "batched sweep diverged from the scalar run"
+    );
+    let phase_n64_deliveries = deliveries
+        .iter()
+        .find(|(k, _)| *k == "phase_n64")
+        .map(|&(_, v)| v)
+        .expect("phase_n64 is a bench workload");
+    let batched_nd = batched_ns / phase_n64_deliveries;
+    let batch_improvement_pct = (1.0 - batched_nd / PR8_PHASE_N64_NS_PER_DELIVERY) * 100.0;
+    eprintln!(
+        "  [bench-baseline batch_sweep phase_n64 (width {batch_width}): {batched_ns:.0} ns/trial \
+         → {batched_nd:.2} ns/delivery vs {PR8_PHASE_N64_NS_PER_DELIVERY:.1} scalar PR8 \
+         → {batch_improvement_pct:+.1}%]"
+    );
+
     let fmt_map = |entries: &[(&str, f64)]| {
         entries
             .iter()
@@ -1125,18 +1199,20 @@ fn run_bench_baseline(args: &[String]) {
     let improvements_pr5 = improve_against(&PR5_NS_PER_TRIAL, &measured);
     let improvements_pr6 = improve_against(&PR6_NS_PER_TRIAL, &measured);
     let improvements_pr7 = improve_against(&PR7_NS_PER_TRIAL, &measured);
+    let improvements_pr8 = improve_against(&PR8_NS_PER_TRIAL, &measured);
     let attack_improvements = improve_against(&attack_base, &attack_fast);
     let attack_improvements_pr4 = improve_against(&PR4_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr5 = improve_against(&PR5_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr6 = improve_against(&PR6_ATTACK_NS_PER_TRIAL, &attack_fast);
     let attack_improvements_pr7 = improve_against(&PR7_ATTACK_NS_PER_TRIAL, &attack_fast);
+    let attack_improvements_pr8 = improve_against(&PR8_ATTACK_NS_PER_TRIAL, &attack_fast);
     let json = format!(
         concat!(
-            "{{\"bench\":\"{}\",\"description\":\"crash-safe sweeps ",
-            "(mergeable partials, checkpoint/resume, sharding) over the ",
-            "timed + fused-stream arena/mono engine, single thread, ns per ",
-            "trial\",",
+            "{{\"bench\":\"{}\",\"description\":\"lockstep-batched SoA honest ",
+            "fast path over the crash-safe timed + fused-stream arena/mono ",
+            "engine, single thread, median ns per trial\",",
             "\"quick\":{},",
+            "\"repeats\":{},",
             "\"ns_per_trial\":{{{}}},",
             "\"deliveries_per_trial\":{{{}}},",
             "\"ns_per_delivery\":{{{}}},",
@@ -1146,23 +1222,27 @@ fn run_bench_baseline(args: &[String]) {
             "\"baseline_pr5_ns_per_trial\":{{{}}},",
             "\"baseline_pr6_ns_per_trial\":{{{}}},",
             "\"baseline_pr7_ns_per_trial\":{{{}}},",
+            "\"baseline_pr8_ns_per_trial\":{{{}}},",
             "\"improvement_pct\":{{{}}},",
             "\"improvement_vs_pr3_pct\":{{{}}},",
             "\"improvement_vs_pr4_pct\":{{{}}},",
             "\"improvement_vs_pr5_pct\":{{{}}},",
             "\"improvement_vs_pr6_pct\":{{{}}},",
             "\"improvement_vs_pr7_pct\":{{{}}},",
+            "\"improvement_vs_pr8_pct\":{{{}}},",
             "\"attack_ns_per_trial\":{{{}}},",
             "\"attack_simbuilder_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr4_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr5_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr6_ns_per_trial\":{{{}}},",
             "\"attack_baseline_pr7_ns_per_trial\":{{{}}},",
+            "\"attack_baseline_pr8_ns_per_trial\":{{{}}},",
             "\"attack_improvement_pct\":{{{}}},",
             "\"attack_improvement_vs_pr4_pct\":{{{}}},",
             "\"attack_improvement_vs_pr5_pct\":{{{}}},",
             "\"attack_improvement_vs_pr6_pct\":{{{}}},",
             "\"attack_improvement_vs_pr7_pct\":{{{}}},",
+            "\"attack_improvement_vs_pr8_pct\":{{{}}},",
             "\"attack_sweep\":{{\"workload\":\"rushing_alead_n16\",\"trials\":{},",
             "\"ns_per_trial\":{:.1},\"simbuilder_loop_ns_per_trial\":{:.1},",
             "\"improvement_vs_pr5_pct\":{:.1}}},",
@@ -1170,6 +1250,11 @@ fn run_bench_baseline(args: &[String]) {
             "\"ns_per_trial\":{:.1},\"deliveries_per_trial\":{:.1},",
             "\"ns_per_delivery\":{:.2},\"untimed_ns_per_delivery\":{:.2},",
             "\"overhead_ratio\":{:.2}}},",
+            "\"batch_sweep\":{{\"workload\":\"phase_n64\",\"trials\":{},",
+            "\"batch_width\":{},\"ns_per_trial_batched\":{:.1},",
+            "\"ns_per_delivery_batched\":{:.2},",
+            "\"scalar_pr8_ns_per_delivery\":{:.2},",
+            "\"improvement_vs_pr8_pct\":{:.1},\"json_sha256\":\"{}\"}},",
             "\"checkpoint_sweep\":{{\"workload\":\"phase_n64\",\"trials\":{},",
             "\"every\":{},\"wall_ms\":{:.1},\"plain_wall_ms\":{:.1},",
             "\"overhead_pct\":{:.2}}},",
@@ -1177,6 +1262,7 @@ fn run_bench_baseline(args: &[String]) {
         ),
         label,
         quick,
+        BENCH_REPEATS,
         fmt_map(&measured),
         fmt_map(&deliveries),
         fmt_map(&ns_per_delivery),
@@ -1186,23 +1272,27 @@ fn run_bench_baseline(args: &[String]) {
         fmt_map(&PR5_NS_PER_TRIAL),
         fmt_map(&PR6_NS_PER_TRIAL),
         fmt_map(&PR7_NS_PER_TRIAL),
+        fmt_map(&PR8_NS_PER_TRIAL),
         fmt_map(&improvements),
         fmt_map(&improvements_pr3),
         fmt_map(&improvements_pr4),
         fmt_map(&improvements_pr5),
         fmt_map(&improvements_pr6),
         fmt_map(&improvements_pr7),
+        fmt_map(&improvements_pr8),
         fmt_map(&attack_fast),
         fmt_map(&attack_base),
         fmt_map(&PR4_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR5_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR6_ATTACK_NS_PER_TRIAL),
         fmt_map(&PR7_ATTACK_NS_PER_TRIAL),
+        fmt_map(&PR8_ATTACK_NS_PER_TRIAL),
         fmt_map(&attack_improvements),
         fmt_map(&attack_improvements_pr4),
         fmt_map(&attack_improvements_pr5),
         fmt_map(&attack_improvements_pr6),
         fmt_map(&attack_improvements_pr7),
+        fmt_map(&attack_improvements_pr8),
         attack_sweep_trials,
         attack_sweep_ns,
         attack_loop_ns,
@@ -1213,6 +1303,13 @@ fn run_bench_baseline(args: &[String]) {
         timed_ns_per_delivery,
         untimed_phase_n64_nd,
         timed_overhead_ratio,
+        sweep_trials,
+        batch_width,
+        batched_ns,
+        batched_nd,
+        PR8_PHASE_N64_NS_PER_DELIVERY,
+        batch_improvement_pct,
+        batched_sha,
         sweep_trials,
         checkpoint_every,
         checkpoint_ms,

@@ -25,6 +25,7 @@ fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
             base_seed: 0,
             threads: 0,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     }))
     .expect("valid spec");

@@ -146,6 +146,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             base_seed: 0,
             threads: 0,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     }))
     .expect("valid spec");

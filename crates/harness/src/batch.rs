@@ -2,7 +2,7 @@
 
 use crate::trial_seed;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Process-wide default worker count used when [`BatchConfig::threads`] is
 /// 0. Itself 0 means "ask [`std::thread::available_parallelism`]".
@@ -166,6 +166,143 @@ pub fn run_batch_range<W, T: Send>(
             });
         }
     });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Process-wide count of trials that completed on a lockstep batch fast
+/// path (a [`run_batch_range_grouped`] group that returned `true`).
+/// Instrumentation only — tests assert lower bounds to prove batching
+/// engaged; never compare exactly (parallel test runs share it).
+static BATCHED_TRIALS: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide number of trials served by lockstep groups so far
+/// (see `BATCHED_TRIALS` above).
+pub fn batched_trials() -> u64 {
+    BATCHED_TRIALS.load(Ordering::Relaxed)
+}
+
+/// [`run_batch_range`] with a group fast path: within each worker's
+/// contiguous piece, full `width`-trial groups are attempted through
+/// `group` first, and only the pieces the fast path cannot serve — a
+/// group that returns `false` (diverged), panics, or under-fills, and the
+/// ragged tail shorter than `width` — run through the scalar `trial`
+/// closure.
+///
+/// `group(worker, group_start, out)` must either push exactly `width`
+/// results for global trials `group_start..group_start + width` (in
+/// order) and return `true`, or return `false` leaving the batch
+/// attempt's results unused. Groups are aligned to each worker piece's
+/// start, and the pieces are the same chunks [`run_batch_range`] uses —
+/// so for a given `(threads, start, end)` the scalar path serves exactly
+/// the same indices whether a checkpoint resume or shard split lands
+/// mid-chunk or not, and results are bit-identical to the all-scalar
+/// runner in every case.
+///
+/// A `width` of 0 or 1 delegates to [`run_batch_range`] unchanged.
+///
+/// # Panics
+///
+/// Panics if the range is not within `0..=cfg.trials`.
+pub fn run_batch_range_grouped<W, T: Send>(
+    cfg: &BatchConfig,
+    start: u64,
+    end: u64,
+    width: usize,
+    make_worker: impl Fn() -> W + Sync,
+    group: impl Fn(&mut W, u64, &mut Vec<T>) -> bool + Sync,
+    trial: impl Fn(&mut W, u64, u64) -> T + Sync,
+) -> Vec<Result<T, TrialFault>> {
+    if width <= 1 {
+        return run_batch_range(cfg, start, end, make_worker, trial);
+    }
+    assert!(
+        start <= end && end <= cfg.trials,
+        "trial range {start}..{end} outside batch of {} trials",
+        cfg.trials
+    );
+    let len = end - start;
+    let threads = {
+        let t = if cfg.threads == 0 {
+            default_threads()
+        } else {
+            cfg.threads
+        };
+        t.clamp(1, len.max(1) as usize)
+    };
+    let base_seed = cfg.base_seed;
+    let run_one = |worker: &mut W, index: u64| -> Result<T, TrialFault> {
+        let seed = trial_seed(base_seed, index);
+        catch_unwind(AssertUnwindSafe(|| trial(worker, index, seed))).map_err(|payload| {
+            TrialFault {
+                index,
+                seed,
+                message: panic_message(payload),
+            }
+        })
+    };
+    // Serves one worker piece covering global trials
+    // `piece_start..piece_start + piece.len()`.
+    let run_piece = |piece: &mut [Option<Result<T, TrialFault>>], piece_start: u64| {
+        let mut worker = make_worker();
+        let mut buf: Vec<T> = Vec::with_capacity(width);
+        let mut i = 0usize;
+        while i < piece.len() {
+            let index = piece_start + i as u64;
+            if piece.len() - i >= width {
+                buf.clear();
+                let ok = catch_unwind(AssertUnwindSafe(|| group(&mut worker, index, &mut buf)));
+                match ok {
+                    Ok(true) if buf.len() == width => {
+                        BATCHED_TRIALS.fetch_add(width as u64, Ordering::Relaxed);
+                        for (j, result) in buf.drain(..).enumerate() {
+                            piece[i + j] = Some(Ok(result));
+                        }
+                        i += width;
+                        continue;
+                    }
+                    Ok(_) => {} // diverged (or under-filled): re-run scalar
+                    Err(_) => {
+                        // A panicking group may have left the worker's
+                        // cached state mid-trial; rebuild before the
+                        // scalar re-run (which attributes any persistent
+                        // fault to its exact trial).
+                        worker = make_worker();
+                    }
+                }
+                for j in 0..width {
+                    let result = run_one(&mut worker, index + j as u64);
+                    if result.is_err() {
+                        worker = make_worker();
+                    }
+                    piece[i + j] = Some(result);
+                }
+                i += width;
+            } else {
+                // Ragged tail shorter than the batch width: scalar.
+                let result = run_one(&mut worker, index);
+                if result.is_err() {
+                    worker = make_worker();
+                }
+                piece[i] = Some(result);
+                i += 1;
+            }
+        }
+    };
+    let mut slots: Vec<Option<Result<T, TrialFault>>> = (0..len).map(|_| None).collect();
+    if threads <= 1 || len <= 1 {
+        run_piece(&mut slots, start);
+    } else {
+        let chunk = slots.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, piece) in slots.chunks_mut(chunk).enumerate() {
+                let run_piece = &run_piece;
+                scope.spawn(move || run_piece(piece, start + (t * chunk) as u64));
+            }
+        });
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
@@ -374,6 +511,174 @@ mod tests {
                 assert!(i != 3, "boom");
             },
         );
+    }
+
+    /// The grouped runner with marker closures: group results are tagged
+    /// so tests can see exactly which indices took which path.
+    fn run_marked(
+        trials: u64,
+        start: u64,
+        end: u64,
+        width: usize,
+        threads: usize,
+        diverge_at: Option<u64>,
+        panic_at: Option<u64>,
+    ) -> Vec<(u64, &'static str)> {
+        let cfg = BatchConfig {
+            trials,
+            base_seed: 11,
+            threads,
+        };
+        run_batch_range_grouped(
+            &cfg,
+            start,
+            end,
+            width,
+            || (),
+            |(), gstart, out| {
+                if panic_at.is_some_and(|p| (gstart..gstart + width as u64).contains(&p)) {
+                    panic!("group panic");
+                }
+                if diverge_at.is_some_and(|d| (gstart..gstart + width as u64).contains(&d)) {
+                    return false;
+                }
+                out.extend((0..width as u64).map(|j| (gstart + j, "batch")));
+                true
+            },
+            |(), i, _seed| (i, "scalar"),
+        )
+        .into_iter()
+        .map(|r| r.expect("no scalar faults injected"))
+        .collect()
+    }
+
+    #[test]
+    fn grouped_runner_covers_every_index_in_order() {
+        for threads in [1, 2, 8] {
+            for width in [2, 7, 8, 64] {
+                let out = run_marked(100, 0, 100, width, threads, None, None);
+                assert_eq!(out.len(), 100);
+                for (i, (idx, _)) in out.iter().enumerate() {
+                    assert_eq!(*idx, i as u64, "threads={threads} width={width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tail_runs_scalar() {
+        // 10 trials at width 4, single thread: two full groups, then a
+        // 2-trial scalar tail.
+        let out = run_marked(10, 0, 10, 4, 1, None, None);
+        let tags: Vec<&str> = out.iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            tags,
+            ["batch"; 8]
+                .iter()
+                .chain(["scalar"; 2].iter())
+                .copied()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mid_range_start_realigns_groups_to_the_piece() {
+        // A checkpoint resume landing mid-chunk: the range 3..13 groups
+        // from 3 (3..7, 7..11) and runs 11..13 scalar — no group ever
+        // spans the resume point.
+        let out = run_marked(20, 3, 13, 4, 1, None, None);
+        assert_eq!(out[0], (3, "batch"));
+        assert_eq!(out[7], (10, "batch"));
+        assert_eq!(out[8], (11, "scalar"));
+        assert_eq!(out[9], (12, "scalar"));
+    }
+
+    #[test]
+    fn diverged_group_falls_back_to_scalar_for_exactly_its_trials() {
+        let out = run_marked(16, 0, 16, 4, 1, Some(6), None);
+        for (i, (idx, tag)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            let expect = if (4..8).contains(&i) {
+                "scalar"
+            } else {
+                "batch"
+            };
+            assert_eq!(*tag, expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn panicking_group_falls_back_to_scalar() {
+        for threads in [1, 2] {
+            let out = run_marked(16, 0, 16, 8, threads, None, Some(2));
+            for (i, (idx, tag)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64);
+                // Both thread counts form the groups 0..8 and 8..16 (one
+                // piece, or one piece each); the panic only hits the group
+                // containing index 2.
+                let expect = if i < 8 { "scalar" } else { "batch" };
+                assert_eq!(*tag, expect, "threads={threads} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_scalar_faults_attribute_to_their_trial() {
+        let cfg = BatchConfig {
+            trials: 8,
+            base_seed: 2,
+            threads: 1,
+        };
+        let out = run_batch_range_grouped(
+            &cfg,
+            0,
+            8,
+            4,
+            || (),
+            |(), _gstart, _out| false, // force scalar everywhere
+            |(), i, _seed| {
+                assert!(i != 5, "boom at 5");
+                i
+            },
+        );
+        for (i, slot) in out.iter().enumerate() {
+            if i == 5 {
+                let fault = slot.as_ref().expect_err("trial 5 fails");
+                assert_eq!(fault.index, 5);
+                assert_eq!(fault.seed, trial_seed(2, 5));
+            } else {
+                assert_eq!(*slot.as_ref().expect("healthy"), i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_counts_batched_trials() {
+        let before = batched_trials();
+        let _ = run_marked(32, 0, 32, 8, 1, None, None);
+        assert!(batched_trials() >= before + 32);
+    }
+
+    #[test]
+    fn width_one_delegates_to_scalar_runner() {
+        let cfg = BatchConfig {
+            trials: 6,
+            base_seed: 1,
+            threads: 2,
+        };
+        let grouped = run_batch_range_grouped(
+            &cfg,
+            0,
+            6,
+            1,
+            || (),
+            |(), _g, _o| panic!("group path must not run at width 1"),
+            |(), i, seed| i ^ seed,
+        );
+        let scalar = run_batch_range(&cfg, 0, 6, || (), |(), i, seed| i ^ seed);
+        let grouped: Vec<u64> = grouped.into_iter().map(|r| r.expect("ok")).collect();
+        let scalar: Vec<u64> = scalar.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(grouped, scalar);
     }
 
     #[test]

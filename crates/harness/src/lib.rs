@@ -50,6 +50,7 @@
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 2 },
+//!     batch_width: 0, // 0 = default lockstep width; results are width-invariant
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
 //! });
 //! let report = run_sweep(&spec).expect("valid spec");
@@ -61,6 +62,7 @@
 //!     n: 8,
 //!     fn_key: 9,
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 1 },
+//!     batch_width: 0,
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
 //! }))
 //! .expect("valid spec");
@@ -92,8 +94,8 @@ pub use attack::{
     run_attack_partial, run_attack_partial_with_net, run_attack_sweep, run_attack_sweep_with_net,
 };
 pub use batch::{
-    default_threads, par_seeds, run_batch, run_batch_range, set_default_threads, BatchConfig,
-    TrialFault,
+    batched_trials, default_threads, par_seeds, run_batch, run_batch_range,
+    run_batch_range_grouped, set_default_threads, BatchConfig, TrialFault,
 };
 pub use checkpoint::{
     run_sweep_checkpointed, write_checkpoint, CheckpointedRun, SweepCheckpoint, CHECKPOINT_FORMAT,
@@ -114,6 +116,7 @@ pub use spec::{
 pub use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
 pub use sweep::{
     run_honest_partial, run_honest_sweep, run_sweep, run_sweep_partial, HonestSweep, ProtocolKind,
+    DEFAULT_BATCH_WIDTH, MAX_BATCH_WIDTH,
 };
 pub use tree::{run_tree_partial, run_tree_sweep};
 

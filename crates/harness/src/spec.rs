@@ -9,7 +9,7 @@
 //! actionable errors *before* any trial runs.
 
 use crate::json::Json;
-use crate::sweep::{HonestSweep, ProtocolKind};
+use crate::sweep::{HonestSweep, ProtocolKind, MAX_BATCH_WIDTH};
 use crate::BatchConfig;
 use fle_attacks::{build_runner, cubic_distances, AttackKind};
 use fle_core::Coalition;
@@ -739,9 +739,15 @@ impl SweepSpec {
                     ScheduleSpec::Fifo => String::new(),
                     s => format!(",\"schedule\":{}", s.to_json()),
                 };
+                // `batch_width: 0` (the default) is omitted so specs
+                // written before lockstep batching round-trip byte-identically.
+                let batch_width = match h.batch_width {
+                    0 => String::new(),
+                    w => format!(",\"batch_width\":{w}"),
+                };
                 format!(
                     "{{\"sweep\":\"honest\",\"protocol\":\"{}\",\"n\":{},\"fn_key\":{},\
-                     \"trials\":{},\"base_seed\":{},\"threads\":{}{schedule}}}",
+                     \"trials\":{},\"base_seed\":{},\"threads\":{}{batch_width}{schedule}}}",
                     protocol_key(h.protocol),
                     h.n,
                     h.fn_key,
@@ -804,16 +810,24 @@ impl SweepSpec {
                         "trials",
                         "base_seed",
                         "threads",
+                        "batch_width",
                         "schedule",
                     ],
                     "honest sweep",
                 )?;
                 let protocol: ProtocolKind = req_str(&v, "protocol", "honest sweep")?.parse()?;
+                let batch_width = opt_u64(&v, "batch_width", 0)? as usize;
+                if batch_width > MAX_BATCH_WIDTH {
+                    return Err(format!(
+                        "honest sweep: \"batch_width\" must be at most {MAX_BATCH_WIDTH}"
+                    ));
+                }
                 Ok(SweepSpec::Honest(HonestSweep {
                     protocol,
                     n: req_usize(&v, "n", "honest sweep")?,
                     fn_key: opt_u64(&v, "fn_key", 0)?,
                     batch: parse_batch(&v)?,
+                    batch_width,
                     schedule: parse_schedule(&v)?,
                 }))
             }
@@ -1097,6 +1111,7 @@ mod tests {
                 base_seed: 1,
                 threads: 0,
             },
+            batch_width: 0,
             schedule: ScheduleSpec::Fifo,
         });
         let tree = SweepSpec::TreeDictator(TreeSweep {
@@ -1154,6 +1169,7 @@ mod tests {
                 base_seed: 0,
                 threads: 0,
             },
+            batch_width: 0,
             schedule: ScheduleSpec::Timed {
                 latency: LatencySpec::Uniform { lo: 0, hi: 50 },
                 loss_permille: 0,
@@ -1177,6 +1193,7 @@ mod tests {
                     base_seed: 0,
                     threads: 0,
                 },
+                batch_width: 0,
                 schedule,
             })
         };

@@ -3,12 +3,13 @@
 use crate::partial::ReportPartial;
 use crate::spec::{ScheduleSpec, SweepSpec};
 use crate::{
-    run_attack_partial, run_attack_sweep, run_batch_range, run_tree_partial, run_tree_sweep,
-    BatchConfig, TrialFault, TrialOutcome, TrialReport,
+    run_attack_partial, run_attack_sweep, run_batch_range_grouped, run_tree_partial,
+    run_tree_sweep, trial_seed, BatchConfig, TrialFault, TrialOutcome, TrialReport,
 };
 use fle_core::protocols::{
-    run_ring_honest_pooled_into, run_ring_honest_timed_into, ALeadNode, ALeadUni, BasicLead,
-    BasicNode, PhaseAsyncLead, PhaseMsg, PhaseNode, PhaseSumLead,
+    run_ring_honest_pooled_into, run_ring_honest_timed_into, ALeadBatchCache, ALeadNode, ALeadUni,
+    BasicBatchCache, BasicLead, BasicNode, PhaseAsyncLead, PhaseBatchCache, PhaseMsg, PhaseNode,
+    PhaseSumLead,
 };
 use ring_sim::{
     ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, TimedNetConfig, TimedScheduler,
@@ -72,6 +73,13 @@ impl std::str::FromStr for ProtocolKind {
     }
 }
 
+/// The lockstep batch width [`HonestSweep::batch_width`] 0 resolves to.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// The largest accepted [`HonestSweep::batch_width`]: beyond this the
+/// lane state stops fitting in cache and the fast path only gets slower.
+pub const MAX_BATCH_WIDTH: usize = 1024;
+
 /// One honest protocol sweep: which protocol, at what size, over which
 /// batch. Wrap in [`SweepSpec::Honest`] (or use `.into()`) to dispatch
 /// through [`run_sweep`].
@@ -85,8 +93,30 @@ pub struct HonestSweep {
     pub fn_key: u64,
     /// Trial count, base seed and worker threads.
     pub batch: BatchConfig,
+    /// Lockstep batch width `k`: trials run `k` at a time through the
+    /// structure-of-arrays engine (`ring_sim::batch`). 0 resolves to
+    /// [`DEFAULT_BATCH_WIDTH`]; 1 forces the scalar path; timed
+    /// schedules always run scalar. Results are bit-identical for every
+    /// width.
+    pub batch_width: usize,
     /// Delivery discipline (FIFO fast path or timed network).
     pub schedule: ScheduleSpec,
+}
+
+impl HonestSweep {
+    /// The lockstep width this sweep actually runs with: the configured
+    /// width (0 → [`DEFAULT_BATCH_WIDTH`]), forced to 1 (scalar) under a
+    /// timed schedule, whose per-delivery noise streams are inherently
+    /// per-trial.
+    pub fn resolved_batch_width(&self) -> usize {
+        if self.schedule.timed_net().is_some() {
+            return 1;
+        }
+        match self.batch_width {
+            0 => DEFAULT_BATCH_WIDTH,
+            w => w,
+        }
+    }
 }
 
 /// Per-worker state of one honest protocol sweep: a reusable [`Engine`],
@@ -185,7 +215,8 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
 }
 
 /// Runs trials `start..end` of the honest sweep (global indices and
-/// seeds, as in [`run_batch_range`]) into a mergeable [`ReportPartial`].
+/// seeds, as in [`run_batch_range_grouped`]) into a mergeable
+/// [`ReportPartial`].
 /// Panicking trials are contained as recorded faults.
 ///
 /// `run_honest_partial(cfg, 0, trials).finish()` is exactly
@@ -197,19 +228,39 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
 /// is out of bounds.
 pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPartial {
     let n = cfg.n;
+    let width = cfg.resolved_batch_width();
+    let base_seed = cfg.batch.base_seed;
     let net = cfg.schedule.timed_net();
     let net = net.as_ref();
+    /// Fills `seeds` with the lockstep group's per-lane trial seeds —
+    /// exactly the seeds the scalar path would derive for those indices.
+    fn group_seeds(seeds: &mut Vec<u64>, base_seed: u64, gstart: u64, width: usize) {
+        seeds.clear();
+        seeds.extend((0..width as u64).map(|j| trial_seed(base_seed, gstart + j)));
+    }
     let outcomes = match cfg.protocol {
-        ProtocolKind::BasicLead => run_batch_range(
+        ProtocolKind::BasicLead => run_batch_range_grouped(
             &cfg.batch,
             start,
             end,
+            width,
             || {
                 let p = BasicLead::new(n);
                 let w = SweepWorker::<u64, BasicNode>::new(n, p.wakes());
-                (w, p)
+                (w, p, BasicBatchCache::ring(n), Vec::new())
             },
-            |(w, p), _i, seed| {
+            |(w, p, cache, seeds), gstart, out| {
+                group_seeds(seeds, base_seed, gstart, width);
+                if !p.run_honest_batch_into(seeds, cache) {
+                    return false;
+                }
+                for lane in 0..width {
+                    cache.execution_into(lane, &mut w.exec);
+                    out.push(TrialOutcome::of(&w.exec));
+                }
+                true
+            },
+            |(w, p, _, _), _i, seed| {
                 let p = p.clone().with_seed(seed);
                 match net {
                     Some(net) => {
@@ -219,16 +270,28 @@ pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPart
                 }
             },
         ),
-        ProtocolKind::ALeadUni => run_batch_range(
+        ProtocolKind::ALeadUni => run_batch_range_grouped(
             &cfg.batch,
             start,
             end,
+            width,
             || {
                 let p = ALeadUni::new(n);
                 let w = SweepWorker::<u64, ALeadNode>::new(n, p.wakes());
-                (w, p)
+                (w, p, ALeadBatchCache::ring(n), Vec::new())
             },
-            |(w, p), _i, seed| {
+            |(w, p, cache, seeds), gstart, out| {
+                group_seeds(seeds, base_seed, gstart, width);
+                if !p.run_honest_batch_into(seeds, cache) {
+                    return false;
+                }
+                for lane in 0..width {
+                    cache.execution_into(lane, &mut w.exec);
+                    out.push(TrialOutcome::of(&w.exec));
+                }
+                true
+            },
+            |(w, p, _, _), _i, seed| {
                 let p = p.clone().with_seed(seed);
                 match net {
                     Some(net) => {
@@ -238,16 +301,28 @@ pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPart
                 }
             },
         ),
-        ProtocolKind::PhaseAsyncLead => run_batch_range(
+        ProtocolKind::PhaseAsyncLead => run_batch_range_grouped(
             &cfg.batch,
             start,
             end,
+            width,
             || {
                 let p = PhaseAsyncLead::new(n).with_fn_key(cfg.fn_key);
                 let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
-                (w, p)
+                (w, p, PhaseBatchCache::ring(n), Vec::new())
             },
-            |(w, p), _i, seed| {
+            |(w, p, cache, seeds), gstart, out| {
+                group_seeds(seeds, base_seed, gstart, width);
+                if !p.run_honest_batch_into(seeds, cache) {
+                    return false;
+                }
+                for lane in 0..width {
+                    cache.execution_into(lane, &mut w.exec);
+                    out.push(TrialOutcome::of(&w.exec));
+                }
+                true
+            },
+            |(w, p, _, _), _i, seed| {
                 let p = p.with_seed(seed);
                 match net {
                     Some(net) => {
@@ -257,16 +332,28 @@ pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPart
                 }
             },
         ),
-        ProtocolKind::PhaseSumLead => run_batch_range(
+        ProtocolKind::PhaseSumLead => run_batch_range_grouped(
             &cfg.batch,
             start,
             end,
+            width,
             || {
                 let p = PhaseSumLead::new(n);
                 let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
-                (w, p)
+                (w, p, PhaseBatchCache::ring(n), Vec::new())
             },
-            |(w, p), _i, seed| {
+            |(w, p, cache, seeds), gstart, out| {
+                group_seeds(seeds, base_seed, gstart, width);
+                if !p.run_honest_batch_into(seeds, cache) {
+                    return false;
+                }
+                for lane in 0..width {
+                    cache.execution_into(lane, &mut w.exec);
+                    out.push(TrialOutcome::of(&w.exec));
+                }
+                true
+            },
+            |(w, p, _, _), _i, seed| {
                 let p = p.with_seed(seed);
                 match net {
                     Some(net) => {
@@ -388,6 +475,7 @@ mod tests {
                     base_seed: 2,
                     threads: 1,
                 },
+                batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
             }))
             .expect("valid spec");
@@ -416,6 +504,7 @@ mod tests {
                     base_seed: 11,
                     threads: 1,
                 },
+                batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
             };
             let fifo = run_honest_sweep(&base);
@@ -444,6 +533,7 @@ mod tests {
             n,
             fn_key: 0,
             batch,
+            batch_width: 0,
             schedule: ScheduleSpec::Fifo,
         });
         let mut wins = vec![0u64; n];

@@ -25,6 +25,7 @@ fn sweep_with_threads(
             base_seed: 1,
             threads,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     })
 }

@@ -18,6 +18,7 @@ fn sweep(trials: u64, threads: usize) {
             base_seed: 1,
             threads,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     });
     assert_eq!(report.trials, trials);

@@ -188,6 +188,7 @@ fn validate_rejects_out_of_range_references() {
                 base_seed: 0,
                 threads: 0,
             },
+            batch_width: 0,
             schedule: ScheduleSpec::Fifo,
         }),
         "needs n >= 4",

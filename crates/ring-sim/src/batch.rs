@@ -1,0 +1,545 @@
+//! Batch-lockstep execution: k trials of one configuration in one sweep.
+//!
+//! The honest runs of every ring protocol in this workspace share a
+//! property the scalar engine cannot exploit: their *control flow* is
+//! data-independent. Which messages are sent, in which order, and when
+//! each processor terminates depends only on `(protocol, n)` — the
+//! payload values differ per seed, but the event schedule does not
+//! (honest nodes only branch on data to *abort*, which never happens in
+//! an honest execution). The [`LockstepEngine`] runs `k` seeds of one
+//! configuration through a **single** fused-FIFO event stream, so the
+//! per-event bookkeeping (queue pop, dispatch, counters) is paid once
+//! per *event* instead of once per *trial × event*, and the per-lane
+//! payload work is a short contiguous loop over `k` values — the
+//! GPU-style structure-of-arrays Monte-Carlo batching trick.
+//!
+//! Correctness is not entrusted to the lockstep assumption: any branch a
+//! batched node cannot take uniformly across all lanes (a would-be abort,
+//! a parity violation, a step-limit hit) calls [`LaneCtx::diverge`],
+//! [`LockstepEngine::run`] returns `false`, and the caller re-runs those
+//! trials through the scalar path — which reproduces the exact per-trial
+//! behaviour by construction. Batched results are therefore bit-identical
+//! to scalar results in all cases, and the fast path only applies where
+//! it is exact.
+//!
+//! The engine mirrors the scalar fused global-FIFO stream precisely:
+//! wake events first (in wake order), then deliveries in send order; a
+//! terminated node's deliveries are counted and dropped; `steps` counts
+//! wake-ups plus deliveries. Per-trial statistics (`sent`, `received`,
+//! `steps`, `delivered`) are shared across lanes — the lockstep property
+//! guarantees they are identical — while outputs are per-lane.
+
+use crate::engine::Execution;
+use crate::outcome::outcome_of;
+use std::collections::VecDeque;
+
+/// The event tag reserved for wake-ups in the fused stream. Protocol
+/// message tags must stay below this value.
+const WAKE_TAG: u8 = u8::MAX;
+
+/// One fused event: a wake-up or a delivery of a `k`-lane payload.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// Message tag (protocol-defined), or [`WAKE_TAG`] for a wake-up.
+    tag: u8,
+    /// Receiving node.
+    to: u32,
+    /// Payload group index: the lanes live at
+    /// `payloads[off * lanes .. (off + 1) * lanes]`. Unused for wakes.
+    off: u32,
+}
+
+/// Behaviour of one processor over `k` lockstep trials.
+///
+/// The mirror of [`crate::Node`] for batched execution: one activation
+/// handles the same logical event of all `k` trials at once. Payloads are
+/// `k`-lane `u64` slices (`lanes[l]` is trial `l`'s value); messages are
+/// distinguished by a small `tag` instead of an enum so the engine stays
+/// monomorphic over payload storage.
+///
+/// Implementations must take the *same* control-flow decisions (sends,
+/// termination) for all lanes; whenever a lane would force a different
+/// branch — any condition that aborts a scalar honest run — they must
+/// call [`LaneCtx::diverge`] instead of guessing.
+pub trait LockstepNode {
+    /// Called on the node's spontaneous wake-up.
+    fn on_wake(&mut self, ctx: &mut LaneCtx<'_>);
+
+    /// Called when a `tag`-tagged message with per-lane payload `lanes`
+    /// arrives on the node's incoming ring link.
+    fn on_message(&mut self, tag: u8, lanes: &[u64], ctx: &mut LaneCtx<'_>);
+}
+
+/// The action handle of one batched activation — the lockstep analogue
+/// of [`crate::Ctx`].
+pub struct LaneCtx<'a> {
+    lanes: usize,
+    succ: u32,
+    queue: &'a mut VecDeque<Event>,
+    payloads: &'a mut Vec<u64>,
+    outputs: &'a mut [u64],
+    sent: u64,
+    terminated: bool,
+    diverged: bool,
+}
+
+impl LaneCtx<'_> {
+    /// The batch width `k` (lanes per payload).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sends one `tag`-tagged message to the ring successor and returns
+    /// its `k` payload slots (zero-initialized) for the caller to fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is the reserved wake tag (`u8::MAX`).
+    pub fn send(&mut self, tag: u8) -> &mut [u64] {
+        assert!(tag != WAKE_TAG, "message tag {WAKE_TAG} is reserved");
+        let start = self.payloads.len();
+        let off = (start / self.lanes) as u32;
+        self.payloads.resize(start + self.lanes, 0);
+        self.queue.push_back(Event {
+            tag,
+            to: self.succ,
+            off,
+        });
+        self.sent += 1;
+        &mut self.payloads[start..]
+    }
+
+    /// Terminates this node in every lane and returns the `k` output
+    /// slots for the caller to fill with per-lane outputs.
+    ///
+    /// As in the scalar engine, sends issued after termination within the
+    /// same activation are still delivered; the node is simply never
+    /// activated again.
+    pub fn terminate(&mut self) -> &mut [u64] {
+        self.terminated = true;
+        self.outputs
+    }
+
+    /// Declares that the lanes can no longer share one control flow (a
+    /// scalar run would abort, or lanes disagree on a branch). The run
+    /// stops and [`LockstepEngine::run`] returns `false`; the caller must
+    /// re-run these trials through the scalar path.
+    pub fn diverge(&mut self) {
+        self.diverged = true;
+    }
+}
+
+/// A reusable engine running `k` trials of one ring configuration in
+/// lockstep over one fused event stream.
+///
+/// Create once per worker with [`LockstepEngine::new`] and call
+/// [`LockstepEngine::run`] per trial group; all buffers (event queue,
+/// payload arena, counters, outputs) retain their capacity across runs,
+/// so steady-state groups allocate nothing.
+#[derive(Debug)]
+pub struct LockstepEngine {
+    n: usize,
+    lanes: usize,
+    queue: VecDeque<Event>,
+    /// Append-only payload arena of the current run: group `g` occupies
+    /// `[g * lanes, (g + 1) * lanes)`. Slices are written once at send
+    /// time and read once at delivery time (into `incoming`).
+    payloads: Vec<u64>,
+    /// The popped event's payload, copied out of the arena so the node
+    /// activation can append new sends while reading it.
+    incoming: Vec<u64>,
+    /// Per-lane outputs, node-major: node `i`'s lanes at
+    /// `[i * lanes, (i + 1) * lanes)`. Valid where `has_output[i]`.
+    outputs: Vec<u64>,
+    has_output: Vec<bool>,
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    steps: u64,
+    delivered: u64,
+    diverged: bool,
+    /// High-water mark of the payload arena, driving the shrink-on-idle
+    /// budget (retained capacity decays toward ×4 of the recent need,
+    /// matching the scalar engine's policy).
+    hwm_payloads: usize,
+}
+
+impl LockstepEngine {
+    /// Creates a lockstep engine for a unidirectional ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a ring needs at least 2 nodes, got {n}");
+        Self {
+            n,
+            lanes: 0,
+            queue: VecDeque::new(),
+            payloads: Vec::new(),
+            incoming: Vec::new(),
+            outputs: Vec::new(),
+            has_output: vec![false; n],
+            sent: vec![0; n],
+            received: vec![0; n],
+            steps: 0,
+            delivered: 0,
+            diverged: false,
+            hwm_payloads: 0,
+        }
+    }
+
+    /// Ring size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The batch width of the most recent [`LockstepEngine::run`].
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `lanes` lockstep trials: wakes `wakes` in order, then drives
+    /// the fused FIFO stream to quiescence (or to `step_limit`).
+    ///
+    /// Returns `true` if the run completed in lockstep; `false` if any
+    /// activation diverged (or the step limit was hit), in which case the
+    /// engine's results are meaningless and the caller must re-run the
+    /// trials through the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != n`, `lanes == 0`, or a wake id is out of
+    /// range.
+    pub fn run<N: LockstepNode>(
+        &mut self,
+        lanes: usize,
+        nodes: &mut [N],
+        wakes: &[usize],
+        step_limit: u64,
+    ) -> bool {
+        assert_eq!(nodes.len(), self.n, "need one node per ring position");
+        assert!(lanes > 0, "lockstep run needs at least one lane");
+        self.reset(lanes);
+        for &w in wakes {
+            assert!(w < self.n, "wake id {w} out of range");
+            self.queue.push_back(Event {
+                tag: WAKE_TAG,
+                to: w as u32,
+                off: 0,
+            });
+        }
+        let mut ok = true;
+        while let Some(event) = self.queue.pop_front() {
+            // Mirror the scalar fused loop exactly: the limit check runs
+            // before the step is counted; hitting it means the lockstep
+            // result cannot represent the scalar `StepLimit` outcome, so
+            // it is treated as a divergence.
+            if self.steps >= step_limit {
+                ok = false;
+                break;
+            }
+            self.steps += 1;
+            if event.tag == WAKE_TAG {
+                let me = event.to as usize;
+                if !self.has_output[me] {
+                    self.activate(nodes, me, None);
+                }
+            } else {
+                let to = event.to as usize;
+                self.received[to] += 1;
+                self.delivered += 1;
+                if !self.has_output[to] {
+                    let start = event.off as usize * self.lanes;
+                    self.incoming.clear();
+                    self.incoming
+                        .extend_from_slice(&self.payloads[start..start + self.lanes]);
+                    self.activate(nodes, to, Some(event.tag));
+                }
+            }
+            if self.diverged {
+                ok = false;
+                break;
+            }
+        }
+        self.decay_capacity();
+        ok
+    }
+
+    /// Dispatches one activation to `nodes[me]` with field-split borrows,
+    /// then folds the activation's effects back into the engine.
+    fn activate<N: LockstepNode>(&mut self, nodes: &mut [N], me: usize, tag: Option<u8>) {
+        let lanes = self.lanes;
+        let succ = if me + 1 == self.n { 0 } else { me + 1 } as u32;
+        let out_start = me * lanes;
+        let mut ctx = LaneCtx {
+            lanes,
+            succ,
+            queue: &mut self.queue,
+            payloads: &mut self.payloads,
+            outputs: &mut self.outputs[out_start..out_start + lanes],
+            sent: 0,
+            terminated: false,
+            diverged: false,
+        };
+        match tag {
+            None => nodes[me].on_wake(&mut ctx),
+            Some(t) => nodes[me].on_message(t, &self.incoming, &mut ctx),
+        }
+        let LaneCtx {
+            sent,
+            terminated,
+            diverged,
+            ..
+        } = ctx;
+        self.sent[me] += sent;
+        if terminated {
+            self.has_output[me] = true;
+        }
+        if diverged {
+            self.diverged = true;
+        }
+    }
+
+    /// Extracts trial `lane`'s [`Execution`] from the last completed run,
+    /// bit-identical to the scalar engine's output for the same trial.
+    ///
+    /// Only meaningful after [`LockstepEngine::run`] returned `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn execution_into(&self, lane: usize, out: &mut Execution) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        out.outputs.clear();
+        for i in 0..self.n {
+            out.outputs.push(if self.has_output[i] {
+                Some(Some(self.outputs[i * self.lanes + lane]))
+            } else {
+                None
+            });
+        }
+        out.stats.steps = self.steps;
+        out.stats.delivered = self.delivered;
+        out.stats.sent.clear();
+        out.stats.sent.extend_from_slice(&self.sent);
+        out.stats.received.clear();
+        out.stats.received.extend_from_slice(&self.received);
+        // Lockstep runs never hit the step limit (that diverges), so the
+        // stream always drained: `all_delivered` is unconditionally true,
+        // exactly as in the scalar fused path on a completed run.
+        out.outcome = outcome_of(&out.outputs, true);
+    }
+
+    /// Resets per-run state for a `lanes`-wide group, retaining capacity.
+    fn reset(&mut self, lanes: usize) {
+        self.lanes = lanes;
+        self.queue.clear();
+        self.payloads.clear();
+        self.incoming.clear();
+        self.outputs.clear();
+        self.outputs.resize(self.n * lanes, 0);
+        self.has_output.clear();
+        self.has_output.resize(self.n, false);
+        self.sent.clear();
+        self.sent.resize(self.n, 0);
+        self.received.clear();
+        self.received.resize(self.n, 0);
+        self.steps = 0;
+        self.delivered = 0;
+        self.diverged = false;
+    }
+
+    /// Decays retained payload capacity toward a ×4 budget of the recent
+    /// high-water need (the policy the scalar engine and timed scheduler
+    /// adopted in the memory-budget work), so an oversized one-off group
+    /// does not pin its peak allocation forever.
+    fn decay_capacity(&mut self) {
+        let used = self.payloads.len().max(64);
+        self.hwm_payloads = self.hwm_payloads.max(used);
+        if self.payloads.capacity() > 4 * self.hwm_payloads {
+            self.payloads.shrink_to(2 * self.hwm_payloads);
+        }
+        // Let the high-water itself decay so the budget tracks recent
+        // groups, not the all-time peak.
+        self.hwm_payloads = used.max(self.hwm_payloads / 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Outcome;
+
+    /// A k-lane ping-pong: the origin sends per-lane counters around a
+    /// 2-ring until they reach a bound, then both nodes elect the bound.
+    struct Pong {
+        bound: u64,
+        last: Vec<u64>,
+    }
+
+    impl LockstepNode for Pong {
+        fn on_wake(&mut self, ctx: &mut LaneCtx<'_>) {
+            let out = ctx.send(0);
+            out.copy_from_slice(&self.last);
+        }
+
+        fn on_message(&mut self, _tag: u8, lanes: &[u64], ctx: &mut LaneCtx<'_>) {
+            self.last.copy_from_slice(lanes);
+            if lanes.iter().all(|&v| v >= 3) {
+                ctx.terminate().copy_from_slice(lanes);
+                ctx.send(0).copy_from_slice(lanes);
+            } else if lanes.iter().all(|&v| v < 3) {
+                let out = ctx.send(0);
+                for (o, &v) in out.iter_mut().zip(lanes) {
+                    *o = v + self.bound;
+                }
+            } else {
+                ctx.diverge();
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_ping_pong_elects_per_lane() {
+        let mut engine = LockstepEngine::new(2);
+        let mut nodes = vec![
+            Pong {
+                bound: 1,
+                last: vec![0, 1],
+            },
+            Pong {
+                bound: 1,
+                last: vec![0, 0],
+            },
+        ];
+        // Lanes start at 0 and 1 and both count up by 1 per hop; they hit
+        // ≥3 on the same hop only if they started equal — lanes 0/1 force
+        // a divergence, which must be reported, not mis-executed.
+        let ok = engine.run(2, &mut nodes, &[0], 1000);
+        assert!(!ok, "unequal lanes must diverge");
+
+        let mut nodes = vec![
+            Pong {
+                bound: 1,
+                last: vec![0, 0],
+            },
+            Pong {
+                bound: 1,
+                last: vec![0, 0],
+            },
+        ];
+        let ok = engine.run(2, &mut nodes, &[0], 1000);
+        assert!(ok);
+        let mut exec = Execution::default();
+        for lane in 0..2 {
+            engine.execution_into(lane, &mut exec);
+            assert_eq!(exec.outcome, Outcome::Elected(3), "lane {lane}");
+            assert_eq!(exec.stats.delivered, 6);
+            assert_eq!(exec.stats.steps, 7);
+        }
+    }
+
+    #[test]
+    fn step_limit_diverges() {
+        struct Loopy;
+        impl LockstepNode for Loopy {
+            fn on_wake(&mut self, ctx: &mut LaneCtx<'_>) {
+                ctx.send(0);
+            }
+            fn on_message(&mut self, _t: u8, lanes: &[u64], ctx: &mut LaneCtx<'_>) {
+                ctx.send(0).copy_from_slice(lanes);
+            }
+        }
+        let mut engine = LockstepEngine::new(2);
+        let mut nodes = vec![Loopy, Loopy];
+        assert!(!engine.run(1, &mut nodes, &[0], 100));
+    }
+
+    #[test]
+    fn terminated_nodes_drop_but_count_deliveries() {
+        // Node 1 terminates on its first delivery; node 0 sends twice at
+        // wake. The second delivery must be counted and dropped.
+        struct Once;
+        impl LockstepNode for Once {
+            fn on_wake(&mut self, ctx: &mut LaneCtx<'_>) {
+                ctx.send(0);
+                ctx.send(0);
+            }
+            fn on_message(&mut self, _t: u8, _l: &[u64], ctx: &mut LaneCtx<'_>) {
+                ctx.terminate();
+            }
+        }
+        struct Sink;
+        impl LockstepNode for Sink {
+            fn on_wake(&mut self, _ctx: &mut LaneCtx<'_>) {}
+            fn on_message(&mut self, _t: u8, _l: &[u64], ctx: &mut LaneCtx<'_>) {
+                ctx.terminate();
+            }
+        }
+        enum Mix {
+            Once(Once),
+            Sink(Sink),
+        }
+        impl LockstepNode for Mix {
+            fn on_wake(&mut self, ctx: &mut LaneCtx<'_>) {
+                match self {
+                    Mix::Once(x) => x.on_wake(ctx),
+                    Mix::Sink(x) => x.on_wake(ctx),
+                }
+            }
+            fn on_message(&mut self, t: u8, l: &[u64], ctx: &mut LaneCtx<'_>) {
+                match self {
+                    Mix::Once(x) => x.on_message(t, l, ctx),
+                    Mix::Sink(x) => x.on_message(t, l, ctx),
+                }
+            }
+        }
+        let mut engine = LockstepEngine::new(2);
+        let mut nodes = vec![Mix::Once(Once), Mix::Sink(Sink)];
+        assert!(engine.run(3, &mut nodes, &[0], 100));
+        let mut exec = Execution::default();
+        engine.execution_into(0, &mut exec);
+        // Node 1 terminated on the first delivery but both deliveries are
+        // counted (wake + 2 deliveries = 3 steps)... node 0 never
+        // terminates, so the run deadlocks — exactly what the scalar
+        // engine reports for this behaviour.
+        assert_eq!(exec.stats.delivered, 2);
+        assert_eq!(exec.stats.received[1], 2);
+        assert_eq!(exec.stats.steps, 3);
+        assert!(exec.outcome.is_fail());
+    }
+
+    #[test]
+    fn payload_capacity_decays_after_oversized_group() {
+        let mut engine = LockstepEngine::new(2);
+        struct Burst {
+            rounds: u64,
+        }
+        impl LockstepNode for Burst {
+            fn on_wake(&mut self, ctx: &mut LaneCtx<'_>) {
+                ctx.send(0);
+            }
+            fn on_message(&mut self, _t: u8, _l: &[u64], ctx: &mut LaneCtx<'_>) {
+                if self.rounds == 0 {
+                    ctx.terminate();
+                } else {
+                    self.rounds -= 1;
+                    ctx.send(0);
+                }
+            }
+        }
+        let big = 512;
+        let mut nodes = vec![Burst { rounds: big }, Burst { rounds: big }];
+        assert!(engine.run(64, &mut nodes, &[0], u64::MAX));
+        let peak = engine.payloads.capacity();
+        for _ in 0..8 {
+            let mut nodes = vec![Burst { rounds: 2 }, Burst { rounds: 2 }];
+            assert!(engine.run(2, &mut nodes, &[0], u64::MAX));
+        }
+        assert!(
+            engine.payloads.capacity() < peak,
+            "payload capacity must decay: peak {peak}, now {}",
+            engine.payloads.capacity()
+        );
+    }
+}

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+pub mod batch;
 mod engine;
 mod links;
 mod node;

@@ -27,6 +27,7 @@ fn spec(base_seed: u64) -> SweepSpec {
             base_seed,
             threads: 2,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     })
 }

@@ -424,6 +424,230 @@ fn split_path_slab_vs_vecdeque_timing() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lockstep-batch differentials: the structure-of-arrays
+// `run_honest_batch_into` fast path vs the scalar per-trial engine, for
+// every protocol and batch width. Caches are reused across widths and
+// seed groups, so cross-group contamination in the SoA state surfaces as
+// a later-lane mismatch.
+
+use fle_core::protocols::{ALeadBatchCache, BasicBatchCache, PhaseBatchCache};
+use fle_harness::{
+    batched_trials, run_sweep_partial, trial_seed, BatchConfig, HonestSweep, ProtocolKind,
+    ScheduleSpec, SweepSpec,
+};
+
+/// Widths around the interesting boundaries: scalar-equivalent 1, the
+/// smallest real batch, a non-power-of-two, the default, and one wider
+/// than every ring under test.
+const BATCH_WIDTHS: [usize; 5] = [1, 2, 7, 8, 64];
+
+/// Runs `widths`-sized lockstep groups over consecutive derived seeds and
+/// asserts every lane equals its scalar reference `Execution` exactly.
+fn assert_batch_lanes_match(
+    label: &str,
+    base: u64,
+    widths: &[usize],
+    mut batch: impl FnMut(&[u64]) -> Vec<Execution>,
+    scalar: impl Fn(u64) -> Execution,
+) {
+    let mut next = 0u64;
+    for &width in widths {
+        let seeds: Vec<u64> = (0..width as u64)
+            .map(|j| trial_seed(base, next + j))
+            .collect();
+        next += width as u64;
+        let lanes = batch(&seeds);
+        assert_eq!(lanes.len(), width, "{label} width {width} filled");
+        for (lane, exec) in lanes.iter().enumerate() {
+            let reference = scalar(seeds[lane]);
+            assert_eq!(
+                exec, &reference,
+                "{label} width {width} lane {lane} vs scalar"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_vs_scalar_basic(base in any::<u64>(), n in 2usize..24) {
+        let p = BasicLead::new(n);
+        let mut cache = BasicBatchCache::ring(n);
+        assert_batch_lanes_match(
+            "basic",
+            base,
+            &BATCH_WIDTHS,
+            |seeds| {
+                assert!(p.run_honest_batch_into(seeds, &mut cache), "honest never diverges");
+                let mut lanes = vec![Execution::default(); seeds.len()];
+                for (lane, out) in lanes.iter_mut().enumerate() {
+                    cache.execution_into(lane, out);
+                }
+                lanes
+            },
+            |seed| p.clone().with_seed(seed).run_honest(),
+        );
+    }
+
+    #[test]
+    fn batch_vs_scalar_a_lead_uni(base in any::<u64>(), n in 2usize..24) {
+        let p = ALeadUni::new(n);
+        let mut cache = ALeadBatchCache::ring(n);
+        assert_batch_lanes_match(
+            "alead",
+            base,
+            &BATCH_WIDTHS,
+            |seeds| {
+                assert!(p.run_honest_batch_into(seeds, &mut cache), "honest never diverges");
+                let mut lanes = vec![Execution::default(); seeds.len()];
+                for (lane, out) in lanes.iter_mut().enumerate() {
+                    cache.execution_into(lane, out);
+                }
+                lanes
+            },
+            |seed| p.clone().with_seed(seed).run_honest(),
+        );
+    }
+
+    #[test]
+    fn batch_vs_scalar_phase_async(base in any::<u64>(), key in any::<u64>(), n in 4usize..24) {
+        let p = PhaseAsyncLead::new(n).with_fn_key(key);
+        let mut cache = PhaseBatchCache::ring(n);
+        assert_batch_lanes_match(
+            "phase",
+            base,
+            &BATCH_WIDTHS,
+            |seeds| {
+                assert!(p.run_honest_batch_into(seeds, &mut cache), "honest never diverges");
+                let mut lanes = vec![Execution::default(); seeds.len()];
+                for (lane, out) in lanes.iter_mut().enumerate() {
+                    cache.execution_into(lane, out);
+                }
+                lanes
+            },
+            |seed| p.with_seed(seed).run_honest(),
+        );
+    }
+
+    #[test]
+    fn batch_vs_scalar_phase_sum(base in any::<u64>(), n in 4usize..24) {
+        let p = PhaseSumLead::new(n);
+        let mut cache = PhaseBatchCache::ring(n);
+        assert_batch_lanes_match(
+            "phasesum",
+            base,
+            &BATCH_WIDTHS,
+            |seeds| {
+                assert!(p.run_honest_batch_into(seeds, &mut cache), "honest never diverges");
+                let mut lanes = vec![Execution::default(); seeds.len()];
+                for (lane, out) in lanes.iter_mut().enumerate() {
+                    cache.execution_into(lane, out);
+                }
+                lanes
+            },
+            |seed| p.with_seed(seed).run_honest(),
+        );
+    }
+
+    /// Arbitrary sub-ranges of the trial index space, batched vs scalar
+    /// through the real sweep dispatch: the mid-chunk-resume shape. Ranges
+    /// deliberately do not align to the batch width, so every case
+    /// exercises the group realignment and the scalar ragged tail.
+    #[test]
+    fn batched_partial_matches_scalar_over_arbitrary_ranges(
+        start in 0u64..40,
+        len in 0u64..40,
+        width in 1usize..12,
+        threads in 1usize..4,
+    ) {
+        let spec = |batch_width| {
+            SweepSpec::Honest(HonestSweep {
+                protocol: ProtocolKind::PhaseAsyncLead,
+                n: 8,
+                fn_key: 9,
+                batch: BatchConfig {
+                    trials: 80,
+                    base_seed: 1,
+                    threads,
+                },
+                batch_width,
+                schedule: ScheduleSpec::Fifo,
+            })
+        };
+        let batched = run_sweep_partial(&spec(width), start, start + len).expect("valid range");
+        let scalar = run_sweep_partial(&spec(1), start, start + len).expect("valid range");
+        prop_assert_eq!(batched, scalar);
+    }
+}
+
+/// A full batched sweep must serialize byte-identically to the scalar
+/// sweep — for every protocol, at a width (7) that leaves a ragged tail —
+/// and the lockstep path must actually have run (not silently fallen back
+/// to scalar).
+#[test]
+fn batched_sweeps_match_scalar_sweeps_bytewise() {
+    let spec = |protocol, batch_width| {
+        SweepSpec::Honest(HonestSweep {
+            protocol,
+            n: 9,
+            fn_key: 4,
+            batch: BatchConfig {
+                trials: 61,
+                base_seed: 3,
+                threads: 1,
+            },
+            batch_width,
+            schedule: ScheduleSpec::Fifo,
+        })
+    };
+    for protocol in [
+        ProtocolKind::BasicLead,
+        ProtocolKind::ALeadUni,
+        ProtocolKind::PhaseAsyncLead,
+        ProtocolKind::PhaseSumLead,
+    ] {
+        let before = batched_trials();
+        let batched = fle_harness::run_sweep(&spec(protocol, 7)).expect("valid spec");
+        assert!(
+            batched_trials() >= before + 56,
+            "{protocol:?}: lockstep path did not run"
+        );
+        let scalar = fle_harness::run_sweep(&spec(protocol, 1)).expect("valid spec");
+        assert_eq!(batched.to_json(), scalar.to_json(), "{protocol:?}");
+    }
+}
+
+/// The batched sweep's JSON is invariant under the worker thread count,
+/// exactly like the scalar path (batch groups realign to each worker's
+/// chunk, so the merged report cannot depend on the split).
+#[test]
+fn batched_sweep_json_is_thread_invariant() {
+    let spec = |threads| {
+        SweepSpec::Honest(HonestSweep {
+            protocol: ProtocolKind::PhaseAsyncLead,
+            n: 8,
+            fn_key: 9,
+            batch: BatchConfig {
+                trials: 100,
+                base_seed: 1,
+                threads,
+            },
+            batch_width: 8,
+            schedule: ScheduleSpec::Fifo,
+        })
+    };
+    let one = fle_harness::run_sweep(&spec(1))
+        .expect("valid spec")
+        .to_json();
+    for threads in [2, 8] {
+        let multi = fle_harness::run_sweep(&spec(threads)).expect("valid spec");
+        assert_eq!(multi.to_json(), one, "threads {threads}");
+    }
+}
+
 /// One engine serving many seeds back to back (the sweep worker's actual
 /// life) must match per-seed fresh references throughout.
 #[test]

@@ -108,6 +108,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 1,
             threads: 1,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     }))
     .expect("valid spec");
@@ -135,6 +136,7 @@ fn sweep_reports_are_pinned() {
             base_seed: 7,
             threads: 1,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     }))
     .expect("valid spec");
@@ -155,6 +157,7 @@ fn phase_n64_sweep(trials: u64) -> SweepSpec {
             base_seed: 1,
             threads: 1,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     })
 }
@@ -189,6 +192,44 @@ fn sweep_json_sha256_is_pinned() {
 #[ignore = "multi-second sweep; run explicitly in release (CI does)"]
 fn full_10k_sweep_json_sha256_is_pinned() {
     let report = run_sweep(&phase_n64_sweep(10_000)).expect("valid spec");
+    assert_eq!(
+        sha256_hex(report.to_json().as_bytes()),
+        "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
+    );
+}
+
+/// The lockstep-batched engine's byte-identity oracle: the canonical
+/// 500-trial sweep at an explicit `--batch 8` and at forced scalar width
+/// 1 both hash to the pre-batching golden digest, so the SoA fast path is
+/// provably byte-invisible in output.
+#[test]
+fn batched_sweep_hits_the_scalar_pin() {
+    for batch_width in [1, 8] {
+        let SweepSpec::Honest(mut h) = phase_n64_sweep(500) else {
+            unreachable!()
+        };
+        h.batch_width = batch_width;
+        let report = run_sweep(&SweepSpec::Honest(h)).expect("valid spec");
+        assert_eq!(
+            sha256_hex(report.to_json().as_bytes()),
+            "b48a93b6398cec11f10e77363e7e00ca7d57eeae94eaa512c600b07f78bf016c",
+            "batch width {batch_width}"
+        );
+    }
+}
+
+/// The full 10 000-trial recorded sweep through the lockstep engine at
+/// the explicit default width reproduces the scalar-era pin bit for bit.
+/// Ignored for the same cost reason as the monolithic 10k pin; CI runs it
+/// in release.
+#[test]
+#[ignore = "multi-second sweep; run explicitly in release (CI does)"]
+fn full_10k_batched_sweep_json_sha256_is_pinned() {
+    let SweepSpec::Honest(mut h) = phase_n64_sweep(10_000) else {
+        unreachable!()
+    };
+    h.batch_width = 8;
+    let report = run_sweep(&SweepSpec::Honest(h)).expect("valid spec");
     assert_eq!(
         sha256_hex(report.to_json().as_bytes()),
         "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4"
@@ -418,6 +459,7 @@ fn timed_honest_sweep(threads: usize) -> SweepSpec {
             base_seed: 1,
             threads,
         },
+        batch_width: 0,
         schedule: fle_harness::ScheduleSpec::Timed {
             latency: fle_harness::LatencySpec::Uniform { lo: 0, hi: 1000 },
             loss_permille: 50,

@@ -28,6 +28,7 @@ fn honest_spec(threads: usize) -> SweepSpec {
             base_seed: 1,
             threads,
         },
+        batch_width: 0,
         schedule: ScheduleSpec::Fifo,
     })
 }
