@@ -170,6 +170,12 @@ pub trait AttackRunner {
     /// network-noise stream derived from each trial's seed. `None`
     /// restores the untimed FIFO fast path.
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>);
+
+    /// Installs (or clears) a crash-fault configuration: each subsequent
+    /// trial draws a [`ring_sim::FaultPlan`] from its trial seed (through
+    /// the salt-separated fault stream) and applies it for that trial.
+    /// `None` restores the fault-free path.
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>);
 }
 
 /// Builds the cached runner for `kind` on a ring of `n` with the given
@@ -318,6 +324,10 @@ impl AttackRunner for BasicSingleRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct RushingRunner {
@@ -343,6 +353,10 @@ impl AttackRunner for RushingRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct CubicRunner {
@@ -367,6 +381,10 @@ impl AttackRunner for CubicRunner {
 
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
+    }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
     }
 }
 
@@ -394,6 +412,10 @@ impl AttackRunner for RandomLocatedRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct PhaseRushingRunner {
@@ -418,6 +440,10 @@ impl AttackRunner for PhaseRushingRunner {
 
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
+    }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
     }
 }
 
@@ -446,6 +472,10 @@ impl AttackRunner for PhaseGuessRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct PhaseBurstRunner {
@@ -471,6 +501,10 @@ impl AttackRunner for PhaseBurstRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct PhaseSumRunner {
@@ -495,6 +529,10 @@ impl AttackRunner for PhaseSumRunner {
 
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
+    }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
     }
 }
 
@@ -525,6 +563,10 @@ impl AttackRunner for WakeupIdLieRunner {
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
     }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
+    }
 }
 
 struct WakeupMaskRunner {
@@ -553,6 +595,10 @@ impl AttackRunner for WakeupMaskRunner {
 
     fn set_timed_net(&mut self, net: Option<&ring_sim::TimedNetConfig>) {
         self.cache.set_timed_net(net);
+    }
+
+    fn set_faults(&mut self, cfg: Option<&ring_sim::FaultConfig>) {
+        self.cache.set_faults(cfg);
     }
 }
 

@@ -55,6 +55,12 @@ impl ChangRoberts {
 
     /// Runs the election; see [`Execution::stats`] for message counts.
     pub fn run(&self) -> Execution {
+        self.run_with_faults(&ring_sim::FaultPlan::none())
+    }
+
+    /// Runs the election under a crash-fault plan (see [`ring_sim::fault`]).
+    /// The empty plan is exactly [`run`](ChangRoberts::run).
+    pub fn run_with_faults(&self, plan: &ring_sim::FaultPlan) -> Execution {
         let n = self.ids.len();
         let mut builder: SimBuilder<'_, CrMsg> = SimBuilder::new(Topology::ring(n));
         for (pos, &id) in self.ids.iter().enumerate() {
@@ -67,7 +73,7 @@ impl ChangRoberts {
                 }),
             );
         }
-        builder.wake_all().run()
+        builder.wake_all().fault_plan(plan.clone()).run()
     }
 }
 

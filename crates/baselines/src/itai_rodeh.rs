@@ -65,6 +65,12 @@ impl ItaiRodeh {
 
     /// Runs the election.
     pub fn run(&self) -> Execution {
+        self.run_with_faults(&ring_sim::FaultPlan::none())
+    }
+
+    /// Runs the election under a crash-fault plan (see [`ring_sim::fault`]).
+    /// The empty plan is exactly [`run`](ItaiRodeh::run).
+    pub fn run_with_faults(&self, plan: &ring_sim::FaultPlan) -> Execution {
         let n = self.n;
         let mut builder: SimBuilder<'_, IrMsg> = SimBuilder::new(Topology::ring(n));
         for pos in 0..n {
@@ -82,7 +88,7 @@ impl ItaiRodeh {
                 }),
             );
         }
-        builder.wake_all().run()
+        builder.wake_all().fault_plan(plan.clone()).run()
     }
 }
 

@@ -76,6 +76,7 @@ fn bench(c: &mut Criterion) {
                 },
                 batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
+                fault: None,
             })
         };
         g.bench_with_input(BenchmarkId::new("batch_1thread", n), &n, |b, &n| {

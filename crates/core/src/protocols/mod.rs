@@ -38,8 +38,8 @@ pub use wakeup::{WakeLead, WakeMsg, WakeNode};
 
 use ring_sim::rng::SplitMix64;
 use ring_sim::{
-    default_step_limit, ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, Probe,
-    SimBuilder, TimedNetConfig, TimedScheduler, Topology, TrialArena,
+    default_step_limit, ArenaBacked, Engine, Execution, FaultConfig, FaultPlan, FifoScheduler,
+    Node, NodeId, Probe, SimBuilder, TimedNetConfig, TimedScheduler, Topology, TrialArena,
 };
 
 /// Reduces `x` into `[0, n)` without paying a hardware division in the
@@ -552,8 +552,15 @@ pub struct TrialCache<M, N, D = Box<dyn Node<M>>> {
     /// virtual-clock timed path under this network configuration.
     net: Option<TimedNetConfig>,
     /// Seed of the timed path's network-noise stream for the next trial;
-    /// attack runners record the trial seed here before each run.
+    /// attack runners record the trial seed here before each run. The
+    /// same trial seed feeds the crash-fault stream (which is
+    /// salt-separated, so the two never correlate).
     net_seed: u64,
+    /// When set, every trial draws a crash-fault plan from its trial seed
+    /// under this configuration and installs it on the engine.
+    fault_cfg: Option<FaultConfig>,
+    /// Reused buffer for the per-trial fault draw.
+    fault_plan: FaultPlan,
 }
 
 impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
@@ -569,6 +576,8 @@ impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
             timed: TimedScheduler::new(),
             net: None,
             net_seed: 0,
+            fault_cfg: None,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -580,10 +589,19 @@ impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
         self.net = net.cloned();
     }
 
-    /// Records the seed of the next trial's network-noise stream (a no-op
-    /// while no timed network is installed).
+    /// Records the seed of the next trial's network-noise and crash-fault
+    /// streams (a no-op while neither a timed network nor a fault
+    /// configuration is installed).
     pub fn set_trial_seed(&mut self, seed: u64) {
         self.net_seed = seed;
+    }
+
+    /// Installs (or clears) a crash-fault configuration: each subsequent
+    /// trial draws a fresh [`FaultPlan`] from its trial seed (recorded via
+    /// [`TrialCache::set_trial_seed`]) and applies it for that trial.
+    /// `None` restores the fault-free path.
+    pub fn set_faults(&mut self, cfg: Option<&FaultConfig>) {
+        self.fault_cfg = cfg.copied();
     }
 
     /// The cached ring size.
@@ -614,8 +632,11 @@ impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
             timed,
             net,
             net_seed,
+            fault_cfg,
+            fault_plan,
             ..
         } = self;
+        install_faults(engine, fault_cfg.as_ref(), fault_plan, n, *net_seed);
         match net {
             Some(net) => run_ring_attack_timed_into(
                 engine, n, honest, overrides, wakes, nodes, timed, net, *net_seed, arena, exec,
@@ -646,7 +667,10 @@ impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
             timed,
             net,
             net_seed,
+            fault_cfg,
+            fault_plan,
         } = self;
+        install_faults(engine, fault_cfg.as_ref(), fault_plan, n, *net_seed);
         match net {
             Some(net) => run_ring_attack_timed_into(
                 engine, n, honest, overrides, all_ids, nodes, timed, net, *net_seed, arena, exec,
@@ -661,6 +685,26 @@ impl<M: Clone, N: Node<M> + ArenaBacked, D: Node<M>> TrialCache<M, N, D> {
     /// The last trial's [`Execution`] (all zeros/failed before any run).
     pub fn execution(&self) -> &Execution {
         &self.exec
+    }
+}
+
+/// Applies a [`TrialCache`]'s fault configuration for one trial: draws the
+/// plan from the trial seed into the reused buffer and installs it, or
+/// clears any stale plan when faults are off (so toggling the
+/// configuration can never leak a previous trial's plan into the next).
+fn install_faults<M>(
+    engine: &mut Engine<M>,
+    cfg: Option<&FaultConfig>,
+    plan: &mut FaultPlan,
+    n: usize,
+    trial_seed: u64,
+) {
+    match cfg {
+        Some(cfg) => {
+            plan.draw_into(cfg, n, trial_seed);
+            engine.set_fault_plan(plan);
+        }
+        None => engine.clear_fault_plan(),
     }
 }
 

@@ -14,7 +14,8 @@
 //! fle-lab sweep ... --shard 0/4 > part0.json  # one shard of the range
 //! fle-lab merge-reports part0.json part1.json part2.json part3.json
 //! fle-lab sweep ... --batch 8                 # lockstep-batched honest path
-//! fle-lab bench-baseline --out BENCH_9.json   # perf trajectory snapshot
+//! fle-lab sweep ... --crash 2 --recover 512   # crash-fault injection
+//! fle-lab bench-baseline --out BENCH_10.json  # perf trajectory snapshot
 //! ```
 //!
 //! The `sweep` subcommand runs one deterministic honest `fle-harness`
@@ -48,8 +49,9 @@ use fle_attacks::AttackKind;
 use fle_experiments::{find, EXPERIMENTS};
 use fle_harness::{
     run_sweep, run_sweep_checkpointed, run_sweep_partial, set_default_threads, sha256_hex,
-    AttackSweep, BatchConfig, CoalitionSpec, FnKeySpec, HonestSweep, LatencySpec, ProtocolKind,
-    ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec, DEFAULT_BATCH_WIDTH,
+    AttackSweep, BatchConfig, CoalitionSpec, CrashInstant, FaultSpec, FnKeySpec, HonestSweep,
+    LatencySpec, ProtocolKind, ReportPartial, ScheduleSpec, SeedMode, SweepSpec, TargetSpec,
+    DEFAULT_BATCH_WIDTH,
 };
 
 fn print_registry() {
@@ -66,12 +68,14 @@ fn print_registry() {
          \x20       [--trials N] [--seed N] [--threads N] [--fn-key N] [--batch K]\n\
          \x20       [--format json|csv]\n\
          \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
+         \x20       [--crash COUNT[@BOUND[ns]]] [--recover DELAY]\n\
          \x20       [--checkpoint FILE [--checkpoint-every N]] [--shard I/K]\n\
          \x20       one deterministic honest batch; report on stdout\n\
          \x20 fle-lab attack-sweep --attack <kind> --n <N> --coalition <placement>\n\
          \x20       [--trials N] [--seed N] [--threads N] [--target <policy>]\n\
          \x20       [--fn-key N | --fn-key-xor MASK] [--seed-mode derived|raw]\n\
          \x20       [--latency <dist>] [--loss PERMILLE] [--dup PERMILLE]\n\
+         \x20       [--crash COUNT[@BOUND[ns]]] [--recover DELAY]\n\
          \x20       [--checkpoint FILE [--checkpoint-every N]] [--shard I/K]\n\
          \x20       [--format json|csv]\n\
          \x20 fle-lab attack-sweep --spec FILE.json [--threads N] [--format json|csv]\n\
@@ -86,8 +90,13 @@ fn print_registry() {
          \x20     <policy>: fixed:V | seedprod:M   (target leader per trial)\n\
          \x20     <dist>: const:NS | uniform:LO:HI | twopoint:LO:HI:PERMILLE   (ns draws;\n\
          \x20             any of --latency/--loss/--dup selects the timed scheduler)\n\
+         \x20     --crash COUNT[@BOUND[ns]]: COUNT nodes crash-stop per trial at\n\
+         \x20             instants drawn uniformly below BOUND (deliveries, or\n\
+         \x20             virtual ns with the ns suffix on timed schedules;\n\
+         \x20             default 2n\u{b2} deliveries); --recover DELAY restarts each\n\
+         \x20             crashed node DELAY window-units later\n\
          \x20 fle-lab bench-baseline [--out PATH] [--quick]\n\
-         \x20       write the per-PR perf snapshot (default BENCH_9.json)"
+         \x20       write the per-PR perf snapshot (default BENCH_10.json)"
     );
 }
 
@@ -221,7 +230,10 @@ fn execute_sweep(spec: &SweepSpec, format: &str, opts: &ResilienceOpts) -> (Stri
     }
     if let Some(raw) = &opts.checkpoint {
         // The protected output has been emitted; the snapshot is spent.
+        // A `.tmp` sibling from an interrupted atomic write is stale the
+        // same moment, so it goes too.
         let _ = std::fs::remove_file(raw);
+        let _ = std::fs::remove_file(format!("{raw}.tmp"));
     }
     (label, n, ran)
 }
@@ -294,6 +306,8 @@ fn run_sweep_cli(args: &[String]) {
     let mut latency: Option<LatencySpec> = None;
     let mut loss: Option<u32> = None;
     let mut dup: Option<u32> = None;
+    let mut crash: Option<(u64, Option<CrashInstant>)> = None;
+    let mut recover: Option<u64> = None;
     let mut opts = ResilienceOpts::default();
     let mut i = 0;
     while i < args.len() {
@@ -328,6 +342,18 @@ fn run_sweep_cli(args: &[String]) {
             }
             "--dup" => {
                 dup = Some(parse_arg(args, i + 1, "--dup"));
+                i += 2;
+            }
+            "--crash" => {
+                let raw: String = parse_arg(args, i + 1, "--crash");
+                crash = Some(parse_crash(&raw).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--recover" => {
+                recover = Some(parse_arg(args, i + 1, "--recover"));
                 i += 2;
             }
             "--protocol" | "-p" => {
@@ -384,13 +410,21 @@ fn run_sweep_cli(args: &[String]) {
         std::process::exit(2);
     }
     check_format(&format);
+    let schedule = schedule_from_flags(latency, loss, dup);
+    let fault = fault_from_flags(
+        crash,
+        recover,
+        n,
+        matches!(schedule, ScheduleSpec::Timed { .. }),
+    );
     let spec = SweepSpec::Honest(HonestSweep {
         protocol,
         n,
         fn_key,
         batch,
         batch_width,
-        schedule: schedule_from_flags(latency, loss, dup),
+        schedule,
+        fault,
     });
     if let Err(e) = spec.validate() {
         eprintln!("invalid sweep spec: {e}");
@@ -502,6 +536,71 @@ fn parse_latency(raw: &str) -> Result<LatencySpec, String> {
     }
 }
 
+/// Parses a `--crash COUNT[@BOUND[ns]]` fault selector: COUNT nodes
+/// crash per trial at instants drawn uniformly in `[0, BOUND)` — a
+/// delivery-count bound by default, virtual nanoseconds with an `ns`
+/// suffix (timed schedules only). With no `@BOUND` the window defaults
+/// to the honest workload's nominal length, 2n² deliveries (fifo only;
+/// timed schedules need an explicit `@BOUNDns`).
+fn parse_crash(raw: &str) -> Result<(u64, Option<CrashInstant>), String> {
+    let (count, bound) = match raw.split_once('@') {
+        None => (raw, None),
+        Some((count, bound)) => (count, Some(bound)),
+    };
+    let crashes: u64 = count
+        .parse()
+        .map_err(|_| format!("invalid crash count '{count}' in --crash '{raw}'"))?;
+    let window = match bound {
+        None => None,
+        Some(b) => Some(match b.strip_suffix("ns") {
+            Some(t) => CrashInstant::VirtualNs(
+                t.parse()
+                    .map_err(|_| format!("invalid virtual-time bound '{b}' in --crash '{raw}'"))?,
+            ),
+            None => CrashInstant::Deliveries(
+                b.parse()
+                    .map_err(|_| format!("invalid delivery bound '{b}' in --crash '{raw}'"))?,
+            ),
+        }),
+    };
+    Ok((crashes, window))
+}
+
+/// Folds the `--crash`/`--recover` flags into a [`FaultSpec`], filling
+/// in the default fifo window (2n² deliveries, the nominal honest
+/// workload length) when `--crash` gave no explicit `@BOUND`. Timed
+/// schedules have no delivery clock, so they require the explicit
+/// `@BOUNDns` form.
+fn fault_from_flags(
+    crash: Option<(u64, Option<CrashInstant>)>,
+    recover: Option<u64>,
+    n: usize,
+    timed: bool,
+) -> Option<FaultSpec> {
+    let Some((crashes, window)) = crash else {
+        if recover.is_some() {
+            eprintln!("--recover needs --crash");
+            std::process::exit(2);
+        }
+        return None;
+    };
+    let window = window.unwrap_or_else(|| {
+        if timed {
+            eprintln!(
+                "--crash on a timed schedule needs an explicit virtual-time window \
+                 (--crash COUNT@BOUNDns)"
+            );
+            std::process::exit(2);
+        }
+        CrashInstant::Deliveries(2 * (n as u64) * (n as u64))
+    });
+    Some(FaultSpec {
+        crashes,
+        window,
+        recover,
+    })
+}
+
 /// Folds the three timed-network flags into a [`ScheduleSpec`]: all
 /// absent → the FIFO fast path; any present → the timed scheduler with
 /// zero defaults for the rest.
@@ -539,6 +638,8 @@ fn run_attack_sweep_cli(args: &[String]) {
     let mut latency: Option<LatencySpec> = None;
     let mut loss: Option<u32> = None;
     let mut dup: Option<u32> = None;
+    let mut crash: Option<(u64, Option<CrashInstant>)> = None;
+    let mut recover: Option<u64> = None;
     let mut opts = ResilienceOpts::default();
     let fail = |e: String| -> ! {
         eprintln!("{e}");
@@ -571,6 +672,15 @@ fn run_attack_sweep_cli(args: &[String]) {
             }
             "--dup" => {
                 dup = Some(parse_arg(args, i + 1, "--dup"));
+                i += 2;
+            }
+            "--crash" => {
+                let raw: String = parse_arg(args, i + 1, "--crash");
+                crash = Some(parse_crash(&raw).unwrap_or_else(|e| fail(e)));
+                i += 2;
+            }
+            "--recover" => {
+                recover = Some(parse_arg(args, i + 1, "--recover"));
                 i += 2;
             }
             "--spec" => {
@@ -641,6 +751,9 @@ fn run_attack_sweep_cli(args: &[String]) {
     }
     check_format(&format);
     let spec = if let Some(path) = spec_path {
+        if crash.is_some() || recover.is_some() {
+            fail("--crash/--recover apply to flag-built sweeps; put a \"fault\" key in the spec file instead".to_string());
+        }
         let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(2);
@@ -668,6 +781,13 @@ fn run_attack_sweep_cli(args: &[String]) {
             eprintln!("attack-sweep needs --coalition");
             std::process::exit(2);
         };
+        let schedule = schedule_from_flags(latency, loss, dup);
+        let fault = fault_from_flags(
+            crash,
+            recover,
+            n,
+            matches!(schedule, ScheduleSpec::Timed { .. }),
+        );
         SweepSpec::Attack(AttackSweep {
             attack,
             n,
@@ -676,7 +796,8 @@ fn run_attack_sweep_cli(args: &[String]) {
             coalition,
             target,
             seed_mode,
-            schedule: schedule_from_flags(latency, loss, dup),
+            schedule,
+            fault,
         })
     };
     if let Err(e) = spec.validate() {
@@ -794,6 +915,23 @@ const PR8_ATTACK_NS_PER_TRIAL: [(&str, f64); 2] = [
 /// lockstep batch arm diffs against.
 const PR8_PHASE_N64_NS_PER_DELIVERY: f64 = 19.1;
 
+/// The PR 9 snapshot's batched `phase_n64` ns/delivery (`BENCH_9.json`,
+/// `batch_sweep` arm) — the baseline the fault-*disabled* arm diffs
+/// against: with no fault plan installed the monomorphized no-fault
+/// path must stay within 2% of the pre-fault-layer engine.
+const PR9_BATCH_PHASE_N64_NS_PER_DELIVERY: f64 = 4.68;
+
+/// Overhead budget of the fault-disabled batched path against
+/// [`PR9_BATCH_PHASE_N64_NS_PER_DELIVERY`], in percent.
+const FAULT_DISABLED_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+/// The golden sha-256 of the canonical 10k-trial PhaseAsyncLead n=64
+/// honest report (`tests/golden_outcomes.rs`), re-verified in-process on
+/// every full (non-`--quick`) snapshot so a drifted engine can never
+/// record a trajectory point.
+const GOLDEN_PHASE_N64_SHA: &str =
+    "3001849b911e21739d42048ea699659cc662da9466873125127b4673124019e4";
+
 /// How many times each measured sweep arm runs; the snapshot records the
 /// median, so one noisy run can't skew the trajectory.
 const BENCH_REPEATS: usize = 5;
@@ -906,6 +1044,7 @@ fn bench_attack_sweep(quick: bool) -> (f64, f64, u64) {
             target: TargetSpec::Fixed(3),
             seed_mode: SeedMode::Derived,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         })
     };
     // Warmup batch, then the timed run through the cached runners.
@@ -944,6 +1083,7 @@ fn time_sweep(protocol: ProtocolKind, n: usize, trials: u64, batch_width: usize)
         },
         batch_width,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     };
     // One short warmup batch so page faults and lazy init don't bill the
     // measured runs.
@@ -1007,6 +1147,7 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
             loss_permille: 0,
             dup_permille: 0,
         },
+        fault: None,
     };
     let _ = run_sweep(&SweepSpec::Honest(HonestSweep {
         batch: BatchConfig {
@@ -1027,8 +1168,61 @@ fn bench_timed_sweep(quick: bool) -> (f64, f64, u64) {
     (ns, report.messages.mean, trials)
 }
 
+/// Measures the fault-injection arm: the `phase_n64` honest workload
+/// with 2 crash-stop faults per trial drawn inside the nominal 2n²
+/// delivery window. Fault-enabled sweeps force the scalar path, so this
+/// times the per-trial plan draw + crash bookkeeping on top of the
+/// scalar engine. Returns
+/// `(ns_per_trial, deliveries_per_trial, survival_rate, crashed_trials, trials)`.
+fn bench_fault_sweep(quick: bool) -> (f64, f64, f64, u64, u64) {
+    let scale = if quick { 10 } else { 1 };
+    let trials = 5_000 / scale;
+    let cfg = HonestSweep {
+        protocol: ProtocolKind::PhaseAsyncLead,
+        n: 64,
+        fn_key: 0,
+        batch: BatchConfig {
+            trials,
+            base_seed: 1,
+            threads: 1,
+        },
+        batch_width: 1,
+        schedule: ScheduleSpec::Fifo,
+        fault: Some(FaultSpec {
+            crashes: 2,
+            window: CrashInstant::Deliveries(2 * 64 * 64),
+            recover: None,
+        }),
+    };
+    let _ = run_sweep(&SweepSpec::Honest(HonestSweep {
+        batch: BatchConfig {
+            trials: (trials / 10).max(1),
+            ..cfg.batch
+        },
+        ..cfg
+    }))
+    .expect("valid spec");
+    let start = std::time::Instant::now();
+    let report = run_sweep(&SweepSpec::Honest(cfg)).expect("valid spec");
+    let ns = start.elapsed().as_secs_f64() * 1e9 / trials as f64;
+    let fault = report.fault.expect("fault-enabled sweeps carry the arm");
+    let survival = fle_harness::FaultSummary::survival_rate(report.elected(), report.trials);
+    eprintln!(
+        "  [bench-baseline fault_sweep phase_n64 (2 crashes): {ns:.0} ns/trial, \
+         {:.1} deliveries/trial, survival {survival:.4}]",
+        report.messages.mean
+    );
+    (
+        ns,
+        report.messages.mean,
+        survival,
+        fault.crashed_trials,
+        trials,
+    )
+}
+
 fn run_bench_baseline(args: &[String]) {
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -1092,6 +1286,7 @@ fn run_bench_baseline(args: &[String]) {
         },
         batch_width: 1,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     };
     let sweep_spec = SweepSpec::Honest(honest_phase_n64);
     let start = std::time::Instant::now();
@@ -1099,6 +1294,14 @@ fn run_bench_baseline(args: &[String]) {
     let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
     let sweep_sha = sha256_hex(report.to_json().as_bytes());
     eprintln!("  [bench-baseline sweep_phase_n64: {sweep_ms:.0} ms for {sweep_trials} trials]");
+    // Full-size snapshots re-verify the golden pin in-process: a perf
+    // point measured on a drifted engine would poison the trajectory.
+    if !quick {
+        assert_eq!(
+            sweep_sha, GOLDEN_PHASE_N64_SHA,
+            "sweep_phase_n64 diverged from the golden pin"
+        );
+    }
 
     // The checkpoint-overhead arm: the same sweep snapshotting its
     // partial to disk every 1000 trials. The sha check proves the
@@ -1131,6 +1334,9 @@ fn run_bench_baseline(args: &[String]) {
     let (attack_sweep_ns, attack_loop_ns, attack_sweep_trials) = bench_attack_sweep(quick);
     // The timed-network arm: phase_n64 on the virtual-time scheduler.
     let (timed_ns, timed_deliveries, timed_trials) = bench_timed_sweep(quick);
+    // The fault-injection arm: phase_n64 with 2 crash-stop faults/trial.
+    let (fault_ns, fault_deliveries, fault_survival, fault_crashed, fault_trials) =
+        bench_fault_sweep(quick);
     let timed_ns_per_delivery = timed_ns / timed_deliveries;
     let untimed_phase_n64_nd = ns_per_delivery
         .iter()
@@ -1170,6 +1376,25 @@ fn run_bench_baseline(args: &[String]) {
         "  [bench-baseline batch_sweep phase_n64 (width {batch_width}): {batched_ns:.0} ns/trial \
          → {batched_nd:.2} ns/delivery vs {PR8_PHASE_N64_NS_PER_DELIVERY:.1} scalar PR8 \
          → {batch_improvement_pct:+.1}%]"
+    );
+
+    // The fault-*disabled* arm: the batched measurement above ran with
+    // the fault layer compiled in but no plan installed — exactly the
+    // path the PR 9 `batch_sweep` baseline measured before the fault
+    // layer existed. The no-fault hook is monomorphized away, so it must
+    // stay within the overhead budget.
+    let fault_disabled_overhead_pct =
+        (batched_nd / PR9_BATCH_PHASE_N64_NS_PER_DELIVERY - 1.0) * 100.0;
+    eprintln!(
+        "  [bench-baseline fault_disabled phase_n64 (width {batch_width}): {batched_nd:.2} \
+         ns/delivery vs {PR9_BATCH_PHASE_N64_NS_PER_DELIVERY:.2} PR9 batched \
+         → {fault_disabled_overhead_pct:+.2}% (budget {FAULT_DISABLED_OVERHEAD_BUDGET_PCT:.0}%)]"
+    );
+    assert!(
+        fault_disabled_overhead_pct <= FAULT_DISABLED_OVERHEAD_BUDGET_PCT,
+        "fault-disabled batched path regressed {fault_disabled_overhead_pct:+.2}% vs the PR 9 \
+         baseline ({batched_nd:.2} vs {PR9_BATCH_PHASE_N64_NS_PER_DELIVERY:.2} ns/delivery, \
+         budget {FAULT_DISABLED_OVERHEAD_BUDGET_PCT:.0}%)"
     );
 
     let fmt_map = |entries: &[(&str, f64)]| {
@@ -1250,6 +1475,12 @@ fn run_bench_baseline(args: &[String]) {
             "\"ns_per_trial\":{:.1},\"deliveries_per_trial\":{:.1},",
             "\"ns_per_delivery\":{:.2},\"untimed_ns_per_delivery\":{:.2},",
             "\"overhead_ratio\":{:.2}}},",
+            "\"fault_sweep\":{{\"workload\":\"phase_n64_crash2\",\"trials\":{},",
+            "\"ns_per_trial\":{:.1},\"deliveries_per_trial\":{:.1},",
+            "\"survival_rate\":{:.4},\"crashed_trials\":{}}},",
+            "\"fault_disabled\":{{\"workload\":\"phase_n64\",\"batch_width\":{},",
+            "\"ns_per_delivery\":{:.2},\"pr9_ns_per_delivery\":{:.2},",
+            "\"overhead_pct\":{:.2},\"budget_pct\":{:.1}}},",
             "\"batch_sweep\":{{\"workload\":\"phase_n64\",\"trials\":{},",
             "\"batch_width\":{},\"ns_per_trial_batched\":{:.1},",
             "\"ns_per_delivery_batched\":{:.2},",
@@ -1303,6 +1534,16 @@ fn run_bench_baseline(args: &[String]) {
         timed_ns_per_delivery,
         untimed_phase_n64_nd,
         timed_overhead_ratio,
+        fault_trials,
+        fault_ns,
+        fault_deliveries,
+        fault_survival,
+        fault_crashed,
+        batch_width,
+        batched_nd,
+        PR9_BATCH_PHASE_N64_NS_PER_DELIVERY,
+        fault_disabled_overhead_pct,
+        FAULT_DISABLED_OVERHEAD_BUDGET_PCT,
         sweep_trials,
         batch_width,
         batched_ns,

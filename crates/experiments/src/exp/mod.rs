@@ -7,6 +7,7 @@ pub mod c47;
 pub mod d1;
 pub mod e4;
 pub mod exact;
+pub mod faults;
 pub mod fig1;
 pub mod fullinfo;
 pub mod msg;

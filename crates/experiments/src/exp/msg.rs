@@ -27,6 +27,7 @@ fn honest_messages(protocol: ProtocolKind, n: usize) -> u64 {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     assert_eq!(

@@ -35,6 +35,7 @@ fn cell_spec(n: usize, k: usize, trials: u64) -> SweepSpec {
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 

@@ -63,6 +63,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             target: TargetSpec::SeedProduct { multiplier: 17 },
             seed_mode: SeedMode::RawIndex,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         }))
         .expect("valid spec");
         let arm = report.attack.expect("attack sweeps carry the arm");

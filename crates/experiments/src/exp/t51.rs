@@ -65,6 +65,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     assert_eq!(report.elected(), trials, "honest runs succeed");
@@ -103,6 +104,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         target: TargetSpec::Fixed(1),
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     let arm = report.attack.expect("attack sweeps carry the arm");

@@ -43,6 +43,7 @@ fn phase_cell(
         target,
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
@@ -148,6 +149,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     assert_eq!(report.fails.total(), 0, "honest runs succeed");

@@ -42,6 +42,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     let ones: u64 = report.wins.iter().skip(1).step_by(2).sum();
@@ -68,6 +69,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         target: TargetSpec::Fixed(5),
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     let arm = report.attack.expect("attack sweeps carry the arm");

@@ -56,6 +56,7 @@ fn spec(trials: u64, schedule: ScheduleSpec) -> AttackSweep {
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
         schedule,
+        fault: None,
     }
 }
 

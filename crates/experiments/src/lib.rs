@@ -11,7 +11,7 @@
 //! or a single experiment by id (`fig1`, `b1`, `t42`, `tc1`, `t43`,
 //! `t51`, `d1`, `t61`, `e4`, `t72`, `t81`, `sync`, `msg`, `sfc`, `c47`,
 //! `shamir`, `syncring`, `fullinfo`, `apph`, `rename`, `exact`,
-//! `ablate`, `timed`). Every experiment returns plain-text [`Table`]s; `--quick`
+//! `ablate`, `timed`, `faults`). Every experiment returns plain-text [`Table`]s; `--quick`
 //! shrinks ring sizes and trial counts for smoke testing (the same
 //! configuration the integration tests and Criterion benches use).
 
@@ -154,6 +154,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         id: "timed",
         description: "Timed nets: latency placement never rescues the ring; loss leaves the model",
         run: exp::timed::run,
+    },
+    Experiment {
+        id: "faults",
+        description:
+            "Crash faults: survival vs. crash count, recovery ladder, crashes never arm rushing",
+        run: exp::faults::run,
     },
 ];
 

@@ -104,6 +104,41 @@ fn cli_shard_merge_matches_monolithic() {
     assert_eq!(merged.stdout, monolithic.stdout);
 }
 
+/// `merge-reports` over partials whose trial ranges overlap must fail
+/// naming the colliding ranges (never silently double-count), exit
+/// code 2. Shards `0/2` and `0/3` of the same sweep cover `[0,150)` and
+/// `[0,100)` — a strict overlap.
+#[test]
+fn cli_merge_reports_rejects_overlapping_ranges() {
+    let mut files = Vec::new();
+    for (i, shard) in ["0/2", "0/3"].iter().enumerate() {
+        let mut args = SMALL_SWEEP.to_vec();
+        args.extend_from_slice(&["--shard", shard]);
+        let out = run_ok(&args);
+        let tmp = TempPath::new(&format!("overlap{i}"));
+        std::fs::write(&tmp.0, &out.stdout).expect("write shard file");
+        files.push(tmp);
+    }
+    let out = fle_lab()
+        .args(["merge-reports", files[0].as_str(), files[1].as_str()])
+        .output()
+        .expect("spawn fle_lab");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("overlapping trial ranges [0,100) and [0,150)"),
+        "stderr must name the colliding ranges: {stderr}"
+    );
+    // A file listed twice is the same mistake in disguise.
+    let out = fle_lab()
+        .args(["merge-reports", files[0].as_str(), files[0].as_str()])
+        .output()
+        .expect("spawn fle_lab");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("overlapping"), "stderr: {stderr}");
+}
+
 /// `--shard` with `--format csv` must be rejected up front (partials are
 /// JSON-only), exit code 2.
 #[test]

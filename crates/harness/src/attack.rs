@@ -88,6 +88,7 @@ fn run_attack_partial_impl(
     // the coalition must resolve and the runner must accept the layout.
     let coalition = cfg.coalition.resolve(cfg.n)?;
     build_runner(cfg.attack, cfg.n, &coalition).map_err(|e| e.to_string())?;
+    let fcfg = cfg.fault.map(|f| f.config());
     let results = run_batch_range(
         &cfg.batch,
         start,
@@ -96,6 +97,7 @@ fn run_attack_partial_impl(
             let mut runner =
                 build_runner(cfg.attack, cfg.n, &coalition).expect("layout validated above");
             runner.set_timed_net(net);
+            runner.set_faults(fcfg.as_ref());
             runner
         },
         |runner, index, derived| {
@@ -103,17 +105,33 @@ fn run_attack_partial_impl(
             let fn_key = cfg.fn_key.resolve(seed);
             let target = cfg.target.resolve(seed, cfg.n);
             match runner.run_trial(seed, fn_key, target) {
-                Ok(r) => (Some(TrialOutcome::of(r.exec)), r.success),
-                Err(_) => (None, false),
+                // Infeasible trials never ran, so they never crashed.
+                Ok(r) => (
+                    Some(TrialOutcome::of(r.exec)),
+                    r.success,
+                    r.exec.stats.crashes > 0,
+                ),
+                Err(_) => (None, false, false),
             }
         },
     );
     let label = format!("{}:{}", cfg.attack.protocol_name(), cfg.attack.name());
     let mut partial =
         ReportPartial::new_attack(&label, cfg.n, cfg.batch.base_seed, cfg.batch.trials);
+    let faulty = fcfg.is_some();
+    if faulty {
+        partial = partial.with_faults();
+    }
     for (i, slot) in results.into_iter().enumerate() {
         match slot {
-            Ok((outcome, success)) => partial.record_attack(start + i as u64, outcome, success),
+            Ok((outcome, success, crashed)) => {
+                let index = start + i as u64;
+                if faulty {
+                    partial.record_attack_faulty(index, outcome, success, crashed);
+                } else {
+                    partial.record_attack(index, outcome, success);
+                }
+            }
             Err(fault) => partial.record_fault(fault),
         }
     }
@@ -143,6 +161,7 @@ mod tests {
             target: TargetSpec::Fixed(3),
             seed_mode,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         }
     }
 
@@ -220,6 +239,7 @@ mod tests {
             target: TargetSpec::Fixed(1),
             seed_mode: SeedMode::Derived,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         };
         let report = run_attack_sweep(&cfg).expect("valid");
         let arm = report.attack.expect("attack arm");

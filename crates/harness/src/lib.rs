@@ -52,6 +52,7 @@
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 2 },
 //!     batch_width: 0, // 0 = default lockstep width; results are width-invariant
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
+//!     fault: None,
 //! });
 //! let report = run_sweep(&spec).expect("valid spec");
 //! assert_eq!(report.trials, 64);
@@ -64,6 +65,7 @@
 //!     batch: BatchConfig { trials: 64, base_seed: 1, threads: 1 },
 //!     batch_width: 0,
 //!     schedule: fle_harness::ScheduleSpec::Fifo,
+//!     fault: None,
 //! }))
 //! .expect("valid spec");
 //! assert_eq!(report.to_json(), serial.to_json());
@@ -105,15 +107,18 @@ pub use digest::sha256_hex;
 pub use json::Json;
 pub use partial::{ReportPartial, PARTIAL_FORMAT, PARTIAL_VERSION};
 pub use report::{
-    wilson_ci95, AttackSummary, FailCounts, MetricSummary, TrialOutcome, TrialReport,
+    wilson_ci95, AttackSummary, FailCounts, FaultSummary, MetricSummary, TrialOutcome, TrialReport,
 };
 pub use spec::{
-    protocol_key, AttackSweep, CoalitionSpec, FnKeySpec, GraphSpec, ScheduleSpec, SeedMode,
-    SweepSpec, TargetSpec, TreeSweep,
+    protocol_key, AttackSweep, CoalitionSpec, FaultSpec, FnKeySpec, GraphSpec, ScheduleSpec,
+    SeedMode, SweepSpec, TargetSpec, TreeSweep,
 };
-// The timed-network building blocks, re-exported so spec consumers can
-// construct schedules and per-edge nets without naming `ring_sim`.
-pub use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
+// The timed-network and fault-injection building blocks, re-exported so
+// spec consumers can construct schedules, per-edge nets and crash plans
+// without naming `ring_sim`.
+pub use ring_sim::{
+    CrashInstant, FaultConfig, FaultPlan, LatencySpec, LinkProfile, TimedNetConfig,
+};
 pub use sweep::{
     run_honest_partial, run_honest_sweep, run_sweep, run_sweep_partial, HonestSweep, ProtocolKind,
     DEFAULT_BATCH_WIDTH, MAX_BATCH_WIDTH,

@@ -15,8 +15,10 @@ use std::collections::BTreeMap;
 
 use crate::batch::TrialFault;
 use crate::json::Json;
-use crate::report::{AttackSummary, FailCounts, MetricSummary, TrialOutcome, TrialReport};
-use crate::spec::{check_keys, req, req_str, req_u64, req_usize, require};
+use crate::report::{
+    AttackSummary, FailCounts, FaultSummary, MetricSummary, TrialOutcome, TrialReport,
+};
+use crate::spec::{check_keys, opt_u64, req, req_str, req_u64, req_usize, require};
 use ring_sim::Outcome;
 
 /// Format marker every serialized partial carries.
@@ -39,6 +41,13 @@ pub struct ReportPartial {
     base_seed: u64,
     trials_total: u64,
     attack: bool,
+    /// Whether the sweep injects crash faults: set by
+    /// [`with_faults`](ReportPartial::with_faults), carried through merge
+    /// and serialization so the finished report grows a fault arm.
+    faulty: bool,
+    /// Trials in which at least one planned crash fired (fault-enabled
+    /// sweeps only).
+    crashed: u64,
     /// Sorted, disjoint, coalesced half-open `[lo, hi)` index ranges.
     ranges: Vec<(u64, u64)>,
     wins: Vec<u64>,
@@ -62,6 +71,8 @@ impl ReportPartial {
             base_seed,
             trials_total,
             attack,
+            faulty: false,
+            crashed: 0,
             ranges: Vec::new(),
             wins: vec![0; n],
             out_of_range: 0,
@@ -84,9 +95,24 @@ impl ReportPartial {
         Self::new(protocol, n, base_seed, trials_total, true)
     }
 
+    /// Marks this partial as aggregating a fault-enabled sweep: trials are
+    /// fed through [`record_faulty`](ReportPartial::record_faulty) /
+    /// [`record_attack_faulty`](ReportPartial::record_attack_faulty) and
+    /// the finished report carries a [`FaultSummary`] arm. Fault-enabled
+    /// and fault-free partials never merge.
+    pub fn with_faults(mut self) -> Self {
+        self.faulty = true;
+        self
+    }
+
     /// Whether this partial aggregates attack trials.
     pub fn is_attack(&self) -> bool {
         self.attack
+    }
+
+    /// Whether this partial aggregates a fault-enabled sweep.
+    pub fn is_faulty(&self) -> bool {
+        self.faulty
     }
 
     /// The protocol (or `protocol:attack`) label.
@@ -198,6 +224,50 @@ impl ReportPartial {
         }
     }
 
+    /// Records one honest trial of a fault-enabled sweep at global
+    /// `index`: `crashed` says whether at least one planned crash fired
+    /// during the trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-fault-enabled or attack partial, an out-of-bounds
+    /// index, or a double-recorded index.
+    pub fn record_faulty(&mut self, index: u64, outcome: TrialOutcome, crashed: bool) {
+        assert!(
+            self.faulty,
+            "faulty trial recorded into a fault-free partial"
+        );
+        self.record(index, outcome);
+        if crashed {
+            self.crashed += 1;
+        }
+    }
+
+    /// Records one attack trial of a fault-enabled sweep at global
+    /// `index` (see [`record_attack`](ReportPartial::record_attack);
+    /// `crashed` as in [`record_faulty`](ReportPartial::record_faulty)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-fault-enabled or honest partial, an out-of-bounds
+    /// index, or a double-recorded index.
+    pub fn record_attack_faulty(
+        &mut self,
+        index: u64,
+        outcome: Option<TrialOutcome>,
+        success: bool,
+        crashed: bool,
+    ) {
+        assert!(
+            self.faulty,
+            "faulty trial recorded into a fault-free partial"
+        );
+        self.record_attack(index, outcome, success);
+        if crashed {
+            self.crashed += 1;
+        }
+    }
+
     /// Records a contained trial panic: its index is consumed (covered)
     /// but contributes to no statistic except the fault list.
     pub fn record_fault(&mut self, fault: TrialFault) {
@@ -221,21 +291,24 @@ impl ReportPartial {
                 && self.n == other.n
                 && self.base_seed == other.base_seed
                 && self.trials_total == other.trials_total
-                && self.attack == other.attack,
+                && self.attack == other.attack
+                && self.faulty == other.faulty,
             &format!(
                 "partials describe different sweeps: \
-                 ({}, n={}, base_seed={}, trials={}, attack={}) vs \
-                 ({}, n={}, base_seed={}, trials={}, attack={})",
+                 ({}, n={}, base_seed={}, trials={}, attack={}, faulty={}) vs \
+                 ({}, n={}, base_seed={}, trials={}, attack={}, faulty={})",
                 self.protocol,
                 self.n,
                 self.base_seed,
                 self.trials_total,
                 self.attack,
+                self.faulty,
                 other.protocol,
                 other.n,
                 other.base_seed,
                 other.trials_total,
-                other.attack
+                other.attack,
+                other.faulty
             ),
         )?;
         let mut ranges: Vec<(u64, u64)> =
@@ -268,6 +341,8 @@ impl ReportPartial {
         self.fails.disagreement += other.fails.disagreement;
         self.fails.deadlock += other.fails.deadlock;
         self.fails.step_limit += other.fails.step_limit;
+        self.fails.crash_partition += other.fails.crash_partition;
+        self.crashed += other.crashed;
         self.successes += other.successes;
         self.infeasible += other.infeasible;
         for (&v, &c) in &other.messages {
@@ -336,6 +411,9 @@ impl ReportPartial {
                 successes: self.successes,
                 infeasible: self.infeasible,
             }),
+            fault: self.faulty.then_some(FaultSummary {
+                crashed_trials: self.crashed,
+            }),
             faults: self.faults.clone(),
         })
     }
@@ -369,6 +447,18 @@ impl ReportPartial {
         } else {
             String::new()
         };
+        // Fault-enabled partials carry the crash counters; fault-free
+        // partials keep the exact historical bytes.
+        let crash_partition = if self.faulty {
+            format!(",\"crash_partition\":{}", self.fails.crash_partition)
+        } else {
+            String::new()
+        };
+        let fault_arm = if self.faulty {
+            format!("\"crashed\":{},", self.crashed)
+        } else {
+            String::new()
+        };
         let faults = self
             .faults
             .iter()
@@ -387,8 +477,8 @@ impl ReportPartial {
                 "{{\"format\":\"{}\",\"version\":{},\"kind\":\"{}\",\"protocol\":\"{}\",",
                 "\"n\":{},\"base_seed\":{},\"trials_total\":{},\"ranges\":[{}],",
                 "\"wins\":[{}],\"out_of_range\":{},",
-                "\"fails\":{{\"abort\":{},\"disagreement\":{},\"deadlock\":{},\"step_limit\":{}}},",
-                "{}\"messages\":[{}],\"steps\":[{}],\"faults\":[{}]}}"
+                "\"fails\":{{\"abort\":{},\"disagreement\":{},\"deadlock\":{},\"step_limit\":{}{}}},",
+                "{}{}\"messages\":[{}],\"steps\":[{}],\"faults\":[{}]}}"
             ),
             PARTIAL_FORMAT,
             PARTIAL_VERSION,
@@ -404,7 +494,9 @@ impl ReportPartial {
             self.fails.disagreement,
             self.fails.deadlock,
             self.fails.step_limit,
+            crash_partition,
             attack_arm,
+            fault_arm,
             pairs(&self.messages),
             pairs(&self.steps),
             faults,
@@ -441,6 +533,7 @@ impl ReportPartial {
                 "fails",
                 "successes",
                 "infeasible",
+                "crashed",
                 "messages",
                 "steps",
                 "faults",
@@ -516,13 +609,32 @@ impl ReportPartial {
         let fails = req(v, "fails", ctx)?;
         check_keys(
             fails,
-            &["abort", "disagreement", "deadlock", "step_limit"],
+            &[
+                "abort",
+                "disagreement",
+                "deadlock",
+                "step_limit",
+                "crash_partition",
+            ],
             "fails",
         )?;
         out.fails.abort = req_u64(fails, "abort", "fails")?;
         out.fails.disagreement = req_u64(fails, "disagreement", "fails")?;
         out.fails.deadlock = req_u64(fails, "deadlock", "fails")?;
         out.fails.step_limit = req_u64(fails, "step_limit", "fails")?;
+        // The crash counters travel together: a fault-enabled partial
+        // carries both "crashed" and "fails.crash_partition", a fault-free
+        // one carries neither.
+        out.faulty = v.get("crashed").is_some();
+        if out.faulty {
+            out.crashed = req_u64(v, "crashed", ctx)?;
+            out.fails.crash_partition = opt_u64(fails, "crash_partition", 0)?;
+        } else {
+            require(
+                fails.get("crash_partition").is_none(),
+                &format!("{ctx}: fault-free partials carry no crash_partition field"),
+            )?;
+        }
         if attack {
             out.successes = req_u64(v, "successes", ctx)?;
             out.infeasible = req_u64(v, "infeasible", ctx)?;
@@ -566,6 +678,13 @@ impl ReportPartial {
             &format!("{ctx}: outcome counts ({accounted}) != covered trials ({recorded})"),
         )?;
         let ran = recorded - out.infeasible;
+        require(
+            out.crashed <= ran,
+            &format!(
+                "{ctx}: crashed trials ({}) exceed ran trials ({ran})",
+                out.crashed
+            ),
+        )?;
         for (name, hist) in [("messages", &out.messages), ("steps", &out.steps)] {
             let samples: u64 = hist.values().sum();
             require(

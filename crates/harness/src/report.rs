@@ -49,12 +49,17 @@ pub struct FailCounts {
     pub deadlock: u64,
     /// Trials that hit the step limit.
     pub step_limit: u64,
+    /// Trials partitioned by an injected crash fault (quiescence with
+    /// live non-terminated survivors). Always 0 on the fault-free path;
+    /// serialized only when nonzero or the report carries a fault arm, so
+    /// fault-free reports keep their historical bytes.
+    pub crash_partition: u64,
 }
 
 impl FailCounts {
     /// Total failed trials.
     pub fn total(&self) -> u64 {
-        self.abort + self.disagreement + self.deadlock + self.step_limit
+        self.abort + self.disagreement + self.deadlock + self.step_limit + self.crash_partition
     }
 
     pub(crate) fn record(&mut self, reason: FailReason) {
@@ -63,6 +68,7 @@ impl FailCounts {
             FailReason::Disagreement => self.disagreement += 1,
             FailReason::Deadlock => self.deadlock += 1,
             FailReason::StepLimit => self.step_limit += 1,
+            FailReason::CrashPartition => self.crash_partition += 1,
         }
     }
 }
@@ -186,6 +192,39 @@ impl AttackSummary {
     }
 }
 
+/// The fault arm of a [`TrialReport`]: how many trials saw at least one
+/// injected crash fire, plus the survival probability (elected a leader
+/// despite the faults) with its Wilson 95% CI.
+///
+/// Only reports aggregated from fault-enabled sweeps carry one; fault-free
+/// reports leave [`TrialReport::fault`] as `None` and serialize exactly as
+/// before, so every pre-existing golden pin is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Trials in which at least one planned crash fired before the
+    /// execution ended.
+    pub crashed_trials: u64,
+}
+
+impl FaultSummary {
+    /// Survival rate: `elected / trials` (a crashed trial that still
+    /// elects a leader counts as surviving).
+    pub fn survival_rate(elected: u64, trials: u64) -> f64 {
+        elected as f64 / trials.max(1) as f64
+    }
+
+    fn to_json(self, elected: u64, trials: u64) -> String {
+        let (lo, hi) = wilson_ci95(elected, trials);
+        format!(
+            "{{\"crashed_trials\":{},\"survival_rate\":{},\"ci95_lo\":{},\"ci95_hi\":{}}}",
+            self.crashed_trials,
+            fmt_f64(Self::survival_rate(elected, trials)),
+            fmt_f64(lo),
+            fmt_f64(hi),
+        )
+    }
+}
+
 /// Fixed-precision float formatting so serialized reports are
 /// byte-deterministic.
 fn fmt_f64(x: f64) -> String {
@@ -218,6 +257,10 @@ pub struct TrialReport {
     /// trials. `None` keeps honest serializations byte-identical to the
     /// pre-attack-sweep format.
     pub attack: Option<AttackSummary>,
+    /// Fault-injection arm: present only for reports aggregated from
+    /// fault-enabled sweeps. `None` keeps fault-free serializations
+    /// byte-identical to the pre-fault format.
+    pub fault: Option<FaultSummary>,
     /// Contained trial panics (index + repro seed), in index order. These
     /// trials are excluded from `trials` and every statistic; an empty
     /// vector (every fault-free run) serializes exactly as before, so
@@ -258,6 +301,7 @@ impl TrialReport {
             messages: MetricSummary::of(&messages),
             steps: MetricSummary::of(&steps),
             attack: None,
+            fault: None,
             faults: Vec::new(),
         }
     }
@@ -314,11 +358,19 @@ impl TrialReport {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        // `crash_partition` slots into the fails object only on
+        // fault-enabled reports (or if a crash partition somehow got
+        // counted), so fault-free reports keep the exact historical bytes.
+        let crash_partition = if self.fault.is_some() || self.fails.crash_partition > 0 {
+            format!(",\"crash_partition\":{}", self.fails.crash_partition)
+        } else {
+            String::new()
+        };
         let mut out = format!(
             concat!(
                 "{{\"protocol\":\"{}\",\"n\":{},\"trials\":{},\"base_seed\":{},",
                 "\"elected\":{},\"out_of_range\":{},",
-                "\"fails\":{{\"abort\":{},\"disagreement\":{},\"deadlock\":{},\"step_limit\":{}}},",
+                "\"fails\":{{\"abort\":{},\"disagreement\":{},\"deadlock\":{},\"step_limit\":{}{}}},",
                 "\"wins\":[{}],\"messages\":{},\"steps\":{}}}"
             ),
             self.protocol,
@@ -331,6 +383,7 @@ impl TrialReport {
             self.fails.disagreement,
             self.fails.deadlock,
             self.fails.step_limit,
+            crash_partition,
             wins,
             self.messages.to_json(),
             self.steps.to_json(),
@@ -340,6 +393,14 @@ impl TrialReport {
             // reports (attack = None) keep the exact historical bytes.
             out.pop();
             out.push_str(&format!(",\"attack\":{}}}", a.to_json(self.trials)));
+        }
+        if let Some(f) = self.fault {
+            // Likewise the fault arm: fault-free reports are unchanged.
+            out.pop();
+            out.push_str(&format!(
+                ",\"fault\":{}}}",
+                f.to_json(self.elected(), self.trials)
+            ));
         }
         if !self.faults.is_empty() {
             let list = self
@@ -378,6 +439,17 @@ impl TrialReport {
                 a.successes,
                 a.infeasible,
                 fmt_f64(a.success_rate(self.trials)),
+                fmt_f64(lo),
+                fmt_f64(hi),
+            ));
+        }
+        if let Some(f) = self.fault {
+            let (lo, hi) = wilson_ci95(self.elected(), self.trials);
+            out.push_str("crashed_trials,survival_rate,ci95_lo,ci95_hi\n");
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                f.crashed_trials,
+                fmt_f64(FaultSummary::survival_rate(self.elected(), self.trials)),
                 fmt_f64(lo),
                 fmt_f64(hi),
             ));

@@ -14,7 +14,7 @@ use crate::BatchConfig;
 use fle_attacks::{build_runner, cubic_distances, AttackKind};
 use fle_core::Coalition;
 use fle_topology::{figure2_graph, Graph, TreePartition};
-use ring_sim::{LatencySpec, LinkProfile, TimedNetConfig};
+use ring_sim::{CrashInstant, FaultConfig, LatencySpec, LinkProfile, TimedNetConfig};
 
 /// How per-trial protocol seeds are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -326,6 +326,109 @@ impl ScheduleSpec {
                     ),
                 }
             }
+        }
+    }
+}
+
+/// Deterministic crash-fault injection for a sweep: per trial,
+/// `crashes` distinct nodes crash-stop at instants drawn uniformly inside
+/// `window`, optionally recovering `recover` clock units later (see
+/// [`ring_sim::fault`]). Serialized as a `"fault"` key that is emitted
+/// only when present, so fault-free specs (and their sha pins and
+/// checkpoint spec hashes) are byte-unchanged.
+///
+/// Fault-enabled sweeps force the scalar trial path (like timed
+/// schedules do): per-trial fault plans diverge trials immediately, so
+/// lockstep batching would never pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Distinct nodes to crash per trial (`1 ..= n-1`).
+    pub crashes: u64,
+    /// The crash-instant window: instants are drawn uniformly in
+    /// `[0, bound)` on the window's clock ([`CrashInstant::Deliveries`]
+    /// for the untimed paths, [`CrashInstant::VirtualNs`] for timed
+    /// schedules).
+    pub window: CrashInstant,
+    /// Optional recovery delay after each crash, in the window's units.
+    pub recover: Option<u64>,
+}
+
+impl FaultSpec {
+    /// The engine-level [`FaultConfig`] this spec draws plans from.
+    pub fn config(&self) -> FaultConfig {
+        FaultConfig {
+            crashes: self.crashes,
+            window: self.window,
+            recover_after: self.recover,
+        }
+    }
+
+    fn to_json(self) -> String {
+        let window = match self.window {
+            CrashInstant::Deliveries(d) => format!("\"window_deliveries\":{d}"),
+            CrashInstant::VirtualNs(t) => format!("\"window_ns\":{t}"),
+        };
+        let recover = match self.recover {
+            None => String::new(),
+            Some(r) => format!(",\"recover\":{r}"),
+        };
+        format!("{{\"crashes\":{},{window}{recover}}}", self.crashes)
+    }
+
+    fn parse(v: &Json) -> Result<Self, String> {
+        let ctx = "fault";
+        check_keys(
+            v,
+            &["crashes", "window_deliveries", "window_ns", "recover"],
+            ctx,
+        )?;
+        let window = match (v.get("window_deliveries"), v.get("window_ns")) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "fault: \"window_deliveries\" and \"window_ns\" are mutually exclusive"
+                        .to_string(),
+                );
+            }
+            (Some(_), None) => CrashInstant::Deliveries(req_u64(v, "window_deliveries", ctx)?),
+            (None, Some(_)) => CrashInstant::VirtualNs(req_u64(v, "window_ns", ctx)?),
+            (None, None) => {
+                return Err("fault: missing \"window_deliveries\" or \"window_ns\"".to_string());
+            }
+        };
+        let recover = match v.get("recover") {
+            None => None,
+            Some(_) => Some(req_u64(v, "recover", ctx)?),
+        };
+        Ok(FaultSpec {
+            crashes: req_u64(v, "crashes", ctx)?,
+            window,
+            recover,
+        })
+    }
+
+    fn validate(&self, n: usize, schedule: &ScheduleSpec) -> Result<(), String> {
+        require(self.crashes >= 1, "fault crashes must be >= 1")?;
+        require(
+            self.crashes < n as u64,
+            &format!(
+                "fault crashes must leave at least one live node (crashes < n={n}), got {}",
+                self.crashes
+            ),
+        )?;
+        require(self.window.bound() >= 1, "fault window bound must be >= 1")?;
+        // The window's clock must match the schedule's: crash instants
+        // are compared against delivery counts on the fifo path and
+        // against virtual time on the timed path.
+        match (self.window.is_timed(), schedule) {
+            (true, ScheduleSpec::Timed { .. }) | (false, ScheduleSpec::Fifo) => Ok(()),
+            (true, _) => Err(
+                "fault window_ns requires a timed schedule (use window_deliveries on fifo)"
+                    .to_string(),
+            ),
+            (false, _) => Err(
+                "fault window_deliveries requires the fifo schedule (use window_ns on timed)"
+                    .to_string(),
+            ),
         }
     }
 }
@@ -673,6 +776,8 @@ pub struct AttackSweep {
     pub seed_mode: SeedMode,
     /// Delivery discipline (FIFO fast path or timed network).
     pub schedule: ScheduleSpec,
+    /// Optional crash-fault injection (forces the scalar trial path).
+    pub fault: Option<FaultSpec>,
 }
 
 /// A tree-dictator grid (Theorem 7.2's simulated-tree protocol): the
@@ -745,9 +850,15 @@ impl SweepSpec {
                     0 => String::new(),
                     w => format!(",\"batch_width\":{w}"),
                 };
+                // Likewise `fault`: emitted only when set, so every
+                // fault-free sha pin and checkpoint spec-hash is unchanged.
+                let fault = match h.fault {
+                    None => String::new(),
+                    Some(f) => format!(",\"fault\":{}", f.to_json()),
+                };
                 format!(
                     "{{\"sweep\":\"honest\",\"protocol\":\"{}\",\"n\":{},\"fn_key\":{},\
-                     \"trials\":{},\"base_seed\":{},\"threads\":{}{batch_width}{schedule}}}",
+                     \"trials\":{},\"base_seed\":{},\"threads\":{}{batch_width}{schedule}{fault}}}",
                     protocol_key(h.protocol),
                     h.n,
                     h.fn_key,
@@ -761,10 +872,14 @@ impl SweepSpec {
                     ScheduleSpec::Fifo => String::new(),
                     s => format!(",\"schedule\":{}", s.to_json()),
                 };
+                let fault = match a.fault {
+                    None => String::new(),
+                    Some(f) => format!(",\"fault\":{}", f.to_json()),
+                };
                 format!(
                     "{{\"sweep\":\"attack\",\"attack\":\"{}\",\"n\":{},\"trials\":{},\
                      \"base_seed\":{},\"threads\":{},\"fn_key\":{},\"coalition\":{},\
-                     \"target\":{},\"seed_mode\":\"{}\"{schedule}}}",
+                     \"target\":{},\"seed_mode\":\"{}\"{schedule}{fault}}}",
                     a.attack.name(),
                     a.n,
                     a.batch.trials,
@@ -812,6 +927,7 @@ impl SweepSpec {
                         "threads",
                         "batch_width",
                         "schedule",
+                        "fault",
                     ],
                     "honest sweep",
                 )?;
@@ -829,6 +945,7 @@ impl SweepSpec {
                     batch: parse_batch(&v)?,
                     batch_width,
                     schedule: parse_schedule(&v)?,
+                    fault: parse_fault(&v)?,
                 }))
             }
             "attack" => {
@@ -846,6 +963,7 @@ impl SweepSpec {
                         "target",
                         "seed_mode",
                         "schedule",
+                        "fault",
                     ],
                     "attack sweep",
                 )?;
@@ -874,6 +992,7 @@ impl SweepSpec {
                     target,
                     seed_mode,
                     schedule: parse_schedule(&v)?,
+                    fault: parse_fault(&v)?,
                 }))
             }
             "tree_dictator" => {
@@ -935,6 +1054,9 @@ impl SweepSpec {
                 )?;
                 require(h.batch.trials >= 1, "trials must be >= 1")?;
                 h.schedule.validate()?;
+                if let Some(f) = &h.fault {
+                    f.validate(h.n, &h.schedule)?;
+                }
                 Ok(())
             }
             SweepSpec::Attack(a) => {
@@ -949,6 +1071,9 @@ impl SweepSpec {
                 )?;
                 require(a.batch.trials >= 1, "trials must be >= 1")?;
                 a.schedule.validate()?;
+                if let Some(f) = &a.fault {
+                    f.validate(a.n, &a.schedule)?;
+                }
                 let coalition = a.coalition.resolve(a.n)?;
                 // Reuse the runner layer's layout checks (single-position
                 // attacks, the cubic geometric layout, ...).
@@ -1002,6 +1127,13 @@ fn parse_schedule(v: &Json) -> Result<ScheduleSpec, String> {
     match v.get("schedule") {
         None => Ok(ScheduleSpec::Fifo),
         Some(obj) => ScheduleSpec::parse(obj),
+    }
+}
+
+fn parse_fault(v: &Json) -> Result<Option<FaultSpec>, String> {
+    match v.get("fault") {
+        None => Ok(None),
+        Some(obj) => FaultSpec::parse(obj).map(Some),
     }
 }
 
@@ -1087,6 +1219,7 @@ mod tests {
             target: TargetSpec::Fixed(3),
             seed_mode: SeedMode::Derived,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         })
     }
 
@@ -1113,6 +1246,7 @@ mod tests {
             },
             batch_width: 0,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         });
         let tree = SweepSpec::TreeDictator(TreeSweep {
             graph: GraphSpec::Grid { rows: 3, cols: 4 },
@@ -1175,6 +1309,7 @@ mod tests {
                 loss_permille: 0,
                 dup_permille: 0,
             },
+            fault: None,
         });
         let json = honest.to_json();
         assert_eq!(SweepSpec::parse_json(&json).unwrap(), honest);
@@ -1195,6 +1330,7 @@ mod tests {
                 },
                 batch_width: 0,
                 schedule,
+                fault: None,
             })
         };
         let err = base(ScheduleSpec::Timed {

@@ -1,10 +1,11 @@
 //! Protocol-level batch sweeps with per-worker engine reuse.
 
 use crate::partial::ReportPartial;
-use crate::spec::{ScheduleSpec, SweepSpec};
+use crate::spec::{FaultSpec, ScheduleSpec, SweepSpec};
 use crate::{
-    run_attack_partial, run_attack_sweep, run_batch_range_grouped, run_tree_partial,
-    run_tree_sweep, trial_seed, BatchConfig, TrialFault, TrialOutcome, TrialReport,
+    run_attack_partial, run_attack_sweep, run_batch_range, run_batch_range_grouped,
+    run_tree_partial, run_tree_sweep, trial_seed, BatchConfig, TrialFault, TrialOutcome,
+    TrialReport,
 };
 use fle_core::protocols::{
     run_ring_honest_pooled_into, run_ring_honest_timed_into, ALeadBatchCache, ALeadNode, ALeadUni,
@@ -12,8 +13,8 @@ use fle_core::protocols::{
     PhaseSumLead,
 };
 use ring_sim::{
-    ArenaBacked, Engine, Execution, FifoScheduler, Node, NodeId, TimedNetConfig, TimedScheduler,
-    Topology, TrialArena,
+    ArenaBacked, Engine, Execution, FaultConfig, FaultPlan, FifoScheduler, Node, NodeId,
+    TimedNetConfig, TimedScheduler, Topology, TrialArena,
 };
 
 /// The ring protocols the harness can sweep.
@@ -101,15 +102,20 @@ pub struct HonestSweep {
     pub batch_width: usize,
     /// Delivery discipline (FIFO fast path or timed network).
     pub schedule: ScheduleSpec,
+    /// Optional crash-fault injection: per trial, a deterministic
+    /// [`FaultPlan`] is drawn from the trial seed's fault stream and
+    /// installed on the engine. Forces the scalar trial path.
+    pub fault: Option<FaultSpec>,
 }
 
 impl HonestSweep {
     /// The lockstep width this sweep actually runs with: the configured
     /// width (0 → [`DEFAULT_BATCH_WIDTH`]), forced to 1 (scalar) under a
-    /// timed schedule, whose per-delivery noise streams are inherently
-    /// per-trial.
+    /// timed schedule (whose per-delivery noise streams are inherently
+    /// per-trial) or a fault plan (whose crash instants diverge trials
+    /// immediately).
     pub fn resolved_batch_width(&self) -> usize {
-        if self.schedule.timed_net().is_some() {
+        if self.schedule.timed_net().is_some() || self.fault.is_some() {
             return 1;
         }
         match self.batch_width {
@@ -227,6 +233,9 @@ pub fn run_honest_sweep(cfg: &HonestSweep) -> TrialReport {
 /// Panics if `n` is below the protocol's minimum ring size or the range
 /// is out of bounds.
 pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPartial {
+    if let Some(fspec) = &cfg.fault {
+        return run_honest_faulty_partial(cfg, fspec, start, end);
+    }
     let n = cfg.n;
     let width = cfg.resolved_batch_width();
     let base_seed = cfg.batch.base_seed;
@@ -374,6 +383,153 @@ pub fn run_honest_partial(cfg: &HonestSweep, start: u64, end: u64) -> ReportPart
     partial
 }
 
+/// Runs the scalar trials of a fault-enabled honest sweep: each trial
+/// draws its [`FaultPlan`] from the trial seed's fault stream
+/// ([`ring_sim::FAULT_STREAM_SALT`]) and installs it on the worker's
+/// engine before running, and returns `(outcome, crashed)` where
+/// `crashed` says whether at least one planned crash fired.
+fn run_faulty_trials<M: Clone, N: Node<M> + ArenaBacked, P>(
+    batch: &BatchConfig,
+    start: u64,
+    end: u64,
+    n: usize,
+    fcfg: &FaultConfig,
+    make: impl Fn() -> (SweepWorker<M, N>, P) + Sync,
+    trial: impl Fn(&mut SweepWorker<M, N>, &P, u64) -> TrialOutcome + Sync,
+) -> Vec<Result<(TrialOutcome, bool), TrialFault>> {
+    run_batch_range(
+        batch,
+        start,
+        end,
+        || {
+            let (w, p) = make();
+            (w, p, FaultPlan::none())
+        },
+        |(w, p, plan), _i, seed| {
+            plan.draw_into(fcfg, n, seed);
+            w.engine.set_fault_plan(plan);
+            let out = trial(w, p, seed);
+            (out, w.exec.stats.crashes > 0)
+        },
+    )
+}
+
+/// The fault-enabled twin of [`run_honest_partial`]'s body: always
+/// scalar (see [`HonestSweep::resolved_batch_width`]), and the returned
+/// partial carries the crash counters
+/// ([`ReportPartial::with_faults`]).
+fn run_honest_faulty_partial(
+    cfg: &HonestSweep,
+    fspec: &FaultSpec,
+    start: u64,
+    end: u64,
+) -> ReportPartial {
+    let n = cfg.n;
+    let fcfg = fspec.config();
+    let net = cfg.schedule.timed_net();
+    let net = net.as_ref();
+    let outcomes = match cfg.protocol {
+        ProtocolKind::BasicLead => run_faulty_trials(
+            &cfg.batch,
+            start,
+            end,
+            n,
+            &fcfg,
+            || {
+                let p = BasicLead::new(n);
+                let w = SweepWorker::<u64, BasicNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |w, p, seed| {
+                let p = p.clone().with_seed(seed);
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
+            },
+        ),
+        ProtocolKind::ALeadUni => run_faulty_trials(
+            &cfg.batch,
+            start,
+            end,
+            n,
+            &fcfg,
+            || {
+                let p = ALeadUni::new(n);
+                let w = SweepWorker::<u64, ALeadNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |w, p, seed| {
+                let p = p.clone().with_seed(seed);
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
+            },
+        ),
+        ProtocolKind::PhaseAsyncLead => run_faulty_trials(
+            &cfg.batch,
+            start,
+            end,
+            n,
+            &fcfg,
+            || {
+                let p = PhaseAsyncLead::new(n).with_fn_key(cfg.fn_key);
+                let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |w, p, seed| {
+                let p = p.with_seed(seed);
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
+            },
+        ),
+        ProtocolKind::PhaseSumLead => run_faulty_trials(
+            &cfg.batch,
+            start,
+            end,
+            n,
+            &fcfg,
+            || {
+                let p = PhaseSumLead::new(n);
+                let w = SweepWorker::<PhaseMsg, PhaseNode>::new(n, p.wakes());
+                (w, p)
+            },
+            |w, p, seed| {
+                let p = p.with_seed(seed);
+                match net {
+                    Some(net) => {
+                        w.trial_timed(|id, arena| p.honest_ring_node_in(id, arena), net, seed)
+                    }
+                    None => w.trial(|id, arena| p.honest_ring_node_in(id, arena)),
+                }
+            },
+        ),
+    };
+    let mut partial = ReportPartial::new_honest(
+        cfg.protocol.name(),
+        n,
+        cfg.batch.base_seed,
+        cfg.batch.trials,
+    )
+    .with_faults();
+    for (i, slot) in outcomes.into_iter().enumerate() {
+        match slot {
+            Ok((outcome, crashed)) => partial.record_faulty(start + i as u64, outcome, crashed),
+            Err(fault) => partial.record_fault(fault),
+        }
+    }
+    partial
+}
+
 /// Feeds a [`run_batch_range`] result vector (whose slot `i` is global
 /// trial `start + i`) into an honest partial.
 fn record_honest(
@@ -477,6 +633,7 @@ mod tests {
                 },
                 batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
+                fault: None,
             }))
             .expect("valid spec");
             assert_eq!(report.protocol, protocol.name());
@@ -506,6 +663,7 @@ mod tests {
                 },
                 batch_width: 0,
                 schedule: ScheduleSpec::Fifo,
+                fault: None,
             };
             let fifo = run_honest_sweep(&base);
             let timed = run_honest_sweep(&HonestSweep {
@@ -535,6 +693,7 @@ mod tests {
             batch,
             batch_width: 0,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         });
         let mut wins = vec![0u64; n];
         for i in 0..batch.trials {

@@ -27,6 +27,7 @@ fn sweep_with_threads(
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 

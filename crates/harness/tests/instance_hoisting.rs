@@ -20,6 +20,7 @@ fn sweep(trials: u64, threads: usize) {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     });
     assert_eq!(report.trials, trials);
 }

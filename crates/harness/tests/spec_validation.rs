@@ -39,6 +39,7 @@ fn attack_spec(attack: AttackKind, n: usize, coalition: CoalitionSpec) -> Attack
         target: TargetSpec::Fixed(0),
         seed_mode: SeedMode::Derived,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }
 }
 
@@ -190,6 +191,7 @@ fn validate_rejects_out_of_range_references() {
             },
             batch_width: 0,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         }),
         "needs n >= 4",
     );

@@ -1,5 +1,6 @@
 //! The discrete-event execution engine.
 
+use crate::fault::FaultPlan;
 use crate::links::{LinkQueues, LinkSlab};
 use crate::node::{Ctx, Node, SendBuf};
 use crate::outcome::{outcome_of, FailReason, Outcome};
@@ -61,6 +62,7 @@ pub struct SimBuilder<'p, M> {
     scheduler: Box<dyn Scheduler + 'p>,
     step_limit: u64,
     probe: Option<&'p mut dyn Probe<M>>,
+    fault: FaultPlan,
 }
 
 impl<'p, M> std::fmt::Debug for SimBuilder<'p, M> {
@@ -85,6 +87,7 @@ impl<'p, M> SimBuilder<'p, M> {
             scheduler: Box::new(FifoScheduler::new()),
             step_limit: default_step_limit(n),
             probe: None,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -150,6 +153,13 @@ impl<'p, M> SimBuilder<'p, M> {
         self
     }
 
+    /// Installs a crash-fault plan for this run (see [`crate::fault`]).
+    /// The empty plan (the default) is exactly the fault-free path.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Runs the simulation to completion and returns the [`Execution`].
     ///
     /// The run ends when all nodes have terminated, when no tokens remain
@@ -172,6 +182,7 @@ impl<'p, M> SimBuilder<'p, M> {
             mut scheduler,
             step_limit,
             probe,
+            fault,
         } = self;
         let mut nodes: Vec<Box<dyn Node<M> + 'p>> = nodes
             .into_iter()
@@ -179,6 +190,7 @@ impl<'p, M> SimBuilder<'p, M> {
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("node {i} has no behaviour")))
             .collect();
         let mut engine = Engine::new(topology);
+        engine.set_fault_plan(&fault);
         engine.run_session(&mut nodes, &wakes, &mut *scheduler, step_limit, probe)
     }
 }
@@ -249,6 +261,11 @@ pub struct Engine<M> {
     received: Vec<u64>,
     /// Reusable per-activation send buffer lent to [`Ctx`].
     sends: SendBuf<M>,
+    /// The crash-fault plan applied to every run until replaced (empty by
+    /// default — see [`Engine::set_fault_plan`]). Deliberately **not**
+    /// cleared by [`Engine::reset`]: the plan is per-trial configuration,
+    /// installed before the run that `reset` opens.
+    fault: FaultPlan,
     /// Decaying high-water mark of events processed per run, driving the
     /// shrink-on-idle capacity policy in [`Engine::reset`]: retained queue
     /// capacity is bounded by 4× this mark, so one oversized trial cannot
@@ -354,8 +371,33 @@ impl<M> Engine<M> {
             sent: vec![0; n],
             received: vec![0; n],
             sends: SendBuf::default(),
+            fault: FaultPlan::none(),
             hwm_events: 0,
         }
+    }
+
+    /// Installs a crash-fault plan: every subsequent run applies it until
+    /// it is replaced or [`Engine::clear_fault_plan`] is called
+    /// ([`Engine::reset`] leaves it alone). The plan is copied into an
+    /// engine-owned buffer whose allocation is reused across trials.
+    ///
+    /// With a non-empty plan the run dispatches into a separate loop
+    /// instantiation that consults [`FaultPlan::is_down`] per event; the
+    /// empty plan selects the identical fault-free instantiation as
+    /// before this facility existed.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault.clone_from(plan);
+    }
+
+    /// Removes any installed crash-fault plan (keeping its allocation),
+    /// returning the engine to the fault-free path.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault.clear();
+    }
+
+    /// The currently installed crash-fault plan (empty = fault-free).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// The topology this engine simulates.
@@ -597,6 +639,7 @@ impl<M> Engine<M> {
             sent,
             received,
             sends,
+            fault,
             ..
         } = self;
         let hot = Hot {
@@ -614,19 +657,27 @@ impl<M> Engine<M> {
             link_dirty,
             link_touched,
         };
-        let (steps, delivered, hit_limit) = if scheduler.is_global_fifo() {
-            drive_fused(
-                &hot, &mut state, fused, nodes, wakes, step_limit, &mut probe,
+        // One dispatch on the fault plan, outside the loop: the fault-free
+        // arm instantiates with `NoFaults`, whose inline-false `is_down`
+        // vanishes — no per-delivery fault check survives on that path.
+        let (steps, delivered, hit_limit) = if fault.is_empty() {
+            drive_dispatch(
+                &hot, &mut state, links, fused, nodes, wakes, scheduler, step_limit, &mut probe,
+                &NoFaults,
             )
         } else {
-            match links {
-                LinkStorage::Slab(slab) => drive(
-                    &hot, &mut state, slab, nodes, wakes, scheduler, step_limit, &mut probe,
-                ),
-                LinkStorage::Queues(queues) => drive(
-                    &hot, &mut state, queues, nodes, wakes, scheduler, step_limit, &mut probe,
-                ),
-            }
+            drive_dispatch(
+                &hot,
+                &mut state,
+                links,
+                fused,
+                nodes,
+                wakes,
+                scheduler,
+                step_limit,
+                &mut probe,
+                &PlanFaults(fault),
+            )
         };
 
         out.outcome = outcome_of(&*state.outputs, !hit_limit);
@@ -638,6 +689,13 @@ impl<M> Engine<M> {
         out.stats.sent.extend_from_slice(&*state.sent);
         out.stats.received.clear();
         out.stats.received.extend_from_slice(&*state.received);
+        out.stats.crashes = fault.fired_count(delivered);
+        if out.stats.crashes > 0 && out.outcome == Outcome::Fail(FailReason::Deadlock) {
+            // Quiescence with live non-terminated nodes downstream of a
+            // fired crash: the fault partitioned the election, which is a
+            // different diagnosis than a protocol deadlock.
+            out.outcome = Outcome::Fail(FailReason::CrashPartition);
+        }
         self.hwm_events = steps.max(self.hwm_events / 2);
     }
 
@@ -727,6 +785,7 @@ impl<M> Engine<M> {
             sends,
             link_dirty,
             link_touched,
+            fault,
             ..
         } = self;
         let hot = Hot {
@@ -744,9 +803,22 @@ impl<M> Engine<M> {
             link_dirty,
             link_touched,
         };
-        let (steps, delivered, hit_limit) = drive_timed(
-            &hot, &mut state, timed, nodes, wakes, step_limit, &mut probe,
-        );
+        let (steps, delivered, hit_limit) = if fault.is_empty() {
+            drive_timed(
+                &hot, &mut state, timed, nodes, wakes, step_limit, &mut probe, &NoFaults,
+            )
+        } else {
+            drive_timed(
+                &hot,
+                &mut state,
+                timed,
+                nodes,
+                wakes,
+                step_limit,
+                &mut probe,
+                &PlanFaults(fault),
+            )
+        };
 
         out.outcome = outcome_of(&*state.outputs, !hit_limit);
         out.outputs.clear();
@@ -757,6 +829,10 @@ impl<M> Engine<M> {
         out.stats.sent.extend_from_slice(&*state.sent);
         out.stats.received.clear();
         out.stats.received.extend_from_slice(&*state.received);
+        out.stats.crashes = fault.fired_count(timed.now());
+        if out.stats.crashes > 0 && out.outcome == Outcome::Fail(FailReason::Deadlock) {
+            out.outcome = Outcome::Fail(FailReason::CrashPartition);
+        }
         self.hwm_events = steps.max(self.hwm_events / 2);
     }
 
@@ -817,6 +893,65 @@ impl<M> ProbeHook<M> for DynProbeHook<'_, M> {
     }
 }
 
+/// Per-event crash check, monomorphized like [`ProbeHook`] so the
+/// fault-free run entries compile the check away entirely. `clock` is the
+/// loop's clock: deliveries completed so far on the untimed paths, the
+/// virtual time on the timed path.
+trait FaultHook {
+    fn is_down(&self, node: NodeId, clock: u64) -> bool;
+}
+
+/// The fault-free hook: an inline constant `false`.
+struct NoFaults;
+
+impl FaultHook for NoFaults {
+    #[inline(always)]
+    fn is_down(&self, _: NodeId, _: u64) -> bool {
+        false
+    }
+}
+
+/// Adapter consulting a non-empty [`FaultPlan`] per event.
+struct PlanFaults<'a>(&'a FaultPlan);
+
+impl FaultHook for PlanFaults<'_> {
+    #[inline]
+    fn is_down(&self, node: NodeId, clock: u64) -> bool {
+        self.0.is_down(node, clock)
+    }
+}
+
+/// The untimed three-way loop dispatch (fused global-FIFO stream, ring
+/// slab, general queues), factored out of
+/// [`session_core`](Engine::session_core) so it instantiates once per
+/// [`FaultHook`] without spelling the arms twice at the call site.
+#[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+fn drive_dispatch<M, N: Node<M>, S: Scheduler + ?Sized, P: ProbeHook<M>, F: FaultHook>(
+    hot: &Hot<'_>,
+    state: &mut RunState<'_, M>,
+    links: &mut LinkStorage<M>,
+    fused: &mut VecDeque<FusedEvent<M>>,
+    nodes: &mut [N],
+    wakes: &[NodeId],
+    scheduler: &mut S,
+    step_limit: u64,
+    probe: &mut P,
+    faults: &F,
+) -> (u64, u64, bool) {
+    if scheduler.is_global_fifo() {
+        drive_fused(hot, state, fused, nodes, wakes, step_limit, probe, faults)
+    } else {
+        match links {
+            LinkStorage::Slab(slab) => drive(
+                hot, state, slab, nodes, wakes, scheduler, step_limit, probe, faults,
+            ),
+            LinkStorage::Queues(queues) => drive(
+                hot, state, queues, nodes, wakes, scheduler, step_limit, probe, faults,
+            ),
+        }
+    }
+}
+
 /// The engine's read-only per-run lookups, grouped so [`drive`] and
 /// [`activate`] borrow them immutably alongside the mutable [`RunState`].
 struct Hot<'e> {
@@ -845,7 +980,7 @@ struct RunState<'e, M> {
 /// into plain single-level `&mut` locals up front so every per-delivery
 /// counter access is one load, not a double indirection.
 #[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
-fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>>(
+fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>, F: FaultHook>(
     hot: &Hot<'_>,
     state: &mut RunState<'_, M>,
     links: &mut L,
@@ -854,6 +989,7 @@ fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>
     scheduler: &mut S,
     step_limit: u64,
     probe: &mut P,
+    faults: &F,
 ) -> (u64, u64, bool) {
     let RunState {
         outputs,
@@ -886,7 +1022,7 @@ fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>
         steps += 1;
         match token.decode() {
             Token::Wake(i) => {
-                if outputs[i].is_none() {
+                if outputs[i].is_none() && !faults.is_down(i, delivered) {
                     activate(
                         hot,
                         outputs,
@@ -910,10 +1046,14 @@ fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>
             Token::Deliver(edge) => {
                 let msg = links.pop(edge);
                 let (from, to) = hot.edges[edge];
+                // A crashed receiver still consumes the message (the link
+                // worked; the processor did not), so the delivery counts —
+                // only the activation is suppressed.
+                let down = faults.is_down(to, delivered);
                 received[to] += 1;
                 delivered += 1;
                 probe.on_deliver(from, to, &msg, received);
-                if outputs[to].is_none() {
+                if outputs[to].is_none() && !down {
                     activate(
                         hot,
                         outputs,
@@ -945,7 +1085,8 @@ fn drive<M, N: Node<M>, S: Scheduler + ?Sized, L: LinkQueues<M>, P: ProbeHook<M>
 /// half the queue traffic of the split token/link path. Link storage and
 /// dirty tracking are untouched (the stream carries the messages), and
 /// executions are bit-identical to [`drive`] under a FIFO schedule.
-fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
+#[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+fn drive_fused<M, N: Node<M>, P: ProbeHook<M>, F: FaultHook>(
     hot: &Hot<'_>,
     state: &mut RunState<'_, M>,
     fused: &mut VecDeque<FusedEvent<M>>,
@@ -953,6 +1094,7 @@ fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
     wakes: &[NodeId],
     step_limit: u64,
     probe: &mut P,
+    faults: &F,
 ) -> (u64, u64, bool) {
     let RunState {
         outputs,
@@ -982,7 +1124,7 @@ fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
         steps += 1;
         match event {
             FusedEvent::Wake(i) => {
-                if outputs[i].is_none() {
+                if outputs[i].is_none() && !faults.is_down(i, delivered) {
                     activate(
                         hot,
                         outputs,
@@ -1000,10 +1142,11 @@ fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
             }
             FusedEvent::Deliver(edge, msg) => {
                 let (from, to) = hot.edges[edge];
+                let down = faults.is_down(to, delivered);
                 received[to] += 1;
                 delivered += 1;
                 probe.on_deliver(from, to, &msg, received);
-                if outputs[to].is_none() {
+                if outputs[to].is_none() && !down {
                     activate(
                         hot,
                         outputs,
@@ -1031,7 +1174,8 @@ fn drive_fused<M, N: Node<M>, P: ProbeHook<M>>(
 /// duplication coin. Under the all-zero network profile every entry is
 /// stamped `t = 0` and the heap pops in sequence (= send) order, making
 /// this loop bit-identical to [`drive_fused`] by construction.
-fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>>(
+#[allow(clippy::too_many_arguments)] // the split engine borrows, spelled out
+fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>, F: FaultHook>(
     hot: &Hot<'_>,
     state: &mut RunState<'_, M>,
     timed: &mut TimedScheduler<M>,
@@ -1039,6 +1183,7 @@ fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>>(
     wakes: &[NodeId],
     step_limit: u64,
     probe: &mut P,
+    faults: &F,
 ) -> (u64, u64, bool) {
     let RunState {
         outputs,
@@ -1068,7 +1213,8 @@ fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>>(
         steps += 1;
         match event {
             TimedEvent::Wake(i) => {
-                if outputs[i].is_none() {
+                // Crash instants on this path are virtual-clock times.
+                if outputs[i].is_none() && !faults.is_down(i, timed.now()) {
                     activate(
                         hot,
                         outputs,
@@ -1084,10 +1230,11 @@ fn drive_timed<M: Clone, N: Node<M>, P: ProbeHook<M>>(
             }
             TimedEvent::Deliver(edge, msg) => {
                 let (from, to) = hot.edges[edge];
+                let down = faults.is_down(to, timed.now());
                 received[to] += 1;
                 delivered += 1;
                 probe.on_deliver(from, to, &msg, received);
-                if outputs[to].is_none() {
+                if outputs[to].is_none() && !down {
                     activate(
                         hot,
                         outputs,
@@ -1211,6 +1358,10 @@ pub struct Stats {
     /// Messages received per node (including messages dropped because the
     /// receiver had terminated).
     pub received: Vec<u64>,
+    /// Crash faults of the installed [`FaultPlan`] that *fired* during
+    /// this run (their instant was reached). Always 0 on the fault-free
+    /// path.
+    pub crashes: u64,
 }
 
 impl Stats {

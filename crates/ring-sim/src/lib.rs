@@ -27,6 +27,9 @@
 //!   checker for schedule-independence claims.
 //! * [`Probe`] observes events for instrumentation (e.g. the
 //!   "m-synchronized" measurements of the paper's Section 5/6).
+//! * [`FaultPlan`] injects deterministic crash-stop faults (with optional
+//!   recovery) drawn per trial from a dedicated seed stream — see the
+//!   [`fault`] module.
 //!
 //! ## Example
 //!
@@ -69,6 +72,7 @@
 mod arena;
 pub mod batch;
 mod engine;
+pub mod fault;
 mod links;
 mod node;
 mod outcome;
@@ -81,6 +85,7 @@ mod topology;
 
 pub use arena::{ArenaBacked, TrialArena};
 pub use engine::{default_step_limit, Engine, Execution, SimBuilder, Stats};
+pub use fault::{CrashFault, CrashInstant, FaultConfig, FaultPlan, FAULT_STREAM_SALT};
 pub use node::{Ctx, FnNode, Node};
 pub use outcome::{FailReason, Outcome};
 pub use probe::{DeliveryCountProbe, MessageLogProbe, NoProbe, Probe, SyncGapProbe};

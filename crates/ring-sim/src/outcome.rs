@@ -52,6 +52,12 @@ pub enum FailReason {
     Deadlock,
     /// The step limit was exceeded (treated as non-termination).
     StepLimit,
+    /// Quiescence was reached with live non-terminated nodes while a
+    /// crash fault of the installed [`FaultPlan`](crate::FaultPlan) had
+    /// fired: the crash partitioned the election. Never produced on the
+    /// fault-free path (without a fired crash the same condition is
+    /// [`FailReason::Deadlock`]).
+    CrashPartition,
 }
 
 impl std::fmt::Display for FailReason {
@@ -61,6 +67,7 @@ impl std::fmt::Display for FailReason {
             FailReason::Disagreement => "disagreement",
             FailReason::Deadlock => "deadlock",
             FailReason::StepLimit => "step limit",
+            FailReason::CrashPartition => "crash partition",
         };
         f.write_str(s)
     }

@@ -29,6 +29,7 @@ fn spec(base_seed: u64) -> SweepSpec {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
@@ -154,6 +155,68 @@ fn resuming_a_completed_checkpoint_is_a_noop() {
     assert_eq!(second.resumed_from, Some(TRIALS));
     assert_eq!(second.checkpoints_written, 0);
     assert_eq!(second.partial, first.partial);
+}
+
+/// A corrupted checkpoint file — garbage bytes, not JSON — is a named
+/// error (the CLI turns it into exit 2), never a panic and never a
+/// silent restart.
+#[test]
+fn corrupted_checkpoint_is_a_named_error() {
+    let tmp = TempPath::new("corrupt");
+    std::fs::write(&tmp.0, b"\x00\xff not a checkpoint {{{").expect("write garbage");
+    let err = run_sweep_checkpointed(&spec(1), &tmp.0, 100, 0, TRIALS).unwrap_err();
+    assert!(
+        err.contains("checkpoint") && err.contains("fle_checkpoint_test"),
+        "error must name the file: {err}"
+    );
+}
+
+/// A *truncated* checkpoint — a valid snapshot cut off mid-write, the
+/// shape a non-atomic writer would leave after a crash — is equally a
+/// named error. Every truncation point must fail cleanly, not just the
+/// ones that break JSON nesting.
+#[test]
+fn truncated_checkpoint_is_a_named_error_at_every_cut() {
+    let spec = spec(1);
+    let tmp = TempPath::new("truncated");
+    let prefix = run_sweep_partial(&spec, 0, 120).expect("valid range");
+    let full = SweepCheckpoint {
+        spec_sha256: sha256_hex(spec.to_json().as_bytes()),
+        start: 0,
+        end: TRIALS,
+        partial: prefix,
+    }
+    .to_json();
+    // A spread of cuts: almost-empty, mid-header, mid-partial, almost-whole.
+    for frac in [1, 10, 30, 60, 90, 99] {
+        let cut = full.len() * frac / 100;
+        std::fs::write(&tmp.0, &full[..cut]).expect("write truncated checkpoint");
+        let err = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS)
+            .expect_err("truncated checkpoint must not parse");
+        assert!(err.contains("checkpoint"), "cut at {cut}: {err}");
+    }
+}
+
+/// A stale `<path>.tmp` sibling (an atomic write interrupted between
+/// `write` and `rename`) is consumed by the next successful checkpoint
+/// write and never survives a completed run.
+#[test]
+fn stale_tmp_sibling_is_cleaned_by_next_write() {
+    let spec = spec(1);
+    let tmp = TempPath::new("staletmp");
+    let stale = tmp.0.with_extension("json.tmp");
+    std::fs::write(&stale, b"interrupted half-written snapshot").expect("write stale tmp");
+    let run = run_sweep_checkpointed(&spec, &tmp.0, 100, 0, TRIALS).expect("checkpointed run");
+    assert!(run.checkpoints_written > 0);
+    assert!(
+        !stale.exists(),
+        "stale .tmp must be consumed by the next atomic write"
+    );
+    // The checkpoint itself holds the real snapshot, not the stale bytes.
+    let src = std::fs::read_to_string(&tmp.0).expect("checkpoint file exists");
+    let cp = SweepCheckpoint::parse_json(&src).expect("valid checkpoint");
+    assert_eq!(cp.completed(), TRIALS);
+    let _ = std::fs::remove_file(&stale);
 }
 
 /// Checkpoint JSON round-trips through its parser.

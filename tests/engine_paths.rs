@@ -575,6 +575,7 @@ proptest! {
                 },
                 batch_width,
                 schedule: ScheduleSpec::Fifo,
+                fault: None,
             })
         };
         let batched = run_sweep_partial(&spec(width), start, start + len).expect("valid range");
@@ -601,6 +602,7 @@ fn batched_sweeps_match_scalar_sweeps_bytewise() {
             },
             batch_width,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         })
     };
     for protocol in [
@@ -637,6 +639,7 @@ fn batched_sweep_json_is_thread_invariant() {
             },
             batch_width: 8,
             schedule: ScheduleSpec::Fifo,
+            fault: None,
         })
     };
     let one = fle_harness::run_sweep(&spec(1))

@@ -110,6 +110,7 @@ fn sweep_reports_are_pinned() {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     assert_eq!(report.wins, vec![3, 6, 5, 5, 2, 3, 3, 5]);
@@ -138,6 +139,7 @@ fn sweep_reports_are_pinned() {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     assert_eq!(report.wins, vec![1, 4, 7, 6, 6]);
@@ -159,6 +161,7 @@ fn phase_n64_sweep(trials: u64) -> SweepSpec {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
@@ -364,6 +367,7 @@ fn canonical_attack_sweep(threads: usize) -> SweepSpec {
         target: TargetSpec::Fixed(3),
         seed_mode: SeedMode::Derived,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
@@ -421,6 +425,7 @@ fn migrated_t42_cell_matches_premigration_loop() {
         target: TargetSpec::SeedProduct { multiplier: 31 },
         seed_mode: SeedMode::RawIndex,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     }))
     .expect("valid spec");
     let coalition = Coalition::equally_spaced(n, k, 1).expect("valid layout");
@@ -465,6 +470,7 @@ fn timed_honest_sweep(threads: usize) -> SweepSpec {
             loss_permille: 50,
             dup_permille: 20,
         },
+        fault: None,
     })
 }
 
@@ -493,6 +499,7 @@ fn timed_attack_sweep(threads: usize) -> SweepSpec {
             loss_permille: 0,
             dup_permille: 0,
         },
+        fault: None,
     })
 }
 

@@ -30,6 +30,7 @@ fn honest_spec(threads: usize) -> SweepSpec {
         },
         batch_width: 0,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
@@ -48,6 +49,7 @@ fn attack_spec(threads: usize) -> SweepSpec {
         target: TargetSpec::Fixed(3),
         seed_mode: SeedMode::Derived,
         schedule: ScheduleSpec::Fifo,
+        fault: None,
     })
 }
 
